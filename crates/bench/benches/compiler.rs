@@ -1,0 +1,27 @@
+//! Compiler-throughput benchmarks: analysis plus code generation for one
+//! representative loop per pattern.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use flexvec::{analyze, vectorize, SpecRequest};
+use flexvec_workloads::spec;
+
+fn bench_compiler(c: &mut Criterion) {
+    let cond_update = spec::h264ref().program;
+    let conflict = spec::astar().program;
+
+    c.bench_function("analyze/h264", |b| {
+        b.iter(|| analyze(black_box(&cond_update)))
+    });
+    c.bench_function("analyze/astar", |b| {
+        b.iter(|| analyze(black_box(&conflict)))
+    });
+    c.bench_function("vectorize/h264", |b| {
+        b.iter(|| vectorize(black_box(&cond_update), SpecRequest::Auto).expect("vectorizes"))
+    });
+    c.bench_function("vectorize/astar", |b| {
+        b.iter(|| vectorize(black_box(&conflict), SpecRequest::Auto).expect("vectorizes"))
+    });
+}
+
+criterion_group!(benches, bench_compiler);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion wrapper for the Figure 8 applications group (experiment
+//! E2). See `fig8_spec.rs` for the measurement split.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexvec::SpecRequest;
+use flexvec_workloads::{applications, evaluate};
+
+fn bench_apps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_apps");
+    group.sample_size(10);
+    for w in applications() {
+        let e = evaluate(&w, SpecRequest::Auto).expect("evaluates");
+        println!(
+            "{}: region {:.2}x, overall {:.3}x",
+            w.name, e.region_speedup, e.overall_speedup
+        );
+        group.bench_function(w.name, |b| {
+            b.iter(|| evaluate(&w, SpecRequest::Auto).expect("evaluates"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion wrapper for the Figure 8 SPEC group (experiment E1): times
+//! the full baseline-vs-FlexVec evaluation of each SPEC workload. The
+//! simulated-cycle numbers themselves come from the `fig8` binary; this
+//! bench tracks the wall-clock cost of the reproduction pipeline and
+//! prints each workload's speedup once per run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexvec::SpecRequest;
+use flexvec_workloads::{evaluate, spec2006};
+
+fn bench_spec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_spec");
+    group.sample_size(10);
+    for w in spec2006() {
+        let e = evaluate(&w, SpecRequest::Auto).expect("evaluates");
+        println!(
+            "{}: region {:.2}x, overall {:.3}x",
+            w.name, e.region_speedup, e.overall_speedup
+        );
+        group.bench_function(w.name, |b| {
+            b.iter(|| evaluate(&w, SpecRequest::Auto).expect("evaluates"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spec);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Microbenchmarks of the FlexVec ISA functional model (experiment E7's
+//! implementation): throughput of the four new instructions.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use flexvec_isa::{kftm_exc, kftm_inc, vpconflictm, vpslctlast, Mask, Vector};
+
+fn bench_isa(c: &mut Criterion) {
+    let k2 = Mask::from_bits(0xfff0);
+    let k3 = Mask::from_bits(0x0880);
+    let v1 = Vector::from_fn(|i| (i as i64 * 7919) % 13);
+    let v2 = Vector::from_fn(|i| (i as i64 * 104729) % 13);
+
+    c.bench_function("kftm_exc", |b| {
+        b.iter(|| kftm_exc(black_box(k2), black_box(k3)))
+    });
+    c.bench_function("kftm_inc", |b| {
+        b.iter(|| kftm_inc(black_box(k2), black_box(k3)))
+    });
+    c.bench_function("vpslctlast", |b| {
+        b.iter(|| vpslctlast(black_box(k2), black_box(v1)))
+    });
+    c.bench_function("vpconflictm", |b| {
+        b.iter(|| vpconflictm(black_box(k2), black_box(v1), black_box(v2)))
+    });
+}
+
+criterion_group!(benches, bench_isa);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion wrapper for the RTM tile-size study (experiment E5): runs
+//! the h264ref workload under the RTM code path at each tile size and
+//! prints the cycle ratio to the first-faulting configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexvec::SpecRequest;
+use flexvec_workloads::{evaluate, spec};
+
+fn bench_tiles(c: &mut Criterion) {
+    let w = spec::h264ref();
+    let ff = evaluate(&w, SpecRequest::Auto).expect("evaluates");
+    let mut group = c.benchmark_group("rtm_tilesize");
+    group.sample_size(10);
+    for tile in [16u32, 32, 64, 128, 256, 512, 1024] {
+        let rtm = evaluate(&w, SpecRequest::Rtm { tile }).expect("evaluates");
+        println!(
+            "tile {tile}: {:.3}x of first-faulting cycles",
+            rtm.flexvec_cycles as f64 / ff.flexvec_cycles as f64
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(tile), &tile, |b, &t| {
+            b.iter(|| evaluate(&w, SpecRequest::Rtm { tile: t }).expect("evaluates"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tiles);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Ablation studies for the design choices DESIGN.md calls out
+//! (experiment index, "ablation benches"):
+//!
+//! 1. **VPL vs. all-or-nothing speculation** (the PACT'13 comparison of
+//!    Section 2): as the conditional-update rate grows, the
+//!    all-or-nothing baseline experiences "constant rollbacks" while the
+//!    FlexVec VPL degrades gracefully.
+//! 2. **VPCONFLICTM cost sensitivity**: how the memory-conflict
+//!    workloads respond to the conflict instruction's latency (the paper
+//!    measured 20 cycles for its micro-op sequence).
+//! 3. **Hardware-prefetcher page-boundary effect** (Section 5's
+//!    memory-boundness note).
+
+use flexvec::SpecRequest;
+use flexvec_sim::SimConfig;
+use flexvec_workloads::{evaluate_with_config, spec, VectorMode};
+
+fn main() {
+    println!("=== Ablation 1: FlexVec VPL vs all-or-nothing speculation ===\n");
+    println!(
+        "{:<12} {:>12} {:>14} {:>12}",
+        "update rate", "FlexVec", "all-or-nothing", "VPL gain"
+    );
+    let cfg = SimConfig::table1();
+    for rate in [0.0, 0.01, 0.02, 0.05, 0.10, 0.20, 0.50] {
+        let w = spec::h264_parametric(rate, 4096);
+        let flex = evaluate_with_config(&w, SpecRequest::Auto, &cfg, VectorMode::FlexVec)
+            .expect("flexvec evaluates");
+        let aon = evaluate_with_config(&w, SpecRequest::Auto, &cfg, VectorMode::AllOrNothing)
+            .expect("aon evaluates");
+        println!(
+            "{:<12.2} {:>11.2}x {:>13.2}x {:>11.2}x",
+            rate,
+            flex.region_speedup,
+            aon.region_speedup,
+            flex.region_speedup / aon.region_speedup
+        );
+    }
+
+    println!("\n=== Ablation 2: VPCONFLICTM latency sensitivity (region speedup) ===\n");
+    print!("{:<14}", "benchmark");
+    let lats = [5u32, 10, 20, 40];
+    for l in lats {
+        print!("{:>10}", format!("lat={l}"));
+    }
+    println!();
+    for w in [spec::astar(), spec::milc(), spec::calculix()] {
+        print!("{:<14}", w.name);
+        for l in lats {
+            let mut cfg = SimConfig::table1();
+            cfg.vpconflictm.latency = l;
+            let e = evaluate_with_config(&w, SpecRequest::Auto, &cfg, VectorMode::FlexVec)
+                .expect("evaluates");
+            print!("{:>9.2}x", e.region_speedup);
+        }
+        println!();
+    }
+
+    println!("\n=== Ablation 3: prefetcher page-boundary clamp ===\n");
+    println!(
+        "{:<14} {:>12} {:>14}",
+        "benchmark", "prefetch on", "prefetch off"
+    );
+    for w in [spec::h264ref(), spec::milc()] {
+        let on = evaluate_with_config(
+            &w,
+            SpecRequest::Auto,
+            &SimConfig::table1(),
+            VectorMode::FlexVec,
+        )
+        .expect("evaluates");
+        let mut cfg = SimConfig::table1();
+        cfg.memory.prefetch_degree = 0;
+        let off = evaluate_with_config(&w, SpecRequest::Auto, &cfg, VectorMode::FlexVec)
+            .expect("evaluates");
+        println!(
+            "{:<14} {:>11.2}x {:>13.2}x",
+            w.name, on.region_speedup, off.region_speedup
+        );
+    }
+}

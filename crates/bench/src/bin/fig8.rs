@@ -1,0 +1,22 @@
+//! Regenerates the paper's Figure 8: overall application speedup of
+//! FlexVec vectorization over the baseline (which executes FlexVec
+//! candidate loops as scalar code) on the Table 1 out-of-order model,
+//! for 11 SPEC 2006 benchmarks and 7 real applications (experiments
+//! E1/E2 in DESIGN.md).
+//!
+//! Run with `--release`; the full sweep simulates ~18 × 2 executions.
+
+use flexvec::SpecRequest;
+use flexvec_bench::{by_suite, evaluate_all, render_fig8};
+use flexvec_workloads::all;
+
+fn main() {
+    let evals = evaluate_all(&all(), SpecRequest::Auto);
+    let (spec, apps) = by_suite(&evals);
+    println!("=== Figure 8: Application Speedup over an Aggressive OOO Processor ===\n");
+    println!("{}", render_fig8(&spec, "SPEC 2006 (paper geomean: 1.09x)"));
+    println!(
+        "{}",
+        render_fig8(&apps, "Real applications (paper geomean: 1.11x)")
+    );
+}

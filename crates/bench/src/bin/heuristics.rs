@@ -1,0 +1,108 @@
+//! Regenerates the Section 5 candidate-selection study (experiment E6):
+//! applies the paper's profile-guided thresholds (trip >= 16, effective
+//! vector length >= 6, coverage >= 5%, memory/compute ratio <= 2) to
+//! every workload plus a set of loops constructed to trip each rejection
+//! rule.
+
+use flexvec::{vectorize, SpecRequest};
+use flexvec_ir::build::*;
+use flexvec_ir::ProgramBuilder;
+use flexvec_mem::AddressSpace;
+use flexvec_profiler::{profile_loop, select, Thresholds};
+use flexvec_vm::Bindings;
+use flexvec_workloads::all;
+
+fn main() {
+    let th = Thresholds::default();
+    println!("=== Candidate selection (trip>=16, EVL>=6, cvrg>=5%, mem/compute<=2) ===\n");
+    println!(
+        "{:<24} {:>8} {:>6} {:>6} {:>6}  verdict",
+        "loop", "avgtrip", "EVL", "cvrg", "m/c"
+    );
+    for w in all() {
+        let mut mem = AddressSpace::new();
+        let ids: Vec<_> = w
+            .arrays
+            .iter()
+            .enumerate()
+            .map(|(i, d)| mem.alloc_from(&format!("a{i}"), d))
+            .collect();
+        let prof = profile_loop(&w.program, &mut mem, Bindings::new(ids), w.invocations)
+            .expect("profiles");
+        let mix = vectorize(&w.program, SpecRequest::Auto)
+            .expect("vectorizes")
+            .vprog
+            .inst_mix();
+        let sel = select(&prof, w.coverage, &mix, &th);
+        println!(
+            "{:<24} {:>8.0} {:>6.1} {:>5.1}% {:>6.2}  {}",
+            w.name,
+            sel.avg_trip_count,
+            sel.effective_vl,
+            sel.coverage * 100.0,
+            sel.mem_compute_ratio,
+            if sel.accepted {
+                "VECTORIZE".to_owned()
+            } else {
+                format!("reject: {}", sel.rejections.join("; "))
+            }
+        );
+    }
+
+    // Loops engineered to trip each threshold.
+    println!("\n--- rejection cases ---");
+    let mut b = ProgramBuilder::new("short_trip");
+    let i = b.var("i", 0);
+    let best = b.var("best", i64::MAX);
+    let a = b.array("a");
+    b.live_out(best);
+    let p = b
+        .build_loop(
+            i,
+            c(0),
+            c(8),
+            vec![if_(
+                lt(ld(a, var(i)), var(best)),
+                vec![assign(best, ld(a, var(i)))],
+            )],
+        )
+        .unwrap();
+    let mut mem = AddressSpace::new();
+    let a_id = mem.alloc_from("a", &[5; 8]);
+    let prof = profile_loop(&p, &mut mem, Bindings::new(vec![a_id]), 4).unwrap();
+    let mix = vectorize(&p, SpecRequest::Auto).unwrap().vprog.inst_mix();
+    let sel = select(&prof, 0.5, &mix, &th);
+    println!(
+        "short_trip (trip 8): accepted={} [{}]",
+        sel.accepted,
+        sel.rejections.join("; ")
+    );
+
+    let mut b2 = ProgramBuilder::new("dense_updates");
+    let i2 = b2.var("i", 0);
+    let best2 = b2.var("best", i64::MAX);
+    let a2 = b2.array("a");
+    b2.live_out(best2);
+    let p2 = b2
+        .build_loop(
+            i2,
+            c(0),
+            c(256),
+            vec![if_(
+                lt(ld(a2, var(i2)), var(best2)),
+                vec![assign(best2, ld(a2, var(i2)))],
+            )],
+        )
+        .unwrap();
+    let mut mem2 = AddressSpace::new();
+    let desc: Vec<i64> = (0..256).map(|k| 100_000 - k).collect();
+    let a2_id = mem2.alloc_from("a", &desc);
+    let prof2 = profile_loop(&p2, &mut mem2, Bindings::new(vec![a2_id]), 1).unwrap();
+    let mix2 = vectorize(&p2, SpecRequest::Auto).unwrap().vprog.inst_mix();
+    let sel2 = select(&prof2, 0.5, &mix2, &th);
+    println!(
+        "dense_updates (EVL 1): accepted={} [{}]",
+        sel2.accepted,
+        sel2.rejections.join("; ")
+    );
+}

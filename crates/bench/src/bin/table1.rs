@@ -1,0 +1,9 @@
+//! Regenerates the paper's Table 1: the simulation parameters actually
+//! used by `flexvec-sim` (experiment E3 in DESIGN.md).
+
+use flexvec_sim::SimConfig;
+
+fn main() {
+    println!("=== Table 1: Simulation Parameters ===\n");
+    print!("{}", SimConfig::table1().render_table1());
+}

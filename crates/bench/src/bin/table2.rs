@@ -1,0 +1,43 @@
+//! Regenerates the paper's Table 2: per-benchmark coverage, measured
+//! average trip count, effective vector length, VPL partitioning rate,
+//! and the FlexVec instruction mix of the generated code (experiment E4
+//! in DESIGN.md).
+
+use flexvec::{vectorize, SpecRequest};
+use flexvec_bench::{render_table2, Table2Row};
+use flexvec_mem::AddressSpace;
+use flexvec_profiler::profile_loop;
+use flexvec_vm::Bindings;
+use flexvec_workloads::{all, evaluate};
+
+fn main() {
+    let mut rows = Vec::new();
+    for w in all() {
+        // Profile on a fresh memory image.
+        let mut mem = AddressSpace::new();
+        let ids: Vec<_> = w
+            .arrays
+            .iter()
+            .enumerate()
+            .map(|(i, d)| mem.alloc_from(&format!("a{i}"), d))
+            .collect();
+        let profile = profile_loop(&w.program, &mut mem, Bindings::new(ids), w.invocations)
+            .unwrap_or_else(|e| panic!("{}: profile failed: {e}", w.name));
+        let mix = vectorize(&w.program, SpecRequest::Auto)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+            .vprog
+            .inst_mix();
+        let eval = evaluate(&w, SpecRequest::Auto).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        rows.push(Table2Row {
+            name: w.name,
+            coverage: w.coverage,
+            avg_trip: profile.avg_trip_count(),
+            effective_vl: profile.effective_vector_length(),
+            avg_partitions: eval.stats.vpl_iterations as f64 / eval.stats.chunks.max(1) as f64,
+            mix: mix.flexvec_summary(),
+        });
+    }
+    println!("=== Table 2: Coverage, Average Trip Count and FlexVec Instructions Used ===\n");
+    print!("{}", render_table2(&rows));
+    println!("\n(Trip counts above ~16K are simulated at a scaled-down extent; see DESIGN.md.)");
+}

@@ -1,0 +1,57 @@
+//! # flexvec
+//!
+//! The FlexVec vectorizer — the primary contribution of *FlexVec:
+//! Auto-Vectorization for Irregular Loops* (PLDI 2016), reproduced in
+//! Rust:
+//!
+//! * [`analyze`] — the analysis engine: builds the PDG (via
+//!   `flexvec-ir`), detects the three FlexVec loop patterns (early loop
+//!   termination, conditional scalar update, runtime memory
+//!   dependencies), relaxes the believed-infrequent dependence edges and
+//!   verifies the loop becomes acyclic.
+//! * [`vectorize`] — the code generator: traditional vector code when
+//!   possible, otherwise FlexVec partial vector code with Vector
+//!   Partitioning Loops, `KFTM`-derived safe masks, `VPSLCTLAST` scalar
+//!   propagation, `VPCONFLICTM` runtime checks and first-faulting (or
+//!   RTM-protected) speculative loads.
+//! * [`VProg`] — the structured vector program both code generators emit,
+//!   executed by `flexvec-vm` and timed by `flexvec-sim`.
+//!
+//! ```
+//! use flexvec::{vectorize, SpecRequest, VectorizedKind};
+//! use flexvec_ir::build::*;
+//! use flexvec_ir::ProgramBuilder;
+//!
+//! // A conditional-min loop: traditional vectorizers reject it, FlexVec
+//! // vectorizes it with a VPL.
+//! let mut b = ProgramBuilder::new("cond-min");
+//! let i = b.var("i", 0);
+//! let best = b.var("best", i64::MAX);
+//! let a = b.array("a");
+//! b.live_out(best);
+//! let p = b.build_loop(i, c(0), c(1000), vec![
+//!     if_(lt(ld(a, var(i)), var(best)), vec![assign(best, ld(a, var(i)))]),
+//! ])?;
+//!
+//! let out = vectorize(&p, SpecRequest::Auto)?;
+//! assert_eq!(out.kind, VectorizedKind::FlexVec);
+//! assert_eq!(out.vprog.vpl_count(), 1);
+//! let mix = out.vprog.inst_mix();
+//! assert!(mix.kftm >= 1 && mix.vpslctlast >= 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod lower;
+mod opt;
+mod vprog;
+
+pub use analysis::{
+    analyze, ConflictCheck, FlexVecPlan, LoopAnalysis, PatternInstance, Reduction, Verdict,
+};
+pub use lower::{vectorize, SpecRequest, VectorizeError, Vectorized, VectorizedKind};
+pub use opt::{optimize, OptStats};
+pub use vprog::{InstMix, KReg, MaskPressure, SpecMode, VNode, VOp, VProg, VReg};

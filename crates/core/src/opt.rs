@@ -1,0 +1,1010 @@
+//! Post-codegen cleanup of vector programs.
+//!
+//! The paper notes (Section 4.2) that "a downstream redundant code
+//! elimination that is mask aware" can remove statements the structured
+//! if-conversion emits redundantly. This module implements the
+//! mask-aware cleanups that apply to every generated program:
+//!
+//! * **copy propagation** for single-assignment mask/vector registers
+//!   (`KMove k_todo, k_base` at VPL entry is *not* propagated — `k_todo`
+//!   is updated in place — but SSA-like copies are);
+//! * **dead code elimination**: ops whose destination is never observed
+//!   (transitively) and that have no side effect. Liveness accounts for
+//!   VPL bodies re-executing: a register read anywhere in a VPL body is
+//!   live across the whole body.
+//!
+//! The pass is semantics-preserving by construction; the workspace's
+//! equivalence suites (which run every workload through `vectorize`, and
+//! therefore through this pass) are the regression net.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::vprog::{KReg, VNode, VOp, VProg, VReg};
+
+/// A register key for the def/use maps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Reg {
+    V(VReg),
+    K(KReg),
+}
+
+/// Statistics from one optimization run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Ops removed as dead.
+    pub dead_ops_removed: u32,
+    /// Copies propagated away.
+    pub copies_propagated: u32,
+    /// Redundant loads eliminated by the mask-aware load CSE.
+    pub loads_cse: u32,
+}
+
+/// Registers read by an op.
+fn op_uses(op: &VOp, out: &mut Vec<Reg>) {
+    match op {
+        VOp::Iota { .. } | VOp::SplatConst { .. } | VOp::SplatVar { .. } | VOp::KConst { .. } => {}
+        VOp::ExtractVar { src, .. } => out.push(Reg::V(*src)),
+        VOp::Bin { a, b, .. } => {
+            out.push(Reg::V(*a));
+            out.push(Reg::V(*b));
+        }
+        VOp::BinImm { a, .. } => out.push(Reg::V(*a)),
+        VOp::Cmp { mask, a, b, .. } => {
+            out.push(Reg::K(*mask));
+            out.push(Reg::V(*a));
+            out.push(Reg::V(*b));
+        }
+        VOp::Blend { mask, on, off, .. } => {
+            out.push(Reg::K(*mask));
+            out.push(Reg::V(*on));
+            out.push(Reg::V(*off));
+        }
+        VOp::SelectLast { mask, src, .. } => {
+            out.push(Reg::K(*mask));
+            out.push(Reg::V(*src));
+        }
+        VOp::Conflict { enabled, a, b, .. } => {
+            out.push(Reg::K(*enabled));
+            out.push(Reg::V(*a));
+            out.push(Reg::V(*b));
+        }
+        VOp::Kftm { enabled, stop, .. } => {
+            out.push(Reg::K(*enabled));
+            out.push(Reg::K(*stop));
+        }
+        VOp::KMove { src, .. } => out.push(Reg::K(*src)),
+        VOp::KAnd { a, b, .. } | VOp::KAndNot { a, b, .. } | VOp::KOr { a, b, .. } => {
+            out.push(Reg::K(*a));
+            out.push(Reg::K(*b));
+        }
+        VOp::KClearFrom { src, stop, .. } => {
+            out.push(Reg::K(*src));
+            out.push(Reg::K(*stop));
+        }
+        VOp::Reduce { mask, src, .. } => {
+            out.push(Reg::K(*mask));
+            out.push(Reg::V(*src));
+        }
+        VOp::MemRead { mask, idx, .. } => {
+            out.push(Reg::K(*mask));
+            out.push(Reg::V(*idx));
+        }
+        VOp::MemWrite { mask, idx, src, .. } => {
+            out.push(Reg::K(*mask));
+            out.push(Reg::V(*idx));
+            out.push(Reg::V(*src));
+        }
+    }
+}
+
+/// Registers written by an op (FF reads write two).
+fn op_defs(op: &VOp, out: &mut Vec<Reg>) {
+    match op {
+        VOp::Iota { dst }
+        | VOp::SplatConst { dst, .. }
+        | VOp::SplatVar { dst, .. }
+        | VOp::Bin { dst, .. }
+        | VOp::BinImm { dst, .. }
+        | VOp::Blend { dst, .. }
+        | VOp::SelectLast { dst, .. }
+        | VOp::Reduce { dst, .. } => out.push(Reg::V(*dst)),
+        VOp::Cmp { dst, .. }
+        | VOp::Conflict { dst, .. }
+        | VOp::Kftm { dst, .. }
+        | VOp::KMove { dst, .. }
+        | VOp::KConst { dst, .. }
+        | VOp::KAnd { dst, .. }
+        | VOp::KAndNot { dst, .. }
+        | VOp::KOr { dst, .. }
+        | VOp::KClearFrom { dst, .. } => out.push(Reg::K(*dst)),
+        VOp::MemRead { dst, out_mask, .. } => {
+            out.push(Reg::V(*dst));
+            if let Some(m) = out_mask {
+                out.push(Reg::K(*m));
+            }
+        }
+        VOp::ExtractVar { .. } | VOp::MemWrite { .. } => {}
+    }
+}
+
+/// Whether the op has an effect beyond its register result.
+fn has_side_effect(op: &VOp) -> bool {
+    matches!(
+        op,
+        VOp::MemWrite { .. }
+            | VOp::ExtractVar { .. }
+            | VOp::MemRead {
+                first_faulting: true,
+                ..
+            }
+    )
+}
+
+fn count_defs(nodes: &[VNode], counts: &mut HashMap<Reg, u32>) {
+    for node in nodes {
+        match node {
+            VNode::Op(op) => {
+                let mut defs = Vec::new();
+                op_defs(op, &mut defs);
+                for d in defs {
+                    *counts.entry(d).or_default() += 1;
+                }
+            }
+            VNode::Vpl { body, .. } => count_defs(body, counts),
+            _ => {}
+        }
+    }
+}
+
+/// Collects every register read anywhere (including structure nodes),
+/// *excluding* each op's uses of its own defs — so a register consumed
+/// only by its own in-place update (a self-cycle, e.g. an unused history
+/// accumulator `h = blend(k, x, h)`) does not keep itself alive.
+fn collect_uses(nodes: &[VNode], uses: &mut HashSet<Reg>) {
+    for node in nodes {
+        match node {
+            VNode::Op(op) => {
+                let mut u = Vec::new();
+                op_uses(op, &mut u);
+                let mut defs = Vec::new();
+                op_defs(op, &mut defs);
+                uses.extend(u.into_iter().filter(|r| !defs.contains(r)));
+            }
+            VNode::Vpl { body, repeat_if } => {
+                uses.insert(Reg::K(*repeat_if));
+                collect_uses(body, uses);
+            }
+            VNode::FaultCheck { got, want } => {
+                uses.insert(Reg::K(*got));
+                uses.insert(Reg::K(*want));
+            }
+            VNode::BreakIf { mask } => {
+                uses.insert(Reg::K(*mask));
+            }
+        }
+    }
+}
+
+/// Rewrites every K-register use according to `subst`.
+fn rewrite_kuses(nodes: &mut [VNode], subst: &HashMap<KReg, KReg>) {
+    let sub = |k: &mut KReg| {
+        let mut cur = *k;
+        while let Some(&next) = subst.get(&cur) {
+            cur = next;
+        }
+        *k = cur;
+    };
+    for node in nodes {
+        match node {
+            VNode::Op(op) => match op {
+                VOp::Cmp { mask, .. }
+                | VOp::Blend { mask, .. }
+                | VOp::SelectLast { mask, .. }
+                | VOp::Reduce { mask, .. }
+                | VOp::MemRead { mask, .. }
+                | VOp::MemWrite { mask, .. } => sub(mask),
+                VOp::Conflict { enabled, .. } => sub(enabled),
+                VOp::Kftm { enabled, stop, .. } => {
+                    sub(enabled);
+                    sub(stop);
+                }
+                VOp::KMove { src, .. } => sub(src),
+                VOp::KAnd { a, b, .. } | VOp::KAndNot { a, b, .. } | VOp::KOr { a, b, .. } => {
+                    sub(a);
+                    sub(b);
+                }
+                VOp::KClearFrom { src, stop, .. } => {
+                    sub(src);
+                    sub(stop);
+                }
+                _ => {}
+            },
+            VNode::Vpl { body, repeat_if } => {
+                sub(repeat_if);
+                rewrite_kuses(body, subst);
+            }
+            VNode::FaultCheck { got, want } => {
+                sub(got);
+                sub(want);
+            }
+            VNode::BreakIf { mask } => sub(mask),
+        }
+    }
+}
+
+fn sweep_dead(nodes: &mut Vec<VNode>, live: &HashSet<Reg>, removed: &mut u32) {
+    nodes.retain_mut(|node| match node {
+        VNode::Op(op) => {
+            if has_side_effect(op) {
+                return true;
+            }
+            let mut defs = Vec::new();
+            op_defs(op, &mut defs);
+            if defs.is_empty() {
+                return true;
+            }
+            let needed = defs.iter().any(|d| live.contains(d));
+            if !needed {
+                *removed += 1;
+            }
+            needed
+        }
+        VNode::Vpl { body, .. } => {
+            sweep_dead(body, live, removed);
+            true
+        }
+        _ => true,
+    });
+}
+
+/// Runs the cleanup passes in place and reports what changed.
+pub fn optimize(vprog: &mut VProg) -> OptStats {
+    let mut stats = OptStats::default();
+
+    // --- copy propagation for SSA-like KMoves ---------------------------
+    // A `KMove dst, src` can be propagated when BOTH registers are
+    // written exactly once in the whole program (so no in-place update,
+    // VPL-carried state, or redefinition can change either side).
+    let mut def_counts = HashMap::new();
+    count_defs(&vprog.body, &mut def_counts);
+    let mut subst: HashMap<KReg, KReg> = HashMap::new();
+    find_copies(&vprog.body, &def_counts, &mut subst);
+    if !subst.is_empty() {
+        stats.copies_propagated = subst.len() as u32;
+        rewrite_kuses(&mut vprog.body, &subst);
+        // The KMoves themselves become dead and fall to DCE below.
+    }
+
+    // --- redundant load elimination --------------------------------------
+    stats.loads_cse = cse_loads(&mut vprog.body);
+
+    // CSE of a first-faulting load leaves `KMOVE out_mask, mask` behind:
+    // re-run copy propagation so the fault check compares a register with
+    // itself, then drop such trivially-true checks.
+    let mut def_counts2 = HashMap::new();
+    count_defs(&vprog.body, &mut def_counts2);
+    let mut subst2: HashMap<KReg, KReg> = HashMap::new();
+    find_copies(&vprog.body, &def_counts2, &mut subst2);
+    if !subst2.is_empty() {
+        stats.copies_propagated += subst2.len() as u32;
+        rewrite_kuses(&mut vprog.body, &subst2);
+    }
+    fn drop_trivial_checks(nodes: &mut Vec<VNode>, removed: &mut u32) {
+        nodes.retain_mut(|node| match node {
+            VNode::FaultCheck { got, want } if got == want => {
+                *removed += 1;
+                false
+            }
+            VNode::Vpl { body, .. } => {
+                drop_trivial_checks(body, removed);
+                true
+            }
+            _ => true,
+        });
+    }
+    drop_trivial_checks(&mut vprog.body, &mut stats.dead_ops_removed);
+
+    // --- dead code elimination (iterate to a fixpoint) ------------------
+    loop {
+        let mut live = HashSet::new();
+        collect_uses(&vprog.body, &mut live);
+        let mut removed = 0;
+        sweep_dead(&mut vprog.body, &live, &mut removed);
+        stats.dead_ops_removed += removed;
+        if removed == 0 {
+            break;
+        }
+    }
+
+    // CSE may have removed every first-faulting instruction (the guarded
+    // reload of an already-loaded location was the only speculation); the
+    // chunk then needs no scalar-fallback machinery.
+    if vprog.spec_mode == crate::vprog::SpecMode::FirstFaulting {
+        fn any_ff(nodes: &[VNode]) -> bool {
+            nodes.iter().any(|n| match n {
+                VNode::Op(VOp::MemRead { first_faulting, .. }) => *first_faulting,
+                VNode::Vpl { body, .. } => any_ff(body),
+                _ => false,
+            })
+        }
+        if !any_ff(&vprog.body) {
+            vprog.spec_mode = crate::vprog::SpecMode::None;
+        }
+    }
+    stats
+}
+
+/// Finds SSA-like `KMOVE` copies eligible for propagation.
+fn find_copies(nodes: &[VNode], def_counts: &HashMap<Reg, u32>, subst: &mut HashMap<KReg, KReg>) {
+    for node in nodes {
+        match node {
+            VNode::Op(VOp::KMove { dst, src }) => {
+                let single = |r: Reg| def_counts.get(&r).copied().unwrap_or(0) <= 1;
+                if single(Reg::K(*dst)) && single(Reg::K(*src)) && dst != src {
+                    subst.insert(*dst, *src);
+                }
+            }
+            VNode::Vpl { body, .. } => find_copies(body, def_counts, subst),
+            _ => {}
+        }
+    }
+}
+
+/// Mask-aware redundant-load elimination (the "downstream redundant code
+/// elimination that is mask aware" of paper Section 4.2).
+///
+/// Within one op list (each VPL body is its own scope — a single forward
+/// pass over the body corresponds to one runtime partition), a load of
+/// `array[idx]` whose write mask is a *subset* of an earlier load's mask
+/// — proven through the `KAND`/`KFTM`/`KMOVE`/`CMP` derivation chain — is
+/// replaced by a copy of the earlier destination:
+///
+/// * the earlier load read the same memory (no intervening store to the
+///   array invalidates the entry, and redefinitions of the index or
+///   destination registers drop it);
+/// * lanes enabled in the earlier-but-not-later mask hold the true memory
+///   contents, which can only make the value *more* defined than the
+///   merge-masked reload;
+/// * a first-faulting reload whose lanes were already loaded
+///   non-speculatively cannot fault, so its output mask is the input mask
+///   (the replacement emits `KMOVE out_mask, mask`, making the subsequent
+///   fault check trivially pass).
+fn cse_loads(nodes: &mut [VNode]) -> u32 {
+    let mut removed = 0;
+    // Process this scope.
+    removed += cse_scope(nodes);
+    // And every nested VPL body as its own scope.
+    for node in nodes.iter_mut() {
+        if let VNode::Vpl { body, .. } = node {
+            removed += cse_loads(body);
+        }
+    }
+    removed
+}
+
+struct AvailLoad {
+    array: flexvec_ir::ArraySym,
+    idx: VReg,
+    mask: KReg,
+    dst: VReg,
+}
+
+fn cse_scope(nodes: &mut [VNode]) -> u32 {
+    let mut removed = 0;
+    // superset chains: for each single-def kreg, the set of kregs it is
+    // provably a subset of (at its definition point).
+    let mut supersets: HashMap<KReg, HashSet<KReg>> = HashMap::new();
+    let mut avail: Vec<AvailLoad> = Vec::new();
+    // vreg substitution applied to later ops in this scope.
+    let mut vsub: HashMap<VReg, VReg> = HashMap::new();
+
+    let is_subset = |supersets: &HashMap<KReg, HashSet<KReg>>, a: KReg, b: KReg| -> bool {
+        a == b || supersets.get(&a).is_some_and(|s| s.contains(&b))
+    };
+
+    for node in nodes.iter_mut() {
+        // Structure nodes end the straight-line window conservatively.
+        let op = match node {
+            VNode::Op(op) => op,
+            VNode::Vpl { .. } => {
+                avail.clear();
+                supersets.clear();
+                continue;
+            }
+            VNode::FaultCheck { .. } | VNode::BreakIf { .. } => continue,
+        };
+
+        // Apply the pending vreg substitution to this op's uses.
+        substitute_vuses(op, &vsub);
+
+        // Try to CSE a load before recording defs.
+        if let VOp::MemRead {
+            dst,
+            mask,
+            array,
+            idx,
+            first_faulting,
+            out_mask,
+            ..
+        } = op
+        {
+            if let Some(prior) = avail.iter().find(|p| {
+                p.array == *array && p.idx == *idx && is_subset(&supersets, *mask, p.mask)
+            }) {
+                let old_dst = prior.dst;
+                vsub.insert(*dst, old_dst);
+                removed += 1;
+                let replacement = if *first_faulting {
+                    let om = out_mask.expect("FF read has an out mask");
+                    // Cannot fault: those lanes already loaded fine.
+                    VOp::KMove {
+                        dst: om,
+                        src: *mask,
+                    }
+                } else {
+                    // Pure value reuse; becomes dead unless the dst reg is
+                    // multiply-defined elsewhere.
+                    VOp::KConst {
+                        dst: KReg(u32::MAX),
+                        bits: 0,
+                    }
+                };
+                *op = replacement;
+                // Fall through to def-tracking for the replacement op.
+            }
+        }
+
+        // Track kreg subset facts and invalidation.
+        let mut defs = Vec::new();
+        op_defs(op, &mut defs);
+        for def in &defs {
+            match def {
+                Reg::K(k) => {
+                    // A redefinition poisons any fact involving k.
+                    supersets.remove(k);
+                    supersets.retain(|_, set| !set.contains(k));
+                    avail.retain(|p| p.mask != *k);
+                }
+                Reg::V(v) => {
+                    avail.retain(|p| p.idx != *v && p.dst != *v);
+                    // The register no longer holds the saved value: drop it
+                    // both as a substitution source and as a target.
+                    vsub.remove(v);
+                    vsub.retain(|_, tgt| tgt != v);
+                }
+            }
+        }
+        match op {
+            VOp::KAnd { dst, a, b } => {
+                let mut set: HashSet<KReg> = [*a, *b].into_iter().collect();
+                for side in [a, b] {
+                    if let Some(extra) = supersets.get(side) {
+                        set.extend(extra.iter().copied());
+                    }
+                }
+                supersets.insert(*dst, set);
+            }
+            VOp::KMove { dst, src } | VOp::KAndNot { dst, a: src, .. } => {
+                let mut set: HashSet<KReg> = [*src].into_iter().collect();
+                if let Some(extra) = supersets.get(src) {
+                    set.extend(extra.iter().copied());
+                }
+                supersets.insert(*dst, set);
+            }
+            VOp::Kftm { dst, enabled, .. }
+            | VOp::Cmp {
+                dst, mask: enabled, ..
+            } => {
+                let mut set: HashSet<KReg> = [*enabled].into_iter().collect();
+                if let Some(extra) = supersets.get(enabled) {
+                    set.extend(extra.iter().copied());
+                }
+                supersets.insert(*dst, set);
+            }
+            VOp::MemRead {
+                dst,
+                mask,
+                array,
+                idx,
+                ..
+            } => {
+                avail.push(AvailLoad {
+                    array: *array,
+                    idx: *idx,
+                    mask: *mask,
+                    dst: *dst,
+                });
+            }
+            VOp::MemWrite { array, .. } => {
+                let a = *array;
+                avail.retain(|p| p.array != a);
+            }
+            _ => {}
+        }
+    }
+    removed
+}
+
+/// Rewrites the V-register *uses* of one op through the substitution map
+/// (defs are left alone).
+fn substitute_vuses(op: &mut VOp, vsub: &HashMap<VReg, VReg>) {
+    if vsub.is_empty() {
+        return;
+    }
+    let sub = |v: &mut VReg| {
+        let mut cur = *v;
+        while let Some(&next) = vsub.get(&cur) {
+            if next == cur {
+                break;
+            }
+            cur = next;
+        }
+        *v = cur;
+    };
+    match op {
+        VOp::ExtractVar { src, .. } => sub(src),
+        VOp::Bin { a, b, .. } => {
+            sub(a);
+            sub(b);
+        }
+        VOp::BinImm { a, .. } => sub(a),
+        VOp::Cmp { a, b, .. } => {
+            sub(a);
+            sub(b);
+        }
+        VOp::Blend { on, off, .. } => {
+            sub(on);
+            sub(off);
+        }
+        VOp::SelectLast { src, .. } => sub(src),
+        VOp::Conflict { a, b, .. } => {
+            sub(a);
+            sub(b);
+        }
+        VOp::Reduce { src, .. } => sub(src),
+        VOp::MemRead { idx, .. } => sub(idx),
+        VOp::MemWrite { idx, src, .. } => {
+            sub(idx);
+            sub(src);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vprog::SpecMode;
+    use flexvec_ir::ArraySym;
+
+    fn op(o: VOp) -> VNode {
+        VNode::Op(o)
+    }
+
+    fn prog(body: Vec<VNode>) -> VProg {
+        VProg {
+            name: "t".into(),
+            body,
+            num_vregs: 32,
+            num_kregs: 32,
+            spec_mode: SpecMode::None,
+        }
+    }
+
+    #[test]
+    fn removes_unused_splat() {
+        let mut p = prog(vec![
+            op(VOp::SplatConst {
+                dst: VReg(1),
+                value: 5,
+            }),
+            op(VOp::SplatConst {
+                dst: VReg(2),
+                value: 7,
+            }),
+            op(VOp::ExtractVar {
+                var: flexvec_ir::VarId(0),
+                src: VReg(2),
+                lane: 0,
+            }),
+        ]);
+        let stats = optimize(&mut p);
+        assert_eq!(stats.dead_ops_removed, 1);
+        assert_eq!(p.body.len(), 2);
+    }
+
+    #[test]
+    fn dce_cascades_through_chains() {
+        // v1 -> v2 -> v3, none observed: all three die.
+        let mut p = prog(vec![
+            op(VOp::SplatConst {
+                dst: VReg(1),
+                value: 1,
+            }),
+            op(VOp::BinImm {
+                op: flexvec_ir::BinOp::Add,
+                dst: VReg(2),
+                a: VReg(1),
+                imm: 2,
+            }),
+            op(VOp::BinImm {
+                op: flexvec_ir::BinOp::Mul,
+                dst: VReg(3),
+                a: VReg(2),
+                imm: 3,
+            }),
+        ]);
+        let stats = optimize(&mut p);
+        assert_eq!(stats.dead_ops_removed, 3);
+        assert!(p.body.is_empty());
+    }
+
+    #[test]
+    fn keeps_side_effects_and_their_inputs() {
+        let mut p = prog(vec![
+            op(VOp::KConst {
+                dst: KReg(1),
+                bits: 0xff,
+            }),
+            op(VOp::SplatConst {
+                dst: VReg(1),
+                value: 0,
+            }),
+            op(VOp::SplatConst {
+                dst: VReg(2),
+                value: 9,
+            }),
+            op(VOp::MemWrite {
+                mask: KReg(1),
+                array: ArraySym(0),
+                idx: VReg(1),
+                src: VReg(2),
+                unit: true,
+            }),
+        ]);
+        let stats = optimize(&mut p);
+        assert_eq!(stats.dead_ops_removed, 0);
+        assert_eq!(p.body.len(), 4);
+    }
+
+    #[test]
+    fn ff_reads_are_never_dead() {
+        // A first-faulting read's mask output feeds a fault check; even a
+        // value-dead FF read must stay (its fault semantics are the
+        // point).
+        let mut p = prog(vec![
+            op(VOp::SplatConst {
+                dst: VReg(1),
+                value: 0,
+            }),
+            op(VOp::MemRead {
+                dst: VReg(2),
+                mask: VProg::K_LOOP,
+                array: ArraySym(0),
+                idx: VReg(1),
+                unit: true,
+                first_faulting: true,
+                out_mask: Some(KReg(1)),
+            }),
+            VNode::FaultCheck {
+                got: KReg(1),
+                want: VProg::K_LOOP,
+            },
+        ]);
+        let stats = optimize(&mut p);
+        assert_eq!(stats.dead_ops_removed, 0);
+    }
+
+    #[test]
+    fn vpl_carried_registers_stay_live() {
+        // k1 is written before the VPL and updated in place inside it:
+        // nothing here is dead.
+        let mut p = prog(vec![
+            op(VOp::KConst {
+                dst: KReg(1),
+                bits: 0xffff,
+            }),
+            VNode::Vpl {
+                body: vec![
+                    op(VOp::Kftm {
+                        dst: KReg(2),
+                        enabled: KReg(1),
+                        stop: KReg(3),
+                        inclusive: false,
+                    }),
+                    op(VOp::KAndNot {
+                        dst: KReg(1),
+                        a: KReg(1),
+                        b: KReg(2),
+                    }),
+                ],
+                repeat_if: KReg(1),
+            },
+        ]);
+        let stats = optimize(&mut p);
+        assert_eq!(stats.dead_ops_removed, 0);
+        assert_eq!(p.body.len(), 2);
+    }
+
+    #[test]
+    fn ssa_like_kmove_is_propagated() {
+        // k2 := k1 (both written once); the Cmp should then read k1 and
+        // the move dies.
+        let mut p = prog(vec![
+            op(VOp::KConst {
+                dst: KReg(1),
+                bits: 0xf,
+            }),
+            op(VOp::KMove {
+                dst: KReg(2),
+                src: KReg(1),
+            }),
+            op(VOp::SplatConst {
+                dst: VReg(1),
+                value: 0,
+            }),
+            op(VOp::Cmp {
+                pred: flexvec_ir::CmpKind::Eq,
+                dst: KReg(3),
+                mask: KReg(2),
+                a: VReg(1),
+                b: VReg(1),
+            }),
+            VNode::BreakIf { mask: KReg(3) },
+        ]);
+        let stats = optimize(&mut p);
+        // (The post-CSE re-run may re-count the same copy before DCE
+        // removes it.)
+        assert!(stats.copies_propagated >= 1);
+        assert!(stats.dead_ops_removed >= 1, "the KMove should die");
+        let has_move = p
+            .body
+            .iter()
+            .any(|n| matches!(n, VNode::Op(VOp::KMove { .. })));
+        assert!(!has_move);
+    }
+
+    #[test]
+    fn cse_removes_subset_masked_reload() {
+        // load v2 = A0[v1] under k1; reload v3 = A0[v1] under k2 ⊆ k1:
+        // the reload collapses onto v2.
+        let mut p = prog(vec![
+            op(VOp::KConst {
+                dst: KReg(1),
+                bits: 0xffff,
+            }),
+            op(VOp::SplatConst {
+                dst: VReg(1),
+                value: 0,
+            }),
+            op(VOp::MemRead {
+                dst: VReg(2),
+                mask: KReg(1),
+                array: ArraySym(0),
+                idx: VReg(1),
+                unit: true,
+                first_faulting: false,
+                out_mask: None,
+            }),
+            op(VOp::KConst {
+                dst: KReg(2),
+                bits: 0x00ff,
+            }),
+            op(VOp::KAnd {
+                dst: KReg(3),
+                a: KReg(1),
+                b: KReg(2),
+            }),
+            op(VOp::MemRead {
+                dst: VReg(3),
+                mask: KReg(3),
+                array: ArraySym(0),
+                idx: VReg(1),
+                unit: true,
+                first_faulting: false,
+                out_mask: None,
+            }),
+            op(VOp::ExtractVar {
+                var: flexvec_ir::VarId(0),
+                src: VReg(3),
+                lane: 0,
+            }),
+        ]);
+        let stats = optimize(&mut p);
+        assert_eq!(stats.loads_cse, 1, "{p}");
+        // Exactly one load remains, and the extract reads its register.
+        let loads = p
+            .body
+            .iter()
+            .filter(|n| matches!(n, VNode::Op(VOp::MemRead { .. })))
+            .count();
+        assert_eq!(loads, 1);
+        assert!(p
+            .body
+            .iter()
+            .any(|n| matches!(n, VNode::Op(VOp::ExtractVar { src: VReg(2), .. }))));
+    }
+
+    #[test]
+    fn cse_blocked_by_intervening_store() {
+        let load = |dst: u32| {
+            op(VOp::MemRead {
+                dst: VReg(dst),
+                mask: KReg(1),
+                array: ArraySym(0),
+                idx: VReg(1),
+                unit: true,
+                first_faulting: false,
+                out_mask: None,
+            })
+        };
+        let mut p = prog(vec![
+            op(VOp::KConst {
+                dst: KReg(1),
+                bits: 0xffff,
+            }),
+            op(VOp::SplatConst {
+                dst: VReg(1),
+                value: 0,
+            }),
+            load(2),
+            op(VOp::MemWrite {
+                mask: KReg(1),
+                array: ArraySym(0),
+                idx: VReg(1),
+                src: VReg(2),
+                unit: true,
+            }),
+            load(3),
+            op(VOp::ExtractVar {
+                var: flexvec_ir::VarId(0),
+                src: VReg(3),
+                lane: 0,
+            }),
+        ]);
+        let stats = optimize(&mut p);
+        assert_eq!(stats.loads_cse, 0, "{p}");
+    }
+
+    #[test]
+    fn cse_blocked_by_unrelated_mask() {
+        // Reload under a mask with no derivation relation to the first:
+        // must stay.
+        let mut p = prog(vec![
+            op(VOp::KConst {
+                dst: KReg(1),
+                bits: 0x00ff,
+            }),
+            op(VOp::KConst {
+                dst: KReg(2),
+                bits: 0xff00,
+            }),
+            op(VOp::SplatConst {
+                dst: VReg(1),
+                value: 0,
+            }),
+            op(VOp::MemRead {
+                dst: VReg(2),
+                mask: KReg(1),
+                array: ArraySym(0),
+                idx: VReg(1),
+                unit: true,
+                first_faulting: false,
+                out_mask: None,
+            }),
+            op(VOp::MemRead {
+                dst: VReg(3),
+                mask: KReg(2),
+                array: ArraySym(0),
+                idx: VReg(1),
+                unit: true,
+                first_faulting: false,
+                out_mask: None,
+            }),
+            op(VOp::Bin {
+                op: flexvec_ir::BinOp::Add,
+                dst: VReg(4),
+                a: VReg(2),
+                b: VReg(3),
+            }),
+            op(VOp::ExtractVar {
+                var: flexvec_ir::VarId(0),
+                src: VReg(4),
+                lane: 0,
+            }),
+        ]);
+        let stats = optimize(&mut p);
+        assert_eq!(stats.loads_cse, 0, "{p}");
+    }
+
+    #[test]
+    fn cse_of_ff_reload_drops_fault_check() {
+        // Non-speculative load covers the lanes; the FF reload under a
+        // derived subset mask disappears along with its fault check.
+        let mut p = prog(vec![
+            op(VOp::KConst {
+                dst: KReg(1),
+                bits: 0xffff,
+            }),
+            op(VOp::SplatConst {
+                dst: VReg(1),
+                value: 0,
+            }),
+            op(VOp::MemRead {
+                dst: VReg(2),
+                mask: KReg(1),
+                array: ArraySym(0),
+                idx: VReg(1),
+                unit: true,
+                first_faulting: false,
+                out_mask: None,
+            }),
+            op(VOp::KConst {
+                dst: KReg(2),
+                bits: 0x0f0f,
+            }),
+            op(VOp::KAnd {
+                dst: KReg(3),
+                a: KReg(1),
+                b: KReg(2),
+            }),
+            op(VOp::MemRead {
+                dst: VReg(3),
+                mask: KReg(3),
+                array: ArraySym(0),
+                idx: VReg(1),
+                unit: true,
+                first_faulting: true,
+                out_mask: Some(KReg(4)),
+            }),
+            VNode::FaultCheck {
+                got: KReg(4),
+                want: KReg(3),
+            },
+            op(VOp::ExtractVar {
+                var: flexvec_ir::VarId(0),
+                src: VReg(3),
+                lane: 0,
+            }),
+        ]);
+        let mut p2 = p.clone();
+        p2.spec_mode = SpecMode::FirstFaulting;
+        let stats = optimize(&mut p2);
+        assert_eq!(stats.loads_cse, 1);
+        assert!(!p2
+            .body
+            .iter()
+            .any(|n| matches!(n, VNode::FaultCheck { .. })));
+        assert_eq!(p2.spec_mode, SpecMode::None);
+        let _ = optimize(&mut p); // original untouched clone also legal
+    }
+
+    #[test]
+    fn in_place_kmove_is_not_propagated() {
+        // k_todo := KMove(k1) then updated in place: must NOT be folded.
+        let mut p = prog(vec![
+            op(VOp::KConst {
+                dst: KReg(1),
+                bits: 0xffff,
+            }),
+            op(VOp::KMove {
+                dst: KReg(2),
+                src: KReg(1),
+            }),
+            VNode::Vpl {
+                body: vec![op(VOp::KAndNot {
+                    dst: KReg(2),
+                    a: KReg(2),
+                    b: KReg(1),
+                })],
+                repeat_if: KReg(2),
+            },
+        ]);
+        let stats = optimize(&mut p);
+        assert_eq!(stats.copies_propagated, 0);
+        assert!(p
+            .body
+            .iter()
+            .any(|n| matches!(n, VNode::Op(VOp::KMove { .. }))));
+    }
+}

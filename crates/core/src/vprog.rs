@@ -1,0 +1,823 @@
+//! The vector program: FlexVec's code-generation target.
+//!
+//! A [`VProg`] is structured vector code over unbounded *virtual* vector
+//! and mask registers. The execution engine (`flexvec-vm`) runs one chunk
+//! of [`VLEN`](flexvec_isa::VLEN) scalar iterations per pass over
+//! [`VProg::body`]; the vectorized induction variable and the chunk's
+//! active-lane mask live in the reserved registers [`VProg::IV`] and
+//! [`VProg::K_LOOP`].
+//!
+//! Structure nodes rather than branches express the non-straight-line
+//! parts: [`VNode::Vpl`] is the paper's Vector Partitioning Loop (a
+//! do/while over mask state), [`VNode::FaultCheck`] is the
+//! "compare the first-faulting output mask with its input and fall back to
+//! scalar code" idiom, and [`VNode::BreakIf`] implements early loop
+//! termination.
+
+use core::fmt;
+
+use flexvec_ir::{ArraySym, BinOp, CmpKind, VarId};
+
+/// A virtual vector register.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VReg(pub u32);
+
+/// A virtual mask (predicate) register.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KReg(pub u32);
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for KReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+/// A straight-line vector operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VOp {
+    /// `dst = [0, 1, ..., 15]`.
+    Iota {
+        /// Destination.
+        dst: VReg,
+    },
+    /// Broadcast an immediate to all lanes.
+    SplatConst {
+        /// Destination.
+        dst: VReg,
+        /// The immediate.
+        value: i64,
+    },
+    /// Broadcast the current value of a scalar variable.
+    SplatVar {
+        /// Destination.
+        dst: VReg,
+        /// The scalar.
+        var: VarId,
+    },
+    /// Write lane `lane` of `src` back to scalar state (live-out
+    /// extraction).
+    ExtractVar {
+        /// Destination scalar.
+        var: VarId,
+        /// Source vector.
+        src: VReg,
+        /// The lane to extract.
+        lane: usize,
+    },
+    /// Lane-wise binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Destination.
+        dst: VReg,
+        /// Left operand.
+        a: VReg,
+        /// Right operand.
+        b: VReg,
+    },
+    /// Lane-wise binary operation with an immediate right operand.
+    BinImm {
+        /// Operator.
+        op: BinOp,
+        /// Destination.
+        dst: VReg,
+        /// Left operand.
+        a: VReg,
+        /// Immediate right operand.
+        imm: i64,
+    },
+    /// Masked compare producing a mask.
+    Cmp {
+        /// Predicate.
+        pred: CmpKind,
+        /// Destination mask.
+        dst: KReg,
+        /// Write mask (disabled lanes produce 0).
+        mask: KReg,
+        /// Left operand.
+        a: VReg,
+        /// Right operand.
+        b: VReg,
+    },
+    /// `dst = mask ? on : off` per lane.
+    Blend {
+        /// Destination.
+        dst: VReg,
+        /// Selector mask.
+        mask: KReg,
+        /// Value for enabled lanes.
+        on: VReg,
+        /// Value for disabled lanes.
+        off: VReg,
+    },
+    /// `VPSLCTLAST`: broadcast the last enabled lane of `src`.
+    SelectLast {
+        /// Destination.
+        dst: VReg,
+        /// Enabled lanes.
+        mask: KReg,
+        /// Source vector.
+        src: VReg,
+    },
+    /// `VPCONFLICTM`: running conflict detection between `a` (loads) and
+    /// preceding enabled lanes of `b` (stores).
+    Conflict {
+        /// Destination mask (serialization points).
+        dst: KReg,
+        /// Write-enable for `b`'s lanes.
+        enabled: KReg,
+        /// Sink addresses (each lane compared against earlier `b` lanes).
+        a: VReg,
+        /// Source addresses.
+        b: VReg,
+    },
+    /// `KFTM.EXC` / `KFTM.INC`: partial mask generation.
+    Kftm {
+        /// Destination (`k_safe`).
+        dst: KReg,
+        /// Write-enable (`k_todo`).
+        enabled: KReg,
+        /// Stop/dependency mask (`k_stop`).
+        stop: KReg,
+        /// Inclusive variant?
+        inclusive: bool,
+    },
+    /// Mask move.
+    KMove {
+        /// Destination.
+        dst: KReg,
+        /// Source.
+        src: KReg,
+    },
+    /// Mask constant (usually empty — `KXOR k, k, k`).
+    KConst {
+        /// Destination.
+        dst: KReg,
+        /// The constant bits.
+        bits: u16,
+    },
+    /// `dst = a & b`.
+    KAnd {
+        /// Destination.
+        dst: KReg,
+        /// Operand.
+        a: KReg,
+        /// Operand.
+        b: KReg,
+    },
+    /// `dst = a & !b`.
+    KAndNot {
+        /// Destination.
+        dst: KReg,
+        /// Operand kept.
+        a: KReg,
+        /// Operand cleared.
+        b: KReg,
+    },
+    /// `dst = a | b`.
+    KOr {
+        /// Destination.
+        dst: KReg,
+        /// Operand.
+        a: KReg,
+        /// Operand.
+        b: KReg,
+    },
+    /// `dst = src & prefix_before(first set bit of stop)` — the "turn off
+    /// the current and succeeding lanes" mask sequence of the early-exit
+    /// end-node handler (emulated with a handful of mask µops; unlike
+    /// [`VOp::Kftm`] there is no boundary skip).
+    KClearFrom {
+        /// Destination.
+        dst: KReg,
+        /// Source lanes.
+        src: KReg,
+        /// Stop mask; the first set bit and everything after it clears.
+        stop: KReg,
+    },
+    /// Vector load or gather.
+    MemRead {
+        /// Destination.
+        dst: VReg,
+        /// Write mask (input; also output for first-faulting forms).
+        mask: KReg,
+        /// Array accessed.
+        array: ArraySym,
+        /// Per-lane element indices.
+        idx: VReg,
+        /// `true` for unit-stride loads (`VMOV`/`VMOVFF`), `false` for
+        /// gathers (`VPGATHER`/`VPGATHERFF`). Affects timing and the
+        /// instruction-mix report only.
+        unit: bool,
+        /// First-faulting variant? When set, the op writes the clipped
+        /// mask to `out_mask`.
+        first_faulting: bool,
+        /// Output mask for first-faulting forms.
+        out_mask: Option<KReg>,
+    },
+    /// Masked horizontal reduction, broadcast to all lanes of `dst`.
+    /// AVX-512 expands this to a log₂(VLEN) shuffle/op sequence; the
+    /// timing model charges it accordingly. The identity element is
+    /// implied by `op` (0 for add/or/xor, all-ones for and, ±∞ for
+    /// min/max, 1 for mul).
+    Reduce {
+        /// Combining operator.
+        op: BinOp,
+        /// Destination (all lanes receive the reduction).
+        dst: VReg,
+        /// Participating lanes.
+        mask: KReg,
+        /// Source vector.
+        src: VReg,
+    },
+    /// Vector store or scatter. Never speculative in FlexVec codegen
+    /// ("stores could always be delayed until a non-speculative write mask
+    /// is generated").
+    MemWrite {
+        /// Write mask.
+        mask: KReg,
+        /// Array accessed.
+        array: ArraySym,
+        /// Per-lane element indices.
+        idx: VReg,
+        /// Values to store.
+        src: VReg,
+        /// Unit-stride?
+        unit: bool,
+    },
+}
+
+/// A node of the structured vector program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VNode {
+    /// A straight-line operation.
+    Op(VOp),
+    /// Vector Partitioning Loop: execute `body`, repeat while `repeat_if`
+    /// is non-empty. The body must strictly shrink `repeat_if` (FlexVec's
+    /// `k_todo` update guarantees this); the VM enforces an iteration
+    /// bound of [`VLEN`](flexvec_isa::VLEN) as a safety net.
+    Vpl {
+        /// Loop body.
+        body: Vec<VNode>,
+        /// Repeat while this mask has any enabled lane.
+        repeat_if: KReg,
+    },
+    /// Compare a first-faulting output mask against the intended mask; on
+    /// mismatch abandon the chunk and re-execute it with the scalar
+    /// fallback (the paper's "fall back to a scalar version of the loop").
+    FaultCheck {
+        /// The FF instruction's output mask.
+        got: KReg,
+        /// The mask the chunk needs.
+        want: KReg,
+    },
+    /// If `mask` has any enabled lane, finish this chunk and terminate the
+    /// whole vector loop afterwards (early termination).
+    BreakIf {
+        /// Lanes that took the loop exit.
+        mask: KReg,
+    },
+}
+
+/// How speculative loads are protected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpecMode {
+    /// No speculation needed (no FF instructions emitted).
+    None,
+    /// First-faulting loads/gathers plus [`VNode::FaultCheck`].
+    FirstFaulting,
+    /// Strip-mined restricted transactions: the VM wraps `tile` scalar
+    /// iterations in one transaction, uses ordinary loads, and rolls back
+    /// to scalar execution on a fault.
+    Rtm {
+        /// Scalar iterations per transaction (the paper tunes 128–256).
+        tile: u32,
+    },
+}
+
+/// Static instruction-mix summary (Table 2's "Instruction Mix" column).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InstMix {
+    /// `KFTM.EXC`/`KFTM.INC` count.
+    pub kftm: u32,
+    /// `VPSLCTLAST` count.
+    pub vpslctlast: u32,
+    /// `VPCONFLICTM` count.
+    pub vpconflictm: u32,
+    /// `VPGATHERFF` count.
+    pub vpgatherff: u32,
+    /// `VMOVFF` count.
+    pub vmovff: u32,
+    /// Ordinary gathers.
+    pub gather: u32,
+    /// Ordinary scatters.
+    pub scatter: u32,
+    /// Ordinary unit-stride loads/stores.
+    pub unit_mem: u32,
+    /// All other vector ALU/mask ops.
+    pub other: u32,
+}
+
+impl InstMix {
+    /// Formats the FlexVec-specific part the way Table 2 prints it, e.g.
+    /// `"KFTM, VPSLCTLAST, VPGATHERFF, VMOVFF"`.
+    pub fn flexvec_summary(&self) -> String {
+        let mut parts = Vec::new();
+        if self.kftm > 0 {
+            parts.push("KFTM");
+        }
+        if self.vpslctlast > 0 {
+            parts.push("VPSLCTLAST");
+        }
+        if self.vpconflictm > 0 {
+            parts.push("VPCONFLICTM");
+        }
+        if self.vpgatherff > 0 {
+            parts.push("VPGATHERFF");
+        }
+        if self.vmovff > 0 {
+            parts.push("VMOVFF");
+        }
+        parts.join(", ")
+    }
+}
+
+/// A complete vector program for one loop.
+#[derive(Clone, Debug)]
+pub struct VProg {
+    /// Name (inherited from the source program).
+    pub name: String,
+    /// Chunk body, executed once per vector iteration.
+    pub body: Vec<VNode>,
+    /// Number of virtual vector registers used.
+    pub num_vregs: u32,
+    /// Number of virtual mask registers used.
+    pub num_kregs: u32,
+    /// Speculation mode.
+    pub spec_mode: SpecMode,
+}
+
+impl VProg {
+    /// Reserved register: the vectorized induction variable
+    /// (`base + iota`), set by the VM at each chunk.
+    pub const IV: VReg = VReg(0);
+    /// Reserved register: the chunk's active-lane mask, set by the VM.
+    pub const K_LOOP: KReg = KReg(0);
+
+    /// Computes the static instruction mix.
+    pub fn inst_mix(&self) -> InstMix {
+        let mut mix = InstMix::default();
+        fn walk(nodes: &[VNode], mix: &mut InstMix) {
+            for node in nodes {
+                match node {
+                    VNode::Vpl { body, .. } => walk(body, mix),
+                    VNode::FaultCheck { .. } | VNode::BreakIf { .. } => {}
+                    VNode::Op(op) => match op {
+                        VOp::Kftm { .. } => mix.kftm += 1,
+                        VOp::SelectLast { .. } => mix.vpslctlast += 1,
+                        VOp::Conflict { .. } => mix.vpconflictm += 1,
+                        VOp::MemRead {
+                            unit,
+                            first_faulting,
+                            ..
+                        } => match (unit, first_faulting) {
+                            (false, true) => mix.vpgatherff += 1,
+                            (true, true) => mix.vmovff += 1,
+                            (false, false) => mix.gather += 1,
+                            (true, false) => mix.unit_mem += 1,
+                        },
+                        VOp::MemWrite { unit, .. } => {
+                            if *unit {
+                                mix.unit_mem += 1;
+                            } else {
+                                mix.scatter += 1;
+                            }
+                        }
+                        _ => mix.other += 1,
+                    },
+                }
+            }
+        }
+        walk(&self.body, &mut mix);
+        mix
+    }
+
+    /// Counts the VPLs in the program.
+    pub fn vpl_count(&self) -> usize {
+        fn walk(nodes: &[VNode]) -> usize {
+            nodes
+                .iter()
+                .map(|n| match n {
+                    VNode::Vpl { body, .. } => 1 + walk(body),
+                    _ => 0,
+                })
+                .sum()
+        }
+        walk(&self.body)
+    }
+
+    /// Validates the speculation-safety invariant: no memory write may
+    /// execute before a [`VNode::FaultCheck`] *in dynamic order*, because
+    /// the fault check's fallback re-runs the whole chunk in scalar mode
+    /// and must not observe partially committed stores. A VPL body
+    /// re-executes, so a fault check inside a VPL conflicts with any store
+    /// in the same VPL (iteration 2's check runs after iteration 1's
+    /// store).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violating op.
+    pub fn validate_speculation_safety(&self) -> Result<(), String> {
+        fn contains_check(nodes: &[VNode]) -> bool {
+            nodes.iter().any(|n| match n {
+                VNode::FaultCheck { .. } => true,
+                VNode::Vpl { body, .. } => contains_check(body),
+                _ => false,
+            })
+        }
+        fn contains_store(nodes: &[VNode]) -> bool {
+            nodes.iter().any(|n| match n {
+                VNode::Op(VOp::MemWrite { .. }) => true,
+                VNode::Vpl { body, .. } => contains_store(body),
+                _ => false,
+            })
+        }
+        fn walk(nodes: &[VNode], store_seen: &mut bool) -> Result<(), String> {
+            for node in nodes {
+                match node {
+                    VNode::Op(VOp::MemWrite { .. }) => *store_seen = true,
+                    VNode::FaultCheck { .. } if *store_seen => {
+                        return Err("fault check after a memory write: scalar fallback would \
+                                 double-commit stores"
+                            .to_owned());
+                    }
+                    VNode::Vpl { body, .. } => {
+                        if contains_check(body) && (contains_store(body) || *store_seen) {
+                            return Err(
+                                "fault check inside a VPL that also commits stores: a later \
+                                 iteration's check would follow an earlier iteration's store"
+                                    .to_owned(),
+                            );
+                        }
+                        walk(body, store_seen)?;
+                    }
+                    _ => {}
+                }
+            }
+            Ok(())
+        }
+        let mut store_seen = false;
+        walk(&self.body, &mut store_seen)
+    }
+
+    /// Computes mask-register pressure via backward liveness over the
+    /// linearized program (VPL bodies are unrolled twice so registers
+    /// live across partitions count as live throughout).
+    ///
+    /// This quantifies the paper's Section 3.7 argument: with the FlexVec
+    /// instructions implemented in hardware the live mask set stays
+    /// within AVX-512's 8 architectural registers, while a pure software
+    /// emulation — "an efficient software emulation sequence for mask
+    /// manipulation intrinsics ... requires 5 mask registers" — pushes
+    /// the peak well past it.
+    pub fn mask_pressure(&self) -> MaskPressure {
+        // Linearize, duplicating VPL bodies to expose loop-carried
+        // liveness.
+        fn linearize<'a>(nodes: &'a [VNode], out: &mut Vec<&'a VOp>) {
+            for node in nodes {
+                match node {
+                    VNode::Op(op) => out.push(op),
+                    VNode::Vpl { body, .. } => {
+                        linearize(body, out);
+                        linearize(body, out);
+                    }
+                    VNode::FaultCheck { .. } | VNode::BreakIf { .. } => {}
+                }
+            }
+        }
+        let mut ops = Vec::new();
+        linearize(&self.body, &mut ops);
+
+        // Per-op mask defs/uses plus the emulation-mode temporary count.
+        fn kuses(op: &VOp) -> (Vec<KReg>, Option<KReg>, u32) {
+            match op {
+                VOp::Cmp { dst, mask, .. } => (vec![*mask], Some(*dst), 0),
+                VOp::Blend { mask, .. } | VOp::SelectLast { mask, .. } => (vec![*mask], None, 0),
+                VOp::Conflict { dst, enabled, .. } => (vec![*enabled], Some(*dst), 4),
+                VOp::Kftm {
+                    dst, enabled, stop, ..
+                } => {
+                    // Emulation needs 5 mask registers total: 2 sources,
+                    // 1 destination, 2 scratch.
+                    (vec![*enabled, *stop], Some(*dst), 2)
+                }
+                VOp::KMove { dst, src } => (vec![*src], Some(*dst), 0),
+                VOp::KConst { dst, .. } => (vec![], Some(*dst), 0),
+                VOp::KAnd { dst, a, b } | VOp::KAndNot { dst, a, b } | VOp::KOr { dst, a, b } => {
+                    (vec![*a, *b], Some(*dst), 0)
+                }
+                VOp::KClearFrom { dst, src, stop } => (vec![*src, *stop], Some(*dst), 2),
+                VOp::Reduce { mask, .. } => (vec![*mask], None, 0),
+                VOp::MemRead { mask, out_mask, .. } => (vec![*mask], *out_mask, 0),
+                VOp::MemWrite { mask, .. } => (vec![*mask], None, 0),
+                _ => (vec![], None, 0),
+            }
+        }
+
+        // Backward liveness; K_LOOP is live throughout (the VM sets it).
+        let mut live: std::collections::HashSet<KReg> = std::collections::HashSet::new();
+        live.insert(VProg::K_LOOP);
+        let mut peak_hw = live.len() as u32;
+        let mut peak_emulated = peak_hw;
+        for op in ops.iter().rev() {
+            let (uses, def, emu_temps) = kuses(op);
+            if let Some(d) = def {
+                live.remove(&d);
+            }
+            for u in &uses {
+                live.insert(*u);
+            }
+            let here = live.len() as u32 + u32::from(def.is_some());
+            peak_hw = peak_hw.max(here);
+            peak_emulated = peak_emulated.max(here + emu_temps);
+        }
+        MaskPressure {
+            peak_hardware: peak_hw,
+            peak_emulated,
+            fits_architectural: peak_hw <= 8,
+        }
+    }
+}
+
+/// Mask-register pressure report (paper Section 3.7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MaskPressure {
+    /// Peak live mask registers with the FlexVec instructions in
+    /// hardware.
+    pub peak_hardware: u32,
+    /// Peak with the mask intrinsics expanded to software emulation
+    /// sequences (each `KFTM` needs 5 registers total, `VPCONFLICTM` a
+    /// scratch set of its own).
+    pub peak_emulated: u32,
+    /// Whether the hardware variant fits AVX-512's 8 architectural mask
+    /// registers.
+    pub fits_architectural: bool,
+}
+
+/// Renders one op in the paper's pseudocode style (Figure 2(b)):
+/// `v_temp = v_gather(k_safe, &d_arr, v_coord)`.
+fn fmt_op(op: &VOp, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match op {
+        VOp::Iota { dst } => write!(f, "{dst} = v_iota()"),
+        VOp::SplatConst { dst, value } => write!(f, "{dst} = v_bcast({value})"),
+        VOp::SplatVar { dst, var } => write!(f, "{dst} = v_bcast(scalar[{var}])"),
+        VOp::ExtractVar { var, src, lane } => {
+            write!(f, "scalar[{var}] = v_extract({src}, lane {lane})")
+        }
+        VOp::Bin { op, dst, a, b } => write!(f, "{dst} = {a} {op} {b}"),
+        VOp::BinImm { op, dst, a, imm } => write!(f, "{dst} = {a} {op} {imm}"),
+        VOp::Cmp {
+            pred,
+            dst,
+            mask,
+            a,
+            b,
+        } => {
+            write!(f, "{dst} = v_cmp{{{pred}}}({mask}, {a}, {b})")
+        }
+        VOp::Blend { dst, mask, on, off } => write!(f, "{dst} = v_blend({mask}, {on}, {off})"),
+        VOp::SelectLast { dst, mask, src } => {
+            write!(f, "{dst} = vpslctlast({mask}, {src})")
+        }
+        VOp::Conflict { dst, enabled, a, b } => {
+            write!(f, "{dst} = vpconflictm({enabled}, {a}, {b})")
+        }
+        VOp::Kftm {
+            dst,
+            enabled,
+            stop,
+            inclusive,
+        } => {
+            let variant = if *inclusive { "inc" } else { "exc" };
+            write!(f, "{dst} = kftm.{variant}({enabled}, {stop})")
+        }
+        VOp::KMove { dst, src } => write!(f, "{dst} = {src}"),
+        VOp::KConst { dst, bits } => write!(f, "{dst} = {bits:#06x}"),
+        VOp::KAnd { dst, a, b } => write!(f, "{dst} = {a} & {b}"),
+        VOp::KAndNot { dst, a, b } => write!(f, "{dst} = {a} & ~{b}"),
+        VOp::KOr { dst, a, b } => write!(f, "{dst} = {a} | {b}"),
+        VOp::KClearFrom { dst, src, stop } => {
+            write!(f, "{dst} = k_clear_from({src}, {stop})")
+        }
+        VOp::Reduce { op, dst, mask, src } => {
+            write!(f, "{dst} = v_reduce{{{op}}}({mask}, {src})")
+        }
+        VOp::MemRead {
+            dst,
+            mask,
+            array,
+            idx,
+            unit,
+            first_faulting,
+            out_mask,
+        } => {
+            let name = match (unit, first_faulting) {
+                (true, false) => "v_load",
+                (false, false) => "v_gather",
+                (true, true) => "vmovff",
+                (false, true) => "vpgatherff",
+            };
+            write!(f, "{dst} = {name}({mask}, &{array}, {idx})")?;
+            if let Some(om) = out_mask {
+                write!(f, " -> {om}")?;
+            }
+            Ok(())
+        }
+        VOp::MemWrite {
+            mask,
+            array,
+            idx,
+            src,
+            unit,
+        } => {
+            let name = if *unit { "v_store" } else { "v_scatter" };
+            write!(f, "{name}({mask}, &{array}, {idx}, {src})")
+        }
+    }
+}
+
+/// Pretty-prints the program in the paper's pseudocode style.
+impl fmt::Display for VProg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "// vprog {} ({:?})", self.name, self.spec_mode)?;
+        fn walk(nodes: &[VNode], indent: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            let pad = "  ".repeat(indent);
+            for node in nodes {
+                match node {
+                    VNode::Op(op) => {
+                        f.write_str(&pad)?;
+                        fmt_op(op, f)?;
+                        writeln!(f)?;
+                    }
+                    VNode::Vpl { body, repeat_if } => {
+                        writeln!(f, "{pad}do {{ // VPL starts here")?;
+                        walk(body, indent + 1, f)?;
+                        writeln!(f, "{pad}}} while ({repeat_if}) // VPL ends here")?;
+                    }
+                    VNode::FaultCheck { got, want } => {
+                        writeln!(f, "{pad}if ({got} != {want}) goto scalar_fallback")?;
+                    }
+                    VNode::BreakIf { mask } => {
+                        writeln!(f, "{pad}if ({mask}) break // early loop termination")?;
+                    }
+                }
+            }
+            Ok(())
+        }
+        walk(&self.body, 0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(o: VOp) -> VNode {
+        VNode::Op(o)
+    }
+
+    fn sample_prog() -> VProg {
+        VProg {
+            name: "t".into(),
+            body: vec![
+                op(VOp::Iota { dst: VReg(1) }),
+                op(VOp::MemRead {
+                    dst: VReg(2),
+                    mask: VProg::K_LOOP,
+                    array: ArraySym(0),
+                    idx: VProg::IV,
+                    unit: true,
+                    first_faulting: true,
+                    out_mask: Some(KReg(1)),
+                }),
+                VNode::FaultCheck {
+                    got: KReg(1),
+                    want: VProg::K_LOOP,
+                },
+                VNode::Vpl {
+                    body: vec![
+                        op(VOp::Kftm {
+                            dst: KReg(2),
+                            enabled: KReg(3),
+                            stop: KReg(4),
+                            inclusive: true,
+                        }),
+                        op(VOp::SelectLast {
+                            dst: VReg(3),
+                            mask: KReg(2),
+                            src: VReg(2),
+                        }),
+                        op(VOp::MemWrite {
+                            mask: KReg(2),
+                            array: ArraySym(0),
+                            idx: VProg::IV,
+                            src: VReg(3),
+                            unit: false,
+                        }),
+                        op(VOp::KAndNot {
+                            dst: KReg(3),
+                            a: KReg(3),
+                            b: KReg(2),
+                        }),
+                    ],
+                    repeat_if: KReg(3),
+                },
+            ],
+            num_vregs: 4,
+            num_kregs: 5,
+            spec_mode: SpecMode::FirstFaulting,
+        }
+    }
+
+    #[test]
+    fn inst_mix_counts() {
+        let mix = sample_prog().inst_mix();
+        assert_eq!(mix.kftm, 1);
+        assert_eq!(mix.vpslctlast, 1);
+        assert_eq!(mix.vmovff, 1);
+        assert_eq!(mix.scatter, 1);
+        assert_eq!(mix.vpgatherff, 0);
+        assert_eq!(mix.flexvec_summary(), "KFTM, VPSLCTLAST, VMOVFF");
+    }
+
+    #[test]
+    fn vpl_count_nested() {
+        let mut p = sample_prog();
+        assert_eq!(p.vpl_count(), 1);
+        let inner = p.body.pop().unwrap();
+        p.body.push(VNode::Vpl {
+            body: vec![inner],
+            repeat_if: KReg(4),
+        });
+        assert_eq!(p.vpl_count(), 2);
+    }
+
+    #[test]
+    fn speculation_safety_holds_for_sample() {
+        assert!(sample_prog().validate_speculation_safety().is_ok());
+    }
+
+    #[test]
+    fn speculation_safety_catches_store_before_check() {
+        let p = VProg {
+            name: "bad".into(),
+            body: vec![
+                op(VOp::MemWrite {
+                    mask: VProg::K_LOOP,
+                    array: ArraySym(0),
+                    idx: VProg::IV,
+                    src: VReg(1),
+                    unit: true,
+                }),
+                VNode::FaultCheck {
+                    got: KReg(1),
+                    want: VProg::K_LOOP,
+                },
+            ],
+            num_vregs: 2,
+            num_kregs: 2,
+            spec_mode: SpecMode::FirstFaulting,
+        };
+        assert!(p.validate_speculation_safety().is_err());
+    }
+
+    #[test]
+    fn mask_pressure_reports_both_modes() {
+        let p = sample_prog();
+        let mp = p.mask_pressure();
+        assert!(mp.peak_hardware >= 2);
+        assert!(mp.peak_emulated >= mp.peak_hardware, "{mp:?}");
+        assert!(mp.fits_architectural);
+    }
+
+    #[test]
+    fn display_renders_paper_pseudocode() {
+        let text = sample_prog().to_string();
+        assert!(text.contains("do { // VPL starts here"), "{text}");
+        assert!(text.contains("} while (k3) // VPL ends here"), "{text}");
+        assert!(
+            text.contains("if (k1 != k0) goto scalar_fallback"),
+            "{text}"
+        );
+        assert!(text.contains("kftm.inc(k3, k4)"), "{text}");
+        assert!(text.contains("vpslctlast(k2, v2)"), "{text}");
+        assert!(text.contains("vmovff(k0, &A0, v0) -> k1"), "{text}");
+        assert!(text.contains("v_scatter(k2, &A0, v0, v3)"), "{text}");
+    }
+}

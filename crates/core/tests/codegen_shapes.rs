@@ -1,0 +1,276 @@
+//! Structural tests: the generated vector code must have the shapes the
+//! paper's figures show — conflict detection hoisted out of the VPL
+//! (Figure 7(e)'s LICM note), `KFTM.EXC` driving memory-conflict VPLs
+//! (Figure 2(b)), `KFTM.INC` + `VPSLCTLAST` driving conditional-update
+//! VPLs (Figure 6(e)), first-faulting loads with fault checks for
+//! speculative loads (Figure 5(e)), and the RTM variant replacing them
+//! with plain loads (Figure 5(f)).
+
+use flexvec::{vectorize, SpecMode, SpecRequest, VNode, VOp};
+use flexvec_ir::build::*;
+use flexvec_ir::{Program, ProgramBuilder};
+
+fn figure2_loop() -> Program {
+    let mut b = ProgramBuilder::new("figure2");
+    let i = b.var("i", 0);
+    let q = b.var("q", 0);
+    let s = b.var("s", 0);
+    let coord = b.var("coord", 0);
+    let pairs_q = b.array("pairs_q");
+    let pairs_s = b.array("pairs_s");
+    let d_arr = b.array("d_arr");
+    b.build_loop(
+        i,
+        c(0),
+        c(256),
+        vec![
+            assign(q, ld(pairs_q, var(i))),
+            assign(s, ld(pairs_s, var(i))),
+            assign(coord, sub(var(q), var(s))),
+            if_(
+                ge(var(s), ld(d_arr, var(coord))),
+                vec![store(d_arr, var(coord), var(s))],
+            ),
+        ],
+    )
+    .unwrap()
+}
+
+fn h264_loop() -> Program {
+    let mut b = ProgramBuilder::new("h264");
+    let pos = b.var("pos", 0);
+    let mcost = b.var("mcost", 0);
+    let cand = b.var("cand", 0);
+    let min_mcost = b.var("min_mcost", 1 << 20);
+    let block_sad = b.array("block_sad");
+    let spiral = b.array("spiral");
+    let mv = b.array("mv");
+    b.live_out(min_mcost);
+    b.build_loop(
+        pos,
+        c(0),
+        c(256),
+        vec![if_(
+            lt(ld(block_sad, var(pos)), var(min_mcost)),
+            vec![
+                assign(mcost, ld(block_sad, var(pos))),
+                assign(cand, ld(spiral, var(pos))),
+                assign(mcost, add(var(mcost), ld(mv, var(cand)))),
+                if_(
+                    lt(var(mcost), var(min_mcost)),
+                    vec![assign(min_mcost, var(mcost))],
+                ),
+            ],
+        )],
+    )
+    .unwrap()
+}
+
+fn early_exit_loop() -> Program {
+    // A statement follows the break (the visit-count store), so the
+    // post-break mask correction (`k_after`) stays live.
+    let mut b = ProgramBuilder::new("figure5");
+    let i = b.var("i", 0);
+    let t1 = b.var("t1", 0);
+    let best_pos = b.var("best_pos", -1);
+    let lnk = b.array("lnk");
+    let val = b.array("val");
+    let visited = b.array("visited");
+    b.live_out(best_pos);
+    b.build_loop(
+        i,
+        c(0),
+        c(256),
+        vec![
+            assign(t1, ld(val, ld(lnk, var(i)))),
+            if_(eq(var(t1), c(7)), vec![assign(best_pos, var(i)), brk()]),
+            store(visited, var(i), var(t1)),
+        ],
+    )
+    .unwrap()
+}
+
+/// Flattened op views.
+fn top_level_ops(body: &[VNode]) -> Vec<&VOp> {
+    body.iter()
+        .filter_map(|n| match n {
+            VNode::Op(op) => Some(op),
+            _ => None,
+        })
+        .collect()
+}
+
+fn vpl_body(body: &[VNode]) -> &[VNode] {
+    body.iter()
+        .find_map(|n| match n {
+            VNode::Vpl { body, .. } => Some(body.as_slice()),
+            _ => None,
+        })
+        .expect("program has a VPL")
+}
+
+#[test]
+fn figure2b_shape_conflict_hoisted_exclusive_kftm() {
+    let v = vectorize(&figure2_loop(), SpecRequest::Auto).unwrap();
+    let body = &v.vprog.body;
+
+    // VPCONFLICTM is hoisted: it appears at top level, before the VPL.
+    let top = top_level_ops(body);
+    let conflict_pos = top
+        .iter()
+        .position(|op| matches!(op, VOp::Conflict { .. }))
+        .expect("conflict check emitted outside the VPL");
+    let vpl_pos = body
+        .iter()
+        .position(|n| matches!(n, VNode::Vpl { .. }))
+        .expect("VPL emitted");
+    // All top-level ops up to the VPL include the conflict op.
+    assert!(conflict_pos < vpl_pos, "conflict must precede the VPL");
+
+    // The VPL uses the exclusive KFTM variant and updates k_todo with
+    // KANDN, and the scatter is inside the VPL.
+    let inner = vpl_body(body);
+    let inner_ops = top_level_ops(inner);
+    assert!(inner_ops.iter().any(|op| matches!(
+        op,
+        VOp::Kftm {
+            inclusive: false,
+            ..
+        }
+    )));
+    assert!(inner_ops.iter().any(|op| matches!(op, VOp::KAndNot { .. })));
+    assert!(inner_ops
+        .iter()
+        .any(|op| matches!(op, VOp::MemWrite { unit: false, .. })));
+    // No speculation needed: Figure 2(b) has no FF instructions.
+    assert_eq!(v.vprog.spec_mode, SpecMode::None);
+    let mix = v.vprog.inst_mix();
+    assert_eq!(mix.vpgatherff + mix.vmovff, 0);
+}
+
+#[test]
+fn figure6e_shape_inclusive_kftm_and_selectlast() {
+    let v = vectorize(&h264_loop(), SpecRequest::Auto).unwrap();
+    let inner = vpl_body(&v.vprog.body);
+    let inner_ops = top_level_ops(inner);
+    assert!(inner_ops.iter().any(|op| matches!(
+        op,
+        VOp::Kftm {
+            inclusive: true,
+            ..
+        }
+    )));
+    assert!(inner_ops
+        .iter()
+        .any(|op| matches!(op, VOp::SelectLast { .. })));
+    // Speculative loads are first-faulting, each guarded by a fault check
+    // inside the VPL.
+    assert!(inner_ops.iter().any(|op| matches!(
+        op,
+        VOp::MemRead {
+            first_faulting: true,
+            unit: true,
+            ..
+        }
+    )));
+    assert!(inner_ops.iter().any(|op| matches!(
+        op,
+        VOp::MemRead {
+            first_faulting: true,
+            unit: false,
+            ..
+        }
+    )));
+    assert!(inner.iter().any(|n| matches!(n, VNode::FaultCheck { .. })));
+    assert_eq!(v.vprog.spec_mode, SpecMode::FirstFaulting);
+}
+
+#[test]
+fn figure5f_rtm_variant_has_no_ff_instructions() {
+    let v = vectorize(&h264_loop(), SpecRequest::Rtm { tile: 128 }).unwrap();
+    assert_eq!(v.vprog.spec_mode, SpecMode::Rtm { tile: 128 });
+    fn no_ff(nodes: &[VNode]) -> bool {
+        nodes.iter().all(|n| match n {
+            VNode::Op(VOp::MemRead { first_faulting, .. }) => !first_faulting,
+            VNode::FaultCheck { .. } => false,
+            VNode::Vpl { body, .. } => no_ff(body),
+            _ => true,
+        })
+    }
+    assert!(
+        no_ff(&v.vprog.body),
+        "RTM codegen must not emit FF instructions"
+    );
+    let mix = v.vprog.inst_mix();
+    assert_eq!(mix.vpgatherff + mix.vmovff, 0);
+}
+
+#[test]
+fn figure5e_shape_break_and_mask_correction() {
+    let v = vectorize(&early_exit_loop(), SpecRequest::Auto).unwrap();
+    let body = &v.vprog.body;
+    assert!(body.iter().any(|n| matches!(n, VNode::BreakIf { .. })));
+    // The exit-guard loads are first-faulting and checked before the
+    // break is processed.
+    let break_pos = body
+        .iter()
+        .position(|n| matches!(n, VNode::BreakIf { .. }))
+        .unwrap();
+    let ff_pos = body
+        .iter()
+        .position(|n| {
+            matches!(
+                n,
+                VNode::Op(VOp::MemRead {
+                    first_faulting: true,
+                    ..
+                })
+            )
+        })
+        .expect("FF load for the exit guard");
+    assert!(ff_pos < break_pos);
+    // k_loop correction for post-break statements: inclusive KFTM for the
+    // live-out mask plus the clear-from sequence.
+    let top = top_level_ops(body);
+    assert!(top.iter().any(|op| matches!(
+        op,
+        VOp::Kftm {
+            inclusive: true,
+            ..
+        }
+    )));
+    assert!(top.iter().any(|op| matches!(op, VOp::KClearFrom { .. })));
+}
+
+#[test]
+fn section37_pressure_fits_hardware_but_not_emulation_estimate() {
+    // On the paper's own motivating loop, the generated code stays within
+    // the 8 architectural mask registers when KFTM/VPCONFLICTM are real
+    // instructions; the software-emulation estimate needs more.
+    for p in [h264_loop(), figure2_loop()] {
+        let v = vectorize(&p, SpecRequest::Auto).unwrap();
+        let mp = v.vprog.mask_pressure();
+        assert!(
+            mp.fits_architectural,
+            "{}: hardware pressure {} exceeds 8",
+            p.name, mp.peak_hardware
+        );
+        assert!(
+            mp.peak_emulated > mp.peak_hardware,
+            "{}: emulation should cost extra mask registers ({mp:?})",
+            p.name
+        );
+    }
+}
+
+#[test]
+fn vectorized_code_reuses_mask_registers_within_bounds() {
+    // Virtual mask registers are unbounded, but the *live* set is what
+    // matters; every workload-shaped loop here must stay within the 8
+    // architectural registers in hardware mode.
+    for p in [figure2_loop(), h264_loop(), early_exit_loop()] {
+        let v = vectorize(&p, SpecRequest::Auto).unwrap();
+        let mp = v.vprog.mask_pressure();
+        assert!(mp.peak_hardware <= 8, "{}: {mp:?}", p.name);
+    }
+}

@@ -1,0 +1,358 @@
+//! Affine classification of array index expressions.
+//!
+//! The dependence tester needs to know whether two accesses to the same
+//! array can touch the same element in different iterations, and at what
+//! *distance*. Indices are classified as an affine form
+//! `scale·i + const + Σ coeffⱼ·invariantⱼ` with respect to the induction
+//! variable, as *indirect* (the index itself loads from memory — the
+//! `d_arr[coord]` pattern of Figure 2), or as *opaque* (depends on scalars
+//! assigned inside the body, e.g. a conditionally updated variable).
+//! Indirect and opaque indices can only be disambiguated at runtime; they
+//! are exactly the accesses FlexVec guards with `VPCONFLICTM`.
+
+use crate::ast::{BinOp, Expr, VarId};
+
+/// An affine index form: `scale * i + konst + Σ coeff * sym`.
+///
+/// The symbolic part is a sorted list of loop-invariant variables with
+/// coefficients; two forms with equal symbolic parts can be compared
+/// exactly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Affine {
+    /// Coefficient of the induction variable.
+    pub scale: i64,
+    /// Constant term.
+    pub konst: i64,
+    /// Sorted `(variable, coefficient)` pairs of loop-invariant scalars.
+    pub syms: Vec<(VarId, i64)>,
+}
+
+impl Affine {
+    fn constant(k: i64) -> Affine {
+        Affine {
+            scale: 0,
+            konst: k,
+            syms: Vec::new(),
+        }
+    }
+
+    fn induction() -> Affine {
+        Affine {
+            scale: 1,
+            konst: 0,
+            syms: Vec::new(),
+        }
+    }
+
+    fn sym(v: VarId) -> Affine {
+        Affine {
+            scale: 0,
+            konst: 0,
+            syms: vec![(v, 1)],
+        }
+    }
+
+    fn combine(self, rhs: Affine, f: impl Fn(i64, i64) -> i64) -> Affine {
+        let mut syms = self.syms;
+        for (v, coeff) in rhs.syms {
+            match syms.binary_search_by_key(&v, |&(sv, _)| sv) {
+                Ok(pos) => {
+                    syms[pos].1 = f(syms[pos].1, coeff);
+                }
+                Err(pos) => syms.insert(pos, (v, f(0, coeff))),
+            }
+        }
+        syms.retain(|&(_, c)| c != 0);
+        Affine {
+            scale: f(self.scale, rhs.scale),
+            konst: f(self.konst, rhs.konst),
+            syms,
+        }
+    }
+
+    fn scale_by(mut self, k: i64) -> Affine {
+        self.scale = self.scale.wrapping_mul(k);
+        self.konst = self.konst.wrapping_mul(k);
+        for (_, c) in &mut self.syms {
+            *c = c.wrapping_mul(k);
+        }
+        self.syms.retain(|&(_, c)| c != 0);
+        self
+    }
+
+    /// Whether the form has no induction or symbolic component.
+    pub fn is_constant(&self) -> bool {
+        self.scale == 0 && self.syms.is_empty()
+    }
+
+    /// Whether two forms have identical symbolic parts (and can therefore
+    /// be compared by their numeric parts alone).
+    pub fn comparable_with(&self, other: &Affine) -> bool {
+        self.syms == other.syms
+    }
+}
+
+/// Classification of an index expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IndexForm {
+    /// Affine in the induction variable with loop-invariant symbols.
+    Affine(Affine),
+    /// The index contains a memory load (runtime value).
+    Indirect,
+    /// The index depends on a scalar assigned inside the loop body.
+    Opaque,
+}
+
+impl IndexForm {
+    /// Whether the form can only be disambiguated at runtime.
+    pub fn is_dynamic(&self) -> bool {
+        matches!(self, IndexForm::Indirect | IndexForm::Opaque)
+    }
+}
+
+/// Classifies `expr` with respect to induction variable `induction`;
+/// `assigned` lists the scalars assigned anywhere in the loop body (these
+/// make an index opaque).
+pub fn classify_index(expr: &Expr, induction: VarId, assigned: &[VarId]) -> IndexForm {
+    match try_affine(expr, induction, assigned) {
+        Ok(a) => IndexForm::Affine(a),
+        Err(f) => f,
+    }
+}
+
+/// Dependence relation between two accesses (a "store" source and a "load"
+/// sink, though the same test applies to all pairs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DepDistance {
+    /// The accesses never overlap.
+    None,
+    /// They touch the same element in the same iteration.
+    SameIteration,
+    /// The sink at iteration `i + d` touches what the source touched at
+    /// iteration `i` (`d > 0`).
+    Carried(i64),
+    /// Cannot be determined statically — a FlexVec runtime-check
+    /// candidate.
+    Unknown,
+}
+
+/// Tests the dependence between two index forms on the same array. The
+/// result is the distance from `src` (earlier iteration) to `dst`.
+pub fn dependence(src: &IndexForm, dst: &IndexForm) -> DepDistance {
+    let (IndexForm::Affine(a), IndexForm::Affine(b)) = (src, dst) else {
+        return DepDistance::Unknown;
+    };
+    if !a.comparable_with(b) {
+        return DepDistance::Unknown;
+    }
+    if a.scale != b.scale {
+        // Different strides: solvable only via a general diophantine test;
+        // be conservative.
+        return DepDistance::Unknown;
+    }
+    let s = a.scale;
+    let dc = a.konst.wrapping_sub(b.konst);
+    if s == 0 {
+        // Both index the same fixed element iff constants agree; then the
+        // dependence recurs every iteration (distance 1 is the tightest).
+        return if dc == 0 {
+            DepDistance::Carried(1)
+        } else {
+            DepDistance::None
+        };
+    }
+    // src at iteration i, dst at iteration i + d: s*(i+d) + kb == s*i + ka
+    // => d = (ka - kb) / s.
+    if dc % s != 0 {
+        return DepDistance::None;
+    }
+    match dc / s {
+        0 => DepDistance::SameIteration,
+        d if d > 0 => DepDistance::Carried(d),
+        _ => DepDistance::None, // sink precedes source: covered by the swapped query
+    }
+}
+
+fn try_affine(expr: &Expr, induction: VarId, assigned: &[VarId]) -> Result<Affine, IndexForm> {
+    match expr {
+        Expr::Const(c) => Ok(Affine::constant(*c)),
+        Expr::Var(v) if *v == induction => Ok(Affine::induction()),
+        Expr::Var(v) => {
+            if assigned.contains(v) {
+                Err(IndexForm::Opaque)
+            } else {
+                Ok(Affine::sym(*v))
+            }
+        }
+        Expr::Load { .. } => Err(IndexForm::Indirect),
+        Expr::Bin { op, lhs, rhs } => {
+            let worst = |e: &Expr| {
+                if e.has_load() {
+                    IndexForm::Indirect
+                } else {
+                    IndexForm::Opaque
+                }
+            };
+            let l = try_affine(lhs, induction, assigned);
+            let r = try_affine(rhs, induction, assigned);
+            match (op, l, r) {
+                (BinOp::Add, Ok(a), Ok(b)) => Ok(a.combine(b, i64::wrapping_add)),
+                (BinOp::Sub, Ok(a), Ok(b)) => Ok(a.combine(b, i64::wrapping_sub)),
+                (BinOp::Mul, Ok(a), Ok(b)) if b.is_constant() => Ok(a.scale_by(b.konst)),
+                (BinOp::Mul, Ok(a), Ok(b)) if a.is_constant() => Ok(b.scale_by(a.konst)),
+                (_, Err(IndexForm::Indirect), _) | (_, _, Err(IndexForm::Indirect)) => {
+                    Err(IndexForm::Indirect)
+                }
+                _ => Err(worst(expr)),
+            }
+        }
+        Expr::Cmp { .. } | Expr::Not(_) => {
+            if expr.has_load() {
+                Err(IndexForm::Indirect)
+            } else {
+                Err(IndexForm::Opaque)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+
+    const I: VarId = VarId(0);
+    const N: VarId = VarId(1);
+    const X: VarId = VarId(2);
+
+    fn classify(e: &Expr) -> IndexForm {
+        classify_index(e, I, &[X])
+    }
+
+    #[test]
+    fn constants_and_induction() {
+        assert_eq!(
+            classify(&c(7)),
+            IndexForm::Affine(Affine {
+                scale: 0,
+                konst: 7,
+                syms: vec![]
+            })
+        );
+        assert_eq!(
+            classify(&var(I)),
+            IndexForm::Affine(Affine {
+                scale: 1,
+                konst: 0,
+                syms: vec![]
+            })
+        );
+    }
+
+    #[test]
+    fn affine_arithmetic() {
+        // 2*i + 3
+        let e = add(mul(var(I), c(2)), c(3));
+        assert_eq!(
+            classify(&e),
+            IndexForm::Affine(Affine {
+                scale: 2,
+                konst: 3,
+                syms: vec![]
+            })
+        );
+        // (i + n) - n collapses the symbol.
+        let e2 = sub(add(var(I), var(N)), var(N));
+        assert_eq!(
+            classify(&e2),
+            IndexForm::Affine(Affine {
+                scale: 1,
+                konst: 0,
+                syms: vec![]
+            })
+        );
+        // i - 4
+        let e3 = sub(var(I), c(4));
+        assert_eq!(
+            classify(&e3),
+            IndexForm::Affine(Affine {
+                scale: 1,
+                konst: -4,
+                syms: vec![]
+            })
+        );
+    }
+
+    #[test]
+    fn invariant_symbols_survive() {
+        let e = add(var(I), var(N));
+        match classify(&e) {
+            IndexForm::Affine(a) => {
+                assert_eq!(a.scale, 1);
+                assert_eq!(a.syms, vec![(N, 1)]);
+            }
+            other => panic!("expected affine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn indirect_and_opaque() {
+        let e = ld(crate::ArraySym(0), var(I));
+        assert_eq!(classify(&e), IndexForm::Indirect);
+        assert!(classify(&e).is_dynamic());
+        // x is assigned in the body.
+        assert_eq!(classify(&var(X)), IndexForm::Opaque);
+        // i * i is non-affine => opaque.
+        assert_eq!(classify(&mul(var(I), var(I))), IndexForm::Opaque);
+        // Indirectness dominates opacity.
+        let mixed = add(var(X), ld(crate::ArraySym(0), c(0)));
+        assert_eq!(classify(&mixed), IndexForm::Indirect);
+    }
+
+    #[test]
+    fn dependence_distances() {
+        let at = |scale: i64, konst: i64| {
+            IndexForm::Affine(Affine {
+                scale,
+                konst,
+                syms: vec![],
+            })
+        };
+        // a[i] stored, a[i] loaded: same iteration.
+        assert_eq!(dependence(&at(1, 0), &at(1, 0)), DepDistance::SameIteration);
+        // a[i] stored, a[i-4] loaded: load at i+4 reads store at i.
+        assert_eq!(dependence(&at(1, 0), &at(1, -4)), DepDistance::Carried(4));
+        // a[i] stored, a[i+4] loaded: the "dependence" points backward.
+        assert_eq!(dependence(&at(1, 4), &at(1, 0)), DepDistance::Carried(4));
+        assert_eq!(dependence(&at(1, 0), &at(1, 4)), DepDistance::None);
+        // Disjoint strided accesses: a[2i] vs a[2i+1].
+        assert_eq!(dependence(&at(2, 0), &at(2, 1)), DepDistance::None);
+        // Same fixed cell: recurs every iteration.
+        assert_eq!(dependence(&at(0, 3), &at(0, 3)), DepDistance::Carried(1));
+        assert_eq!(dependence(&at(0, 3), &at(0, 4)), DepDistance::None);
+        // Different strides or symbols: unknown.
+        assert_eq!(dependence(&at(1, 0), &at(2, 0)), DepDistance::Unknown);
+        assert_eq!(
+            dependence(&IndexForm::Indirect, &at(1, 0)),
+            DepDistance::Unknown
+        );
+    }
+
+    #[test]
+    fn symbolic_bases_compare_when_equal() {
+        let form = |konst: i64| {
+            IndexForm::Affine(Affine {
+                scale: 1,
+                konst,
+                syms: vec![(N, 1)],
+            })
+        };
+        assert_eq!(dependence(&form(0), &form(-2)), DepDistance::Carried(2));
+        let other = IndexForm::Affine(Affine {
+            scale: 1,
+            konst: 0,
+            syms: vec![(X, 1)],
+        });
+        assert_eq!(dependence(&form(0), &other), DepDistance::Unknown);
+    }
+}

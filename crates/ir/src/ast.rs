@@ -1,0 +1,527 @@
+//! The loop AST.
+//!
+//! FlexVec's code generation is "implemented as a pass in a high-level,
+//! AST-like IR that feeds into the vector code generation module" (paper
+//! Section 4). This module defines that IR: a single countable loop
+//! (`for (i = start; i < end; i++)`) over scalar variables and arrays,
+//! with structured conditionals and early exits — rich enough to express
+//! all three FlexVec loop patterns (early termination, conditional scalar
+//! update, runtime memory dependencies) and the paper's example loops.
+//!
+//! All values are `i64`; arrays are symbolic ([`ArraySym`]) and bound to
+//! concrete storage by the execution engine.
+
+use core::fmt;
+
+/// Identifies a scalar variable declared in a [`Program`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+/// Identifies an array symbol declared in a [`Program`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArraySym(pub u32);
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for ArraySym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+/// Binary arithmetic/logical operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Truncating division (total: `x/0 == 0`).
+    Div,
+    /// Remainder (total: `x%0 == 0`).
+    Rem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Shift left (counts outside `0..64` give 0).
+    Shl,
+    /// Arithmetic shift right (saturating count).
+    Shr,
+    /// Signed minimum.
+    Min,
+    /// Signed maximum.
+    Max,
+}
+
+impl BinOp {
+    /// Evaluates the operator on scalars with the IR's total semantics
+    /// (identical to the lane semantics in `flexvec-isa`).
+    pub fn eval(self, a: i64, b: i64) -> i64 {
+        match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+            BinOp::Rem => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_rem(b)
+                }
+            }
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => {
+                if (0..64).contains(&b) {
+                    ((a as u64) << b) as i64
+                } else {
+                    0
+                }
+            }
+            BinOp::Shr => {
+                if (0..64).contains(&b) {
+                    a >> b
+                } else if a < 0 {
+                    -1
+                } else {
+                    0
+                }
+            }
+            BinOp::Min => a.min(b),
+            BinOp::Max => a.max(b),
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::And => "&",
+            BinOp::Or => "|",
+            BinOp::Xor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+        })
+    }
+}
+
+/// Comparison operators (produce 0 or 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpKind {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+impl CmpKind {
+    /// Evaluates the comparison.
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpKind::Eq => a == b,
+            CmpKind::Ne => a != b,
+            CmpKind::Lt => a < b,
+            CmpKind::Le => a <= b,
+            CmpKind::Gt => a > b,
+            CmpKind::Ge => a >= b,
+        }
+    }
+}
+
+impl fmt::Display for CmpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpKind::Eq => "==",
+            CmpKind::Ne => "!=",
+            CmpKind::Lt => "<",
+            CmpKind::Le => "<=",
+            CmpKind::Gt => ">",
+            CmpKind::Ge => ">=",
+        })
+    }
+}
+
+/// An expression tree.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Integer literal.
+    Const(i64),
+    /// Scalar variable read.
+    Var(VarId),
+    /// Array element read: `array[index]`.
+    Load {
+        /// The array read from.
+        array: ArraySym,
+        /// The element index.
+        index: Box<Expr>,
+    },
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Comparison producing 0 or 1.
+    Cmp {
+        /// Comparison kind.
+        op: CmpKind,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Logical negation: 1 if the operand is 0, else 0.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// Whether the expression contains any [`Expr::Load`].
+    pub fn has_load(&self) -> bool {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => false,
+            Expr::Load { .. } => true,
+            Expr::Bin { lhs, rhs, .. } | Expr::Cmp { lhs, rhs, .. } => {
+                lhs.has_load() || rhs.has_load()
+            }
+            Expr::Not(e) => e.has_load(),
+        }
+    }
+
+    /// Collects the scalar variables read anywhere in the expression
+    /// (including inside load indices).
+    pub fn collect_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Var(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            Expr::Load { index, .. } => index.collect_vars(out),
+            Expr::Bin { lhs, rhs, .. } | Expr::Cmp { lhs, rhs, .. } => {
+                lhs.collect_vars(out);
+                rhs.collect_vars(out);
+            }
+            Expr::Not(e) => e.collect_vars(out),
+        }
+    }
+
+    /// Collects `(array, index-expression)` pairs for every load in the
+    /// expression, outermost first.
+    pub fn collect_loads(&self, out: &mut Vec<(ArraySym, Expr)>) {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => {}
+            Expr::Load { array, index } => {
+                index.collect_loads(out);
+                out.push((*array, (**index).clone()));
+            }
+            Expr::Bin { lhs, rhs, .. } | Expr::Cmp { lhs, rhs, .. } => {
+                lhs.collect_loads(out);
+                rhs.collect_loads(out);
+            }
+            Expr::Not(e) => e.collect_loads(out),
+        }
+    }
+
+    /// Number of nodes in the expression tree (a proxy for its dynamic
+    /// instruction count).
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => 1,
+            Expr::Load { index, .. } => 1 + index.size(),
+            Expr::Bin { lhs, rhs, .. } | Expr::Cmp { lhs, rhs, .. } => 1 + lhs.size() + rhs.size(),
+            Expr::Not(e) => 1 + e.size(),
+        }
+    }
+}
+
+/// A statement in a loop body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// `var = value;`
+    Assign {
+        /// Destination scalar.
+        var: VarId,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `array[index] = value;`
+    Store {
+        /// Destination array.
+        array: ArraySym,
+        /// Element index.
+        index: Expr,
+        /// Stored value.
+        value: Expr,
+    },
+    /// `if (cond) { then_ } else { else_ }` — `cond != 0` selects `then_`.
+    If {
+        /// The controlling condition.
+        cond: Expr,
+        /// True branch.
+        then_: Vec<Stmt>,
+        /// False branch (possibly empty).
+        else_: Vec<Stmt>,
+    },
+    /// `break;` — early loop termination.
+    Break,
+}
+
+/// The single countable loop a [`Program`] runs:
+/// `for (i = start; i < end; i++) body`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Loop {
+    /// The induction variable (incremented by 1 each iteration).
+    pub induction: VarId,
+    /// Loop-invariant start expression.
+    pub start: Expr,
+    /// Loop-invariant end expression (exclusive bound).
+    pub end: Expr,
+    /// The loop body.
+    pub body: Vec<Stmt>,
+}
+
+/// Declaration of a scalar variable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VarDecl {
+    /// Human-readable name.
+    pub name: String,
+    /// Initial value on entry to the program.
+    pub init: i64,
+}
+
+/// Declaration of an array symbol. Concrete storage is bound at execution
+/// time, positionally.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Human-readable name.
+    pub name: String,
+}
+
+/// A complete loop program: declarations plus the loop.
+///
+/// Construct programs with [`ProgramBuilder`](crate::ProgramBuilder).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Program {
+    /// Program name (used in reports).
+    pub name: String,
+    /// Scalar declarations; `VarId(i)` indexes this list.
+    pub vars: Vec<VarDecl>,
+    /// Array declarations; `ArraySym(i)` indexes this list.
+    pub arrays: Vec<ArrayDecl>,
+    /// The loop.
+    pub loop_: Loop,
+    /// Scalars whose final values are observable outputs.
+    pub live_out: Vec<VarId>,
+}
+
+impl Program {
+    /// Name of a variable.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.vars[v.0 as usize].name
+    }
+
+    /// Name of an array.
+    pub fn array_name(&self, a: ArraySym) -> &str {
+        &self.arrays[a.0 as usize].name
+    }
+
+    /// Number of declared scalars.
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of declared arrays.
+    pub fn array_count(&self) -> usize {
+        self.arrays.len()
+    }
+}
+
+struct DisplayExpr<'a>(&'a Program, &'a Expr);
+
+impl fmt::Display for DisplayExpr<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let DisplayExpr(p, e) = *self;
+        match e {
+            Expr::Const(c) => write!(f, "{c}"),
+            Expr::Var(v) => f.write_str(p.var_name(*v)),
+            Expr::Load { array, index } => {
+                write!(f, "{}[{}]", p.array_name(*array), DisplayExpr(p, index))
+            }
+            Expr::Bin { op, lhs, rhs } => match op {
+                BinOp::Min | BinOp::Max => {
+                    write!(f, "{op}({}, {})", DisplayExpr(p, lhs), DisplayExpr(p, rhs))
+                }
+                _ => write!(f, "({} {op} {})", DisplayExpr(p, lhs), DisplayExpr(p, rhs)),
+            },
+            Expr::Cmp { op, lhs, rhs } => {
+                write!(f, "({} {op} {})", DisplayExpr(p, lhs), DisplayExpr(p, rhs))
+            }
+            Expr::Not(inner) => write!(f, "!{}", DisplayExpr(p, inner)),
+        }
+    }
+}
+
+fn fmt_body(p: &Program, body: &[Stmt], indent: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let pad = "  ".repeat(indent);
+    for stmt in body {
+        match stmt {
+            Stmt::Assign { var, value } => {
+                writeln!(f, "{pad}{} = {};", p.var_name(*var), DisplayExpr(p, value))?;
+            }
+            Stmt::Store {
+                array,
+                index,
+                value,
+            } => writeln!(
+                f,
+                "{pad}{}[{}] = {};",
+                p.array_name(*array),
+                DisplayExpr(p, index),
+                DisplayExpr(p, value)
+            )?,
+            Stmt::If { cond, then_, else_ } => {
+                writeln!(f, "{pad}if ({}) {{", DisplayExpr(p, cond))?;
+                fmt_body(p, then_, indent + 1, f)?;
+                if !else_.is_empty() {
+                    writeln!(f, "{pad}}} else {{")?;
+                    fmt_body(p, else_, indent + 1, f)?;
+                }
+                writeln!(f, "{pad}}}")?;
+            }
+            Stmt::Break => writeln!(f, "{pad}break;")?,
+        }
+    }
+    Ok(())
+}
+
+/// Pretty-prints the program in C-like syntax.
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "// {}", self.name)?;
+        let i = self.var_name(self.loop_.induction);
+        writeln!(
+            f,
+            "for ({i} = {}; {i} < {}; {i}++) {{",
+            DisplayExpr(self, &self.loop_.start),
+            DisplayExpr(self, &self.loop_.end)
+        )?;
+        fmt_body(self, &self.loop_.body, 1, f)?;
+        writeln!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Expr {
+        Expr::Var(VarId(i))
+    }
+
+    #[test]
+    fn binop_eval_totalized() {
+        assert_eq!(BinOp::Div.eval(7, 0), 0);
+        assert_eq!(BinOp::Rem.eval(7, 0), 0);
+        assert_eq!(BinOp::Div.eval(i64::MIN, -1), i64::MIN);
+        assert_eq!(BinOp::Add.eval(i64::MAX, 1), i64::MIN);
+        assert_eq!(BinOp::Shl.eval(1, 65), 0);
+        assert_eq!(BinOp::Shr.eval(-2, 100), -1);
+        assert_eq!(BinOp::Min.eval(3, -5), -5);
+        assert_eq!(BinOp::Max.eval(3, -5), 3);
+    }
+
+    #[test]
+    fn cmp_eval() {
+        assert!(CmpKind::Lt.eval(1, 2));
+        assert!(!CmpKind::Lt.eval(2, 2));
+        assert!(CmpKind::Le.eval(2, 2));
+        assert!(CmpKind::Ne.eval(1, 2));
+        assert!(CmpKind::Ge.eval(2, 2));
+        assert!(CmpKind::Gt.eval(3, 2));
+        assert!(CmpKind::Eq.eval(2, 2));
+    }
+
+    #[test]
+    fn expr_introspection() {
+        let e = Expr::Bin {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::Load {
+                array: ArraySym(0),
+                index: Box::new(v(1)),
+            }),
+            rhs: Box::new(v(2)),
+        };
+        assert!(e.has_load());
+        assert_eq!(e.size(), 4);
+        let mut vars = Vec::new();
+        e.collect_vars(&mut vars);
+        assert_eq!(vars, vec![VarId(1), VarId(2)]);
+        let mut loads = Vec::new();
+        e.collect_loads(&mut loads);
+        assert_eq!(loads.len(), 1);
+        assert_eq!(loads[0].0, ArraySym(0));
+    }
+
+    #[test]
+    fn collect_vars_dedups() {
+        let e = Expr::Bin {
+            op: BinOp::Mul,
+            lhs: Box::new(v(3)),
+            rhs: Box::new(v(3)),
+        };
+        let mut vars = Vec::new();
+        e.collect_vars(&mut vars);
+        assert_eq!(vars, vec![VarId(3)]);
+    }
+
+    #[test]
+    fn nested_load_collection_orders_inner_first() {
+        // A[B[i]] — the inner load must come first (it feeds the outer).
+        let e = Expr::Load {
+            array: ArraySym(0),
+            index: Box::new(Expr::Load {
+                array: ArraySym(1),
+                index: Box::new(v(0)),
+            }),
+        };
+        let mut loads = Vec::new();
+        e.collect_loads(&mut loads);
+        assert_eq!(loads[0].0, ArraySym(1));
+        assert_eq!(loads[1].0, ArraySym(0));
+    }
+}

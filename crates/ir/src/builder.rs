@@ -1,0 +1,508 @@
+//! Ergonomic construction of loop [`Program`]s.
+//!
+//! Expression and statement helpers live in [`build`]; programs are
+//! assembled with [`ProgramBuilder`], which validates the result (the
+//! induction variable is never assigned, bounds are loop-invariant, all
+//! ids are declared).
+//!
+//! # Examples
+//!
+//! The paper's Figure 2(a) loop:
+//!
+//! ```
+//! use flexvec_ir::build::*;
+//! use flexvec_ir::ProgramBuilder;
+//!
+//! let mut p = ProgramBuilder::new("figure2a");
+//! let i = p.var("i", 0);
+//! let hits = p.var("hits", 1000);
+//! let q = p.var("q", 0);
+//! let s = p.var("s", 0);
+//! let coord = p.var("coord", 0);
+//! let pairs_q = p.array("pairs_q");
+//! let pairs_s = p.array("pairs_s");
+//! let d_arr = p.array("d_arr");
+//!
+//! let program = p.build_loop(i, c(0), var(hits), vec![
+//!     assign(q, ld(pairs_q, var(i))),
+//!     assign(s, ld(pairs_s, var(i))),
+//!     assign(coord, sub(var(q), var(s))),
+//!     if_(ge(var(s), ld(d_arr, var(coord))), vec![
+//!         store(d_arr, var(coord), var(s)),
+//!     ]),
+//! ])?;
+//! assert_eq!(program.var_count(), 5);
+//! # Ok::<(), flexvec_ir::BuildError>(())
+//! ```
+
+use core::fmt;
+
+use crate::ast::{ArrayDecl, ArraySym, Expr, Loop, Program, Stmt, VarDecl, VarId};
+
+/// Free functions for building expressions and statements.
+pub mod build {
+    use crate::ast::{ArraySym, BinOp, CmpKind, Expr, Stmt, VarId};
+
+    /// Integer constant.
+    pub fn c(value: i64) -> Expr {
+        Expr::Const(value)
+    }
+
+    /// Scalar variable read.
+    pub fn var(v: VarId) -> Expr {
+        Expr::Var(v)
+    }
+
+    /// Array load `array[index]`.
+    pub fn ld(array: ArraySym, index: Expr) -> Expr {
+        Expr::Load {
+            array,
+            index: Box::new(index),
+        }
+    }
+
+    fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    fn cmp(op: CmpKind, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Cmp {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// `lhs + rhs`
+    pub fn add(lhs: Expr, rhs: Expr) -> Expr {
+        bin(BinOp::Add, lhs, rhs)
+    }
+    /// `lhs - rhs`
+    pub fn sub(lhs: Expr, rhs: Expr) -> Expr {
+        bin(BinOp::Sub, lhs, rhs)
+    }
+    /// `lhs * rhs`
+    pub fn mul(lhs: Expr, rhs: Expr) -> Expr {
+        bin(BinOp::Mul, lhs, rhs)
+    }
+    /// `lhs / rhs` (total)
+    pub fn div(lhs: Expr, rhs: Expr) -> Expr {
+        bin(BinOp::Div, lhs, rhs)
+    }
+    /// `lhs % rhs` (total)
+    pub fn rem(lhs: Expr, rhs: Expr) -> Expr {
+        bin(BinOp::Rem, lhs, rhs)
+    }
+    /// Bitwise `lhs & rhs`
+    pub fn band(lhs: Expr, rhs: Expr) -> Expr {
+        bin(BinOp::And, lhs, rhs)
+    }
+    /// Bitwise `lhs | rhs`
+    pub fn bor(lhs: Expr, rhs: Expr) -> Expr {
+        bin(BinOp::Or, lhs, rhs)
+    }
+    /// Bitwise `lhs ^ rhs`
+    pub fn bxor(lhs: Expr, rhs: Expr) -> Expr {
+        bin(BinOp::Xor, lhs, rhs)
+    }
+    /// `lhs << rhs`
+    pub fn shl(lhs: Expr, rhs: Expr) -> Expr {
+        bin(BinOp::Shl, lhs, rhs)
+    }
+    /// `lhs >> rhs`
+    pub fn shr(lhs: Expr, rhs: Expr) -> Expr {
+        bin(BinOp::Shr, lhs, rhs)
+    }
+    /// `min(lhs, rhs)`
+    pub fn min2(lhs: Expr, rhs: Expr) -> Expr {
+        bin(BinOp::Min, lhs, rhs)
+    }
+    /// `max(lhs, rhs)`
+    pub fn max2(lhs: Expr, rhs: Expr) -> Expr {
+        bin(BinOp::Max, lhs, rhs)
+    }
+    /// `lhs == rhs`
+    pub fn eq(lhs: Expr, rhs: Expr) -> Expr {
+        cmp(CmpKind::Eq, lhs, rhs)
+    }
+    /// `lhs != rhs`
+    pub fn ne(lhs: Expr, rhs: Expr) -> Expr {
+        cmp(CmpKind::Ne, lhs, rhs)
+    }
+    /// `lhs < rhs`
+    pub fn lt(lhs: Expr, rhs: Expr) -> Expr {
+        cmp(CmpKind::Lt, lhs, rhs)
+    }
+    /// `lhs <= rhs`
+    pub fn le(lhs: Expr, rhs: Expr) -> Expr {
+        cmp(CmpKind::Le, lhs, rhs)
+    }
+    /// `lhs > rhs`
+    pub fn gt(lhs: Expr, rhs: Expr) -> Expr {
+        cmp(CmpKind::Gt, lhs, rhs)
+    }
+    /// `lhs >= rhs`
+    pub fn ge(lhs: Expr, rhs: Expr) -> Expr {
+        cmp(CmpKind::Ge, lhs, rhs)
+    }
+    /// Logical not.
+    pub fn not(e: Expr) -> Expr {
+        Expr::Not(Box::new(e))
+    }
+
+    /// `var = value;`
+    pub fn assign(var: VarId, value: Expr) -> Stmt {
+        Stmt::Assign { var, value }
+    }
+
+    /// `array[index] = value;`
+    pub fn store(array: ArraySym, index: Expr, value: Expr) -> Stmt {
+        Stmt::Store {
+            array,
+            index,
+            value,
+        }
+    }
+
+    /// `if (cond) { then_ }`
+    pub fn if_(cond: Expr, then_: Vec<Stmt>) -> Stmt {
+        Stmt::If {
+            cond,
+            then_,
+            else_: Vec::new(),
+        }
+    }
+
+    /// `if (cond) { then_ } else { else_ }`
+    pub fn if_else(cond: Expr, then_: Vec<Stmt>, else_: Vec<Stmt>) -> Stmt {
+        Stmt::If { cond, then_, else_ }
+    }
+
+    /// `break;`
+    pub fn brk() -> Stmt {
+        Stmt::Break
+    }
+}
+
+/// Error produced when a [`ProgramBuilder`] is finalized with an invalid
+/// program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// A variable id does not belong to this builder.
+    UnknownVar(VarId),
+    /// An array symbol does not belong to this builder.
+    UnknownArray(ArraySym),
+    /// The induction variable is assigned inside the loop body.
+    InductionAssigned(VarId),
+    /// A loop bound references a variable assigned inside the body.
+    BoundNotInvariant(VarId),
+    /// A loop bound contains a memory load.
+    BoundHasLoad,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnknownVar(v) => write!(f, "unknown variable {v}"),
+            BuildError::UnknownArray(a) => write!(f, "unknown array {a}"),
+            BuildError::InductionAssigned(v) => {
+                write!(f, "induction variable {v} is assigned in the loop body")
+            }
+            BuildError::BoundNotInvariant(v) => {
+                write!(f, "loop bound uses {v}, which is assigned in the body")
+            }
+            BuildError::BoundHasLoad => write!(f, "loop bounds must not load from memory"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Incrementally declares scalars and arrays, then builds a validated
+/// [`Program`]. See the module-level docs for an example.
+#[derive(Clone, Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    vars: Vec<VarDecl>,
+    arrays: Vec<ArrayDecl>,
+    live_out: Vec<VarId>,
+}
+
+impl ProgramBuilder {
+    /// Starts a new program.
+    pub fn new(name: &str) -> Self {
+        ProgramBuilder {
+            name: name.to_owned(),
+            vars: Vec::new(),
+            arrays: Vec::new(),
+            live_out: Vec::new(),
+        }
+    }
+
+    /// Declares a scalar with an initial value.
+    pub fn var(&mut self, name: &str, init: i64) -> VarId {
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(VarDecl {
+            name: name.to_owned(),
+            init,
+        });
+        id
+    }
+
+    /// Declares an array symbol; concrete storage is bound positionally at
+    /// execution time.
+    pub fn array(&mut self, name: &str) -> ArraySym {
+        let id = ArraySym(self.arrays.len() as u32);
+        self.arrays.push(ArrayDecl {
+            name: name.to_owned(),
+        });
+        id
+    }
+
+    /// Marks a scalar as a live-out (observable) value.
+    pub fn live_out(&mut self, v: VarId) -> &mut Self {
+        if !self.live_out.contains(&v) {
+            self.live_out.push(v);
+        }
+        self
+    }
+
+    /// Finalizes the program: `for (induction = start; induction < end;
+    /// induction++) body`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] if any id is foreign, the induction
+    /// variable is assigned in the body, or a bound is not loop-invariant.
+    pub fn build_loop(
+        self,
+        induction: VarId,
+        start: Expr,
+        end: Expr,
+        body: Vec<Stmt>,
+    ) -> Result<Program, BuildError> {
+        let program = Program {
+            name: self.name,
+            vars: self.vars,
+            arrays: self.arrays,
+            loop_: Loop {
+                induction,
+                start,
+                end,
+                body,
+            },
+            live_out: self.live_out,
+        };
+        validate(&program)?;
+        Ok(program)
+    }
+}
+
+fn validate(p: &Program) -> Result<(), BuildError> {
+    let check_var = |v: VarId| {
+        if (v.0 as usize) < p.vars.len() {
+            Ok(())
+        } else {
+            Err(BuildError::UnknownVar(v))
+        }
+    };
+    check_var(p.loop_.induction)?;
+    for v in &p.live_out {
+        check_var(*v)?;
+    }
+
+    // Collect assigned vars and validate all references.
+    let mut assigned = Vec::new();
+    collect_assigned(&p.loop_.body, &mut assigned);
+    for v in &assigned {
+        check_var(*v)?;
+    }
+    if assigned.contains(&p.loop_.induction) {
+        return Err(BuildError::InductionAssigned(p.loop_.induction));
+    }
+
+    for bound in [&p.loop_.start, &p.loop_.end] {
+        if bound.has_load() {
+            return Err(BuildError::BoundHasLoad);
+        }
+        let mut used = Vec::new();
+        bound.collect_vars(&mut used);
+        for v in used {
+            check_var(v)?;
+            if assigned.contains(&v) {
+                return Err(BuildError::BoundNotInvariant(v));
+            }
+        }
+    }
+
+    validate_body(p, &p.loop_.body)
+}
+
+fn collect_assigned(body: &[Stmt], out: &mut Vec<VarId>) {
+    for stmt in body {
+        match stmt {
+            Stmt::Assign { var, .. } => {
+                if !out.contains(var) {
+                    out.push(*var);
+                }
+            }
+            Stmt::If { then_, else_, .. } => {
+                collect_assigned(then_, out);
+                collect_assigned(else_, out);
+            }
+            Stmt::Store { .. } | Stmt::Break => {}
+        }
+    }
+}
+
+fn validate_body(p: &Program, body: &[Stmt]) -> Result<(), BuildError> {
+    for stmt in body {
+        match stmt {
+            Stmt::Assign { var, value } => {
+                validate_expr(p, &Expr::Var(*var))?;
+                validate_expr(p, value)?;
+            }
+            Stmt::Store {
+                array,
+                index,
+                value,
+            } => {
+                if (array.0 as usize) >= p.arrays.len() {
+                    return Err(BuildError::UnknownArray(*array));
+                }
+                validate_expr(p, index)?;
+                validate_expr(p, value)?;
+            }
+            Stmt::If { cond, then_, else_ } => {
+                validate_expr(p, cond)?;
+                validate_body(p, then_)?;
+                validate_body(p, else_)?;
+            }
+            Stmt::Break => {}
+        }
+    }
+    Ok(())
+}
+
+fn validate_expr(p: &Program, e: &Expr) -> Result<(), BuildError> {
+    let mut vars = Vec::new();
+    e.collect_vars(&mut vars);
+    for v in vars {
+        if (v.0 as usize) >= p.vars.len() {
+            return Err(BuildError::UnknownVar(v));
+        }
+    }
+    let mut loads = Vec::new();
+    e.collect_loads(&mut loads);
+    for (a, _) in loads {
+        if (a.0 as usize) >= p.arrays.len() {
+            return Err(BuildError::UnknownArray(a));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::build::*;
+    use super::*;
+
+    #[test]
+    fn builds_simple_loop() {
+        let mut b = ProgramBuilder::new("t");
+        let i = b.var("i", 0);
+        let n = b.var("n", 10);
+        let a = b.array("a");
+        let p = b
+            .build_loop(i, c(0), var(n), vec![store(a, var(i), mul(var(i), c(2)))])
+            .unwrap();
+        assert_eq!(p.name, "t");
+        assert!(p.to_string().contains("a[i] = (i * 2);"));
+    }
+
+    #[test]
+    fn rejects_assigned_induction() {
+        let mut b = ProgramBuilder::new("t");
+        let i = b.var("i", 0);
+        let err = b
+            .build_loop(i, c(0), c(4), vec![assign(i, c(0))])
+            .unwrap_err();
+        assert_eq!(err, BuildError::InductionAssigned(i));
+    }
+
+    #[test]
+    fn rejects_varying_bound() {
+        let mut b = ProgramBuilder::new("t");
+        let i = b.var("i", 0);
+        let x = b.var("x", 3);
+        let err = b
+            .build_loop(i, c(0), var(x), vec![assign(x, c(0))])
+            .unwrap_err();
+        assert_eq!(err, BuildError::BoundNotInvariant(x));
+    }
+
+    #[test]
+    fn rejects_bound_with_load() {
+        let mut b = ProgramBuilder::new("t");
+        let i = b.var("i", 0);
+        let a = b.array("a");
+        let err = b.build_loop(i, c(0), ld(a, c(0)), vec![]).unwrap_err();
+        assert_eq!(err, BuildError::BoundHasLoad);
+    }
+
+    #[test]
+    fn rejects_foreign_ids() {
+        let mut b = ProgramBuilder::new("t");
+        let i = b.var("i", 0);
+        let err = b
+            .build_loop(i, c(0), c(4), vec![assign(VarId(9), c(0))])
+            .unwrap_err();
+        assert_eq!(err, BuildError::UnknownVar(VarId(9)));
+
+        let mut b2 = ProgramBuilder::new("t");
+        let i2 = b2.var("i", 0);
+        let err2 = b2
+            .build_loop(i2, c(0), c(4), vec![store(ArraySym(3), c(0), c(0))])
+            .unwrap_err();
+        assert_eq!(err2, BuildError::UnknownArray(ArraySym(3)));
+    }
+
+    #[test]
+    fn live_out_dedups() {
+        let mut b = ProgramBuilder::new("t");
+        let i = b.var("i", 0);
+        let x = b.var("x", 0);
+        b.live_out(x);
+        b.live_out(x);
+        let p = b
+            .build_loop(i, c(0), c(1), vec![assign(x, var(i))])
+            .unwrap();
+        assert_eq!(p.live_out, vec![x]);
+    }
+
+    #[test]
+    fn if_else_and_break_print() {
+        let mut b = ProgramBuilder::new("t");
+        let i = b.var("i", 0);
+        let x = b.var("x", 0);
+        let p = b
+            .build_loop(
+                i,
+                c(0),
+                c(8),
+                vec![if_else(
+                    gt(var(i), c(3)),
+                    vec![brk()],
+                    vec![assign(x, add(var(x), c(1)))],
+                )],
+            )
+            .unwrap();
+        let text = p.to_string();
+        assert!(text.contains("break;"));
+        assert!(text.contains("} else {"));
+    }
+}

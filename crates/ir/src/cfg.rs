@@ -1,0 +1,396 @@
+//! Control-flow graph construction.
+//!
+//! The paper's analysis (Figure 5) works over the loop's CFG and the
+//! program dependence graph derived from it. This module lowers the
+//! structured loop into a CFG with dedicated entry, header, latch and exit
+//! blocks; `break` statements produce edges straight to the exit block,
+//! which is what creates the early-termination cycle in the control
+//! dependence graph.
+
+use std::collections::HashMap;
+
+use crate::ast::{Program, Stmt};
+use crate::nodes::NodeId;
+
+/// Identifies a basic block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl core::fmt::Display for BlockId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// Role of a block in the loop skeleton.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockRole {
+    /// Pre-loop entry.
+    Entry,
+    /// Loop header holding the trip test `i < end`.
+    Header,
+    /// Ordinary body block.
+    Body,
+    /// Back-edge block performing `i++`.
+    Latch,
+    /// Loop exit.
+    Exit,
+}
+
+/// A basic block: a run of statement nodes ending in zero, one, or two
+/// successors.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// The block id (index into [`Cfg::blocks`]).
+    pub id: BlockId,
+    /// Role in the loop skeleton.
+    pub role: BlockRole,
+    /// Statement nodes in the block, in order. For a block ending in a
+    /// branch, the last node is the `if` condition node.
+    pub stmts: Vec<NodeId>,
+    /// Successor blocks. Two successors means the block ends in a branch:
+    /// `succs[0]` is the true edge, `succs[1]` the false edge.
+    pub succs: Vec<BlockId>,
+    /// Predecessor blocks.
+    pub preds: Vec<BlockId>,
+}
+
+/// The loop CFG.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// All blocks, indexed by [`BlockId`].
+    pub blocks: Vec<Block>,
+    /// The entry block.
+    pub entry: BlockId,
+    /// The loop header (trip test).
+    pub header: BlockId,
+    /// The latch (`i++`, back edge to header).
+    pub latch: BlockId,
+    /// The exit block.
+    pub exit: BlockId,
+    /// Maps each statement node to its containing block.
+    pub block_of: HashMap<NodeId, BlockId>,
+}
+
+struct Builder {
+    blocks: Vec<Block>,
+    block_of: HashMap<NodeId, BlockId>,
+    next_node: u32,
+}
+
+impl Builder {
+    fn new_block(&mut self, role: BlockRole) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block {
+            id,
+            role,
+            stmts: Vec::new(),
+            succs: Vec::new(),
+            preds: Vec::new(),
+        });
+        id
+    }
+
+    fn edge(&mut self, from: BlockId, to: BlockId) {
+        self.blocks[from.0 as usize].succs.push(to);
+        self.blocks[to.0 as usize].preds.push(from);
+    }
+
+    fn push_stmt(&mut self, block: BlockId) -> NodeId {
+        let id = NodeId(self.next_node);
+        self.next_node += 1;
+        self.blocks[block.0 as usize].stmts.push(id);
+        self.block_of.insert(id, block);
+        id
+    }
+
+    /// Lowers a statement list starting in `current`. Returns the block
+    /// where control continues afterwards, or `None` if every path breaks
+    /// out of the loop.
+    fn lower_body(
+        &mut self,
+        body: &[Stmt],
+        mut current: BlockId,
+        exit: BlockId,
+    ) -> Option<BlockId> {
+        for stmt in body {
+            match stmt {
+                Stmt::Assign { .. } | Stmt::Store { .. } => {
+                    self.push_stmt(current);
+                }
+                Stmt::Break => {
+                    self.push_stmt(current);
+                    self.edge(current, exit);
+                    // Statements after an unconditional break are
+                    // unreachable; keep numbering them in a detached block
+                    // so NodeIds stay aligned with `LoopNodes`.
+                    current = self.new_block(BlockRole::Body);
+                    // Note: no edges in or out until something joins.
+                }
+                Stmt::If { then_, else_, .. } => {
+                    // The condition node terminates the current block.
+                    self.push_stmt(current);
+                    let then_entry = self.new_block(BlockRole::Body);
+                    self.edge(current, then_entry);
+                    let then_out = self.lower_body(then_, then_entry, exit);
+
+                    let (else_entry, else_out) = if else_.is_empty() {
+                        (None, None)
+                    } else {
+                        let e = self.new_block(BlockRole::Body);
+                        self.edge(current, e);
+                        (Some(e), self.lower_body(else_, e, exit))
+                    };
+
+                    let join = self.new_block(BlockRole::Body);
+                    if else_entry.is_none() {
+                        // Fall-through false edge goes straight to the join.
+                        self.edge(current, join);
+                    }
+                    if let Some(t) = then_out {
+                        self.edge(t, join);
+                    }
+                    if let Some(e) = else_out {
+                        self.edge(e, join);
+                    }
+                    current = join;
+                }
+            }
+        }
+        if self.unreachable(current) {
+            None
+        } else {
+            Some(current)
+        }
+    }
+
+    /// A body block with no predecessors is dead code (it can only arise
+    /// as the continuation after an unconditional `break`).
+    fn unreachable(&self, b: BlockId) -> bool {
+        let block = &self.blocks[b.0 as usize];
+        block.role == BlockRole::Body && block.preds.is_empty()
+    }
+}
+
+impl Cfg {
+    /// Builds the CFG for the program's loop. Statement numbering follows
+    /// the same pre-order as [`LoopNodes::build`](crate::LoopNodes::build),
+    /// so [`NodeId`]s agree between the two views.
+    pub fn build(program: &Program) -> Cfg {
+        let mut b = Builder {
+            blocks: Vec::new(),
+            block_of: HashMap::new(),
+            next_node: 0,
+        };
+        let entry = b.new_block(BlockRole::Entry);
+        let header = b.new_block(BlockRole::Header);
+        let exit = b.new_block(BlockRole::Exit);
+        let latch = b.new_block(BlockRole::Latch);
+
+        b.edge(entry, header);
+        // Header: trip test — true edge into the body, false edge to exit.
+        let body_entry = b.new_block(BlockRole::Body);
+        b.edge(header, body_entry);
+        b.edge(header, exit);
+
+        let body_out = b.lower_body(&program.loop_.body, body_entry, exit);
+        if let Some(out) = body_out {
+            b.edge(out, latch);
+        }
+        b.edge(latch, header);
+
+        Cfg {
+            blocks: b.blocks,
+            entry,
+            header,
+            latch,
+            exit,
+            block_of: b.block_of,
+        }
+    }
+
+    /// The block containing a statement node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is unknown.
+    pub fn block_of(&self, node: NodeId) -> BlockId {
+        self.block_of[&node]
+    }
+
+    /// The block with the given id.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the CFG has no blocks (never true for built CFGs).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Reverse postorder over the forward CFG from the entry block.
+    pub fn reverse_postorder(&self) -> Vec<BlockId> {
+        let mut visited = vec![false; self.blocks.len()];
+        let mut order = Vec::new();
+        self.postorder_from(self.entry, true, &mut visited, &mut order);
+        order.reverse();
+        order
+    }
+
+    /// Reverse postorder over the *reversed* CFG from the exit block.
+    pub fn reverse_postorder_backward(&self) -> Vec<BlockId> {
+        let mut visited = vec![false; self.blocks.len()];
+        let mut order = Vec::new();
+        self.postorder_from(self.exit, false, &mut visited, &mut order);
+        order.reverse();
+        order
+    }
+
+    fn postorder_from(
+        &self,
+        start: BlockId,
+        forward: bool,
+        visited: &mut [bool],
+        out: &mut Vec<BlockId>,
+    ) {
+        if visited[start.0 as usize] {
+            return;
+        }
+        visited[start.0 as usize] = true;
+        let nexts = if forward {
+            self.block(start).succs.clone()
+        } else {
+            self.block(start).preds.clone()
+        };
+        for n in nexts {
+            self.postorder_from(n, forward, visited, out);
+        }
+        out.push(start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+    use crate::{LoopNodes, ProgramBuilder};
+
+    fn straight_line() -> Program {
+        let mut b = ProgramBuilder::new("straight");
+        let i = b.var("i", 0);
+        let x = b.var("x", 0);
+        b.build_loop(i, c(0), c(10), vec![assign(x, add(var(x), var(i)))])
+            .unwrap()
+    }
+
+    fn with_branch_and_break() -> Program {
+        let mut b = ProgramBuilder::new("branchy");
+        let i = b.var("i", 0);
+        let x = b.var("x", 0);
+        let a = b.array("a");
+        b.build_loop(
+            i,
+            c(0),
+            c(10),
+            vec![
+                if_(gt(ld(a, var(i)), c(5)), vec![brk()]),
+                assign(x, add(var(x), c(1))),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn straight_line_shape() {
+        let p = straight_line();
+        let cfg = Cfg::build(&p);
+        // entry -> header -> body -> latch -> header; header -> exit.
+        let header = cfg.block(cfg.header);
+        assert_eq!(header.succs.len(), 2);
+        assert!(header.succs.contains(&cfg.exit));
+        let body = cfg.block(cfg.block_of(NodeId(0)));
+        assert_eq!(body.succs, vec![cfg.latch]);
+        assert_eq!(cfg.block(cfg.latch).succs, vec![cfg.header]);
+    }
+
+    #[test]
+    fn node_ids_match_loop_nodes() {
+        for p in [straight_line(), with_branch_and_break()] {
+            let cfg = Cfg::build(&p);
+            let nodes = LoopNodes::build(&p);
+            for n in &nodes.nodes {
+                assert!(
+                    cfg.block_of.contains_key(&n.id),
+                    "node {} missing from CFG of {}",
+                    n.id,
+                    p.name
+                );
+            }
+            assert_eq!(cfg.block_of.len(), nodes.len());
+        }
+    }
+
+    #[test]
+    fn break_edges_to_exit() {
+        let p = with_branch_and_break();
+        let cfg = Cfg::build(&p);
+        // The break node's block must have an edge to exit.
+        let nodes = LoopNodes::build(&p);
+        let brk_node = nodes.breaks()[0];
+        let brk_block = cfg.block_of(brk_node);
+        assert!(cfg.block(brk_block).succs.contains(&cfg.exit));
+        // Exit has at least two predecessors: header and break block.
+        assert!(cfg.block(cfg.exit).preds.len() >= 2);
+    }
+
+    #[test]
+    fn branch_block_has_two_successors() {
+        let p = with_branch_and_break();
+        let cfg = Cfg::build(&p);
+        let cond_block = cfg.block_of(NodeId(0));
+        assert_eq!(cfg.block(cond_block).succs.len(), 2);
+    }
+
+    #[test]
+    fn orders_cover_reachable_blocks() {
+        let p = with_branch_and_break();
+        let cfg = Cfg::build(&p);
+        let fwd = cfg.reverse_postorder();
+        assert_eq!(fwd[0], cfg.entry);
+        assert!(fwd.contains(&cfg.exit));
+        let bwd = cfg.reverse_postorder_backward();
+        assert_eq!(bwd[0], cfg.exit);
+        assert!(bwd.contains(&cfg.entry));
+    }
+
+    #[test]
+    fn if_else_joins() {
+        let mut b = ProgramBuilder::new("ifelse");
+        let i = b.var("i", 0);
+        let x = b.var("x", 0);
+        let p = b
+            .build_loop(
+                i,
+                c(0),
+                c(4),
+                vec![
+                    if_else(
+                        gt(var(i), c(1)),
+                        vec![assign(x, c(1))],
+                        vec![assign(x, c(2))],
+                    ),
+                    assign(x, add(var(x), c(1))),
+                ],
+            )
+            .unwrap();
+        let cfg = Cfg::build(&p);
+        // Join block holds the trailing assignment and has two preds.
+        let join = cfg.block_of(NodeId(3));
+        assert_eq!(cfg.block(join).preds.len(), 2);
+    }
+}

@@ -1,0 +1,307 @@
+//! Dominator and post-dominator trees (Cooper–Harvey–Kennedy iterative
+//! algorithm), plus Ferrante–Ottenstein–Warren control dependence.
+//!
+//! The FlexVec analysis engine identifies the early-termination pattern as
+//! "a false backward control dependence arc from the immediate dominator
+//! of an exit statement to the loop header" (paper Section 4.1, Figure 5).
+//! Computing control dependence requires post-dominators; both directions
+//! share the same fixed-point algorithm, parameterized by edge direction.
+
+use crate::cfg::{BlockId, Cfg};
+
+/// A dominator (or post-dominator) tree over a [`Cfg`].
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// `idom[b]` is the immediate (post-)dominator of block `b`; `None`
+    /// for the root and for unreachable blocks.
+    idom: Vec<Option<BlockId>>,
+    root: BlockId,
+}
+
+impl DomTree {
+    /// Computes the dominator tree (rooted at the entry block).
+    pub fn dominators(cfg: &Cfg) -> DomTree {
+        let order = cfg.reverse_postorder();
+        Self::compute(cfg, cfg.entry, &order, |cfg, b| cfg.block(b).preds.clone())
+    }
+
+    /// Computes the post-dominator tree (rooted at the exit block).
+    pub fn postdominators(cfg: &Cfg) -> DomTree {
+        let order = cfg.reverse_postorder_backward();
+        Self::compute(cfg, cfg.exit, &order, |cfg, b| cfg.block(b).succs.clone())
+    }
+
+    fn compute(
+        cfg: &Cfg,
+        root: BlockId,
+        order: &[BlockId],
+        preds_of: impl Fn(&Cfg, BlockId) -> Vec<BlockId>,
+    ) -> DomTree {
+        let n = cfg.len();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in order.iter().enumerate() {
+            rpo_index[b.0 as usize] = i;
+        }
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[root.0 as usize] = Some(root);
+
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| {
+            while a != b {
+                while rpo_index[a.0 as usize] > rpo_index[b.0 as usize] {
+                    a = idom[a.0 as usize].expect("processed");
+                }
+                while rpo_index[b.0 as usize] > rpo_index[a.0 as usize] {
+                    b = idom[b.0 as usize].expect("processed");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in order.iter().skip(1) {
+                let preds = preds_of(cfg, b);
+                let mut new_idom: Option<BlockId> = None;
+                for p in preds {
+                    if idom[p.0 as usize].is_none() {
+                        continue; // unreachable predecessor
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.0 as usize] != Some(ni) {
+                        idom[b.0 as usize] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        // The root's idom is conventionally itself during computation;
+        // expose it as None.
+        idom[root.0 as usize] = None;
+        DomTree { idom, root }
+    }
+
+    /// The tree root (entry for dominators, exit for post-dominators).
+    pub fn root(&self) -> BlockId {
+        self.root
+    }
+
+    /// Immediate (post-)dominator of `b`, or `None` for the root and
+    /// unreachable blocks.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        if b == self.root {
+            None
+        } else {
+            self.idom[b.0 as usize]
+        }
+    }
+
+    /// Whether `a` (post-)dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(next) => cur = next,
+                None => return false,
+            }
+        }
+    }
+}
+
+/// A block-level control dependence: `dependent` executes iff the branch
+/// at the end of `branch` takes the edge to `edge_target`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ControlDep {
+    /// The block ending in the controlling branch.
+    pub branch: BlockId,
+    /// The successor of `branch` on the controlling edge (identifies the
+    /// polarity: `succs[0]` is the true edge).
+    pub edge_target: BlockId,
+    /// The control-dependent block.
+    pub dependent: BlockId,
+}
+
+/// Computes all block-level control dependences by the classic
+/// Ferrante–Ottenstein–Warren construction: for each CFG edge `(a, b)`
+/// where `b` does not post-dominate `a`, every block on the post-dominator
+/// tree path from `b` up to (but excluding) `ipostdom(a)` is control
+/// dependent on `a` via that edge.
+pub fn control_dependences(cfg: &Cfg, pdom: &DomTree) -> Vec<ControlDep> {
+    let mut out = Vec::new();
+    for block in &cfg.blocks {
+        for &succ in &block.succs {
+            if pdom.dominates(succ, block.id) {
+                continue;
+            }
+            let stop = pdom.idom(block.id);
+            let mut cur = Some(succ);
+            while let Some(c) = cur {
+                if Some(c) == stop {
+                    break;
+                }
+                out.push(ControlDep {
+                    branch: block.id,
+                    edge_target: succ,
+                    dependent: c,
+                });
+                cur = pdom.idom(c);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+    use crate::ProgramBuilder;
+
+    fn branchy() -> crate::Program {
+        // S0: if (a[i] > 5) { S1: x = 1 } else { S2: x = 2 }; S3: y = x
+        let mut b = ProgramBuilder::new("branchy");
+        let i = b.var("i", 0);
+        let x = b.var("x", 0);
+        let y = b.var("y", 0);
+        let a = b.array("a");
+        b.build_loop(
+            i,
+            c(0),
+            c(10),
+            vec![
+                if_else(
+                    gt(ld(a, var(i)), c(5)),
+                    vec![assign(x, c(1))],
+                    vec![assign(x, c(2))],
+                ),
+                assign(y, var(x)),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn breaking() -> crate::Program {
+        let mut b = ProgramBuilder::new("breaking");
+        let i = b.var("i", 0);
+        let x = b.var("x", 0);
+        let a = b.array("a");
+        b.build_loop(
+            i,
+            c(0),
+            c(10),
+            vec![
+                if_(gt(ld(a, var(i)), c(5)), vec![brk()]),
+                assign(x, add(var(x), c(1))),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn entry_dominates_everything_reachable() {
+        let p = branchy();
+        let cfg = Cfg::build(&p);
+        let dom = DomTree::dominators(&cfg);
+        for blk in &cfg.blocks {
+            if !cfg.block(blk.id).preds.is_empty() || blk.id == cfg.entry {
+                assert!(dom.dominates(cfg.entry, blk.id), "{} not dominated", blk.id);
+            }
+        }
+        assert_eq!(dom.idom(cfg.entry), None);
+    }
+
+    #[test]
+    fn header_dominates_body_and_latch() {
+        let p = branchy();
+        let cfg = Cfg::build(&p);
+        let dom = DomTree::dominators(&cfg);
+        assert!(dom.dominates(cfg.header, cfg.latch));
+        for (node, block) in &cfg.block_of {
+            let _ = node;
+            assert!(dom.dominates(cfg.header, *block));
+        }
+    }
+
+    #[test]
+    fn exit_postdominates_everything() {
+        let p = breaking();
+        let cfg = Cfg::build(&p);
+        let pdom = DomTree::postdominators(&cfg);
+        for blk in &cfg.blocks {
+            if blk.id == cfg.exit || !blk.preds.is_empty() || blk.id == cfg.entry {
+                assert!(
+                    pdom.dominates(cfg.exit, blk.id),
+                    "{} not post-dominated",
+                    blk.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn join_block_not_control_dependent_on_branch() {
+        let p = branchy();
+        let cfg = Cfg::build(&p);
+        let pdom = DomTree::postdominators(&cfg);
+        let deps = control_dependences(&cfg, &pdom);
+        let cond_block = cfg.block_of(crate::NodeId(0));
+        let then_block = cfg.block_of(crate::NodeId(1));
+        let else_block = cfg.block_of(crate::NodeId(2));
+        let join_block = cfg.block_of(crate::NodeId(3));
+        assert!(deps
+            .iter()
+            .any(|d| d.branch == cond_block && d.dependent == then_block));
+        assert!(deps
+            .iter()
+            .any(|d| d.branch == cond_block && d.dependent == else_block));
+        assert!(!deps
+            .iter()
+            .any(|d| d.branch == cond_block && d.dependent == join_block));
+    }
+
+    #[test]
+    fn break_makes_loop_body_control_dependent_on_exit_branch() {
+        // With a conditional break, the post-body statements and the latch
+        // are control dependent on the break's guarding branch — this is
+        // the cycle the FlexVec analysis relaxes for early termination.
+        let p = breaking();
+        let cfg = Cfg::build(&p);
+        let pdom = DomTree::postdominators(&cfg);
+        let deps = control_dependences(&cfg, &pdom);
+        let guard_block = cfg.block_of(crate::NodeId(0)); // the if condition
+        let tail_block = cfg.block_of(crate::NodeId(2)); // x = x + 1
+        assert!(
+            deps.iter()
+                .any(|d| d.branch == guard_block && d.dependent == tail_block),
+            "tail must be control dependent on the break guard"
+        );
+        // And the header is control dependent on the guard too (the
+        // backward arc of Figure 5): the guard decides whether another
+        // iteration happens.
+        assert!(
+            deps.iter()
+                .any(|d| d.branch == guard_block && d.dependent == cfg.header),
+            "header must be control dependent on the break guard"
+        );
+    }
+
+    #[test]
+    fn header_controls_body_in_plain_loop() {
+        let p = branchy();
+        let cfg = Cfg::build(&p);
+        let pdom = DomTree::postdominators(&cfg);
+        let deps = control_dependences(&cfg, &pdom);
+        let body_entry = cfg.block_of(crate::NodeId(0));
+        assert!(deps
+            .iter()
+            .any(|d| d.branch == cfg.header && d.dependent == body_entry));
+    }
+}

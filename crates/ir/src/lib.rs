@@ -1,0 +1,65 @@
+//! # flexvec-ir
+//!
+//! The loop intermediate representation and analysis infrastructure the
+//! FlexVec vectorizer (crate `flexvec`) operates on:
+//!
+//! * [`Program`] / [`Loop`] / [`Stmt`] / [`Expr`] — a high-level, AST-like
+//!   IR for countable loops (paper Section 4: "FlexVec code generation is
+//!   implemented as a pass in a high-level, AST like IR").
+//! * [`ProgramBuilder`] and the [`build`] helpers — ergonomic, validated
+//!   program construction.
+//! * [`LoopNodes`] — the flattened statement view (`S0`, `S1`, ... as in
+//!   the paper's figures) with per-node def/use and memory summaries.
+//! * [`Cfg`], [`DomTree`], [`control_dependences`] — control-flow graph,
+//!   dominators/post-dominators, and Ferrante–Ottenstein–Warren control
+//!   dependence.
+//! * [`Pdg`] — the program dependence graph with control, scalar and
+//!   memory dependence edges, the latter classified by the affine
+//!   dependence tester ([`affine`] module); statically unresolvable edges
+//!   are marked *dynamic* — those are FlexVec's relaxation candidates.
+//! * [`sccs`] / [`cyclic_sccs`] — Tarjan SCC detection with edge
+//!   filtering, used to answer "does the loop become vectorizable if
+//!   these edges are believed infrequent?".
+//!
+//! ```
+//! use flexvec_ir::build::*;
+//! use flexvec_ir::{cyclic_sccs, LoopNodes, Pdg, ProgramBuilder};
+//!
+//! // min-reduction with a conditional update: a classic FlexVec loop.
+//! let mut b = ProgramBuilder::new("cond-min");
+//! let i = b.var("i", 0);
+//! let n = b.var("n", 100);
+//! let best = b.var("best", i64::MAX);
+//! let a = b.array("a");
+//! b.live_out(best);
+//! let p = b.build_loop(i, c(0), var(n), vec![
+//!     if_(lt(ld(a, var(i)), var(best)), vec![
+//!         assign(best, ld(a, var(i))),
+//!     ]),
+//! ])?;
+//!
+//! let nodes = LoopNodes::build(&p);
+//! let pdg = Pdg::build(&p, &nodes);
+//! assert!(!cyclic_sccs(&pdg).is_empty()); // not traditionally vectorizable
+//! # Ok::<(), flexvec_ir::BuildError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod affine;
+mod ast;
+mod builder;
+mod cfg;
+mod dom;
+mod nodes;
+mod pdg;
+mod scc;
+
+pub use ast::{ArrayDecl, ArraySym, BinOp, CmpKind, Expr, Loop, Program, Stmt, VarDecl, VarId};
+pub use builder::{build, BuildError, ProgramBuilder};
+pub use cfg::{Block, BlockId, BlockRole, Cfg};
+pub use dom::{control_dependences, ControlDep, DomTree};
+pub use nodes::{LoopNodes, Node, NodeId, NodeKind};
+pub use pdg::{DepEdge, DepKind, MemDepKind, Pdg};
+pub use scc::{cyclic_sccs, sccs, sccs_filtered, Scc};

@@ -1,0 +1,346 @@
+//! Flattened statement view of a loop.
+//!
+//! The analysis and code-generation passes iterate over loop statements in
+//! lexical order (the paper's Algorithm 1 walks "each loop statement S
+//! traversed in topological order", which for structured code is lexical
+//! order). This module numbers every statement — including each `if`
+//! condition, which is a PDG node of its own (`S1`, `S4`, ... in the
+//! paper's figures) — and records, per node, its controlling conditional,
+//! scalar defs/uses and memory reads/writes.
+
+use crate::ast::{ArraySym, Expr, Program, Stmt, VarId};
+
+/// Identifies a flattened statement node. Ids are assigned in pre-order,
+/// so `NodeId` order is lexical order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl core::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// What a flattened node does.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Scalar assignment.
+    Assign {
+        /// Destination.
+        var: VarId,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// Array store.
+    Store {
+        /// Destination array.
+        array: ArraySym,
+        /// Index expression.
+        index: Expr,
+        /// Value expression.
+        value: Expr,
+    },
+    /// An `if` condition (branch node).
+    IfCond {
+        /// The condition expression.
+        cond: Expr,
+    },
+    /// `break`.
+    Break,
+}
+
+/// A flattened statement with its dataflow summary.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// This node's id (== its index in [`LoopNodes::nodes`]).
+    pub id: NodeId,
+    /// What the node does.
+    pub kind: NodeKind,
+    /// The innermost controlling `if` condition node and the branch
+    /// polarity (`true` = then-branch), or `None` at loop-body top level.
+    pub parent: Option<(NodeId, bool)>,
+    /// Scalars defined (at most one).
+    pub defs: Vec<VarId>,
+    /// Scalars read (in the RHS, condition, or index expressions).
+    pub uses: Vec<VarId>,
+    /// Memory loads `(array, index expression)` performed by the node.
+    pub reads: Vec<(ArraySym, Expr)>,
+    /// Memory stores `(array, index expression)` performed by the node.
+    pub writes: Vec<(ArraySym, Expr)>,
+}
+
+impl Node {
+    /// Whether the node has side effects beyond defining a scalar
+    /// (stores / control exits).
+    pub fn has_side_effect(&self) -> bool {
+        matches!(self.kind, NodeKind::Store { .. } | NodeKind::Break)
+    }
+}
+
+/// The flattened statement list for a program's loop.
+#[derive(Clone, Debug)]
+pub struct LoopNodes {
+    /// All nodes in lexical (pre-order) order.
+    pub nodes: Vec<Node>,
+}
+
+impl LoopNodes {
+    /// Flattens the program's loop body.
+    pub fn build(program: &Program) -> Self {
+        let mut nodes = Vec::new();
+        flatten(&program.loop_.body, None, &mut nodes);
+        LoopNodes { nodes }
+    }
+
+    /// The node with the given id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the loop body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterates over the chain of controlling conditions of `id`, from the
+    /// innermost outward: `(cond node, polarity)` pairs.
+    pub fn control_chain(&self, id: NodeId) -> Vec<(NodeId, bool)> {
+        let mut chain = Vec::new();
+        let mut cursor = self.node(id).parent;
+        while let Some((cond, pol)) = cursor {
+            chain.push((cond, pol));
+            cursor = self.node(cond).parent;
+        }
+        chain
+    }
+
+    /// Whether `ancestor` (an `if` condition node) controls `id`, at any
+    /// nesting depth.
+    pub fn is_controlled_by(&self, id: NodeId, ancestor: NodeId) -> bool {
+        self.control_chain(id).iter().any(|(c, _)| *c == ancestor)
+    }
+
+    /// All `break` nodes.
+    pub fn breaks(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Break))
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// The direct children of an `if` condition node, in lexical order,
+    /// with their polarity.
+    pub fn children_of(&self, cond: NodeId) -> Vec<(NodeId, bool)> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n.parent {
+                Some((p, pol)) if p == cond => Some((n.id, pol)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+fn summarize_expr(e: &Expr, uses: &mut Vec<VarId>, reads: &mut Vec<(ArraySym, Expr)>) {
+    e.collect_vars(uses);
+    e.collect_loads(reads);
+}
+
+fn flatten(body: &[Stmt], parent: Option<(NodeId, bool)>, out: &mut Vec<Node>) {
+    for stmt in body {
+        let id = NodeId(out.len() as u32);
+        match stmt {
+            Stmt::Assign { var, value } => {
+                let mut uses = Vec::new();
+                let mut reads = Vec::new();
+                summarize_expr(value, &mut uses, &mut reads);
+                out.push(Node {
+                    id,
+                    kind: NodeKind::Assign {
+                        var: *var,
+                        value: value.clone(),
+                    },
+                    parent,
+                    defs: vec![*var],
+                    uses,
+                    reads,
+                    writes: Vec::new(),
+                });
+            }
+            Stmt::Store {
+                array,
+                index,
+                value,
+            } => {
+                let mut uses = Vec::new();
+                let mut reads = Vec::new();
+                summarize_expr(index, &mut uses, &mut reads);
+                summarize_expr(value, &mut uses, &mut reads);
+                out.push(Node {
+                    id,
+                    kind: NodeKind::Store {
+                        array: *array,
+                        index: index.clone(),
+                        value: value.clone(),
+                    },
+                    parent,
+                    defs: Vec::new(),
+                    uses,
+                    reads,
+                    writes: vec![(*array, index.clone())],
+                });
+            }
+            Stmt::If { cond, then_, else_ } => {
+                let mut uses = Vec::new();
+                let mut reads = Vec::new();
+                summarize_expr(cond, &mut uses, &mut reads);
+                out.push(Node {
+                    id,
+                    kind: NodeKind::IfCond { cond: cond.clone() },
+                    parent,
+                    defs: Vec::new(),
+                    uses,
+                    reads,
+                    writes: Vec::new(),
+                });
+                flatten(then_, Some((id, true)), out);
+                flatten(else_, Some((id, false)), out);
+            }
+            Stmt::Break => {
+                out.push(Node {
+                    id,
+                    kind: NodeKind::Break,
+                    parent,
+                    defs: Vec::new(),
+                    uses: Vec::new(),
+                    reads: Vec::new(),
+                    writes: Vec::new(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+    use crate::ProgramBuilder;
+
+    fn sample() -> Program {
+        // for i in 0..n:
+        //   S0: if (a[i] < x) {
+        //     S1: x = a[i];
+        //     S2: if (x > 0) { S3: break; }
+        //     S4: b[x] = i;
+        //   } else {
+        //     S5: y = y + 1;
+        //   }
+        let mut b = ProgramBuilder::new("sample");
+        let i = b.var("i", 0);
+        let n = b.var("n", 100);
+        let x = b.var("x", 50);
+        let y = b.var("y", 0);
+        let a = b.array("a");
+        let arr_b = b.array("b");
+        b.build_loop(
+            i,
+            c(0),
+            var(n),
+            vec![if_else(
+                lt(ld(a, var(i)), var(x)),
+                vec![
+                    assign(x, ld(a, var(i))),
+                    if_(gt(var(x), c(0)), vec![brk()]),
+                    store(arr_b, var(x), var(i)),
+                ],
+                vec![assign(y, add(var(y), c(1)))],
+            )],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn flattening_assigns_preorder_ids() {
+        let p = sample();
+        let nodes = LoopNodes::build(&p);
+        assert_eq!(nodes.len(), 6);
+        assert!(matches!(
+            nodes.node(NodeId(0)).kind,
+            NodeKind::IfCond { .. }
+        ));
+        assert!(matches!(
+            nodes.node(NodeId(1)).kind,
+            NodeKind::Assign { .. }
+        ));
+        assert!(matches!(
+            nodes.node(NodeId(2)).kind,
+            NodeKind::IfCond { .. }
+        ));
+        assert!(matches!(nodes.node(NodeId(3)).kind, NodeKind::Break));
+        assert!(matches!(nodes.node(NodeId(4)).kind, NodeKind::Store { .. }));
+        assert!(matches!(
+            nodes.node(NodeId(5)).kind,
+            NodeKind::Assign { .. }
+        ));
+    }
+
+    #[test]
+    fn parents_and_polarity() {
+        let p = sample();
+        let nodes = LoopNodes::build(&p);
+        assert_eq!(nodes.node(NodeId(0)).parent, None);
+        assert_eq!(nodes.node(NodeId(1)).parent, Some((NodeId(0), true)));
+        assert_eq!(nodes.node(NodeId(3)).parent, Some((NodeId(2), true)));
+        assert_eq!(nodes.node(NodeId(5)).parent, Some((NodeId(0), false)));
+    }
+
+    #[test]
+    fn control_chain_walks_outward() {
+        let p = sample();
+        let nodes = LoopNodes::build(&p);
+        let chain = nodes.control_chain(NodeId(3));
+        assert_eq!(chain, vec![(NodeId(2), true), (NodeId(0), true)]);
+        assert!(nodes.is_controlled_by(NodeId(3), NodeId(0)));
+        assert!(!nodes.is_controlled_by(NodeId(5), NodeId(2)));
+    }
+
+    #[test]
+    fn defs_uses_reads_writes() {
+        let p = sample();
+        let nodes = LoopNodes::build(&p);
+        // S1: x = a[i]
+        let s1 = nodes.node(NodeId(1));
+        assert_eq!(s1.defs, vec![VarId(2)]);
+        assert_eq!(s1.uses, vec![VarId(0)]);
+        assert_eq!(s1.reads.len(), 1);
+        // S4: b[x] = i
+        let s4 = nodes.node(NodeId(4));
+        assert!(s4.defs.is_empty());
+        assert_eq!(s4.writes.len(), 1);
+        assert!(s4.has_side_effect());
+        assert!(!s1.has_side_effect());
+    }
+
+    #[test]
+    fn breaks_and_children() {
+        let p = sample();
+        let nodes = LoopNodes::build(&p);
+        assert_eq!(nodes.breaks(), vec![NodeId(3)]);
+        assert_eq!(
+            nodes.children_of(NodeId(0)),
+            vec![
+                (NodeId(1), true),
+                (NodeId(2), true),
+                (NodeId(4), true),
+                (NodeId(5), false)
+            ]
+        );
+    }
+}

@@ -1,0 +1,621 @@
+//! Program dependence graph construction (Ferrante–Ottenstein–Warren
+//! style, paper Figure 5(c)/6(c)/7(c)).
+//!
+//! The PDG's nodes are the flattened loop statements ([`NodeId`]); its
+//! edges carry control dependences (including the backward arc a `break`
+//! induces from its guard to the whole loop) and data dependences —
+//! scalar flow/anti/output, both same-iteration and loop-carried, and
+//! memory dependences classified by the affine tester. Loop-carried edges
+//! whose distance cannot be resolved statically are marked *dynamic*;
+//! those are the edges FlexVec's analysis relaxes.
+
+use crate::affine::{classify_index, dependence, DepDistance, IndexForm};
+use crate::ast::{ArraySym, Program, VarId};
+use crate::nodes::{LoopNodes, NodeId};
+
+/// Kind of memory dependence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemDepKind {
+    /// Read after write (flow).
+    Raw,
+    /// Write after read (anti).
+    War,
+    /// Write after write (output).
+    Waw,
+}
+
+/// Kind of a PDG edge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DepKind {
+    /// `from` is an `if` condition controlling `to` with the given branch
+    /// polarity.
+    Control {
+        /// `true` if `to` is in the then-branch.
+        polarity: bool,
+    },
+    /// Backward control arc from a `break`'s guarding condition to every
+    /// loop statement: whether iteration `i+1` runs at all depends on the
+    /// guard in iteration `i` (Figure 5's S4 → S1 arc).
+    ControlExit,
+    /// Scalar flow dependence (def → use).
+    ScalarFlow {
+        /// The variable.
+        var: VarId,
+        /// `true` when the use reads the value from a previous iteration.
+        carried: bool,
+    },
+    /// Scalar anti dependence (use → later def).
+    ScalarAnti {
+        /// The variable.
+        var: VarId,
+        /// Loop-carried?
+        carried: bool,
+    },
+    /// Scalar output dependence (def → later def).
+    ScalarOutput {
+        /// The variable.
+        var: VarId,
+        /// Loop-carried?
+        carried: bool,
+    },
+    /// Memory dependence between two accesses of one array.
+    Memory {
+        /// The array.
+        array: ArraySym,
+        /// Flow, anti, or output.
+        kind: MemDepKind,
+        /// Statically known distance, when the tester resolved one
+        /// (`None` for same-iteration edges).
+        distance: Option<i64>,
+        /// Loop-carried?
+        carried: bool,
+        /// `true` when the dependence can only be disambiguated at
+        /// runtime (indirect or opaque index) — a FlexVec candidate edge.
+        dynamic: bool,
+    },
+}
+
+impl DepKind {
+    /// Whether the edge crosses iterations.
+    pub fn is_carried(&self) -> bool {
+        match self {
+            DepKind::Control { .. } => false,
+            DepKind::ControlExit => true,
+            DepKind::ScalarFlow { carried, .. }
+            | DepKind::ScalarAnti { carried, .. }
+            | DepKind::ScalarOutput { carried, .. }
+            | DepKind::Memory { carried, .. } => *carried,
+        }
+    }
+}
+
+/// A PDG edge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DepEdge {
+    /// Source node.
+    pub from: NodeId,
+    /// Sink node.
+    pub to: NodeId,
+    /// Dependence kind.
+    pub kind: DepKind,
+}
+
+/// The program dependence graph of a loop.
+#[derive(Clone, Debug)]
+pub struct Pdg {
+    /// Number of statement nodes.
+    pub node_count: usize,
+    /// All dependence edges.
+    pub edges: Vec<DepEdge>,
+}
+
+impl Pdg {
+    /// Builds the PDG for a program's loop from its flattened nodes.
+    pub fn build(program: &Program, nodes: &LoopNodes) -> Pdg {
+        let mut edges = Vec::new();
+        control_edges(nodes, &mut edges);
+        scalar_edges(nodes, &mut edges);
+        memory_edges(program, nodes, &mut edges);
+        Pdg {
+            node_count: nodes.len(),
+            edges,
+        }
+    }
+
+    /// Edges outgoing from `n`, optionally filtered.
+    pub fn edges_from(&self, n: NodeId) -> impl Iterator<Item = &DepEdge> {
+        self.edges.iter().filter(move |e| e.from == n)
+    }
+
+    /// Edges incoming to `n`.
+    pub fn edges_to(&self, n: NodeId) -> impl Iterator<Item = &DepEdge> {
+        self.edges.iter().filter(move |e| e.to == n)
+    }
+
+    /// All loop-carried edges.
+    pub fn carried_edges(&self) -> impl Iterator<Item = &DepEdge> {
+        self.edges.iter().filter(|e| e.kind.is_carried())
+    }
+}
+
+fn control_edges(nodes: &LoopNodes, edges: &mut Vec<DepEdge>) {
+    // Structural control dependence: innermost `if` → statement. (On this
+    // structured IR the Ferrante–Ottenstein–Warren computation over the
+    // CFG yields exactly these edges for break-free code; `flexvec-ir`'s
+    // tests cross-check the two.)
+    for node in &nodes.nodes {
+        if let Some((cond, polarity)) = node.parent {
+            edges.push(DepEdge {
+                from: cond,
+                to: node.id,
+                kind: DepKind::Control { polarity },
+            });
+        }
+    }
+    // Early exit: the break's guard controls whether the *next* iteration
+    // executes at all — a backward control arc to every statement.
+    for brk in nodes.breaks() {
+        if let Some((guard, _)) = nodes.node(brk).parent {
+            for node in &nodes.nodes {
+                if node.id != brk {
+                    edges.push(DepEdge {
+                        from: guard,
+                        to: node.id,
+                        kind: DepKind::ControlExit,
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn scalar_edges(nodes: &LoopNodes, edges: &mut Vec<DepEdge>) {
+    // Group defs and uses per variable.
+    let mut vars: Vec<VarId> = Vec::new();
+    for n in &nodes.nodes {
+        for v in n.defs.iter().chain(n.uses.iter()) {
+            if !vars.contains(v) {
+                vars.push(*v);
+            }
+        }
+    }
+
+    for v in vars {
+        let defs: Vec<NodeId> = nodes
+            .nodes
+            .iter()
+            .filter(|n| n.defs.contains(&v))
+            .map(|n| n.id)
+            .collect();
+        let uses: Vec<NodeId> = nodes
+            .nodes
+            .iter()
+            .filter(|n| n.uses.contains(&v))
+            .map(|n| n.id)
+            .collect();
+        if defs.is_empty() {
+            continue; // live-in invariant: no dependences to track
+        }
+
+        // A use reads the iteration-entry value unless a def that
+        // *dominates* it precedes it lexically: the def executes whenever
+        // the use does, i.e. the def's control chain is a subset of the
+        // use's. (A def guarded by a condition the use is not under may
+        // not execute, so the stale value can flow through — the
+        // conditional-update pattern.)
+        let dominating_def_before = |u: NodeId| {
+            let use_chain = nodes.control_chain(u);
+            defs.iter().any(|d| {
+                d.0 < u.0
+                    && nodes
+                        .control_chain(*d)
+                        .iter()
+                        .all(|link| use_chain.contains(link))
+            })
+        };
+
+        for &d in &defs {
+            for &u in &uses {
+                if d.0 < u.0 {
+                    // Same-iteration flow (may-reach; a later redefinition
+                    // between them would kill it, which the conservative
+                    // builder ignores).
+                    edges.push(DepEdge {
+                        from: d,
+                        to: u,
+                        kind: DepKind::ScalarFlow {
+                            var: v,
+                            carried: false,
+                        },
+                    });
+                }
+                // Loop-carried flow: the def escapes the iteration and the
+                // use can observe it next iteration.
+                if !dominating_def_before(u) {
+                    edges.push(DepEdge {
+                        from: d,
+                        to: u,
+                        kind: DepKind::ScalarFlow {
+                            var: v,
+                            carried: true,
+                        },
+                    });
+                }
+                // Anti dependences: use before def in the same iteration,
+                // and use in iteration i vs def in iteration i+1.
+                if u.0 <= d.0 {
+                    edges.push(DepEdge {
+                        from: u,
+                        to: d,
+                        kind: DepKind::ScalarAnti {
+                            var: v,
+                            carried: false,
+                        },
+                    });
+                } else {
+                    edges.push(DepEdge {
+                        from: u,
+                        to: d,
+                        kind: DepKind::ScalarAnti {
+                            var: v,
+                            carried: true,
+                        },
+                    });
+                }
+            }
+        }
+        // Output dependences between distinct defs (and a def with itself
+        // across iterations).
+        for &d1 in &defs {
+            for &d2 in &defs {
+                if d1.0 < d2.0 {
+                    edges.push(DepEdge {
+                        from: d1,
+                        to: d2,
+                        kind: DepKind::ScalarOutput {
+                            var: v,
+                            carried: false,
+                        },
+                    });
+                } else if d1 == d2 && nodes.node(d1).parent.is_some() {
+                    edges.push(DepEdge {
+                        from: d1,
+                        to: d2,
+                        kind: DepKind::ScalarOutput {
+                            var: v,
+                            carried: true,
+                        },
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn memory_edges(program: &Program, nodes: &LoopNodes, edges: &mut Vec<DepEdge>) {
+    let induction = program.loop_.induction;
+    let mut assigned: Vec<VarId> = Vec::new();
+    for n in &nodes.nodes {
+        for v in &n.defs {
+            if !assigned.contains(v) {
+                assigned.push(*v);
+            }
+        }
+    }
+    let classify = |e: &crate::ast::Expr| classify_index(e, induction, &assigned);
+
+    // Collect all accesses: (node, array, index form, is_write).
+    struct Access {
+        node: NodeId,
+        array: ArraySym,
+        form: IndexForm,
+        write: bool,
+    }
+    let mut accesses = Vec::new();
+    for n in &nodes.nodes {
+        for (array, idx) in &n.reads {
+            accesses.push(Access {
+                node: n.id,
+                array: *array,
+                form: classify(idx),
+                write: false,
+            });
+        }
+        for (array, idx) in &n.writes {
+            accesses.push(Access {
+                node: n.id,
+                array: *array,
+                form: classify(idx),
+                write: true,
+            });
+        }
+    }
+
+    for src in &accesses {
+        for dst in &accesses {
+            if !src.write && !dst.write {
+                continue; // read-read
+            }
+            if src.array != dst.array {
+                continue;
+            }
+            let kind = match (src.write, dst.write) {
+                (true, false) => MemDepKind::Raw,
+                (false, true) => MemDepKind::War,
+                (true, true) => MemDepKind::Waw,
+                (false, false) => unreachable!(),
+            };
+            match dependence(&src.form, &dst.form) {
+                DepDistance::None => {}
+                DepDistance::SameIteration => {
+                    // Ordered by lexical position within one iteration.
+                    if src.node.0 < dst.node.0 {
+                        edges.push(DepEdge {
+                            from: src.node,
+                            to: dst.node,
+                            kind: DepKind::Memory {
+                                array: src.array,
+                                kind,
+                                distance: None,
+                                carried: false,
+                                dynamic: false,
+                            },
+                        });
+                    }
+                }
+                DepDistance::Carried(d) => edges.push(DepEdge {
+                    from: src.node,
+                    to: dst.node,
+                    kind: DepKind::Memory {
+                        array: src.array,
+                        kind,
+                        distance: Some(d),
+                        carried: true,
+                        dynamic: false,
+                    },
+                }),
+                DepDistance::Unknown => {
+                    // Runtime-dependent: conservatively both same-iteration
+                    // (lexical order) and carried. Deduplicate identical
+                    // node pairs below via the carried edge only.
+                    edges.push(DepEdge {
+                        from: src.node,
+                        to: dst.node,
+                        kind: DepKind::Memory {
+                            array: src.array,
+                            kind,
+                            distance: None,
+                            carried: true,
+                            dynamic: true,
+                        },
+                    });
+                }
+            }
+        }
+    }
+    // Deduplicate exact repeats (same node can have several loads with the
+    // same classification).
+    edges.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+    use crate::ProgramBuilder;
+
+    /// Figure 2(a): indirect store/load on d_arr through a computed coord.
+    fn figure2a() -> Program {
+        let mut b = ProgramBuilder::new("figure2a");
+        let i = b.var("i", 0);
+        let hits = b.var("hits", 64);
+        let q = b.var("q", 0);
+        let s = b.var("s", 0);
+        let coord = b.var("coord", 0);
+        let pairs_q = b.array("pairs_q");
+        let pairs_s = b.array("pairs_s");
+        let d_arr = b.array("d_arr");
+        b.build_loop(
+            i,
+            c(0),
+            var(hits),
+            vec![
+                assign(q, ld(pairs_q, var(i))),
+                assign(s, ld(pairs_s, var(i))),
+                assign(coord, sub(var(q), var(s))),
+                if_(
+                    ge(var(s), ld(d_arr, var(coord))),
+                    vec![store(d_arr, var(coord), var(s))],
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    /// The h264ref-style conditional scalar update (Section 1.1).
+    fn cond_update() -> Program {
+        let mut b = ProgramBuilder::new("cond_update");
+        let pos = b.var("pos", 0);
+        let max_pos = b.var("max_pos", 64);
+        let mcost = b.var("mcost", 0);
+        let min_mcost = b.var("min_mcost", 1 << 20);
+        let block_sad = b.array("block_sad");
+        b.live_out(min_mcost);
+        b.build_loop(
+            pos,
+            c(0),
+            var(max_pos),
+            vec![if_(
+                lt(ld(block_sad, var(pos)), var(min_mcost)),
+                vec![
+                    assign(mcost, ld(block_sad, var(pos))),
+                    if_(
+                        lt(var(mcost), var(min_mcost)),
+                        vec![assign(min_mcost, var(mcost))],
+                    ),
+                ],
+            )],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dynamic_memory_edge_detected() {
+        let p = figure2a();
+        let nodes = LoopNodes::build(&p);
+        let pdg = Pdg::build(&p, &nodes);
+        // The store (node 4) has a dynamic RAW edge to the guard's load
+        // (node 3) across iterations.
+        let dynamic: Vec<_> = pdg
+            .edges
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    DepKind::Memory {
+                        dynamic: true,
+                        kind: MemDepKind::Raw,
+                        ..
+                    }
+                )
+            })
+            .collect();
+        assert!(
+            dynamic
+                .iter()
+                .any(|e| e.from == NodeId(4) && e.to == NodeId(3)),
+            "expected store->load dynamic RAW, got {dynamic:?}"
+        );
+    }
+
+    #[test]
+    fn conditional_update_has_carried_scalar_flow() {
+        let p = cond_update();
+        let nodes = LoopNodes::build(&p);
+        let pdg = Pdg::build(&p, &nodes);
+        // min_mcost: def at node 3, uses at nodes 0 and 2 — carried flow
+        // back to both (the def is conditional).
+        let carried: Vec<_> = pdg
+            .edges
+            .iter()
+            .filter(
+                |e| matches!(e.kind, DepKind::ScalarFlow { var, carried: true } if var == VarId(3)),
+            )
+            .collect();
+        assert!(carried
+            .iter()
+            .any(|e| e.from == NodeId(3) && e.to == NodeId(0)));
+        assert!(carried
+            .iter()
+            .any(|e| e.from == NodeId(3) && e.to == NodeId(2)));
+    }
+
+    #[test]
+    fn unconditional_def_kills_carried_flow() {
+        // q = pairs_q[i] is unconditional: its later uses never see the
+        // previous iteration's value.
+        let p = figure2a();
+        let nodes = LoopNodes::build(&p);
+        let pdg = Pdg::build(&p, &nodes);
+        assert!(!pdg.edges.iter().any(|e| {
+            matches!(e.kind, DepKind::ScalarFlow { var, carried: true } if var == VarId(2))
+        }));
+    }
+
+    #[test]
+    fn control_edges_present() {
+        let p = cond_update();
+        let nodes = LoopNodes::build(&p);
+        let pdg = Pdg::build(&p, &nodes);
+        assert!(pdg.edges.iter().any(|e| e.from == NodeId(0)
+            && e.to == NodeId(1)
+            && matches!(e.kind, DepKind::Control { polarity: true })));
+        assert!(pdg
+            .edges
+            .iter()
+            .any(|e| e.from == NodeId(2) && e.to == NodeId(3)));
+    }
+
+    #[test]
+    fn break_guard_gets_exit_edges() {
+        let mut b = ProgramBuilder::new("brk");
+        let i = b.var("i", 0);
+        let x = b.var("x", 0);
+        let a = b.array("a");
+        let p = b
+            .build_loop(
+                i,
+                c(0),
+                c(10),
+                vec![assign(x, ld(a, var(i))), if_(gt(var(x), c(5)), vec![brk()])],
+            )
+            .unwrap();
+        let nodes = LoopNodes::build(&p);
+        let pdg = Pdg::build(&p, &nodes);
+        // Guard is node 1; it must have ControlExit edges to node 0 (the
+        // load feeding it) — the Figure 5 cycle.
+        assert!(pdg
+            .edges
+            .iter()
+            .any(|e| e.from == NodeId(1) && e.to == NodeId(0) && e.kind == DepKind::ControlExit));
+    }
+
+    #[test]
+    fn static_carried_distance_resolved() {
+        // a[i] = a[i-4] + 1: carried RAW with distance 4, not dynamic.
+        let mut b = ProgramBuilder::new("dist4");
+        let i = b.var("i", 4);
+        let a = b.array("a");
+        let t = b.var("t", 0);
+        let p = b
+            .build_loop(
+                i,
+                c(4),
+                c(64),
+                vec![
+                    assign(t, add(ld(a, sub(var(i), c(4))), c(1))),
+                    store(a, var(i), var(t)),
+                ],
+            )
+            .unwrap();
+        let nodes = LoopNodes::build(&p);
+        let pdg = Pdg::build(&p, &nodes);
+        assert!(pdg.edges.iter().any(|e| {
+            e.from == NodeId(1)
+                && e.to == NodeId(0)
+                && matches!(
+                    e.kind,
+                    DepKind::Memory {
+                        kind: MemDepKind::Raw,
+                        distance: Some(4),
+                        carried: true,
+                        dynamic: false,
+                        ..
+                    }
+                )
+        }));
+    }
+
+    #[test]
+    fn disjoint_arrays_no_edges() {
+        let mut b = ProgramBuilder::new("disjoint");
+        let i = b.var("i", 0);
+        let a = b.array("a");
+        let bb = b.array("b");
+        let t = b.var("t", 0);
+        let p = b
+            .build_loop(
+                i,
+                c(0),
+                c(16),
+                vec![assign(t, ld(a, var(i))), store(bb, var(i), var(t))],
+            )
+            .unwrap();
+        let nodes = LoopNodes::build(&p);
+        let pdg = Pdg::build(&p, &nodes);
+        assert!(!pdg
+            .edges
+            .iter()
+            .any(|e| matches!(e.kind, DepKind::Memory { .. })));
+    }
+}

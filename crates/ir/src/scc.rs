@@ -1,0 +1,201 @@
+//! Strongly connected components (Tarjan) over the PDG.
+//!
+//! "Instructions involved in a strongly connected component are generally
+//! deemed not vectorizable unless the SCC can be reduced to a recurrence
+//! ... or eliminated" (paper Section 3). The FlexVec analysis removes
+//! believed-infrequent edges and re-runs SCC detection; this module
+//! provides the detector, parameterized by an edge filter so callers can
+//! ask "what cycles remain if I ignore these edges?".
+
+use crate::nodes::NodeId;
+use crate::pdg::{DepEdge, Pdg};
+
+/// A strongly connected component: the member nodes in ascending id order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Scc {
+    /// Member statement nodes.
+    pub nodes: Vec<NodeId>,
+    /// Whether the component contains a cycle (more than one node, or a
+    /// self edge).
+    pub cyclic: bool,
+}
+
+/// Computes the SCCs of the PDG restricted to edges accepted by `filter`.
+/// Components are returned in reverse topological order of the condensed
+/// graph (Tarjan's natural output order: callees before callers).
+pub fn sccs_filtered(pdg: &Pdg, filter: impl Fn(&DepEdge) -> bool) -> Vec<Scc> {
+    let n = pdg.node_count;
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut self_loop = vec![false; n];
+    for e in &pdg.edges {
+        if !filter(e) {
+            continue;
+        }
+        let (f, t) = (e.from.0 as usize, e.to.0 as usize);
+        if f == t {
+            self_loop[f] = true;
+        } else if !adj[f].contains(&t) {
+            adj[f].push(t);
+        }
+    }
+
+    // Iterative Tarjan.
+    #[derive(Clone, Copy)]
+    struct Frame {
+        v: usize,
+        edge: usize,
+    }
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut out = Vec::new();
+
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<Frame> = vec![Frame { v: root, edge: 0 }];
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(frame) = call.last_mut() {
+            let v = frame.v;
+            if frame.edge < adj[v].len() {
+                let w = adj[v][frame.edge];
+                frame.edge += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push(Frame { v: w, edge: 0 });
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    let mut members = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        members.push(NodeId(w as u32));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    members.sort();
+                    let cyclic = members.len() > 1 || self_loop[v];
+                    out.push(Scc {
+                        nodes: members,
+                        cyclic,
+                    });
+                }
+                call.pop();
+                if let Some(parent) = call.last() {
+                    let pv = parent.v;
+                    low[pv] = low[pv].min(low[v]);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Computes the SCCs of the full PDG.
+pub fn sccs(pdg: &Pdg) -> Vec<Scc> {
+    sccs_filtered(pdg, |_| true)
+}
+
+/// The cyclic SCCs only.
+pub fn cyclic_sccs(pdg: &Pdg) -> Vec<Scc> {
+    sccs(pdg).into_iter().filter(|s| s.cyclic).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pdg::DepKind;
+
+    fn pdg_from(n: usize, arcs: &[(u32, u32)]) -> Pdg {
+        Pdg {
+            node_count: n,
+            edges: arcs
+                .iter()
+                .map(|&(f, t)| DepEdge {
+                    from: NodeId(f),
+                    to: NodeId(t),
+                    kind: DepKind::Control { polarity: true },
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn acyclic_graph_yields_singletons() {
+        let pdg = pdg_from(4, &[(0, 1), (1, 2), (2, 3)]);
+        let comps = sccs(&pdg);
+        assert_eq!(comps.len(), 4);
+        assert!(comps.iter().all(|c| !c.cyclic && c.nodes.len() == 1));
+        assert!(cyclic_sccs(&pdg).is_empty());
+    }
+
+    #[test]
+    fn simple_cycle() {
+        let pdg = pdg_from(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let cyc = cyclic_sccs(&pdg);
+        assert_eq!(cyc.len(), 1);
+        assert_eq!(cyc[0].nodes, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn self_loop_is_cyclic() {
+        let pdg = pdg_from(2, &[(0, 0), (0, 1)]);
+        let cyc = cyclic_sccs(&pdg);
+        assert_eq!(cyc.len(), 1);
+        assert_eq!(cyc[0].nodes, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn two_disjoint_cycles() {
+        let pdg = pdg_from(5, &[(0, 1), (1, 0), (2, 3), (3, 2), (3, 4)]);
+        let cyc = cyclic_sccs(&pdg);
+        assert_eq!(cyc.len(), 2);
+    }
+
+    #[test]
+    fn filtering_breaks_cycles() {
+        let pdg = pdg_from(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(cyclic_sccs(&pdg).len(), 1);
+        // Remove the back edge 2 -> 0: the cycle disappears.
+        let comps = sccs_filtered(&pdg, |e| !(e.from == NodeId(2) && e.to == NodeId(0)));
+        assert!(comps.iter().all(|c| !c.cyclic));
+    }
+
+    #[test]
+    fn reverse_topological_order() {
+        let pdg = pdg_from(3, &[(0, 1), (1, 2)]);
+        let comps = sccs(&pdg);
+        // Tarjan emits sinks first.
+        let pos = |id: u32| {
+            comps
+                .iter()
+                .position(|c| c.nodes.contains(&NodeId(id)))
+                .unwrap()
+        };
+        assert!(pos(2) < pos(1));
+        assert!(pos(1) < pos(0));
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // 10_000-node chain exercises the iterative implementation.
+        let arcs: Vec<(u32, u32)> = (0..9999).map(|i| (i, i + 1)).collect();
+        let pdg = pdg_from(10_000, &arcs);
+        assert_eq!(sccs(&pdg).len(), 10_000);
+    }
+}

@@ -1,0 +1,149 @@
+//! Predicated vector comparisons (`VPCMP` family).
+
+use core::fmt;
+
+use crate::{Mask, Vector, VLEN};
+
+/// Comparison predicate for [`vcmp`], mirroring the AVX-512 `VPCMP`
+/// immediate encodings for signed integers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CmpOp {
+    /// `a == b`
+    Eq,
+    /// `a != b`
+    Ne,
+    /// `a < b` (signed)
+    Lt,
+    /// `a <= b` (signed)
+    Le,
+    /// `a > b` (signed)
+    Gt,
+    /// `a >= b` (signed)
+    Ge,
+}
+
+impl CmpOp {
+    /// All predicates, useful for exhaustive tests.
+    pub const ALL: [CmpOp; 6] = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ];
+
+    /// Evaluates the predicate on a pair of scalars.
+    #[inline]
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+
+    /// The predicate with its operands swapped (`a op b` ⇔ `b op.swap() a`).
+    #[must_use]
+    pub fn swapped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// The logical negation (`!(a op b)` ⇔ `a op.negated() b`).
+    #[must_use]
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+/// Masked vector compare (`VPCMP k1 {k2}, v1, v2, imm`): the result bit for
+/// lane `i` is set iff `k.get(i)` and `op.eval(a[i], b[i])`. Disabled lanes
+/// produce 0, matching AVX-512 zero-masking of compare results.
+///
+/// # Examples
+///
+/// ```
+/// use flexvec_isa::{vcmp, CmpOp, Mask, Vector};
+///
+/// let k = vcmp(Mask::FULL, CmpOp::Lt, Vector::iota(), Vector::splat(3));
+/// assert_eq!(k, Mask::from_lanes(&[0, 1, 2]));
+/// ```
+#[must_use]
+pub fn vcmp(k: Mask, op: CmpOp, a: Vector, b: Vector) -> Mask {
+    let mut out = Mask::EMPTY;
+    for i in 0..VLEN {
+        if k.get(i) && op.eval(a.lane(i), b.lane(i)) {
+            out.set(i, true);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_predicates() {
+        let a = Vector::from_slice(&[1, 2, 3]);
+        let b = Vector::from_slice(&[2, 2, 2]);
+        let k3 = Mask::first_n(3);
+        assert_eq!(vcmp(k3, CmpOp::Eq, a, b), Mask::from_lanes(&[1]));
+        assert_eq!(vcmp(k3, CmpOp::Ne, a, b), Mask::from_lanes(&[0, 2]));
+        assert_eq!(vcmp(k3, CmpOp::Lt, a, b), Mask::from_lanes(&[0]));
+        assert_eq!(vcmp(k3, CmpOp::Le, a, b), Mask::from_lanes(&[0, 1]));
+        assert_eq!(vcmp(k3, CmpOp::Gt, a, b), Mask::from_lanes(&[2]));
+        assert_eq!(vcmp(k3, CmpOp::Ge, a, b), Mask::from_lanes(&[1, 2]));
+    }
+
+    #[test]
+    fn masked_lanes_are_zero() {
+        let k = vcmp(
+            Mask::from_lanes(&[5]),
+            CmpOp::Eq,
+            Vector::ZERO,
+            Vector::ZERO,
+        );
+        assert_eq!(k, Mask::from_lanes(&[5]));
+    }
+
+    #[test]
+    fn swapped_and_negated_laws() {
+        for op in CmpOp::ALL {
+            for (a, b) in [(1, 2), (2, 2), (3, 2), (i64::MIN, i64::MAX)] {
+                assert_eq!(op.eval(a, b), op.swapped().eval(b, a), "{op} swap");
+                assert_eq!(op.eval(a, b), !op.negated().eval(a, b), "{op} negate");
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! # flexvec-isa
+//!
+//! A functional (software) model of the vector instruction set used by the
+//! FlexVec paper (*FlexVec: Auto-Vectorization for Irregular Loops*, PLDI
+//! 2016): the relevant AVX-512 subset — predicated arithmetic, compares,
+//! blends, gathers/scatters, compress/expand, permutes — plus the four
+//! FlexVec extensions:
+//!
+//! * [`kftm_exc`] / [`kftm_inc`] — partial mask generation (`KFTM.EXC/INC`)
+//! * [`vpslctlast`] — select-last broadcast (`VPSLCTLAST`)
+//! * [`vpconflictm`] — running memory-conflict detection (`VPCONFLICTM`)
+//! * [`vgather_ff`] / [`vmov_ff`] — first-faulting gather/load
+//!   (`VPGATHERFF`, `VMOVFF`)
+//!
+//! ## Lane model
+//!
+//! One vector register holds [`VLEN`] = 16 lanes. The paper's `.D` forms
+//! operate on 16×32-bit elements of a 512-bit register; this model keeps 16
+//! lanes but widens each element to `i64` so address arithmetic is exact
+//! (the separate timing model in `flexvec-sim` charges per active lane, so
+//! the widening does not distort costs). Lane 0 is the **leftmost** lane in
+//! the paper's diagrams and maps the *oldest* scalar iteration.
+//!
+//! Every worked example printed in the paper (Sections 3.3.1, 3.4, 3.5,
+//! 3.6) is reproduced as a unit test in the corresponding module.
+//!
+//! ## Example: driving a Vector Partitioning Loop by hand
+//!
+//! ```
+//! use flexvec_isa::{kftm_exc, vpconflictm, Mask, Vector};
+//!
+//! // Indices written (and read) by a vector iteration; lanes 2 and 3
+//! // touch the same location, so lane 3 must wait for lane 2.
+//! let idx = Vector::from_slice(&[0, 1, 7, 7, 4, 5, 6, 8, 9, 10, 11, 12, 13, 14, 15, 3]);
+//! let mut k_todo = Mask::FULL;
+//! let mut partitions = 0;
+//! while k_todo.any() {
+//!     let k_stop = vpconflictm(k_todo, idx, idx);
+//!     let k_safe = kftm_exc(k_todo, k_stop);
+//!     // ... execute the relaxed SCC under k_safe ...
+//!     k_todo = k_todo.and_not(k_safe);
+//!     partitions += 1;
+//! }
+//! assert_eq!(partitions, 2); // one conflict => two partitions
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Number of lanes in a vector register (512 bits of `.D` elements).
+pub const VLEN: usize = 16;
+
+mod cmp;
+mod flexvec_ops;
+mod mask;
+mod memops;
+mod vector;
+
+pub use cmp::{vcmp, CmpOp};
+pub use flexvec_ops::{kftm_exc, kftm_inc, vpconflictm, vpslctlast};
+pub use mask::{Lanes, Mask, ParseMaskError};
+pub use memops::{
+    vgather, vgather_ff, vload, vmov_ff, vscatter, vstore, FirstFaultResult, LaneMemory, MemFault,
+    LANE_BYTES,
+};
+pub use vector::Vector;

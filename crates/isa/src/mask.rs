@@ -1,0 +1,495 @@
+//! Predicate mask registers.
+//!
+//! AVX-512 exposes eight architecturally visible mask registers
+//! (`k0`–`k7`). FlexVec's code generation gives them *roles* —
+//! `k_todo`, `k_safe`, `k_stop`, `k_rem`, `k_loop` — but they are ordinary
+//! masks. This module models a mask over [`VLEN`] lanes.
+//!
+//! Lane 0 is the **leftmost** (oldest) lane, matching the layout of every
+//! worked example in the paper ("vector elements are laid out left to
+//! right").
+
+use core::fmt;
+use core::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, BitXorAssign, Not};
+use core::str::FromStr;
+
+use crate::VLEN;
+
+/// A predicate mask over [`VLEN`] vector lanes.
+///
+/// Bit `i` corresponds to lane `i`; lane 0 is the leftmost lane in the
+/// paper's diagrams and the *oldest* scalar iteration mapped onto the
+/// vector.
+///
+/// # Examples
+///
+/// ```
+/// use flexvec_isa::Mask;
+///
+/// let k = Mask::from_lanes(&[0, 3, 15]);
+/// assert!(k.get(3));
+/// assert!(!k.get(4));
+/// assert_eq!(k.count(), 3);
+/// assert_eq!(k.first_set(), Some(0));
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Mask(u16);
+
+impl Mask {
+    /// Number of lanes covered by a mask register.
+    pub const LANES: usize = VLEN;
+
+    /// The empty mask (no lane enabled).
+    pub const EMPTY: Mask = Mask(0);
+
+    /// The full mask (every lane enabled).
+    pub const FULL: Mask = Mask(u16::MAX);
+
+    /// Creates a mask from its raw bit representation (bit `i` = lane `i`).
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Self {
+        Mask(bits)
+    }
+
+    /// Returns the raw bit representation (bit `i` = lane `i`).
+    #[inline]
+    pub const fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Creates a mask with exactly the given lanes enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any lane index is `>= Mask::LANES`.
+    pub fn from_lanes(lanes: &[usize]) -> Self {
+        let mut bits = 0u16;
+        for &lane in lanes {
+            assert!(lane < Self::LANES, "lane {lane} out of range");
+            bits |= 1 << lane;
+        }
+        Mask(bits)
+    }
+
+    /// Creates a mask from a boolean per lane, lane 0 first.
+    pub fn from_bools(bools: &[bool]) -> Self {
+        assert!(bools.len() <= Self::LANES, "too many lanes");
+        let mut bits = 0u16;
+        for (i, &b) in bools.iter().enumerate() {
+            if b {
+                bits |= 1 << i;
+            }
+        }
+        Mask(bits)
+    }
+
+    /// Creates a mask with the first `n` lanes enabled.
+    ///
+    /// This is the mask a vector loop uses for a (possibly partial) trip of
+    /// `n` remaining scalar iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > Mask::LANES`.
+    pub fn first_n(n: usize) -> Self {
+        assert!(n <= Self::LANES, "prefix length {n} out of range");
+        if n == Self::LANES {
+            Mask::FULL
+        } else {
+            Mask(((1u32 << n) - 1) as u16)
+        }
+    }
+
+    /// Returns whether lane `lane` is enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= Mask::LANES`.
+    #[inline]
+    pub fn get(self, lane: usize) -> bool {
+        assert!(lane < Self::LANES, "lane {lane} out of range");
+        self.0 & (1 << lane) != 0
+    }
+
+    /// Returns a copy of the mask with lane `lane` set to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= Mask::LANES`.
+    #[inline]
+    #[must_use]
+    pub fn with(self, lane: usize, value: bool) -> Self {
+        assert!(lane < Self::LANES, "lane {lane} out of range");
+        if value {
+            Mask(self.0 | (1 << lane))
+        } else {
+            Mask(self.0 & !(1 << lane))
+        }
+    }
+
+    /// Enables lane `lane` in place.
+    #[inline]
+    pub fn set(&mut self, lane: usize, value: bool) {
+        *self = self.with(lane, value);
+    }
+
+    /// Returns `true` if no lane is enabled.
+    ///
+    /// The hardware analogue is `KTEST` setting ZF.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns `true` if at least one lane is enabled.
+    #[inline]
+    pub fn any(self) -> bool {
+        self.0 != 0
+    }
+
+    /// Number of enabled lanes (`KPOPCNT`-style).
+    #[inline]
+    pub fn count(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Index of the first (leftmost / oldest) enabled lane, if any.
+    #[inline]
+    pub fn first_set(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
+    /// Index of the last (rightmost / youngest) enabled lane, if any.
+    #[inline]
+    pub fn last_set(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(15 - self.0.leading_zeros() as usize)
+        }
+    }
+
+    /// Mask of all lanes strictly before `lane` (exclusive prefix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane > Mask::LANES`.
+    pub fn prefix_before(lane: usize) -> Self {
+        Self::first_n(lane.min(Self::LANES))
+    }
+
+    /// Mask of all lanes up to and including `lane` (inclusive prefix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= Mask::LANES`.
+    pub fn prefix_through(lane: usize) -> Self {
+        assert!(lane < Self::LANES, "lane {lane} out of range");
+        Self::first_n(lane + 1)
+    }
+
+    /// Mask of all lanes at and after `lane` (the "current and succeeding
+    /// lanes" used to build `k_rem`).
+    pub fn suffix_from(lane: usize) -> Self {
+        !Self::prefix_before(lane)
+    }
+
+    /// `self & !other` (`KANDN` with swapped operand order: clears the lanes
+    /// enabled in `other`).
+    #[inline]
+    #[must_use]
+    pub fn and_not(self, other: Mask) -> Mask {
+        Mask(self.0 & !other.0)
+    }
+
+    /// Iterates over the indices of enabled lanes, in increasing order.
+    pub fn iter(self) -> Lanes {
+        Lanes(self.0)
+    }
+
+    /// Returns the lanes as a boolean array, lane 0 first.
+    pub fn to_bools(self) -> [bool; VLEN] {
+        core::array::from_fn(|i| self.get(i))
+    }
+}
+
+/// Iterator over the enabled lane indices of a [`Mask`].
+#[derive(Clone, Debug)]
+pub struct Lanes(u16);
+
+impl Iterator for Lanes {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let lane = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(lane)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Lanes {}
+
+impl IntoIterator for Mask {
+    type Item = usize;
+    type IntoIter = Lanes;
+
+    fn into_iter(self) -> Lanes {
+        self.iter()
+    }
+}
+
+impl BitAnd for Mask {
+    type Output = Mask;
+    #[inline]
+    fn bitand(self, rhs: Mask) -> Mask {
+        Mask(self.0 & rhs.0)
+    }
+}
+
+impl BitOr for Mask {
+    type Output = Mask;
+    #[inline]
+    fn bitor(self, rhs: Mask) -> Mask {
+        Mask(self.0 | rhs.0)
+    }
+}
+
+impl BitXor for Mask {
+    type Output = Mask;
+    #[inline]
+    fn bitxor(self, rhs: Mask) -> Mask {
+        Mask(self.0 ^ rhs.0)
+    }
+}
+
+impl Not for Mask {
+    type Output = Mask;
+    #[inline]
+    fn not(self) -> Mask {
+        Mask(!self.0)
+    }
+}
+
+impl BitAndAssign for Mask {
+    #[inline]
+    fn bitand_assign(&mut self, rhs: Mask) {
+        self.0 &= rhs.0;
+    }
+}
+
+impl BitOrAssign for Mask {
+    #[inline]
+    fn bitor_assign(&mut self, rhs: Mask) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitXorAssign for Mask {
+    #[inline]
+    fn bitxor_assign(&mut self, rhs: Mask) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl fmt::Debug for Mask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Mask({self})")
+    }
+}
+
+/// Formats the mask in the paper's layout: lane 0 leftmost, one digit per
+/// lane, space separated (`"0 0 1 1 ..."`).
+impl fmt::Display for Mask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for lane in 0..Self::LANES {
+            if lane > 0 {
+                f.write_str(" ")?;
+            }
+            f.write_str(if self.get(lane) { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Binary for Mask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for Mask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Mask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Octal for Mask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.0, f)
+    }
+}
+
+impl From<u16> for Mask {
+    fn from(bits: u16) -> Mask {
+        Mask(bits)
+    }
+}
+
+impl From<Mask> for u16 {
+    fn from(mask: Mask) -> u16 {
+        mask.bits()
+    }
+}
+
+/// Error returned when parsing a [`Mask`] from the paper's textual layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMaskError {
+    found: String,
+}
+
+impl fmt::Display for ParseMaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mask must be {VLEN} space-separated 0/1 digits, found {:?}",
+            self.found
+        )
+    }
+}
+
+impl std::error::Error for ParseMaskError {}
+
+/// Parses the paper's textual mask layout: lane 0 first, whitespace
+/// separated, e.g. `"0 0 1 1 1 1 1 1 1 1 1 1 1 1 1 1"`.
+impl FromStr for Mask {
+    type Err = ParseMaskError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut bits = 0u16;
+        let mut n = 0usize;
+        for tok in s.split_whitespace() {
+            match tok {
+                "0" => {}
+                "1" => {
+                    if n < VLEN {
+                        bits |= 1 << n;
+                    }
+                }
+                _ => {
+                    return Err(ParseMaskError {
+                        found: s.to_owned(),
+                    })
+                }
+            }
+            n += 1;
+        }
+        if n != VLEN {
+            return Err(ParseMaskError {
+                found: s.to_owned(),
+            });
+        }
+        Ok(Mask(bits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        assert!(Mask::EMPTY.is_empty());
+        assert!(!Mask::EMPTY.any());
+        assert_eq!(Mask::FULL.count(), VLEN);
+        assert_eq!(Mask::FULL.first_set(), Some(0));
+        assert_eq!(Mask::FULL.last_set(), Some(VLEN - 1));
+        assert_eq!(Mask::EMPTY.first_set(), None);
+        assert_eq!(Mask::EMPTY.last_set(), None);
+    }
+
+    #[test]
+    fn first_n_prefixes() {
+        assert_eq!(Mask::first_n(0), Mask::EMPTY);
+        assert_eq!(Mask::first_n(16), Mask::FULL);
+        assert_eq!(Mask::first_n(3).bits(), 0b111);
+        assert_eq!(Mask::prefix_before(5).bits(), 0b1_1111);
+        assert_eq!(Mask::prefix_through(5).bits(), 0b11_1111);
+        assert_eq!(Mask::suffix_from(14).bits(), 0b1100_0000_0000_0000);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn first_n_rejects_oversize() {
+        let _ = Mask::first_n(17);
+    }
+
+    #[test]
+    fn lane_get_set() {
+        let mut k = Mask::EMPTY;
+        k.set(4, true);
+        k.set(9, true);
+        assert!(k.get(4) && k.get(9));
+        k.set(4, false);
+        assert!(!k.get(4));
+        assert_eq!(k, Mask::from_lanes(&[9]));
+    }
+
+    #[test]
+    fn bit_operators() {
+        let a = Mask::from_lanes(&[0, 1, 2]);
+        let b = Mask::from_lanes(&[2, 3]);
+        assert_eq!(a & b, Mask::from_lanes(&[2]));
+        assert_eq!(a | b, Mask::from_lanes(&[0, 1, 2, 3]));
+        assert_eq!(a ^ b, Mask::from_lanes(&[0, 1, 3]));
+        assert_eq!(a.and_not(b), Mask::from_lanes(&[0, 1]));
+        assert_eq!((!a).count(), VLEN - 3);
+    }
+
+    #[test]
+    fn iteration_order() {
+        let k = Mask::from_lanes(&[7, 2, 11]);
+        let lanes: Vec<usize> = k.iter().collect();
+        assert_eq!(lanes, vec![2, 7, 11]);
+        assert_eq!(k.iter().len(), 3);
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let k = Mask::from_lanes(&[2, 3, 4, 5]);
+        let text = k.to_string();
+        assert_eq!(text, "0 0 1 1 1 1 0 0 0 0 0 0 0 0 0 0");
+        assert_eq!(text.parse::<Mask>().unwrap(), k);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!("0 1".parse::<Mask>().is_err());
+        assert!("0 0 2 1 1 1 1 1 1 1 1 1 1 1 1 1".parse::<Mask>().is_err());
+    }
+
+    #[test]
+    fn from_bools_partial() {
+        let k = Mask::from_bools(&[true, false, true]);
+        assert_eq!(k, Mask::from_lanes(&[0, 2]));
+        assert_eq!(k.to_bools()[..3], [true, false, true]);
+    }
+}

@@ -1,0 +1,453 @@
+//! Vector memory operations: loads, stores, gathers, scatters, and the
+//! FlexVec *first-faulting* variants (`VPGATHERFF.D/Q`, `VMOVFF.D/Q`,
+//! paper Section 3.3.1).
+//!
+//! The ISA model is independent of any concrete memory implementation: all
+//! operations go through the [`LaneMemory`] trait, which `flexvec-mem`
+//! implements for its paged address space. Addresses are byte addresses;
+//! every lane transfers one 8-byte element (the functional model's lane
+//! width — see `flexvec-isa` crate docs).
+
+use core::fmt;
+
+use crate::{Mask, Vector};
+
+/// Number of bytes transferred per lane by the functional model.
+pub const LANE_BYTES: u64 = 8;
+
+/// A memory access fault (unmapped page / protection violation).
+///
+/// For regular loads/gathers/scatters a fault is an exception. For the
+/// first-faulting instructions a fault on a *speculative* lane is absorbed
+/// into the write mask instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MemFault {
+    /// The faulting byte address.
+    pub addr: u64,
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "memory fault at address {:#x}", self.addr)
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// Lane-granular memory used by the vector memory instructions.
+///
+/// Implementations decide which addresses are mapped; unmapped accesses
+/// return [`MemFault`]. `flexvec-mem`'s paged address space is the primary
+/// implementation; tests use flat arrays.
+pub trait LaneMemory {
+    /// Reads the 8-byte element at byte address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] if the address (or any byte of the element) is
+    /// not readable.
+    fn load_lane(&self, addr: u64) -> Result<i64, MemFault>;
+
+    /// Writes the 8-byte element at byte address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] if the address is not writable.
+    fn store_lane(&mut self, addr: u64, value: i64) -> Result<(), MemFault>;
+}
+
+impl<M: LaneMemory + ?Sized> LaneMemory for &mut M {
+    fn load_lane(&self, addr: u64) -> Result<i64, MemFault> {
+        (**self).load_lane(addr)
+    }
+    fn store_lane(&mut self, addr: u64, value: i64) -> Result<(), MemFault> {
+        (**self).store_lane(addr, value)
+    }
+}
+
+/// Result of a first-faulting load or gather.
+///
+/// `value` is the destination register after merge-masking; `mask` is the
+/// (possibly clipped) output write mask. After the instruction executes,
+/// software compares `mask` against the input mask to detect clipping and
+/// fall back to scalar code (paper Section 4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FirstFaultResult {
+    /// Destination register contents (loaded lanes merged over `dest`).
+    pub value: Vector,
+    /// Output write mask; bits from the leftmost faulting speculative lane
+    /// rightward are zeroed.
+    pub mask: Mask,
+}
+
+impl FirstFaultResult {
+    /// Whether any speculative lane faulted, i.e. the mask was clipped
+    /// relative to the input mask `k`.
+    pub fn clipped(&self, k: Mask) -> bool {
+        self.mask != k
+    }
+}
+
+/// `VPGATHER.D/Q v1 {k1}, [addrs]` — regular masked gather.
+///
+/// Loads one element per enabled lane. Disabled lanes keep `dest`'s old
+/// value (merge masking, as with the AVX-512 gather whose write mask is
+/// both input and output).
+///
+/// # Errors
+///
+/// A fault on **any** enabled lane is an exception.
+pub fn vgather<M: LaneMemory + ?Sized>(
+    mem: &M,
+    k: Mask,
+    dest: Vector,
+    addrs: Vector,
+) -> Result<Vector, MemFault> {
+    let mut out = dest;
+    for lane in k.iter() {
+        out[lane] = mem.load_lane(addrs.lane(lane) as u64)?;
+    }
+    Ok(out)
+}
+
+/// `VMOV.D/Q v1 {k1}, [base]` — regular masked unit-stride load: lane `i`
+/// reads `base + 8*i`.
+///
+/// # Errors
+///
+/// A fault on any enabled lane is an exception.
+pub fn vload<M: LaneMemory + ?Sized>(
+    mem: &M,
+    k: Mask,
+    dest: Vector,
+    base: u64,
+) -> Result<Vector, MemFault> {
+    let mut out = dest;
+    for lane in k.iter() {
+        out[lane] = mem.load_lane(base.wrapping_add(lane as u64 * LANE_BYTES))?;
+    }
+    Ok(out)
+}
+
+/// `VPSCATTER.D/Q [addrs] {k1}, v1` — masked scatter.
+///
+/// Lanes are written from lane 0 upward, so when two enabled lanes target
+/// the same address the **youngest** (highest-index) lane wins, matching
+/// AVX-512 scatter ordering.
+///
+/// # Errors
+///
+/// A fault on any enabled lane is an exception; lanes preceding the fault
+/// may already have been written (x86 scatters are restartable, and FlexVec
+/// only issues scatters under non-speculative masks).
+pub fn vscatter<M: LaneMemory + ?Sized>(
+    mem: &mut M,
+    k: Mask,
+    addrs: Vector,
+    values: Vector,
+) -> Result<(), MemFault> {
+    for lane in k.iter() {
+        mem.store_lane(addrs.lane(lane) as u64, values.lane(lane))?;
+    }
+    Ok(())
+}
+
+/// Masked unit-stride store: lane `i` writes `base + 8*i`.
+///
+/// # Errors
+///
+/// A fault on any enabled lane is an exception.
+pub fn vstore<M: LaneMemory + ?Sized>(
+    mem: &mut M,
+    k: Mask,
+    base: u64,
+    values: Vector,
+) -> Result<(), MemFault> {
+    for lane in k.iter() {
+        mem.store_lane(
+            base.wrapping_add(lane as u64 * LANE_BYTES),
+            values.lane(lane),
+        )?;
+    }
+    Ok(())
+}
+
+/// `VPGATHERFF.D/Q v1 {k1}, [addrs]` — first-faulting gather (paper
+/// Section 3.3.1).
+///
+/// The leftmost enabled lane is the **non-speculative element**: a fault
+/// there is a real exception. Every other enabled lane is gathered
+/// *speculatively*: if one faults, the fault is not serviced — instead the
+/// output mask is zeroed from the leftmost faulting speculative lane all
+/// the way to the rightmost lane, and the destination keeps its old
+/// contents for those lanes. Write-mask bits to the left of the fault are
+/// unmodified, indicating completion.
+///
+/// # Errors
+///
+/// Returns [`MemFault`] only for a fault on the non-speculative element.
+///
+/// # Examples
+///
+/// The paper's Section 3.3.1 example: lanes 0–1 disabled, faults at lanes
+/// 1, 6 and 12. Lane 1's fault is ignored (disabled), lane 2 is
+/// non-speculative, lane 6 is the leftmost faulting speculative element, so
+/// the mask is zeroed from lane 6 rightward and only lanes 2–5 load.
+///
+/// ```
+/// use flexvec_isa::{vgather_ff, LaneMemory, Mask, MemFault, Vector};
+///
+/// struct Mem;
+/// impl LaneMemory for Mem {
+///     fn load_lane(&self, addr: u64) -> Result<i64, MemFault> {
+///         let lane = addr / 8;
+///         if [1, 6, 12].contains(&lane) {
+///             Err(MemFault { addr })
+///         } else {
+///             Ok(lane as i64 + 100)
+///         }
+///     }
+///     fn store_lane(&mut self, _: u64, _: i64) -> Result<(), MemFault> {
+///         unreachable!()
+///     }
+/// }
+///
+/// let k1: Mask = "0 0 1 1 1 1 1 1 1 1 1 1 1 1 1 1".parse()?;
+/// let addrs = Vector::from_fn(|i| 8 * i as i64);
+/// let out = vgather_ff(&Mem, k1, Vector::splat(7), addrs)?;
+/// assert_eq!(out.mask, "0 0 1 1 1 1 0 0 0 0 0 0 0 0 0 0".parse()?);
+/// assert_eq!(out.value.lane(2), 102);
+/// assert_eq!(out.value.lane(5), 105);
+/// assert_eq!(out.value.lane(6), 7); // old value kept
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn vgather_ff<M: LaneMemory + ?Sized>(
+    mem: &M,
+    k: Mask,
+    dest: Vector,
+    addrs: Vector,
+) -> Result<FirstFaultResult, MemFault> {
+    first_faulting(k, dest, |lane| mem.load_lane(addrs.lane(lane) as u64))
+}
+
+/// `VMOVFF.D/Q v1 {k1}, [base]` — first-faulting unit-stride load: the
+/// load analogue of [`vgather_ff`]. Lane `i` reads `base + 8*i`; if the
+/// data straddles into an unmapped page, the elements on the first page
+/// load and the write mask is clipped at the page boundary.
+///
+/// # Errors
+///
+/// Returns [`MemFault`] only for a fault on the non-speculative (leftmost
+/// enabled) element.
+pub fn vmov_ff<M: LaneMemory + ?Sized>(
+    mem: &M,
+    k: Mask,
+    dest: Vector,
+    base: u64,
+) -> Result<FirstFaultResult, MemFault> {
+    first_faulting(k, dest, |lane| {
+        mem.load_lane(base.wrapping_add(lane as u64 * LANE_BYTES))
+    })
+}
+
+fn first_faulting(
+    k: Mask,
+    dest: Vector,
+    mut load: impl FnMut(usize) -> Result<i64, MemFault>,
+) -> Result<FirstFaultResult, MemFault> {
+    let mut value = dest;
+    let mut mask = k;
+    let non_speculative = k.first_set();
+    for lane in k.iter() {
+        match load(lane) {
+            Ok(v) => value[lane] = v,
+            Err(fault) => {
+                if Some(lane) == non_speculative {
+                    return Err(fault);
+                }
+                // Zero the mask from the faulting lane rightward and keep
+                // the destination's old contents there (discard any lanes
+                // that were architecturally gathered out of order).
+                mask &= Mask::prefix_before(lane);
+                for undo in lane..Vector::LANES {
+                    value[undo] = dest.lane(undo);
+                }
+                return Ok(FirstFaultResult { value, mask });
+            }
+        }
+    }
+    Ok(FirstFaultResult { value, mask })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Word-addressed test memory: element `i` lives at byte `8*i` and
+    /// holds `100 + i`; the `faults` list marks unmapped elements.
+    struct TestMem {
+        len: u64,
+        faults: Vec<u64>,
+        cells: Vec<i64>,
+    }
+
+    impl TestMem {
+        fn new(len: u64, faults: &[u64]) -> Self {
+            TestMem {
+                len,
+                faults: faults.to_vec(),
+                cells: (0..len).map(|i| 100 + i as i64).collect(),
+            }
+        }
+    }
+
+    impl LaneMemory for TestMem {
+        fn load_lane(&self, addr: u64) -> Result<i64, MemFault> {
+            let idx = addr / LANE_BYTES;
+            if idx >= self.len || self.faults.contains(&idx) || !addr.is_multiple_of(LANE_BYTES) {
+                Err(MemFault { addr })
+            } else {
+                Ok(self.cells[idx as usize])
+            }
+        }
+        fn store_lane(&mut self, addr: u64, value: i64) -> Result<(), MemFault> {
+            let idx = addr / LANE_BYTES;
+            if idx >= self.len || self.faults.contains(&idx) || !addr.is_multiple_of(LANE_BYTES) {
+                Err(MemFault { addr })
+            } else {
+                self.cells[idx as usize] = value;
+                Ok(())
+            }
+        }
+    }
+
+    fn byte_addrs_identity() -> Vector {
+        Vector::from_fn(|i| (i as i64) * LANE_BYTES as i64)
+    }
+
+    #[test]
+    fn gather_merges_disabled_lanes() {
+        let mem = TestMem::new(32, &[]);
+        let k = Mask::from_lanes(&[1, 3]);
+        let out = vgather(&mem, k, Vector::splat(-5), byte_addrs_identity()).unwrap();
+        assert_eq!(out.lane(1), 101);
+        assert_eq!(out.lane(3), 103);
+        assert_eq!(out.lane(0), -5);
+    }
+
+    #[test]
+    fn gather_fault_is_exception() {
+        let mem = TestMem::new(32, &[3]);
+        let k = Mask::from_lanes(&[1, 3]);
+        let err = vgather(&mem, k, Vector::ZERO, byte_addrs_identity()).unwrap_err();
+        assert_eq!(err.addr, 24);
+    }
+
+    #[test]
+    fn gather_disabled_fault_ignored() {
+        let mem = TestMem::new(32, &[3]);
+        let k = Mask::from_lanes(&[1]);
+        assert!(vgather(&mem, k, Vector::ZERO, byte_addrs_identity()).is_ok());
+    }
+
+    #[test]
+    fn scatter_youngest_lane_wins() {
+        let mut mem = TestMem::new(8, &[]);
+        let addrs = Vector::splat(0);
+        let vals = Vector::iota();
+        vscatter(&mut mem, Mask::first_n(4), addrs, vals).unwrap();
+        assert_eq!(mem.cells[0], 3);
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let mut mem = TestMem::new(32, &[]);
+        let k = Mask::first_n(16);
+        vstore(&mut mem, k, 0, Vector::iota()).unwrap();
+        let out = vload(&mem, k, Vector::ZERO, 0).unwrap();
+        assert_eq!(out, Vector::iota());
+    }
+
+    /// The paper's VPGATHERFFD worked example (Section 3.3.1).
+    #[test]
+    fn gather_ff_paper_example() {
+        let mem = TestMem::new(16, &[1, 6, 12]);
+        let k1: Mask = "0 0 1 1 1 1 1 1 1 1 1 1 1 1 1 1".parse().unwrap();
+        let out = vgather_ff(&mem, k1, Vector::splat(7), byte_addrs_identity()).unwrap();
+        assert_eq!(
+            out.mask,
+            "0 0 1 1 1 1 0 0 0 0 0 0 0 0 0 0".parse::<Mask>().unwrap()
+        );
+        // Lanes 2..=5 loaded; everything else keeps the old value 7.
+        for lane in 0..16 {
+            let expect = if (2..=5).contains(&lane) {
+                100 + lane as i64
+            } else {
+                7
+            };
+            assert_eq!(out.value.lane(lane), expect, "lane {lane}");
+        }
+        assert!(out.clipped(k1));
+    }
+
+    #[test]
+    fn gather_ff_non_speculative_fault_is_exception() {
+        let mem = TestMem::new(16, &[2]);
+        let k1: Mask = "0 0 1 1 1 1 1 1 1 1 1 1 1 1 1 1".parse().unwrap();
+        let err = vgather_ff(&mem, k1, Vector::ZERO, byte_addrs_identity()).unwrap_err();
+        assert_eq!(err.addr, 16);
+    }
+
+    #[test]
+    fn gather_ff_no_fault_mask_unmodified() {
+        let mem = TestMem::new(16, &[]);
+        let k1 = Mask::from_lanes(&[0, 5, 9]);
+        let out = vgather_ff(&mem, k1, Vector::ZERO, byte_addrs_identity()).unwrap();
+        assert_eq!(out.mask, k1);
+        assert!(!out.clipped(k1));
+        assert_eq!(out.value.lane(9), 109);
+    }
+
+    #[test]
+    fn gather_ff_fault_on_last_lane() {
+        let mem = TestMem::new(16, &[15]);
+        let out = vgather_ff(&mem, Mask::FULL, Vector::ZERO, byte_addrs_identity()).unwrap();
+        assert_eq!(out.mask, Mask::first_n(15));
+        assert_eq!(out.value.lane(14), 114);
+        assert_eq!(out.value.lane(15), 0);
+    }
+
+    #[test]
+    fn gather_ff_empty_mask_is_noop() {
+        let mem = TestMem::new(1, &[]);
+        let out = vgather_ff(&mem, Mask::EMPTY, Vector::splat(3), Vector::splat(1 << 40)).unwrap();
+        assert_eq!(out.mask, Mask::EMPTY);
+        assert_eq!(out.value, Vector::splat(3));
+    }
+
+    /// VMOVFF straddling an "unmapped page": elements 0..8 mapped, the rest
+    /// fault, like a vector load crossing into an unmapped page.
+    #[test]
+    fn mov_ff_straddles_boundary() {
+        let mem = TestMem::new(8, &[]);
+        let out = vmov_ff(&mem, Mask::FULL, Vector::splat(-1), 0).unwrap();
+        assert_eq!(out.mask, Mask::first_n(8));
+        assert_eq!(out.value.lane(7), 107);
+        assert_eq!(out.value.lane(8), -1);
+    }
+
+    #[test]
+    fn mov_ff_base_offset() {
+        let mem = TestMem::new(32, &[]);
+        let out = vmov_ff(&mem, Mask::first_n(4), Vector::ZERO, 16).unwrap();
+        assert_eq!(out.value.lane(0), 102);
+        assert_eq!(out.value.lane(3), 105);
+    }
+
+    #[test]
+    fn store_fault_reports_address() {
+        let mut mem = TestMem::new(4, &[]);
+        let err = vstore(&mut mem, Mask::first_n(8), 0, Vector::ZERO).unwrap_err();
+        assert_eq!(err.addr, 32);
+    }
+}

@@ -1,0 +1,442 @@
+//! Vector register values.
+//!
+//! A 512-bit AVX-512 register holds 16 double-word (`.D`) or 8 quad-word
+//! (`.Q`) elements. The functional model widens every lane to `i64` so that
+//! address arithmetic and reductions never overflow; the *timing* model in
+//! `flexvec-sim` charges memory operations per active lane and ALU
+//! operations per instruction, so the widening does not distort costs.
+//! Lane 0 is the leftmost lane of the paper's diagrams and maps the oldest
+//! scalar iteration.
+
+use core::fmt;
+use core::ops::{Index, IndexMut};
+
+use crate::{Mask, VLEN};
+
+/// A vector register value: [`VLEN`] lanes of `i64`.
+///
+/// # Examples
+///
+/// ```
+/// use flexvec_isa::{Mask, Vector};
+///
+/// let v = Vector::iota();             // 0, 1, 2, ..., 15
+/// let w = v.add(Vector::splat(10));   // 10, 11, ..., 25
+/// assert_eq!(w[0], 10);
+/// assert_eq!(w[15], 25);
+///
+/// // Predicated merge: disabled lanes keep the destination's old value.
+/// let k = Mask::first_n(4);
+/// let merged = Vector::splat(-1).merge(k, w);
+/// assert_eq!(merged[3], 13);
+/// assert_eq!(merged[4], -1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Vector(pub(crate) [i64; VLEN]);
+
+// The arithmetic method names deliberately mirror the ISA mnemonics
+// (`VPADD` → `add`); they are inherent methods, not operator overloads.
+#[allow(clippy::should_implement_trait)]
+impl Vector {
+    /// Number of lanes in a vector register.
+    pub const LANES: usize = VLEN;
+
+    /// All-zero vector.
+    pub const ZERO: Vector = Vector([0; VLEN]);
+
+    /// Creates a vector from a lane array (lane 0 first).
+    #[inline]
+    pub const fn from_lanes(lanes: [i64; VLEN]) -> Self {
+        Vector(lanes)
+    }
+
+    /// Creates a vector from a slice of at most [`VLEN`] values; missing
+    /// lanes are zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() > Vector::LANES`.
+    pub fn from_slice(values: &[i64]) -> Self {
+        assert!(values.len() <= VLEN, "too many lanes: {}", values.len());
+        let mut lanes = [0i64; VLEN];
+        lanes[..values.len()].copy_from_slice(values);
+        Vector(lanes)
+    }
+
+    /// Creates a vector whose lane `i` is `f(i)`.
+    pub fn from_fn(f: impl FnMut(usize) -> i64) -> Self {
+        Vector(core::array::from_fn(f))
+    }
+
+    /// Broadcasts a scalar to all lanes (`VPBROADCAST`).
+    #[inline]
+    pub const fn splat(value: i64) -> Self {
+        Vector([value; VLEN])
+    }
+
+    /// The lane-index vector `0, 1, 2, ..., 15`, used to materialize the
+    /// vectorized induction variable.
+    pub fn iota() -> Self {
+        Vector::from_fn(|i| i as i64)
+    }
+
+    /// Returns the lanes as an array (lane 0 first).
+    #[inline]
+    pub const fn to_lanes(self) -> [i64; VLEN] {
+        self.0
+    }
+
+    /// Returns the lanes as a slice.
+    #[inline]
+    pub fn as_lanes(&self) -> &[i64; VLEN] {
+        &self.0
+    }
+
+    /// Returns the value of lane `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= Vector::LANES`.
+    #[inline]
+    pub fn lane(self, lane: usize) -> i64 {
+        self.0[lane]
+    }
+
+    /// Returns a copy with lane `lane` replaced by `value`.
+    #[inline]
+    #[must_use]
+    pub fn with_lane(mut self, lane: usize, value: i64) -> Self {
+        self.0[lane] = value;
+        self
+    }
+
+    /// Lane-wise merge: enabled lanes take values from `src`, disabled lanes
+    /// keep `self`'s value. This is AVX-512 merge-masking with `self` as the
+    /// destination's old contents.
+    #[must_use]
+    pub fn merge(self, k: Mask, src: Vector) -> Vector {
+        Vector::from_fn(|i| if k.get(i) { src.0[i] } else { self.0[i] })
+    }
+
+    /// Applies a binary operation lane-wise without predication.
+    pub fn zip_with(self, rhs: Vector, mut f: impl FnMut(i64, i64) -> i64) -> Vector {
+        Vector::from_fn(|i| f(self.0[i], rhs.0[i]))
+    }
+
+    /// Applies a unary operation lane-wise without predication.
+    pub fn map(self, mut f: impl FnMut(i64) -> i64) -> Vector {
+        Vector::from_fn(|i| f(self.0[i]))
+    }
+
+    /// Lane-wise wrapping addition (`VPADD`).
+    #[must_use]
+    pub fn add(self, rhs: Vector) -> Vector {
+        self.zip_with(rhs, i64::wrapping_add)
+    }
+
+    /// Lane-wise wrapping subtraction (`VPSUB`).
+    #[must_use]
+    pub fn sub(self, rhs: Vector) -> Vector {
+        self.zip_with(rhs, i64::wrapping_sub)
+    }
+
+    /// Lane-wise wrapping multiplication (`VPMULL`).
+    #[must_use]
+    pub fn mul(self, rhs: Vector) -> Vector {
+        self.zip_with(rhs, i64::wrapping_mul)
+    }
+
+    /// Lane-wise minimum (`VPMINS`).
+    #[must_use]
+    pub fn min(self, rhs: Vector) -> Vector {
+        self.zip_with(rhs, i64::min)
+    }
+
+    /// Lane-wise maximum (`VPMAXS`).
+    #[must_use]
+    pub fn max(self, rhs: Vector) -> Vector {
+        self.zip_with(rhs, i64::max)
+    }
+
+    /// Lane-wise bitwise AND (`VPAND`).
+    #[must_use]
+    pub fn and(self, rhs: Vector) -> Vector {
+        self.zip_with(rhs, |a, b| a & b)
+    }
+
+    /// Lane-wise bitwise OR (`VPOR`).
+    #[must_use]
+    pub fn or(self, rhs: Vector) -> Vector {
+        self.zip_with(rhs, |a, b| a | b)
+    }
+
+    /// Lane-wise bitwise XOR (`VPXOR`).
+    #[must_use]
+    pub fn xor(self, rhs: Vector) -> Vector {
+        self.zip_with(rhs, |a, b| a ^ b)
+    }
+
+    /// Lane-wise absolute value (`VPABS`), wrapping on `i64::MIN`.
+    #[must_use]
+    pub fn abs(self) -> Vector {
+        self.map(i64::wrapping_abs)
+    }
+
+    /// Lane-wise arithmetic shift left by a per-lane count (`VPSLLV`).
+    /// Counts outside `0..64` produce 0, matching x86 variable shifts.
+    #[must_use]
+    pub fn shl(self, counts: Vector) -> Vector {
+        self.zip_with(counts, |a, c| {
+            if (0..64).contains(&c) {
+                ((a as u64) << c) as i64
+            } else {
+                0
+            }
+        })
+    }
+
+    /// Lane-wise arithmetic shift right by a per-lane count (`VPSRAV`).
+    /// Counts outside `0..64` yield the sign fill.
+    #[must_use]
+    pub fn shr(self, counts: Vector) -> Vector {
+        self.zip_with(counts, |a, c| {
+            if (0..64).contains(&c) {
+                a >> c
+            } else if a < 0 {
+                -1
+            } else {
+                0
+            }
+        })
+    }
+
+    /// Lane-wise truncating signed division (`x86` has no integer vector
+    /// divide; compilers emit a libm-style expansion — the timing model
+    /// charges it accordingly). Division by zero yields 0 and
+    /// `i64::MIN / -1` wraps, so the functional model is total.
+    #[must_use]
+    pub fn div(self, rhs: Vector) -> Vector {
+        self.zip_with(rhs, |a, b| if b == 0 { 0 } else { a.wrapping_div(b) })
+    }
+
+    /// Lane-wise remainder with the same totalization as [`Vector::div`].
+    #[must_use]
+    pub fn rem(self, rhs: Vector) -> Vector {
+        self.zip_with(rhs, |a, b| if b == 0 { 0 } else { a.wrapping_rem(b) })
+    }
+
+    /// Blend (`VPBLENDM`): lane takes `on` where `k` is set, else `off`.
+    #[must_use]
+    pub fn blend(k: Mask, on: Vector, off: Vector) -> Vector {
+        off.merge(k, on)
+    }
+
+    /// Horizontal reduction over the enabled lanes.
+    ///
+    /// Returns `init` if no lane is enabled. AVX-512 implements these as
+    /// `log2(VLEN)` shuffle/op pairs; the timing model charges that
+    /// sequence.
+    pub fn reduce(self, k: Mask, init: i64, mut f: impl FnMut(i64, i64) -> i64) -> i64 {
+        let mut acc = init;
+        for lane in k.iter() {
+            acc = f(acc, self.0[lane]);
+        }
+        acc
+    }
+
+    /// Masked horizontal minimum; `i64::MAX` when no lane is enabled.
+    pub fn reduce_min(self, k: Mask) -> i64 {
+        self.reduce(k, i64::MAX, i64::min)
+    }
+
+    /// Masked horizontal maximum; `i64::MIN` when no lane is enabled.
+    pub fn reduce_max(self, k: Mask) -> i64 {
+        self.reduce(k, i64::MIN, i64::max)
+    }
+
+    /// Masked horizontal wrapping sum; 0 when no lane is enabled.
+    pub fn reduce_add(self, k: Mask) -> i64 {
+        self.reduce(k, 0, i64::wrapping_add)
+    }
+
+    /// Compress (`VPCOMPRESS`): packs the enabled lanes of `self` into the
+    /// low lanes of the result; remaining lanes are taken from `fill`.
+    #[must_use]
+    pub fn compress(self, k: Mask, fill: Vector) -> Vector {
+        let mut out = fill;
+        for (dst, src) in k.iter().enumerate() {
+            out.0[dst] = self.0[src];
+        }
+        out
+    }
+
+    /// Expand (`VPEXPAND`): distributes the low lanes of `self` into the
+    /// enabled lanes of the result; disabled lanes keep `fill`'s values.
+    #[must_use]
+    pub fn expand(self, k: Mask, fill: Vector) -> Vector {
+        let mut out = fill;
+        for (src, dst) in k.iter().enumerate() {
+            out.0[dst] = self.0[src];
+        }
+        out
+    }
+
+    /// All-to-all permute (`VPERMD`): lane `i` of the result is
+    /// `self[idx[i] mod LANES]`.
+    #[must_use]
+    pub fn permute(self, idx: Vector) -> Vector {
+        Vector::from_fn(|i| self.0[(idx.0[i].rem_euclid(VLEN as i64)) as usize])
+    }
+}
+
+impl Default for Vector {
+    fn default() -> Self {
+        Vector::ZERO
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = i64;
+    #[inline]
+    fn index(&self, lane: usize) -> &i64 {
+        &self.0[lane]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    #[inline]
+    fn index_mut(&mut self, lane: usize) -> &mut i64 {
+        &mut self.0[lane]
+    }
+}
+
+impl From<[i64; VLEN]> for Vector {
+    fn from(lanes: [i64; VLEN]) -> Self {
+        Vector(lanes)
+    }
+}
+
+impl From<Vector> for [i64; VLEN] {
+    fn from(v: Vector) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Debug for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Vector({self})")
+    }
+}
+
+/// Formats lanes left to right (lane 0 first), space separated, matching the
+/// paper's examples.
+impl fmt::Display for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, lane) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            write!(f, "{lane}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        assert_eq!(Vector::splat(7).lane(11), 7);
+        assert_eq!(Vector::iota().lane(5), 5);
+        let v = Vector::from_slice(&[1, 2, 3]);
+        assert_eq!(v.lane(2), 3);
+        assert_eq!(v.lane(3), 0);
+    }
+
+    #[test]
+    fn merge_predication() {
+        let old = Vector::splat(9);
+        let new = Vector::iota();
+        let k = Mask::from_lanes(&[1, 14]);
+        let out = old.merge(k, new);
+        assert_eq!(out.lane(1), 1);
+        assert_eq!(out.lane(14), 14);
+        assert_eq!(out.lane(0), 9);
+        assert_eq!(out.lane(15), 9);
+    }
+
+    #[test]
+    fn arithmetic_wraps() {
+        let max = Vector::splat(i64::MAX);
+        assert_eq!(max.add(Vector::splat(1)).lane(0), i64::MIN);
+        assert_eq!(Vector::splat(i64::MIN).abs().lane(0), i64::MIN);
+        assert_eq!(Vector::splat(5).div(Vector::splat(0)).lane(0), 0);
+        assert_eq!(
+            Vector::splat(i64::MIN).div(Vector::splat(-1)).lane(0),
+            i64::MIN
+        );
+    }
+
+    #[test]
+    fn shifts_saturate_counts() {
+        let v = Vector::splat(-8);
+        assert_eq!(v.shl(Vector::splat(70)).lane(0), 0);
+        assert_eq!(v.shr(Vector::splat(70)).lane(0), -1);
+        assert_eq!(Vector::splat(8).shr(Vector::splat(70)).lane(0), 0);
+        assert_eq!(Vector::splat(1).shl(Vector::splat(3)).lane(0), 8);
+        assert_eq!(Vector::splat(-16).shr(Vector::splat(2)).lane(0), -4);
+    }
+
+    #[test]
+    fn masked_reductions() {
+        let v = Vector::iota();
+        let k = Mask::from_lanes(&[3, 4, 5]);
+        assert_eq!(v.reduce_min(k), 3);
+        assert_eq!(v.reduce_max(k), 5);
+        assert_eq!(v.reduce_add(k), 12);
+        assert_eq!(v.reduce_min(Mask::EMPTY), i64::MAX);
+        assert_eq!(v.reduce_add(Mask::EMPTY), 0);
+    }
+
+    #[test]
+    fn compress_expand_roundtrip() {
+        let v = Vector::iota();
+        let k = Mask::from_lanes(&[2, 5, 9]);
+        let packed = v.compress(k, Vector::splat(-1));
+        assert_eq!(packed.lane(0), 2);
+        assert_eq!(packed.lane(1), 5);
+        assert_eq!(packed.lane(2), 9);
+        assert_eq!(packed.lane(3), -1);
+        let unpacked = packed.expand(k, Vector::splat(-1));
+        assert_eq!(unpacked.lane(2), 2);
+        assert_eq!(unpacked.lane(5), 5);
+        assert_eq!(unpacked.lane(9), 9);
+        assert_eq!(unpacked.lane(0), -1);
+    }
+
+    #[test]
+    fn permute_wraps_indices() {
+        let v = Vector::iota();
+        let idx = Vector::splat(17); // 17 mod 16 == 1
+        assert_eq!(v.permute(idx), Vector::splat(1));
+        let neg = Vector::splat(-1); // -1 rem_euclid 16 == 15
+        assert_eq!(v.permute(neg), Vector::splat(15));
+    }
+
+    #[test]
+    fn blend_selects() {
+        let k = Mask::from_lanes(&[0, 15]);
+        let out = Vector::blend(k, Vector::splat(1), Vector::splat(2));
+        assert_eq!(out.lane(0), 1);
+        assert_eq!(out.lane(15), 1);
+        assert_eq!(out.lane(7), 2);
+    }
+
+    #[test]
+    fn display_layout() {
+        let v = Vector::from_slice(&[1, 2]);
+        assert!(v.to_string().starts_with("1 2 0"));
+    }
+}

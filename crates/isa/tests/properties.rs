@@ -1,0 +1,230 @@
+//! Property-based tests for the FlexVec ISA invariants.
+//!
+//! The central invariants here are the ones FlexVec's code generation
+//! relies on for correctness:
+//!
+//! * `kftm_*` always returns a subset of the write mask, the subset is a
+//!   *prefix* of the enabled lanes, and repeatedly stripping `k_safe` from
+//!   `k_todo` terminates (VPL termination).
+//! * `vpconflictm` stop bits partition the lanes so that within a
+//!   partition, no load address matches an earlier enabled store address
+//!   (definitions dominate uses inside a partition).
+//! * first-faulting loads never report lanes as completed unless they
+//!   actually loaded, and completed lanes form a prefix of the enabled
+//!   lanes.
+
+use flexvec_isa::{
+    kftm_exc, kftm_inc, vgather_ff, vpconflictm, vpslctlast, LaneMemory, Mask, MemFault, Vector,
+    LANE_BYTES, VLEN,
+};
+use proptest::prelude::*;
+
+fn mask_strategy() -> impl Strategy<Value = Mask> {
+    any::<u16>().prop_map(Mask::from_bits)
+}
+
+fn vector_strategy(max: i64) -> impl Strategy<Value = Vector> {
+    prop::array::uniform16(0..max).prop_map(Vector::from_lanes)
+}
+
+proptest! {
+    #[test]
+    fn kftm_outputs_are_subsets_of_write_mask(k2 in mask_strategy(), k3 in mask_strategy()) {
+        let exc = kftm_exc(k2, k3);
+        let inc = kftm_inc(k2, k3);
+        prop_assert_eq!(exc & k2, exc);
+        prop_assert_eq!(inc & k2, inc);
+        // Unless k2 is empty, both variants always produce work: exclusive
+        // because a leading stop bit is skipped, inclusive because the stop
+        // lane itself is included. This is the VPL progress guarantee.
+        prop_assert_eq!(exc.any(), k2.any());
+        prop_assert_eq!(inc.any(), k2.any());
+        // When the first enabled stop is not on the first enabled lane,
+        // inc = exc + stop lane.
+        if let (Some(first), Some(stop)) = (k2.first_set(), (k3 & k2).first_set()) {
+            if stop != first {
+                prop_assert_eq!(inc, exc | Mask::from_lanes(&[stop]));
+            }
+        }
+    }
+
+    #[test]
+    fn kftm_safe_is_prefix_of_enabled_lanes(k2 in mask_strategy(), k3 in mask_strategy()) {
+        // Every enabled lane before a safe lane must itself be safe: the
+        // safe set is a prefix of k2's enabled lanes.
+        let safe = kftm_exc(k2, k3);
+        if let Some(last_safe) = safe.last_set() {
+            for lane in 0..last_safe {
+                if k2.get(lane) {
+                    prop_assert!(safe.get(lane), "hole at lane {}", lane);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vpl_with_inclusive_kftm_terminates(k_init in mask_strategy(), k3 in mask_strategy()) {
+        // The conditional-update VPL peels at least one lane per iteration
+        // (inclusive variant), so it finishes in ≤ count(k_todo) steps.
+        let mut k_todo = k_init;
+        let mut steps = 0usize;
+        while k_todo.any() {
+            let k_safe = kftm_inc(k_todo, k3);
+            prop_assert!(k_safe.any(), "inclusive kftm on nonempty todo yields work");
+            k_todo = k_todo.and_not(k_safe);
+            steps += 1;
+            prop_assert!(steps <= VLEN);
+        }
+        prop_assert!(steps <= k_init.count().max(1));
+    }
+
+    #[test]
+    fn memory_vpl_terminates(k_init in mask_strategy(), idx in vector_strategy(8)) {
+        // The Figure 2(b) loop shape: exclusive kftm driven by conflict
+        // detection. k_stop ∧ k_todo recomputed per round.
+        let mut k_todo = k_init;
+        let mut k_stop = vpconflictm(k_todo, idx, idx);
+        let mut steps = 0usize;
+        loop {
+            let k_safe = kftm_exc(k_todo, k_stop);
+            k_todo = k_todo.and_not(k_safe);
+            k_stop &= k_todo;
+            steps += 1;
+            prop_assert!(steps <= VLEN + 1, "VPL failed to terminate");
+            if !k_stop.any() {
+                break;
+            }
+        }
+        // After the final round every lane has been processed...
+        let k_safe = kftm_exc(k_todo, k_stop);
+        prop_assert_eq!(k_todo.and_not(k_safe), Mask::EMPTY);
+    }
+
+    #[test]
+    fn conflict_partitions_have_no_internal_raw(k2 in mask_strategy(), idx in vector_strategy(6)) {
+        // Between two consecutive stop bits, no element of v1 may match an
+        // enabled *earlier-in-partition* element of v2 — that is exactly
+        // what makes the partition safe to run as one vector operation.
+        let stops = vpconflictm(k2, idx, idx);
+        let mut start = 0usize;
+        for j in 0..VLEN {
+            if stops.get(j) {
+                start = j;
+                continue;
+            }
+            for i in start..j {
+                if k2.get(i) {
+                    prop_assert!(
+                        idx.lane(i) != idx.lane(j),
+                        "unflagged RAW: lane {} vs {}",
+                        i, j
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vpslctlast_broadcasts_an_existing_value(k in mask_strategy(), v in vector_strategy(1000)) {
+        let out = vpslctlast(k, v);
+        let lane = k.last_set().unwrap_or(VLEN - 1);
+        prop_assert_eq!(out, Vector::splat(v.lane(lane)));
+    }
+
+    #[test]
+    fn first_fault_mask_is_prefix_and_loads_are_real(
+        k in mask_strategy(),
+        mapped_until in 0u64..24,
+    ) {
+        struct Mem { mapped_until: u64 }
+        impl LaneMemory for Mem {
+            fn load_lane(&self, addr: u64) -> Result<i64, MemFault> {
+                if addr / LANE_BYTES < self.mapped_until {
+                    Ok((addr / LANE_BYTES) as i64)
+                } else {
+                    Err(MemFault { addr })
+                }
+            }
+            fn store_lane(&mut self, _: u64, _: i64) -> Result<(), MemFault> {
+                unreachable!()
+            }
+        }
+        let mem = Mem { mapped_until };
+        let addrs = Vector::from_fn(|i| (i as i64) * LANE_BYTES as i64);
+        let dest = Vector::splat(-77);
+        match vgather_ff(&mem, k, dest, addrs) {
+            Err(_) => {
+                // Only legal when the non-speculative lane itself faults.
+                let ns = k.first_set().expect("fault requires an enabled lane");
+                prop_assert!(ns as u64 >= mapped_until);
+            }
+            Ok(out) => {
+                // Completed lanes are a subset of k and form a prefix.
+                prop_assert_eq!(out.mask & k, out.mask);
+                if let Some(last) = out.mask.last_set() {
+                    for lane in 0..last {
+                        if k.get(lane) {
+                            prop_assert!(out.mask.get(lane));
+                        }
+                    }
+                }
+                for lane in 0..VLEN {
+                    if out.mask.get(lane) {
+                        prop_assert_eq!(out.value.lane(lane), lane as i64);
+                    } else {
+                        prop_assert_eq!(out.value.lane(lane), -77);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compress_then_expand_is_identity_on_enabled_lanes(
+        k in mask_strategy(),
+        v in vector_strategy(1 << 40),
+    ) {
+        let packed = v.compress(k, Vector::ZERO);
+        let restored = packed.expand(k, v);
+        prop_assert_eq!(restored, v);
+    }
+}
+
+proptest! {
+    #[test]
+    fn mask_display_parse_roundtrip(bits in any::<u16>()) {
+        let k = Mask::from_bits(bits);
+        let text = k.to_string();
+        prop_assert_eq!(text.parse::<Mask>().unwrap(), k);
+    }
+
+    #[test]
+    fn mask_prefix_suffix_partition(lane in 0usize..16) {
+        // prefix_before(l) and suffix_from(l) partition the lanes.
+        let before = Mask::prefix_before(lane);
+        let from = Mask::suffix_from(lane);
+        prop_assert_eq!(before & from, Mask::EMPTY);
+        prop_assert_eq!(before | from, Mask::FULL);
+    }
+
+    #[test]
+    fn conflict_is_monotone_in_enables(
+        idx in prop::array::uniform16(0i64..6),
+        k_small in any::<u16>(),
+        extra in any::<u16>(),
+    ) {
+        // Enabling more v2 lanes can only reveal more serialization
+        // points at each position up to window effects — at minimum, the
+        // empty enable set yields no conflicts.
+        let v = Vector::from_lanes(idx);
+        let none = vpconflictm(Mask::EMPTY, v, v);
+        prop_assert_eq!(none, Mask::EMPTY);
+        let small = vpconflictm(Mask::from_bits(k_small), v, v);
+        let big = vpconflictm(Mask::from_bits(k_small | extra), v, v);
+        // Both remain valid partitionings (checked by the dedicated
+        // property); here: the all-enabled case dominates lane counts of
+        // the empty case trivially and both are subsets of lanes 1..16.
+        prop_assert!(!small.get(0));
+        prop_assert!(!big.get(0));
+    }
+}

@@ -1,0 +1,343 @@
+//! A paged software address space.
+//!
+//! FlexVec's first-faulting instructions need a memory in which some
+//! addresses *fault*: an access to an unmapped page raises [`MemFault`].
+//! This module provides a 64-bit byte-addressed space backed by 4 KiB
+//! pages, an array allocator that separates allocations with unmapped
+//! guard pages (so out-of-bounds speculation faults rather than silently
+//! reading another array), and element-level convenience accessors.
+//!
+//! The space stores 8-byte elements at 8-byte-aligned addresses — the lane
+//! granularity of the `flexvec-isa` functional model.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{MemFault, PAGE_BYTES, PAGE_ELEMS};
+
+/// Identifies an array allocated in an [`AddressSpace`].
+///
+/// Array ids are dense indices (0, 1, 2, ...) in allocation order, which
+/// lets compilers use them directly as table keys.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub u32);
+
+impl fmt::Display for ArrayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "array#{}", self.0)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct ArrayInfo {
+    name: String,
+    base: u64,
+    len: u64,
+}
+
+/// A byte-addressed, paged address space with fault semantics.
+///
+/// # Examples
+///
+/// ```
+/// use flexvec_mem::AddressSpace;
+///
+/// let mut space = AddressSpace::new();
+/// let a = space.alloc("data", 100);
+/// space.write_elem(a, 3, 42)?;
+/// assert_eq!(space.read_elem(a, 3)?, 42);
+///
+/// // Reading past the guard page faults.
+/// let base = space.base(a);
+/// assert!(space.read(base + 100 * 8 + 4096 * 2).is_err());
+/// # Ok::<(), flexvec_mem::MemFault>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct AddressSpace {
+    pages: HashMap<u64, Box<[i64; PAGE_ELEMS]>>,
+    arrays: Vec<ArrayInfo>,
+    next_free_page: u64,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space. Page 0 is never mapped, so address 0
+    /// behaves like a null page.
+    pub fn new() -> Self {
+        AddressSpace {
+            pages: HashMap::new(),
+            arrays: Vec::new(),
+            next_free_page: 1,
+        }
+    }
+
+    /// Allocates a zero-initialized array of `len` 8-byte elements, mapped
+    /// on fresh pages and followed by at least one unmapped guard page.
+    ///
+    /// Returns the array's id. `len == 0` is allowed (the array occupies no
+    /// mapped page but still has a base address).
+    pub fn alloc(&mut self, name: &str, len: u64) -> ArrayId {
+        let base_page = self.next_free_page;
+        let pages_needed = len.div_ceil(PAGE_ELEMS as u64);
+        for p in base_page..base_page + pages_needed {
+            self.pages.insert(p, Box::new([0; PAGE_ELEMS]));
+        }
+        // One guard page plus one slack page keeps allocations apart.
+        self.next_free_page = base_page + pages_needed + 2;
+        let id = ArrayId(self.arrays.len() as u32);
+        self.arrays.push(ArrayInfo {
+            name: name.to_owned(),
+            base: base_page * PAGE_BYTES,
+            len,
+        });
+        id
+    }
+
+    /// Allocates an array and copies `data` into it.
+    pub fn alloc_from(&mut self, name: &str, data: &[i64]) -> ArrayId {
+        let id = self.alloc(name, data.len() as u64);
+        for (i, &v) in data.iter().enumerate() {
+            self.write_elem(id, i as i64, v)
+                .expect("freshly allocated array is mapped");
+        }
+        id
+    }
+
+    /// Base byte address of an array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not allocated in this space.
+    pub fn base(&self, id: ArrayId) -> u64 {
+        self.arrays[id.0 as usize].base
+    }
+
+    /// Element length of an array.
+    pub fn len(&self, id: ArrayId) -> u64 {
+        self.arrays[id.0 as usize].len
+    }
+
+    /// Whether the array has zero elements.
+    pub fn is_empty(&self, id: ArrayId) -> bool {
+        self.len(id) == 0
+    }
+
+    /// The name the array was allocated under.
+    pub fn name(&self, id: ArrayId) -> &str {
+        &self.arrays[id.0 as usize].name
+    }
+
+    /// Number of arrays allocated so far.
+    pub fn array_count(&self) -> usize {
+        self.arrays.len()
+    }
+
+    /// Looks up an array by name (first match in allocation order).
+    pub fn find(&self, name: &str) -> Option<ArrayId> {
+        self.arrays
+            .iter()
+            .position(|a| a.name == name)
+            .map(|i| ArrayId(i as u32))
+    }
+
+    /// Reads the 8-byte element at byte address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Faults if `addr` is not 8-byte aligned or the page is unmapped.
+    pub fn read(&self, addr: u64) -> Result<i64, MemFault> {
+        let (page, offset) = Self::split(addr)?;
+        match self.pages.get(&page) {
+            Some(p) => Ok(p[offset]),
+            None => Err(MemFault { addr }),
+        }
+    }
+
+    /// Writes the 8-byte element at byte address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Faults if `addr` is not 8-byte aligned or the page is unmapped.
+    pub fn write(&mut self, addr: u64, value: i64) -> Result<(), MemFault> {
+        let (page, offset) = Self::split(addr)?;
+        match self.pages.get_mut(&page) {
+            Some(p) => {
+                p[offset] = value;
+                Ok(())
+            }
+            None => Err(MemFault { addr }),
+        }
+    }
+
+    /// Whether the page containing `addr` is mapped.
+    pub fn is_mapped(&self, addr: u64) -> bool {
+        self.pages.contains_key(&(addr / PAGE_BYTES))
+    }
+
+    /// Byte address of element `idx` of array `id` (no bounds check — the
+    /// guard pages provide the faulting behaviour).
+    pub fn elem_addr(&self, id: ArrayId, idx: i64) -> u64 {
+        self.base(id).wrapping_add_signed(idx.wrapping_mul(8))
+    }
+
+    /// Reads element `idx` of array `id`.
+    ///
+    /// # Errors
+    ///
+    /// Faults when the index lands on an unmapped page (e.g. past the guard
+    /// page). Indices within the final partial page but past `len` read the
+    /// zero padding, exactly like real memory past the end of a `malloc`.
+    pub fn read_elem(&self, id: ArrayId, idx: i64) -> Result<i64, MemFault> {
+        self.read(self.elem_addr(id, idx))
+    }
+
+    /// Writes element `idx` of array `id`.
+    ///
+    /// # Errors
+    ///
+    /// Faults when the index lands on an unmapped page.
+    pub fn write_elem(&mut self, id: ArrayId, idx: i64, value: i64) -> Result<(), MemFault> {
+        self.write(self.elem_addr(id, idx), value)
+    }
+
+    /// Copies the array's `len` elements out to a vector.
+    pub fn snapshot_array(&self, id: ArrayId) -> Vec<i64> {
+        (0..self.len(id) as i64)
+            .map(|i| self.read_elem(id, i).expect("array interior is mapped"))
+            .collect()
+    }
+
+    /// Overwrites the array's prefix with `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` exceeds the array length.
+    pub fn load_array(&mut self, id: ArrayId, data: &[i64]) {
+        assert!(
+            data.len() as u64 <= self.len(id),
+            "data longer than array {}",
+            self.name(id)
+        );
+        for (i, &v) in data.iter().enumerate() {
+            self.write_elem(id, i as i64, v).expect("interior mapped");
+        }
+    }
+
+    /// Unmaps the page containing `addr`, making future accesses fault.
+    /// Used by tests to create fault points inside an array.
+    pub fn unmap_page_of(&mut self, addr: u64) {
+        self.pages.remove(&(addr / PAGE_BYTES));
+    }
+
+    fn split(addr: u64) -> Result<(u64, usize), MemFault> {
+        if !addr.is_multiple_of(8) {
+            return Err(MemFault { addr });
+        }
+        Ok((addr / PAGE_BYTES, ((addr % PAGE_BYTES) / 8) as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_roundtrip() {
+        let mut s = AddressSpace::new();
+        let a = s.alloc("a", 10);
+        s.write_elem(a, 0, 5).unwrap();
+        s.write_elem(a, 9, -3).unwrap();
+        assert_eq!(s.read_elem(a, 0).unwrap(), 5);
+        assert_eq!(s.read_elem(a, 9).unwrap(), -3);
+        assert_eq!(s.snapshot_array(a), vec![5, 0, 0, 0, 0, 0, 0, 0, 0, -3]);
+    }
+
+    #[test]
+    fn zero_initialized() {
+        let mut s = AddressSpace::new();
+        let a = s.alloc("z", 600); // spans two pages
+        for i in 0..600 {
+            assert_eq!(s.read_elem(a, i).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn guard_pages_fault() {
+        let mut s = AddressSpace::new();
+        let a = s.alloc("a", 512); // exactly one page
+        let b = s.alloc("b", 512);
+        // Element 512 is on the guard page.
+        assert!(s.read_elem(a, 512).is_err());
+        assert!(s.write_elem(a, 512, 1).is_err());
+        // Negative index from b's base lands on unmapped slack.
+        assert!(s.read_elem(b, -1).is_err());
+        // And arrays don't overlap.
+        assert_ne!(s.base(a), s.base(b));
+    }
+
+    #[test]
+    fn partial_page_padding_is_readable() {
+        let mut s = AddressSpace::new();
+        let a = s.alloc("a", 10);
+        // Elements 10..511 are on the same mapped page: no fault, zero.
+        assert_eq!(s.read_elem(a, 10).unwrap(), 0);
+        assert_eq!(s.read_elem(a, 511).unwrap(), 0);
+        // Element 512 is past the page: fault.
+        assert!(s.read_elem(a, 512).is_err());
+    }
+
+    #[test]
+    fn null_page_faults() {
+        let s = AddressSpace::new();
+        assert!(s.read(0).is_err());
+        assert!(s.read(8).is_err());
+    }
+
+    #[test]
+    fn misaligned_access_faults() {
+        let mut s = AddressSpace::new();
+        let a = s.alloc("a", 4);
+        assert!(s.read(s.base(a) + 1).is_err());
+        assert!(s.write(s.base(a) + 4, 0).is_err());
+    }
+
+    #[test]
+    fn find_by_name() {
+        let mut s = AddressSpace::new();
+        let a = s.alloc("alpha", 1);
+        let b = s.alloc("beta", 1);
+        assert_eq!(s.find("alpha"), Some(a));
+        assert_eq!(s.find("beta"), Some(b));
+        assert_eq!(s.find("gamma"), None);
+        assert_eq!(s.name(b), "beta");
+        assert_eq!(s.array_count(), 2);
+    }
+
+    #[test]
+    fn alloc_from_and_load() {
+        let mut s = AddressSpace::new();
+        let a = s.alloc_from("a", &[1, 2, 3]);
+        assert_eq!(s.snapshot_array(a), vec![1, 2, 3]);
+        s.load_array(a, &[9, 8]);
+        assert_eq!(s.snapshot_array(a), vec![9, 8, 3]);
+    }
+
+    #[test]
+    fn zero_length_array() {
+        let mut s = AddressSpace::new();
+        let a = s.alloc("empty", 0);
+        assert!(s.is_empty(a));
+        assert!(s.read_elem(a, 0).is_err());
+    }
+
+    #[test]
+    fn unmap_page_creates_fault_point() {
+        let mut s = AddressSpace::new();
+        let a = s.alloc("a", 1024);
+        let addr = s.elem_addr(a, 600);
+        assert!(s.read(addr).is_ok());
+        s.unmap_page_of(addr);
+        assert!(s.read(addr).is_err());
+        // First page still mapped.
+        assert!(s.read_elem(a, 0).is_ok());
+    }
+}

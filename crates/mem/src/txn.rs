@@ -1,0 +1,246 @@
+//! Rollback-only transactions over an [`AddressSpace`].
+//!
+//! The FlexVec paper's alternative code-generation path (Section 3.3.2)
+//! wraps speculative vector code in a restricted transaction (Intel RTM /
+//! POWER8 rollback-only transactions): changes to memory are speculative
+//! until the transaction commits; on an exception the transaction aborts,
+//! all tentative writes are discarded, and a scalar fallback handler runs.
+//!
+//! This module models that usage: a [`Transaction`] buffers writes in a
+//! redo log and exposes the same read/write interface as the underlying
+//! space; `commit` publishes the log, dropping the transaction discards it
+//! (abort). A capacity limit models hardware write-set overflow — the
+//! reason the paper strip-mines candidate loops into 128–256-iteration
+//! tiles before wrapping them in a transaction.
+
+use std::collections::HashMap;
+
+use crate::{AddressSpace, MemFault};
+
+/// Why a transaction aborted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbortReason {
+    /// A memory access faulted inside the transactional region.
+    Fault(MemFault),
+    /// The write set exceeded the hardware capacity.
+    CapacityOverflow,
+    /// The code inside the region requested an explicit abort (`XABORT`).
+    Explicit,
+}
+
+impl std::fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AbortReason::Fault(fault) => write!(f, "transaction aborted: {fault}"),
+            AbortReason::CapacityOverflow => write!(f, "transaction aborted: write-set overflow"),
+            AbortReason::Explicit => write!(f, "transaction aborted: explicit abort"),
+        }
+    }
+}
+
+impl std::error::Error for AbortReason {}
+
+/// A speculative region over an [`AddressSpace`].
+///
+/// Reads see the transaction's own writes; writes are buffered until
+/// [`Transaction::commit`]. Dropping the transaction without committing
+/// discards the buffered writes (rollback).
+///
+/// # Examples
+///
+/// ```
+/// use flexvec_mem::{AddressSpace, Transaction};
+///
+/// let mut space = AddressSpace::new();
+/// let a = space.alloc("a", 8);
+/// let addr = space.elem_addr(a, 0);
+///
+/// // Abort path: writes vanish.
+/// {
+///     let mut txn = Transaction::begin(&mut space);
+///     txn.write(addr, 1)?;
+///     assert_eq!(txn.read(addr)?, 1);
+///     // dropped without commit => rollback
+/// }
+/// assert_eq!(space.read(addr)?, 0);
+///
+/// // Commit path: writes publish.
+/// let mut txn = Transaction::begin(&mut space);
+/// txn.write(addr, 2)?;
+/// txn.commit();
+/// assert_eq!(space.read(addr)?, 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Transaction<'a> {
+    space: &'a mut AddressSpace,
+    write_log: HashMap<u64, i64>,
+    capacity: usize,
+    reads: u64,
+    writes: u64,
+}
+
+/// Default modeled write-set capacity, in 8-byte elements. Haswell's RTM
+/// write set is bounded by the L1 data cache (32 KiB = 4096 elements).
+pub const DEFAULT_TXN_CAPACITY: usize = 4096;
+
+impl<'a> Transaction<'a> {
+    /// Starts a transaction with the default write-set capacity
+    /// ([`DEFAULT_TXN_CAPACITY`]).
+    pub fn begin(space: &'a mut AddressSpace) -> Self {
+        Self::with_capacity(space, DEFAULT_TXN_CAPACITY)
+    }
+
+    /// Starts a transaction with an explicit write-set capacity (in
+    /// elements). Exceeding it makes the next write fail with
+    /// [`AbortReason::CapacityOverflow`].
+    pub fn with_capacity(space: &'a mut AddressSpace, capacity: usize) -> Self {
+        Transaction {
+            space,
+            write_log: HashMap::new(),
+            capacity,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Reads through the transaction (sees buffered writes first).
+    ///
+    /// # Errors
+    ///
+    /// Returns the fault for unmapped or misaligned accesses; the caller
+    /// (the RTM runtime in `flexvec-vm`) converts it into an abort.
+    pub fn read(&mut self, addr: u64) -> Result<i64, MemFault> {
+        self.reads += 1;
+        self.peek(addr)
+    }
+
+    /// Reads without updating the traffic counters (used by the
+    /// `LaneMemory` impl, which only has `&self`).
+    pub fn peek(&self, addr: u64) -> Result<i64, MemFault> {
+        if let Some(&v) = self.write_log.get(&addr) {
+            return Ok(v);
+        }
+        self.space.read(addr)
+    }
+
+    /// Buffers a write.
+    ///
+    /// # Errors
+    ///
+    /// * [`AbortReason::Fault`] if the target address would fault.
+    /// * [`AbortReason::CapacityOverflow`] if the write set is full.
+    pub fn write(&mut self, addr: u64, value: i64) -> Result<(), AbortReason> {
+        // Validate the address eagerly: a fault inside a transaction aborts
+        // it rather than surfacing after commit.
+        self.space.read(addr).map_err(AbortReason::Fault)?;
+        if self.write_log.len() >= self.capacity && !self.write_log.contains_key(&addr) {
+            return Err(AbortReason::CapacityOverflow);
+        }
+        self.writes += 1;
+        self.write_log.insert(addr, value);
+        Ok(())
+    }
+
+    /// Number of distinct addresses in the write set.
+    pub fn write_set_len(&self) -> usize {
+        self.write_log.len()
+    }
+
+    /// Dynamic read/write operation counts (for the timing model).
+    pub fn op_counts(&self) -> (u64, u64) {
+        (self.reads, self.writes)
+    }
+
+    /// Publishes all buffered writes to the underlying space.
+    pub fn commit(self) {
+        for (addr, value) in self.write_log {
+            self.space
+                .write(addr, value)
+                .expect("validated at write time");
+        }
+    }
+
+    /// Discards the buffered writes. Equivalent to dropping the
+    /// transaction, but explicit at call sites.
+    pub fn abort(self) {
+        drop(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space_with_array() -> (AddressSpace, u64) {
+        let mut s = AddressSpace::new();
+        let a = s.alloc("a", 64);
+        let base = s.base(a);
+        (s, base)
+    }
+
+    #[test]
+    fn commit_publishes_in_full() {
+        let (mut s, base) = space_with_array();
+        let mut txn = Transaction::begin(&mut s);
+        for i in 0..10 {
+            txn.write(base + i * 8, i as i64 + 1).unwrap();
+        }
+        txn.commit();
+        for i in 0..10 {
+            assert_eq!(s.read(base + i * 8).unwrap(), i as i64 + 1);
+        }
+    }
+
+    #[test]
+    fn abort_discards_everything() {
+        let (mut s, base) = space_with_array();
+        let mut txn = Transaction::begin(&mut s);
+        txn.write(base, 99).unwrap();
+        txn.abort();
+        assert_eq!(s.read(base).unwrap(), 0);
+    }
+
+    #[test]
+    fn reads_see_own_writes() {
+        let (mut s, base) = space_with_array();
+        let mut txn = Transaction::begin(&mut s);
+        txn.write(base, 7).unwrap();
+        assert_eq!(txn.read(base).unwrap(), 7);
+        assert_eq!(txn.read(base + 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn faulting_write_reports_abort() {
+        let (mut s, _) = space_with_array();
+        let mut txn = Transaction::begin(&mut s);
+        let err = txn.write(0, 1).unwrap_err();
+        assert!(matches!(err, AbortReason::Fault(_)));
+    }
+
+    #[test]
+    fn capacity_overflow() {
+        let (mut s, base) = space_with_array();
+        let mut txn = Transaction::with_capacity(&mut s, 2);
+        txn.write(base, 1).unwrap();
+        txn.write(base + 8, 2).unwrap();
+        // Rewriting an address in the set is fine...
+        txn.write(base, 3).unwrap();
+        // ...a third distinct address overflows.
+        assert_eq!(
+            txn.write(base + 16, 4).unwrap_err(),
+            AbortReason::CapacityOverflow
+        );
+    }
+
+    #[test]
+    fn op_counts_track_traffic() {
+        let (mut s, base) = space_with_array();
+        let mut txn = Transaction::begin(&mut s);
+        txn.write(base, 1).unwrap();
+        let _ = txn.read(base);
+        let _ = txn.read(base + 8);
+        assert_eq!(txn.op_counts(), (2, 1));
+        assert_eq!(txn.write_set_len(), 1);
+    }
+}

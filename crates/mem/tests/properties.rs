@@ -1,0 +1,124 @@
+//! Property tests for the memory substrate: the address space behaves
+//! like a (partial) map with fault boundaries; transactions are atomic
+//! (commit = apply all, abort = apply none); the cache simulator is
+//! deterministic and monotone in locality.
+
+use flexvec_mem::{Access, AddressSpace, CacheSim, HierarchyConfig, Transaction, PAGE_ELEMS};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn write_then_read_roundtrip(
+        len in 1u64..2000,
+        writes in prop::collection::vec((0u64..2000, any::<i64>()), 0..64),
+    ) {
+        let mut s = AddressSpace::new();
+        let a = s.alloc("a", len);
+        let mut model: std::collections::HashMap<u64, i64> = Default::default();
+        for (idx, v) in writes {
+            let in_mapped_region =
+                idx < len.div_ceil(PAGE_ELEMS as u64).max(1) * PAGE_ELEMS as u64;
+            let r = s.write_elem(a, idx as i64, v);
+            prop_assert_eq!(r.is_ok(), in_mapped_region, "idx {} len {}", idx, len);
+            if r.is_ok() {
+                model.insert(idx, v);
+            }
+        }
+        for (idx, v) in &model {
+            prop_assert_eq!(s.read_elem(a, *idx as i64).unwrap(), *v);
+        }
+    }
+
+    #[test]
+    fn arrays_never_alias(
+        len_a in 1u64..1500,
+        len_b in 1u64..1500,
+        idx in 0u64..1500,
+        value in any::<i64>(),
+    ) {
+        let mut s = AddressSpace::new();
+        let a = s.alloc("a", len_a);
+        let b = s.alloc("b", len_b);
+        if idx < len_a && s.write_elem(a, idx as i64, value).is_ok() {
+            // No write to `a` may be visible through `b`.
+            for j in 0..len_b.min(64) {
+                prop_assert_eq!(s.read_elem(b, j as i64).unwrap(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn transaction_commit_equals_direct_writes(
+        writes in prop::collection::vec((0i64..256, any::<i64>()), 1..40),
+    ) {
+        let mut direct = AddressSpace::new();
+        let da = direct.alloc("a", 256);
+        for (idx, v) in &writes {
+            direct.write_elem(da, *idx, *v).unwrap();
+        }
+
+        let mut txed = AddressSpace::new();
+        let ta = txed.alloc("a", 256);
+        let base = txed.base(ta);
+        {
+            let mut txn = Transaction::begin(&mut txed);
+            for (idx, v) in &writes {
+                txn.write(base + (*idx as u64) * 8, *v).unwrap();
+            }
+            txn.commit();
+        }
+        prop_assert_eq!(direct.snapshot_array(da), txed.snapshot_array(ta));
+    }
+
+    #[test]
+    fn transaction_abort_is_invisible(
+        init in prop::collection::vec(any::<i64>(), 32),
+        writes in prop::collection::vec((0i64..32, any::<i64>()), 1..20),
+    ) {
+        let mut s = AddressSpace::new();
+        let a = s.alloc_from("a", &init);
+        let before = s.snapshot_array(a);
+        let base = s.base(a);
+        {
+            let mut txn = Transaction::begin(&mut s);
+            for (idx, v) in &writes {
+                txn.write(base + (*idx as u64) * 8, *v).unwrap();
+                // Reads inside see the speculative value.
+                prop_assert_eq!(txn.read(base + (*idx as u64) * 8).unwrap(), *v);
+            }
+            txn.abort();
+        }
+        prop_assert_eq!(s.snapshot_array(a), before);
+    }
+
+    #[test]
+    fn cache_is_deterministic(addrs in prop::collection::vec(0u64..(1 << 22), 1..200)) {
+        let run = |addrs: &[u64]| -> Vec<u32> {
+            let mut c = CacheSim::new(HierarchyConfig::table1());
+            addrs.iter().map(|a| c.access(a & !7, Access::Read)).collect()
+        };
+        prop_assert_eq!(run(&addrs), run(&addrs));
+    }
+
+    #[test]
+    fn repeat_access_is_l1_hit(addr in 0u64..(1 << 30)) {
+        let mut c = CacheSim::new(HierarchyConfig::table1());
+        let aligned = addr & !7;
+        let _ = c.access(aligned, Access::Read);
+        prop_assert_eq!(c.access(aligned, Access::Read), 4);
+        prop_assert_eq!(c.access(aligned, Access::Write), 4);
+    }
+
+    #[test]
+    fn latencies_are_from_the_hierarchy(addrs in prop::collection::vec(0u64..(1 << 22), 1..100)) {
+        let mut c = CacheSim::new(HierarchyConfig::table1());
+        for a in addrs {
+            let lat = c.access(a & !7, Access::Read);
+            prop_assert!(
+                [4, 12, 25, 200].contains(&lat),
+                "latency {} not a hierarchy level",
+                lat
+            );
+        }
+    }
+}

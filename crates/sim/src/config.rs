@@ -1,0 +1,247 @@
+//! Simulator configuration — the paper's Table 1.
+//!
+//! "The baseline for our cycle accurate simulation model is an aggressive
+//! out-of-order processor" (Section 5). The FlexVec instruction latencies
+//! at the bottom of the table come from the paper's micro-op-sequence
+//! measurements.
+
+use flexvec_mem::HierarchyConfig;
+
+/// Latency and inverse throughput of one instruction class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpTiming {
+    /// Result latency in cycles.
+    pub latency: u32,
+    /// Cycles the issue port stays busy (1 = fully pipelined).
+    pub inverse_throughput: u32,
+}
+
+impl OpTiming {
+    /// Convenience constructor.
+    pub const fn new(latency: u32, inverse_throughput: u32) -> Self {
+        OpTiming {
+            latency,
+            inverse_throughput,
+        }
+    }
+}
+
+/// Full out-of-order core configuration (paper Table 1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimConfig {
+    /// Fetch/dispatch width (instructions per cycle).
+    pub dispatch_width: u32,
+    /// Issue width.
+    pub issue_width: u32,
+    /// Commit width.
+    pub commit_width: u32,
+    /// Reservation-station entries.
+    pub rs_entries: usize,
+    /// Reorder-buffer entries.
+    pub rob_entries: usize,
+    /// Load-queue entries.
+    pub load_queue: usize,
+    /// Store-queue entries.
+    pub store_queue: usize,
+    /// Load ports.
+    pub load_ports: usize,
+    /// Store ports.
+    pub store_ports: usize,
+    /// ALU/vector execution ports.
+    pub alu_ports: usize,
+    /// Branch mispredict penalty (refetch bubble), cycles.
+    pub mispredict_penalty: u32,
+    /// The memory hierarchy (Table 1's cache section).
+    pub memory: HierarchyConfig,
+
+    // --- instruction timings -------------------------------------------
+    /// Scalar ALU.
+    pub scalar_alu: OpTiming,
+    /// Scalar multiply.
+    pub scalar_mul: OpTiming,
+    /// Scalar divide.
+    pub scalar_div: OpTiming,
+    /// Vector ALU (512-bit integer).
+    pub vec_alu: OpTiming,
+    /// Vector multiply.
+    pub vec_mul: OpTiming,
+    /// Vector divide (expanded).
+    pub vec_div: OpTiming,
+    /// Blend/shuffle.
+    pub vec_shuffle: OpTiming,
+    /// Broadcast.
+    pub broadcast: OpTiming,
+    /// Mask-register op.
+    pub mask_op: OpTiming,
+    /// `KFTM.INC/EXC` (Table 1: 2, 1).
+    pub kftm: OpTiming,
+    /// `VPSLCTLAST` (Table 1: 3, 1).
+    pub vpslctlast: OpTiming,
+    /// `VPCONFLICTM` (Table 1: 20, 2 — micro-op sequence).
+    pub vpconflictm: OpTiming,
+    /// Horizontal reduction sequence.
+    pub reduce: OpTiming,
+    /// Extra address-generation latency for gathers and first-faulting
+    /// forms (Table 1: 1 cycle AGU latency, 2 loads per cycle).
+    pub gather_agu_latency: u32,
+    /// Transaction begin/end overhead (`XBEGIN`/`XEND`), cycles.
+    pub tx_overhead: u32,
+}
+
+impl SimConfig {
+    /// The paper's Table 1 configuration.
+    pub fn table1() -> Self {
+        SimConfig {
+            dispatch_width: 5,
+            issue_width: 8,
+            commit_width: 5,
+            rs_entries: 97,
+            rob_entries: 224,
+            load_queue: 80,
+            store_queue: 56,
+            load_ports: 2,
+            store_ports: 1,
+            alu_ports: 4,
+            mispredict_penalty: 16,
+            memory: HierarchyConfig::table1(),
+            scalar_alu: OpTiming::new(1, 1),
+            scalar_mul: OpTiming::new(3, 1),
+            scalar_div: OpTiming::new(25, 20),
+            vec_alu: OpTiming::new(1, 1),
+            vec_mul: OpTiming::new(5, 1),
+            vec_div: OpTiming::new(24, 12),
+            vec_shuffle: OpTiming::new(1, 1),
+            broadcast: OpTiming::new(3, 1),
+            mask_op: OpTiming::new(1, 1),
+            kftm: OpTiming::new(2, 1),
+            vpslctlast: OpTiming::new(3, 1),
+            vpconflictm: OpTiming::new(20, 2),
+            reduce: OpTiming::new(8, 4),
+            gather_agu_latency: 1,
+            tx_overhead: 45,
+        }
+    }
+
+    /// Renders the configuration in the layout of the paper's Table 1.
+    pub fn render_table1(&self) -> String {
+        let m = &self.memory;
+        let mut s = String::new();
+        s.push_str("Component                    | Configuration\n");
+        s.push_str("-----------------------------+-------------------------------------------\n");
+        s.push_str(&format!(
+            "Fetch/Dispatch/Issue/Commit  | {}/{}/{}/{} wide\n",
+            self.dispatch_width, self.dispatch_width, self.issue_width, self.commit_width
+        ));
+        s.push_str(&format!(
+            "RS                           | {} entries\n",
+            self.rs_entries
+        ));
+        s.push_str(&format!(
+            "ROB                          | {} entries\n",
+            self.rob_entries
+        ));
+        s.push_str(&format!(
+            "Load/Store Queues            | {}/{} entries\n",
+            self.load_queue, self.store_queue
+        ));
+        // The trace-driven model has an ideal front end; the I-cache row is
+        // reported for completeness with the paper's parameters.
+        s.push_str("L1 Icache                    | 32K, 4 way, 1 cycle hit time\n");
+        s.push_str(&format!(
+            "L1 Dcache                    | {}K, {} way, {} cycles load to use latency\n",
+            m.l1.size_bytes >> 10,
+            m.l1.ways,
+            m.l1.latency
+        ));
+        s.push_str(&format!(
+            "L2 Unified Cache             | {}K, {} way, {} cycles hit time\n",
+            m.l2.size_bytes >> 10,
+            m.l2.ways,
+            m.l2.latency
+        ));
+        s.push_str(&format!(
+            "L3 Cache                     | {}M, {} way, {} cycles hit time\n",
+            m.l3.size_bytes >> 20,
+            m.l3.ways,
+            m.l3.latency
+        ));
+        s.push_str(&format!(
+            "Memory Latency               | {} cycles\n",
+            m.memory_latency
+        ));
+        s.push_str(&format!(
+            "Load/Store Ports             | {}/{} units\n",
+            self.load_ports, self.store_ports
+        ));
+        s.push('\n');
+        s.push_str("FlexVec Instruction          | Latency(cycles), Throughput\n");
+        s.push_str("-----------------------------+-------------------------------------------\n");
+        s.push_str(&format!(
+            "KFTMINC/KFTMEXC              | {}, {}\n",
+            self.kftm.latency, self.kftm.inverse_throughput
+        ));
+        s.push_str(&format!(
+            "VPSLCTLAST                   | {}, {}\n",
+            self.vpslctlast.latency, self.vpslctlast.inverse_throughput
+        ));
+        s.push_str(&format!(
+            "VPGATHERFF and VMOVFF        | {} cycle AGU latency, {} loads per cycle\n",
+            self.gather_agu_latency, self.load_ports
+        ));
+        s.push_str(&format!(
+            "VPCONFLICTM                  | {}, {}\n",
+            self.vpconflictm.latency, self.vpconflictm.inverse_throughput
+        ));
+        s
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_values() {
+        let c = SimConfig::table1();
+        assert_eq!(c.dispatch_width, 5);
+        assert_eq!(c.issue_width, 8);
+        assert_eq!(c.commit_width, 5);
+        assert_eq!(c.rs_entries, 97);
+        assert_eq!(c.rob_entries, 224);
+        assert_eq!(c.load_queue, 80);
+        assert_eq!(c.store_queue, 56);
+        assert_eq!(c.load_ports, 2);
+        assert_eq!(c.store_ports, 1);
+        assert_eq!(c.kftm, OpTiming::new(2, 1));
+        assert_eq!(c.vpslctlast, OpTiming::new(3, 1));
+        assert_eq!(c.vpconflictm.latency, 20);
+        assert_eq!(c.memory.memory_latency, 200);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let text = SimConfig::table1().render_table1();
+        for needle in [
+            "5/5/8/5 wide",
+            "97 entries",
+            "224 entries",
+            "80/56 entries",
+            "32K, 8 way, 4 cycles",
+            "256K, 8 way, 12 cycles",
+            "8M, 32 way, 25 cycles",
+            "200 cycles",
+            "2/1 units",
+            "KFTMINC/KFTMEXC              | 2, 1",
+            "VPSLCTLAST                   | 3, 1",
+            "VPCONFLICTM                  | 20, 2",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

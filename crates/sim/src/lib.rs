@@ -1,0 +1,70 @@
+//! # flexvec-sim
+//!
+//! Trace-driven timing model of the paper's evaluation platform: an
+//! aggressive out-of-order core configured per Table 1 (widths 5/8/5,
+//! 97-entry RS, 224-entry ROB, 80/56 load/store queues, 2/1 load/store
+//! ports, the three-level cache hierarchy, and the measured latencies of
+//! the FlexVec instructions).
+//!
+//! [`OooSim`] implements `flexvec_vm::TraceSink`, so an execution can be
+//! timed by streaming its µops straight into the simulator:
+//!
+//! ```
+//! use flexvec_sim::OooSim;
+//! use flexvec_vm::{Tok, TraceSink, Uop, UopClass};
+//!
+//! let mut sim = OooSim::table1();
+//! for i in 0..100 {
+//!     sim.emit(Uop::reg(UopClass::ScalarAlu, vec![Tok::S(i)], Some(Tok::S(i + 1))));
+//! }
+//! let result = sim.result();
+//! assert!(result.cycles >= 100); // a dependence chain serializes
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod ooo;
+
+pub use config::{OpTiming, SimConfig};
+pub use ooo::{ClassCounts, OooSim, SimResult};
+
+/// Computes the whole-application speedup from a region speedup and the
+/// region's coverage of total execution time (the paper's methodology:
+/// "Hot region speedups are then scaled down based on their contribution
+/// to total program execution").
+pub fn amdahl_overall(region_speedup: f64, coverage: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&coverage),
+        "coverage must be in [0, 1]"
+    );
+    assert!(region_speedup > 0.0, "speedup must be positive");
+    1.0 / ((1.0 - coverage) + coverage / region_speedup)
+}
+
+/// Geometric mean of a slice of positive values.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty slice");
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amdahl_limits() {
+        assert!((amdahl_overall(2.0, 1.0) - 2.0).abs() < 1e-12);
+        assert!((amdahl_overall(2.0, 0.0) - 1.0).abs() < 1e-12);
+        // 2x on half the program: 1/(0.5 + 0.25) = 1.333...
+        assert!((amdahl_overall(2.0, 0.5) - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_basic() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,28 @@
+//! # flexvec-vm
+//!
+//! The execution engine of the FlexVec reproduction:
+//!
+//! * [`run_scalar`] — the scalar reference interpreter (also the
+//!   evaluation baseline: the paper's baseline compiler leaves FlexVec
+//!   candidate loops scalar);
+//! * [`run_vector`] — the [`VProg`](flexvec::VProg) executor with chunked
+//!   vector iteration, Vector Partitioning Loop execution, first-faulting
+//!   fallback to scalar code, and the strip-mined RTM transaction runtime;
+//! * [`Uop`] traces ([`TraceSink`]) consumed by the `flexvec-sim` timing
+//!   model.
+//!
+//! The central correctness property — checked extensively in this crate's
+//! tests and the workspace integration tests — is that for every loop the
+//! scalar and vector executions agree on final memory and live-out
+//! scalars.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod scalar;
+mod trace;
+mod vector;
+
+pub use scalar::{run_scalar, Bindings, ExecError, RunResult, ScalarMachine, StepOutcome};
+pub use trace::{CountingSink, Tok, TraceSink, Uop, UopClass, VecSink, TEMP_BASE};
+pub use vector::{run_vector, run_vector_all_or_nothing, VectorStats};

@@ -1,0 +1,160 @@
+//! # flexvec-workloads
+//!
+//! Synthetic kernels reproducing the hot loops of the paper's evaluation
+//! (Section 5): one workload per row of Table 2 — 11 SPEC 2006 C/C++
+//! benchmarks and 7 real applications.
+//!
+//! SPEC sources and the applications' proprietary inputs cannot be
+//! shipped; each kernel is instead derived from the loop the paper
+//! exhibits (the 464.h264ref motion-search loop of Section 1.1, the
+//! 473.astar-style `d_arr` loop of Figure 2) or reconstructed from the
+//! benchmark row's documented *pattern*: the FlexVec instruction-mix
+//! column pins down which of the three loop patterns the hot loop
+//! exhibits (`VPSLCTLAST` ⇒ conditional scalar update, `VPCONFLICTM` ⇒
+//! runtime memory conflicts, `VPGATHERFF`/`VMOVFF` ⇒ speculative loads
+//! under a stale guard), and the coverage / average-trip-count columns
+//! set the workload parameters. Trip counts above ~20K are scaled down
+//! (noted per workload) to keep simulation time reasonable; the scaling
+//! is applied identically to baseline and FlexVec runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+mod eval;
+pub mod spec;
+
+pub use eval::{evaluate, evaluate_with_config, EvalError, Evaluation, VectorMode};
+
+use flexvec_ir::Program;
+
+/// Which part of the evaluation a workload belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Suite {
+    /// SPEC 2006 C/C++ benchmarks (Figure 8 left group).
+    Spec2006,
+    /// Real applications (Figure 8 right group).
+    App,
+}
+
+/// One benchmark row of Table 2: a loop program, its inputs, and the
+/// paper-reported coverage / trip-count metadata.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Benchmark name as printed in Table 2.
+    pub name: &'static str,
+    /// SPEC or application suite.
+    pub suite: Suite,
+    /// Hot-loop coverage of total execution (Table 2 "Loops Cvrg.").
+    pub coverage: f64,
+    /// Average trip count as reported by Table 2 (display string, e.g.
+    /// `"160K"`).
+    pub table2_trip: &'static str,
+    /// Trip count actually simulated (scaled down when noted).
+    pub sim_trip: i64,
+    /// How many times the hot loop is invoked per measured run.
+    pub invocations: u64,
+    /// The FlexVec instruction mix Table 2 reports for this benchmark.
+    pub expected_mix: &'static str,
+    /// The loop program.
+    pub program: Program,
+    /// Input arrays, bound positionally.
+    pub arrays: Vec<Vec<i64>>,
+}
+
+/// All SPEC 2006 workloads, in Table 2 order.
+pub fn spec2006() -> Vec<Workload> {
+    vec![
+        spec::bzip2(),
+        spec::gcc(),
+        spec::gobmk(),
+        spec::sjeng(),
+        spec::h264ref(),
+        spec::astar(),
+        spec::milc(),
+        spec::gromacs(),
+        spec::namd(),
+        spec::soplex(),
+        spec::calculix(),
+    ]
+}
+
+/// All real-application workloads, in Table 2 order.
+pub fn applications() -> Vec<Workload> {
+    vec![
+        apps::lammps(),
+        apps::gromacs(),
+        apps::ssca2(),
+        apps::milc(),
+        apps::blast(),
+        apps::gzip(),
+        apps::zlib(),
+    ]
+}
+
+/// Every workload.
+pub fn all() -> Vec<Workload> {
+    let mut v = spec2006();
+    v.extend(applications());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexvec::{vectorize, SpecRequest, VectorizedKind};
+
+    #[test]
+    fn registry_is_complete() {
+        assert_eq!(spec2006().len(), 11);
+        assert_eq!(applications().len(), 7);
+        assert_eq!(all().len(), 18);
+    }
+
+    #[test]
+    fn every_workload_vectorizes_as_flexvec() {
+        for w in all() {
+            let v = vectorize(&w.program, SpecRequest::Auto)
+                .unwrap_or_else(|e| panic!("{} failed to vectorize: {e}", w.name));
+            assert_eq!(v.kind, VectorizedKind::FlexVec, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn instruction_mix_matches_table2() {
+        for w in all() {
+            let v = vectorize(&w.program, SpecRequest::Auto).expect("vectorizes");
+            let mix = v.vprog.inst_mix().flexvec_summary();
+            assert_eq!(mix, w.expected_mix, "{}: mix mismatch", w.name);
+        }
+    }
+
+    #[test]
+    fn coverages_match_table2() {
+        let cov: Vec<(&str, f64)> = all().iter().map(|w| (w.name, w.coverage)).collect();
+        let expected = [
+            ("401.bzip2", 0.21),
+            ("403.gcc", 0.041),
+            ("445.gobmk", 0.068),
+            ("458.sjeng", 0.072),
+            ("464.h264ref", 0.602),
+            ("473.astar", 0.365),
+            ("433.milc", 0.229),
+            ("435.gromacs", 0.495),
+            ("444.namd", 0.374),
+            ("450.soplex", 0.13),
+            ("454.calculix", 0.11),
+            ("LAMMPS", 0.66),
+            ("GROMACS", 0.48),
+            ("SSCA2", 0.595),
+            ("MILC", 0.12),
+            ("BLAST", 0.191),
+            ("GZIP", 0.467),
+            ("ZLIB", 0.567),
+        ];
+        for ((name, c), (ename, ec)) in cov.iter().zip(expected.iter()) {
+            assert_eq!(name, ename);
+            assert!((c - ec).abs() < 1e-9, "{name}: coverage {c} != {ec}");
+        }
+    }
+}

@@ -1,0 +1,713 @@
+//! SPEC 2006 C/C++ kernels (Table 2, upper half).
+//!
+//! Each kernel reconstructs the documented hot-loop pattern of its
+//! benchmark: the instruction-mix column determines the FlexVec pattern,
+//! the trip-count column the loop extent, and the coverage column how the
+//! overall speedup is scaled. See the crate docs for the substitution
+//! rationale.
+
+use flexvec_ir::build::*;
+use flexvec_ir::ProgramBuilder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Suite, Workload};
+
+fn rng_for(name: &str) -> StdRng {
+    // Stable per-benchmark seed: workloads are deterministic across runs.
+    let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+    });
+    StdRng::seed_from_u64(seed)
+}
+
+/// 401.bzip2 — block-sort cost selection (coverage 21%, trip 4235).
+///
+/// `mainSort`-style scan that keeps the cheapest bucket seen so far; the
+/// group lookup is guarded by the running minimum, so the guarded loads
+/// are speculative (VMOVFF + VPGATHERFF in the mix).
+pub fn bzip2() -> Workload {
+    let n: i64 = 4235;
+    let mut b = ProgramBuilder::new("bzip2_sort_cost");
+    let i = b.var("i", 0);
+    let end = b.var("n", n);
+    let cost = b.var("cost", 0);
+    let grp = b.var("grp", 0);
+    let best_cost = b.var("best_cost", 1 << 28);
+    let freq = b.array("freq");
+    let qadd = b.array("qadd");
+    let weight = b.array("weight");
+    b.live_out(best_cost);
+    let program = b
+        .build_loop(
+            i,
+            c(0),
+            var(end),
+            vec![if_(
+                lt(ld(freq, var(i)), var(best_cost)),
+                vec![
+                    assign(cost, ld(freq, var(i))),
+                    assign(grp, ld(qadd, var(i))),
+                    assign(cost, add(var(cost), ld(weight, var(grp)))),
+                    if_(
+                        lt(var(cost), var(best_cost)),
+                        vec![assign(best_cost, var(cost))],
+                    ),
+                ],
+            )],
+        )
+        .expect("valid kernel");
+
+    let mut rng = rng_for("bzip2");
+    let un = n as usize;
+    // Slowly decreasing record with ~1.5% improvements: EVL stays high.
+    let freq_d: Vec<i64> = (0..un)
+        .map(|_| {
+            if rng.gen_bool(0.015) {
+                rng.gen_range(1000..80_000)
+            } else {
+                rng.gen_range(1 << 28..1 << 29)
+            }
+        })
+        .collect();
+    let qadd_d: Vec<i64> = (0..un).map(|_| rng.gen_range(0..un as i64)).collect();
+    let weight_d: Vec<i64> = (0..un).map(|_| rng.gen_range(0..5000)).collect();
+
+    Workload {
+        name: "401.bzip2",
+        suite: Suite::Spec2006,
+        coverage: 0.21,
+        table2_trip: "4235",
+        sim_trip: n,
+        invocations: 1,
+        expected_mix: "KFTM, VPSLCTLAST, VPGATHERFF, VMOVFF",
+        program,
+        arrays: vec![freq_d, qadd_d, weight_d],
+    }
+}
+
+/// 403.gcc — register-pressure maximum scan (coverage 4.1%, trip 31K,
+/// simulated at 16K).
+///
+/// The running maximum is a conditional scalar update; no load is guarded
+/// by it, so the mix is KFTM + VPSLCTLAST only.
+pub fn gcc() -> Workload {
+    let n: i64 = 16_000; // scaled from 31K
+    let mut b = ProgramBuilder::new("gcc_pressure_scan");
+    let i = b.var("i", 0);
+    let end = b.var("n", n);
+    let p = b.var("p", 0);
+    let max_pressure = b.var("max_pressure", 0);
+    let pressure = b.array("pressure");
+    let spill = b.array("spill_cost");
+    b.live_out(max_pressure);
+    let program = b
+        .build_loop(
+            i,
+            c(0),
+            var(end),
+            vec![
+                assign(p, add(ld(pressure, var(i)), shr(ld(spill, var(i)), c(2)))),
+                if_(
+                    gt(var(p), var(max_pressure)),
+                    vec![assign(max_pressure, var(p))],
+                ),
+            ],
+        )
+        .expect("valid kernel");
+
+    let mut rng = rng_for("gcc");
+    let un = n as usize;
+    // Ascending records are rare after warm-up: ~1% update rate.
+    let pressure_d: Vec<i64> = (0..un)
+        .map(|_| {
+            if rng.gen_bool(0.01) {
+                rng.gen_range(90_000..100_000)
+            } else {
+                rng.gen_range(0..50_000)
+            }
+        })
+        .collect();
+    let spill_d: Vec<i64> = (0..un).map(|_| rng.gen_range(0..40_000)).collect();
+
+    Workload {
+        name: "403.gcc",
+        suite: Suite::Spec2006,
+        coverage: 0.041,
+        table2_trip: "31K",
+        sim_trip: n,
+        invocations: 1,
+        expected_mix: "KFTM, VPSLCTLAST",
+        program,
+        arrays: vec![pressure_d, spill_d],
+    }
+}
+
+/// 445.gobmk — liberty-count maximization over a candidate list
+/// (coverage 6.8%, trip 67).
+///
+/// Tracks the best liberty count *and* the best point; the point has no
+/// in-loop use, so it is a plain conditionally-assigned live-out while
+/// the count is the FlexVec conditional update.
+pub fn gobmk() -> Workload {
+    let n: i64 = 67;
+    let mut b = ProgramBuilder::new("gobmk_liberty_scan");
+    let i = b.var("i", 0);
+    let end = b.var("n", n);
+    let libs = b.var("libs", 0);
+    let pt = b.var("pt", 0);
+    let best_libs = b.var("best_libs", -1);
+    let best_point = b.var("best_point", -1);
+    let lib_count = b.array("lib_count");
+    let point = b.array("point");
+    b.live_out(best_libs);
+    b.live_out(best_point);
+    let program = b
+        .build_loop(
+            i,
+            c(0),
+            var(end),
+            vec![
+                assign(libs, band(ld(lib_count, var(i)), c(0xff))),
+                assign(pt, ld(point, var(i))),
+                if_(
+                    gt(var(libs), var(best_libs)),
+                    vec![assign(best_point, var(pt)), assign(best_libs, var(libs))],
+                ),
+            ],
+        )
+        .expect("valid kernel");
+
+    let mut rng = rng_for("gobmk");
+    let un = n as usize;
+    let lib_d: Vec<i64> = (0..un)
+        .map(|_| {
+            if rng.gen_bool(0.08) {
+                rng.gen_range(150..250)
+            } else {
+                rng.gen_range(0..100)
+            }
+        })
+        .collect();
+    let point_d: Vec<i64> = (0..un).map(|_| rng.gen_range(0..361)).collect();
+
+    Workload {
+        name: "445.gobmk",
+        suite: Suite::Spec2006,
+        coverage: 0.068,
+        table2_trip: "67",
+        sim_trip: n,
+        invocations: 40,
+        expected_mix: "KFTM, VPSLCTLAST",
+        program,
+        arrays: vec![lib_d, point_d],
+    }
+}
+
+/// 458.sjeng — move-ordering best-score selection (coverage 7.2%,
+/// trip 22).
+pub fn sjeng() -> Workload {
+    let n: i64 = 22;
+    let mut b = ProgramBuilder::new("sjeng_move_order");
+    let i = b.var("i", 0);
+    let end = b.var("n", n);
+    let score = b.var("score", 0);
+    let best_score = b.var("best_score", i64::MIN / 2);
+    let hist = b.array("history");
+    let pv = b.array("pv_bonus");
+    b.live_out(best_score);
+    let program = b
+        .build_loop(
+            i,
+            c(0),
+            var(end),
+            vec![
+                assign(score, add(mul(ld(hist, var(i)), c(2)), ld(pv, var(i)))),
+                if_(
+                    gt(var(score), var(best_score)),
+                    vec![assign(best_score, var(score))],
+                ),
+            ],
+        )
+        .expect("valid kernel");
+
+    let mut rng = rng_for("sjeng");
+    let un = n as usize;
+    // Short move list with a couple of record-breaking scores: the move
+    // ordering heuristic ranks most moves low, so the best-score update
+    // fires ~3 times per 22-entry list (effective vector length ≈ 7,
+    // just above the paper's acceptance threshold of 6).
+    // Descending tail so the running maximum among ordinary moves only
+    // fires on the first element.
+    let mut hist_d: Vec<i64> = (0..un).map(|k| -100 - 15 * k as i64).collect();
+    hist_d[3] = 600;
+    hist_d[15] = 900;
+    let pv_d: Vec<i64> = (0..un).map(|_| rng.gen_range(0..30)).collect();
+
+    Workload {
+        name: "458.sjeng",
+        suite: Suite::Spec2006,
+        coverage: 0.072,
+        table2_trip: "22",
+        sim_trip: n,
+        invocations: 120,
+        expected_mix: "KFTM, VPSLCTLAST",
+        program,
+        arrays: vec![hist_d, pv_d],
+    }
+}
+
+/// 464.h264ref — the Section 1.1 motion-search loop, verbatim
+/// (coverage 60.2%, trip 1089).
+pub fn h264ref() -> Workload {
+    let n: i64 = 1089;
+    let mut b = ProgramBuilder::new("h264_motion_search");
+    let pos = b.var("pos", 0);
+    let max_pos = b.var("max_pos", n);
+    let mcost = b.var("mcost", 0);
+    let cand = b.var("cand", 0);
+    let min_mcost = b.var("min_mcost", 1 << 24);
+    let block_sad = b.array("block_sad");
+    let spiral = b.array("spiral_srch");
+    let mv = b.array("mv");
+    b.live_out(min_mcost);
+    let program = b
+        .build_loop(
+            pos,
+            c(0),
+            var(max_pos),
+            vec![if_(
+                lt(ld(block_sad, var(pos)), var(min_mcost)),
+                vec![
+                    assign(mcost, ld(block_sad, var(pos))),
+                    assign(cand, ld(spiral, var(pos))),
+                    assign(mcost, add(var(mcost), ld(mv, var(cand)))),
+                    if_(
+                        lt(var(mcost), var(min_mcost)),
+                        vec![assign(min_mcost, var(mcost))],
+                    ),
+                ],
+            )],
+        )
+        .expect("valid kernel");
+
+    let mut rng = rng_for("h264ref");
+    let un = n as usize;
+    // The spiral search improves the record early, then rarely.
+    let block_sad_d: Vec<i64> = (0..un)
+        .map(|k| {
+            let floor = 4000 + (40_000 / (k as i64 + 2));
+            if rng.gen_bool(0.04) {
+                floor + rng.gen_range(0..100)
+            } else {
+                floor + rng.gen_range(10_000..1 << 22)
+            }
+        })
+        .collect();
+    let spiral_d: Vec<i64> = (0..un).map(|_| rng.gen_range(0..un as i64)).collect();
+    let mv_d: Vec<i64> = (0..un).map(|_| rng.gen_range(0..2000)).collect();
+
+    Workload {
+        name: "464.h264ref",
+        suite: Suite::Spec2006,
+        coverage: 0.602,
+        table2_trip: "1089",
+        sim_trip: n,
+        invocations: 2,
+        expected_mix: "KFTM, VPSLCTLAST, VPGATHERFF, VMOVFF",
+        program,
+        arrays: vec![block_sad_d, spiral_d, mv_d],
+    }
+}
+
+/// 473.astar — open-list g-score relaxation (coverage 36.5%, trip 961).
+///
+/// The Figure 2 pattern: an indirect load of the score table guards an
+/// indirect store to the same table, a dependence only resolvable at
+/// runtime (`VPCONFLICTM`).
+pub fn astar() -> Workload {
+    let n: i64 = 961;
+    let nodes: i64 = 1 << 12;
+    let mut b = ProgramBuilder::new("astar_relax");
+    let i = b.var("i", 0);
+    let end = b.var("n", n);
+    let node = b.var("node", 0);
+    let cost = b.var("cost", 0);
+    let succ = b.array("succ");
+    let base = b.array("base_cost");
+    let edge = b.array("edge_cost");
+    let gscore = b.array("gscore");
+    let program = b
+        .build_loop(
+            i,
+            c(0),
+            var(end),
+            vec![
+                assign(node, ld(succ, var(i))),
+                assign(cost, add(ld(base, var(i)), ld(edge, var(i)))),
+                if_(
+                    lt(var(cost), ld(gscore, var(node))),
+                    vec![store(gscore, var(node), var(cost))],
+                ),
+            ],
+        )
+        .expect("valid kernel");
+
+    let mut rng = rng_for("astar");
+    let un = n as usize;
+    let succ_d: Vec<i64> = (0..un).map(|_| rng.gen_range(0..nodes)).collect();
+    let base_d: Vec<i64> = (0..un).map(|_| rng.gen_range(0..10_000)).collect();
+    let edge_d: Vec<i64> = (0..un).map(|_| rng.gen_range(1..100)).collect();
+    let gscore_d: Vec<i64> = (0..nodes as usize)
+        .map(|_| rng.gen_range(0..20_000))
+        .collect();
+
+    Workload {
+        name: "473.astar",
+        suite: Suite::Spec2006,
+        coverage: 0.365,
+        table2_trip: "961",
+        sim_trip: n,
+        invocations: 2,
+        expected_mix: "KFTM, VPCONFLICTM",
+        program,
+        arrays: vec![succ_d, base_d, edge_d, gscore_d],
+    }
+}
+
+/// 433.milc — lattice-site accumulation (coverage 22.9%, trip 160K,
+/// simulated at 16K).
+///
+/// Scatter-accumulate over gathered sites: the unconditional
+/// load-modify-store through an index array is a runtime memory
+/// dependence.
+pub fn milc() -> Workload {
+    let n: i64 = 16_000; // scaled from 160K
+    let sites: i64 = 1 << 13;
+    let mut b = ProgramBuilder::new("milc_site_accumulate");
+    let i = b.var("i", 0);
+    let end = b.var("n", n);
+    let site = b.var("site", 0);
+    let map = b.array("site_map");
+    let re = b.array("re");
+    let im = b.array("im");
+    let acc = b.array("acc");
+    let program = b
+        .build_loop(
+            i,
+            c(0),
+            var(end),
+            vec![
+                assign(site, ld(map, var(i))),
+                store(
+                    acc,
+                    var(site),
+                    add(
+                        ld(acc, var(site)),
+                        add(
+                            mul(ld(re, var(i)), ld(re, var(i))),
+                            mul(ld(im, var(i)), ld(im, var(i))),
+                        ),
+                    ),
+                ),
+            ],
+        )
+        .expect("valid kernel");
+
+    let mut rng = rng_for("milc");
+    let un = n as usize;
+    let map_d: Vec<i64> = (0..un).map(|_| rng.gen_range(0..sites)).collect();
+    let re_d: Vec<i64> = (0..un).map(|_| rng.gen_range(-100..100)).collect();
+    let im_d: Vec<i64> = (0..un).map(|_| rng.gen_range(-100..100)).collect();
+    let acc_d = vec![0i64; sites as usize];
+
+    Workload {
+        name: "433.milc",
+        suite: Suite::Spec2006,
+        coverage: 0.229,
+        table2_trip: "160K",
+        sim_trip: n,
+        invocations: 1,
+        expected_mix: "KFTM, VPCONFLICTM",
+        program,
+        arrays: vec![map_d, re_d, im_d, acc_d],
+    }
+}
+
+/// 435.gromacs — short neighbor-cell force accumulation (coverage 49.5%,
+/// trip 83).
+pub fn gromacs() -> Workload {
+    let n: i64 = 83;
+    let cells: i64 = 512;
+    let mut b = ProgramBuilder::new("gromacs435_force_accum");
+    let i = b.var("i", 0);
+    let end = b.var("n", n);
+    let cell = b.var("cell", 0);
+    let fval = b.var("fval", 0);
+    let nb = b.array("nb_cell");
+    let c6 = b.array("c6");
+    let r2 = b.array("r2");
+    let f = b.array("force");
+    let program = b
+        .build_loop(
+            i,
+            c(0),
+            var(end),
+            vec![
+                assign(cell, ld(nb, var(i))),
+                assign(fval, sub(mul(ld(c6, var(i)), ld(r2, var(i))), c(1000))),
+                store(f, var(cell), add(ld(f, var(cell)), var(fval))),
+            ],
+        )
+        .expect("valid kernel");
+
+    let mut rng = rng_for("gromacs435");
+    let un = n as usize;
+    let nb_d: Vec<i64> = (0..un).map(|_| rng.gen_range(0..cells)).collect();
+    let c6_d: Vec<i64> = (0..un).map(|_| rng.gen_range(1..50)).collect();
+    let r2_d: Vec<i64> = (0..un).map(|_| rng.gen_range(10..400)).collect();
+    let f_d = vec![0i64; cells as usize];
+
+    Workload {
+        name: "435.gromacs",
+        suite: Suite::Spec2006,
+        coverage: 0.495,
+        table2_trip: "83",
+        sim_trip: n,
+        invocations: 30,
+        expected_mix: "KFTM, VPCONFLICTM",
+        program,
+        arrays: vec![nb_d, c6_d, r2_d, f_d],
+    }
+}
+
+/// 444.namd — pairlist minimum-distance tracking (coverage 37.4%,
+/// trip 157).
+pub fn namd() -> Workload {
+    let n: i64 = 157;
+    let mut b = ProgramBuilder::new("namd_pairlist_min");
+    let i = b.var("i", 0);
+    let end = b.var("n", n);
+    let d2 = b.var("d2", 0);
+    let min_d2 = b.var("min_d2", 1 << 30);
+    let dx = b.array("dx");
+    let dy = b.array("dy");
+    let dz = b.array("dz");
+    b.live_out(min_d2);
+    let program = b
+        .build_loop(
+            i,
+            c(0),
+            var(end),
+            vec![
+                assign(
+                    d2,
+                    add(
+                        mul(ld(dx, var(i)), ld(dx, var(i))),
+                        add(
+                            mul(ld(dy, var(i)), ld(dy, var(i))),
+                            mul(ld(dz, var(i)), ld(dz, var(i))),
+                        ),
+                    ),
+                ),
+                if_(lt(var(d2), var(min_d2)), vec![assign(min_d2, var(d2))]),
+            ],
+        )
+        .expect("valid kernel");
+
+    let mut rng = rng_for("namd");
+    let un = n as usize;
+    let coord =
+        |rng: &mut StdRng| -> Vec<i64> { (0..un).map(|_| rng.gen_range(-3000i64..3000)).collect() };
+    let dx_d = coord(&mut rng);
+    let dy_d = coord(&mut rng);
+    let dz_d = coord(&mut rng);
+
+    Workload {
+        name: "444.namd",
+        suite: Suite::Spec2006,
+        coverage: 0.374,
+        table2_trip: "157",
+        sim_trip: n,
+        invocations: 16,
+        expected_mix: "KFTM, VPSLCTLAST",
+        program,
+        arrays: vec![dx_d, dy_d, dz_d],
+    }
+}
+
+/// 450.soplex — simplex ratio test (coverage 13%, trip 1422).
+///
+/// The paper singles soplex out as "branchy": two non-speculative guards
+/// nest around the conditional minimum update, shrinking SIMD
+/// utilization.
+pub fn soplex() -> Workload {
+    let n: i64 = 1422;
+    let mut b = ProgramBuilder::new("soplex_ratio_test");
+    let i = b.var("i", 0);
+    let end = b.var("n", n);
+    let upd = b.var("upd", 0);
+    let ratio = b.var("ratio", 0);
+    let best_ratio = b.var("best_ratio", 1 << 30);
+    let delta = b.array("delta");
+    let value = b.array("value");
+    b.live_out(best_ratio);
+    let program = b
+        .build_loop(
+            i,
+            c(0),
+            var(end),
+            vec![
+                assign(upd, ld(delta, var(i))),
+                if_(
+                    ne(var(upd), c(0)),
+                    vec![if_(
+                        gt(var(upd), c(4)),
+                        vec![
+                            assign(ratio, div(mul(ld(value, var(i)), c(1024)), var(upd))),
+                            if_(
+                                lt(var(ratio), var(best_ratio)),
+                                vec![assign(best_ratio, var(ratio))],
+                            ),
+                        ],
+                    )],
+                ),
+            ],
+        )
+        .expect("valid kernel");
+
+    let mut rng = rng_for("soplex");
+    let un = n as usize;
+    let delta_d: Vec<i64> = (0..un)
+        .map(|_| match rng.gen_range(0..10) {
+            0..=3 => 0,                     // 40% zero entries
+            4..=6 => rng.gen_range(-50..5), // non-positive / tiny
+            _ => rng.gen_range(5..500),     // eligible
+        })
+        .collect();
+    let value_d: Vec<i64> = (0..un).map(|_| rng.gen_range(1000..1_000_000)).collect();
+
+    Workload {
+        name: "450.soplex",
+        suite: Suite::Spec2006,
+        coverage: 0.13,
+        table2_trip: "1422",
+        sim_trip: n,
+        invocations: 2,
+        expected_mix: "KFTM, VPSLCTLAST",
+        program,
+        arrays: vec![delta_d, value_d],
+    }
+}
+
+/// 454.calculix — stiffness-matrix assembly (coverage 11%, trip 4298).
+pub fn calculix() -> Workload {
+    let n: i64 = 4298;
+    let dofs: i64 = 1 << 12;
+    let mut b = ProgramBuilder::new("calculix_assembly");
+    let i = b.var("i", 0);
+    let end = b.var("n", n);
+    let row = b.var("row", 0);
+    let dof = b.array("dof_map");
+    let e_val = b.array("elem_value");
+    let k_arr = b.array("k_matrix");
+    let program = b
+        .build_loop(
+            i,
+            c(0),
+            var(end),
+            vec![
+                assign(row, ld(dof, var(i))),
+                store(
+                    k_arr,
+                    var(row),
+                    add(ld(k_arr, var(row)), mul(ld(e_val, var(i)), c(3))),
+                ),
+            ],
+        )
+        .expect("valid kernel");
+
+    let mut rng = rng_for("calculix");
+    let un = n as usize;
+    let dof_d: Vec<i64> = (0..un).map(|_| rng.gen_range(0..dofs)).collect();
+    let e_d: Vec<i64> = (0..un).map(|_| rng.gen_range(-500..500)).collect();
+    let k_d = vec![0i64; dofs as usize];
+
+    Workload {
+        name: "454.calculix",
+        suite: Suite::Spec2006,
+        coverage: 0.11,
+        table2_trip: "4298",
+        sim_trip: n,
+        invocations: 1,
+        expected_mix: "KFTM, VPCONFLICTM",
+        program,
+        arrays: vec![dof_d, e_d, k_d],
+    }
+}
+
+/// Parametric variant of the h264ref motion-search loop with a chosen
+/// conditional-update rate, used by the ablation studies (VPL vs.
+/// all-or-nothing speculation as the dependency frequency grows).
+pub fn h264_parametric(update_rate: f64, n: i64) -> Workload {
+    let mut b = ProgramBuilder::new("h264_parametric");
+    let pos = b.var("pos", 0);
+    let max_pos = b.var("max_pos", n);
+    let mcost = b.var("mcost", 0);
+    let cand = b.var("cand", 0);
+    let min_mcost = b.var("min_mcost", 1 << 24);
+    let block_sad = b.array("block_sad");
+    let spiral = b.array("spiral_srch");
+    let mv = b.array("mv");
+    b.live_out(min_mcost);
+    let program = b
+        .build_loop(
+            pos,
+            c(0),
+            var(max_pos),
+            vec![if_(
+                lt(ld(block_sad, var(pos)), var(min_mcost)),
+                vec![
+                    assign(mcost, ld(block_sad, var(pos))),
+                    assign(cand, ld(spiral, var(pos))),
+                    assign(mcost, add(var(mcost), ld(mv, var(cand)))),
+                    if_(
+                        lt(var(mcost), var(min_mcost)),
+                        vec![assign(min_mcost, var(mcost))],
+                    ),
+                ],
+            )],
+        )
+        .expect("valid kernel");
+
+    let mut rng = rng_for(&format!("h264p{update_rate}"));
+    let un = n as usize;
+    // A fresh record (strictly below everything seen so far) appears with
+    // probability `update_rate`; everything else stays above the running
+    // minimum.
+    let mut floor = 1 << 22;
+    let block_sad_d: Vec<i64> = (0..un)
+        .map(|_| {
+            if rng.gen_bool(update_rate) {
+                floor -= rng.gen_range(1..50);
+                floor
+            } else {
+                (1 << 23) + rng.gen_range(0..1000)
+            }
+        })
+        .collect();
+    let spiral_d: Vec<i64> = (0..un).map(|_| rng.gen_range(0..un as i64)).collect();
+    let mv_d: Vec<i64> = vec![0; un];
+
+    Workload {
+        name: "h264_parametric",
+        suite: Suite::Spec2006,
+        coverage: 1.0,
+        table2_trip: "n/a",
+        sim_trip: n,
+        invocations: 1,
+        expected_mix: "KFTM, VPSLCTLAST, VPGATHERFF, VMOVFF",
+        program,
+        arrays: vec![block_sad_d, spiral_d, mv_d],
+    }
+}

@@ -1,0 +1,131 @@
+//! Runtime memory dependencies (the paper's Figure 2 pattern): an
+//! indirect read-modify-write histogram where different iterations may
+//! hit the same bin.
+//!
+//! ```sh
+//! cargo run --release --example histogram_conflicts
+//! ```
+//!
+//! A traditional vectorizer must assume every pair of iterations
+//! conflicts and gives up; FlexVec vectorizes the loop and lets
+//! `VPCONFLICTM` partition each vector of 16 iterations at the actual
+//! runtime conflicts. The demo sweeps the number of bins: with many bins
+//! conflicts are rare (≈1 partition per chunk, full SIMD width); with 2
+//! bins execution degenerates gracefully toward serial order.
+
+use flexvec::{analyze, vectorize, SpecRequest, Verdict};
+use flexvec_ir::build::*;
+use flexvec_ir::{Program, ProgramBuilder};
+use flexvec_mem::AddressSpace;
+use flexvec_sim::OooSim;
+use flexvec_vm::{run_scalar, run_vector, Bindings};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn histogram_max_loop(n: i64) -> Program {
+    // bins[key[i]] = max(bins[key[i]], val[i]) — expressed with the
+    // guarded-store idiom of Figure 2 so the load participates in the
+    // dependence cycle.
+    let mut b = ProgramBuilder::new("histogram_max");
+    let i = b.var("i", 0);
+    let end = b.var("n", n);
+    let k = b.var("k", 0);
+    let v = b.var("v", 0);
+    let key = b.array("key");
+    let val = b.array("val");
+    let bins = b.array("bins");
+    b.build_loop(
+        i,
+        c(0),
+        var(end),
+        vec![
+            assign(k, ld(key, var(i))),
+            assign(v, ld(val, var(i))),
+            if_(
+                gt(var(v), ld(bins, var(k))),
+                vec![store(bins, var(k), var(v))],
+            ),
+        ],
+    )
+    .expect("valid program")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 8192usize;
+    let program = histogram_max_loop(n as i64);
+    println!("{program}");
+
+    let analysis = analyze(&program);
+    if let Verdict::FlexVec(plan) = &analysis.verdict {
+        println!(
+            "analysis: {} conflict check(s), VPL over nodes {:?}\n",
+            plan.conflict_checks.len(),
+            plan.vpl_range
+        );
+    }
+    let vectorized = vectorize(&program, SpecRequest::Auto)?;
+
+    println!(
+        "{:>8} {:>12} {:>12} {:>9} {:>12}",
+        "bins", "scalar cyc", "flexvec cyc", "speedup", "partitions"
+    );
+    for bins_count in [2usize, 16, 256, 4096] {
+        let mut rng = StdRng::seed_from_u64(bins_count as u64);
+        let key: Vec<i64> = (0..n)
+            .map(|_| rng.gen_range(0..bins_count as i64))
+            .collect();
+        let val: Vec<i64> = (0..n).map(|_| rng.gen_range(0..1_000_000)).collect();
+        let bins = vec![0i64; bins_count];
+        let arrays = [key, val, bins];
+
+        let mut mem_s = AddressSpace::new();
+        let ids_s: Vec<_> = arrays
+            .iter()
+            .enumerate()
+            .map(|(i, d)| mem_s.alloc_from(&format!("a{i}"), d))
+            .collect();
+        let mut sim_s = OooSim::table1();
+        run_scalar(
+            &program,
+            &mut mem_s,
+            Bindings::new(ids_s.clone()),
+            &mut sim_s,
+        )?;
+
+        let mut mem_v = AddressSpace::new();
+        let ids_v: Vec<_> = arrays
+            .iter()
+            .enumerate()
+            .map(|(i, d)| mem_v.alloc_from(&format!("a{i}"), d))
+            .collect();
+        let mut sim_v = OooSim::table1();
+        let (_, stats) = run_vector(
+            &program,
+            &vectorized.vprog,
+            &mut mem_v,
+            Bindings::new(ids_v.clone()),
+            &mut sim_v,
+        )?;
+
+        // The two executions must agree bin-for-bin.
+        assert_eq!(
+            mem_s.snapshot_array(ids_s[2]),
+            mem_v.snapshot_array(ids_v[2]),
+            "histogram mismatch"
+        );
+
+        let sc = sim_s.result().cycles;
+        let vc = sim_v.result().cycles;
+        println!(
+            "{:>8} {:>12} {:>12} {:>8.2}x {:>9.2}/ch",
+            bins_count,
+            sc,
+            vc,
+            sc as f64 / vc as f64,
+            stats.vpl_iterations as f64 / stats.chunks as f64
+        );
+    }
+    println!("\n(With few bins VPCONFLICTM partitions nearly every chunk; with many");
+    println!(" bins the loop runs at full vector width — FlexVec adapts at runtime.)");
+    Ok(())
+}

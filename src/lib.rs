@@ -1,0 +1,14 @@
+//! Umbrella crate for the FlexVec reproduction workspace.
+//!
+//! This crate hosts the cross-crate integration tests (`tests/`) and the
+//! runnable examples (`examples/`). The actual functionality lives in the
+//! member crates re-exported below.
+
+pub use flexvec;
+pub use flexvec_ir as ir;
+pub use flexvec_isa as isa;
+pub use flexvec_mem as mem;
+pub use flexvec_profiler as profiler;
+pub use flexvec_sim as sim;
+pub use flexvec_vm as vm;
+pub use flexvec_workloads as workloads;

@@ -1,0 +1,65 @@
+//! Meta-test: the random-loop generator in `random_equivalence.rs` must
+//! actually produce vectorizable FlexVec programs, not degenerate cases
+//! that all get rejected — otherwise the property tests would be
+//! vacuous. This duplicates the generator's structure knobs directly.
+
+use flexvec::{vectorize, SpecRequest, VectorizedKind};
+use flexvec_ir::build::*;
+use flexvec_ir::ProgramBuilder;
+
+#[test]
+fn all_pattern_combinations_vectorize() {
+    // (update, guarded_load, conflict, break)
+    let combos = [
+        (true, false, false, false),
+        (true, true, false, false),
+        (false, false, true, false),
+        (true, false, true, false),
+        (false, false, false, true),
+        (true, false, false, true),
+        (true, true, false, true),
+        (false, false, true, true),
+        (true, false, true, true),
+    ];
+    for (upd, gl, cf, br) in combos {
+        let mut b = ProgramBuilder::new("combo");
+        let i = b.var("i", 0);
+        let t = b.var("t", 0);
+        let data = b.array("data");
+        let aux = b.array("aux");
+        let mut body = vec![assign(t, ld(data, band(var(i), c(63))))];
+        if br {
+            body.push(if_(gt(var(t), c(1 << 20)), vec![brk()]));
+        }
+        if upd {
+            let best = b.var("best", 1 << 18);
+            b.live_out(best);
+            if gl {
+                let u = b.var("u", 0);
+                body.push(if_(
+                    lt(var(t), var(best)),
+                    vec![
+                        assign(u, add(var(t), ld(aux, band(var(t), c(63))))),
+                        if_(lt(var(u), var(best)), vec![assign(best, var(u))]),
+                    ],
+                ));
+            } else {
+                body.push(if_(lt(var(t), var(best)), vec![assign(best, var(t))]));
+            }
+        }
+        if cf {
+            let k = b.var("k", 0);
+            body.push(assign(k, band(ld(data, band(var(i), c(63))), c(63))));
+            body.push(store(aux, var(k), add(ld(aux, var(k)), var(t))));
+        }
+        let p = b.build_loop(i, c(0), c(64), body).expect("builds");
+        let v = vectorize(&p, SpecRequest::Auto).unwrap_or_else(|e| {
+            panic!("combo upd={upd} gl={gl} cf={cf} br={br} rejected: {e}\n{p}")
+        });
+        assert_eq!(
+            v.kind,
+            VectorizedKind::FlexVec,
+            "combo upd={upd} gl={gl} cf={cf} br={br} not FlexVec"
+        );
+    }
+}

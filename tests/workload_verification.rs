@@ -1,0 +1,94 @@
+//! Every Table 2 workload must verify end-to-end: the evaluation harness
+//! cross-checks scalar vs. FlexVec execution (live-outs, induction,
+//! every array element) before reporting any number — this test runs
+//! that gate for all 18 workloads under both speculation mechanisms and
+//! sanity-checks the measured statistics.
+
+use flexvec::SpecRequest;
+use flexvec_workloads::{all, evaluate, Suite};
+
+#[test]
+fn all_workloads_verify_under_first_faulting() {
+    for w in all() {
+        let e = evaluate(&w, SpecRequest::Auto).unwrap_or_else(|err| panic!("{}: {err}", w.name));
+        assert!(
+            e.region_speedup > 0.5,
+            "{}: implausible region speedup {:.2}",
+            w.name,
+            e.region_speedup
+        );
+        assert!(e.overall_speedup >= 0.9, "{}: overall regression", w.name);
+        // Coverage scaling can only attenuate the region effect.
+        if e.region_speedup >= 1.0 {
+            assert!(e.overall_speedup <= e.region_speedup + 1e-9, "{}", w.name);
+        }
+        assert!(e.stats.chunks > 0, "{}: no vector chunks ran", w.name);
+    }
+}
+
+#[test]
+fn all_workloads_verify_under_rtm() {
+    for w in all() {
+        let e = evaluate(&w, SpecRequest::Rtm { tile: 192 })
+            .unwrap_or_else(|err| panic!("{} (RTM): {err}", w.name));
+        assert!(
+            e.stats.rtm_commits > 0,
+            "{}: no committed transactions",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn early_exit_workloads_break() {
+    for w in all() {
+        let expects_break = matches!(w.name, "GZIP" | "ZLIB");
+        let e = evaluate(&w, SpecRequest::Auto).unwrap();
+        assert_eq!(e.stats.broke, expects_break, "{}", w.name);
+    }
+}
+
+#[test]
+fn conflict_workloads_partition() {
+    for w in all() {
+        if !w.expected_mix.contains("VPCONFLICTM") {
+            continue;
+        }
+        let e = evaluate(&w, SpecRequest::Auto).unwrap();
+        assert!(
+            e.stats.vpl_iterations >= e.stats.chunks,
+            "{}: VPL never ran",
+            w.name
+        );
+        assert!(e.mix.vpconflictm > 0, "{}", w.name);
+    }
+}
+
+#[test]
+fn suite_assignment_is_consistent() {
+    for w in all() {
+        let is_spec = w.name.as_bytes()[0].is_ascii_digit();
+        assert_eq!(
+            w.suite,
+            if is_spec { Suite::Spec2006 } else { Suite::App },
+            "{}",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn generated_code_respects_mask_budget() {
+    // Section 3.7: with the FlexVec instructions in hardware, every
+    // workload's generated code stays within AVX-512's 8 architectural
+    // mask registers.
+    for w in all() {
+        let v = flexvec::vectorize(&w.program, SpecRequest::Auto).unwrap();
+        let mp = v.vprog.mask_pressure();
+        assert!(
+            mp.fits_architectural,
+            "{}: peak hardware mask pressure {} > 8",
+            w.name, mp.peak_hardware
+        );
+    }
+}
