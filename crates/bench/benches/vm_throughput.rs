@@ -1,0 +1,122 @@
+//! Execution-engine throughput (experiment for the compiled µop engine):
+//! chunks/s of the flat-bytecode compiled engine vs. the tree-walking
+//! reference executor on the Figure 8 loop shapes — the h264 guarded
+//! speculative-load kernel and the gzip early-exit kernel. Run with
+//! `--release`; the compiled engine is expected to be ≥2× the tree
+//! walker on both.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexvec::{vectorize, SpecRequest, Vectorized};
+use flexvec_mem::AddressSpace;
+use flexvec_vm::{
+    run_vector_precompiled, run_vector_with_engine, Bindings, CompiledVProg, CountingSink, Engine,
+};
+use flexvec_workloads::Workload;
+
+struct Prepared {
+    workload: Workload,
+    vectorized: Vectorized,
+    mem: AddressSpace,
+    bindings: Bindings,
+}
+
+fn prepare(workload: Workload) -> Prepared {
+    let vectorized = vectorize(&workload.program, SpecRequest::Auto).expect("vectorizes");
+    let mut mem = AddressSpace::new();
+    let ids: Vec<_> = workload
+        .arrays
+        .iter()
+        .enumerate()
+        .map(|(i, data)| mem.alloc_from(&format!("{}_{i}", workload.name), data))
+        .collect();
+    let bindings = Bindings::new(ids);
+    Prepared {
+        workload,
+        vectorized,
+        mem,
+        bindings,
+    }
+}
+
+/// Measured chunks/s of one engine over `iters` back-to-back runs. The
+/// one-time bytecode compilation happens outside the timed region, as it
+/// would in a real deployment (compile once, run every invocation).
+fn chunks_per_sec(p: &mut Prepared, compiled: &mut Option<CompiledVProg>, iters: u32) -> f64 {
+    let mut chunks = 0u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        let mut sink = CountingSink::default();
+        let (_, stats) = match compiled {
+            Some(c) => run_vector_precompiled(
+                &p.workload.program,
+                &p.vectorized.vprog,
+                c,
+                &mut p.mem,
+                p.bindings.clone(),
+                &mut sink,
+            )
+            .expect("runs"),
+            None => run_vector_with_engine(
+                &p.workload.program,
+                &p.vectorized.vprog,
+                &mut p.mem,
+                p.bindings.clone(),
+                &mut sink,
+                Engine::TreeWalking,
+            )
+            .expect("runs"),
+        };
+        chunks += stats.chunks;
+    }
+    chunks as f64 / start.elapsed().as_secs_f64()
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vm_throughput");
+    group.sample_size(20);
+    for workload in [
+        flexvec_workloads::spec::h264ref(),
+        flexvec_workloads::apps::gzip(),
+    ] {
+        let name = workload.workload_short_name();
+        let mut p = prepare(workload);
+        let mut tree_engine = None;
+        let mut compiled_engine = Some(CompiledVProg::compile(&p.vectorized.vprog));
+
+        // One-shot ratio report (the acceptance number), outside the
+        // criterion timing loops.
+        let tree = chunks_per_sec(&mut p, &mut tree_engine, 40);
+        let comp = chunks_per_sec(&mut p, &mut compiled_engine, 40);
+        println!(
+            "{name}: tree-walking {tree:.3e} chunks/s, compiled {comp:.3e} chunks/s \
+             ({:.2}x)",
+            comp / tree
+        );
+
+        group.bench_function(&format!("{name}/tree-walking"), |b| {
+            b.iter(|| chunks_per_sec(&mut p, &mut tree_engine, 1))
+        });
+        group.bench_function(&format!("{name}/compiled"), |b| {
+            b.iter(|| chunks_per_sec(&mut p, &mut compiled_engine, 1))
+        });
+    }
+    group.finish();
+}
+
+/// Short display name for the bench rows (`464.h264ref` → `h264ref`).
+trait ShortName {
+    fn workload_short_name(&self) -> &'static str;
+}
+
+impl ShortName for Workload {
+    fn workload_short_name(&self) -> &'static str {
+        self.name
+            .rsplit_once('.')
+            .map_or(self.name, |(_, tail)| tail)
+    }
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

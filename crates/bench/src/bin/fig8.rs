@@ -7,7 +7,7 @@
 //! Run with `--release`; the full sweep simulates ~18 × 2 executions.
 
 use flexvec::SpecRequest;
-use flexvec_bench::{by_suite, evaluate_all, render_fig8};
+use flexvec_bench::{by_suite, evaluate_all, render_fig8, render_throughput};
 use flexvec_workloads::all;
 
 fn main() {
@@ -19,4 +19,6 @@ fn main() {
         "{}",
         render_fig8(&apps, "Real applications (paper geomean: 1.11x)")
     );
+    println!("=== Execution-engine throughput (host wall clock) ===\n");
+    println!("{}", render_throughput(&evals));
 }

@@ -21,17 +21,65 @@
 #![warn(missing_docs)]
 
 use flexvec::SpecRequest;
-use flexvec_sim::geomean;
-use flexvec_workloads::{evaluate, Evaluation, Suite, Workload};
+use flexvec_sim::{geomean, SimConfig};
+use flexvec_vm::Engine;
+use flexvec_workloads::{evaluate_with_engine, Evaluation, Suite, VectorMode, Workload};
 
-/// Evaluates a set of workloads, panicking with context on failure (the
-/// harness treats any failure as fatal — numbers from a partially failed
-/// run would be misleading).
+/// Evaluates a set of workloads in parallel (one worker thread per
+/// workload — the suites are small and each evaluation is independent),
+/// panicking with context on failure (the harness treats any failure as
+/// fatal — numbers from a partially failed run would be misleading).
+/// Results keep the input order.
 pub fn evaluate_all(workloads: &[Workload], spec: SpecRequest) -> Vec<Evaluation> {
-    workloads
-        .iter()
-        .map(|w| evaluate(w, spec).unwrap_or_else(|e| panic!("{}: {e}", w.name)))
-        .collect()
+    evaluate_all_with_engine(workloads, spec, Engine::default())
+}
+
+/// [`evaluate_all`] on an explicit execution [`Engine`].
+pub fn evaluate_all_with_engine(
+    workloads: &[Workload],
+    spec: SpecRequest,
+    engine: Engine,
+) -> Vec<Evaluation> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .map(|w| {
+                scope.spawn(move || {
+                    evaluate_with_engine(w, spec, &SimConfig::table1(), VectorMode::FlexVec, engine)
+                        .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(e) => e,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    })
+}
+
+/// Renders the per-workload execution-engine throughput counters
+/// (chunks/s, µops/s, inline page-cache hit rate) collected during an
+/// evaluation run.
+pub fn render_throughput(evals: &[Evaluation]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:>12} {:>12} {:>12} {:>10}\n",
+        "benchmark", "engine", "chunks/s", "uops/s", "pg$ hit"
+    ));
+    for e in evals {
+        out.push_str(&format!(
+            "{:<14} {:>12} {:>12.3e} {:>12.3e} {:>9.1}%\n",
+            e.name,
+            e.throughput.label,
+            e.throughput.chunks_per_sec(),
+            e.throughput.uops_per_sec(),
+            e.throughput.page_cache.hit_rate() * 100.0
+        ));
+    }
+    out
 }
 
 /// Renders the Figure 8 bar chart as ASCII: one row per benchmark plus
@@ -136,6 +184,13 @@ mod tests {
             mix: InstMix::default(),
             scalar_uops: 0,
             vector_uops: 0,
+            throughput: flexvec_profiler::ThroughputReport::new(
+                "compiled",
+                std::time::Duration::from_millis(1),
+                100,
+                1000,
+                flexvec_mem::PageCacheStats::default(),
+            ),
         }
     }
 
@@ -159,6 +214,26 @@ mod tests {
         let (spec, apps) = by_suite(&evals);
         assert_eq!(spec.len(), 1);
         assert_eq!(apps.len(), 1);
+    }
+
+    #[test]
+    fn parallel_evaluate_keeps_input_order() {
+        let workloads = vec![
+            flexvec_workloads::spec::h264ref(),
+            flexvec_workloads::apps::gzip(),
+        ];
+        let evals = evaluate_all(&workloads, SpecRequest::Auto);
+        let names: Vec<_> = evals.iter().map(|e| e.name).collect();
+        assert_eq!(names, workloads.iter().map(|w| w.name).collect::<Vec<_>>());
+        assert!(evals.iter().all(|e| e.throughput.chunks > 0));
+    }
+
+    #[test]
+    fn throughput_rendering() {
+        let evals = vec![fake_eval("a", Suite::Spec2006, 1.5, 0.5)];
+        let text = render_throughput(&evals);
+        assert!(text.contains("chunks/s"));
+        assert!(text.contains("compiled"));
     }
 
     #[test]

@@ -99,6 +99,7 @@ impl fmt::Display for CmpOp {
 /// assert_eq!(k, Mask::from_lanes(&[0, 1, 2]));
 /// ```
 #[must_use]
+#[inline]
 pub fn vcmp(k: Mask, op: CmpOp, a: Vector, b: Vector) -> Mask {
     let mut out = Mask::EMPTY;
     for i in 0..VLEN {

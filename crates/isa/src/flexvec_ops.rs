@@ -57,6 +57,7 @@ use crate::{Mask, Vector, VLEN};
 /// # Ok::<(), flexvec_isa::ParseMaskError>(())
 /// ```
 #[must_use]
+#[inline]
 pub fn kftm_exc(k2: Mask, k3: Mask) -> Mask {
     let Some(first_enabled) = k2.first_set() else {
         return Mask::EMPTY;
@@ -92,6 +93,7 @@ pub fn kftm_exc(k2: Mask, k3: Mask) -> Mask {
 /// # Ok::<(), flexvec_isa::ParseMaskError>(())
 /// ```
 #[must_use]
+#[inline]
 pub fn kftm_inc(k2: Mask, k3: Mask) -> Mask {
     match (k3 & k2).first_set() {
         Some(stop) => k2 & Mask::prefix_through(stop),
@@ -121,6 +123,7 @@ pub fn kftm_inc(k2: Mask, k3: Mask) -> Mask {
 /// # Ok::<(), flexvec_isa::ParseMaskError>(())
 /// ```
 #[must_use]
+#[inline]
 pub fn vpslctlast(k1: Mask, v1: Vector) -> Vector {
     let lane = k1.last_set().unwrap_or(VLEN - 1);
     Vector::splat(v1.lane(lane))
@@ -154,6 +157,7 @@ pub fn vpslctlast(k1: Mask, v1: Vector) -> Vector {
 /// assert_eq!(k1, Mask::from_lanes(&[6, 8, 15]));
 /// ```
 #[must_use]
+#[inline]
 pub fn vpconflictm(k2: Mask, v1: Vector, v2: Vector) -> Mask {
     let mut out = Mask::EMPTY;
     let mut window_start = 0usize;

@@ -91,6 +91,7 @@ impl Mask {
     /// # Panics
     ///
     /// Panics if `n > Mask::LANES`.
+    #[inline]
     pub fn first_n(n: usize) -> Self {
         assert!(n <= Self::LANES, "prefix length {n} out of range");
         if n == Self::LANES {
@@ -178,6 +179,7 @@ impl Mask {
     /// # Panics
     ///
     /// Panics if `lane > Mask::LANES`.
+    #[inline]
     pub fn prefix_before(lane: usize) -> Self {
         Self::first_n(lane.min(Self::LANES))
     }
@@ -187,6 +189,7 @@ impl Mask {
     /// # Panics
     ///
     /// Panics if `lane >= Mask::LANES`.
+    #[inline]
     pub fn prefix_through(lane: usize) -> Self {
         assert!(lane < Self::LANES, "lane {lane} out of range");
         Self::first_n(lane + 1)
@@ -194,6 +197,7 @@ impl Mask {
 
     /// Mask of all lanes at and after `lane` (the "current and succeeding
     /// lanes" used to build `k_rem`).
+    #[inline]
     pub fn suffix_from(lane: usize) -> Self {
         !Self::prefix_before(lane)
     }
@@ -207,7 +211,29 @@ impl Mask {
     }
 
     /// Iterates over the indices of enabled lanes, in increasing order.
+    #[inline]
     pub fn iter(self) -> Lanes {
+        Lanes(self.0)
+    }
+
+    /// Iterates over the indices of enabled (set) lanes, in increasing
+    /// order.
+    ///
+    /// Identical to [`Mask::iter`]; the name makes call sites that walk
+    /// only the *active* lanes of a predicated operation read explicitly
+    /// ("for each set lane") and mirrors the bit-set vocabulary used by
+    /// the executors.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use flexvec_isa::Mask;
+    ///
+    /// let k = Mask::from_lanes(&[1, 4, 9]);
+    /// assert_eq!(k.iter_set().collect::<Vec<_>>(), vec![1, 4, 9]);
+    /// ```
+    #[inline]
+    pub fn iter_set(self) -> Lanes {
         Lanes(self.0)
     }
 
@@ -224,6 +250,7 @@ pub struct Lanes(u16);
 impl Iterator for Lanes {
     type Item = usize;
 
+    #[inline]
     fn next(&mut self) -> Option<usize> {
         if self.0 == 0 {
             None

@@ -54,6 +54,42 @@ pub trait LaneMemory {
     ///
     /// Returns [`MemFault`] if the address is not writable.
     fn store_lane(&mut self, addr: u64, value: i64) -> Result<(), MemFault>;
+
+    /// Reads `dst.len()` consecutive 8-byte elements starting at byte
+    /// address `base` (element `i` comes from `base + 8*i`).
+    ///
+    /// This is the unit-stride fast-path hook: the default walks the span
+    /// lane by lane, but implementations backed by contiguous pages can
+    /// service the whole run with a single address translation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] for the first unreadable element, scanning in
+    /// increasing address order (the same fault `load_lane` would report).
+    /// Elements of `dst` before the fault may already have been written.
+    fn load_span(&self, base: u64, dst: &mut [i64]) -> Result<(), MemFault> {
+        for (i, slot) in dst.iter_mut().enumerate() {
+            *slot = self.load_lane(base.wrapping_add(i as u64 * LANE_BYTES))?;
+        }
+        Ok(())
+    }
+
+    /// Writes `src.len()` consecutive 8-byte elements starting at byte
+    /// address `base` (element `i` goes to `base + 8*i`).
+    ///
+    /// Unit-stride fast-path hook, see [`LaneMemory::load_span`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] for the first unwritable element in increasing
+    /// address order; earlier elements may already have been stored
+    /// (matching the restartable-store semantics of `vstore`).
+    fn store_span(&mut self, base: u64, src: &[i64]) -> Result<(), MemFault> {
+        for (i, &value) in src.iter().enumerate() {
+            self.store_lane(base.wrapping_add(i as u64 * LANE_BYTES), value)?;
+        }
+        Ok(())
+    }
 }
 
 impl<M: LaneMemory + ?Sized> LaneMemory for &mut M {
@@ -62,6 +98,12 @@ impl<M: LaneMemory + ?Sized> LaneMemory for &mut M {
     }
     fn store_lane(&mut self, addr: u64, value: i64) -> Result<(), MemFault> {
         (**self).store_lane(addr, value)
+    }
+    fn load_span(&self, base: u64, dst: &mut [i64]) -> Result<(), MemFault> {
+        (**self).load_span(base, dst)
+    }
+    fn store_span(&mut self, base: u64, src: &[i64]) -> Result<(), MemFault> {
+        (**self).store_span(base, src)
     }
 }
 

@@ -56,6 +56,7 @@ impl Vector {
     /// # Panics
     ///
     /// Panics if `values.len() > Vector::LANES`.
+    #[inline]
     pub fn from_slice(values: &[i64]) -> Self {
         assert!(values.len() <= VLEN, "too many lanes: {}", values.len());
         let mut lanes = [0i64; VLEN];
@@ -64,6 +65,7 @@ impl Vector {
     }
 
     /// Creates a vector whose lane `i` is `f(i)`.
+    #[inline]
     pub fn from_fn(f: impl FnMut(usize) -> i64) -> Self {
         Vector(core::array::from_fn(f))
     }
@@ -76,6 +78,7 @@ impl Vector {
 
     /// The lane-index vector `0, 1, 2, ..., 15`, used to materialize the
     /// vectorized induction variable.
+    #[inline]
     pub fn iota() -> Self {
         Vector::from_fn(|i| i as i64)
     }
@@ -113,70 +116,82 @@ impl Vector {
     /// Lane-wise merge: enabled lanes take values from `src`, disabled lanes
     /// keep `self`'s value. This is AVX-512 merge-masking with `self` as the
     /// destination's old contents.
+    #[inline]
     #[must_use]
     pub fn merge(self, k: Mask, src: Vector) -> Vector {
         Vector::from_fn(|i| if k.get(i) { src.0[i] } else { self.0[i] })
     }
 
     /// Applies a binary operation lane-wise without predication.
+    #[inline]
     pub fn zip_with(self, rhs: Vector, mut f: impl FnMut(i64, i64) -> i64) -> Vector {
         Vector::from_fn(|i| f(self.0[i], rhs.0[i]))
     }
 
     /// Applies a unary operation lane-wise without predication.
+    #[inline]
     pub fn map(self, mut f: impl FnMut(i64) -> i64) -> Vector {
         Vector::from_fn(|i| f(self.0[i]))
     }
 
     /// Lane-wise wrapping addition (`VPADD`).
+    #[inline]
     #[must_use]
     pub fn add(self, rhs: Vector) -> Vector {
         self.zip_with(rhs, i64::wrapping_add)
     }
 
     /// Lane-wise wrapping subtraction (`VPSUB`).
+    #[inline]
     #[must_use]
     pub fn sub(self, rhs: Vector) -> Vector {
         self.zip_with(rhs, i64::wrapping_sub)
     }
 
     /// Lane-wise wrapping multiplication (`VPMULL`).
+    #[inline]
     #[must_use]
     pub fn mul(self, rhs: Vector) -> Vector {
         self.zip_with(rhs, i64::wrapping_mul)
     }
 
     /// Lane-wise minimum (`VPMINS`).
+    #[inline]
     #[must_use]
     pub fn min(self, rhs: Vector) -> Vector {
         self.zip_with(rhs, i64::min)
     }
 
     /// Lane-wise maximum (`VPMAXS`).
+    #[inline]
     #[must_use]
     pub fn max(self, rhs: Vector) -> Vector {
         self.zip_with(rhs, i64::max)
     }
 
     /// Lane-wise bitwise AND (`VPAND`).
+    #[inline]
     #[must_use]
     pub fn and(self, rhs: Vector) -> Vector {
         self.zip_with(rhs, |a, b| a & b)
     }
 
     /// Lane-wise bitwise OR (`VPOR`).
+    #[inline]
     #[must_use]
     pub fn or(self, rhs: Vector) -> Vector {
         self.zip_with(rhs, |a, b| a | b)
     }
 
     /// Lane-wise bitwise XOR (`VPXOR`).
+    #[inline]
     #[must_use]
     pub fn xor(self, rhs: Vector) -> Vector {
         self.zip_with(rhs, |a, b| a ^ b)
     }
 
     /// Lane-wise absolute value (`VPABS`), wrapping on `i64::MIN`.
+    #[inline]
     #[must_use]
     pub fn abs(self) -> Vector {
         self.map(i64::wrapping_abs)
@@ -184,6 +199,7 @@ impl Vector {
 
     /// Lane-wise arithmetic shift left by a per-lane count (`VPSLLV`).
     /// Counts outside `0..64` produce 0, matching x86 variable shifts.
+    #[inline]
     #[must_use]
     pub fn shl(self, counts: Vector) -> Vector {
         self.zip_with(counts, |a, c| {
@@ -197,6 +213,7 @@ impl Vector {
 
     /// Lane-wise arithmetic shift right by a per-lane count (`VPSRAV`).
     /// Counts outside `0..64` yield the sign fill.
+    #[inline]
     #[must_use]
     pub fn shr(self, counts: Vector) -> Vector {
         self.zip_with(counts, |a, c| {
@@ -214,18 +231,21 @@ impl Vector {
     /// divide; compilers emit a libm-style expansion — the timing model
     /// charges it accordingly). Division by zero yields 0 and
     /// `i64::MIN / -1` wraps, so the functional model is total.
+    #[inline]
     #[must_use]
     pub fn div(self, rhs: Vector) -> Vector {
         self.zip_with(rhs, |a, b| if b == 0 { 0 } else { a.wrapping_div(b) })
     }
 
     /// Lane-wise remainder with the same totalization as [`Vector::div`].
+    #[inline]
     #[must_use]
     pub fn rem(self, rhs: Vector) -> Vector {
         self.zip_with(rhs, |a, b| if b == 0 { 0 } else { a.wrapping_rem(b) })
     }
 
     /// Blend (`VPBLENDM`): lane takes `on` where `k` is set, else `off`.
+    #[inline]
     #[must_use]
     pub fn blend(k: Mask, on: Vector, off: Vector) -> Vector {
         off.merge(k, on)
@@ -236,6 +256,7 @@ impl Vector {
     /// Returns `init` if no lane is enabled. AVX-512 implements these as
     /// `log2(VLEN)` shuffle/op pairs; the timing model charges that
     /// sequence.
+    #[inline]
     pub fn reduce(self, k: Mask, init: i64, mut f: impl FnMut(i64, i64) -> i64) -> i64 {
         let mut acc = init;
         for lane in k.iter() {
@@ -245,22 +266,26 @@ impl Vector {
     }
 
     /// Masked horizontal minimum; `i64::MAX` when no lane is enabled.
+    #[inline]
     pub fn reduce_min(self, k: Mask) -> i64 {
         self.reduce(k, i64::MAX, i64::min)
     }
 
     /// Masked horizontal maximum; `i64::MIN` when no lane is enabled.
+    #[inline]
     pub fn reduce_max(self, k: Mask) -> i64 {
         self.reduce(k, i64::MIN, i64::max)
     }
 
     /// Masked horizontal wrapping sum; 0 when no lane is enabled.
+    #[inline]
     pub fn reduce_add(self, k: Mask) -> i64 {
         self.reduce(k, 0, i64::wrapping_add)
     }
 
     /// Compress (`VPCOMPRESS`): packs the enabled lanes of `self` into the
     /// low lanes of the result; remaining lanes are taken from `fill`.
+    #[inline]
     #[must_use]
     pub fn compress(self, k: Mask, fill: Vector) -> Vector {
         let mut out = fill;
@@ -272,6 +297,7 @@ impl Vector {
 
     /// Expand (`VPEXPAND`): distributes the low lanes of `self` into the
     /// enabled lanes of the result; disabled lanes keep `fill`'s values.
+    #[inline]
     #[must_use]
     pub fn expand(self, k: Mask, fill: Vector) -> Vector {
         let mut out = fill;
@@ -283,6 +309,7 @@ impl Vector {
 
     /// All-to-all permute (`VPERMD`): lane `i` of the result is
     /// `self[idx[i] mod LANES]`.
+    #[inline]
     #[must_use]
     pub fn permute(self, idx: Vector) -> Vector {
         Vector::from_fn(|i| self.0[(idx.0[i].rem_euclid(VLEN as i64)) as usize])

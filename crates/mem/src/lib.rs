@@ -41,7 +41,7 @@ mod txn;
 
 pub use cache::{Access, CacheLevelConfig, CacheSim, CacheStats, HierarchyConfig, LINE_BYTES};
 pub use flexvec_isa::MemFault;
-pub use space::{AddressSpace, ArrayId};
+pub use space::{AddressSpace, ArrayId, PageCacheStats};
 pub use txn::{AbortReason, Transaction, DEFAULT_TXN_CAPACITY};
 
 /// Page size in bytes.
@@ -57,6 +57,14 @@ impl flexvec_isa::LaneMemory for AddressSpace {
 
     fn store_lane(&mut self, addr: u64, value: i64) -> Result<(), MemFault> {
         self.write(addr, value)
+    }
+
+    fn load_span(&self, base: u64, dst: &mut [i64]) -> Result<(), MemFault> {
+        self.read_span(base, dst)
+    }
+
+    fn store_span(&mut self, base: u64, src: &[i64]) -> Result<(), MemFault> {
+        self.write_span(base, src)
     }
 }
 

@@ -10,6 +10,7 @@
 //! The space stores 8-byte elements at 8-byte-aligned addresses — the lane
 //! granularity of the `flexvec-isa` functional model.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -35,6 +36,42 @@ struct ArrayInfo {
     len: u64,
 }
 
+/// Hit/miss counters for the address space's inline page cache.
+///
+/// An *access* is one virtual-page translation (one per lane access, one
+/// per page-sized run for the contiguous span operations). Hits were
+/// served by the 2-entry inline cache; misses fell through to the page
+/// table.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PageCacheStats {
+    /// Translations served by the inline cache.
+    pub hits: u64,
+    /// Translations that fell through to the page-table `HashMap`
+    /// (including lookups of unmapped pages, i.e. faults).
+    pub misses: u64,
+}
+
+impl PageCacheStats {
+    /// Total translations performed.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of translations served by the inline cache (0.0 when no
+    /// accesses were made).
+    pub fn hit_rate(&self) -> f64 {
+        if self.hits + self.misses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / (self.hits + self.misses) as f64
+        }
+    }
+}
+
+/// Sentinel page number marking an empty inline-cache entry (page numbers
+/// this large cannot be mapped: the byte address would overflow).
+const NO_PAGE: u64 = u64::MAX;
+
 /// A byte-addressed, paged address space with fault semantics.
 ///
 /// # Examples
@@ -54,7 +91,20 @@ struct ArrayInfo {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct AddressSpace {
-    pages: HashMap<u64, Box<[i64; PAGE_ELEMS]>>,
+    /// Virtual page number → slot in `frames`. Unmapping removes the
+    /// entry; the frame slot is simply orphaned (pages are never reused —
+    /// `next_free_page` is monotonic).
+    page_table: HashMap<u64, u32>,
+    /// Page frame storage, indexed by the slots in `page_table`. Keeping
+    /// frames in a dense slab (rather than boxed values inside the map)
+    /// lets the inline cache turn a translation into a plain slab index.
+    frames: Vec<Box<[i64; PAGE_ELEMS]>>,
+    /// 2-entry inline translation cache, most recently used first.
+    /// Interior mutability keeps `read` usable through `&self` (the
+    /// `LaneMemory` trait loads through a shared reference).
+    cache: Cell<[(u64, u32); 2]>,
+    cache_hits: Cell<u64>,
+    cache_misses: Cell<u64>,
     arrays: Vec<ArrayInfo>,
     next_free_page: u64,
 }
@@ -64,7 +114,11 @@ impl AddressSpace {
     /// behaves like a null page.
     pub fn new() -> Self {
         AddressSpace {
-            pages: HashMap::new(),
+            page_table: HashMap::new(),
+            frames: Vec::new(),
+            cache: Cell::new([(NO_PAGE, 0); 2]),
+            cache_hits: Cell::new(0),
+            cache_misses: Cell::new(0),
             arrays: Vec::new(),
             next_free_page: 1,
         }
@@ -79,7 +133,9 @@ impl AddressSpace {
         let base_page = self.next_free_page;
         let pages_needed = len.div_ceil(PAGE_ELEMS as u64);
         for p in base_page..base_page + pages_needed {
-            self.pages.insert(p, Box::new([0; PAGE_ELEMS]));
+            let slot = self.frames.len() as u32;
+            self.frames.push(Box::new([0; PAGE_ELEMS]));
+            self.page_table.insert(p, slot);
         }
         // One guard page plus one slack page keeps allocations apart.
         self.next_free_page = base_page + pages_needed + 2;
@@ -90,6 +146,43 @@ impl AddressSpace {
             len,
         });
         id
+    }
+
+    /// Translates a virtual page number to a frame slot, going through the
+    /// 2-entry inline cache. Returns `None` (and counts a miss) for
+    /// unmapped pages.
+    #[inline]
+    fn page_slot(&self, page: u64) -> Option<u32> {
+        let cache = self.cache.get();
+        if cache[0].0 == page {
+            self.cache_hits.set(self.cache_hits.get() + 1);
+            return Some(cache[0].1);
+        }
+        if cache[1].0 == page {
+            self.cache_hits.set(self.cache_hits.get() + 1);
+            // Promote to most-recently-used.
+            self.cache.set([cache[1], cache[0]]);
+            return Some(cache[1].1);
+        }
+        self.cache_misses.set(self.cache_misses.get() + 1);
+        let slot = *self.page_table.get(&page)?;
+        self.cache.set([(page, slot), cache[0]]);
+        Some(slot)
+    }
+
+    /// Inline page-cache hit/miss counters accumulated so far.
+    pub fn cache_stats(&self) -> PageCacheStats {
+        PageCacheStats {
+            hits: self.cache_hits.get(),
+            misses: self.cache_misses.get(),
+        }
+    }
+
+    /// Resets the inline page-cache counters (the cache contents are
+    /// kept).
+    pub fn reset_cache_stats(&self) {
+        self.cache_hits.set(0);
+        self.cache_misses.set(0);
     }
 
     /// Allocates an array and copies `data` into it.
@@ -146,8 +239,8 @@ impl AddressSpace {
     /// Faults if `addr` is not 8-byte aligned or the page is unmapped.
     pub fn read(&self, addr: u64) -> Result<i64, MemFault> {
         let (page, offset) = Self::split(addr)?;
-        match self.pages.get(&page) {
-            Some(p) => Ok(p[offset]),
+        match self.page_slot(page) {
+            Some(slot) => Ok(self.frames[slot as usize][offset]),
             None => Err(MemFault { addr }),
         }
     }
@@ -159,18 +252,72 @@ impl AddressSpace {
     /// Faults if `addr` is not 8-byte aligned or the page is unmapped.
     pub fn write(&mut self, addr: u64, value: i64) -> Result<(), MemFault> {
         let (page, offset) = Self::split(addr)?;
-        match self.pages.get_mut(&page) {
-            Some(p) => {
-                p[offset] = value;
+        match self.page_slot(page) {
+            Some(slot) => {
+                self.frames[slot as usize][offset] = value;
                 Ok(())
             }
             None => Err(MemFault { addr }),
         }
     }
 
+    /// Reads `dst.len()` consecutive elements starting at byte address
+    /// `base`, one page translation per page-sized run.
+    ///
+    /// This is the unit-stride fast path behind
+    /// [`LaneMemory::load_span`](flexvec_isa::LaneMemory::load_span): a
+    /// 16-lane contiguous vector load does one or two translations instead
+    /// of sixteen.
+    ///
+    /// # Errors
+    ///
+    /// Faults at the address of the first misaligned or unmapped element
+    /// in increasing address order; `dst` elements before the fault may
+    /// already be written.
+    pub fn read_span(&self, base: u64, dst: &mut [i64]) -> Result<(), MemFault> {
+        if !base.is_multiple_of(8) {
+            return Err(MemFault { addr: base });
+        }
+        let mut i = 0usize;
+        while i < dst.len() {
+            let addr = base.wrapping_add(i as u64 * 8);
+            let (page, offset) = Self::split(addr)?;
+            let slot = self.page_slot(page).ok_or(MemFault { addr })? as usize;
+            let take = (PAGE_ELEMS - offset).min(dst.len() - i);
+            dst[i..i + take].copy_from_slice(&self.frames[slot][offset..offset + take]);
+            i += take;
+        }
+        Ok(())
+    }
+
+    /// Writes `src.len()` consecutive elements starting at byte address
+    /// `base`, one page translation per page-sized run (the store analogue
+    /// of [`AddressSpace::read_span`]).
+    ///
+    /// # Errors
+    ///
+    /// Faults at the address of the first misaligned or unmapped element
+    /// in increasing address order; earlier elements are already stored
+    /// (matching the restartable per-lane store order).
+    pub fn write_span(&mut self, base: u64, src: &[i64]) -> Result<(), MemFault> {
+        if !base.is_multiple_of(8) {
+            return Err(MemFault { addr: base });
+        }
+        let mut i = 0usize;
+        while i < src.len() {
+            let addr = base.wrapping_add(i as u64 * 8);
+            let (page, offset) = Self::split(addr)?;
+            let slot = self.page_slot(page).ok_or(MemFault { addr })? as usize;
+            let take = (PAGE_ELEMS - offset).min(src.len() - i);
+            self.frames[slot][offset..offset + take].copy_from_slice(&src[i..i + take]);
+            i += take;
+        }
+        Ok(())
+    }
+
     /// Whether the page containing `addr` is mapped.
     pub fn is_mapped(&self, addr: u64) -> bool {
-        self.pages.contains_key(&(addr / PAGE_BYTES))
+        self.page_table.contains_key(&(addr / PAGE_BYTES))
     }
 
     /// Byte address of element `idx` of array `id` (no bounds check — the
@@ -225,7 +372,16 @@ impl AddressSpace {
     /// Unmaps the page containing `addr`, making future accesses fault.
     /// Used by tests to create fault points inside an array.
     pub fn unmap_page_of(&mut self, addr: u64) {
-        self.pages.remove(&(addr / PAGE_BYTES));
+        let page = addr / PAGE_BYTES;
+        self.page_table.remove(&page);
+        // Invalidate any inline-cache entry for the now-unmapped page.
+        let mut cache = self.cache.get();
+        for entry in cache.iter_mut() {
+            if entry.0 == page {
+                *entry = (NO_PAGE, 0);
+            }
+        }
+        self.cache.set(cache);
     }
 
     fn split(addr: u64) -> Result<(u64, usize), MemFault> {
@@ -327,6 +483,104 @@ mod tests {
         let a = s.alloc("empty", 0);
         assert!(s.is_empty(a));
         assert!(s.read_elem(a, 0).is_err());
+    }
+
+    #[test]
+    fn inline_cache_hits_on_repeated_page() {
+        let mut s = AddressSpace::new();
+        let a = s.alloc("a", 512);
+        s.reset_cache_stats();
+        for i in 0..64 {
+            s.read_elem(a, i).unwrap();
+        }
+        let stats = s.cache_stats();
+        // First access misses (installs the page), the rest hit.
+        assert_eq!(stats.accesses(), 64);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 63);
+        assert!(stats.hit_rate() > 0.98);
+    }
+
+    #[test]
+    fn inline_cache_holds_two_pages() {
+        let mut s = AddressSpace::new();
+        let a = s.alloc("a", 1024); // two pages
+        s.reset_cache_stats();
+        for _ in 0..10 {
+            s.read_elem(a, 0).unwrap();
+            s.read_elem(a, 512).unwrap();
+        }
+        let stats = s.cache_stats();
+        assert_eq!(stats.misses, 2, "only the two cold installs miss");
+        assert_eq!(stats.hits, 18);
+    }
+
+    #[test]
+    fn unmapped_lookup_counts_as_miss_and_is_not_cached() {
+        let mut s = AddressSpace::new();
+        let a = s.alloc("a", 4);
+        let guard = s.elem_addr(a, 512);
+        s.reset_cache_stats();
+        assert!(s.read(guard).is_err());
+        assert!(s.read(guard).is_err());
+        assert_eq!(s.cache_stats().misses, 2);
+        assert_eq!(s.cache_stats().hits, 0);
+    }
+
+    #[test]
+    fn read_span_matches_per_element_reads() {
+        let mut s = AddressSpace::new();
+        let data: Vec<i64> = (0..600).map(|i| i * 3 - 700).collect();
+        let a = s.alloc_from("a", &data);
+        // Straddles the page boundary at element 512.
+        let mut out = [0i64; 32];
+        s.read_span(s.elem_addr(a, 500), &mut out).unwrap();
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, data[500 + i], "element {i}");
+        }
+    }
+
+    #[test]
+    fn write_span_roundtrip_and_fault_position() {
+        let mut s = AddressSpace::new();
+        let a = s.alloc("a", 512);
+        let vals: Vec<i64> = (0..16).collect();
+        s.write_span(s.elem_addr(a, 100), &vals).unwrap();
+        assert_eq!(s.read_elem(a, 100).unwrap(), 0);
+        assert_eq!(s.read_elem(a, 115).unwrap(), 15);
+
+        // A span running off the mapped page faults at the first unmapped
+        // element (element 512 == start of the guard page).
+        let mut buf = [0i64; 16];
+        let err = s.read_span(s.elem_addr(a, 504), &mut buf).unwrap_err();
+        assert_eq!(err.addr, s.elem_addr(a, 512));
+        // The mapped prefix was still read.
+        assert_eq!(buf[0], 0);
+
+        let err = s.write_span(s.elem_addr(a, 504), &vals).unwrap_err();
+        assert_eq!(err.addr, s.elem_addr(a, 512));
+    }
+
+    #[test]
+    fn span_rejects_misaligned_base() {
+        let mut s = AddressSpace::new();
+        let a = s.alloc("a", 8);
+        let mut buf = [0i64; 2];
+        let err = s.read_span(s.base(a) + 4, &mut buf).unwrap_err();
+        assert_eq!(err.addr, s.base(a) + 4);
+    }
+
+    #[test]
+    fn unmap_invalidates_inline_cache() {
+        let mut s = AddressSpace::new();
+        let a = s.alloc("a", 512);
+        let addr = s.elem_addr(a, 0);
+        assert!(s.read(addr).is_ok()); // installs in cache
+        s.unmap_page_of(addr);
+        assert!(
+            s.read(addr).is_err(),
+            "cached translation must not survive unmap"
+        );
     }
 
     #[test]

@@ -20,11 +20,92 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::time::Duration;
+
 use flexvec::{analyze, InstMix, PatternInstance, Verdict};
 use flexvec_ir::{Expr, Program};
 use flexvec_isa::VLEN;
-use flexvec_mem::AddressSpace;
-use flexvec_vm::{Bindings, CountingSink, ExecError, ScalarMachine, StepOutcome, TraceSink};
+use flexvec_mem::{AddressSpace, PageCacheStats};
+use flexvec_vm::{
+    Bindings, CountingSink, ExecError, ScalarMachine, StepOutcome, TraceSink, VectorStats,
+};
+
+/// Execution-engine throughput counters for one measured run: how fast
+/// the VM itself chewed through the workload (chunks and µops per wall
+/// second) and how well the address-space inline page cache served it.
+/// This measures the *reproduction pipeline*, not simulated cycles —
+/// it's the metric the compiled execution engine is tuned against.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ThroughputReport {
+    /// What ran (an engine name, e.g. `"compiled"` or `"tree-walking"`).
+    pub label: String,
+    /// Wall-clock time of the vector execution.
+    pub wall: Duration,
+    /// Vector chunks started, over all invocations.
+    pub chunks: u64,
+    /// µops emitted to the sink, over all invocations.
+    pub uops: u64,
+    /// Inline page-cache translation counters for the run.
+    pub page_cache: PageCacheStats,
+}
+
+impl ThroughputReport {
+    /// Builds a report from a run's accumulated statistics.
+    pub fn new(
+        label: impl Into<String>,
+        wall: Duration,
+        chunks: u64,
+        uops: u64,
+        page_cache: PageCacheStats,
+    ) -> Self {
+        ThroughputReport {
+            label: label.into(),
+            wall,
+            chunks,
+            uops,
+            page_cache,
+        }
+    }
+
+    /// Accumulates one invocation's [`VectorStats`] into the chunk count.
+    pub fn add_stats(&mut self, stats: &VectorStats) {
+        self.chunks += stats.chunks;
+    }
+
+    /// Vector chunks executed per wall second (0.0 for a zero-length
+    /// measurement).
+    pub fn chunks_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.chunks as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// µops emitted per wall second (0.0 for a zero-length measurement).
+    pub fn uops_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.uops as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+impl core::fmt::Display for ThroughputReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}: {:.3e} chunks/s, {:.3e} uops/s, page-cache {:.1}% hit",
+            self.label,
+            self.chunks_per_sec(),
+            self.uops_per_sec(),
+            self.page_cache.hit_rate() * 100.0
+        )
+    }
+}
 
 /// Dynamic profile of one loop over one or more invocations.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -461,5 +542,29 @@ mod tests {
     fn pattern_listing() {
         let pats = detected_patterns(&cond_min_loop(64));
         assert_eq!(pats, vec!["conditional-update".to_owned()]);
+    }
+
+    #[test]
+    fn throughput_report_rates() {
+        let mut r = ThroughputReport::new(
+            "compiled",
+            Duration::from_millis(500),
+            0,
+            1000,
+            PageCacheStats {
+                hits: 90,
+                misses: 10,
+            },
+        );
+        r.add_stats(&VectorStats {
+            chunks: 50,
+            ..VectorStats::default()
+        });
+        assert_eq!(r.chunks, 50);
+        assert!((r.chunks_per_sec() - 100.0).abs() < 1e-9);
+        assert!((r.uops_per_sec() - 2000.0).abs() < 1e-9);
+        let text = r.to_string();
+        assert!(text.contains("compiled"));
+        assert!(text.contains("90.0% hit"));
     }
 }

@@ -264,7 +264,7 @@ impl OooSim {
             .unwrap_or(0)
     }
 
-    fn process(&mut self, uop: Uop) {
+    fn process(&mut self, uop: &Uop) {
         self.uops += 1;
         match &uop.class {
             UopClass::ScalarAlu
@@ -312,12 +312,12 @@ impl OooSim {
         let dispatch = self.dispatch_bw.take(window_free, cfg_dispatch);
 
         // --- issue ----------------------------------------------------------
-        let ready = self.srcs_ready(&uop).max(dispatch);
+        let ready = self.srcs_ready(uop).max(dispatch);
         let timing = self.timing(&uop.class);
         let (issue, complete) = if uop.class.is_load() {
             // One cache access per touched line for unit-stride forms, one
             // per lane for gathers; the load ports sustain 2 per cycle.
-            let accesses = self.memory_accesses(&uop, Access::Read);
+            let accesses = self.memory_accesses(uop, Access::Read);
             let agu = match uop.class {
                 UopClass::Gather | UopClass::GatherFF | UopClass::VecLoadFF => {
                     self.config.gather_agu_latency as u64
@@ -337,7 +337,7 @@ impl OooSim {
             }
             (start, done)
         } else if uop.class.is_store() {
-            let accesses = self.memory_accesses(&uop, Access::Write);
+            let accesses = self.memory_accesses(uop, Access::Write);
             let start = self.issue_bw.take(ready, cfg_issue);
             let mut done = start + 1;
             for (i, _lat) in accesses.iter().enumerate() {
@@ -425,7 +425,7 @@ impl OooSim {
 }
 
 impl TraceSink for OooSim {
-    fn emit(&mut self, uop: Uop) {
+    fn observe(&mut self, uop: &Uop) {
         self.process(uop);
     }
     fn len(&self) -> u64 {

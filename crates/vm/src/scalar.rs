@@ -134,6 +134,19 @@ impl<'p> ScalarMachine<'p> {
         }
     }
 
+    /// Resets the machine to fresh-construction state with the given
+    /// variable values: the rename map and temporary counter restart, so
+    /// a reused machine produces the exact µop trace a newly constructed
+    /// one would. The vector executor calls this once per fallback
+    /// instead of allocating a new machine.
+    pub fn reset_to(&mut self, vars: &[i64]) {
+        self.vars.copy_from_slice(vars);
+        for (i, tok) in self.var_tok.iter_mut().enumerate() {
+            *tok = Tok::S(i as u32);
+        }
+        self.temp_counter = TEMP_BASE;
+    }
+
     /// Evaluates a loop-invariant expression (bounds) without touching
     /// memory.
     pub fn eval_invariant(&self, e: &Expr) -> i64 {
@@ -293,9 +306,12 @@ impl<'p> ScalarMachine<'p> {
         let ind = self.program.loop_.induction.0 as usize;
         self.vars[ind] = i;
         self.var_tok[ind] = Tok::S(ind as u32);
-        let body = self.program.loop_.body.clone();
+        // Copy the shared program reference out so the body borrow does
+        // not alias `&mut self` (the old code cloned the whole body per
+        // iteration).
+        let program = self.program;
         let mut branch_id = 1; // 0 is the loop back-edge
-        let outcome = self.exec_body(&body, mem, sink, &mut branch_id)?;
+        let outcome = self.exec_body(&program.loop_.body, mem, sink, &mut branch_id)?;
         // Loop control: increment, compare, back-edge branch.
         sink.emit(Uop::reg(
             UopClass::ScalarAlu,

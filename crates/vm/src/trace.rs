@@ -144,9 +144,21 @@ impl Uop {
 }
 
 /// Consumer of a µop stream.
+///
+/// `observe` is the core method and receives µops by reference, so hot
+/// emitters (the compiled engine's preallocated µop templates) can feed a
+/// sink without constructing an owned `Uop` per event. `emit` is the
+/// owned-value convenience used by the tree-walking executor and scalar
+/// interpreter; its default forwards to `observe`.
 pub trait TraceSink {
-    /// Receives one µop.
-    fn emit(&mut self, uop: Uop);
+    /// Receives one µop by reference (the borrow ends when the call
+    /// returns; sinks that retain the µop clone it).
+    fn observe(&mut self, uop: &Uop);
+
+    /// Receives one owned µop.
+    fn emit(&mut self, uop: Uop) {
+        self.observe(&uop);
+    }
 
     /// Number of µops received so far (used for statistics and tests).
     fn len(&self) -> u64;
@@ -164,7 +176,7 @@ pub struct CountingSink {
 }
 
 impl TraceSink for CountingSink {
-    fn emit(&mut self, _uop: Uop) {
+    fn observe(&mut self, _uop: &Uop) {
         self.count += 1;
     }
     fn len(&self) -> u64 {
@@ -180,6 +192,9 @@ pub struct VecSink {
 }
 
 impl TraceSink for VecSink {
+    fn observe(&mut self, uop: &Uop) {
+        self.uops.push(uop.clone());
+    }
     fn emit(&mut self, uop: Uop) {
         self.uops.push(uop);
     }

@@ -24,8 +24,24 @@ use flexvec_isa::{
 };
 use flexvec_mem::{AddressSpace, Transaction};
 
+use crate::compiled::CompiledVProg;
 use crate::scalar::{Bindings, ExecError, RunResult, ScalarMachine, StepOutcome};
 use crate::trace::{Tok, TraceSink, Uop, UopClass};
+
+/// Which executor runs the chunk bodies.
+///
+/// Both engines produce bit-identical results, statistics and µop
+/// traces; the tree walker is the semantic reference, the compiled
+/// engine is the fast path (see `compiled`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// Interpret the `VNode` tree directly (reference oracle).
+    TreeWalking,
+    /// Flatten the program once with [`CompiledVProg::compile`] and run
+    /// the linear bytecode (default).
+    #[default]
+    Compiled,
+}
 
 /// Dynamic statistics of a vector execution.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -48,7 +64,7 @@ pub struct VectorStats {
 }
 
 /// How a chunk ended abnormally.
-enum ChunkAbort {
+pub(crate) enum ChunkAbort {
     /// A first-faulting instruction was clipped (or its non-speculative
     /// lane faulted): fall back to scalar for the chunk.
     Clipped,
@@ -65,17 +81,25 @@ impl From<MemFault> for ChunkAbort {
     }
 }
 
-struct VecExec {
-    array_bases: Vec<u64>,
+pub(crate) struct VecExec {
+    pub(crate) array_bases: Vec<u64>,
     /// All-or-nothing mode: a VPL that needs more than one partition (or
     /// any early exit) aborts the chunk to the scalar fallback — the
     /// PACT'13-style speculative vectorization baseline.
-    aon: bool,
-    vregs: Vec<Vector>,
-    kregs: Vec<Mask>,
-    vars: Vec<i64>,
-    exit_mask: Mask,
-    stats: VectorStats,
+    pub(crate) aon: bool,
+    pub(crate) vregs: Vec<Vector>,
+    pub(crate) kregs: Vec<Mask>,
+    pub(crate) vars: Vec<i64>,
+    pub(crate) exit_mask: Mask,
+    pub(crate) stats: VectorStats,
+    /// Undo log for scalar-variable writes (`ExtractVar`) since the last
+    /// [`VecExec::checkpoint_vars`]: `(var, previous value)` pairs. The
+    /// chunk/tile drivers roll this back instead of snapshotting the whole
+    /// variable file per chunk.
+    journal: Vec<(u32, i64)>,
+    /// Prebuilt chunk-prologue µops (IV materialization + loop control),
+    /// emitted by reference each chunk.
+    chunk_uops: [Uop; 4],
 }
 
 impl VecExec {
@@ -83,6 +107,30 @@ impl VecExec {
         let array_bases = (0..bindings.len())
             .map(|i| space.base(bindings.array(i as u32)))
             .collect();
+        // IV materialization (broadcast + iota add) and the chunk's loop
+        // control (bump, compare, back-edge branch).
+        let chunk_uops = [
+            Uop::reg(
+                UopClass::Broadcast,
+                vec![Tok::S(u32::MAX - 1)],
+                Some(Tok::V(0)),
+            ),
+            Uop::reg(UopClass::VecAlu, vec![Tok::V(0)], Some(Tok::V(0))),
+            Uop::reg(
+                UopClass::ScalarAlu,
+                vec![Tok::S(u32::MAX - 1)],
+                Some(Tok::S(u32::MAX - 1)),
+            ),
+            Uop {
+                class: UopClass::Branch {
+                    id: u64::MAX,
+                    taken: true,
+                },
+                srcs: vec![Tok::S(u32::MAX - 1)],
+                dst: None,
+                addrs: Vec::new(),
+            },
+        ];
         VecExec {
             array_bases,
             aon: false,
@@ -91,6 +139,8 @@ impl VecExec {
             vars: program.vars.iter().map(|v| v.init).collect(),
             exit_mask: Mask::EMPTY,
             stats: VectorStats::default(),
+            journal: Vec::new(),
+            chunk_uops,
         }
     }
 
@@ -100,6 +150,28 @@ impl VecExec {
 
     fn k(&self, r: flexvec::KReg) -> Mask {
         self.kregs[r.0 as usize]
+    }
+
+    /// Writes a scalar variable, journaling the old value so the driver
+    /// can roll the chunk/tile back without a full snapshot.
+    #[inline]
+    pub(crate) fn set_var(&mut self, var: u32, value: i64) {
+        let slot = &mut self.vars[var as usize];
+        self.journal.push((var, *slot));
+        *slot = value;
+    }
+
+    /// Marks the current variable state as the rollback point.
+    fn checkpoint_vars(&mut self) {
+        self.journal.clear();
+    }
+
+    /// Restores the variable state saved by the last
+    /// [`VecExec::checkpoint_vars`] (undo entries replay in reverse).
+    fn rollback_vars(&mut self) {
+        while let Some((var, old)) = self.journal.pop() {
+            self.vars[var as usize] = old;
+        }
     }
 
     /// Byte addresses for a lane-indexed access to `array`.
@@ -205,7 +277,7 @@ impl VecExec {
                 ));
             }
             VOp::ExtractVar { var, src, lane } => {
-                self.vars[var.0 as usize] = self.v(*src).lane(*lane);
+                self.set_var(var.0, self.v(*src).lane(*lane));
                 sink.emit(Uop::reg(
                     UopClass::VecShuffle,
                     vec![Tok::V(src.0)],
@@ -359,7 +431,7 @@ impl VecExec {
             } => {
                 let k = self.k(*mask);
                 let addrs = self.addrs(array.0, self.v(*idx));
-                let touched: Vec<u64> = k.iter().map(|l| addrs.lane(l) as u64).collect();
+                let touched: Vec<u64> = k.iter_set().map(|l| addrs.lane(l) as u64).collect();
                 let class = match (unit, first_faulting) {
                     (true, false) => UopClass::VecLoad,
                     (false, false) => UopClass::Gather,
@@ -386,7 +458,7 @@ impl VecExec {
                     sink.emit(Uop::mem(class, srcs, Some(Tok::V(dst.0)), touched));
                 } else {
                     let mut out = self.v(*dst);
-                    for lane in k.iter() {
+                    for lane in k.iter_set() {
                         out[lane] = mem.load_lane(addrs.lane(lane) as u64)?;
                     }
                     self.vregs[dst.0 as usize] = out;
@@ -403,7 +475,7 @@ impl VecExec {
                 let k = self.k(*mask);
                 let addrs = self.addrs(array.0, self.v(*idx));
                 let values = self.v(*src);
-                let touched: Vec<u64> = k.iter().map(|l| addrs.lane(l) as u64).collect();
+                let touched: Vec<u64> = k.iter_set().map(|l| addrs.lane(l) as u64).collect();
                 let class = if *unit {
                     UopClass::VecStore
                 } else {
@@ -415,7 +487,7 @@ impl VecExec {
                     None,
                     touched,
                 ));
-                for lane in k.iter() {
+                for lane in k.iter_set() {
                     mem.store_lane(addrs.lane(lane) as u64, values.lane(lane))?;
                 }
             }
@@ -429,32 +501,13 @@ impl VecExec {
         self.kregs[VProg::K_LOOP.0 as usize] = Mask::first_n(lanes);
         self.exit_mask = Mask::EMPTY;
         self.stats.chunks += 1;
-        // IV materialization (broadcast + iota add) and the chunk's loop
-        // control (bump, compare, back-edge branch).
-        sink.emit(Uop::reg(
-            UopClass::Broadcast,
-            vec![Tok::S(u32::MAX - 1)],
-            Some(Tok::V(0)),
-        ));
-        sink.emit(Uop::reg(UopClass::VecAlu, vec![Tok::V(0)], Some(Tok::V(0))));
-        sink.emit(Uop::reg(
-            UopClass::ScalarAlu,
-            vec![Tok::S(u32::MAX - 1)],
-            Some(Tok::S(u32::MAX - 1)),
-        ));
-        sink.emit(Uop {
-            class: UopClass::Branch {
-                id: u64::MAX,
-                taken: true,
-            },
-            srcs: vec![Tok::S(u32::MAX - 1)],
-            dst: None,
-            addrs: Vec::new(),
-        });
+        for uop in &self.chunk_uops {
+            sink.observe(uop);
+        }
     }
 }
 
-fn apply_bin(op: BinOp, a: Vector, b: Vector) -> Vector {
+pub(crate) fn apply_bin(op: BinOp, a: Vector, b: Vector) -> Vector {
     match op {
         BinOp::Add => a.add(b),
         BinOp::Sub => a.sub(b),
@@ -471,7 +524,7 @@ fn apply_bin(op: BinOp, a: Vector, b: Vector) -> Vector {
     }
 }
 
-fn bin_class(op: BinOp) -> UopClass {
+pub(crate) fn bin_class(op: BinOp) -> UopClass {
     match op {
         BinOp::Mul => UopClass::VecMul,
         BinOp::Div | BinOp::Rem => UopClass::VecDiv,
@@ -479,7 +532,7 @@ fn bin_class(op: BinOp) -> UopClass {
     }
 }
 
-fn cmp_op(pred: flexvec_ir::CmpKind) -> CmpOp {
+pub(crate) fn cmp_op(pred: flexvec_ir::CmpKind) -> CmpOp {
     match pred {
         flexvec_ir::CmpKind::Eq => CmpOp::Eq,
         flexvec_ir::CmpKind::Ne => CmpOp::Ne,
@@ -490,7 +543,7 @@ fn cmp_op(pred: flexvec_ir::CmpKind) -> CmpOp {
     }
 }
 
-fn reduce_identity(op: BinOp) -> i64 {
+pub(crate) fn reduce_identity(op: BinOp) -> i64 {
     match op {
         BinOp::Add | BinOp::Or | BinOp::Xor => 0,
         BinOp::Mul => 1,
@@ -501,7 +554,29 @@ fn reduce_identity(op: BinOp) -> i64 {
     }
 }
 
-/// Runs a vectorized loop to completion.
+/// The chunk-body executor a driver runs: either the `VNode` tree walker
+/// or the flat bytecode engine.
+enum EngineBody<'a> {
+    Tree(&'a VProg),
+    Compiled(&'a mut CompiledVProg),
+}
+
+impl EngineBody<'_> {
+    fn run_chunk<M: LaneMemory>(
+        &mut self,
+        exec: &mut VecExec,
+        mem: &mut M,
+        sink: &mut dyn TraceSink,
+    ) -> Result<(), ChunkAbort> {
+        match self {
+            EngineBody::Tree(vprog) => exec.run_nodes(&vprog.body, mem, sink),
+            EngineBody::Compiled(compiled) => compiled.run_chunk(exec, mem, sink),
+        }
+    }
+}
+
+/// Runs a vectorized loop to completion with the default (compiled)
+/// engine.
 ///
 /// # Errors
 ///
@@ -514,10 +589,75 @@ pub fn run_vector(
     bindings: Bindings,
     sink: &mut dyn TraceSink,
 ) -> Result<(RunResult, VectorStats), ExecError> {
+    run_vector_with_engine(program, vprog, mem, bindings, sink, Engine::default())
+}
+
+/// Runs a vectorized loop with an explicit [`Engine`].
+///
+/// # Errors
+///
+/// As [`run_vector`].
+pub fn run_vector_with_engine(
+    program: &Program,
+    vprog: &VProg,
+    mem: &mut AddressSpace,
+    bindings: Bindings,
+    sink: &mut dyn TraceSink,
+    engine: Engine,
+) -> Result<(RunResult, VectorStats), ExecError> {
+    match engine {
+        Engine::TreeWalking => run_with_body(
+            program,
+            vprog,
+            mem,
+            bindings,
+            sink,
+            &mut EngineBody::Tree(vprog),
+        ),
+        Engine::Compiled => {
+            let mut compiled = CompiledVProg::compile(vprog);
+            run_vector_precompiled(program, vprog, &mut compiled, mem, bindings, sink)
+        }
+    }
+}
+
+/// Runs a vectorized loop through an already-compiled program, so callers
+/// that execute the same `VProg` many times (the bench driver, the
+/// simulator sweeps) pay the flattening cost once.
+///
+/// # Errors
+///
+/// As [`run_vector`].
+pub fn run_vector_precompiled(
+    program: &Program,
+    vprog: &VProg,
+    compiled: &mut CompiledVProg,
+    mem: &mut AddressSpace,
+    bindings: Bindings,
+    sink: &mut dyn TraceSink,
+) -> Result<(RunResult, VectorStats), ExecError> {
+    run_with_body(
+        program,
+        vprog,
+        mem,
+        bindings,
+        sink,
+        &mut EngineBody::Compiled(compiled),
+    )
+}
+
+fn run_with_body(
+    program: &Program,
+    vprog: &VProg,
+    mem: &mut AddressSpace,
+    bindings: Bindings,
+    sink: &mut dyn TraceSink,
+    body: &mut EngineBody,
+) -> Result<(RunResult, VectorStats), ExecError> {
     match vprog.spec_mode {
-        SpecMode::Rtm { tile } => run_rtm(program, vprog, mem, bindings, tile, sink),
+        SpecMode::Rtm { tile } => run_rtm(program, vprog, mem, bindings, tile, sink, body),
         SpecMode::None | SpecMode::FirstFaulting => {
-            run_ff(program, vprog, mem, bindings, sink, false)
+            run_ff(program, vprog, mem, bindings, sink, false, body)
         }
     }
 }
@@ -545,6 +685,22 @@ pub fn run_vector_all_or_nothing(
     bindings: Bindings,
     sink: &mut dyn TraceSink,
 ) -> Result<(RunResult, VectorStats), ExecError> {
+    run_all_or_nothing_with_engine(program, vprog, mem, bindings, sink, Engine::default())
+}
+
+/// [`run_vector_all_or_nothing`] with an explicit [`Engine`].
+///
+/// # Errors
+///
+/// As [`run_vector_all_or_nothing`].
+pub fn run_all_or_nothing_with_engine(
+    program: &Program,
+    vprog: &VProg,
+    mem: &mut AddressSpace,
+    bindings: Bindings,
+    sink: &mut dyn TraceSink,
+    engine: Engine,
+) -> Result<(RunResult, VectorStats), ExecError> {
     fn vpl_has_store(nodes: &[VNode]) -> bool {
         nodes.iter().any(|n| match n {
             VNode::Vpl { body, .. } => {
@@ -565,7 +721,29 @@ pub fn run_vector_all_or_nothing(
             "all-or-nothing mode cannot roll back stores inside a VPL".to_owned(),
         ));
     }
-    run_ff(program, vprog, mem, bindings, sink, true)
+    match engine {
+        Engine::TreeWalking => run_ff(
+            program,
+            vprog,
+            mem,
+            bindings,
+            sink,
+            true,
+            &mut EngineBody::Tree(vprog),
+        ),
+        Engine::Compiled => {
+            let mut compiled = CompiledVProg::compile(vprog);
+            run_ff(
+                program,
+                vprog,
+                mem,
+                bindings,
+                sink,
+                true,
+                &mut EngineBody::Compiled(&mut compiled),
+            )
+        }
+    }
 }
 
 fn loop_bounds(program: &Program, exec: &VecExec) -> (i64, i64) {
@@ -596,9 +774,13 @@ fn run_ff(
     bindings: Bindings,
     sink: &mut dyn TraceSink,
     aon: bool,
+    body: &mut EngineBody,
 ) -> Result<(RunResult, VectorStats), ExecError> {
     let mut exec = VecExec::new(program, vprog, &bindings, mem);
     exec.aon = aon;
+    // One scalar machine for every fallback of this run; `reset_to`
+    // restores the fresh-machine trace state (rename map, temp counter).
+    let mut machine = ScalarMachine::new(program, bindings);
     let (start, end) = loop_bounds(program, &exec);
     let mut base = start;
     let mut broke = false;
@@ -607,9 +789,9 @@ fn run_ff(
 
     'chunks: while base < end {
         let lanes = usize::try_from((end - base).min(VLEN as i64)).expect("bounded by VLEN");
-        let snapshot = exec.vars.clone();
+        exec.checkpoint_vars();
         exec.begin_chunk(base, lanes, sink);
-        match exec.run_nodes(&vprog.body, mem, sink) {
+        match body.run_chunk(&mut exec, mem, sink) {
             Ok(()) => {
                 if exec.exit_mask.any() {
                     let lane = exec.exit_mask.first_set().expect("nonempty");
@@ -624,9 +806,8 @@ fn run_ff(
                 // Scalar fallback for the whole chunk, from the
                 // chunk-entry state.
                 exec.stats.ff_fallbacks += 1;
-                exec.vars = snapshot;
-                let mut machine = ScalarMachine::new(program, bindings.clone());
-                machine.vars = exec.vars.clone();
+                exec.rollback_vars();
+                machine.reset_to(&exec.vars);
                 for lane in 0..lanes {
                     let i = base + lane as i64;
                     match machine.step(i, mem, sink).map_err(ExecError::Fault)? {
@@ -635,12 +816,12 @@ fn run_ff(
                             broke = true;
                             final_i = i;
                             iterations += 1;
-                            exec.vars = machine.vars.clone();
+                            std::mem::swap(&mut exec.vars, &mut machine.vars);
                             break 'chunks;
                         }
                     }
                 }
-                exec.vars = machine.vars.clone();
+                std::mem::swap(&mut exec.vars, &mut machine.vars);
             }
             Err(ChunkAbort::Fault(f)) => return Err(ExecError::Fault(f)),
             Err(ChunkAbort::Divergence) => return Err(ExecError::VplDivergence),
@@ -669,9 +850,11 @@ fn run_rtm(
     bindings: Bindings,
     tile: u32,
     sink: &mut dyn TraceSink,
+    body: &mut EngineBody,
 ) -> Result<(RunResult, VectorStats), ExecError> {
     let tile = tile.max(VLEN as u32) as i64;
     let mut exec = VecExec::new(program, vprog, &bindings, mem);
+    let mut machine = ScalarMachine::new(program, bindings);
     let (start, end) = loop_bounds(program, &exec);
     let mut base = start;
     let mut broke = false;
@@ -680,7 +863,7 @@ fn run_rtm(
 
     'tiles: while base < end {
         let tile_end = (base + tile).min(end);
-        let snapshot = exec.vars.clone();
+        exec.checkpoint_vars();
         let stats_snapshot = exec.stats;
 
         // Attempt the tile transactionally.
@@ -692,7 +875,7 @@ fn run_rtm(
             while chunk < tile_end {
                 let lanes = usize::try_from((tile_end - chunk).min(VLEN as i64)).expect("bounded");
                 exec.begin_chunk(chunk, lanes, sink);
-                match exec.run_nodes(&vprog.body, &mut txn, sink) {
+                match body.run_chunk(&mut exec, &mut txn, sink) {
                     Ok(()) => {
                         if exec.exit_mask.any() {
                             let lane = exec.exit_mask.first_set().expect("nonempty");
@@ -742,9 +925,8 @@ fn run_rtm(
                 // real memory.
                 exec.stats = stats_snapshot;
                 exec.stats.rtm_aborts += 1;
-                exec.vars = snapshot;
-                let mut machine = ScalarMachine::new(program, bindings.clone());
-                machine.vars = exec.vars.clone();
+                exec.rollback_vars();
+                machine.reset_to(&exec.vars);
                 let mut i = base;
                 while i < tile_end {
                     match machine.step(i, mem, sink).map_err(ExecError::Fault)? {
@@ -753,13 +935,13 @@ fn run_rtm(
                             broke = true;
                             final_i = i;
                             iterations += 1;
-                            exec.vars = machine.vars.clone();
+                            std::mem::swap(&mut exec.vars, &mut machine.vars);
                             break 'tiles;
                         }
                     }
                     i += 1;
                 }
-                exec.vars = machine.vars.clone();
+                std::mem::swap(&mut exec.vars, &mut machine.vars);
             }
         }
         base = tile_end;

@@ -1,0 +1,271 @@
+//! Randomized crosscheck of the compiled bytecode engine against the
+//! tree-walking reference executor: for random `VProg`s drawn from the
+//! supported pattern grammar (conditional updates, guarded speculative
+//! loads, indirect read-modify-writes, early exits) and random inputs,
+//! the two engines must agree on *everything* observable — live-outs,
+//! the final induction value, `VectorStats`, every byte of memory, and
+//! the exact µop trace — under plain, first-faulting, and RTM
+//! speculation.
+
+use flexvec::{vectorize, SpecRequest};
+use flexvec_ir::build::*;
+use flexvec_ir::{Expr, Program, ProgramBuilder, Stmt, VarId};
+use flexvec_mem::AddressSpace;
+use flexvec_vm::{run_vector_with_engine, Bindings, Engine, RunResult, VecSink, VectorStats};
+use proptest::prelude::*;
+
+const ARRAY_LEN: usize = 64;
+const IDX_MASK: i64 = 63;
+
+#[derive(Debug, Clone)]
+struct Case {
+    program: Program,
+    arrays: Vec<Vec<i64>>,
+}
+
+fn leaf(vars: &[VarId], pick: u8, konst: i64) -> Expr {
+    if vars.is_empty() || pick.is_multiple_of(3) {
+        c(konst % 100)
+    } else {
+        var(vars[(pick as usize / 3) % vars.len()])
+    }
+}
+
+fn arith(vars: &[VarId], seed: &[u8], konst: i64) -> Expr {
+    match seed.first().copied().unwrap_or(0) % 5 {
+        0 => leaf(vars, seed.get(1).copied().unwrap_or(0), konst),
+        1 => add(
+            leaf(vars, seed.get(1).copied().unwrap_or(0), konst),
+            leaf(vars, seed.get(2).copied().unwrap_or(1), konst + 1),
+        ),
+        2 => sub(
+            leaf(vars, seed.get(1).copied().unwrap_or(0), konst),
+            leaf(vars, seed.get(2).copied().unwrap_or(1), konst + 3),
+        ),
+        3 => mul(
+            leaf(vars, seed.get(1).copied().unwrap_or(0), konst),
+            c(konst % 7 + 1),
+        ),
+        _ => max2(
+            leaf(vars, seed.get(1).copied().unwrap_or(0), konst),
+            leaf(vars, seed.get(2).copied().unwrap_or(1), konst - 5),
+        ),
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CaseSpec {
+    n: i64,
+    with_update: bool,
+    with_guarded_load: bool,
+    with_conflict: bool,
+    with_break: bool,
+    expr_seed: Vec<u8>,
+    data_seed: u64,
+    update_threshold: i64,
+    break_threshold: i64,
+}
+
+fn case_spec() -> impl Strategy<Value = CaseSpec> {
+    (
+        17i64..120,
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        prop::collection::vec(any::<u8>(), 8),
+        any::<u64>(),
+        0i64..2000,
+        0i64..2000,
+    )
+        .prop_map(
+            |(n, upd, gl, cf, br, expr_seed, data_seed, ut, bt)| CaseSpec {
+                n,
+                with_update: upd,
+                with_guarded_load: gl && !cf, // FF + VPL stores is rejected by design
+                with_conflict: cf,
+                with_break: br,
+                expr_seed,
+                data_seed,
+                update_threshold: ut,
+                break_threshold: bt,
+            },
+        )
+}
+
+fn build_case(spec: &CaseSpec) -> Option<Case> {
+    let mut b = ProgramBuilder::new("crosscheck");
+    let i = b.var("i", 0);
+    let n = b.var("n", spec.n);
+    let t = b.var("t", 0);
+    let data = b.array("data");
+    let aux = b.array("aux");
+    let mut body: Vec<Stmt> = Vec::new();
+
+    body.push(assign(
+        t,
+        add(
+            ld(data, band(var(i), c(IDX_MASK))),
+            arith(&[i], &spec.expr_seed, spec.update_threshold),
+        ),
+    ));
+
+    if spec.with_break {
+        body.push(if_(
+            gt(var(t), c(100_000 + spec.break_threshold * 50)),
+            vec![brk()],
+        ));
+    }
+
+    let mut live_outs = vec![t];
+    if spec.with_update {
+        let best_v = b.var("best", 1 << 20);
+        live_outs.push(best_v);
+        if spec.with_guarded_load {
+            let u = b.var("u", 0);
+            body.push(if_(
+                lt(var(t), var(best_v)),
+                vec![
+                    assign(u, add(var(t), ld(aux, band(var(t), c(IDX_MASK))))),
+                    if_(lt(var(u), var(best_v)), vec![assign(best_v, var(u))]),
+                ],
+            ));
+        } else {
+            body.push(if_(lt(var(t), var(best_v)), vec![assign(best_v, var(t))]));
+        }
+    }
+
+    if spec.with_conflict {
+        let k = b.var("k", 0);
+        body.push(assign(
+            k,
+            band(ld(data, band(var(i), c(IDX_MASK))), c(IDX_MASK)),
+        ));
+        body.push(store(aux, var(k), add(ld(aux, var(k)), var(t))));
+    }
+
+    for v in live_outs {
+        b.live_out(v);
+    }
+    let program = b.build_loop(i, c(0), var(n), body).ok()?;
+
+    let mut state = spec.data_seed | 1;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as i64) % 1000
+    };
+    let data_arr: Vec<i64> = (0..ARRAY_LEN).map(|_| next().abs()).collect();
+    let aux_arr: Vec<i64> = (0..ARRAY_LEN).map(|_| next().abs() % 500).collect();
+    Some(Case {
+        program,
+        arrays: vec![data_arr, aux_arr],
+    })
+}
+
+/// Runs one engine on a fresh memory image; returns everything
+/// observable about the execution.
+fn run_engine(
+    case: &Case,
+    vprog: &flexvec::VProg,
+    engine: Engine,
+) -> (RunResult, VectorStats, Vec<Vec<i64>>, VecSink) {
+    let mut mem = AddressSpace::new();
+    let ids: Vec<_> = case
+        .arrays
+        .iter()
+        .enumerate()
+        .map(|(i, d)| mem.alloc_from(&format!("a{i}"), d))
+        .collect();
+    let mut sink = VecSink::default();
+    let (result, stats) = run_vector_with_engine(
+        &case.program,
+        vprog,
+        &mut mem,
+        Bindings::new(ids.clone()),
+        &mut sink,
+        engine,
+    )
+    .expect("vector execution");
+    let snapshots = ids.iter().map(|id| mem.snapshot_array(*id)).collect();
+    (result, stats, snapshots, sink)
+}
+
+fn check_engines_agree(case: &Case, spec_req: SpecRequest) -> Result<(), TestCaseError> {
+    let Ok(vectorized) = vectorize(&case.program, spec_req) else {
+        // Some generated combinations are legitimately rejected
+        // (documented Unsupported shapes); that is not a failure.
+        return Ok(());
+    };
+
+    let (tree_res, tree_stats, tree_mem, tree_sink) =
+        run_engine(case, &vectorized.vprog, Engine::TreeWalking);
+    let (comp_res, comp_stats, comp_mem, comp_sink) =
+        run_engine(case, &vectorized.vprog, Engine::Compiled);
+
+    for v in &case.program.live_out {
+        prop_assert_eq!(
+            tree_res.var(*v),
+            comp_res.var(*v),
+            "live-out {} differs between engines\n{}",
+            case.program.var_name(*v),
+            case.program
+        );
+    }
+    prop_assert_eq!(
+        tree_res.var(case.program.loop_.induction),
+        comp_res.var(case.program.loop_.induction),
+        "induction exit value differs between engines\n{}",
+        case.program
+    );
+    prop_assert_eq!(
+        tree_res.broke,
+        comp_res.broke,
+        "break status differs between engines\n{}",
+        case.program
+    );
+    prop_assert_eq!(
+        tree_stats,
+        comp_stats,
+        "VectorStats differ between engines\n{}",
+        case.program
+    );
+    prop_assert_eq!(
+        &tree_mem,
+        &comp_mem,
+        "final memory differs between engines\n{}",
+        case.program
+    );
+    prop_assert_eq!(
+        tree_sink.uops.len(),
+        comp_sink.uops.len(),
+        "trace length differs between engines\n{}",
+        case.program
+    );
+    for (i, (a, b)) in tree_sink.uops.iter().zip(&comp_sink.uops).enumerate() {
+        prop_assert_eq!(a, b, "µop {} differs between engines\n{}", i, case.program);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    // `SpecRequest::Auto` lowers to `SpecMode::None` or
+    // `SpecMode::FirstFaulting` depending on the generated shape, so this
+    // single strategy covers both non-speculative and FF compiled paths.
+    #[test]
+    fn engines_agree_under_auto_speculation(spec in case_spec()) {
+        if let Some(case) = build_case(&spec) {
+            check_engines_agree(&case, SpecRequest::Auto)?;
+        }
+    }
+
+    #[test]
+    fn engines_agree_under_rtm(spec in case_spec(), tile in 16u32..512) {
+        if let Some(case) = build_case(&spec) {
+            check_engines_agree(&case, SpecRequest::Rtm { tile })?;
+        }
+    }
+}

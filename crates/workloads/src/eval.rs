@@ -5,11 +5,15 @@
 //! region speedup by the workload's coverage (the paper's rdtsc-based
 //! methodology).
 
+use std::time::Instant;
+
 use flexvec::{vectorize, InstMix, SpecRequest};
 use flexvec_mem::AddressSpace;
+use flexvec_profiler::ThroughputReport;
 use flexvec_sim::{amdahl_overall, OooSim, SimConfig};
 use flexvec_vm::{
-    run_scalar, run_vector, run_vector_all_or_nothing, Bindings, ExecError, TraceSink, VectorStats,
+    run_all_or_nothing_with_engine, run_scalar, run_vector_precompiled, run_vector_with_engine,
+    Bindings, CompiledVProg, Engine, ExecError, TraceSink, VectorStats,
 };
 
 use crate::{Suite, Workload};
@@ -76,6 +80,9 @@ pub struct Evaluation {
     pub scalar_uops: u64,
     /// Dynamic vector µops.
     pub vector_uops: u64,
+    /// Execution-engine throughput counters for the vector runs
+    /// (chunks/s, µops/s, page-cache hit rate).
+    pub throughput: ThroughputReport,
 }
 
 fn build_memory(w: &Workload) -> (AddressSpace, Bindings) {
@@ -111,7 +118,8 @@ pub fn evaluate(w: &Workload, spec: SpecRequest) -> Result<Evaluation, EvalError
 }
 
 /// [`evaluate`] with an explicit simulator configuration and vector
-/// execution strategy (used by the ablation studies).
+/// execution strategy (used by the ablation studies), on the default
+/// (compiled) engine.
 ///
 /// # Errors
 ///
@@ -121,6 +129,30 @@ pub fn evaluate_with_config(
     spec: SpecRequest,
     config: &SimConfig,
     mode: VectorMode,
+) -> Result<Evaluation, EvalError> {
+    evaluate_with_engine(w, spec, config, mode, Engine::default())
+}
+
+fn engine_label(engine: Engine) -> &'static str {
+    match engine {
+        Engine::TreeWalking => "tree-walking",
+        Engine::Compiled => "compiled",
+    }
+}
+
+/// [`evaluate_with_config`] with an explicit execution [`Engine`]. With
+/// [`Engine::Compiled`] the `VProg` is flattened once and reused across
+/// all invocations.
+///
+/// # Errors
+///
+/// As [`evaluate`].
+pub fn evaluate_with_engine(
+    w: &Workload,
+    spec: SpecRequest,
+    config: &SimConfig,
+    mode: VectorMode,
+    engine: Engine,
 ) -> Result<Evaluation, EvalError> {
     let vectorized = vectorize(&w.program, spec)?;
 
@@ -139,31 +171,58 @@ pub fn evaluate_with_config(
     let scalar_result = sim_s.result();
     let scalar_run = scalar_final.expect("at least one invocation");
 
-    // FlexVec: vector execution on the same model.
+    // FlexVec: vector execution on the same model. Compile once, run
+    // every invocation through the flattened program.
     let (mut mem_v, bind_v) = build_memory(w);
+    let mut compiled = match engine {
+        Engine::Compiled => Some(CompiledVProg::compile(&vectorized.vprog)),
+        Engine::TreeWalking => None,
+    };
     let mut sim_v = OooSim::new(config.clone());
     let mut vector_final = None;
     let mut stats = VectorStats::default();
+    mem_v.reset_cache_stats();
+    let mut throughput = ThroughputReport::new(
+        engine_label(engine),
+        std::time::Duration::ZERO,
+        0,
+        0,
+        flexvec_mem::PageCacheStats::default(),
+    );
+    let wall_start = Instant::now();
     for _ in 0..w.invocations {
-        let (r, s) = match mode {
-            VectorMode::FlexVec => run_vector(
+        let (r, s) = match (mode, &mut compiled) {
+            (VectorMode::FlexVec, Some(c)) => run_vector_precompiled(
                 &w.program,
                 &vectorized.vprog,
+                c,
                 &mut mem_v,
                 bind_v.clone(),
                 &mut sim_v,
             )?,
-            VectorMode::AllOrNothing => run_vector_all_or_nothing(
+            (VectorMode::FlexVec, None) => run_vector_with_engine(
                 &w.program,
                 &vectorized.vprog,
                 &mut mem_v,
                 bind_v.clone(),
                 &mut sim_v,
+                Engine::TreeWalking,
+            )?,
+            (VectorMode::AllOrNothing, _) => run_all_or_nothing_with_engine(
+                &w.program,
+                &vectorized.vprog,
+                &mut mem_v,
+                bind_v.clone(),
+                &mut sim_v,
+                engine,
             )?,
         };
+        throughput.add_stats(&s);
         vector_final = Some(r);
         stats = s;
     }
+    throughput.wall = wall_start.elapsed();
+    throughput.page_cache = mem_v.cache_stats();
     let vector_result = sim_v.result();
     let vector_run = vector_final.expect("at least one invocation");
 
@@ -203,6 +262,10 @@ pub fn evaluate_with_config(
         mix: vectorized.vprog.inst_mix(),
         scalar_uops: sim_s.len(),
         vector_uops: sim_v.len(),
+        throughput: ThroughputReport {
+            uops: sim_v.len(),
+            ..throughput
+        },
     })
 }
 
@@ -239,5 +302,36 @@ mod tests {
         let w = crate::spec::h264ref();
         let e = evaluate(&w, SpecRequest::Rtm { tile: 128 }).expect("evaluates");
         assert!(e.stats.rtm_commits > 0);
+    }
+
+    #[test]
+    fn engines_agree_and_report_throughput() {
+        let w = crate::spec::h264ref();
+        let cfg = SimConfig::table1();
+        let compiled = evaluate_with_engine(
+            &w,
+            SpecRequest::Auto,
+            &cfg,
+            VectorMode::FlexVec,
+            flexvec_vm::Engine::Compiled,
+        )
+        .expect("compiled evaluates");
+        let tree = evaluate_with_engine(
+            &w,
+            SpecRequest::Auto,
+            &cfg,
+            VectorMode::FlexVec,
+            flexvec_vm::Engine::TreeWalking,
+        )
+        .expect("tree evaluates");
+        // Same simulated timing and dynamic statistics from both engines.
+        assert_eq!(compiled.stats, tree.stats);
+        assert_eq!(compiled.flexvec_cycles, tree.flexvec_cycles);
+        assert_eq!(compiled.vector_uops, tree.vector_uops);
+        assert_eq!(compiled.throughput.label, "compiled");
+        assert_eq!(tree.throughput.label, "tree-walking");
+        assert!(compiled.throughput.chunks > 0);
+        assert_eq!(compiled.throughput.uops, compiled.vector_uops);
+        assert!(compiled.throughput.page_cache.accesses() > 0);
     }
 }

@@ -24,7 +24,9 @@ pub mod apps;
 mod eval;
 pub mod spec;
 
-pub use eval::{evaluate, evaluate_with_config, EvalError, Evaluation, VectorMode};
+pub use eval::{
+    evaluate, evaluate_with_config, evaluate_with_engine, EvalError, Evaluation, VectorMode,
+};
 
 use flexvec_ir::Program;
 

@@ -78,10 +78,17 @@ fn measure(program: &Program, arrays: &[Vec<i64>], spec: SpecRequest) -> (u64, u
 
 fn h264_inputs(n: usize, update_rate: f64, seed: u64) -> Vec<Vec<i64>> {
     let mut rng = StdRng::seed_from_u64(seed);
+    // Elements flagged by `update_rate` draw from a steeply decreasing
+    // envelope, so every flagged element is a fresh running minimum (the
+    // 1000-per-position step dominates the ±400 mv noise added to mcost).
+    // That makes `update_rate` directly control how often the loop-carried
+    // min_mcost dependence fires — i.i.d. small values would collapse to
+    // ~ln(n) total updates no matter the rate, hiding the erosion the
+    // dense case is meant to exercise.
     let block_sad: Vec<i64> = (0..n)
-        .map(|_| {
+        .map(|pos| {
             if rng.gen_bool(update_rate) {
-                rng.gen_range(0..1000)
+                (1 << 19) - 1000 * pos as i64 + rng.gen_range(0..100)
             } else {
                 rng.gen_range(1 << 20..1 << 21)
             }

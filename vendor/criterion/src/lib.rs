@@ -1,0 +1,227 @@
+//! Offline vendored stand-in for the subset of `criterion` 0.5 used by the
+//! workspace benches.
+//!
+//! The build environment has no registry access, so the workspace pins
+//! `criterion` to this path crate. It implements `Criterion`,
+//! `benchmark_group` / `sample_size`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is a simple warmup + timed-batch
+//! loop that reports mean wall-clock time per iteration; there is no
+//! statistical analysis, plotting, or persistence.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub use std::hint::black_box;
+
+/// Identifier for a parameterised benchmark case.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a parameter value, like criterion's
+    /// `BenchmarkId::from_parameter`.
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// Build an id from a function name and a parameter value.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean time per iteration of the most recent `iter` call.
+    last_mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record its mean wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: run until ~20ms has elapsed (at least once) so lazy
+        // initialisation and cache effects settle.
+        let warmup_budget = Duration::from_millis(20);
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warmup_iters += 1;
+            if warmup_start.elapsed() >= warmup_budget {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed() / warmup_iters.max(1) as u32;
+
+        // Timed run: `sample_size` batches, each sized to take roughly 5ms,
+        // capped so quick benches stay quick.
+        let batch = if per_iter.is_zero() {
+            1024
+        } else {
+            (Duration::from_millis(5).as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 100_000)
+                as u64
+        };
+        let samples = self.sample_size.clamp(1, 100);
+        let mut best = Duration::MAX;
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            let mean = elapsed / batch as u32;
+            if mean < best {
+                best = mean;
+            }
+            total += elapsed;
+            iters += batch;
+        }
+        self.last_mean = Some(total / iters.max(1) as u32);
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+fn run_case(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        sample_size,
+        last_mean: None,
+    };
+    f(&mut bencher);
+    match bencher.last_mean {
+        Some(mean) => println!("{label:<48} time: {}", format_duration(mean)),
+        None => println!("{label:<48} (no measurement: bencher.iter never called)"),
+    }
+}
+
+/// Top-level benchmark driver (mirror of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Criterion {
+        run_case(name, 20, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run a named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        run_case(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Run a parameterised benchmark within the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.id);
+        run_case(&label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (formatting no-op in this stand-in).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate a `main` that runs the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut count = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| count = count.wrapping_add(1)));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("f", |b| b.iter(|| black_box(2 + 2)));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &t| {
+            b.iter(|| black_box(t * 2))
+        });
+        group.finish();
+    }
+}
