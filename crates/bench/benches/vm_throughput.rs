@@ -11,7 +11,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use flexvec::{vectorize, SpecRequest, Vectorized};
 use flexvec_mem::AddressSpace;
 use flexvec_vm::{
-    run_vector_precompiled, run_vector_with_engine, Bindings, CompiledVProg, CountingSink, Engine,
+    run_vector_precompiled_with_scratch, run_vector_with_engine, Bindings, CompiledVProg,
+    CountingSink, Engine, ExecScratch,
 };
 use flexvec_workloads::Workload;
 
@@ -43,16 +44,21 @@ fn prepare(workload: Workload) -> Prepared {
 /// Measured chunks/s of one engine over `iters` back-to-back runs. The
 /// one-time bytecode compilation happens outside the timed region, as it
 /// would in a real deployment (compile once, run every invocation).
-fn chunks_per_sec(p: &mut Prepared, compiled: &mut Option<CompiledVProg>, iters: u32) -> f64 {
+fn chunks_per_sec(
+    p: &mut Prepared,
+    compiled: &mut Option<(CompiledVProg, ExecScratch)>,
+    iters: u32,
+) -> f64 {
     let mut chunks = 0u64;
     let start = Instant::now();
     for _ in 0..iters {
         let mut sink = CountingSink::default();
         let (_, stats) = match compiled {
-            Some(c) => run_vector_precompiled(
+            Some((c, scratch)) => run_vector_precompiled_with_scratch(
                 &p.workload.program,
                 &p.vectorized.vprog,
                 c,
+                scratch,
                 &mut p.mem,
                 p.bindings.clone(),
                 &mut sink,
@@ -83,7 +89,11 @@ fn bench_engines(c: &mut Criterion) {
         let name = workload.workload_short_name();
         let mut p = prepare(workload);
         let mut tree_engine = None;
-        let mut compiled_engine = Some(CompiledVProg::compile(&p.vectorized.vprog));
+        let mut compiled_engine = {
+            let c = CompiledVProg::compile(&p.vectorized.vprog);
+            let scratch = c.scratch();
+            Some((c, scratch))
+        };
 
         // One-shot ratio report (the acceptance number), outside the
         // criterion timing loops.

@@ -11,11 +11,16 @@
 //! 3. **Hardware-prefetcher page-boundary effect** (Section 5's
 //!    memory-boundness note).
 
-use flexvec::SpecRequest;
+use flexvec_bench::flags::CommonFlags;
 use flexvec_sim::SimConfig;
-use flexvec_workloads::{evaluate_with_config, spec, VectorMode};
+use flexvec_workloads::{evaluate_with_engine, spec, VectorMode};
 
 fn main() {
+    let flags = CommonFlags::parse(
+        "ablation",
+        "ablation: VPL vs all-or-nothing, VPCONFLICTM latency, prefetcher clamp",
+        &[],
+    );
     println!("=== Ablation 1: FlexVec VPL vs all-or-nothing speculation ===\n");
     println!(
         "{:<12} {:>12} {:>14} {:>12}",
@@ -24,10 +29,11 @@ fn main() {
     let cfg = SimConfig::table1();
     for rate in [0.0, 0.01, 0.02, 0.05, 0.10, 0.20, 0.50] {
         let w = spec::h264_parametric(rate, 4096);
-        let flex = evaluate_with_config(&w, SpecRequest::Auto, &cfg, VectorMode::FlexVec)
+        let flex = evaluate_with_engine(&w, flags.spec, &cfg, VectorMode::FlexVec, flags.engine)
             .expect("flexvec evaluates");
-        let aon = evaluate_with_config(&w, SpecRequest::Auto, &cfg, VectorMode::AllOrNothing)
-            .expect("aon evaluates");
+        let aon =
+            evaluate_with_engine(&w, flags.spec, &cfg, VectorMode::AllOrNothing, flags.engine)
+                .expect("aon evaluates");
         println!(
             "{:<12.2} {:>11.2}x {:>13.2}x {:>11.2}x",
             rate,
@@ -49,7 +55,7 @@ fn main() {
         for l in lats {
             let mut cfg = SimConfig::table1();
             cfg.vpconflictm.latency = l;
-            let e = evaluate_with_config(&w, SpecRequest::Auto, &cfg, VectorMode::FlexVec)
+            let e = evaluate_with_engine(&w, flags.spec, &cfg, VectorMode::FlexVec, flags.engine)
                 .expect("evaluates");
             print!("{:>9.2}x", e.region_speedup);
         }
@@ -62,16 +68,17 @@ fn main() {
         "benchmark", "prefetch on", "prefetch off"
     );
     for w in [spec::h264ref(), spec::milc()] {
-        let on = evaluate_with_config(
+        let on = evaluate_with_engine(
             &w,
-            SpecRequest::Auto,
+            flags.spec,
             &SimConfig::table1(),
             VectorMode::FlexVec,
+            flags.engine,
         )
         .expect("evaluates");
         let mut cfg = SimConfig::table1();
         cfg.memory.prefetch_degree = 0;
-        let off = evaluate_with_config(&w, SpecRequest::Auto, &cfg, VectorMode::FlexVec)
+        let off = evaluate_with_engine(&w, flags.spec, &cfg, VectorMode::FlexVec, flags.engine)
             .expect("evaluates");
         println!(
             "{:<14} {:>11.2}x {:>13.2}x",

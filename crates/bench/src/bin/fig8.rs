@@ -6,12 +6,17 @@
 //!
 //! Run with `--release`; the full sweep simulates ~18 × 2 executions.
 
-use flexvec::SpecRequest;
-use flexvec_bench::{by_suite, evaluate_all, render_fig8, render_throughput};
+use flexvec_bench::flags::CommonFlags;
+use flexvec_bench::{by_suite, evaluate_all_with_engine, render_fig8, render_throughput};
 use flexvec_workloads::all;
 
 fn main() {
-    let evals = evaluate_all(&all(), SpecRequest::Auto);
+    let flags = CommonFlags::parse(
+        "fig8",
+        "fig8: regenerate the paper's Figure 8 application speedups",
+        &[],
+    );
+    let evals = evaluate_all_with_engine(&all(), flags.spec, flags.engine);
     let (spec, apps) = by_suite(&evals);
     println!("=== Figure 8: Application Speedup over an Aggressive OOO Processor ===\n");
     println!("{}", render_fig8(&spec, "SPEC 2006 (paper geomean: 1.09x)"));

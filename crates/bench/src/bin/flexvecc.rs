@@ -1,0 +1,154 @@
+//! `flexvecc` — the batch driver for `.fv` loop kernels.
+//!
+//! ```text
+//! flexvecc check     <files|dirs...>   parse + vectorize, report verdicts
+//! flexvecc vectorize <files|dirs...>   verdicts plus the generated instruction mix
+//! flexvecc run       <files|dirs...>   execute scalar vs FlexVec, report speedups
+//! flexvecc bench     <files|dirs...>   submit the corpus repeatedly, report cache hit rates
+//! ```
+//!
+//! Common flags: `--engine tree|compiled`, `--spec ff|rtm[:TILE]`,
+//! `--json`; `run`/`bench` also take `--invocations N` and `bench` takes
+//! `--waves N`. Exit status: 0 on success, 1 if any kernel failed to
+//! parse or execute, 2 on usage errors.
+
+use flexvec_bench::flags::{CommonFlags, ExtraFlag};
+use flexvec_bench::fv::{
+    check_fv_file, collect_fv_files, evaluate_fv_all, fv_reports_json, render_cache_line,
+    render_fv_reports, FvReport,
+};
+use flexvec_front::CompileCache;
+
+const ABOUT: &str = "flexvecc: check, vectorize, run and bench directories of .fv loop kernels";
+
+fn main() {
+    let flags = CommonFlags::parse(
+        "flexvecc <check|vectorize|run|bench> <files|dirs...>",
+        ABOUT,
+        &[
+            ExtraFlag {
+                name: "invocations",
+                help: "loop invocations per kernel for run/bench (default 3)",
+            },
+            ExtraFlag {
+                name: "waves",
+                help: "corpus submission waves for bench (default 2)",
+            },
+        ],
+    );
+    let Some((cmd, paths)) = flags.positional.split_first() else {
+        eprintln!(
+            "{ABOUT}\nusage: flexvecc <check|vectorize|run|bench> <files|dirs...> (see --help)"
+        );
+        std::process::exit(2);
+    };
+    if paths.is_empty() {
+        eprintln!("flexvecc {cmd}: no input files (see --help)");
+        std::process::exit(2);
+    }
+    let files = collect_fv_files(paths).unwrap_or_else(|e| {
+        eprintln!("flexvecc: {e}");
+        std::process::exit(2);
+    });
+
+    let cache = CompileCache::new();
+    let invocations = flags.u64_flag("invocations", 3);
+    let failed = match cmd.as_str() {
+        "check" | "vectorize" => {
+            let detailed = cmd == "vectorize";
+            let reports: Vec<FvReport> = files
+                .iter()
+                .map(|f| check_fv_file(f, &cache, flags.spec))
+                .collect();
+            for (report, file) in reports.iter().zip(&files) {
+                match &report.error {
+                    Some(rendered) => eprintln!("{rendered}"),
+                    None => {
+                        println!(
+                            "{}: ok — kernel `{}`: {}",
+                            report.source, report.kernel, report.verdict
+                        );
+                        if detailed {
+                            if let Some(mix) = kernel_mix(file, &cache, flags.spec) {
+                                println!("    mix: {mix}");
+                            }
+                        }
+                    }
+                }
+            }
+            if flags.json {
+                print!("{}", fv_reports_json(&reports, &cache));
+            }
+            reports.iter().any(FvReport::is_failure)
+        }
+        "run" => {
+            let reports = evaluate_fv_all(&files, &cache, flags.spec, flags.engine, invocations);
+            emit_run(&reports, &cache, flags.json);
+            reports.iter().any(FvReport::is_failure)
+        }
+        "bench" => {
+            let waves = flags.u64_flag("waves", 2).max(1);
+            let mut any_failed = false;
+            let mut last_reports = Vec::new();
+            for wave in 1..=waves {
+                cache.reset_counters();
+                let start = std::time::Instant::now();
+                let reports =
+                    evaluate_fv_all(&files, &cache, flags.spec, flags.engine, invocations);
+                let elapsed = start.elapsed();
+                let stats = cache.stats();
+                if !flags.json {
+                    println!(
+                        "wave {wave}/{waves}: {} kernels in {elapsed:.2?} — cache {:.0}% hit ({} compiles total)",
+                        reports.len(),
+                        stats.hit_rate() * 100.0,
+                        cache.compiles()
+                    );
+                }
+                any_failed |= reports.iter().any(FvReport::is_failure);
+                last_reports = reports;
+            }
+            if !flags.json {
+                println!();
+            }
+            emit_run(&last_reports, &cache, flags.json);
+            any_failed
+        }
+        other => {
+            eprintln!(
+                "flexvecc: unknown command `{other}` (expected check, vectorize, run or bench)"
+            );
+            std::process::exit(2);
+        }
+    };
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn emit_run(reports: &[FvReport], cache: &CompileCache, json: bool) {
+    if json {
+        print!("{}", fv_reports_json(reports, cache));
+    } else {
+        print!("{}", render_fv_reports(reports));
+        println!("{}", render_cache_line(cache));
+        for report in reports {
+            if let Some(e) = &report.error {
+                eprintln!("\n{}: {e}", report.source);
+            }
+        }
+    }
+}
+
+/// The FlexVec instruction mix of a kernel that vectorized (for
+/// `flexvecc vectorize`).
+fn kernel_mix(
+    file: &std::path::Path,
+    cache: &CompileCache,
+    spec: flexvec::SpecRequest,
+) -> Option<String> {
+    let kernel = flexvec_front::parse_file(file).ok()?;
+    let (compiled, _) = cache.get_or_compile(&kernel.program, spec);
+    let plan = compiled.plan.as_ref().ok()?;
+    Some(plan.vectorized.vprog.inst_mix().flexvec_summary())
+}

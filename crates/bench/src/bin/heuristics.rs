@@ -4,7 +4,8 @@
 //! every workload plus a set of loops constructed to trip each rejection
 //! rule.
 
-use flexvec::{vectorize, SpecRequest};
+use flexvec::vectorize;
+use flexvec_bench::flags::CommonFlags;
 use flexvec_ir::build::*;
 use flexvec_ir::ProgramBuilder;
 use flexvec_mem::AddressSpace;
@@ -13,6 +14,11 @@ use flexvec_vm::Bindings;
 use flexvec_workloads::all;
 
 fn main() {
+    let flags = CommonFlags::parse(
+        "heuristics",
+        "heuristics: the Section 5 profile-guided candidate-selection study",
+        &[],
+    );
     let th = Thresholds::default();
     println!("=== Candidate selection (trip>=16, EVL>=6, cvrg>=5%, mem/compute<=2) ===\n");
     println!(
@@ -29,7 +35,7 @@ fn main() {
             .collect();
         let prof = profile_loop(&w.program, &mut mem, Bindings::new(ids), w.invocations)
             .expect("profiles");
-        let mix = vectorize(&w.program, SpecRequest::Auto)
+        let mix = vectorize(&w.program, flags.spec)
             .expect("vectorizes")
             .vprog
             .inst_mix();
@@ -70,7 +76,7 @@ fn main() {
     let mut mem = AddressSpace::new();
     let a_id = mem.alloc_from("a", &[5; 8]);
     let prof = profile_loop(&p, &mut mem, Bindings::new(vec![a_id]), 4).unwrap();
-    let mix = vectorize(&p, SpecRequest::Auto).unwrap().vprog.inst_mix();
+    let mix = vectorize(&p, flags.spec).unwrap().vprog.inst_mix();
     let sel = select(&prof, 0.5, &mix, &th);
     println!(
         "short_trip (trip 8): accepted={} [{}]",
@@ -98,7 +104,7 @@ fn main() {
     let desc: Vec<i64> = (0..256).map(|k| 100_000 - k).collect();
     let a2_id = mem2.alloc_from("a", &desc);
     let prof2 = profile_loop(&p2, &mut mem2, Bindings::new(vec![a2_id]), 1).unwrap();
-    let mix2 = vectorize(&p2, SpecRequest::Auto).unwrap().vprog.inst_mix();
+    let mix2 = vectorize(&p2, flags.spec).unwrap().vprog.inst_mix();
     let sel2 = select(&prof2, 0.5, &mix2, &th);
     println!(
         "dense_updates (EVL 1): accepted={} [{}]",

@@ -6,9 +6,23 @@
 //! is vectorized using first faulting load/gather".
 
 use flexvec::SpecRequest;
-use flexvec_workloads::{applications, evaluate, spec2006, Workload};
+use flexvec_bench::flags::CommonFlags;
+use flexvec_sim::SimConfig;
+use flexvec_vm::Engine;
+use flexvec_workloads::{applications, evaluate_with_engine, spec2006, VectorMode, Workload};
+
+fn eval(w: &Workload, spec: SpecRequest, engine: Engine) -> flexvec_workloads::Evaluation {
+    evaluate_with_engine(w, spec, &SimConfig::table1(), VectorMode::FlexVec, engine)
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+}
 
 fn main() {
+    let flags = CommonFlags::parse(
+        "rtm_sweep",
+        "rtm_sweep: RTM tile-size sensitivity vs the first-faulting baseline \
+         (--spec sets the baseline codegen, default ff)",
+        &[],
+    );
     // The FF-using workloads (the only ones where the two code paths
     // differ materially).
     let ff_workloads: Vec<Workload> = spec2006()
@@ -25,11 +39,10 @@ fn main() {
     }
     println!("{:>8}", "FF=1.0");
     for w in &ff_workloads {
-        let ff = evaluate(w, SpecRequest::Auto).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let ff = eval(w, flags.spec, flags.engine);
         print!("{:<22}", w.name);
         for t in tiles {
-            let rtm = evaluate(w, SpecRequest::Rtm { tile: t })
-                .unwrap_or_else(|e| panic!("{} tile {t}: {e}", w.name));
+            let rtm = eval(w, SpecRequest::Rtm { tile: t }, flags.engine);
             print!(
                 "{:>8.3}",
                 rtm.flexvec_cycles as f64 / ff.flexvec_cycles as f64

@@ -1,9 +1,17 @@
 //! Regenerates the paper's Table 1: the simulation parameters actually
 //! used by `flexvec-sim` (experiment E3 in DESIGN.md).
 
+use flexvec_bench::flags::CommonFlags;
 use flexvec_sim::SimConfig;
 
 fn main() {
+    // Uniform flag handling across the harness binaries; Table 1 is
+    // static configuration, so `--engine`/`--spec` have no effect here.
+    let _flags = CommonFlags::parse(
+        "table1",
+        "table1: print the Table 1 simulation parameters",
+        &[],
+    );
     println!("=== Table 1: Simulation Parameters ===\n");
     print!("{}", SimConfig::table1().render_table1());
 }

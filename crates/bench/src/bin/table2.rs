@@ -3,14 +3,21 @@
 //! and the FlexVec instruction mix of the generated code (experiment E4
 //! in DESIGN.md).
 
-use flexvec::{vectorize, SpecRequest};
+use flexvec::vectorize;
+use flexvec_bench::flags::CommonFlags;
 use flexvec_bench::{render_table2, Table2Row};
 use flexvec_mem::AddressSpace;
 use flexvec_profiler::profile_loop;
+use flexvec_sim::SimConfig;
 use flexvec_vm::Bindings;
-use flexvec_workloads::{all, evaluate};
+use flexvec_workloads::{all, evaluate_with_engine, VectorMode};
 
 fn main() {
+    let flags = CommonFlags::parse(
+        "table2",
+        "table2: regenerate the paper's Table 2 coverage/trip/mix data",
+        &[],
+    );
     let mut rows = Vec::new();
     for w in all() {
         // Profile on a fresh memory image.
@@ -23,11 +30,18 @@ fn main() {
             .collect();
         let profile = profile_loop(&w.program, &mut mem, Bindings::new(ids), w.invocations)
             .unwrap_or_else(|e| panic!("{}: profile failed: {e}", w.name));
-        let mix = vectorize(&w.program, SpecRequest::Auto)
+        let mix = vectorize(&w.program, flags.spec)
             .unwrap_or_else(|e| panic!("{}: {e}", w.name))
             .vprog
             .inst_mix();
-        let eval = evaluate(&w, SpecRequest::Auto).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let eval = evaluate_with_engine(
+            &w,
+            flags.spec,
+            &SimConfig::table1(),
+            VectorMode::FlexVec,
+            flags.engine,
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
         rows.push(Table2Row {
             name: w.name,
             coverage: w.coverage,

@@ -12,6 +12,12 @@
 //! | `heuristics`  | Section 5 — candidate-selection thresholds |
 //! | `ablation`    | Section 2 — VPL vs. all-or-nothing speculation |
 //!
+//! The `flexvecc` binary is the batch front-end driver: it checks,
+//! vectorizes, runs and benches directories of `.fv` kernels through the
+//! content-addressed compile cache (see the [`fv`] module). All binaries
+//! share the flag conventions of the [`flags`] module (`--engine
+//! tree|compiled`, `--spec ff|rtm[:TILE]`, `--json`).
+//!
 //! The Criterion benches (`benches/`) measure the wall-clock cost of the
 //! reproduction pipeline itself (vectorization, execution, simulation) so
 //! regressions in the library are caught; the *paper's* numbers are
@@ -19,6 +25,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod flags;
+pub mod fv;
 
 use flexvec::SpecRequest;
 use flexvec_sim::{geomean, SimConfig};

@@ -1,0 +1,207 @@
+//! A sharded, concurrent, content-addressed memo map.
+//!
+//! The pipeline cache that backs the `.fv` front end memoizes
+//! parse → analyze → vectorize → bytecode-compile results keyed by a
+//! stable AST hash (see [`crate::program_hash`]). This module provides
+//! the generic storage layer: a fixed number of independently locked
+//! shards, values shared out behind `Arc`, and lock-free hit/miss
+//! counters so drivers can report cache effectiveness.
+//!
+//! The compute closure in [`ShardedCache::get_or_try_insert`] runs while
+//! the key's shard is locked: a batch that submits the same kernel from
+//! many threads compiles it exactly once, and everyone else blocks only
+//! on that shard (keys hashing to the other shards proceed in parallel).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Shard count — a power of two so the selector is a mask. 16 shards
+/// keep contention negligible for the batch sizes the drivers see
+/// (dozens to hundreds of kernels) without bloating the struct.
+const SHARDS: usize = 16;
+
+/// Snapshot of a cache's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the map.
+    pub hits: u64,
+    /// Lookups that had to compute (and insert) the value.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Hits over total lookups (0.0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A concurrent `u64 → Arc<V>` map sharded across [`SHARDS`] mutexes.
+#[derive(Debug)]
+pub struct ShardedCache<V> {
+    shards: Vec<Mutex<HashMap<u64, Arc<V>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<V> Default for ShardedCache<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> ShardedCache<V> {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        ShardedCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, Arc<V>>> {
+        // The low bits of an FNV hash are well mixed.
+        &self.shards[(key as usize) & (SHARDS - 1)]
+    }
+
+    /// Looks `key` up without counting it as a hit or a miss.
+    pub fn peek(&self, key: u64) -> Option<Arc<V>> {
+        self.shard(key)
+            .lock()
+            .expect("cache shard")
+            .get(&key)
+            .cloned()
+    }
+
+    /// Returns the cached value for `key`, or computes, inserts, and
+    /// returns it. The boolean is `true` for a cache hit. The compute
+    /// closure runs under the shard lock, so concurrent submitters of
+    /// the same key compute once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the compute closure's error; nothing is inserted and
+    /// the lookup is still counted as a miss.
+    pub fn get_or_try_insert<E>(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> Result<V, E>,
+    ) -> Result<(Arc<V>, bool), E> {
+        let mut shard = self.shard(key).lock().expect("cache shard");
+        if let Some(v) = shard.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(v), true));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = Arc::new(compute()?);
+        shard.insert(key, Arc::clone(&value));
+        Ok((value, false))
+    }
+
+    /// Infallible [`ShardedCache::get_or_try_insert`].
+    pub fn get_or_insert_with(&self, key: u64, compute: impl FnOnce() -> V) -> (Arc<V>, bool) {
+        let Ok(r) = self.get_or_try_insert::<core::convert::Infallible>(key, || Ok(compute()));
+        r
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard").len())
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (counters are preserved).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().expect("cache shard").clear();
+        }
+    }
+
+    /// Resets the hit/miss counters (entries are preserved), so drivers
+    /// can measure one submission wave in isolation.
+    pub fn reset_counters(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_once_then_hits() {
+        let cache: ShardedCache<String> = ShardedCache::new();
+        let (v, hit) = cache.get_or_insert_with(7, || "seven".to_owned());
+        assert!(!hit);
+        assert_eq!(*v, "seven");
+        let (v2, hit2) = cache.get_or_insert_with(7, || unreachable!("cached"));
+        assert!(hit2);
+        assert_eq!(*v2, "seven");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_do_not_insert() {
+        let cache: ShardedCache<u32> = ShardedCache::new();
+        let r: Result<_, &str> = cache.get_or_try_insert(1, || Err("nope"));
+        assert!(r.is_err());
+        assert!(cache.peek(1).is_none());
+        let (_, hit) = cache.get_or_insert_with(1, || 5);
+        assert!(!hit, "failed compute must not poison the key");
+    }
+
+    #[test]
+    fn concurrent_submitters_share_one_compute() {
+        use std::sync::atomic::AtomicUsize;
+        let cache: ShardedCache<u64> = ShardedCache::new();
+        let computes = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for key in 0..64u64 {
+                        let (v, _) = cache.get_or_insert_with(key, || {
+                            computes.fetch_add(1, Ordering::Relaxed);
+                            key * 3
+                        });
+                        assert_eq!(*v, key * 3);
+                    }
+                });
+            }
+        });
+        assert_eq!(computes.load(Ordering::Relaxed), 64);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 64);
+        assert_eq!(stats.hits, 8 * 64 - 64);
+        cache.reset_counters();
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().entries, 64);
+    }
+}

@@ -1,0 +1,235 @@
+//! Stable content hashing for pipeline artifacts.
+//!
+//! The front end's compile cache is *content-addressed*: two
+//! submissions of structurally identical loops must hash identically,
+//! across processes and independently of allocation addresses or
+//! `HashMap` iteration order. Rust's `std::hash::Hash`/`DefaultHasher`
+//! pair is randomly seeded per process, so this module provides an
+//! explicit FNV-1a based [`StableHasher`] and deterministic walks of the
+//! [`Program`] AST ([`program_hash`]) and the generated [`VProg`]
+//! ([`vprog_hash`]).
+//!
+//! Every structural position writes a distinct tag byte before its
+//! payload so that e.g. `(a + b)` and `(a - b)` or a var/array id swap
+//! can never collide by concatenation.
+
+use flexvec_ir::{Expr, Program, Stmt};
+
+use crate::vprog::VProg;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A 64-bit FNV-1a streaming hasher with a stable, documented byte
+/// encoding (little-endian integers, length-prefixed strings).
+#[derive(Clone, Debug)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    /// Starts a new hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        StableHasher { state: FNV_OFFSET }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds one tag byte (structural discriminant).
+    pub fn tag(&mut self, tag: u8) {
+        self.write(&[tag]);
+    }
+
+    /// Feeds a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds an `i64` (little-endian two's complement).
+    pub fn write_i64(&mut self, v: i64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds a length-prefixed UTF-8 string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+fn hash_expr(h: &mut StableHasher, e: &Expr) {
+    match e {
+        Expr::Const(c) => {
+            h.tag(0x01);
+            h.write_i64(*c);
+        }
+        Expr::Var(v) => {
+            h.tag(0x02);
+            h.write_u64(v.0 as u64);
+        }
+        Expr::Load { array, index } => {
+            h.tag(0x03);
+            h.write_u64(array.0 as u64);
+            hash_expr(h, index);
+        }
+        Expr::Bin { op, lhs, rhs } => {
+            h.tag(0x04);
+            h.tag(*op as u8);
+            hash_expr(h, lhs);
+            hash_expr(h, rhs);
+        }
+        Expr::Cmp { op, lhs, rhs } => {
+            h.tag(0x05);
+            h.tag(*op as u8);
+            hash_expr(h, lhs);
+            hash_expr(h, rhs);
+        }
+        Expr::Not(inner) => {
+            h.tag(0x06);
+            hash_expr(h, inner);
+        }
+    }
+}
+
+fn hash_body(h: &mut StableHasher, body: &[Stmt]) {
+    h.write_u64(body.len() as u64);
+    for stmt in body {
+        match stmt {
+            Stmt::Assign { var, value } => {
+                h.tag(0x11);
+                h.write_u64(var.0 as u64);
+                hash_expr(h, value);
+            }
+            Stmt::Store {
+                array,
+                index,
+                value,
+            } => {
+                h.tag(0x12);
+                h.write_u64(array.0 as u64);
+                hash_expr(h, index);
+                hash_expr(h, value);
+            }
+            Stmt::If { cond, then_, else_ } => {
+                h.tag(0x13);
+                hash_expr(h, cond);
+                hash_body(h, then_);
+                hash_body(h, else_);
+            }
+            Stmt::Break => h.tag(0x14),
+        }
+    }
+}
+
+/// Stable content hash of a whole loop [`Program`]: name, declarations
+/// (names and initial values), live-outs, loop bounds, and the body.
+pub fn program_hash(p: &Program) -> u64 {
+    let mut h = StableHasher::new();
+    h.tag(0xA0); // format version tag
+    h.write_str(&p.name);
+    h.write_u64(p.vars.len() as u64);
+    for v in &p.vars {
+        h.write_str(&v.name);
+        h.write_i64(v.init);
+    }
+    h.write_u64(p.arrays.len() as u64);
+    for a in &p.arrays {
+        h.write_str(&a.name);
+    }
+    h.write_u64(p.live_out.len() as u64);
+    for v in &p.live_out {
+        h.write_u64(v.0 as u64);
+    }
+    h.write_u64(p.loop_.induction.0 as u64);
+    hash_expr(&mut h, &p.loop_.start);
+    hash_expr(&mut h, &p.loop_.end);
+    hash_body(&mut h, &p.loop_.body);
+    h.finish()
+}
+
+/// Stable content hash of a generated [`VProg`].
+///
+/// The vector program is hashed through its `Debug` rendering, which is
+/// derived, deterministic, and covers every field (body tree, register
+/// counts, speculation mode); this keeps the hash in lockstep with the
+/// `VNode`/`VOp` definitions without a hand-maintained walk.
+pub fn vprog_hash(v: &VProg) -> u64 {
+    let mut h = StableHasher::new();
+    h.tag(0xB0);
+    h.write_str(&format!("{v:?}"));
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexvec_ir::build::*;
+    use flexvec_ir::ProgramBuilder;
+
+    fn sample(n: i64, name: &str) -> Program {
+        let mut b = ProgramBuilder::new(name);
+        let i = b.var("i", 0);
+        let best = b.var("best", i64::MAX);
+        let a = b.array("a");
+        b.live_out(best);
+        b.build_loop(
+            i,
+            c(0),
+            c(n),
+            vec![if_(
+                lt(ld(a, var(i)), var(best)),
+                vec![assign(best, ld(a, var(i)))],
+            )],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn equal_programs_hash_equal() {
+        assert_eq!(
+            program_hash(&sample(64, "k")),
+            program_hash(&sample(64, "k"))
+        );
+    }
+
+    #[test]
+    fn different_programs_hash_differently() {
+        let base = program_hash(&sample(64, "k"));
+        assert_ne!(base, program_hash(&sample(65, "k")), "bound change");
+        assert_ne!(base, program_hash(&sample(64, "k2")), "name change");
+    }
+
+    #[test]
+    fn operator_swap_changes_hash() {
+        let mut h1 = StableHasher::new();
+        hash_expr(&mut h1, &add(var(flexvec_ir::VarId(0)), c(1)));
+        let mut h2 = StableHasher::new();
+        hash_expr(&mut h2, &sub(var(flexvec_ir::VarId(0)), c(1)));
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn vprog_hash_is_deterministic() {
+        let p = sample(64, "k");
+        let v1 = crate::vectorize(&p, crate::SpecRequest::Auto).unwrap();
+        let v2 = crate::vectorize(&p, crate::SpecRequest::Auto).unwrap();
+        assert_eq!(vprog_hash(&v1.vprog), vprog_hash(&v2.vprog));
+    }
+}

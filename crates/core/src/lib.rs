@@ -45,6 +45,8 @@
 #![warn(missing_docs)]
 
 mod analysis;
+mod cache;
+mod hash;
 mod lower;
 mod opt;
 mod vprog;
@@ -52,6 +54,8 @@ mod vprog;
 pub use analysis::{
     analyze, ConflictCheck, FlexVecPlan, LoopAnalysis, PatternInstance, Reduction, Verdict,
 };
+pub use cache::{CacheStats, ShardedCache};
+pub use hash::{program_hash, vprog_hash, StableHasher};
 pub use lower::{vectorize, SpecRequest, VectorizeError, Vectorized, VectorizedKind};
 pub use opt::{optimize, OptStats};
 pub use vprog::{InstMix, KReg, MaskPressure, SpecMode, VNode, VOp, VProg, VReg};

@@ -1,0 +1,156 @@
+//! Source-span diagnostics with rendered caret snippets.
+//!
+//! Every token the lexer produces carries a [`Span`]; parse errors carry
+//! the offending span, a message, and (for expectation failures) the set
+//! of tokens that would have been accepted. [`Diagnostic::render`]
+//! produces the familiar compiler-style report:
+//!
+//! ```text
+//! error: expected `;`, found `}`
+//!   --> minloc.fv:5:14
+//!    |
+//!  5 |   best = a[i]
+//!    |              ^ expected `;`
+//! ```
+
+use core::fmt;
+
+/// A half-open byte range in a source file, with the 1-based line and
+/// column of its start.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub offset: usize,
+    /// Length in bytes (0 for end-of-file).
+    pub len: usize,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in characters).
+    pub col: u32,
+}
+
+impl Span {
+    /// A zero-length span at the very start of a file.
+    pub fn start() -> Self {
+        Span {
+            offset: 0,
+            len: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+}
+
+/// A parse (or lex) error with location and expectation context.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Name of the source (file path or synthetic name), echoed in the
+    /// rendered report.
+    pub source_name: String,
+    /// The main message, e.g. ``expected `;`, found `}` ``.
+    pub message: String,
+    /// Where the error is anchored.
+    pub span: Span,
+    /// What the parser would have accepted here (possibly empty).
+    pub expected: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with no expectation list.
+    pub fn new(source_name: &str, message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            source_name: source_name.to_owned(),
+            message: message.into(),
+            span,
+            expected: Vec::new(),
+        }
+    }
+
+    /// One-line summary: `minloc.fv:5:14: expected `;`, found `}``.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}:{}:{}: {}",
+            self.source_name, self.span.line, self.span.col, self.message
+        )
+    }
+
+    /// Renders the full report with a caret snippet cut from `source`
+    /// (the text the diagnostic was produced from).
+    pub fn render(&self, source: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("error: {}\n", self.message));
+        out.push_str(&format!(
+            "  --> {}:{}:{}\n",
+            self.source_name, self.span.line, self.span.col
+        ));
+        let line_no = self.span.line.to_string();
+        let gutter = " ".repeat(line_no.len());
+        out.push_str(&format!(" {gutter} |\n"));
+        let line_text = source
+            .lines()
+            .nth(self.span.line.saturating_sub(1) as usize)
+            .unwrap_or("");
+        out.push_str(&format!(" {line_no} | {line_text}\n"));
+        let col = self.span.col.saturating_sub(1) as usize;
+        let caret_len = self.span.len.max(1).min(line_text.chars().count().max(1));
+        let carets = "^".repeat(caret_len);
+        let hint = if self.expected.is_empty() {
+            String::new()
+        } else {
+            format!(" expected {}", self.expected.join(" or "))
+        };
+        out.push_str(&format!(" {gutter} | {}{carets}{hint}\n", " ".repeat(col)));
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.summary())
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_caret_under_the_span() {
+        let src = "var x = 0;\nbest = a[i]\n";
+        let d = Diagnostic {
+            source_name: "t.fv".into(),
+            message: "expected `;`, found end of line".into(),
+            span: Span {
+                offset: 21,
+                len: 1,
+                line: 2,
+                col: 11,
+            },
+            expected: vec!["`;`".into()],
+        };
+        let text = d.render(src);
+        assert!(text.contains("--> t.fv:2:11"), "{text}");
+        assert!(text.contains("best = a[i]"), "{text}");
+        assert!(text.contains("^ expected `;`"), "{text}");
+        assert_eq!(d.summary(), "t.fv:2:11: expected `;`, found end of line");
+    }
+
+    #[test]
+    fn render_tolerates_out_of_range_spans() {
+        let d = Diagnostic::new(
+            "t.fv",
+            "unexpected end of file",
+            Span {
+                offset: 99,
+                len: 0,
+                line: 40,
+                col: 7,
+            },
+        );
+        // Must not panic even when the span does not exist in the text.
+        let text = d.render("short\n");
+        assert!(text.contains("error: unexpected end of file"));
+    }
+}

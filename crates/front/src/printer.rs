@@ -1,0 +1,260 @@
+//! Canonical `.fv` pretty-printing.
+//!
+//! [`to_fv`] renders any [`Program`] as `.fv` text that parses back to
+//! an identical AST (asserted by the round-trip property test at the
+//! workspace root). Canonical choices: declarations in `var` / `array` /
+//! `live_out` order, binary expressions fully parenthesized (matching
+//! the IR's own `Display`), `min`/`max` as call syntax, two-space
+//! indent, and quoting for any name the lexer could not read back as a
+//! plain identifier.
+
+use std::fmt::Write as _;
+
+use flexvec_ir::{BinOp, Expr, Program, Stmt};
+
+use crate::lexer::is_keyword;
+
+/// Renders `name` as a `.fv` name token: bare when it is a valid
+/// identifier the parser will not misread, quoted (with escapes)
+/// otherwise. `min`/`max` are always quoted so a scalar or array with
+/// that name can never collide with the builtin call syntax.
+fn name_token(name: &str) -> String {
+    let mut chars = name.chars();
+    let ident_ok = match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {
+            chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+        }
+        _ => false,
+    };
+    if ident_ok && !is_keyword(name) && name != "min" && name != "max" {
+        return name.to_owned();
+    }
+    let mut out = String::with_capacity(name.len() + 2);
+    out.push('"');
+    for c in name.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{{{:x}}}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn write_expr(out: &mut String, p: &Program, e: &Expr) {
+    match e {
+        Expr::Const(c) => {
+            let _ = write!(out, "{c}");
+        }
+        Expr::Var(v) => out.push_str(&name_token(p.var_name(*v))),
+        Expr::Load { array, index } => {
+            out.push_str(&name_token(p.array_name(*array)));
+            out.push('[');
+            write_expr(out, p, index);
+            out.push(']');
+        }
+        Expr::Bin { op, lhs, rhs } => match op {
+            BinOp::Min | BinOp::Max => {
+                out.push_str(if *op == BinOp::Min { "min(" } else { "max(" });
+                write_expr(out, p, lhs);
+                out.push_str(", ");
+                write_expr(out, p, rhs);
+                out.push(')');
+            }
+            _ => {
+                out.push('(');
+                write_expr(out, p, lhs);
+                let _ = write!(out, " {op} ");
+                write_expr(out, p, rhs);
+                out.push(')');
+            }
+        },
+        Expr::Cmp { op, lhs, rhs } => {
+            out.push('(');
+            write_expr(out, p, lhs);
+            let _ = write!(out, " {op} ");
+            write_expr(out, p, rhs);
+            out.push(')');
+        }
+        Expr::Not(inner) => {
+            out.push('!');
+            write_expr(out, p, inner);
+        }
+    }
+}
+
+fn write_body(out: &mut String, p: &Program, body: &[Stmt], indent: usize) {
+    let pad = "  ".repeat(indent);
+    for stmt in body {
+        match stmt {
+            Stmt::Assign { var, value } => {
+                out.push_str(&pad);
+                out.push_str(&name_token(p.var_name(*var)));
+                out.push_str(" = ");
+                write_expr(out, p, value);
+                out.push_str(";\n");
+            }
+            Stmt::Store {
+                array,
+                index,
+                value,
+            } => {
+                out.push_str(&pad);
+                out.push_str(&name_token(p.array_name(*array)));
+                out.push('[');
+                write_expr(out, p, index);
+                out.push_str("] = ");
+                write_expr(out, p, value);
+                out.push_str(";\n");
+            }
+            Stmt::If { cond, then_, else_ } => {
+                out.push_str(&pad);
+                out.push_str("if (");
+                write_expr(out, p, cond);
+                out.push_str(") {\n");
+                write_body(out, p, then_, indent + 1);
+                if !else_.is_empty() {
+                    out.push_str(&pad);
+                    out.push_str("} else {\n");
+                    write_body(out, p, else_, indent + 1);
+                }
+                out.push_str(&pad);
+                out.push_str("}\n");
+            }
+            Stmt::Break => {
+                out.push_str(&pad);
+                out.push_str("break;\n");
+            }
+        }
+    }
+}
+
+/// Renders `program` as canonical `.fv` text.
+///
+/// Array declarations are printed without initializers (`array a;`) —
+/// input data is front-end metadata that a `Program` does not carry.
+pub fn to_fv(program: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "kernel {};", name_token(&program.name));
+    out.push('\n');
+    for v in &program.vars {
+        let _ = writeln!(out, "var {} = {};", name_token(&v.name), v.init);
+    }
+    for a in &program.arrays {
+        let _ = writeln!(out, "array {};", name_token(&a.name));
+    }
+    if !program.live_out.is_empty() {
+        let names: Vec<String> = program
+            .live_out
+            .iter()
+            .map(|v| name_token(program.var_name(*v)))
+            .collect();
+        let _ = writeln!(out, "live_out {};", names.join(", "));
+    }
+    out.push('\n');
+    let ind = name_token(program.var_name(program.loop_.induction));
+    out.push_str(&format!("for ({ind} = "));
+    write_expr(&mut out, program, &program.loop_.start);
+    out.push_str(&format!("; {ind} < "));
+    write_expr(&mut out, program, &program.loop_.end);
+    out.push_str(&format!("; {ind}++) {{\n"));
+    write_body(&mut out, program, &program.loop_.body, 1);
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_str;
+    use flexvec_ir::build::*;
+    use flexvec_ir::ProgramBuilder;
+
+    fn roundtrip(p: &Program) {
+        let text = to_fv(p);
+        let reparsed = parse_str("<roundtrip>", &text)
+            .unwrap_or_else(|e| panic!("reparse failed: {}\n---\n{text}", e.render(&text)));
+        assert_eq!(&reparsed.program, p, "canonical text:\n{text}");
+    }
+
+    #[test]
+    fn roundtrips_a_rich_program() {
+        let mut b = ProgramBuilder::new("rich");
+        let i = b.var("i", 0);
+        let n = b.var("n", 64);
+        let s = b.var("s", -7);
+        let a = b.array("a");
+        let idx = b.array("idx");
+        b.live_out(s);
+        let p = b
+            .build_loop(
+                i,
+                c(0),
+                var(n),
+                vec![
+                    assign(s, max2(var(s), shl(ld(a, var(i)), c(2)))),
+                    if_else(
+                        bor(eq(rem(var(i), c(3)), c(0)), not(gt(var(s), c(10)))),
+                        vec![store(a, ld(idx, var(i)), sub(var(s), c(-9)))],
+                        vec![brk()],
+                    ),
+                ],
+            )
+            .unwrap();
+        roundtrip(&p);
+    }
+
+    #[test]
+    fn quotes_keyword_and_nonident_names() {
+        let mut b = ProgramBuilder::new("for");
+        let i = b.var("if", 0);
+        let weird = b.var("x y\"z\\", 1);
+        let m = b.var("min", 2);
+        let arr = b.array("break");
+        b.live_out(weird);
+        let p = b
+            .build_loop(
+                i,
+                c(0),
+                c(4),
+                vec![
+                    assign(m, add(var(m), ld(arr, var(i)))),
+                    assign(weird, min2(var(weird), var(m))),
+                ],
+            )
+            .unwrap();
+        let text = to_fv(&p);
+        assert!(text.contains("kernel \"for\";"), "{text}");
+        assert!(text.contains("var \"if\" = 0;"), "{text}");
+        assert!(text.contains("\"x y\\\"z\\\\\""), "{text}");
+        assert!(text.contains("var \"min\" = 2;"), "{text}");
+        assert!(text.contains("array \"break\";"), "{text}");
+        roundtrip(&p);
+    }
+
+    #[test]
+    fn canonical_text_is_stable() {
+        let mut b = ProgramBuilder::new("stable");
+        let i = b.var("i", 0);
+        let x = b.var("x", 0);
+        b.live_out(x);
+        let p = b
+            .build_loop(i, c(0), c(8), vec![assign(x, add(var(x), var(i)))])
+            .unwrap();
+        let text = to_fv(&p);
+        assert_eq!(
+            text,
+            "kernel stable;\n\nvar i = 0;\nvar x = 0;\nlive_out x;\n\nfor (i = 0; i < 8; i++) {\n  x = (x + i);\n}\n"
+        );
+        // Printing is idempotent through a parse.
+        let reparsed = parse_str("<t>", &text).unwrap();
+        assert_eq!(to_fv(&reparsed.program), text);
+    }
+}

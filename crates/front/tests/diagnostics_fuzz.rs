@@ -1,0 +1,168 @@
+//! Robustness: the parser must return a rendered diagnostic — never
+//! panic, hang, or overflow — for any input, exercised here with
+//! thousands of deterministic mutations of valid kernels.
+
+use flexvec_front::parse_str;
+
+const SEEDS: &[&str] = &[
+    "\
+kernel minloc;
+var i = 0;
+var best = 9223372036854775807;
+var best_i = -1;
+array a[64] = seed 1;
+live_out best, best_i;
+for (i = 0; i < 64; i++) {
+  if (a[i] < best) {
+    best = a[i];
+    best_i = i;
+  }
+}
+",
+    "\
+kernel histogram;
+var i = 0;
+array idx[64] = seed 7;
+array bins[64];
+for (i = 0; i < 64; i++) {
+  bins[idx[i] % 64] = bins[idx[i] % 64] + 1;
+}
+",
+    "\
+kernel early;
+var i = 0;
+var s = 0;
+array a = [5, -3, 12, 900];
+live_out s;
+for (i = 0; i < 4; i++) {
+  s = s + max(a[i], 0) << 1;
+  if (s > 1000) {
+    break;
+  }
+}
+",
+];
+
+/// Parse and, on error, render — the whole path must be total.
+fn must_not_panic(name: &str, src: &str) {
+    if let Err(d) = parse_str(name, src) {
+        let rendered = d.render(src);
+        assert!(
+            rendered.contains("error:"),
+            "diagnostic renders: {rendered}"
+        );
+        assert!(d.span.line >= 1 && d.span.col >= 1, "1-based position");
+        let _ = d.summary();
+    }
+}
+
+#[test]
+fn truncations_at_every_byte() {
+    for seed in SEEDS {
+        for cut in 0..seed.len() {
+            if seed.is_char_boundary(cut) {
+                must_not_panic("trunc.fv", &seed[..cut]);
+            }
+        }
+    }
+}
+
+#[test]
+fn single_byte_substitutions() {
+    // Replace each character with a handful of troublemakers.
+    let replacements = [
+        '\0',
+        '(',
+        ')',
+        '{',
+        '"',
+        '\\',
+        '9',
+        ';',
+        '=',
+        '<',
+        '@',
+        '\u{1F600}',
+    ];
+    for seed in SEEDS {
+        let chars: Vec<char> = seed.chars().collect();
+        for pos in 0..chars.len() {
+            for r in replacements {
+                let mut mutated: String = chars[..pos].iter().collect();
+                mutated.push(r);
+                mutated.extend(&chars[pos + 1..]);
+                must_not_panic("subst.fv", &mutated);
+            }
+        }
+    }
+}
+
+#[test]
+fn deletions_and_duplications() {
+    for seed in SEEDS {
+        let chars: Vec<char> = seed.chars().collect();
+        for pos in 0..chars.len() {
+            let mut deleted: String = chars[..pos].iter().collect();
+            deleted.extend(&chars[pos + 1..]);
+            must_not_panic("del.fv", &deleted);
+
+            let mut doubled: String = chars[..=pos].iter().collect();
+            doubled.push(chars[pos]);
+            doubled.extend(&chars[pos + 1..]);
+            must_not_panic("dup.fv", &doubled);
+        }
+    }
+}
+
+#[test]
+fn token_shuffles_from_an_lcg() {
+    // Pseudo-random token-soup lines appended to a valid prefix.
+    let tokens = [
+        "kernel", "var", "array", "live_out", "for", "if", "else", "break", "seed", "min", "max",
+        "(", ")", "[", "]", "{", "}", ";", ",", "=", "==", "!=", "<", "<=", ">", ">=", "+", "++",
+        "-", "*", "/", "%", "&", "|", "^", "!", "<<", ">>", "x", "a", "0", "1", "64", "\"q\"",
+    ];
+    let mut state: u64 = 0x9e3779b97f4a7c15;
+    for round in 0..400 {
+        let mut src = String::from("kernel t;\nvar i = 0;\narray a;\n");
+        let len = 1 + (round % 17);
+        for _ in 0..len {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            src.push_str(tokens[(state >> 33) as usize % tokens.len()]);
+            src.push(' ');
+        }
+        must_not_panic("soup.fv", &src);
+    }
+}
+
+#[test]
+fn pathological_nesting_is_rejected_gracefully() {
+    for (open, close) in [("(", ")"), ("{", "}"), ("[", "]")] {
+        let mut src =
+            String::from("kernel t;\nvar i = 0;\nvar x = 0;\nfor (i = 0; i < 1; i++) {\n  x = ");
+        src.push_str(&open.repeat(20_000));
+        src.push('1');
+        src.push_str(&close.repeat(20_000));
+        src.push_str(";\n}\n");
+        must_not_panic("nest.fv", &src);
+    }
+
+    let mut ifs = String::from("kernel t;\nvar i = 0;\nfor (i = 0; i < 1; i++) {\n");
+    ifs.push_str(&"if (1) {\n".repeat(20_000));
+    must_not_panic("ifs.fv", &ifs);
+
+    let bangs = format!(
+        "kernel t;\nvar i = 0;\nvar x = 0;\nfor (i = 0; i < 1; i++) {{\n  x = {}1;\n}}\n",
+        "!".repeat(20_000)
+    );
+    must_not_panic("bangs.fv", &bangs);
+}
+
+#[test]
+fn seeds_themselves_parse() {
+    for seed in SEEDS {
+        parse_str("seed.fv", seed).expect("seed corpus is valid");
+    }
+}

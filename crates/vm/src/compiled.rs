@@ -197,19 +197,33 @@ enum Instr {
 ///
 /// Compile once with [`CompiledVProg::compile`], then run any number of
 /// chunks; the executor drivers call [`CompiledVProg::run_chunk`] in
-/// place of the tree walker.
+/// place of the tree walker. The compiled program itself is immutable —
+/// all per-run mutable state (patched µops, VPL counters, the span lane
+/// buffer) lives in an [`ExecScratch`], so one compiled program can be
+/// shared (e.g. behind an `Arc` in a compile cache) and executed by many
+/// runs or threads concurrently, each with its own scratch.
 #[derive(Clone, Debug)]
 pub struct CompiledVProg {
     code: Vec<Instr>,
     /// Immutable µop templates, emitted by reference.
     templates: Vec<Uop>,
-    /// Preallocated mutable µops (memory ops patch `addrs`, branches
-    /// patch `taken`, first-faulting reads toggle the destination source
-    /// token).
-    scratch: Vec<Uop>,
-    /// Per-VPL iteration counters.
+    /// Prototypes for the mutable scratch µops (memory ops patch `addrs`,
+    /// branches patch `taken`, first-faulting reads toggle the
+    /// destination source token); cloned into each [`ExecScratch`].
+    scratch_proto: Vec<Uop>,
+    /// Number of per-VPL iteration counters a run needs.
+    num_counters: usize,
+}
+
+/// The per-run mutable state of a compiled program: preallocated µops
+/// patched in place, VPL iteration counters, and the reusable lane
+/// buffer for span loads/stores. Create one with
+/// [`CompiledVProg::scratch`]; reuse it across invocations to keep the
+/// hot path allocation-free.
+#[derive(Clone, Debug)]
+pub struct ExecScratch {
+    uops: Vec<Uop>,
     counters: Vec<u64>,
-    /// Reusable lane buffer for span loads/stores.
     span: [i64; VLEN],
 }
 
@@ -228,9 +242,8 @@ impl CompiledVProg {
         CompiledVProg {
             code: c.code,
             templates: c.templates,
-            scratch: c.scratch,
-            counters: vec![0; c.counters],
-            span: [0; VLEN],
+            scratch_proto: c.scratch,
+            num_counters: c.counters,
         }
     }
 
@@ -244,20 +257,31 @@ impl CompiledVProg {
         self.code.is_empty()
     }
 
+    /// Allocates the per-run mutable state for this program.
+    pub fn scratch(&self) -> ExecScratch {
+        ExecScratch {
+            uops: self.scratch_proto.clone(),
+            counters: vec![0; self.num_counters],
+            span: [0; VLEN],
+        }
+    }
+
     /// Executes one chunk against `exec`'s register state.
     pub(crate) fn run_chunk<M: LaneMemory>(
-        &mut self,
+        &self,
+        st: &mut ExecScratch,
         exec: &mut VecExec,
         mem: &mut M,
         sink: &mut dyn TraceSink,
     ) -> Result<(), ChunkAbort> {
         let CompiledVProg {
-            code,
-            templates,
-            scratch,
+            code, templates, ..
+        } = self;
+        let ExecScratch {
+            uops: scratch,
             counters,
             span,
-        } = self;
+        } = st;
         let mut pc = 0usize;
         while pc < code.len() {
             match &code[pc] {
@@ -999,7 +1023,7 @@ mod tests {
             }
         }
         assert_eq!(enters, repeats);
-        assert_eq!(enters, compiled.counters.len());
+        assert_eq!(enters, compiled.scratch().counters.len());
     }
 
     #[test]

@@ -24,7 +24,7 @@ use flexvec_isa::{
 };
 use flexvec_mem::{AddressSpace, Transaction};
 
-use crate::compiled::CompiledVProg;
+use crate::compiled::{CompiledVProg, ExecScratch};
 use crate::scalar::{Bindings, ExecError, RunResult, ScalarMachine, StepOutcome};
 use crate::trace::{Tok, TraceSink, Uop, UopClass};
 
@@ -558,7 +558,7 @@ pub(crate) fn reduce_identity(op: BinOp) -> i64 {
 /// or the flat bytecode engine.
 enum EngineBody<'a> {
     Tree(&'a VProg),
-    Compiled(&'a mut CompiledVProg),
+    Compiled(&'a CompiledVProg, &'a mut ExecScratch),
 }
 
 impl EngineBody<'_> {
@@ -570,7 +570,7 @@ impl EngineBody<'_> {
     ) -> Result<(), ChunkAbort> {
         match self {
             EngineBody::Tree(vprog) => exec.run_nodes(&vprog.body, mem, sink),
-            EngineBody::Compiled(compiled) => compiled.run_chunk(exec, mem, sink),
+            EngineBody::Compiled(compiled, st) => compiled.run_chunk(st, exec, mem, sink),
         }
     }
 }
@@ -615,15 +615,19 @@ pub fn run_vector_with_engine(
             &mut EngineBody::Tree(vprog),
         ),
         Engine::Compiled => {
-            let mut compiled = CompiledVProg::compile(vprog);
-            run_vector_precompiled(program, vprog, &mut compiled, mem, bindings, sink)
+            let compiled = CompiledVProg::compile(vprog);
+            run_vector_precompiled(program, vprog, &compiled, mem, bindings, sink)
         }
     }
 }
 
 /// Runs a vectorized loop through an already-compiled program, so callers
 /// that execute the same `VProg` many times (the bench driver, the
-/// simulator sweeps) pay the flattening cost once.
+/// simulator sweeps, the front end's compile cache) pay the flattening
+/// cost once. The compiled program is read-only and can be shared across
+/// threads; a fresh [`ExecScratch`] is allocated per call — use
+/// [`run_vector_precompiled_with_scratch`] to reuse one across
+/// invocations.
 ///
 /// # Errors
 ///
@@ -631,7 +635,26 @@ pub fn run_vector_with_engine(
 pub fn run_vector_precompiled(
     program: &Program,
     vprog: &VProg,
-    compiled: &mut CompiledVProg,
+    compiled: &CompiledVProg,
+    mem: &mut AddressSpace,
+    bindings: Bindings,
+    sink: &mut dyn TraceSink,
+) -> Result<(RunResult, VectorStats), ExecError> {
+    let mut scratch = compiled.scratch();
+    run_vector_precompiled_with_scratch(program, vprog, compiled, &mut scratch, mem, bindings, sink)
+}
+
+/// [`run_vector_precompiled`] with a caller-provided scratch, so a hot
+/// loop over invocations allocates nothing per run.
+///
+/// # Errors
+///
+/// As [`run_vector`].
+pub fn run_vector_precompiled_with_scratch(
+    program: &Program,
+    vprog: &VProg,
+    compiled: &CompiledVProg,
+    scratch: &mut ExecScratch,
     mem: &mut AddressSpace,
     bindings: Bindings,
     sink: &mut dyn TraceSink,
@@ -642,7 +665,7 @@ pub fn run_vector_precompiled(
         mem,
         bindings,
         sink,
-        &mut EngineBody::Compiled(compiled),
+        &mut EngineBody::Compiled(compiled, scratch),
     )
 }
 
@@ -732,7 +755,8 @@ pub fn run_all_or_nothing_with_engine(
             &mut EngineBody::Tree(vprog),
         ),
         Engine::Compiled => {
-            let mut compiled = CompiledVProg::compile(vprog);
+            let compiled = CompiledVProg::compile(vprog);
+            let mut scratch = compiled.scratch();
             run_ff(
                 program,
                 vprog,
@@ -740,7 +764,7 @@ pub fn run_all_or_nothing_with_engine(
                 bindings,
                 sink,
                 true,
-                &mut EngineBody::Compiled(&mut compiled),
+                &mut EngineBody::Compiled(&compiled, &mut scratch),
             )
         }
     }

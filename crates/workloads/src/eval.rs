@@ -12,8 +12,8 @@ use flexvec_mem::AddressSpace;
 use flexvec_profiler::ThroughputReport;
 use flexvec_sim::{amdahl_overall, OooSim, SimConfig};
 use flexvec_vm::{
-    run_all_or_nothing_with_engine, run_scalar, run_vector_precompiled, run_vector_with_engine,
-    Bindings, CompiledVProg, Engine, ExecError, TraceSink, VectorStats,
+    run_all_or_nothing_with_engine, run_scalar, run_vector_precompiled_with_scratch,
+    run_vector_with_engine, Bindings, CompiledVProg, Engine, ExecError, TraceSink, VectorStats,
 };
 
 use crate::{Suite, Workload};
@@ -175,7 +175,11 @@ pub fn evaluate_with_engine(
     // every invocation through the flattened program.
     let (mut mem_v, bind_v) = build_memory(w);
     let mut compiled = match engine {
-        Engine::Compiled => Some(CompiledVProg::compile(&vectorized.vprog)),
+        Engine::Compiled => {
+            let c = CompiledVProg::compile(&vectorized.vprog);
+            let scratch = c.scratch();
+            Some((c, scratch))
+        }
         Engine::TreeWalking => None,
     };
     let mut sim_v = OooSim::new(config.clone());
@@ -192,10 +196,11 @@ pub fn evaluate_with_engine(
     let wall_start = Instant::now();
     for _ in 0..w.invocations {
         let (r, s) = match (mode, &mut compiled) {
-            (VectorMode::FlexVec, Some(c)) => run_vector_precompiled(
+            (VectorMode::FlexVec, Some((c, scratch))) => run_vector_precompiled_with_scratch(
                 &w.program,
                 &vectorized.vprog,
                 c,
+                scratch,
                 &mut mem_v,
                 bind_v.clone(),
                 &mut sim_v,

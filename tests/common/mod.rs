@@ -1,0 +1,172 @@
+//! Shared random-loop generator for the integration tests: builds
+//! programs from the supported pattern grammar (conditional updates,
+//! guarded speculative loads, indirect read-modify-writes, early
+//! exits) plus matching input arrays. Used both to check scalar/vector
+//! equivalence and to round-trip programs through the `.fv` front end.
+
+// Each integration-test binary compiles its own copy of this module
+// and uses a different subset of it.
+#![allow(dead_code)]
+
+use flexvec_ir::build::*;
+use flexvec_ir::{Expr, Program, ProgramBuilder, Stmt, VarId};
+use proptest::prelude::*;
+
+pub const ARRAY_LEN: usize = 64;
+pub const IDX_MASK: i64 = 63;
+
+/// A generated test case: program + input arrays.
+#[derive(Debug, Clone)]
+pub struct Case {
+    pub program: Program,
+    pub arrays: Vec<Vec<i64>>,
+}
+
+/// Random leaf expression over the given variables, always in-bounds for
+/// array indexing contexts (callers mask).
+fn leaf(vars: &[VarId], pick: u8, konst: i64) -> Expr {
+    if vars.is_empty() || pick.is_multiple_of(3) {
+        c(konst % 100)
+    } else {
+        var(vars[(pick as usize / 3) % vars.len()])
+    }
+}
+
+/// Builds a random arithmetic expression of bounded depth.
+fn arith(vars: &[VarId], seed: &[u8], konst: i64) -> Expr {
+    match seed.first().copied().unwrap_or(0) % 5 {
+        0 => leaf(vars, seed.get(1).copied().unwrap_or(0), konst),
+        1 => add(
+            leaf(vars, seed.get(1).copied().unwrap_or(0), konst),
+            leaf(vars, seed.get(2).copied().unwrap_or(1), konst + 1),
+        ),
+        2 => sub(
+            leaf(vars, seed.get(1).copied().unwrap_or(0), konst),
+            leaf(vars, seed.get(2).copied().unwrap_or(1), konst + 3),
+        ),
+        3 => mul(
+            leaf(vars, seed.get(1).copied().unwrap_or(0), konst),
+            c(konst % 7 + 1),
+        ),
+        _ => max2(
+            leaf(vars, seed.get(1).copied().unwrap_or(0), konst),
+            leaf(vars, seed.get(2).copied().unwrap_or(1), konst - 5),
+        ),
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct CaseSpec {
+    pub n: i64,
+    pub with_update: bool,
+    pub with_guarded_load: bool,
+    pub with_conflict: bool,
+    pub with_break: bool,
+    pub expr_seed: Vec<u8>,
+    pub data_seed: u64,
+    pub update_threshold: i64,
+    pub break_threshold: i64,
+}
+
+pub fn case_spec() -> impl Strategy<Value = CaseSpec> {
+    (
+        17i64..120,
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        prop::collection::vec(any::<u8>(), 8),
+        any::<u64>(),
+        0i64..2000,
+        0i64..2000,
+    )
+        .prop_map(
+            |(n, upd, gl, cf, br, expr_seed, data_seed, ut, bt)| CaseSpec {
+                n,
+                with_update: upd,
+                with_guarded_load: gl && !cf, // FF + VPL stores is rejected by design
+                with_conflict: cf,
+                with_break: br,
+                expr_seed,
+                data_seed,
+                update_threshold: ut,
+                break_threshold: bt,
+            },
+        )
+}
+
+pub fn build_case(spec: &CaseSpec) -> Option<Case> {
+    let mut b = ProgramBuilder::new("random");
+    let i = b.var("i", 0);
+    let n = b.var("n", spec.n);
+    let t = b.var("t", 0);
+    let data = b.array("data");
+    let aux = b.array("aux");
+    let mut body: Vec<Stmt> = Vec::new();
+
+    // Unconditional feed: t = f(data[i], i).
+    body.push(assign(
+        t,
+        add(
+            ld(data, band(var(i), c(IDX_MASK))),
+            arith(&[i], &spec.expr_seed, spec.update_threshold),
+        ),
+    ));
+
+    // Optional early exit, before any update/conflict region.
+    if spec.with_break {
+        body.push(if_(
+            gt(var(t), c(100_000 + spec.break_threshold * 50)),
+            vec![brk()],
+        ));
+    }
+
+    let mut live_outs = vec![t];
+    if spec.with_update {
+        let best_v = b.var("best", 1 << 20);
+        live_outs.push(best_v);
+        if spec.with_guarded_load {
+            // h264 shape: the guarded lookup is speculative.
+            let u = b.var("u", 0);
+            body.push(if_(
+                lt(var(t), var(best_v)),
+                vec![
+                    assign(u, add(var(t), ld(aux, band(var(t), c(IDX_MASK))))),
+                    if_(lt(var(u), var(best_v)), vec![assign(best_v, var(u))]),
+                ],
+            ));
+        } else {
+            body.push(if_(lt(var(t), var(best_v)), vec![assign(best_v, var(t))]));
+        }
+    }
+
+    if spec.with_conflict {
+        // Indirect accumulate: aux[data-masked index] += t.
+        let k = b.var("k", 0);
+        body.push(assign(
+            k,
+            band(ld(data, band(var(i), c(IDX_MASK))), c(IDX_MASK)),
+        ));
+        body.push(store(aux, var(k), add(ld(aux, var(k)), var(t))));
+    }
+
+    for v in live_outs {
+        b.live_out(v);
+    }
+    let program = b.build_loop(i, c(0), var(n), body).ok()?;
+
+    // Input data.
+    let mut state = spec.data_seed | 1;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as i64) % 1000
+    };
+    let data_arr: Vec<i64> = (0..ARRAY_LEN).map(|_| next().abs()).collect();
+    let aux_arr: Vec<i64> = (0..ARRAY_LEN).map(|_| next().abs() % 500).collect();
+    Some(Case {
+        program,
+        arrays: vec![data_arr, aux_arr],
+    })
+}

@@ -1,0 +1,102 @@
+//! The compile cache contract: submitting the same corpus twice in one
+//! process must report a 100% hit rate on the second pass and must not
+//! re-run analyze/vectorize/bytecode-compile (the cumulative pipeline
+//! compile counter stays flat).
+
+use std::path::{Path, PathBuf};
+
+use flexvec::SpecRequest;
+use flexvec_bench::fv::{check_fv_file, evaluate_fv_file};
+use flexvec_front::CompileCache;
+use flexvec_vm::Engine;
+
+fn corpus_files() -> Vec<PathBuf> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("tests/corpus exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "fv"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn second_submission_is_pure_cache_hits() {
+    let files = corpus_files();
+    let cache = CompileCache::new();
+
+    // First wave: everything is new.
+    for file in &files {
+        let report = check_fv_file(file, &cache, SpecRequest::Auto);
+        assert!(!report.cache_hit, "{}: first pass must miss", report.source);
+    }
+    let first = cache.stats();
+    assert_eq!(first.hits, 0);
+    assert_eq!(first.misses, files.len() as u64);
+    let compiles_after_first = cache.compiles();
+    assert_eq!(compiles_after_first, files.len() as u64);
+
+    // Second wave of the same corpus: 100% hit rate, zero new compiles.
+    cache.reset_counters();
+    for file in &files {
+        let report = check_fv_file(file, &cache, SpecRequest::Auto);
+        assert!(report.cache_hit, "{}: second pass must hit", report.source);
+    }
+    let second = cache.stats();
+    assert_eq!(second.misses, 0, "second pass must not miss");
+    assert_eq!(second.hits, files.len() as u64);
+    let lookups = second.hits + second.misses;
+    assert_eq!(second.hits as f64 / lookups as f64, 1.0, "100% hit rate");
+    assert_eq!(
+        cache.compiles(),
+        compiles_after_first,
+        "re-submission must skip analyze/vectorize/compile"
+    );
+}
+
+#[test]
+fn execution_shares_the_same_cache_entries() {
+    let files = corpus_files();
+    let cache = CompileCache::new();
+
+    // `check` warms the cache; a subsequent `run` of the same corpus
+    // reuses every compiled plan instead of re-vectorizing.
+    for file in &files {
+        check_fv_file(file, &cache, SpecRequest::Auto);
+    }
+    let compiles = cache.compiles();
+    for file in &files {
+        let report = evaluate_fv_file(file, &cache, SpecRequest::Auto, Engine::Compiled, 1);
+        assert!(
+            report.cache_hit,
+            "{}: run after check must hit",
+            report.source
+        );
+        assert!(
+            !report.is_failure(),
+            "{}: {:?}",
+            report.source,
+            report.error
+        );
+    }
+    assert_eq!(cache.compiles(), compiles, "run must not recompile");
+}
+
+#[test]
+fn distinct_specs_are_distinct_cache_keys() {
+    let files = corpus_files();
+    let cache = CompileCache::new();
+    let file = &files[0];
+
+    check_fv_file(file, &cache, SpecRequest::Auto);
+    let report = check_fv_file(file, &cache, SpecRequest::Rtm { tile: 256 });
+    assert!(
+        !report.cache_hit,
+        "RTM spec must not reuse the first-faulting plan"
+    );
+    let report = check_fv_file(file, &cache, SpecRequest::Rtm { tile: 256 });
+    assert!(report.cache_hit, "same RTM spec must hit");
+    let report = check_fv_file(file, &cache, SpecRequest::Rtm { tile: 128 });
+    assert!(!report.cache_hit, "different RTM tile is a different key");
+}

@@ -1,0 +1,37 @@
+//! Round-trip property: pretty-printing any generator-produced
+//! `Program` to canonical `.fv` text and reparsing it must reproduce a
+//! structurally identical AST. This pins the printer and parser to each
+//! other across the generator's full shape space (conditional updates,
+//! guarded speculative loads, indirect read-modify-writes, early exits,
+//! and every expression form the `arith` combinator emits).
+
+mod common;
+
+use common::{build_case, case_spec};
+use flexvec_front::{parse_str, to_fv};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn printed_programs_reparse_identically(spec in case_spec()) {
+        if let Some(case) = build_case(&spec) {
+            let text = to_fv(&case.program);
+            let parsed = parse_str("<roundtrip>", &text).map_err(|diag| {
+                TestCaseError::Fail(format!(
+                    "canonical text failed to reparse: {}\n--- text ---\n{text}",
+                    diag.summary()
+                ))
+            })?;
+            prop_assert_eq!(
+                &parsed.program,
+                &case.program,
+                "reparsed AST differs\n--- text ---\n{}",
+                text
+            );
+            // Printing is a fixpoint: print(parse(print(p))) == print(p).
+            prop_assert_eq!(to_fv(&parsed.program), text);
+        }
+    }
+}
