@@ -5,25 +5,29 @@
 //! flexvecc vectorize <files|dirs...>   verdicts plus the generated instruction mix
 //! flexvecc run       <files|dirs...>   execute scalar vs FlexVec, report speedups
 //! flexvecc bench     <files|dirs...>   submit the corpus repeatedly, report cache hit rates
+//! flexvecc fuzz [mutants]              differential fuzzing / mutation testing
 //! ```
 //!
 //! Common flags: `--engine tree|compiled`, `--spec ff|rtm[:TILE]`,
 //! `--json`; `run`/`bench` also take `--invocations N` and `bench` takes
-//! `--waves N`. Exit status: 0 on success, 1 if any kernel failed to
-//! parse or execute, 2 on usage errors.
+//! `--waves N`. `fuzz` takes `--seed N`, `--iters N`, `--budget-ms N`
+//! and `--repro-dir PATH` (where divergence/mutant repros are written).
+//! Exit status: 0 on success, 1 if any kernel failed to parse or
+//! execute (or the fuzzer found a divergence / an escaped mutant), 2 on
+//! usage errors.
 
 use flexvec_bench::flags::{CommonFlags, ExtraFlag};
 use flexvec_bench::fv::{
-    check_fv_file, collect_fv_files, evaluate_fv_all, fv_reports_json, render_cache_line,
-    render_fv_reports, FvReport,
+    check_fv_file, collect_fv_files, evaluate_fv_all, fv_reports_json, json_escape,
+    render_cache_line, render_fv_reports, FvReport,
 };
 use flexvec_front::CompileCache;
 
-const ABOUT: &str = "flexvecc: check, vectorize, run and bench directories of .fv loop kernels";
+const ABOUT: &str = "flexvecc: check, vectorize, run, bench and fuzz .fv loop kernels";
 
 fn main() {
     let flags = CommonFlags::parse(
-        "flexvecc <check|vectorize|run|bench> <files|dirs...>",
+        "flexvecc <check|vectorize|run|bench|fuzz> <files|dirs...>",
         ABOUT,
         &[
             ExtraFlag {
@@ -34,14 +38,33 @@ fn main() {
                 name: "waves",
                 help: "corpus submission waves for bench (default 2)",
             },
+            ExtraFlag {
+                name: "seed",
+                help: "fuzz campaign seed (default 0)",
+            },
+            ExtraFlag {
+                name: "iters",
+                help: "fuzz case budget (default 500)",
+            },
+            ExtraFlag {
+                name: "budget-ms",
+                help: "fuzz wall-clock budget in ms (default unlimited)",
+            },
+            ExtraFlag {
+                name: "repro-dir",
+                help: "where fuzz writes minimized repros (default tests/repros)",
+            },
         ],
     );
     let Some((cmd, paths)) = flags.positional.split_first() else {
         eprintln!(
-            "{ABOUT}\nusage: flexvecc <check|vectorize|run|bench> <files|dirs...> (see --help)"
+            "{ABOUT}\nusage: flexvecc <check|vectorize|run|bench|fuzz> <files|dirs...> (see --help)"
         );
         std::process::exit(2);
     };
+    if cmd == "fuzz" {
+        std::process::exit(if fuzz_cmd(&flags, paths) { 1 } else { 0 });
+    }
     if paths.is_empty() {
         eprintln!("flexvecc {cmd}: no input files (see --help)");
         std::process::exit(2);
@@ -116,7 +139,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "flexvecc: unknown command `{other}` (expected check, vectorize, run or bench)"
+                "flexvecc: unknown command `{other}` (expected check, vectorize, run, bench or fuzz)"
             );
             std::process::exit(2);
         }
@@ -124,6 +147,142 @@ fn main() {
     if failed {
         std::process::exit(1);
     }
+}
+
+/// `flexvecc fuzz [mutants]` — differential fuzzing (default) or
+/// mutation testing (`mutants`). Returns whether the run failed.
+fn fuzz_cmd(flags: &CommonFlags, modes: &[String]) -> bool {
+    let seed = flags.u64_flag("seed", 0);
+    let iters = flags.u64_flag("iters", 500);
+    let budget_ms = flags.u64_flag("budget-ms", 0);
+    let repro_dir = std::path::PathBuf::from(flags.str_flag("repro-dir", "tests/repros"));
+    match modes.first().map(String::as_str) {
+        Some("mutants") => fuzz_mutants(flags, seed, iters, &repro_dir),
+        None => fuzz_campaign(flags, seed, iters, budget_ms, &repro_dir),
+        Some(other) => {
+            eprintln!("flexvecc fuzz: unknown mode `{other}` (expected nothing or `mutants`)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn write_repro(dir: &std::path::Path, name: &str, text: &str) -> std::path::PathBuf {
+    let path = dir.join(name);
+    if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, text)) {
+        eprintln!("flexvecc fuzz: cannot write {}: {e}", path.display());
+        std::process::exit(2);
+    }
+    path
+}
+
+fn fuzz_campaign(
+    flags: &CommonFlags,
+    seed: u64,
+    iters: u64,
+    budget_ms: u64,
+    repro_dir: &std::path::Path,
+) -> bool {
+    let started = std::time::Instant::now();
+    let outcome = flexvec_fuzz::run_fuzz(&flexvec_fuzz::FuzzConfig {
+        seed,
+        iters,
+        budget_ms,
+        ..flexvec_fuzz::FuzzConfig::default()
+    });
+    let elapsed = started.elapsed();
+    if flags.json {
+        let divergence = match &outcome.divergence {
+            None => "null".to_owned(),
+            Some(d) => format!(
+                "{{\"case\": {}, \"config\": \"{}\", \"detail\": \"{}\", \"repro\": \"{}\"}}",
+                d.case_index,
+                json_escape(&d.config),
+                json_escape(&d.detail),
+                json_escape(&d.repro)
+            ),
+        };
+        println!(
+            "{{\n  \"seed\": {seed},\n  \"cases\": {},\n  \"vector_runs\": {},\n  \"rejected_specs\": {},\n  \"elapsed_ms\": {},\n  \"divergence\": {divergence}\n}}",
+            outcome.cases,
+            outcome.vector_runs,
+            outcome.rejected_specs,
+            elapsed.as_millis()
+        );
+    }
+    match &outcome.divergence {
+        None => {
+            if !flags.json {
+                println!(
+                    "fuzz: seed {seed}: {} cases, {} vector runs, {} rejected spec combos in {elapsed:.2?} — no divergence",
+                    outcome.cases, outcome.vector_runs, outcome.rejected_specs
+                );
+            }
+            false
+        }
+        Some(d) => {
+            let path = write_repro(
+                repro_dir,
+                &format!("fuzz_seed{seed}_case{}.fv", d.case_index),
+                &d.repro,
+            );
+            eprintln!(
+                "fuzz: seed {seed}, case {}: DIVERGENCE under {} — {}\nminimized repro written to {}",
+                d.case_index,
+                d.config,
+                d.detail,
+                path.display()
+            );
+            true
+        }
+    }
+}
+
+fn fuzz_mutants(flags: &CommonFlags, seed: u64, iters: u64, repro_dir: &std::path::Path) -> bool {
+    let reports = flexvec_fuzz::run_mutants(seed, iters.max(1), 400);
+    let mut failed = false;
+    let mut json_items = Vec::new();
+    for report in &reports {
+        let name = report.mutant.name();
+        match &report.repro {
+            Some(repro) => {
+                let lines = repro.lines().count();
+                let path = write_repro(repro_dir, &format!("mutant_{name}.fv"), repro);
+                if !flags.json {
+                    println!(
+                        "mutant {name}: caught under {} after {} case(s); {lines}-line repro -> {}",
+                        report.config,
+                        report.cases_tried,
+                        path.display()
+                    );
+                }
+                if lines > 20 {
+                    eprintln!("mutant {name}: repro is {lines} lines (limit 20)");
+                    failed = true;
+                }
+            }
+            None => {
+                eprintln!(
+                    "mutant {name}: NOT caught in {} case(s)",
+                    report.cases_tried
+                );
+                failed = true;
+            }
+        }
+        json_items.push(format!(
+            "{{\"mutant\": \"{name}\", \"caught\": {}, \"cases\": {}, \"config\": \"{}\", \"detail\": \"{}\"}}",
+            report.caught,
+            report.cases_tried,
+            json_escape(&report.config),
+            json_escape(&report.detail)
+        ));
+    }
+    if flags.json {
+        println!(
+            "{{\"seed\": {seed}, \"mutants\": [{}]}}",
+            json_items.join(", ")
+        );
+    }
+    failed
 }
 
 fn emit_run(reports: &[FvReport], cache: &CompileCache, json: bool) {

@@ -181,6 +181,30 @@ impl CommonFlags {
             .and_then(|(_, v)| v.parse().ok())
             .unwrap_or(default)
     }
+
+    /// The raw string value of a registered extra flag, or `default`
+    /// when absent.
+    pub fn str_flag(&self, name: &str, default: &str) -> String {
+        self.extras
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map_or_else(|| default.to_owned(), |(_, v)| v.clone())
+    }
+}
+
+/// Serializes an `f64` as a JSON number, mapping non-finite values
+/// (NaN/±inf from degenerate timings, e.g. a scalar wall time of zero)
+/// to `null` — bare `NaN` or `inf` tokens are not valid JSON.
+///
+/// Every bench binary that emits `--json` reports must route floating
+/// point fields through this.
+pub fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.6}")
+    } else {
+        "null".to_owned()
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +252,22 @@ mod tests {
         assert_eq!(f.positional, vec!["run", "a.fv", "b.fv"]);
         assert_eq!(f.u64_flag("repeat", 1), 5);
         assert_eq!(f.u64_flag("missing", 7), 7);
+    }
+
+    #[test]
+    fn str_flag_returns_raw_value_or_default() {
+        let f = parse(&["--repeat", "out/dir"]).unwrap();
+        assert_eq!(f.str_flag("repeat", "x"), "out/dir");
+        assert_eq!(f.str_flag("missing", "x"), "x");
+    }
+
+    #[test]
+    fn json_f64_maps_degenerate_values_to_null() {
+        assert_eq!(json_f64(1.5), "1.500000");
+        assert_eq!(json_f64(0.0), "0.000000");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(f64::NEG_INFINITY), "null");
     }
 
     #[test]

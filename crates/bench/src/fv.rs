@@ -390,7 +390,9 @@ pub fn render_fv_reports(reports: &[FvReport]) -> String {
     out
 }
 
-fn json_escape(s: &str) -> String {
+/// Escapes a string for embedding in a JSON string literal (shared by
+/// the report emitters and the `flexvecc fuzz` JSON output).
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -422,11 +424,11 @@ pub fn fv_reports_json(reports: &[FvReport], cache: &CompileCache) -> String {
         if let Some(run) = &r.run {
             out.push_str(&format!(
                 ", \"kind\": \"{}\", \"scalar_cycles\": {}, \"vector_cycles\": {}, \
-                 \"region_speedup\": {:.6}, \"chunks\": {}, \"vpl_iterations\": {}",
+                 \"region_speedup\": {}, \"chunks\": {}, \"vpl_iterations\": {}",
                 run.kind,
                 run.scalar_cycles,
                 run.vector_cycles,
-                run.region_speedup,
+                crate::flags::json_f64(run.region_speedup),
                 run.stats.chunks,
                 run.stats.vpl_iterations
             ));
@@ -443,11 +445,11 @@ pub fn fv_reports_json(reports: &[FvReport], cache: &CompileCache) -> String {
     let stats = cache.stats();
     out.push_str(&format!(
         "  ],\n  \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \
-         \"hit_rate\": {:.6}, \"compiles\": {}}}\n}}\n",
+         \"hit_rate\": {}, \"compiles\": {}}}\n}}\n",
         stats.hits,
         stats.misses,
         stats.entries,
-        stats.hit_rate(),
+        crate::flags::json_f64(stats.hit_rate()),
         cache.compiles()
     ));
     out

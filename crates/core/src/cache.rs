@@ -4,16 +4,25 @@
 //! parse → analyze → vectorize → bytecode-compile results keyed by a
 //! stable AST hash (see [`crate::program_hash`]). This module provides
 //! the generic storage layer: a fixed number of independently locked
-//! shards, values shared out behind `Arc`, and lock-free hit/miss
-//! counters so drivers can report cache effectiveness.
+//! shards, values shared out behind `Arc`, and exact hit/miss counters
+//! so drivers can report cache effectiveness.
 //!
 //! The compute closure in [`ShardedCache::get_or_try_insert`] runs while
 //! the key's shard is locked: a batch that submits the same kernel from
 //! many threads compiles it exactly once, and everyone else blocks only
 //! on that shard (keys hashing to the other shards proceed in parallel).
+//!
+//! Counters live *inside* each shard, guarded by the same mutex as the
+//! map. An earlier revision kept struct-level atomics bumped with
+//! relaxed ordering next to the locked lookup; a concurrent
+//! [`ShardedCache::stats`] could then observe a map update whose counter
+//! increment had not landed yet (or the reverse), so parallel drivers
+//! reported hit rates that did not add up to the number of lookups.
+//! With the counters under the lock, `hits + misses` equals the exact
+//! number of counted lookups at every quiescent point, and each shard's
+//! snapshot is internally consistent even mid-run.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Shard count — a power of two so the selector is a mask. 16 shards
@@ -44,12 +53,29 @@ impl CacheStats {
     }
 }
 
+/// One lock domain: the entry map plus the counters for lookups that
+/// landed on it. Guarded together so a snapshot can never tear.
+#[derive(Debug)]
+struct Shard<V> {
+    map: HashMap<u64, Arc<V>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<V> Default for Shard<V> {
+    fn default() -> Self {
+        Shard {
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
 /// A concurrent `u64 → Arc<V>` map sharded across [`SHARDS`] mutexes.
 #[derive(Debug)]
 pub struct ShardedCache<V> {
-    shards: Vec<Mutex<HashMap<u64, Arc<V>>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    shards: Vec<Mutex<Shard<V>>>,
 }
 
 impl<V> Default for ShardedCache<V> {
@@ -62,13 +88,11 @@ impl<V> ShardedCache<V> {
     /// Creates an empty cache.
     pub fn new() -> Self {
         ShardedCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
         }
     }
 
-    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, Arc<V>>> {
+    fn shard(&self, key: u64) -> &Mutex<Shard<V>> {
         // The low bits of an FNV hash are well mixed.
         &self.shards[(key as usize) & (SHARDS - 1)]
     }
@@ -78,6 +102,7 @@ impl<V> ShardedCache<V> {
         self.shard(key)
             .lock()
             .expect("cache shard")
+            .map
             .get(&key)
             .cloned()
     }
@@ -97,13 +122,13 @@ impl<V> ShardedCache<V> {
         compute: impl FnOnce() -> Result<V, E>,
     ) -> Result<(Arc<V>, bool), E> {
         let mut shard = self.shard(key).lock().expect("cache shard");
-        if let Some(v) = shard.get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((Arc::clone(v), true));
+        if let Some(v) = shard.map.get(&key).map(Arc::clone) {
+            shard.hits += 1;
+            return Ok((v, true));
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        shard.misses += 1;
         let value = Arc::new(compute()?);
-        shard.insert(key, Arc::clone(&value));
+        shard.map.insert(key, Arc::clone(&value));
         Ok((value, false))
     }
 
@@ -117,7 +142,7 @@ impl<V> ShardedCache<V> {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard").len())
+            .map(|s| s.lock().expect("cache shard").map.len())
             .sum()
     }
 
@@ -129,30 +154,37 @@ impl<V> ShardedCache<V> {
     /// Drops every entry (counters are preserved).
     pub fn clear(&self) {
         for s in &self.shards {
-            s.lock().expect("cache shard").clear();
+            s.lock().expect("cache shard").map.clear();
         }
     }
 
     /// Resets the hit/miss counters (entries are preserved), so drivers
     /// can measure one submission wave in isolation.
     pub fn reset_counters(&self) {
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
+        for s in &self.shards {
+            let mut shard = s.lock().expect("cache shard");
+            shard.hits = 0;
+            shard.misses = 0;
+        }
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot, summed shard by shard under each shard's lock.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            entries: self.len() as u64,
+        let mut stats = CacheStats::default();
+        for s in &self.shards {
+            let shard = s.lock().expect("cache shard");
+            stats.hits += shard.hits;
+            stats.misses += shard.misses;
+            stats.entries += shard.map.len() as u64;
         }
+        stats
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn computes_once_then_hits() {
@@ -180,7 +212,6 @@ mod tests {
 
     #[test]
     fn concurrent_submitters_share_one_compute() {
-        use std::sync::atomic::AtomicUsize;
         let cache: ShardedCache<u64> = ShardedCache::new();
         let computes = AtomicUsize::new(0);
         std::thread::scope(|scope| {
@@ -203,5 +234,44 @@ mod tests {
         cache.reset_counters();
         assert_eq!(cache.stats().hits, 0);
         assert_eq!(cache.stats().entries, 64);
+    }
+
+    #[test]
+    fn counters_are_exact_under_contention() {
+        // Hammer a handful of keys (so every shard sees both hits and
+        // misses) while other threads poll `stats()` mid-run; every
+        // snapshot must satisfy hits + misses ≤ total lookups issued,
+        // and the final tallies must be exact.
+        const THREADS: u64 = 8;
+        const LOOKUPS: u64 = 4000;
+        const KEYS: u64 = 32;
+        let cache: ShardedCache<u64> = ShardedCache::new();
+        let cache = &cache;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                scope.spawn(move || {
+                    for n in 0..LOOKUPS {
+                        let key = (n * 7 + t) % KEYS;
+                        cache.get_or_insert_with(key, || key);
+                    }
+                });
+            }
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    for _ in 0..200 {
+                        let s = cache.stats();
+                        assert!(
+                            s.hits + s.misses <= THREADS * LOOKUPS,
+                            "snapshot overcounts: {s:?}"
+                        );
+                        std::thread::yield_now();
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, THREADS * LOOKUPS);
+        assert_eq!(stats.misses, KEYS, "one miss per distinct key");
+        assert_eq!(stats.entries, KEYS);
     }
 }

@@ -205,6 +205,75 @@ impl<'a> Lexer<'a> {
     }
 }
 
+/// Lexes the `{XXXX}` tail of a `\u{...}` escape whose `\u` has already
+/// been consumed. `start` is the byte offset of the backslash and
+/// `line`/`col` its position, so every diagnostic carets the escape
+/// itself and spans exactly the text consumed so far.
+fn lex_unicode_escape(
+    lx: &mut Lexer<'_>,
+    src: &str,
+    start: usize,
+    line: u32,
+    col: u32,
+) -> Result<char, Diagnostic> {
+    if lx.chars.peek().map(|&(_, c)| c) != Some('{') {
+        return Err(lx.error(
+            "expected `{` after `\\u`".to_owned(),
+            lx.span_at(start, 2, line, col),
+        ));
+    }
+    lx.bump(); // `{`
+    let mut hex = String::new();
+    let close = loop {
+        match lx.bump() {
+            Some((j, '}')) => break j,
+            Some((_, h)) if h.is_ascii_hexdigit() => hex.push(h),
+            Some((j, other)) => {
+                return Err(lx.error(
+                    format!("invalid character `{other}` in `\\u{{...}}` escape (expected a hex digit or `}}`)"),
+                    lx.span_at(start, j + other.len_utf8() - start, line, col),
+                ))
+            }
+            None => {
+                return Err(lx.error(
+                    "unterminated `\\u{...}` escape".to_owned(),
+                    lx.span_at(start, src.len() - start, line, col),
+                ))
+            }
+        }
+    };
+    let span = lx.span_at(start, close + 1 - start, line, col);
+    if hex.is_empty() {
+        return Err(lx.error(
+            "empty `\\u{}` escape (expected 1 to 6 hex digits)".to_owned(),
+            span,
+        ));
+    }
+    if hex.len() > 6 {
+        return Err(lx.error(
+            format!(
+                "overlong `\\u{{{hex}}}` escape ({} hex digits; the maximum is 6)",
+                hex.len()
+            ),
+            span,
+        ));
+    }
+    // 1-6 hex digits always fit in u32; map a (impossible) parse failure
+    // to an out-of-range value so the lexer stays total.
+    let code = u32::from_str_radix(&hex, 16).unwrap_or(u32::MAX);
+    match char::from_u32(code) {
+        Some(c) => Ok(c),
+        None if (0xD800..=0xDFFF).contains(&code) => Err(lx.error(
+            format!("`\\u{{{hex}}}` is a surrogate code point, not a unicode scalar value"),
+            span,
+        )),
+        None => Err(lx.error(
+            format!("`\\u{{{hex}}}` is past the largest code point `\\u{{10ffff}}`"),
+            span,
+        )),
+    }
+}
+
 /// Tokenizes `src`, returning the token stream (always terminated by an
 /// [`TokKind::Eof`] token).
 ///
@@ -300,10 +369,14 @@ pub fn lex(source_name: &str, src: &str) -> Result<Vec<Token>, Diagnostic> {
                     match c {
                         '"' => break,
                         '\\' => {
+                            // Bad-escape carets point at the backslash
+                            // itself, not the string's opening quote;
+                            // `bump` already advanced past it.
+                            let (esc_line, esc_col) = (lx.line, lx.col - 1);
                             let Some((_, esc)) = lx.bump() else {
                                 return Err(lx.error(
                                     "unterminated escape".to_owned(),
-                                    lx.span_at(i, 1, line, col),
+                                    lx.span_at(i, 1, esc_line, esc_col),
                                 ));
                             };
                             match esc {
@@ -313,41 +386,14 @@ pub fn lex(source_name: &str, src: &str) -> Result<Vec<Token>, Diagnostic> {
                                 't' => text.push('\t'),
                                 'r' => text.push('\r'),
                                 'u' => {
-                                    // \u{XXXX}
-                                    if lx.bump().map(|(_, c)| c) != Some('{') {
-                                        return Err(lx.error(
-                                            "expected `{` after `\\u`".to_owned(),
-                                            lx.span_at(i, 2, line, col),
-                                        ));
-                                    }
-                                    let mut hex = String::new();
-                                    loop {
-                                        match lx.bump() {
-                                            Some((_, '}')) => break,
-                                            Some((_, h)) if h.is_ascii_hexdigit() => hex.push(h),
-                                            _ => {
-                                                return Err(lx.error(
-                                                    "malformed `\\u{...}` escape".to_owned(),
-                                                    lx.span_at(i, 2, line, col),
-                                                ))
-                                            }
-                                        }
-                                    }
-                                    let code = u32::from_str_radix(&hex, 16).ok();
-                                    match code.and_then(char::from_u32) {
-                                        Some(c) => text.push(c),
-                                        None => {
-                                            return Err(lx.error(
-                                                "invalid unicode escape".to_owned(),
-                                                lx.span_at(i, 2, line, col),
-                                            ))
-                                        }
-                                    }
+                                    text.push(lex_unicode_escape(
+                                        &mut lx, src, i, esc_line, esc_col,
+                                    )?);
                                 }
                                 other => {
                                     return Err(lx.error(
                                         format!("unknown escape `\\{other}`"),
-                                        lx.span_at(i, 2, line, col),
+                                        lx.span_at(i, 2, esc_line, esc_col),
                                     ))
                                 }
                             }

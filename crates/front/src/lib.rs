@@ -61,7 +61,7 @@ pub use cache::{verdict_summary, CompileCache, CompiledKernel, CompiledPlan};
 pub use diag::{Diagnostic, Span};
 pub use lexer::{is_keyword, lex, TokKind, Token};
 pub use parser::{parse_str, seeded_array, ArrayInit, ArrayInput, ParsedKernel, DEFAULT_ARRAY_LEN};
-pub use printer::to_fv;
+pub use printer::{to_fv, to_fv_kernel};
 
 /// Reads and parses a `.fv` file from disk. The path (lossily rendered)
 /// becomes the diagnostic source name.

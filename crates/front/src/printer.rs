@@ -13,6 +13,7 @@ use std::fmt::Write as _;
 use flexvec_ir::{BinOp, Expr, Program, Stmt};
 
 use crate::lexer::is_keyword;
+use crate::parser::{ArrayInit, ArrayInput};
 
 /// Renders `name` as a `.fv` name token: bare when it is a valid
 /// identifier the parser will not misread, quoted (with escapes)
@@ -140,7 +141,47 @@ fn write_body(out: &mut String, p: &Program, body: &[Stmt], indent: usize) {
 ///
 /// Array declarations are printed without initializers (`array a;`) —
 /// input data is front-end metadata that a `Program` does not carry.
+/// Use [`to_fv_kernel`] when the input recipes must survive the
+/// round-trip too.
 pub fn to_fv(program: &Program) -> String {
+    to_fv_with(program, &[])
+}
+
+/// Renders a full kernel — `program` plus its array input recipes — as
+/// canonical `.fv` text. Unlike [`to_fv`], the printed text reparses to
+/// an identical [`crate::ParsedKernel`]: every [`ArrayInit`] form
+/// (default, sized, seeded, explicit values) is printed back in its
+/// declaration syntax, so print → reparse → materialize reproduces the
+/// same input data. This is what the differential fuzzer's repro emitter
+/// uses: a repro `.fv` must re-run on the exact arrays that exposed the
+/// divergence.
+///
+/// `inputs` are matched to `program.arrays` by name; arrays without a
+/// matching recipe fall back to the bare `array a;` form.
+pub fn to_fv_kernel(program: &Program, inputs: &[ArrayInput]) -> String {
+    to_fv_with(program, inputs)
+}
+
+fn write_array_decl(out: &mut String, name: &str, init: Option<&ArrayInit>) {
+    let name = name_token(name);
+    match init {
+        None | Some(ArrayInit::Default) => {
+            let _ = writeln!(out, "array {name};");
+        }
+        Some(ArrayInit::Len(len)) => {
+            let _ = writeln!(out, "array {name}[{len}];");
+        }
+        Some(ArrayInit::Seeded { len, seed }) => {
+            let _ = writeln!(out, "array {name}[{len}] = seed {seed};");
+        }
+        Some(ArrayInit::Explicit(values)) => {
+            let vals: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+            let _ = writeln!(out, "array {name} = [{}];", vals.join(", "));
+        }
+    }
+}
+
+fn to_fv_with(program: &Program, inputs: &[ArrayInput]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "kernel {};", name_token(&program.name));
     out.push('\n');
@@ -148,7 +189,8 @@ pub fn to_fv(program: &Program) -> String {
         let _ = writeln!(out, "var {} = {};", name_token(&v.name), v.init);
     }
     for a in &program.arrays {
-        let _ = writeln!(out, "array {};", name_token(&a.name));
+        let init = inputs.iter().find(|i| i.name == a.name).map(|i| &i.init);
+        write_array_decl(&mut out, &a.name, init);
     }
     if !program.live_out.is_empty() {
         let names: Vec<String> = program

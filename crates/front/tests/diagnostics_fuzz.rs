@@ -161,6 +161,48 @@ fn pathological_nesting_is_rejected_gracefully() {
 }
 
 #[test]
+fn unicode_escape_rejections_are_distinct_and_caret_the_escape() {
+    // Every malformed `\u{...}` form gets its own message, anchored at
+    // the backslash (line 1, col 9 in `kernel "\u...`), not at the
+    // string's opening quote.
+    let cases: &[(&str, &str)] = &[
+        ("kernel \"\\u{}\";", "empty `\\u{}` escape"),
+        ("kernel \"\\u{1234567}\";", "overlong"),
+        ("kernel \"\\u{0000000}\";", "overlong"),
+        ("kernel \"\\u{d800}\";", "surrogate"),
+        ("kernel \"\\u{dfff}\";", "surrogate"),
+        ("kernel \"\\u{110000}\";", "largest code point"),
+        ("kernel \"\\u{ffffff}\";", "largest code point"),
+        ("kernel \"\\u{12,}\";", "invalid character"),
+        ("kernel \"\\uA\";", "expected `{` after `\\u`"),
+        ("kernel \"\\u{12", "unterminated `\\u{...}` escape"),
+        ("kernel \"\\u", "expected `{` after `\\u`"),
+    ];
+    for (src, needle) in cases {
+        let d = parse_str("esc.fv", src).expect_err("malformed escape must be rejected");
+        assert!(
+            d.message.contains(needle),
+            "`{src}` produced `{}` (wanted `{needle}`)",
+            d.message
+        );
+        assert_eq!(
+            (d.span.line, d.span.col),
+            (1, 9),
+            "`{src}` caret must anchor at the backslash, got {}:{}",
+            d.span.line,
+            d.span.col
+        );
+        must_not_panic("esc.fv", src);
+    }
+
+    // Valid escapes across the scalar-value range still lex.
+    for hex in ["0", "7f", "d7ff", "e000", "1F600", "10ffff"] {
+        let src = format!("kernel \"\\u{{{hex}}}\";\nvar i = 0;\nfor (i = 0; i < 1; i++) {{\n}}\n");
+        parse_str("esc_ok.fv", &src).unwrap_or_else(|d| panic!("\\u{{{hex}}}: {}", d.summary()));
+    }
+}
+
+#[test]
 fn seeds_themselves_parse() {
     for seed in SEEDS {
         parse_str("seed.fv", seed).expect("seed corpus is valid");

@@ -1,0 +1,331 @@
+//! The differential check: one case, every execution path.
+//!
+//! The scalar interpreter is the oracle. Each speculation mode that the
+//! vectorizer accepts runs under both the tree-walking and the compiled
+//! engine, and every observable — live-out scalars, the induction exit
+//! value, the break flag, the iteration count, and final memory — must
+//! equal the oracle's. The two engines must additionally be
+//! bit-identical to each other (statistics and full µop traces). When a
+//! compile cache is supplied the case also round-trips through the
+//! `.fv` printer/parser and the cached-vs-fresh compile path.
+
+use std::sync::Arc;
+
+use flexvec::{vectorize, SpecRequest, VProg};
+use flexvec_front::{parse_str, to_fv_kernel, CompileCache};
+use flexvec_mem::{AddressSpace, ArrayId};
+use flexvec_vm::{
+    run_scalar, run_vector_precompiled, run_vector_with_engine, Bindings, CountingSink, Engine,
+    RunResult, Uop, VecSink, VectorStats,
+};
+
+use crate::explicit_inputs;
+use crate::gen::FuzzCase;
+
+/// Every speculation mode the checker exercises, with its display name.
+pub const SPECS: [(&str, SpecRequest); 4] = [
+    ("ff", SpecRequest::Auto),
+    ("rtm:16", SpecRequest::Rtm { tile: 16 }),
+    ("rtm:64", SpecRequest::Rtm { tile: 64 }),
+    ("rtm:256", SpecRequest::Rtm { tile: 256 }),
+];
+
+/// What to check beyond the engine × spec matrix.
+pub struct CheckConfig<'a> {
+    /// When set, also run the front-end round-trip and the
+    /// cached-vs-fresh compile path through this cache.
+    pub front_end: Option<&'a CompileCache>,
+    /// Mutation-testing hook: applied to each vectorized program before
+    /// execution. Returns whether the mutation applied; specs where it
+    /// does not apply are skipped. Divergences then demonstrate the
+    /// harness catches that class of codegen bug.
+    pub mutate: Option<&'a dyn Fn(&mut VProg) -> bool>,
+}
+
+/// A detected disagreement between two execution paths.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Which path disagreed (e.g. `ff/compiled`, `front/reparse`).
+    pub config: String,
+    /// Expected-vs-actual description.
+    pub detail: String,
+}
+
+/// Work accounting for a clean check.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CheckStats {
+    /// Vector executions performed and compared against the oracle.
+    pub vector_runs: u64,
+    /// Spec modes the vectorizer (legitimately) rejected for this case.
+    pub rejected_specs: u64,
+}
+
+fn diverged<T>(config: &str, detail: String) -> Result<T, Divergence> {
+    Err(Divergence {
+        config: config.to_owned(),
+        detail,
+    })
+}
+
+fn bind(case: &FuzzCase, mem: &mut AddressSpace) -> Vec<ArrayId> {
+    case.arrays
+        .iter()
+        .enumerate()
+        .map(|(i, d)| mem.alloc_from(&format!("a{i}"), d))
+        .collect()
+}
+
+struct Oracle {
+    result: RunResult,
+    memory: Vec<Vec<i64>>,
+}
+
+struct VectorRun {
+    result: RunResult,
+    stats: VectorStats,
+    memory: Vec<Vec<i64>>,
+    uops: Vec<Uop>,
+}
+
+fn run_oracle(case: &FuzzCase) -> Result<Oracle, Divergence> {
+    let mut mem = AddressSpace::new();
+    let ids = bind(case, &mut mem);
+    let mut sink = CountingSink::default();
+    match run_scalar(
+        &case.program,
+        &mut mem,
+        Bindings::new(ids.clone()),
+        &mut sink,
+    ) {
+        Ok(result) => Ok(Oracle {
+            result,
+            memory: ids.iter().map(|id| mem.snapshot_array(*id)).collect(),
+        }),
+        Err(e) => diverged("scalar", format!("scalar reference failed: {e:?}")),
+    }
+}
+
+fn run_engine(case: &FuzzCase, vprog: &VProg, engine: Engine) -> Result<VectorRun, String> {
+    let mut mem = AddressSpace::new();
+    let ids = bind(case, &mut mem);
+    let mut sink = VecSink::default();
+    let (result, stats) = run_vector_with_engine(
+        &case.program,
+        vprog,
+        &mut mem,
+        Bindings::new(ids.clone()),
+        &mut sink,
+        engine,
+    )
+    .map_err(|e| format!("vector execution failed where the scalar reference succeeded: {e:?}"))?;
+    Ok(VectorRun {
+        result,
+        stats,
+        memory: ids.iter().map(|id| mem.snapshot_array(*id)).collect(),
+        uops: sink.uops,
+    })
+}
+
+fn compare_to_oracle(
+    case: &FuzzCase,
+    config: &str,
+    oracle: &Oracle,
+    result: &RunResult,
+    memory: &[Vec<i64>],
+) -> Result<(), Divergence> {
+    let p = &case.program;
+    for v in &p.live_out {
+        let (want, got) = (oracle.result.var(*v), result.var(*v));
+        if want != got {
+            return diverged(
+                config,
+                format!("live-out `{}`: expected {want}, got {got}", p.var_name(*v)),
+            );
+        }
+    }
+    let ind = p.loop_.induction;
+    if oracle.result.var(ind) != result.var(ind) {
+        return diverged(
+            config,
+            format!(
+                "induction `{}` exit value: expected {}, got {}",
+                p.var_name(ind),
+                oracle.result.var(ind),
+                result.var(ind)
+            ),
+        );
+    }
+    if oracle.result.broke != result.broke {
+        return diverged(
+            config,
+            format!(
+                "break flag: expected {}, got {}",
+                oracle.result.broke, result.broke
+            ),
+        );
+    }
+    if oracle.result.iterations != result.iterations {
+        return diverged(
+            config,
+            format!(
+                "iteration count: expected {}, got {}",
+                oracle.result.iterations, result.iterations
+            ),
+        );
+    }
+    for (a, (want, got)) in oracle.memory.iter().zip(memory).enumerate() {
+        if let Some(idx) = (0..want.len()).find(|&i| want[i] != got[i]) {
+            return diverged(
+                config,
+                format!(
+                    "memory `{}`[{idx}]: expected {}, got {}",
+                    p.arrays[a].name, want[idx], got[idx]
+                ),
+            );
+        }
+    }
+    Ok(())
+}
+
+fn compare_engines(config: &str, tree: &VectorRun, compiled: &VectorRun) -> Result<(), Divergence> {
+    if tree.stats != compiled.stats {
+        return diverged(
+            config,
+            format!(
+                "engine statistics differ: tree {:?}, compiled {:?}",
+                tree.stats, compiled.stats
+            ),
+        );
+    }
+    if tree.uops != compiled.uops {
+        let idx = tree
+            .uops
+            .iter()
+            .zip(&compiled.uops)
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| tree.uops.len().min(compiled.uops.len()));
+        return diverged(
+            config,
+            format!(
+                "µop traces differ at index {idx} (tree {} µops, compiled {} µops)",
+                tree.uops.len(),
+                compiled.uops.len()
+            ),
+        );
+    }
+    Ok(())
+}
+
+fn check_front_end(
+    case: &FuzzCase,
+    cache: &CompileCache,
+    oracle: &Oracle,
+) -> Result<u64, Divergence> {
+    // Print → reparse: the canonical text must reproduce the exact AST
+    // and the exact input data.
+    let inputs = explicit_inputs(case);
+    let text = to_fv_kernel(&case.program, &inputs);
+    let parsed = match parse_str("<fuzz>", &text) {
+        Ok(parsed) => parsed,
+        Err(d) => {
+            return diverged(
+                "front/reparse",
+                format!("canonical text does not reparse: {}", d.render(&text)),
+            )
+        }
+    };
+    if parsed.program != case.program {
+        return diverged(
+            "front/reparse",
+            "printed text reparsed to a different AST".to_owned(),
+        );
+    }
+    if parsed.materialize_arrays() != case.arrays {
+        return diverged(
+            "front/reparse",
+            "printed inputs materialized to different data".to_owned(),
+        );
+    }
+
+    // Fresh vs cached compile: the second submission must be a shared
+    // hit, and executing the cached plan must agree with the oracle.
+    let (first, _) = cache.get_or_compile(&case.program, SpecRequest::Auto);
+    let (second, hit) = cache.get_or_compile(&case.program, SpecRequest::Auto);
+    if !hit || !Arc::ptr_eq(&first, &second) {
+        return diverged(
+            "front/cache",
+            "second submission was not a shared cache hit".to_owned(),
+        );
+    }
+    let Ok(plan) = &second.plan else {
+        return Ok(0);
+    };
+    let mut mem = AddressSpace::new();
+    let ids = bind(case, &mut mem);
+    let mut sink = VecSink::default();
+    match run_vector_precompiled(
+        &case.program,
+        &plan.vectorized.vprog,
+        &plan.compiled,
+        &mut mem,
+        Bindings::new(ids.clone()),
+        &mut sink,
+    ) {
+        Ok((result, _stats)) => {
+            let memory: Vec<Vec<i64>> = ids.iter().map(|id| mem.snapshot_array(*id)).collect();
+            compare_to_oracle(case, "front/cache", oracle, &result, &memory)?;
+            Ok(1)
+        }
+        Err(e) => diverged(
+            "front/cache",
+            format!("cached plan failed where the scalar reference succeeded: {e:?}"),
+        ),
+    }
+}
+
+/// Runs one case through every execution path and cross-checks them.
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] found; `Ok` means every path agreed.
+pub fn check_case(case: &FuzzCase, cfg: &CheckConfig<'_>) -> Result<CheckStats, Divergence> {
+    let mut stats = CheckStats::default();
+    let oracle = run_oracle(case)?;
+
+    for (spec_name, spec) in SPECS {
+        let Ok(vectorized) = vectorize(&case.program, spec) else {
+            stats.rejected_specs += 1;
+            continue;
+        };
+        let mut vprog = vectorized.vprog;
+        if let Some(mutate) = cfg.mutate {
+            if !mutate(&mut vprog) {
+                continue;
+            }
+        }
+
+        let mut runs: Vec<VectorRun> = Vec::with_capacity(2);
+        for (engine_name, engine) in [
+            ("tree", Engine::TreeWalking),
+            ("compiled", Engine::Compiled),
+        ] {
+            let config = format!("{spec_name}/{engine_name}");
+            match run_engine(case, &vprog, engine) {
+                Ok(run) => {
+                    compare_to_oracle(case, &config, &oracle, &run.result, &run.memory)?;
+                    stats.vector_runs += 1;
+                    runs.push(run);
+                }
+                Err(detail) => return diverged(&config, detail),
+            }
+        }
+        compare_engines(&format!("{spec_name}/tree-vs-compiled"), &runs[0], &runs[1])?;
+    }
+
+    if cfg.mutate.is_none() {
+        if let Some(cache) = cfg.front_end {
+            stats.vector_runs += check_front_end(case, cache, &oracle)?;
+        }
+    }
+    Ok(stats)
+}

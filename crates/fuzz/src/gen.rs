@@ -1,0 +1,296 @@
+//! Deterministic random irregular-loop generation.
+//!
+//! Extends the pattern grammar behind `tests/random_equivalence.rs`
+//! (unconditional feed, early exit, conditional update, guarded
+//! speculative load, indirect read-modify-write) with the inputs that
+//! historically expose engine disagreements: extreme integer literals
+//! in every operand position, trip counts straddling the vector length,
+//! `else` branches, degenerate all-equal input arrays (which serialize
+//! the conflict VPL to one lane per partition), and loop starts other
+//! than zero.
+//!
+//! Everything is derived from a [`Rng`] seeded by `(seed, index)`, so a
+//! fuzz campaign is reproducible from two integers and needs no
+//! external randomness source.
+
+use flexvec_ir::build::*;
+use flexvec_ir::{Expr, Program, ProgramBuilder, Stmt, VarId};
+
+/// Length of every generated input array.
+pub const ARRAY_LEN: usize = 16;
+/// The in-bounds index mask matching [`ARRAY_LEN`].
+pub const IDX_MASK: i64 = 15;
+
+/// A generated differential-test case: a program plus concrete input
+/// data for each of its arrays (positional, like `Bindings`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzCase {
+    /// The loop program under test.
+    pub program: Program,
+    /// One data vector per declared array, in declaration order.
+    pub arrays: Vec<Vec<i64>>,
+}
+
+/// SplitMix64: a tiny, high-quality, dependency-free generator. One
+/// `u64` of state; every stream is fully determined by its seed.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Creates a stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n == 0` yields 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// True with probability `pct`%.
+    pub fn chance(&mut self, pct: u64) -> bool {
+        self.below(100) < pct
+    }
+}
+
+/// Literals that historically break naive lowering: the wrapping-edge
+/// values, the negation fixpoint, and large powers of two.
+const EXTREMES: [i64; 8] = [
+    i64::MIN,
+    i64::MIN + 1,
+    i64::MAX,
+    i64::MAX - 1,
+    1 << 62,
+    -(1 << 62),
+    -1,
+    1 << 31,
+];
+
+fn konst(rng: &mut Rng) -> i64 {
+    match rng.below(10) {
+        0..=6 => rng.below(201) as i64 - 100,
+        7 | 8 => rng.below(200_001) as i64 - 100_000,
+        _ => EXTREMES[rng.below(EXTREMES.len() as u64) as usize],
+    }
+}
+
+fn leaf(rng: &mut Rng, vars: &[VarId]) -> Expr {
+    if vars.is_empty() || rng.chance(40) {
+        c(konst(rng))
+    } else {
+        var(vars[rng.below(vars.len() as u64) as usize])
+    }
+}
+
+/// A random arithmetic expression of bounded depth over `vars`. Shift
+/// and divide counts are constants, keeping every operator within the
+/// IR's total (wrapping/saturating) semantics on both the scalar and
+/// vector sides.
+fn arith(rng: &mut Rng, vars: &[VarId], depth: u32) -> Expr {
+    if depth == 0 || rng.chance(30) {
+        return leaf(rng, vars);
+    }
+    let l = arith(rng, vars, depth - 1);
+    let r = arith(rng, vars, depth - 1);
+    match rng.below(12) {
+        0 | 1 => add(l, r),
+        2 => sub(l, r),
+        3 => mul(l, r),
+        4 => max2(l, r),
+        5 => min2(l, r),
+        6 => band(l, r),
+        7 => bxor(l, r),
+        8 => bor(l, r),
+        9 => shr(l, c(rng.below(8) as i64)),
+        10 => shl(l, c(rng.below(8) as i64)),
+        _ => div(l, c(rng.below(7) as i64 + 1)),
+    }
+}
+
+/// Trip counts that straddle the interesting execution boundaries:
+/// empty and single-lane loops, exactly one vector chunk, one chunk
+/// plus a remainder lane, and several chunks.
+fn trip_count(rng: &mut Rng) -> i64 {
+    match rng.below(8) {
+        0 => rng.below(4) as i64,      // 0..=3: (sub-)lane loops
+        1 => 15 + rng.below(3) as i64, // 15, 16, 17: one-chunk edge
+        2 => 31 + rng.below(3) as i64, // two-chunk edge
+        _ => 8 + rng.below(88) as i64, // general case
+    }
+}
+
+fn input_array(rng: &mut Rng) -> Vec<i64> {
+    match rng.below(8) {
+        // All-equal: pins every conflict lane to one bucket, which
+        // serializes the VPL to single-lane partitions.
+        0 => vec![rng.below(1000) as i64; ARRAY_LEN],
+        1 => vec![0; ARRAY_LEN],
+        // Mostly small with a few extreme outliers.
+        2 => (0..ARRAY_LEN)
+            .map(|_| {
+                if rng.chance(25) {
+                    EXTREMES[rng.below(EXTREMES.len() as u64) as usize]
+                } else {
+                    rng.below(100) as i64
+                }
+            })
+            .collect(),
+        _ => (0..ARRAY_LEN).map(|_| rng.below(1000) as i64).collect(),
+    }
+}
+
+/// Generates the `index`-th case of the campaign seeded by `seed`.
+pub fn generate(seed: u64, index: u64) -> FuzzCase {
+    let mut rng = Rng::new(seed ^ index.wrapping_mul(0xA076_1D64_78BD_642F));
+
+    let mut b = ProgramBuilder::new("fuzz");
+    let i = b.var("i", 0);
+    let t = b.var("t", konst(&mut rng));
+    let data = b.array("data");
+    let aux = b.array("aux");
+    let mut body: Vec<Stmt> = Vec::new();
+    let mut live_outs = vec![t];
+
+    // Unconditional feed: t = data[i & MASK] + f(i).
+    body.push(assign(
+        t,
+        add(
+            ld(data, band(var(i), c(IDX_MASK))),
+            arith(&mut rng, &[i], 2),
+        ),
+    ));
+
+    let with_break = rng.chance(40);
+    let with_update = rng.chance(70);
+    let with_conflict = rng.chance(40);
+    // FF speculation with stores inside the VPL is rejected by design,
+    // so a guarded load only rides along when there is no conflict.
+    let with_guarded_load = !with_conflict && rng.chance(40);
+    let with_extra_assign = rng.chance(30);
+
+    if with_break {
+        body.push(if_(gt(var(t), c(konst(&mut rng))), vec![brk()]));
+    }
+
+    if with_update {
+        let best = b.var("best", konst(&mut rng));
+        live_outs.push(best);
+        if with_guarded_load {
+            // h264 shape: the lookup under the condition is speculative.
+            let u = b.var("u", 0);
+            body.push(if_(
+                lt(var(t), var(best)),
+                vec![
+                    assign(u, add(var(t), ld(aux, band(var(t), c(IDX_MASK))))),
+                    if_(lt(var(u), var(best)), vec![assign(best, var(u))]),
+                ],
+            ));
+        } else if rng.chance(30) {
+            body.push(if_else(
+                lt(var(t), var(best)),
+                vec![assign(best, var(t))],
+                vec![assign(best, arith(&mut rng, &[t, best], 1))],
+            ));
+        } else {
+            body.push(if_(lt(var(t), var(best)), vec![assign(best, var(t))]));
+        }
+    }
+
+    if with_extra_assign {
+        let u2 = b.var("w", konst(&mut rng));
+        live_outs.push(u2);
+        body.push(assign(u2, arith(&mut rng, &[i, t], 2)));
+    }
+
+    if with_conflict {
+        // Indirect accumulate: aux[data-derived index] += t.
+        let k = b.var("k", 0);
+        body.push(assign(
+            k,
+            band(ld(data, band(var(i), c(IDX_MASK))), c(IDX_MASK)),
+        ));
+        body.push(store(aux, var(k), add(ld(aux, var(k)), var(t))));
+        if rng.chance(30) {
+            live_outs.push(k);
+        }
+    }
+
+    for v in live_outs {
+        b.live_out(v);
+    }
+
+    let start = if rng.chance(25) {
+        rng.below(8) as i64
+    } else {
+        0
+    };
+    let end = start + trip_count(&mut rng);
+    let program = b
+        .build_loop(i, c(start), c(end), body)
+        .expect("generated shapes are always structurally valid");
+
+    let arrays = vec![input_array(&mut rng), input_array(&mut rng)];
+    FuzzCase { program, arrays }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(7, 42);
+        let b = generate(7, 42);
+        assert_eq!(a, b);
+        assert_ne!(a, generate(7, 43), "different index, different case");
+        assert_ne!(a, generate(8, 42), "different seed, different case");
+    }
+
+    #[test]
+    fn every_case_builds_and_covers_the_grammar() {
+        let mut saw_break = false;
+        let mut saw_store = false;
+        let mut saw_else = false;
+        for index in 0..200 {
+            let case = generate(0, index);
+            assert_eq!(case.arrays.len(), case.program.arrays.len());
+            for a in &case.arrays {
+                assert_eq!(a.len(), ARRAY_LEN);
+            }
+            fn scan(body: &[Stmt], brk: &mut bool, st: &mut bool, el: &mut bool) {
+                for s in body {
+                    match s {
+                        Stmt::Break => *brk = true,
+                        Stmt::Store { .. } => *st = true,
+                        Stmt::If { then_, else_, .. } => {
+                            *el |= !else_.is_empty();
+                            scan(then_, brk, st, el);
+                            scan(else_, brk, st, el);
+                        }
+                        Stmt::Assign { .. } => {}
+                    }
+                }
+            }
+            scan(
+                &case.program.loop_.body,
+                &mut saw_break,
+                &mut saw_store,
+                &mut saw_else,
+            );
+        }
+        assert!(saw_break && saw_store && saw_else, "grammar coverage");
+    }
+}

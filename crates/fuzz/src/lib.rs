@@ -1,0 +1,280 @@
+//! # flexvec-fuzz
+//!
+//! Differential fuzzing for the FlexVec reproduction. A campaign is
+//! fully determined by `(seed, iteration budget)`:
+//!
+//! 1. [`generate`] builds a random irregular loop plus input data from
+//!    the supported pattern grammar (conditional updates, guarded
+//!    speculative loads, indirect read-modify-writes, early exits),
+//!    salted with the inputs that historically expose disagreements —
+//!    extreme literals, boundary trip counts, all-equal conflict data.
+//! 2. [`check_case`] runs it through every execution path — the scalar
+//!    oracle, the tree-walking and compiled engines under first-faulting
+//!    and RTM speculation at several tile sizes, the `.fv`
+//!    print→reparse round-trip, and the compile cache's cached-vs-fresh
+//!    path — and cross-checks live-outs, induction exit, break flag,
+//!    iteration counts, final memory, engine statistics and µop traces.
+//! 3. On a divergence, [`shrink`] delta-debugs the witness down to a
+//!    minimal failing case and the driver emits it as a standalone
+//!    `.fv` repro (expected-vs-actual embedded as comments) that
+//!    re-runs as an ordinary corpus test.
+//!
+//! [`run_mutants`] proves the harness has teeth: it injects known
+//! semantic bugs ([`Mutant`]) into otherwise-correct vector programs
+//! and asserts each is caught and shrunk to a small repro.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod diff;
+mod gen;
+mod mutate;
+mod shrink;
+
+pub use diff::{check_case, CheckConfig, CheckStats, Divergence, SPECS};
+pub use gen::{generate, FuzzCase, Rng, ARRAY_LEN, IDX_MASK};
+pub use mutate::Mutant;
+pub use shrink::shrink;
+
+use std::time::Instant;
+
+use flexvec_front::{to_fv_kernel, ArrayInit, ArrayInput, CompileCache};
+
+/// The array input recipes that pin a case's exact data into `.fv`
+/// text: one explicit-values declaration per array.
+pub fn explicit_inputs(case: &FuzzCase) -> Vec<ArrayInput> {
+    case.program
+        .arrays
+        .iter()
+        .zip(&case.arrays)
+        .map(|(decl, values)| ArrayInput {
+            name: decl.name.clone(),
+            init: ArrayInit::Explicit(values.clone()),
+        })
+        .collect()
+}
+
+/// Renders a case as a standalone `.fv` repro: `header` lines become
+/// leading comments (newlines flattened), followed by the canonical
+/// kernel text with explicit array data.
+pub fn render_repro(case: &FuzzCase, header: &[String]) -> String {
+    let mut out = String::new();
+    for line in header {
+        out.push_str("// ");
+        out.push_str(&line.replace('\n', " / "));
+        out.push('\n');
+    }
+    out.push_str(&to_fv_kernel(&case.program, &explicit_inputs(case)));
+    out
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Campaign seed; the whole run is reproducible from it.
+    pub seed: u64,
+    /// Maximum cases to generate and check.
+    pub iters: u64,
+    /// Wall-clock budget in milliseconds (0 = unlimited).
+    pub budget_ms: u64,
+    /// Predicate-evaluation budget for shrinking a divergence.
+    pub shrink_evals: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 0,
+            iters: 500,
+            budget_ms: 0,
+            shrink_evals: 400,
+        }
+    }
+}
+
+/// A divergence found by a campaign, already shrunk and rendered.
+#[derive(Debug, Clone)]
+pub struct FuzzDivergence {
+    /// Index of the generating case within the campaign.
+    pub case_index: u64,
+    /// Which execution path disagreed.
+    pub config: String,
+    /// Expected-vs-actual description.
+    pub detail: String,
+    /// Standalone minimized `.fv` repro text.
+    pub repro: String,
+}
+
+/// The result of a fuzzing campaign.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzOutcome {
+    /// Cases generated and checked.
+    pub cases: u64,
+    /// Vector executions compared against the oracle.
+    pub vector_runs: u64,
+    /// (case, spec) combinations the vectorizer legitimately rejected.
+    pub rejected_specs: u64,
+    /// The first divergence found, if any (the campaign stops there).
+    pub divergence: Option<FuzzDivergence>,
+}
+
+/// Runs a differential fuzzing campaign. Stops at the first divergence
+/// (shrunk and rendered into the outcome), the iteration budget, or the
+/// time budget — whichever comes first.
+pub fn run_fuzz(config: &FuzzConfig) -> FuzzOutcome {
+    let cache = CompileCache::new();
+    let started = Instant::now();
+    let mut outcome = FuzzOutcome::default();
+    for index in 0..config.iters {
+        if config.budget_ms > 0 && started.elapsed().as_millis() as u64 >= config.budget_ms {
+            break;
+        }
+        let case = generate(config.seed, index);
+        let check = CheckConfig {
+            front_end: Some(&cache),
+            mutate: None,
+        };
+        match check_case(&case, &check) {
+            Ok(stats) => {
+                outcome.cases += 1;
+                outcome.vector_runs += stats.vector_runs;
+                outcome.rejected_specs += stats.rejected_specs;
+            }
+            Err(first) => {
+                outcome.cases += 1;
+                let shrunk = shrink(
+                    &case,
+                    config.shrink_evals,
+                    &mut |c| matches!(check_case(c, &check), Err(d) if d.config != "scalar"),
+                );
+                let d = check_case(&shrunk, &check).err().unwrap_or(first);
+                let header = vec![
+                    format!("flexvec-fuzz repro (seed {}, case {index})", config.seed),
+                    format!("diverges under {}", d.config),
+                    format!("expected vs actual: {}", d.detail),
+                ];
+                outcome.divergence = Some(FuzzDivergence {
+                    case_index: index,
+                    config: d.config.clone(),
+                    detail: d.detail.clone(),
+                    repro: render_repro(&shrunk, &header),
+                });
+                break;
+            }
+        }
+    }
+    outcome
+}
+
+/// The verdict for one injected mutant.
+#[derive(Debug, Clone)]
+pub struct MutantReport {
+    /// The injected bug.
+    pub mutant: Mutant,
+    /// Whether any generated case exposed it.
+    pub caught: bool,
+    /// Cases generated before it was caught (or the full budget).
+    pub cases_tried: u64,
+    /// Which execution path caught it.
+    pub config: String,
+    /// Expected-vs-actual description from the shrunk witness.
+    pub detail: String,
+    /// Standalone minimized `.fv` repro (present when caught).
+    pub repro: Option<String>,
+}
+
+/// Mutation-testing mode: for each known [`Mutant`], fuzz until a case
+/// whose clean check passes but whose mutated check diverges, then
+/// shrink that witness under the same "clean passes, mutated fails"
+/// predicate and render it as a repro.
+pub fn run_mutants(seed: u64, max_cases: u64, shrink_evals: usize) -> Vec<MutantReport> {
+    Mutant::ALL
+        .iter()
+        .map(|&mutant| {
+            let apply = move |vprog: &mut flexvec::VProg| mutant.apply(vprog);
+            let clean = CheckConfig {
+                front_end: None,
+                mutate: None,
+            };
+            let mutated = CheckConfig {
+                front_end: None,
+                mutate: Some(&apply),
+            };
+            // A witness must pass clean (so the repro doubles as an
+            // ordinary corpus test) and fail mutated for a non-oracle
+            // reason (so the failure is attributable to the mutant).
+            let mut witnesses = |case: &FuzzCase| {
+                check_case(case, &clean).is_ok()
+                    && matches!(check_case(case, &mutated), Err(d) if d.config != "scalar")
+            };
+            for index in 0..max_cases {
+                let case = generate(seed, index);
+                if !witnesses(&case) {
+                    continue;
+                }
+                let shrunk = shrink(&case, shrink_evals, &mut witnesses);
+                let d =
+                    check_case(&shrunk, &mutated).expect_err("shrunk witness still fails mutated");
+                let header = vec![
+                    format!(
+                        "flexvec-fuzz mutant repro: {} ({})",
+                        mutant.name(),
+                        mutant.describe()
+                    ),
+                    format!("seed {seed}, case {index}; caught under {}", d.config),
+                    format!("expected vs actual: {}", d.detail),
+                ];
+                return MutantReport {
+                    mutant,
+                    caught: true,
+                    cases_tried: index + 1,
+                    config: d.config,
+                    detail: d.detail,
+                    repro: Some(render_repro(&shrunk, &header)),
+                };
+            }
+            MutantReport {
+                mutant,
+                caught: false,
+                cases_tried: max_cases,
+                config: String::new(),
+                detail: String::new(),
+                repro: None,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexvec_front::parse_str;
+
+    #[test]
+    fn rendered_repros_reparse_to_the_same_case() {
+        for index in 0..25 {
+            let case = generate(3, index);
+            let text = render_repro(&case, &[format!("case {index}")]);
+            let parsed = parse_str("<repro>", &text)
+                .unwrap_or_else(|d| panic!("repro must reparse: {}", d.render(&text)));
+            assert_eq!(parsed.program, case.program);
+            assert_eq!(parsed.materialize_arrays(), case.arrays);
+        }
+    }
+
+    #[test]
+    fn a_short_clean_campaign_runs_clean() {
+        let outcome = run_fuzz(&FuzzConfig {
+            seed: 11,
+            iters: 40,
+            ..FuzzConfig::default()
+        });
+        assert_eq!(outcome.cases, 40);
+        assert!(outcome.vector_runs > 0, "some specs must vectorize");
+        assert!(
+            outcome.divergence.is_none(),
+            "clean engines must agree: {:?}",
+            outcome.divergence
+        );
+    }
+}

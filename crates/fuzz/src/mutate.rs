@@ -1,0 +1,123 @@
+//! Known semantic mutants for mutation-testing the harness.
+//!
+//! Each mutant is a real bug class from the FlexVec code generator's
+//! design space, injected into an otherwise-correct vector program.
+//! The harness proves its teeth by catching every mutant and shrinking
+//! the witness to a small standalone repro.
+
+use flexvec::{VNode, VOp, VProg};
+
+/// A deliberate semantic corruption of a vectorized program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutant {
+    /// Swap every `KFTM` between inclusive and exclusive mask-to-first
+    /// semantics: partition boundaries shift by one lane, so an early
+    /// exit executes one lane too few (or a conflicting lane lands in
+    /// the same partition as its dependency).
+    KftmSwap,
+    /// Drop every `VPSLCTLAST` broadcast: the scalar propagated from the
+    /// last active lane of a partition never reaches the next one, so
+    /// later partitions and chunks compute with stale values.
+    DropSelectLast,
+}
+
+impl Mutant {
+    /// Every known mutant.
+    pub const ALL: [Mutant; 2] = [Mutant::KftmSwap, Mutant::DropSelectLast];
+
+    /// Stable short name (used for repro file names and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutant::KftmSwap => "kftm-swap",
+            Mutant::DropSelectLast => "drop-selectlast",
+        }
+    }
+
+    /// One-line description of the injected bug.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Mutant::KftmSwap => "KFTM inclusive<->exclusive swap",
+            Mutant::DropSelectLast => "dropped VPSLCTLAST broadcast",
+        }
+    }
+
+    /// Applies the mutation in place. Returns whether anything changed
+    /// (a program without the targeted instruction cannot express this
+    /// bug, so there is nothing to catch).
+    pub fn apply(self, vprog: &mut VProg) -> bool {
+        mutate_nodes(&mut vprog.body, self)
+    }
+}
+
+fn mutate_nodes(nodes: &mut Vec<VNode>, mutant: Mutant) -> bool {
+    let mut changed = false;
+    for node in nodes.iter_mut() {
+        match node {
+            VNode::Op(VOp::Kftm { inclusive, .. }) if mutant == Mutant::KftmSwap => {
+                *inclusive = !*inclusive;
+                changed = true;
+            }
+            VNode::Vpl { body, .. } => changed |= mutate_nodes(body, mutant),
+            _ => {}
+        }
+    }
+    if mutant == Mutant::DropSelectLast {
+        let before = nodes.len();
+        nodes.retain(|n| !matches!(n, VNode::Op(VOp::SelectLast { .. })));
+        changed |= nodes.len() != before;
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexvec::{vectorize, SpecRequest};
+    use flexvec_ir::build::*;
+    use flexvec_ir::ProgramBuilder;
+
+    fn cond_min() -> flexvec_ir::Program {
+        let mut b = ProgramBuilder::new("cond-min");
+        let i = b.var("i", 0);
+        let best = b.var("best", i64::MAX);
+        let a = b.array("a");
+        b.live_out(best);
+        b.build_loop(
+            i,
+            c(0),
+            c(64),
+            vec![if_(
+                lt(ld(a, var(i)), var(best)),
+                vec![assign(best, ld(a, var(i)))],
+            )],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mutants_apply_to_flexvec_codegen() {
+        let vectorized = vectorize(&cond_min(), SpecRequest::Auto).unwrap();
+        for mutant in Mutant::ALL {
+            let mut vprog = vectorized.vprog.clone();
+            assert!(mutant.apply(&mut vprog), "{} must apply", mutant.name());
+            assert_ne!(
+                vprog.body,
+                vectorized.vprog.body,
+                "{} must change",
+                mutant.name()
+            );
+        }
+    }
+
+    #[test]
+    fn applying_twice_restores_the_swap() {
+        let vectorized = vectorize(&cond_min(), SpecRequest::Auto).unwrap();
+        let mut vprog = vectorized.vprog.clone();
+        Mutant::KftmSwap.apply(&mut vprog);
+        Mutant::KftmSwap.apply(&mut vprog);
+        assert_eq!(
+            vprog.body, vectorized.vprog.body,
+            "double swap is the identity"
+        );
+    }
+}

@@ -1,0 +1,476 @@
+//! Delta-debugging repro shrinking.
+//!
+//! Given a failing case and a predicate ("still diverges"), [`shrink`]
+//! greedily minimizes along every axis the generator varies — body
+//! statements, trip count, live-outs, array contents, initial values,
+//! embedded constants, and finally unused declarations — re-running the
+//! predicate after each candidate edit and keeping only edits that
+//! preserve the failure. The passes repeat to a fixpoint under an
+//! evaluation budget, so shrinking a pathological case terminates.
+
+use flexvec_ir::{Expr, Stmt, VarId};
+
+use crate::gen::FuzzCase;
+
+struct Shrinker<'a> {
+    fails: &'a mut dyn FnMut(&FuzzCase) -> bool,
+    evals: usize,
+    max_evals: usize,
+}
+
+impl Shrinker<'_> {
+    fn exhausted(&self) -> bool {
+        self.evals >= self.max_evals
+    }
+
+    /// Evaluates a candidate; on a preserved failure it becomes the new
+    /// best and `true` is returned.
+    fn try_improve(&mut self, best: &mut FuzzCase, candidate: FuzzCase) -> bool {
+        if self.exhausted() || candidate == *best {
+            return false;
+        }
+        self.evals += 1;
+        if (self.fails)(&candidate) {
+            *best = candidate;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+fn count_stmts(body: &[Stmt]) -> usize {
+    body.iter()
+        .map(|s| match s {
+            Stmt::If { then_, else_, .. } => 1 + count_stmts(then_) + count_stmts(else_),
+            _ => 1,
+        })
+        .sum()
+}
+
+/// Removes the `k`-th statement in pre-order (an `If` counts before its
+/// branches). Returns whether a removal happened.
+fn remove_nth(body: &mut Vec<Stmt>, k: &mut usize) -> bool {
+    let mut i = 0;
+    while i < body.len() {
+        if *k == 0 {
+            body.remove(i);
+            return true;
+        }
+        *k -= 1;
+        if let Stmt::If { then_, else_, .. } = &mut body[i] {
+            if remove_nth(then_, k) || remove_nth(else_, k) {
+                return true;
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+fn pass_delete_stmts(sh: &mut Shrinker<'_>, best: &mut FuzzCase) -> bool {
+    let mut improved = false;
+    'restart: loop {
+        let total = count_stmts(&best.program.loop_.body);
+        for idx in 0..total {
+            let mut candidate = best.clone();
+            let mut k = idx;
+            if remove_nth(&mut candidate.program.loop_.body, &mut k)
+                && sh.try_improve(best, candidate)
+            {
+                improved = true;
+                continue 'restart; // indices shifted; re-enumerate
+            }
+            if sh.exhausted() {
+                return improved;
+            }
+        }
+        return improved;
+    }
+}
+
+fn pass_trip_count(sh: &mut Shrinker<'_>, best: &mut FuzzCase) -> bool {
+    let (Expr::Const(start), Expr::Const(end)) =
+        (&best.program.loop_.start, &best.program.loop_.end)
+    else {
+        return false;
+    };
+    let (start, end) = (*start, *end);
+    for trips in [0i64, 1, 2, 3, 4, 8, 15, 16, 17, 24, 32, 48] {
+        let Some(new_end) = start.checked_add(trips) else {
+            continue;
+        };
+        if new_end >= end {
+            continue;
+        }
+        let mut candidate = best.clone();
+        candidate.program.loop_.end = Expr::Const(new_end);
+        if sh.try_improve(best, candidate) {
+            return true; // trips ascend, so the first success is minimal
+        }
+    }
+    false
+}
+
+fn pass_live_outs(sh: &mut Shrinker<'_>, best: &mut FuzzCase) -> bool {
+    let mut improved = false;
+    let mut idx = 0;
+    while idx < best.program.live_out.len() && best.program.live_out.len() > 1 {
+        let mut candidate = best.clone();
+        candidate.program.live_out.remove(idx);
+        if sh.try_improve(best, candidate) {
+            improved = true; // same index now names the next entry
+        } else {
+            idx += 1;
+        }
+    }
+    improved
+}
+
+fn pass_arrays(sh: &mut Shrinker<'_>, best: &mut FuzzCase) -> bool {
+    let mut improved = false;
+    for a in 0..best.arrays.len() {
+        if best.arrays[a].iter().all(|&v| v == 0) {
+            continue;
+        }
+        let mut candidate = best.clone();
+        candidate.arrays[a].fill(0);
+        if sh.try_improve(best, candidate) {
+            improved = true;
+            continue;
+        }
+        let first = best.arrays[a][0];
+        let mut candidate = best.clone();
+        candidate.arrays[a].fill(first);
+        improved |= sh.try_improve(best, candidate);
+        for e in 0..best.arrays[a].len() {
+            if best.arrays[a][e] == 0 {
+                continue;
+            }
+            let mut candidate = best.clone();
+            candidate.arrays[a][e] = 0;
+            improved |= sh.try_improve(best, candidate);
+        }
+    }
+    improved
+}
+
+fn pass_var_inits(sh: &mut Shrinker<'_>, best: &mut FuzzCase) -> bool {
+    let mut improved = false;
+    for v in 0..best.program.vars.len() {
+        if best.program.vars[v].init == 0 {
+            continue;
+        }
+        let mut candidate = best.clone();
+        candidate.program.vars[v].init = 0;
+        improved |= sh.try_improve(best, candidate);
+    }
+    improved
+}
+
+fn visit_consts(e: &mut Expr, f: &mut dyn FnMut(&mut i64)) {
+    match e {
+        Expr::Const(c) => f(c),
+        Expr::Var(_) => {}
+        Expr::Load { index, .. } => visit_consts(index, f),
+        Expr::Bin { lhs, rhs, .. } | Expr::Cmp { lhs, rhs, .. } => {
+            visit_consts(lhs, f);
+            visit_consts(rhs, f);
+        }
+        Expr::Not(inner) => visit_consts(inner, f),
+    }
+}
+
+fn visit_body_consts(body: &mut [Stmt], f: &mut dyn FnMut(&mut i64)) {
+    for s in body {
+        match s {
+            Stmt::Assign { value, .. } => visit_consts(value, f),
+            Stmt::Store { index, value, .. } => {
+                visit_consts(index, f);
+                visit_consts(value, f);
+            }
+            Stmt::If { cond, then_, else_ } => {
+                visit_consts(cond, f);
+                visit_body_consts(then_, f);
+                visit_body_consts(else_, f);
+            }
+            Stmt::Break => {}
+        }
+    }
+}
+
+/// Shrinks the constants embedded in body expressions toward 0 (the
+/// loop bounds are handled by [`pass_trip_count`]).
+fn pass_body_consts(sh: &mut Shrinker<'_>, best: &mut FuzzCase) -> bool {
+    let mut values = Vec::new();
+    visit_body_consts(&mut best.program.loop_.body.clone(), &mut |c| {
+        values.push(*c)
+    });
+    let mut improved = false;
+    for (idx, value) in values.into_iter().enumerate() {
+        for replacement in [0i64, 1, value / 2] {
+            if replacement == value {
+                continue;
+            }
+            let mut candidate = best.clone();
+            let mut seen = 0usize;
+            visit_body_consts(&mut candidate.program.loop_.body, &mut |c| {
+                if seen == idx {
+                    *c = replacement;
+                }
+                seen += 1;
+            });
+            if sh.try_improve(best, candidate) {
+                improved = true;
+                break;
+            }
+        }
+        if sh.exhausted() {
+            break;
+        }
+    }
+    improved
+}
+
+fn mark_expr(e: &Expr, vars: &mut [bool], arrays: &mut [bool]) {
+    match e {
+        Expr::Const(_) => {}
+        Expr::Var(v) => vars[v.0 as usize] = true,
+        Expr::Load { array, index } => {
+            arrays[array.0 as usize] = true;
+            mark_expr(index, vars, arrays);
+        }
+        Expr::Bin { lhs, rhs, .. } | Expr::Cmp { lhs, rhs, .. } => {
+            mark_expr(lhs, vars, arrays);
+            mark_expr(rhs, vars, arrays);
+        }
+        Expr::Not(inner) => mark_expr(inner, vars, arrays),
+    }
+}
+
+fn mark_body(body: &[Stmt], vars: &mut [bool], arrays: &mut [bool]) {
+    for s in body {
+        match s {
+            Stmt::Assign { var, value } => {
+                vars[var.0 as usize] = true;
+                mark_expr(value, vars, arrays);
+            }
+            Stmt::Store {
+                array,
+                index,
+                value,
+            } => {
+                arrays[array.0 as usize] = true;
+                mark_expr(index, vars, arrays);
+                mark_expr(value, vars, arrays);
+            }
+            Stmt::If { cond, then_, else_ } => {
+                mark_expr(cond, vars, arrays);
+                mark_body(then_, vars, arrays);
+                mark_body(else_, vars, arrays);
+            }
+            Stmt::Break => {}
+        }
+    }
+}
+
+fn remap_expr(e: &mut Expr, vmap: &[u32], amap: &[u32]) {
+    match e {
+        Expr::Const(_) => {}
+        Expr::Var(v) => v.0 = vmap[v.0 as usize],
+        Expr::Load { array, index } => {
+            array.0 = amap[array.0 as usize];
+            remap_expr(index, vmap, amap);
+        }
+        Expr::Bin { lhs, rhs, .. } | Expr::Cmp { lhs, rhs, .. } => {
+            remap_expr(lhs, vmap, amap);
+            remap_expr(rhs, vmap, amap);
+        }
+        Expr::Not(inner) => remap_expr(inner, vmap, amap),
+    }
+}
+
+fn remap_body(body: &mut [Stmt], vmap: &[u32], amap: &[u32]) {
+    for s in body {
+        match s {
+            Stmt::Assign { var, value } => {
+                var.0 = vmap[var.0 as usize];
+                remap_expr(value, vmap, amap);
+            }
+            Stmt::Store {
+                array,
+                index,
+                value,
+            } => {
+                array.0 = amap[array.0 as usize];
+                remap_expr(index, vmap, amap);
+                remap_expr(value, vmap, amap);
+            }
+            Stmt::If { cond, then_, else_ } => {
+                remap_expr(cond, vmap, amap);
+                remap_body(then_, vmap, amap);
+                remap_body(else_, vmap, amap);
+            }
+            Stmt::Break => {}
+        }
+    }
+}
+
+/// Drops declarations nothing references anymore (statement deletion
+/// leaves them behind), remapping every `VarId`/`ArraySym`. Semantics
+/// are unchanged, so the predicate is still re-checked by the caller's
+/// `try_improve`.
+fn prune_decls(case: &FuzzCase) -> Option<FuzzCase> {
+    let p = &case.program;
+    let mut vars = vec![false; p.vars.len()];
+    let mut arrays = vec![false; p.arrays.len()];
+    vars[p.loop_.induction.0 as usize] = true;
+    for v in &p.live_out {
+        vars[v.0 as usize] = true;
+    }
+    mark_expr(&p.loop_.start, &mut vars, &mut arrays);
+    mark_expr(&p.loop_.end, &mut vars, &mut arrays);
+    mark_body(&p.loop_.body, &mut vars, &mut arrays);
+    if vars.iter().all(|&u| u) && arrays.iter().all(|&u| u) {
+        return None;
+    }
+
+    let mut vmap = vec![0u32; vars.len()];
+    let mut next = 0u32;
+    for (old, used) in vars.iter().enumerate() {
+        if *used {
+            vmap[old] = next;
+            next += 1;
+        }
+    }
+    let mut amap = vec![0u32; arrays.len()];
+    let mut next = 0u32;
+    for (old, used) in arrays.iter().enumerate() {
+        if *used {
+            amap[old] = next;
+            next += 1;
+        }
+    }
+
+    let mut out = case.clone();
+    let p = &mut out.program;
+    p.vars = p
+        .vars
+        .iter()
+        .zip(&vars)
+        .filter(|(_, used)| **used)
+        .map(|(d, _)| d.clone())
+        .collect();
+    p.arrays = p
+        .arrays
+        .iter()
+        .zip(&arrays)
+        .filter(|(_, used)| **used)
+        .map(|(d, _)| d.clone())
+        .collect();
+    out.arrays = out
+        .arrays
+        .iter()
+        .zip(&arrays)
+        .filter(|(_, used)| **used)
+        .map(|(d, _)| d.clone())
+        .collect();
+    p.loop_.induction = VarId(vmap[p.loop_.induction.0 as usize]);
+    for v in &mut p.live_out {
+        v.0 = vmap[v.0 as usize];
+    }
+    let (mut start, mut end) = (p.loop_.start.clone(), p.loop_.end.clone());
+    remap_expr(&mut start, &vmap, &amap);
+    remap_expr(&mut end, &vmap, &amap);
+    p.loop_.start = start;
+    p.loop_.end = end;
+    let mut body = std::mem::take(&mut p.loop_.body);
+    remap_body(&mut body, &vmap, &amap);
+    p.loop_.body = body;
+    Some(out)
+}
+
+fn pass_prune_decls(sh: &mut Shrinker<'_>, best: &mut FuzzCase) -> bool {
+    match prune_decls(best) {
+        Some(candidate) => sh.try_improve(best, candidate),
+        None => false,
+    }
+}
+
+/// Minimizes `case` while `fails` keeps returning `true`, spending at
+/// most `max_evals` predicate evaluations. The input case is assumed to
+/// fail; the result is the smallest failing case found.
+pub fn shrink(
+    case: &FuzzCase,
+    max_evals: usize,
+    fails: &mut dyn FnMut(&FuzzCase) -> bool,
+) -> FuzzCase {
+    let mut best = case.clone();
+    let mut sh = Shrinker {
+        fails,
+        evals: 0,
+        max_evals,
+    };
+    loop {
+        let mut improved = false;
+        improved |= pass_delete_stmts(&mut sh, &mut best);
+        improved |= pass_trip_count(&mut sh, &mut best);
+        improved |= pass_live_outs(&mut sh, &mut best);
+        improved |= pass_arrays(&mut sh, &mut best);
+        improved |= pass_var_inits(&mut sh, &mut best);
+        improved |= pass_body_consts(&mut sh, &mut best);
+        improved |= pass_prune_decls(&mut sh, &mut best);
+        if !improved || sh.exhausted() {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    #[test]
+    fn a_never_satisfied_predicate_leaves_the_case_alone() {
+        let case = generate(1, 0);
+        let shrunk = shrink(&case, 200, &mut |_| false);
+        assert_eq!(shrunk, case);
+    }
+
+    #[test]
+    fn an_always_satisfied_predicate_minimizes_hard() {
+        // With a vacuous failure predicate the shrinker should strip
+        // the case down to (nearly) nothing: no statements, no
+        // non-zero data, a tiny trip count, a single live-out, and no
+        // unused declarations left behind.
+        let case = generate(1, 3);
+        let shrunk = shrink(&case, 2000, &mut |_| true);
+        assert!(count_stmts(&shrunk.program.loop_.body) <= 1);
+        assert_eq!(shrunk.program.live_out.len(), 1);
+        assert!(shrunk.arrays.iter().flatten().all(|&v| v == 0));
+        assert!(
+            shrunk.program.vars.len() <= 2,
+            "unused declarations pruned: {:?}",
+            shrunk.program.vars
+        );
+        if let Expr::Const(end) = shrunk.program.loop_.end {
+            assert!(end <= 8, "trip count shrunk, got end {end}");
+        }
+    }
+
+    #[test]
+    fn pruning_remaps_ids_consistently() {
+        // Delete every statement, then prune: the program must stay
+        // internally consistent (every id in range).
+        let mut case = generate(9, 12);
+        case.program.loop_.body.clear();
+        let pruned = prune_decls(&case).expect("something to prune");
+        let p = &pruned.program;
+        assert!((p.loop_.induction.0 as usize) < p.vars.len());
+        for v in &p.live_out {
+            assert!((v.0 as usize) < p.vars.len());
+        }
+        assert_eq!(pruned.arrays.len(), p.arrays.len());
+    }
+}

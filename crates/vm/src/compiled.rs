@@ -224,6 +224,9 @@ pub struct CompiledVProg {
 pub struct ExecScratch {
     uops: Vec<Uop>,
     counters: Vec<u64>,
+    /// Per-VPL remaining-work mask of the previous partition, for stall
+    /// detection (`Mask::EMPTY` = no previous partition).
+    prev_masks: Vec<Mask>,
     span: [i64; VLEN],
 }
 
@@ -262,6 +265,7 @@ impl CompiledVProg {
         ExecScratch {
             uops: self.scratch_proto.clone(),
             counters: vec![0; self.num_counters],
+            prev_masks: vec![Mask::EMPTY; self.num_counters],
             span: [0; VLEN],
         }
     }
@@ -280,6 +284,7 @@ impl CompiledVProg {
         let ExecScratch {
             uops: scratch,
             counters,
+            prev_masks,
             span,
         } = st;
         let mut pc = 0usize;
@@ -524,6 +529,9 @@ impl CompiledVProg {
                     // tree walker does the same; a mid-store fault leaves
                     // the earlier lanes written).
                     sink.observe(uop);
+                    if n > 0 {
+                        exec.chunk_stores = true;
+                    }
                     if contiguous && n > 0 {
                         for (j, lane) in k.iter_set().enumerate() {
                             span[j] = values.lane(lane);
@@ -556,6 +564,7 @@ impl CompiledVProg {
                 }
                 Instr::EnterVpl { counter } => {
                     counters[*counter] = 0;
+                    prev_masks[*counter] = Mask::EMPTY;
                 }
                 Instr::Repeat {
                     repeat_if,
@@ -565,15 +574,21 @@ impl CompiledVProg {
                 } => {
                     counters[*counter] += 1;
                     exec.stats.vpl_iterations += 1;
-                    if exec.kregs[*repeat_if].any() {
+                    let todo = exec.kregs[*repeat_if];
+                    if todo.any() {
                         if exec.aon {
                             // All-or-nothing: a detected dependency rolls
                             // the whole chunk back to scalar code.
                             return Err(ChunkAbort::Clipped);
                         }
-                        if counters[*counter] > VLEN as u64 {
+                        // Stall detection mirrors the tree walker: a
+                        // partition that retired no lanes (the
+                        // remaining-work mask did not change) would spin
+                        // forever; the iteration bound is the backstop.
+                        if todo == prev_masks[*counter] || counters[*counter] > VLEN as u64 {
                             return Err(ChunkAbort::Divergence);
                         }
+                        prev_masks[*counter] = todo;
                         pc = *body;
                         continue;
                     }

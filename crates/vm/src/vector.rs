@@ -91,6 +91,10 @@ pub(crate) struct VecExec {
     pub(crate) kregs: Vec<Mask>,
     pub(crate) vars: Vec<i64>,
     pub(crate) exit_mask: Mask,
+    /// Whether any store retired at least one lane in the current chunk.
+    /// Gates the scalar fallback on VPL stall: a chunk whose stores have
+    /// already landed in real memory cannot be re-executed.
+    pub(crate) chunk_stores: bool,
     pub(crate) stats: VectorStats,
     /// Undo log for scalar-variable writes (`ExtractVar`) since the last
     /// [`VecExec::checkpoint_vars`]: `(var, previous value)` pairs. The
@@ -138,6 +142,7 @@ impl VecExec {
             kregs: vec![Mask::EMPTY; vprog.num_kregs as usize],
             vars: program.vars.iter().map(|v| v.init).collect(),
             exit_mask: Mask::EMPTY,
+            chunk_stores: false,
             stats: VectorStats::default(),
             journal: Vec::new(),
             chunk_uops,
@@ -191,11 +196,16 @@ impl VecExec {
                 VNode::Op(op) => self.exec_op(op, mem, sink)?,
                 VNode::Vpl { body, repeat_if } => {
                     let mut iters = 0u64;
+                    // Previous partition's remaining-work mask; a nonempty
+                    // `todo` can never equal `EMPTY`, so `EMPTY` doubles
+                    // as the no-previous sentinel.
+                    let mut prev_todo = Mask::EMPTY;
                     loop {
                         self.run_nodes(body, mem, sink)?;
                         iters += 1;
                         self.stats.vpl_iterations += 1;
-                        if !self.k(*repeat_if).any() {
+                        let todo = self.k(*repeat_if);
+                        if !todo.any() {
                             break;
                         }
                         if self.aon {
@@ -203,9 +213,14 @@ impl VecExec {
                             // the whole chunk back to scalar code.
                             return Err(ChunkAbort::Clipped);
                         }
-                        if iters > VLEN as u64 {
+                        // A partition that retired no lanes (e.g. a stop
+                        // bit in lane 0 leaving `kftm` EXC with an empty
+                        // safe prefix) would spin forever; the iteration
+                        // bound stays as a backstop.
+                        if todo == prev_todo || iters > VLEN as u64 {
                             return Err(ChunkAbort::Divergence);
                         }
+                        prev_todo = todo;
                     }
                     self.stats.max_partitions = self.stats.max_partitions.max(iters);
                     // The VPL's trailing mask test is a branch per
@@ -487,6 +502,9 @@ impl VecExec {
                     None,
                     touched,
                 ));
+                if k.any() {
+                    self.chunk_stores = true;
+                }
                 for lane in k.iter_set() {
                     mem.store_lane(addrs.lane(lane) as u64, values.lane(lane))?;
                 }
@@ -500,6 +518,7 @@ impl VecExec {
         self.vregs[VProg::IV.0 as usize] = Vector::from_fn(|i| base.wrapping_add(i as i64));
         self.kregs[VProg::K_LOOP.0 as usize] = Mask::first_n(lanes);
         self.exit_mask = Mask::EMPTY;
+        self.chunk_stores = false;
         self.stats.chunks += 1;
         for uop in &self.chunk_uops {
             sink.observe(uop);
@@ -815,7 +834,7 @@ fn run_ff(
         let lanes = usize::try_from((end - base).min(VLEN as i64)).expect("bounded by VLEN");
         exec.checkpoint_vars();
         exec.begin_chunk(base, lanes, sink);
-        match body.run_chunk(&mut exec, mem, sink) {
+        let fall_back = match body.run_chunk(&mut exec, mem, sink) {
             Ok(()) => {
                 if exec.exit_mask.any() {
                     let lane = exec.exit_mask.first_set().expect("nonempty");
@@ -825,30 +844,43 @@ fn run_ff(
                     break 'chunks;
                 }
                 iterations += lanes as u64;
+                false
             }
-            Err(ChunkAbort::Clipped) => {
-                // Scalar fallback for the whole chunk, from the
-                // chunk-entry state.
-                exec.stats.ff_fallbacks += 1;
-                exec.rollback_vars();
-                machine.reset_to(&exec.vars);
-                for lane in 0..lanes {
-                    let i = base + lane as i64;
-                    match machine.step(i, mem, sink).map_err(ExecError::Fault)? {
-                        StepOutcome::Continue => iterations += 1,
-                        StepOutcome::Break => {
-                            broke = true;
-                            final_i = i;
-                            iterations += 1;
-                            std::mem::swap(&mut exec.vars, &mut machine.vars);
-                            break 'chunks;
-                        }
+            Err(ChunkAbort::Clipped) => true,
+            Err(ChunkAbort::Fault(f)) => return Err(ExecError::Fault(f)),
+            Err(ChunkAbort::Divergence) => {
+                // A stalled VPL (a partition that retired no lanes)
+                // falls back to scalar execution of the chunk so the
+                // loop still makes forward progress — but only while
+                // no store of this chunk has reached memory; re-running
+                // a chunk whose stores already landed would apply them
+                // twice.
+                if exec.chunk_stores {
+                    return Err(ExecError::VplDivergence);
+                }
+                true
+            }
+        };
+        if fall_back {
+            // Scalar fallback for the whole chunk, from the
+            // chunk-entry state.
+            exec.stats.ff_fallbacks += 1;
+            exec.rollback_vars();
+            machine.reset_to(&exec.vars);
+            for lane in 0..lanes {
+                let i = base + lane as i64;
+                match machine.step(i, mem, sink).map_err(ExecError::Fault)? {
+                    StepOutcome::Continue => iterations += 1,
+                    StepOutcome::Break => {
+                        broke = true;
+                        final_i = i;
+                        iterations += 1;
+                        std::mem::swap(&mut exec.vars, &mut machine.vars);
+                        break 'chunks;
                     }
                 }
-                std::mem::swap(&mut exec.vars, &mut machine.vars);
             }
-            Err(ChunkAbort::Fault(f)) => return Err(ExecError::Fault(f)),
-            Err(ChunkAbort::Divergence) => return Err(ExecError::VplDivergence),
+            std::mem::swap(&mut exec.vars, &mut machine.vars);
         }
         base += VLEN as i64;
     }
@@ -943,10 +975,11 @@ fn run_rtm(
                 iterations += (exit_chunk - base) as u64 + (exit_i - exit_chunk) as u64 + 1;
                 break 'tiles;
             }
-            Err(ChunkAbort::Divergence) => return Err(ExecError::VplDivergence),
             Err(_) => {
-                // Abort: restore and run the tile in scalar mode against
-                // real memory.
+                // Abort (clip, fault, or a stalled VPL): the transaction
+                // has already been rolled back, so even a divergent tile
+                // with committed-in-txn stores re-runs safely — restore
+                // and run the tile in scalar mode against real memory.
                 exec.stats = stats_snapshot;
                 exec.stats.rtm_aborts += 1;
                 exec.rollback_vars();

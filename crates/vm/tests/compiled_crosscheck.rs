@@ -249,6 +249,189 @@ fn check_engines_agree(case: &Case, spec_req: SpecRequest) -> Result<(), TestCas
     Ok(())
 }
 
+/// Forces every VPL in `vprog` to stall: the repeat mask is pinned to
+/// all-ones at the end of each partition, modeling codegen whose `kftm`
+/// EXC produced an empty safe prefix (stop bit in lane 0) so `k_todo`
+/// never shrinks. With `drop_stores`, VPL-interior stores are removed
+/// first, so the stalled chunk has committed nothing to memory.
+fn stall_vpls(nodes: &mut [flexvec::VNode], drop_stores: bool) -> bool {
+    use flexvec::{VNode, VOp};
+    let mut found = false;
+    for node in nodes.iter_mut() {
+        if let VNode::Vpl { body, repeat_if } = node {
+            found = true;
+            stall_vpls(body, drop_stores);
+            if drop_stores {
+                body.retain(|n| !matches!(n, VNode::Op(VOp::MemWrite { .. })));
+            }
+            body.push(VNode::Op(VOp::KConst {
+                dst: *repeat_if,
+                bits: 0xffff,
+            }));
+        }
+    }
+    found
+}
+
+/// A fully conflicting read-modify-write: every lane of the chunk hits
+/// `aux[0]`, so the VPL serializes to one lane per partition — the
+/// shape whose degenerate (stalled) variant the forward-progress fix
+/// covers.
+fn serialized_rmw_case() -> Case {
+    let mut b = ProgramBuilder::new("serialized_rmw");
+    let i = b.var("i", 0);
+    let t = b.var("t", 0);
+    let k = b.var("k", 0);
+    let data = b.array("data");
+    let aux = b.array("aux");
+    b.live_out(t);
+    // The index is data-dependent (invisible to static analysis), but
+    // the input data pins every lane to `aux[0]`.
+    let body = vec![
+        assign(t, add(ld(data, band(var(i), c(IDX_MASK))), var(i))),
+        assign(k, band(ld(data, band(var(i), c(IDX_MASK))), c(IDX_MASK))),
+        store(aux, var(k), add(ld(aux, var(k)), var(t))),
+    ];
+    let program = b.build_loop(i, c(0), c(40), body).unwrap();
+    let data_arr = vec![64i64; ARRAY_LEN];
+    let aux_arr = vec![0i64; ARRAY_LEN];
+    Case {
+        program,
+        arrays: vec![data_arr, aux_arr],
+    }
+}
+
+/// Runs the scalar reference on a fresh memory image.
+fn run_reference(case: &Case) -> (RunResult, Vec<Vec<i64>>) {
+    use flexvec_vm::{run_scalar, VecSink};
+    let mut mem = AddressSpace::new();
+    let ids: Vec<_> = case
+        .arrays
+        .iter()
+        .enumerate()
+        .map(|(i, d)| mem.alloc_from(&format!("a{i}"), d))
+        .collect();
+    let mut sink = VecSink::default();
+    let result = run_scalar(
+        &case.program,
+        &mut mem,
+        Bindings::new(ids.clone()),
+        &mut sink,
+    )
+    .expect("scalar reference");
+    let snapshots = ids.iter().map(|id| mem.snapshot_array(*id)).collect();
+    (result, snapshots)
+}
+
+#[test]
+fn stalled_vpl_without_stores_falls_back_to_scalar() {
+    // A VPL whose partitions retire no lanes must not spin or
+    // hard-error when the chunk has not touched memory: both engines
+    // take the chunk-level scalar fallback, which reproduces the exact
+    // scalar semantics of the original loop.
+    let case = serialized_rmw_case();
+    let vectorized = vectorize(&case.program, SpecRequest::Auto).expect("vectorizes");
+    let mut stalled = vectorized.vprog.clone();
+    assert!(
+        stall_vpls(&mut stalled.body, true),
+        "shape must contain a VPL"
+    );
+
+    let (ref_res, _) = run_reference(&case);
+    let (tree_res, tree_stats, _, tree_sink) = run_engine(&case, &stalled, Engine::TreeWalking);
+    let (comp_res, comp_stats, _, comp_sink) = run_engine(&case, &stalled, Engine::Compiled);
+
+    for res in [&tree_res, &comp_res] {
+        assert_eq!(
+            res.var(case.program.live_out[0]),
+            ref_res.var(case.program.live_out[0])
+        );
+        assert_eq!(res.iterations, ref_res.iterations);
+        assert_eq!(res.broke, ref_res.broke);
+    }
+    assert_eq!(tree_stats, comp_stats, "engines must agree on stats");
+    assert!(
+        tree_stats.ff_fallbacks >= 1,
+        "the stalled chunk must fall back: {tree_stats:?}"
+    );
+    assert_eq!(
+        tree_stats.max_partitions, 0,
+        "no VPL ever completes, so no partition count is recorded"
+    );
+    assert_eq!(
+        tree_sink.uops, comp_sink.uops,
+        "engines must agree on the trace"
+    );
+}
+
+#[test]
+fn stalled_vpl_with_committed_stores_is_a_hard_error_under_ff() {
+    // Once a store from the stalled chunk has reached real memory the
+    // scalar re-run would double-commit it, so first-faulting execution
+    // must surface VplDivergence instead — identically in both engines.
+    let case = serialized_rmw_case();
+    let vectorized = vectorize(&case.program, SpecRequest::Auto).expect("vectorizes");
+    let mut stalled = vectorized.vprog.clone();
+    assert!(stall_vpls(&mut stalled.body, false));
+
+    for engine in [Engine::TreeWalking, Engine::Compiled] {
+        let mut mem = AddressSpace::new();
+        let ids: Vec<_> = case
+            .arrays
+            .iter()
+            .enumerate()
+            .map(|(i, d)| mem.alloc_from(&format!("a{i}"), d))
+            .collect();
+        let mut sink = VecSink::default();
+        let err = run_vector_with_engine(
+            &case.program,
+            &stalled,
+            &mut mem,
+            Bindings::new(ids),
+            &mut sink,
+            engine,
+        )
+        .expect_err("stalled VPL with committed stores cannot be replayed");
+        assert!(
+            matches!(err, flexvec_vm::ExecError::VplDivergence),
+            "{engine:?}: {err:?}"
+        );
+    }
+}
+
+#[test]
+fn stalled_vpl_under_rtm_falls_back_to_scalar_tiles() {
+    // RTM aborts the transaction before falling back, so even a stalled
+    // VPL *with* stores re-runs safely as a scalar tile.
+    let case = serialized_rmw_case();
+    let vectorized = vectorize(&case.program, SpecRequest::Rtm { tile: 64 }).expect("vectorizes");
+    let mut stalled = vectorized.vprog.clone();
+    assert!(stall_vpls(&mut stalled.body, false));
+
+    let (ref_res, ref_mem) = run_reference(&case);
+    let (tree_res, tree_stats, tree_mem, tree_sink) =
+        run_engine(&case, &stalled, Engine::TreeWalking);
+    let (comp_res, comp_stats, comp_mem, comp_sink) = run_engine(&case, &stalled, Engine::Compiled);
+
+    for (res, mem) in [(&tree_res, &tree_mem), (&comp_res, &comp_mem)] {
+        assert_eq!(
+            res.var(case.program.live_out[0]),
+            ref_res.var(case.program.live_out[0])
+        );
+        assert_eq!(res.iterations, ref_res.iterations);
+        assert_eq!(
+            mem, &ref_mem,
+            "scalar-tile fallback must match the reference"
+        );
+    }
+    assert_eq!(tree_stats, comp_stats);
+    assert!(
+        tree_stats.rtm_aborts >= 1,
+        "stalled tiles must abort to scalar: {tree_stats:?}"
+    );
+    assert_eq!(tree_sink.uops, comp_sink.uops);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
 

@@ -1,0 +1,93 @@
+//! The fuzzer's repro corpus and mutation-testing teeth.
+//!
+//! Every minimized `.fv` repro committed under `tests/repros/` re-runs
+//! as an ordinary corpus test through the full differential check
+//! (scalar oracle vs every engine × spec combination, plus the
+//! front-end round-trip and compile-cache paths). And the harness's
+//! detection power is asserted directly: each known semantic mutant
+//! must be caught by a generated case and auto-shrunk to a standalone
+//! repro of at most 20 lines.
+
+use std::path::{Path, PathBuf};
+
+use flexvec_front::{parse_file, parse_str, CompileCache};
+use flexvec_fuzz::{check_case, run_mutants, CheckConfig, FuzzCase, Mutant};
+
+fn repro_files() -> Vec<PathBuf> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/repros");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("tests/repros exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "fv"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn committed_repros_pass_the_full_differential_check() {
+    let files = repro_files();
+    assert!(!files.is_empty(), "the repro corpus must not be empty");
+    let cache = CompileCache::new();
+    for file in &files {
+        let kernel = parse_file(file)
+            .unwrap_or_else(|d| panic!("{}: repro must parse: {d:?}", file.display()));
+        let case = FuzzCase {
+            arrays: kernel.materialize_arrays(),
+            program: kernel.program,
+        };
+        let check = CheckConfig {
+            front_end: Some(&cache),
+            mutate: None,
+        };
+        if let Err(d) = check_case(&case, &check) {
+            panic!(
+                "{}: diverges under {}: {}",
+                file.display(),
+                d.config,
+                d.detail
+            );
+        }
+    }
+}
+
+#[test]
+fn every_known_mutant_is_caught_and_shrunk_to_a_small_repro() {
+    let reports = run_mutants(0, 200, 400);
+    assert_eq!(reports.len(), Mutant::ALL.len());
+    for report in reports {
+        let name = report.mutant.name();
+        assert!(
+            report.caught,
+            "mutant {name} escaped {} generated cases",
+            report.cases_tried
+        );
+        let repro = report.repro.expect("caught mutants carry a repro");
+        let lines = repro.lines().count();
+        assert!(
+            lines <= 20,
+            "mutant {name} repro is {lines} lines (limit 20):\n{repro}"
+        );
+        assert!(
+            repro.contains("expected vs actual"),
+            "mutant {name} repro must embed the expected-vs-actual outcome:\n{repro}"
+        );
+
+        // The repro is standalone: it reparses, and on unmutated HEAD
+        // it passes the very check that caught the mutant.
+        let parsed = parse_str("<mutant-repro>", &repro)
+            .unwrap_or_else(|d| panic!("mutant {name} repro must reparse: {d:?}"));
+        let case = FuzzCase {
+            arrays: parsed.materialize_arrays(),
+            program: parsed.program,
+        };
+        let clean = CheckConfig {
+            front_end: None,
+            mutate: None,
+        };
+        assert!(
+            check_case(&case, &clean).is_ok(),
+            "mutant {name} repro must pass clean on HEAD"
+        );
+    }
+}

@@ -84,6 +84,50 @@ fn execution_shares_the_same_cache_entries() {
 }
 
 #[test]
+fn parallel_submission_reports_exact_hit_rates() {
+    // A parallel `flexvecc run`-shaped workload: many threads submitting
+    // the whole corpus at once. The counters must balance exactly —
+    // every lookup is either a hit or a miss, each distinct
+    // (kernel, spec) key misses exactly once, and the pipeline compile
+    // counter equals the miss count.
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 20;
+    let files = corpus_files();
+    let cache = CompileCache::new();
+    let specs = [
+        SpecRequest::Auto,
+        SpecRequest::Rtm { tile: 64 },
+        SpecRequest::Rtm { tile: 256 },
+    ];
+
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|| {
+                for _ in 0..ROUNDS {
+                    for file in &files {
+                        for spec in specs {
+                            check_fv_file(file, &cache, spec);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = cache.stats();
+    let lookups = (THREADS * ROUNDS * files.len() * specs.len()) as u64;
+    let distinct = (files.len() * specs.len()) as u64;
+    assert_eq!(
+        stats.hits + stats.misses,
+        lookups,
+        "no lost counter updates"
+    );
+    assert_eq!(stats.misses, distinct, "one miss per distinct key");
+    assert_eq!(stats.entries, distinct);
+    assert_eq!(cache.compiles(), distinct, "one compile per distinct key");
+}
+
+#[test]
 fn distinct_specs_are_distinct_cache_keys() {
     let files = corpus_files();
     let cache = CompileCache::new();

@@ -8,8 +8,105 @@
 mod common;
 
 use common::{build_case, case_spec};
-use flexvec_front::{parse_str, to_fv};
+use flexvec_front::{parse_str, to_fv, to_fv_kernel, ArrayInit, ArrayInput};
+use flexvec_ir::build::*;
+use flexvec_ir::{Program, ProgramBuilder};
 use proptest::prelude::*;
+
+/// Print → reparse must be the identity on both the AST and (via
+/// [`to_fv_kernel`]) the array input recipes; printing must be a
+/// fixpoint through a parse.
+fn assert_kernel_roundtrip(program: &Program, inputs: &[ArrayInput]) {
+    let text = to_fv_kernel(program, inputs);
+    let parsed = parse_str("<roundtrip>", &text)
+        .unwrap_or_else(|d| panic!("reparse failed: {}\n--- text ---\n{text}", d.summary()));
+    assert_eq!(&parsed.program, program, "--- text ---\n{text}");
+    assert_eq!(&parsed.inputs[..], inputs, "--- text ---\n{text}");
+    assert_eq!(to_fv_kernel(&parsed.program, &parsed.inputs), text);
+}
+
+#[test]
+fn extreme_integer_literals_roundtrip_in_every_position() {
+    // The full literal range — including `i64::MIN`, whose magnitude
+    // does not fit in `i64` and must survive the printer's `-` +
+    // magnitude split — in var initializers, expression constants,
+    // loop bounds, store values, and explicit array data.
+    let extremes = [i64::MIN, i64::MIN + 1, -1, 0, 1, i64::MAX - 1, i64::MAX];
+    for &x in &extremes {
+        let mut b = ProgramBuilder::new("extreme");
+        let i = b.var("i", 0);
+        let v = b.var("v", x);
+        let a = b.array("a");
+        b.live_out(v);
+        let program = b
+            .build_loop(
+                i,
+                c(0),
+                c(4),
+                vec![
+                    assign(v, add(var(v), c(x))),
+                    if_(lt(var(v), c(x)), vec![assign(v, max2(var(v), c(x)))]),
+                    store(a, band(var(i), c(3)), sub(c(x), var(v))),
+                ],
+            )
+            .unwrap();
+        let inputs = vec![ArrayInput {
+            name: "a".to_owned(),
+            init: ArrayInit::Explicit(vec![x, 0, x.wrapping_neg(), 1]),
+        }];
+        assert_kernel_roundtrip(&program, &inputs);
+    }
+
+    // `i64::MIN` as a loop bound exercises the literal in the header.
+    let mut b = ProgramBuilder::new("bounds");
+    let i = b.var("i", i64::MIN);
+    let s = b.var("s", 0);
+    b.live_out(s);
+    let program = b
+        .build_loop(
+            i,
+            c(i64::MIN),
+            c(i64::MIN + 3),
+            vec![assign(s, add(var(s), c(1)))],
+        )
+        .unwrap();
+    assert_kernel_roundtrip(&program, &[]);
+}
+
+#[test]
+fn array_input_recipes_roundtrip() {
+    let mut b = ProgramBuilder::new("inputs");
+    let i = b.var("i", 0);
+    let s = b.var("s", 0);
+    let names = ["d", "z", "sd", "ex", "empty"];
+    let arrays: Vec<_> = names.iter().map(|&n| b.array(n)).collect();
+    b.live_out(s);
+    let body = vec![assign(s, add(var(s), ld(arrays[0], band(var(i), c(3)))))];
+    let program = b.build_loop(i, c(0), c(8), body).unwrap();
+    let inputs = vec![
+        ArrayInput {
+            name: "d".to_owned(),
+            init: ArrayInit::Default,
+        },
+        ArrayInput {
+            name: "z".to_owned(),
+            init: ArrayInit::Len(10),
+        },
+        ArrayInput {
+            name: "sd".to_owned(),
+            init: ArrayInit::Seeded { len: 16, seed: 42 },
+        },
+        ArrayInput {
+            name: "ex".to_owned(),
+            init: ArrayInit::Explicit(vec![i64::MIN, -1, 0, i64::MAX]),
+        },
+        ArrayInput {
+            name: "empty".to_owned(),
+            init: ArrayInit::Explicit(vec![]),
+        },
+    ];
+    assert_kernel_roundtrip(&program, &inputs);
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
