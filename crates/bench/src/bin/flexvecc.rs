@@ -6,15 +6,25 @@
 //! flexvecc run       <files|dirs...>   execute scalar vs FlexVec, report speedups
 //! flexvecc bench     <files|dirs...>   submit the corpus repeatedly, report cache hit rates
 //! flexvecc fuzz [mutants]              differential fuzzing / mutation testing
+//! flexvecc serve                       resident compile-and-execute daemon
+//! flexvecc client <op> [file.fv]       talk to a running daemon (or pipe stdin)
 //! ```
 //!
 //! Common flags: `--engine tree|compiled`, `--spec ff|rtm[:TILE]`,
 //! `--json`; `run`/`bench` also take `--invocations N` and `bench` takes
 //! `--waves N`. `fuzz` takes `--seed N`, `--iters N`, `--budget-ms N`
 //! and `--repro-dir PATH` (where divergence/mutant repros are written).
+//! `serve` takes `--addr`, `--metrics-addr` (or `off`), `--workers`,
+//! `--queue`, `--cache` and `--deadline-ms`; `client` takes `--addr`
+//! plus the run flags. `--version` prints the build identity.
+//!
+//! SIGINT in the long-running modes (`serve`, `fuzz`, `bench`) drains
+//! gracefully: the in-flight unit of work finishes and a partial report
+//! is emitted; a second SIGINT aborts.
+//!
 //! Exit status: 0 on success, 1 if any kernel failed to parse or
-//! execute (or the fuzzer found a divergence / an escaped mutant), 2 on
-//! usage errors.
+//! execute (or the fuzzer found a divergence / an escaped mutant, or a
+//! client request returned an error), 2 on usage errors.
 
 use flexvec_bench::flags::{CommonFlags, ExtraFlag};
 use flexvec_bench::fv::{
@@ -22,12 +32,24 @@ use flexvec_bench::fv::{
     render_cache_line, render_fv_reports, FvReport,
 };
 use flexvec_front::CompileCache;
+use flexvec_serve::Json;
 
-const ABOUT: &str = "flexvecc: check, vectorize, run, bench and fuzz .fv loop kernels";
+const ABOUT: &str = "flexvecc: check, vectorize, run, bench, fuzz and serve .fv loop kernels";
+
+/// Default daemon address shared by `serve` and `client`.
+const DEFAULT_ADDR: &str = "127.0.0.1:9941";
+const DEFAULT_METRICS_ADDR: &str = "127.0.0.1:9942";
 
 fn main() {
+    if std::env::args()
+        .skip(1)
+        .any(|a| a == "--version" || a == "-V")
+    {
+        println!("flexvecc {}", flexvec_serve::build_info());
+        return;
+    }
     let flags = CommonFlags::parse(
-        "flexvecc <check|vectorize|run|bench|fuzz> <files|dirs...>",
+        "flexvecc <check|vectorize|run|bench|fuzz|serve|client> <files|dirs...>",
         ABOUT,
         &[
             ExtraFlag {
@@ -54,16 +76,46 @@ fn main() {
                 name: "repro-dir",
                 help: "where fuzz writes minimized repros (default tests/repros)",
             },
+            ExtraFlag {
+                name: "addr",
+                help: "daemon request address for serve/client (default 127.0.0.1:9941)",
+            },
+            ExtraFlag {
+                name: "metrics-addr",
+                help: "daemon /metrics address for serve, or `off` (default 127.0.0.1:9942)",
+            },
+            ExtraFlag {
+                name: "workers",
+                help: "serve worker pool size (default 4)",
+            },
+            ExtraFlag {
+                name: "queue",
+                help: "serve admission queue capacity (default 64)",
+            },
+            ExtraFlag {
+                name: "cache",
+                help: "serve compile-cache capacity, 0 = unbounded (default 1024)",
+            },
+            ExtraFlag {
+                name: "deadline-ms",
+                help: "request deadline in ms for serve defaults / client requests",
+            },
         ],
     );
     let Some((cmd, paths)) = flags.positional.split_first() else {
         eprintln!(
-            "{ABOUT}\nusage: flexvecc <check|vectorize|run|bench|fuzz> <files|dirs...> (see --help)"
+            "{ABOUT}\nusage: flexvecc <check|vectorize|run|bench|fuzz|serve|client> <files|dirs...> (see --help)"
         );
         std::process::exit(2);
     };
     if cmd == "fuzz" {
         std::process::exit(if fuzz_cmd(&flags, paths) { 1 } else { 0 });
+    }
+    if cmd == "serve" {
+        std::process::exit(serve_cmd(&flags));
+    }
+    if cmd == "client" {
+        std::process::exit(client_cmd(&flags, paths));
     }
     if paths.is_empty() {
         eprintln!("flexvecc {cmd}: no input files (see --help)");
@@ -110,10 +162,18 @@ fn main() {
             reports.iter().any(FvReport::is_failure)
         }
         "bench" => {
+            flexvec_serve::install_sigint_handler();
             let waves = flags.u64_flag("waves", 2).max(1);
             let mut any_failed = false;
             let mut last_reports = Vec::new();
             for wave in 1..=waves {
+                if flexvec_serve::interrupted() {
+                    eprintln!(
+                        "flexvecc bench: interrupted after wave {} of {waves} — partial report follows",
+                        wave - 1
+                    );
+                    break;
+                }
                 cache.reset_counters();
                 let start = std::time::Instant::now();
                 let reports =
@@ -182,14 +242,35 @@ fn fuzz_campaign(
     budget_ms: u64,
     repro_dir: &std::path::Path,
 ) -> bool {
+    flexvec_serve::install_sigint_handler();
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    {
+        // Bridge the process-wide SIGINT flag into the campaign's
+        // cooperative stop flag; the watcher dies with the process.
+        let stop = std::sync::Arc::clone(&stop);
+        std::thread::spawn(move || loop {
+            if flexvec_serve::interrupted() {
+                stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        });
+    }
     let started = std::time::Instant::now();
     let outcome = flexvec_fuzz::run_fuzz(&flexvec_fuzz::FuzzConfig {
         seed,
         iters,
         budget_ms,
+        stop: Some(stop),
         ..flexvec_fuzz::FuzzConfig::default()
     });
     let elapsed = started.elapsed();
+    if outcome.interrupted {
+        eprintln!(
+            "flexvecc fuzz: interrupted after {} case(s) — partial report follows",
+            outcome.cases
+        );
+    }
     if flags.json {
         let divergence = match &outcome.divergence {
             None => "null".to_owned(),
@@ -202,19 +283,23 @@ fn fuzz_campaign(
             ),
         };
         println!(
-            "{{\n  \"seed\": {seed},\n  \"cases\": {},\n  \"vector_runs\": {},\n  \"rejected_specs\": {},\n  \"elapsed_ms\": {},\n  \"divergence\": {divergence}\n}}",
+            "{{\n  \"seed\": {seed},\n  \"cases\": {},\n  \"vector_runs\": {},\n  \"rejected_specs\": {},\n  \"elapsed_ms\": {},\n  \"interrupted\": {},\n  \"divergence\": {divergence}\n}}",
             outcome.cases,
             outcome.vector_runs,
             outcome.rejected_specs,
-            elapsed.as_millis()
+            elapsed.as_millis(),
+            outcome.interrupted
         );
     }
     match &outcome.divergence {
         None => {
             if !flags.json {
                 println!(
-                    "fuzz: seed {seed}: {} cases, {} vector runs, {} rejected spec combos in {elapsed:.2?} — no divergence",
-                    outcome.cases, outcome.vector_runs, outcome.rejected_specs
+                    "fuzz: seed {seed}: {} cases, {} vector runs, {} rejected spec combos in {elapsed:.2?} — no divergence{}",
+                    outcome.cases,
+                    outcome.vector_runs,
+                    outcome.rejected_specs,
+                    if outcome.interrupted { " (partial: interrupted)" } else { "" }
                 );
             }
             false
@@ -310,4 +395,145 @@ fn kernel_mix(
     let (compiled, _) = cache.get_or_compile(&kernel.program, spec);
     let plan = compiled.plan.as_ref().ok()?;
     Some(plan.vectorized.vprog.inst_mix().flexvec_summary())
+}
+
+/// `flexvecc serve` — runs the resident daemon until SIGINT, then
+/// drains gracefully. Returns the process exit code.
+fn serve_cmd(flags: &CommonFlags) -> i32 {
+    let metrics_addr = match flags.str_flag("metrics-addr", DEFAULT_METRICS_ADDR) {
+        s if s == "off" => None,
+        s => Some(s),
+    };
+    let config = flexvec_serve::ServerConfig {
+        addr: flags.str_flag("addr", DEFAULT_ADDR),
+        metrics_addr,
+        workers: flags.u64_flag("workers", 4).max(1) as usize,
+        queue_capacity: flags.u64_flag("queue", 64).max(1) as usize,
+        cache_capacity: flags.u64_flag("cache", 1024) as usize,
+        default_deadline_ms: match flags.u64_flag("deadline-ms", 0) {
+            0 => None,
+            n => Some(n),
+        },
+    };
+    flexvec_serve::install_sigint_handler();
+    let handle = match flexvec_serve::start(config.clone()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("flexvecc serve: cannot start: {e}");
+            return 2;
+        }
+    };
+    println!("{}", flexvec_serve::startup_line(&handle, &config));
+    while !flexvec_serve::interrupted() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    eprintln!("flexvecc serve: SIGINT received — draining (press ^C again to abort)");
+    handle.shutdown();
+    eprintln!("flexvecc serve: drained cleanly");
+    0
+}
+
+/// `flexvecc client` — one request against a running daemon, or a
+/// stdin pipeline of raw protocol lines. Returns the exit code.
+fn client_cmd(flags: &CommonFlags, args: &[String]) -> i32 {
+    let addr = flags.str_flag("addr", DEFAULT_ADDR);
+    let mut client = match flexvec_serve::Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("flexvecc client: cannot connect to {addr}: {e}");
+            return 2;
+        }
+    };
+    match args.first().map(String::as_str) {
+        // Pipeline mode: forward raw request lines from stdin, print
+        // one response line each.
+        None | Some("-") => {
+            use std::io::BufRead;
+            let stdin = std::io::stdin();
+            let mut failed = false;
+            for line in stdin.lock().lines() {
+                let line = match line {
+                    Ok(l) => l,
+                    Err(e) => {
+                        eprintln!("flexvecc client: stdin: {e}");
+                        return 2;
+                    }
+                };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match client.request_raw(&line) {
+                    Ok(response) => {
+                        failed |= response.contains("\"ok\":false");
+                        println!("{response}");
+                    }
+                    Err(e) => {
+                        eprintln!("flexvecc client: {e}");
+                        return 2;
+                    }
+                }
+            }
+            i32::from(failed)
+        }
+        Some("stats") => emit_client_response(
+            &mut client,
+            &flexvec_serve::Json::obj([("op", Json::from("stats"))]),
+        ),
+        Some(op @ ("compile" | "run" | "bench")) => {
+            let Some(file) = args.get(1) else {
+                eprintln!("flexvecc client: `{op}` needs a .fv file (see --help)");
+                return 2;
+            };
+            let source = match std::fs::read_to_string(file) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("flexvecc client: cannot read {file}: {e}");
+                    return 2;
+                }
+            };
+            let spec = match flags.spec {
+                flexvec::SpecRequest::Auto => "ff".to_owned(),
+                flexvec::SpecRequest::Rtm { tile } => format!("rtm:{tile}"),
+            };
+            let engine = match flags.engine {
+                flexvec_vm::Engine::TreeWalking => "tree",
+                flexvec_vm::Engine::Compiled => "compiled",
+            };
+            let mut request = vec![
+                ("op", Json::from(op)),
+                ("source", Json::from(source)),
+                ("spec", Json::from(spec)),
+                ("engine", Json::from(engine)),
+                (
+                    "invocations",
+                    Json::from(flags.u64_flag("invocations", 3).max(1)),
+                ),
+            ];
+            if let n @ 1.. = flags.u64_flag("deadline-ms", 0) {
+                request.push(("deadline_ms", Json::from(n)));
+            }
+            emit_client_response(&mut client, &Json::obj(request))
+        }
+        Some(other) => {
+            eprintln!(
+                "flexvecc client: unknown op `{other}` (expected compile, run, bench, stats or `-`)"
+            );
+            2
+        }
+    }
+}
+
+/// Sends one request, prints the response line, and maps `ok` to the
+/// exit code.
+fn emit_client_response(client: &mut flexvec_serve::Client, request: &Json) -> i32 {
+    match client.request(request) {
+        Ok(response) => {
+            println!("{response}");
+            i32::from(response.get("ok").and_then(Json::as_bool) != Some(true))
+        }
+        Err(e) => {
+            eprintln!("flexvecc client: {e}");
+            2
+        }
+    }
 }

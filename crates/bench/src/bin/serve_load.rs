@@ -1,0 +1,311 @@
+//! `serve_load` — load generator for the flexvec-serve daemon.
+//!
+//! Starts an in-process daemon on an ephemeral port, drives it over
+//! real TCP from a pool of client threads, and reports p50/p95/p99
+//! latency plus sustained req/s for three traffic shapes:
+//!
+//! * **repeat** — the same small kernel set over and over: every
+//!   request after the warmup is a compile-cache hit;
+//! * **one-shot** — every request is a distinct kernel: every request
+//!   pays the full analyze→vectorize→bytecode-compile pipeline;
+//! * **run** — end-to-end execute requests (scalar baseline + vector
+//!   + verification) for execution-latency percentiles.
+//!
+//! The headline number is the repeat/one-shot throughput ratio: the
+//! service exists so that repeat-kernel traffic skips compilation, and
+//! this driver fails (exit 1) if that ratio drops below 5× — both
+//! shapes travel the same wire and queue, so the ratio isolates the
+//! cache.
+//!
+//! ```text
+//! serve_load [--clients N] [--requests N] [--kernels K] [--workers N] [--json]
+//! ```
+
+use std::time::{Duration, Instant};
+
+use flexvec_bench::flags::{json_f64, CommonFlags, ExtraFlag};
+use flexvec_serve::{start, Client, Json, ServerConfig};
+
+/// Minimum repeat/one-shot throughput ratio the run must demonstrate.
+const MIN_SPEEDUP: f64 = 5.0;
+
+/// How many conditional-update patterns each generated kernel carries.
+/// Sized so the analyze→vectorize→bytecode-compile pipeline (what the
+/// cache amortizes) dominates one TCP round-trip, as it does for
+/// production-sized kernels.
+const PATTERNS: u64 = 12;
+
+fn kernel_source(n: u64) -> String {
+    // Distinct constants give distinct ASTs (and so distinct cache
+    // keys); the shape is the paper's conditional-update minimum,
+    // repeated over independent arrays.
+    let mut src = format!("kernel k{n};\nvar i = 0;\n");
+    for p in 0..PATTERNS {
+        src.push_str(&format!("var b{p} = 9223372036854775807;\n"));
+    }
+    for p in 0..PATTERNS {
+        src.push_str(&format!("array a{p}[64] = seed {};\n", n + p + 1));
+    }
+    for p in 0..PATTERNS {
+        src.push_str(&format!("live_out b{p};\n"));
+    }
+    src.push_str("for (i = 0; i < 64; i++) {\n");
+    for p in 0..PATTERNS {
+        src.push_str(&format!(
+            "  if (a{p}[i] + {n} < b{p}) {{\n    b{p} = a{p}[i] + {n};\n  }}\n"
+        ));
+    }
+    src.push_str("}\n");
+    src
+}
+
+struct Phase {
+    latencies: Vec<Duration>,
+    wall: Duration,
+    failures: u64,
+}
+
+impl Phase {
+    fn req_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.latencies.len() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    fn percentile(&self, p: f64) -> Duration {
+        let mut sorted = self.latencies.clone();
+        sorted.sort();
+        if sorted.is_empty() {
+            return Duration::ZERO;
+        }
+        let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+        sorted[idx]
+    }
+}
+
+/// Fires `total` requests at the daemon from `clients` threads; the
+/// request body for global index `i` comes from `make`.
+fn drive(addr: &str, clients: usize, total: u64, make: impl Fn(u64) -> Json + Sync) -> Phase {
+    let per_client = total.div_ceil(clients as u64);
+    let started = Instant::now();
+    let results: Vec<(Vec<Duration>, u64)> = std::thread::scope(|scope| {
+        let make = &make;
+        let handles: Vec<_> = (0..clients as u64)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect load client");
+                    let mut latencies = Vec::new();
+                    let mut failures = 0u64;
+                    let lo = c * per_client;
+                    let hi = (lo + per_client).min(total);
+                    for i in lo..hi {
+                        let request = make(i);
+                        let t0 = Instant::now();
+                        let response = client.request(&request).expect("request");
+                        latencies.push(t0.elapsed());
+                        if response.get("ok").and_then(Json::as_bool) != Some(true) {
+                            failures += 1;
+                        }
+                    }
+                    (latencies, failures)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = started.elapsed();
+    let mut latencies = Vec::new();
+    let mut failures = 0;
+    for (l, f) in results {
+        latencies.extend(l);
+        failures += f;
+    }
+    Phase {
+        latencies,
+        wall,
+        failures,
+    }
+}
+
+fn compile_request(source: String) -> Json {
+    Json::obj([
+        ("op", Json::from("compile")),
+        ("source", Json::from(source)),
+    ])
+}
+
+fn main() {
+    let flags = CommonFlags::parse(
+        "serve_load",
+        "serve_load: drive a flexvec-serve daemon and measure latency/throughput",
+        &[
+            ExtraFlag {
+                name: "clients",
+                help: "concurrent client connections (default 4)",
+            },
+            ExtraFlag {
+                name: "requests",
+                help: "requests per measured phase (default 1000)",
+            },
+            ExtraFlag {
+                name: "kernels",
+                help: "distinct kernels in the repeat set (default 8)",
+            },
+            ExtraFlag {
+                name: "workers",
+                help: "daemon worker pool size (default 4)",
+            },
+            ExtraFlag {
+                name: "run-requests",
+                help: "execute requests for the run-latency phase (default 60)",
+            },
+        ],
+    );
+    let clients = flags.u64_flag("clients", 4).max(1) as usize;
+    let requests = flags.u64_flag("requests", 1000).max(1);
+    let kernels = flags.u64_flag("kernels", 8).max(1);
+    let workers = flags.u64_flag("workers", 4).max(1) as usize;
+    let run_requests = flags.u64_flag("run-requests", 60).max(1);
+
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        metrics_addr: Some("127.0.0.1:0".to_owned()),
+        workers,
+        queue_capacity: 256,
+        cache_capacity: 0,
+        default_deadline_ms: None,
+    };
+    let handle = start(config).expect("start daemon");
+    let addr = handle.addr.to_string();
+
+    // Warmup: register + compile the repeat set once, collecting the
+    // content hashes the daemon assigns.
+    let mut warm_client = Client::connect(&addr).expect("connect warmup client");
+    let hashes: Vec<String> = (0..kernels)
+        .map(|i| {
+            let response = warm_client
+                .request(&compile_request(kernel_source(i)))
+                .expect("warmup request");
+            assert_eq!(
+                response.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "warmup compile failed: {response}"
+            );
+            response
+                .get("hash")
+                .and_then(Json::as_str)
+                .expect("warmup response carries hash")
+                .to_owned()
+        })
+        .collect();
+    drop(warm_client);
+
+    // Repeat-kernel traffic: requests reference the registered hash —
+    // no source on the wire, no parse, pure cache hits.
+    let hashes_ref = &hashes;
+    let repeat = drive(&addr, clients, requests, |i| {
+        Json::obj([
+            ("op", Json::from("compile")),
+            (
+                "hash",
+                Json::from(hashes_ref[(i % kernels) as usize].as_str()),
+            ),
+        ])
+    });
+
+    // One-shot traffic: every request is a new kernel (ids offset past
+    // the repeat set), so every request compiles.
+    let oneshot = drive(&addr, clients, requests, |i| {
+        compile_request(kernel_source(1_000_000 + i))
+    });
+
+    // Execute traffic, for end-to-end run latency percentiles.
+    let run = drive(&addr, clients, run_requests, |i| {
+        Json::obj([
+            ("op", Json::from("run")),
+            ("source", Json::from(kernel_source(i % kernels))),
+        ])
+    });
+
+    let metrics_text = handle
+        .metrics_addr
+        .map(|a| flexvec_serve::fetch_metrics(&a.to_string()).expect("scrape /metrics"));
+    let stats = handle.engine().cache().stats();
+    let speedup = repeat.req_per_sec() / oneshot.req_per_sec().max(1e-9);
+    let failures = repeat.failures + oneshot.failures + run.failures;
+    handle.shutdown();
+
+    if flags.json {
+        println!(
+            "{{\n  \"clients\": {clients},\n  \"requests\": {requests},\n  \"kernels\": {kernels},\n  \
+             \"repeat_rps\": {},\n  \"oneshot_rps\": {},\n  \"speedup\": {},\n  \
+             \"repeat_p50_us\": {},\n  \"repeat_p95_us\": {},\n  \"repeat_p99_us\": {},\n  \
+             \"run_p50_us\": {},\n  \"run_p95_us\": {},\n  \"run_p99_us\": {},\n  \
+             \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"failures\": {failures}\n}}",
+            json_f64(repeat.req_per_sec()),
+            json_f64(oneshot.req_per_sec()),
+            json_f64(speedup),
+            repeat.percentile(0.50).as_micros(),
+            repeat.percentile(0.95).as_micros(),
+            repeat.percentile(0.99).as_micros(),
+            run.percentile(0.50).as_micros(),
+            run.percentile(0.95).as_micros(),
+            run.percentile(0.99).as_micros(),
+            stats.hits,
+            stats.misses,
+        );
+    } else {
+        println!(
+            "serve_load: {clients} clients x {requests} requests, {kernels}-kernel repeat set, {workers} workers"
+        );
+        println!(
+            "  repeat (cache-hit):  {:>9.0} req/s   p50 {:>6?} p95 {:>6?} p99 {:>6?}",
+            repeat.req_per_sec(),
+            repeat.percentile(0.50),
+            repeat.percentile(0.95),
+            repeat.percentile(0.99),
+        );
+        println!(
+            "  one-shot (compile):  {:>9.0} req/s   p50 {:>6?} p95 {:>6?} p99 {:>6?}",
+            oneshot.req_per_sec(),
+            oneshot.percentile(0.50),
+            oneshot.percentile(0.95),
+            oneshot.percentile(0.99),
+        );
+        println!(
+            "  run (exec+verify):   {:>9.0} req/s   p50 {:>6?} p95 {:>6?} p99 {:>6?}",
+            run.req_per_sec(),
+            run.percentile(0.50),
+            run.percentile(0.95),
+            run.percentile(0.99),
+        );
+        println!(
+            "  cache: {} hits / {} misses; repeat-vs-one-shot speedup: {speedup:.1}x",
+            stats.hits, stats.misses
+        );
+        if let Some(text) = &metrics_text {
+            let hits = text
+                .lines()
+                .find(|l| l.starts_with("flexvec_cache_hits_total"))
+                .unwrap_or("flexvec_cache_hits_total <missing>");
+            println!("  /metrics scrape ok ({hits})");
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("serve_load: {failures} request(s) failed");
+        std::process::exit(1);
+    }
+    if speedup < MIN_SPEEDUP {
+        eprintln!(
+            "serve_load: repeat-kernel speedup {speedup:.1}x is below the required {MIN_SPEEDUP:.0}x"
+        );
+        std::process::exit(1);
+    }
+}

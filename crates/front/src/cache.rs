@@ -91,6 +91,13 @@ pub fn verdict_summary(verdict: &Verdict) -> String {
 /// The pipeline memo map. Cheap to share by reference across the
 /// threads of a batch driver; create one per process (or per
 /// `flexvecc` invocation) and submit every kernel through it.
+///
+/// Batch drivers use the unbounded [`CompileCache::new`]; a resident
+/// server caps residency with [`CompileCache::with_capacity`]
+/// (segmented-LRU eviction, see [`ShardedCache::with_capacity`]) so the
+/// cache cannot grow without bound across days of traffic, and submits
+/// through [`CompileCache::get_or_compile_coalesced`] so one slow
+/// compilation never stalls unrelated kernels.
 #[derive(Debug, Default)]
 pub struct CompileCache {
     entries: ShardedCache<CompiledKernel>,
@@ -101,6 +108,23 @@ impl CompileCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty cache bounded to roughly `capacity` entries
+    /// with segmented-LRU eviction (exact bound documented on
+    /// [`ShardedCache::with_capacity`]). Evicted kernels recompile on
+    /// their next submission — correctness is unaffected, only the
+    /// hit rate.
+    pub fn with_capacity(capacity: usize) -> Self {
+        CompileCache {
+            entries: ShardedCache::with_capacity(capacity),
+            compiles: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured capacity bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.entries.capacity()
     }
 
     /// The cache key for `program` under `spec`: the stable AST hash
@@ -128,22 +152,43 @@ impl CompileCache {
         spec: SpecRequest,
     ) -> (Arc<CompiledKernel>, bool) {
         let key = Self::key(program, spec);
-        self.entries.get_or_insert_with(key, || {
-            self.compiles.fetch_add(1, Ordering::Relaxed);
-            let analysis = analyze(program);
-            let plan = vectorize(program, spec).map(|vectorized| {
-                let compiled = CompiledVProg::compile(&vectorized.vprog);
-                CompiledPlan {
-                    vectorized,
-                    compiled,
-                }
-            });
-            CompiledKernel {
-                program_hash: program_hash(program),
-                analysis,
-                plan,
+        self.entries
+            .get_or_insert_with(key, || self.compile(program, spec))
+    }
+
+    /// [`CompileCache::get_or_compile`] with request coalescing: the
+    /// pipeline runs with no shard lock held, concurrent submitters of
+    /// the same (AST, spec) pair park until the one in-flight
+    /// compilation finishes, and submitters of *different* kernels
+    /// proceed unblocked even when their keys share a shard. The
+    /// resident server's admission path.
+    pub fn get_or_compile_coalesced(
+        &self,
+        program: &Program,
+        spec: SpecRequest,
+    ) -> (Arc<CompiledKernel>, bool) {
+        let key = Self::key(program, spec);
+        self.entries
+            .get_or_insert_coalesced(key, || self.compile(program, spec))
+    }
+
+    /// Runs the full analyze→vectorize→bytecode-compile pipeline (the
+    /// cache-miss path).
+    fn compile(&self, program: &Program, spec: SpecRequest) -> CompiledKernel {
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        let analysis = analyze(program);
+        let plan = vectorize(program, spec).map(|vectorized| {
+            let compiled = CompiledVProg::compile(&vectorized.vprog);
+            CompiledPlan {
+                vectorized,
+                compiled,
             }
-        })
+        });
+        CompiledKernel {
+            program_hash: program_hash(program),
+            analysis,
+            plan,
+        }
     }
 
     /// How many times the full analyze→vectorize→compile pipeline
@@ -216,6 +261,68 @@ mod tests {
         let rtm2 = CompileCache::key(&p, SpecRequest::Rtm { tile: 512 });
         assert_ne!(auto, rtm);
         assert_ne!(rtm, rtm2);
+    }
+
+    #[test]
+    fn coalesced_submission_compiles_once() {
+        let cache = CompileCache::new();
+        let p = cond_min();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let (k, _) = cache.get_or_compile_coalesced(&p, SpecRequest::Auto);
+                    assert!(k.plan.is_ok());
+                });
+            }
+        });
+        assert_eq!(cache.compiles(), 1, "one pipeline run for 8 submitters");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 7);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_and_recompiles() {
+        // Capacity 16 → 1 entry per shard: distinct kernels churn each
+        // other out, and resubmitting an evicted kernel recompiles
+        // (correctness preserved, compile count grows).
+        let cache = CompileCache::with_capacity(16);
+        assert_eq!(cache.capacity(), Some(16));
+        let programs: Vec<Program> = (0..64)
+            .map(|n| {
+                let mut b = ProgramBuilder::new(&format!("k{n}"));
+                let i = b.var("i", 0);
+                let s = b.var("s", 0);
+                let a = b.array("a");
+                b.live_out(s);
+                b.build_loop(
+                    i,
+                    c(0),
+                    c(64),
+                    vec![assign(s, add(var(s), add(ld(a, var(i)), c(n))))],
+                )
+                .unwrap()
+            })
+            .collect();
+        let cache_ref = &cache;
+        std::thread::scope(|scope| {
+            for chunk in programs.chunks(16) {
+                scope.spawn(move || {
+                    for p in chunk {
+                        let (k, _) = cache_ref.get_or_compile_coalesced(p, SpecRequest::Auto);
+                        assert!(k.plan.is_ok(), "{}", p.name);
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert!(stats.entries <= 16, "bounded: {stats:?}");
+        assert!(stats.evictions >= 64 - 16, "churned: {stats:?}");
+        // Evicted kernels still compile correctly on resubmission.
+        let before = cache.compiles();
+        let (k, _) = cache.get_or_compile_coalesced(&programs[0], SpecRequest::Auto);
+        assert!(k.plan.is_ok());
+        assert!(cache.compiles() >= before);
     }
 
     #[test]

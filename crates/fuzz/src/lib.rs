@@ -79,6 +79,10 @@ pub struct FuzzConfig {
     pub budget_ms: u64,
     /// Predicate-evaluation budget for shrinking a divergence.
     pub shrink_evals: usize,
+    /// Cooperative stop flag (e.g. set from a SIGINT handler): the
+    /// campaign finishes the in-flight case and returns a partial
+    /// outcome with [`FuzzOutcome::interrupted`] set.
+    pub stop: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 }
 
 impl Default for FuzzConfig {
@@ -88,6 +92,7 @@ impl Default for FuzzConfig {
             iters: 500,
             budget_ms: 0,
             shrink_evals: 400,
+            stop: None,
         }
     }
 }
@@ -116,6 +121,9 @@ pub struct FuzzOutcome {
     pub rejected_specs: u64,
     /// The first divergence found, if any (the campaign stops there).
     pub divergence: Option<FuzzDivergence>,
+    /// Whether the campaign stopped early on the cooperative stop
+    /// flag (the counters above still describe the completed cases).
+    pub interrupted: bool,
 }
 
 /// Runs a differential fuzzing campaign. Stops at the first divergence
@@ -127,6 +135,14 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzOutcome {
     let mut outcome = FuzzOutcome::default();
     for index in 0..config.iters {
         if config.budget_ms > 0 && started.elapsed().as_millis() as u64 >= config.budget_ms {
+            break;
+        }
+        if config
+            .stop
+            .as_ref()
+            .is_some_and(|s| s.load(std::sync::atomic::Ordering::Relaxed))
+        {
+            outcome.interrupted = true;
             break;
         }
         let case = generate(config.seed, index);

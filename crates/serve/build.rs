@@ -1,0 +1,31 @@
+//! Embeds the git revision into the build so `flexvecc --version`, the
+//! daemon's startup line, and the `stats` response all report the same
+//! build identity. Falls back to `unknown` outside a git checkout (e.g.
+//! a source tarball) — the build must never fail over version stamping.
+
+use std::process::Command;
+
+fn main() {
+    let hash = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned());
+    let dirty = Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| !o.stdout.is_empty())
+        .unwrap_or(false);
+    println!(
+        "cargo:rustc-env=FLEXVEC_GIT_HASH={hash}{}",
+        if dirty { "-dirty" } else { "" }
+    );
+    // Re-stamp when the checked-out commit moves.
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

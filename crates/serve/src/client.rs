@@ -1,0 +1,90 @@
+//! A line-oriented client for the daemon protocol, shared by
+//! `flexvecc client`, the `serve_load` load generator, and the
+//! integration tests.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+use crate::json::{self, Json};
+
+/// One connection to a running daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to the daemon's request port.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/clone failures.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one raw request line and reads one response line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; a cleanly closed connection surfaces
+    /// as `UnexpectedEof`.
+    pub fn request_raw(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        Ok(response.trim_end().to_owned())
+    }
+
+    /// Sends a request value and parses the response.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and unparsable response lines, rendered as text.
+    pub fn request(&mut self, request: &Json) -> Result<Json, String> {
+        let line = self
+            .request_raw(&request.to_string())
+            .map_err(|e| format!("request failed: {e}"))?;
+        json::parse(&line).map_err(|e| format!("unparsable response `{line}`: {e}"))
+    }
+}
+
+/// Fetches the daemon's `/metrics` page (a one-shot HTTP GET),
+/// returning the body.
+///
+/// # Errors
+///
+/// Connect/read failures and non-200 responses, rendered as text.
+pub fn fetch_metrics(addr: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\nConnection: close\r\n\r\n")
+        .map_err(|e| format!("write: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("read: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("malformed HTTP response: {response:.120}"))?;
+    if !head.starts_with("HTTP/1.0 200") && !head.starts_with("HTTP/1.1 200") {
+        return Err(format!(
+            "non-200 /metrics response: {}",
+            head.lines().next().unwrap_or(head)
+        ));
+    }
+    Ok(body.to_owned())
+}

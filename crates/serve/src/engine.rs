@@ -1,0 +1,670 @@
+//! The daemon's compile-and-execute core.
+//!
+//! One [`ServeEngine`] lives for the life of the process and owns the
+//! two shared maps every worker goes through:
+//!
+//! * the **compile cache** — a bounded [`CompileCache`] submitted to
+//!   via [`CompileCache::get_or_compile_coalesced`], so N concurrent
+//!   requests for the same (AST, spec) pair cost one pipeline run and
+//!   repeat-kernel traffic skips compilation entirely;
+//! * the **kernel registry** — parsed kernels keyed by their stable
+//!   AST hash, so a client can send `.fv` source once and refer to it
+//!   by `hash` forever after (until eviction).
+//!
+//! Execution mirrors `flexvecc run`: scalar baseline on the Table 1
+//! out-of-order model, vector code when the vectorizer accepts the
+//! loop, the two verified against each other element-for-element — a
+//! serving layer that returned unverified speedups would be worthless
+//! as evidence. Every run goes through the *cancellable* executor
+//! entry points so a request deadline or a daemon drain stops the VPL
+//! loop at the next chunk boundary.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use flexvec::{program_hash, ShardedCache};
+use flexvec_front::{parse_str, CompileCache, CompiledKernel, ParsedKernel};
+use flexvec_mem::AddressSpace;
+use flexvec_profiler::{throughput_samples, vector_stat_samples, StatSample, ThroughputReport};
+use flexvec_sim::{OooSim, SimConfig};
+use flexvec_vm::{
+    run_scalar_cancellable, run_vector_precompiled_cancellable, run_vector_with_engine_cancellable,
+    Bindings, CancelToken, Engine, TraceSink, VectorStats,
+};
+
+use crate::json::Json;
+use crate::metrics::ExternalSample;
+use crate::protocol::{hash_hex, ErrorKind, Op, ProtoError, Request};
+
+/// Build identity, stamped by `build.rs` and reported by `--version`,
+/// the daemon startup line, and the `stats` op.
+#[derive(Clone, Copy, Debug)]
+pub struct BuildInfo {
+    /// Crate version (workspace-wide).
+    pub version: &'static str,
+    /// `git rev-parse --short=12 HEAD` at build time (`-dirty` suffix
+    /// for an unclean tree, `unknown` outside a checkout).
+    pub git_hash: &'static str,
+}
+
+/// The build identity of this binary.
+pub fn build_info() -> BuildInfo {
+    BuildInfo {
+        version: env!("CARGO_PKG_VERSION"),
+        git_hash: env!("FLEXVEC_GIT_HASH"),
+    }
+}
+
+impl std::fmt::Display for BuildInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.version, self.git_hash)
+    }
+}
+
+/// What one `handle` call produced: the op-specific response fields
+/// plus the timing facts the server feeds into its metrics registry.
+#[derive(Debug)]
+pub struct OpResult {
+    /// Response fields to splice into the `ok` envelope.
+    pub fields: Vec<(&'static str, Json)>,
+    /// Whether the compile cache already held the kernel (compile /
+    /// run / bench ops).
+    pub cache_hit: Option<bool>,
+    /// Wall time of the compile step when it actually ran (miss only).
+    pub compile_wall: Option<Duration>,
+    /// Wall time of the execution step (run / bench ops).
+    pub exec_wall: Option<Duration>,
+}
+
+/// The shared compile-and-execute core. Cheap to share behind an
+/// `Arc`; every method takes `&self`.
+pub struct ServeEngine {
+    cache: CompileCache,
+    registry: ShardedCache<ParsedKernel>,
+    started: Instant,
+    totals: Mutex<BTreeMap<&'static str, u64>>,
+}
+
+/// Maps an engine-counter sample name to its Prometheus metric name.
+fn prom_name(name: &'static str) -> &'static str {
+    match name {
+        "engine_chunks" => "flexvec_engine_chunks_total",
+        "engine_vpl_iterations" => "flexvec_engine_vpl_iterations_total",
+        "engine_ff_fallbacks" => "flexvec_engine_ff_fallbacks_total",
+        "engine_rtm_commits" => "flexvec_engine_rtm_commits_total",
+        "engine_rtm_aborts" => "flexvec_engine_rtm_aborts_total",
+        "engine_uops" => "flexvec_engine_uops_total",
+        "engine_wall_micros" => "flexvec_engine_wall_micros_total",
+        "engine_page_cache_hits" => "flexvec_engine_page_cache_hits_total",
+        "engine_page_cache_misses" => "flexvec_engine_page_cache_misses_total",
+        other => other,
+    }
+}
+
+impl ServeEngine {
+    /// Creates the engine. `cache_capacity` bounds both the compile
+    /// cache and the kernel registry (segmented-LRU eviction); `0`
+    /// means unbounded, for short-lived in-process servers.
+    pub fn new(cache_capacity: usize) -> Self {
+        let (cache, registry) = if cache_capacity == 0 {
+            (CompileCache::new(), ShardedCache::new())
+        } else {
+            (
+                CompileCache::with_capacity(cache_capacity),
+                ShardedCache::with_capacity(cache_capacity),
+            )
+        };
+        ServeEngine {
+            cache,
+            registry,
+            started: Instant::now(),
+            totals: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The shared compile cache (for stats and tests).
+    pub fn cache(&self) -> &CompileCache {
+        &self.cache
+    }
+
+    /// Resolves the request's kernel: inline source is parsed and
+    /// registered under its AST hash; a `hash` must name a registered
+    /// kernel.
+    fn resolve(&self, req: &Request) -> Result<Arc<ParsedKernel>, ProtoError> {
+        if let Some(source) = &req.source {
+            let kernel = parse_str("<request>", source)
+                .map_err(|diag| ProtoError::new(ErrorKind::SourceError, diag.render(source)))?;
+            let hash = program_hash(&kernel.program);
+            let (kernel, _) = self.registry.get_or_insert_with(hash, || kernel);
+            return Ok(kernel);
+        }
+        let hash = req.hash.expect("validated: source or hash present");
+        self.registry.peek(hash).ok_or_else(|| {
+            ProtoError::new(
+                ErrorKind::UnknownHash,
+                format!(
+                    "no kernel registered under hash {} (send `source` once first; \
+                     evicted kernels must be resubmitted)",
+                    hash_hex(hash)
+                ),
+            )
+        })
+    }
+
+    /// Services one validated request. `cancel` carries the request
+    /// deadline and the daemon's drain flag; executions poll it at
+    /// chunk boundaries.
+    ///
+    /// # Errors
+    ///
+    /// Every failure is a structured [`ProtoError`]; this never panics
+    /// on client input.
+    pub fn handle(
+        &self,
+        req: &Request,
+        cancel: Option<&CancelToken>,
+    ) -> Result<OpResult, ProtoError> {
+        match req.op {
+            Op::Stats => Ok(OpResult {
+                fields: self.stats_fields(),
+                cache_hit: None,
+                compile_wall: None,
+                exec_wall: None,
+            }),
+            Op::Compile => {
+                let kernel = self.resolve(req)?;
+                let t0 = Instant::now();
+                let (compiled, hit) = self
+                    .cache
+                    .get_or_compile_coalesced(&kernel.program, req.spec);
+                let compile_wall = t0.elapsed();
+                let mut fields = kernel_fields(&kernel, &compiled, hit);
+                fields.push((
+                    "compile_micros",
+                    Json::from(compile_wall.as_micros() as u64),
+                ));
+                Ok(OpResult {
+                    fields,
+                    cache_hit: Some(hit),
+                    compile_wall: (!hit).then_some(compile_wall),
+                    exec_wall: None,
+                })
+            }
+            Op::Run | Op::Bench => {
+                let kernel = self.resolve(req)?;
+                let t0 = Instant::now();
+                let (compiled, hit) = self
+                    .cache
+                    .get_or_compile_coalesced(&kernel.program, req.spec);
+                let compile_wall = t0.elapsed();
+                let t1 = Instant::now();
+                let outcome = self.execute(&kernel, &compiled, req, cancel)?;
+                let exec_wall = t1.elapsed();
+                let mut fields = kernel_fields(&kernel, &compiled, hit);
+                fields.extend(run_fields(&outcome, req));
+                Ok(OpResult {
+                    fields,
+                    cache_hit: Some(hit),
+                    compile_wall: (!hit).then_some(compile_wall),
+                    exec_wall: Some(exec_wall),
+                })
+            }
+        }
+    }
+
+    /// Executes the kernel `req.invocations` times: scalar baseline
+    /// always, vector code when the plan exists, both verified.
+    fn execute(
+        &self,
+        kernel: &ParsedKernel,
+        compiled: &CompiledKernel,
+        req: &Request,
+        cancel: Option<&CancelToken>,
+    ) -> Result<ExecOutcome, ProtoError> {
+        let program = &kernel.program;
+        let arrays = kernel.materialize_arrays();
+        let config = SimConfig::table1();
+        let invocations = req.invocations.max(1);
+        let map_exec = |stage: &str, e: flexvec_vm::ExecError| match e {
+            flexvec_vm::ExecError::Cancelled => cancel_error(cancel),
+            other => ProtoError::new(
+                ErrorKind::ExecError,
+                format!("{stage} execution failed: {other}"),
+            ),
+        };
+
+        let bind_arrays = |mem: &mut AddressSpace| -> Bindings {
+            let ids: Vec<_> = arrays
+                .iter()
+                .enumerate()
+                .map(|(i, data)| mem.alloc_from(&format!("{}_{i}", program.name), data))
+                .collect();
+            Bindings::new(ids)
+        };
+
+        // Scalar baseline on the OOO model.
+        let mut mem_s = AddressSpace::new();
+        let bind_s = bind_arrays(&mut mem_s);
+        let mut sim_s = OooSim::new(config.clone());
+        let mut scalar_final = None;
+        for _ in 0..invocations {
+            let r = run_scalar_cancellable(program, &mut mem_s, bind_s.clone(), &mut sim_s, cancel)
+                .map_err(|e| map_exec("scalar", e))?;
+            scalar_final = Some(r);
+        }
+        let scalar_run = scalar_final.expect("at least one invocation");
+        let scalar_cycles = sim_s.result().cycles;
+        let live_outs: Vec<(String, i64)> = program
+            .live_out
+            .iter()
+            .map(|v| (program.var_name(*v).to_owned(), scalar_run.var(*v)))
+            .collect();
+
+        let Ok(plan) = &compiled.plan else {
+            return Ok(ExecOutcome {
+                kind: "scalar-only",
+                scalar_cycles,
+                vector_cycles: scalar_cycles,
+                stats: VectorStats::default(),
+                throughput: ThroughputReport::new(
+                    "scalar",
+                    Duration::ZERO,
+                    0,
+                    sim_s.len(),
+                    flexvec_mem::PageCacheStats::default(),
+                ),
+                live_outs,
+            });
+        };
+
+        // Vector execution on a fresh memory image.
+        let mut mem_v = AddressSpace::new();
+        let bind_v = bind_arrays(&mut mem_v);
+        let mut sim_v = OooSim::new(config);
+        let mut scratch = plan.compiled.scratch();
+        let mut vector_final = None;
+        let mut last_stats = VectorStats::default();
+        let mut agg_stats = VectorStats::default();
+        mem_v.reset_cache_stats();
+        let label = match req.engine {
+            Engine::TreeWalking => "tree-walking",
+            Engine::Compiled => "compiled",
+        };
+        let mut throughput = ThroughputReport::new(
+            label,
+            Duration::ZERO,
+            0,
+            0,
+            flexvec_mem::PageCacheStats::default(),
+        );
+        let wall_start = Instant::now();
+        for _ in 0..invocations {
+            let step = match req.engine {
+                Engine::Compiled => run_vector_precompiled_cancellable(
+                    program,
+                    &plan.vectorized.vprog,
+                    &plan.compiled,
+                    &mut scratch,
+                    &mut mem_v,
+                    bind_v.clone(),
+                    &mut sim_v,
+                    cancel,
+                ),
+                Engine::TreeWalking => run_vector_with_engine_cancellable(
+                    program,
+                    &plan.vectorized.vprog,
+                    &mut mem_v,
+                    bind_v.clone(),
+                    &mut sim_v,
+                    Engine::TreeWalking,
+                    cancel,
+                ),
+            };
+            let (r, s) = step.map_err(|e| map_exec("vector", e))?;
+            throughput.add_stats(&s);
+            agg_stats.chunks += s.chunks;
+            agg_stats.vpl_iterations += s.vpl_iterations;
+            agg_stats.ff_fallbacks += s.ff_fallbacks;
+            agg_stats.rtm_commits += s.rtm_commits;
+            agg_stats.rtm_aborts += s.rtm_aborts;
+            vector_final = Some(r);
+            last_stats = s;
+        }
+        throughput.wall = wall_start.elapsed();
+        throughput.page_cache = mem_v.cache_stats();
+        throughput.uops = sim_v.len();
+        let vector_run = vector_final.expect("at least one invocation");
+        let vector_cycles = sim_v.result().cycles;
+
+        // Verification: live-outs and every array element must agree.
+        for v in &program.live_out {
+            if scalar_run.var(*v) != vector_run.var(*v) {
+                return Err(ProtoError::new(
+                    ErrorKind::ExecError,
+                    format!(
+                        "scalar/vector mismatch: live-out {} is {} scalar vs {} vector",
+                        program.var_name(*v),
+                        scalar_run.var(*v),
+                        vector_run.var(*v)
+                    ),
+                ));
+            }
+        }
+        for i in 0..arrays.len() {
+            let a = bind_s.array(i as u32);
+            let b = bind_v.array(i as u32);
+            if mem_s.snapshot_array(a) != mem_v.snapshot_array(b) {
+                return Err(ProtoError::new(
+                    ErrorKind::ExecError,
+                    format!(
+                        "scalar/vector mismatch: array {} differs",
+                        program.array_name(flexvec_ir::ArraySym(i as u32))
+                    ),
+                ));
+            }
+        }
+
+        self.record_totals(&agg_stats, &throughput);
+        Ok(ExecOutcome {
+            kind: match plan.vectorized.kind {
+                flexvec::VectorizedKind::Traditional => "traditional",
+                flexvec::VectorizedKind::FlexVec => "flexvec",
+            },
+            scalar_cycles,
+            vector_cycles,
+            stats: last_stats,
+            throughput,
+            live_outs,
+        })
+    }
+
+    /// Folds one run's engine counters into the process-lifetime
+    /// totals `/metrics` exports.
+    fn record_totals(&self, stats: &VectorStats, throughput: &ThroughputReport) {
+        let mut totals = self.totals.lock().expect("totals lock");
+        let mut add = |samples: Vec<StatSample>| {
+            for s in samples {
+                *totals.entry(s.name).or_insert(0) += s.value;
+            }
+        };
+        add(vector_stat_samples(stats));
+        add(throughput_samples(throughput));
+    }
+
+    /// Engine + cache counters for the `/metrics` endpoint, in
+    /// Prometheus naming.
+    pub fn metric_samples(&self) -> Vec<ExternalSample> {
+        let mut out: Vec<ExternalSample> = self
+            .totals
+            .lock()
+            .expect("totals lock")
+            .iter()
+            .map(|(name, value)| ExternalSample {
+                name: prom_name(name),
+                value: *value,
+            })
+            .collect();
+        let stats = self.cache.stats();
+        out.extend([
+            ExternalSample {
+                name: "flexvec_cache_hits_total",
+                value: stats.hits,
+            },
+            ExternalSample {
+                name: "flexvec_cache_misses_total",
+                value: stats.misses,
+            },
+            ExternalSample {
+                name: "flexvec_cache_entries",
+                value: stats.entries,
+            },
+            ExternalSample {
+                name: "flexvec_cache_evictions_total",
+                value: stats.evictions,
+            },
+            ExternalSample {
+                name: "flexvec_cache_coalesced_total",
+                value: stats.coalesced,
+            },
+            ExternalSample {
+                name: "flexvec_cache_compiles_total",
+                value: self.cache.compiles(),
+            },
+        ]);
+        out
+    }
+
+    /// The `stats` op response body: build identity, uptime, cache and
+    /// registry counters. The server splices in its queue fields.
+    pub fn stats_fields(&self) -> Vec<(&'static str, Json)> {
+        let info = build_info();
+        let stats = self.cache.stats();
+        vec![
+            ("version", Json::from(info.version)),
+            ("git_hash", Json::from(info.git_hash)),
+            (
+                "uptime_ms",
+                Json::from(self.started.elapsed().as_millis() as u64),
+            ),
+            ("cache_hits", Json::from(stats.hits)),
+            ("cache_misses", Json::from(stats.misses)),
+            ("cache_entries", Json::from(stats.entries)),
+            ("cache_evictions", Json::from(stats.evictions)),
+            ("cache_coalesced", Json::from(stats.coalesced)),
+            (
+                "cache_capacity",
+                match self.cache.capacity() {
+                    Some(c) => Json::from(c as u64),
+                    None => Json::Null,
+                },
+            ),
+            ("compiles", Json::from(self.cache.compiles())),
+            ("kernels_registered", Json::from(self.registry.len() as u64)),
+        ]
+    }
+}
+
+/// Maps a cancelled execution to the right wire error: `deadline` when
+/// the token's deadline has passed, `shutting_down` otherwise (drain).
+fn cancel_error(cancel: Option<&CancelToken>) -> ProtoError {
+    let deadline_hit = cancel
+        .and_then(CancelToken::deadline)
+        .is_some_and(|d| Instant::now() >= d);
+    if deadline_hit {
+        ProtoError::new(ErrorKind::Deadline, "deadline expired mid-run")
+    } else {
+        ProtoError::new(ErrorKind::ShuttingDown, "daemon is draining")
+    }
+}
+
+/// Measured outcome of one executed request.
+struct ExecOutcome {
+    kind: &'static str,
+    scalar_cycles: u64,
+    vector_cycles: u64,
+    stats: VectorStats,
+    throughput: ThroughputReport,
+    live_outs: Vec<(String, i64)>,
+}
+
+fn kernel_fields(
+    kernel: &ParsedKernel,
+    compiled: &CompiledKernel,
+    cache_hit: bool,
+) -> Vec<(&'static str, Json)> {
+    vec![
+        ("kernel", Json::from(kernel.program.name.as_str())),
+        ("hash", Json::from(hash_hex(compiled.program_hash))),
+        ("verdict", Json::from(compiled.verdict_summary())),
+        ("vectorizable", Json::from(compiled.plan.is_ok())),
+        ("cache_hit", Json::from(cache_hit)),
+    ]
+}
+
+fn run_fields(outcome: &ExecOutcome, req: &Request) -> Vec<(&'static str, Json)> {
+    let mut fields = vec![
+        ("kind", Json::from(outcome.kind)),
+        ("scalar_cycles", Json::from(outcome.scalar_cycles)),
+        ("vector_cycles", Json::from(outcome.vector_cycles)),
+        (
+            "region_speedup",
+            Json::from(outcome.scalar_cycles as f64 / outcome.vector_cycles.max(1) as f64),
+        ),
+        ("invocations", Json::from(req.invocations)),
+        (
+            "live_outs",
+            Json::Obj(
+                outcome
+                    .live_outs
+                    .iter()
+                    .map(|(n, v)| (n.clone(), Json::from(*v)))
+                    .collect(),
+            ),
+        ),
+    ];
+    if req.op == Op::Bench {
+        fields.extend([
+            ("chunks", Json::from(outcome.throughput.chunks)),
+            ("uops", Json::from(outcome.throughput.uops)),
+            (
+                "wall_micros",
+                Json::from(outcome.throughput.wall.as_micros() as u64),
+            ),
+            (
+                "chunks_per_sec",
+                Json::from(outcome.throughput.chunks_per_sec()),
+            ),
+            (
+                "uops_per_sec",
+                Json::from(outcome.throughput.uops_per_sec()),
+            ),
+            ("vpl_iterations", Json::from(outcome.stats.vpl_iterations)),
+        ]);
+    }
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINLOC: &str = "\
+kernel minloc;
+var i = 0;
+var best = 9223372036854775807;
+array a[64] = seed 1;
+live_out best;
+for (i = 0; i < 64; i++) {
+  if (a[i] < best) {
+    best = a[i];
+  }
+}
+";
+
+    fn req(op: Op, source: Option<&str>, hash: Option<u64>) -> Request {
+        Request {
+            id: 1,
+            op,
+            source: source.map(str::to_owned),
+            hash,
+            spec: flexvec::SpecRequest::Auto,
+            engine: Engine::Compiled,
+            invocations: 1,
+            deadline_ms: None,
+        }
+    }
+
+    fn field<'a>(fields: &'a [(&'static str, Json)], name: &str) -> &'a Json {
+        &fields.iter().find(|(n, _)| *n == name).expect(name).1
+    }
+
+    #[test]
+    fn compile_then_run_by_hash() {
+        let engine = ServeEngine::new(0);
+        let r = engine
+            .handle(&req(Op::Compile, Some(MINLOC), None), None)
+            .unwrap();
+        assert_eq!(r.cache_hit, Some(false));
+        assert_eq!(field(&r.fields, "vectorizable").as_bool(), Some(true));
+        let hash = field(&r.fields, "hash").as_str().unwrap().to_owned();
+        let hash = u64::from_str_radix(&hash, 16).unwrap();
+
+        let r = engine
+            .handle(&req(Op::Run, None, Some(hash)), None)
+            .unwrap();
+        assert_eq!(r.cache_hit, Some(true), "run reuses the compile");
+        assert_eq!(field(&r.fields, "kind").as_str(), Some("flexvec"));
+        let live = field(&r.fields, "live_outs");
+        assert!(live.get("best").and_then(Json::as_i64).is_some());
+        assert_eq!(engine.cache().compiles(), 1);
+    }
+
+    #[test]
+    fn unknown_hash_is_a_structured_error() {
+        let engine = ServeEngine::new(0);
+        let err = engine
+            .handle(&req(Op::Run, None, Some(0xdead)), None)
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UnknownHash);
+    }
+
+    #[test]
+    fn source_errors_carry_the_diagnostic() {
+        let engine = ServeEngine::new(0);
+        let err = engine
+            .handle(&req(Op::Run, Some("kernel ; nope"), None), None)
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::SourceError);
+        assert!(!err.message.is_empty());
+    }
+
+    #[test]
+    fn expired_deadline_cancels_and_maps_to_deadline_kind() {
+        let engine = ServeEngine::new(0);
+        let token = CancelToken::new().with_deadline(Instant::now() - Duration::from_millis(1));
+        let err = engine
+            .handle(&req(Op::Run, Some(MINLOC), None), Some(&token))
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Deadline);
+    }
+
+    #[test]
+    fn drain_cancellation_maps_to_shutting_down() {
+        let engine = ServeEngine::new(0);
+        let token = CancelToken::new();
+        token.cancel();
+        let err = engine
+            .handle(&req(Op::Run, Some(MINLOC), None), Some(&token))
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::ShuttingDown);
+    }
+
+    #[test]
+    fn bench_reports_throughput_and_feeds_metric_totals() {
+        let engine = ServeEngine::new(0);
+        let mut r = req(Op::Bench, Some(MINLOC), None);
+        r.invocations = 4;
+        let out = engine.handle(&r, None).unwrap();
+        assert!(field(&out.fields, "chunks").as_u64().unwrap() > 0);
+        assert!(field(&out.fields, "wall_micros").as_u64().is_some());
+        let samples = engine.metric_samples();
+        let chunks = samples
+            .iter()
+            .find(|s| s.name == "flexvec_engine_chunks_total")
+            .unwrap();
+        assert!(chunks.value > 0);
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "flexvec_cache_compiles_total" && s.value == 1));
+    }
+
+    #[test]
+    fn stats_fields_report_build_and_cache() {
+        let engine = ServeEngine::new(128);
+        let r = engine.handle(&req(Op::Stats, None, None), None).unwrap();
+        assert!(field(&r.fields, "version").as_str().is_some());
+        assert!(field(&r.fields, "git_hash").as_str().is_some());
+        assert_eq!(field(&r.fields, "cache_capacity").as_u64(), Some(128));
+    }
+}

@@ -1,0 +1,95 @@
+//! SIGINT trapping without a libc dependency.
+//!
+//! The container vendors no crates, so we declare the one C symbol we
+//! need — `signal(2)` — ourselves. The handler only performs
+//! async-signal-safe work: one atomic store (a second SIGINT aborts the
+//! process outright, the escape hatch when a drain wedges). Long-running
+//! drivers (`flexvecc serve`, `fuzz`, `bench`) poll
+//! [`interrupted`] between units of work and finish the in-flight one.
+//!
+//! This module is the only place in the workspace that uses `unsafe`
+//! (the crate is `deny(unsafe_code)` with a scoped allow here); on
+//! non-Unix targets it compiles to a stub whose flag simply never
+//! fires.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether SIGINT has been received since
+/// [`install_sigint_handler`] was called.
+pub fn interrupted() -> bool {
+    INTERRUPTED.load(Ordering::Relaxed)
+}
+
+/// Resets the flag (test support; production drivers exit instead).
+pub fn reset_interrupted() {
+    INTERRUPTED.store(false, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use super::{INSTALLED, INTERRUPTED};
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+
+    extern "C" {
+        // POSIX `signal(2)`. The glibc wrapper installs the handler
+        // with SA_RESTART, so blocking syscalls resume — our accept
+        // and read loops use timeouts and poll the flag instead.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_sigint(_signum: i32) {
+        // First ^C: request a graceful drain. Second ^C: the drain is
+        // stuck (or the operator is impatient) — die immediately.
+        // Only async-signal-safe operations here.
+        if INTERRUPTED.swap(true, Ordering::Relaxed) {
+            std::process::abort();
+        }
+    }
+
+    pub fn install() {
+        if INSTALLED.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        // SAFETY: `signal` is the POSIX-specified libc entry point
+        // (always linked on unix targets); the handler does nothing
+        // but atomic stores and `abort`, both async-signal-safe.
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {
+        // No signal story on this target: the flag never fires and
+        // long-running modes run to completion.
+        super::INSTALLED.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+/// Installs the process-wide SIGINT handler (idempotent). After this,
+/// the first ^C sets the [`interrupted`] flag for a graceful drain and
+/// a second ^C aborts the process.
+pub fn install_sigint_handler() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_starts_clear_and_install_is_idempotent() {
+        install_sigint_handler();
+        install_sigint_handler();
+        reset_interrupted();
+        assert!(!interrupted());
+    }
+}

@@ -1,0 +1,104 @@
+//! Cooperative cancellation for long-running executions.
+//!
+//! A [`CancelToken`] carries an explicit cancel flag (shared, so a
+//! server's admission layer can cancel a request from another thread)
+//! and an optional wall-clock deadline. The vector executor checks the
+//! token at **chunk boundaries** (and the scalar interpreter every
+//! [`SCALAR_CANCEL_STRIDE`] iterations): granular enough that a
+//! runaway request stops within one vector chunk, coarse enough that
+//! the hot VPL loop never pays for it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How often the scalar interpreter polls the token (iterations).
+/// Chunk-sized so scalar and vector executions observe cancellation at
+/// comparable granularity without a per-iteration `Instant::now()`.
+pub const SCALAR_CANCEL_STRIDE: u64 = 64;
+
+/// A shareable cancellation handle: an explicit flag plus an optional
+/// deadline. Cloning shares the flag (but each clone keeps its own
+/// deadline).
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that never cancels until [`CancelToken::cancel`] is
+    /// called.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token backed by an existing shared flag (e.g. a process-wide
+    /// shutdown flag set from a signal handler).
+    pub fn from_flag(flag: Arc<AtomicBool>) -> Self {
+        CancelToken {
+            flag,
+            deadline: None,
+        }
+    }
+
+    /// Returns the token with a wall-clock deadline attached; the token
+    /// reports cancellation once the deadline passes.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The attached deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Requests cancellation: every execution sharing this token's flag
+    /// stops at its next poll point.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the flag is set or the deadline has passed.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed) || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+/// Polls an optional token: `Err(())`-free helper the executors call at
+/// chunk boundaries.
+pub(crate) fn cancelled(token: Option<&CancelToken>) -> bool {
+    token.is_some_and(CancelToken::is_cancelled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn flag_cancels_all_clones() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        assert!(!t.is_cancelled());
+        clone.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_cancels() {
+        let t = CancelToken::new().with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+        let later = CancelToken::new().with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!later.is_cancelled());
+    }
+
+    #[test]
+    fn from_flag_shares_external_state() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let t = CancelToken::from_flag(Arc::clone(&flag));
+        flag.store(true, Ordering::Relaxed);
+        assert!(t.is_cancelled());
+    }
+}

@@ -19,15 +19,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cancel;
 mod compiled;
 mod scalar;
 mod trace;
 mod vector;
 
+pub use cancel::{CancelToken, SCALAR_CANCEL_STRIDE};
 pub use compiled::{CompiledVProg, ExecScratch};
-pub use scalar::{run_scalar, Bindings, ExecError, RunResult, ScalarMachine, StepOutcome};
+pub use scalar::{
+    run_scalar, run_scalar_cancellable, Bindings, ExecError, RunResult, ScalarMachine, StepOutcome,
+};
 pub use trace::{CountingSink, Tok, TraceSink, Uop, UopClass, VecSink, TEMP_BASE};
 pub use vector::{
     run_all_or_nothing_with_engine, run_vector, run_vector_all_or_nothing, run_vector_precompiled,
-    run_vector_precompiled_with_scratch, run_vector_with_engine, Engine, VectorStats,
+    run_vector_precompiled_cancellable, run_vector_precompiled_with_scratch,
+    run_vector_with_engine, run_vector_with_engine_cancellable, Engine, VectorStats,
 };

@@ -53,6 +53,9 @@ pub enum ExecError {
     Fault(MemFault),
     /// A vector partitioning loop failed to converge (VM safety net).
     VplDivergence,
+    /// The run's [`crate::CancelToken`] fired (explicit cancellation or
+    /// an expired deadline); observed at a chunk boundary.
+    Cancelled,
     /// Internal inconsistency (reported, never silently ignored).
     Internal(String),
 }
@@ -68,6 +71,7 @@ impl core::fmt::Display for ExecError {
         match self {
             ExecError::Fault(m) => write!(f, "execution fault: {m}"),
             ExecError::VplDivergence => write!(f, "vector partitioning loop did not converge"),
+            ExecError::Cancelled => write!(f, "execution cancelled (deadline or shutdown)"),
             ExecError::Internal(s) => write!(f, "internal executor error: {s}"),
         }
     }
@@ -351,6 +355,23 @@ pub fn run_scalar(
     bindings: Bindings,
     sink: &mut dyn TraceSink,
 ) -> Result<RunResult, ExecError> {
+    run_scalar_cancellable(program, mem, bindings, sink, None)
+}
+
+/// [`run_scalar`] with a cooperative [`CancelToken`](crate::CancelToken),
+/// polled every [`crate::SCALAR_CANCEL_STRIDE`] iterations.
+///
+/// # Errors
+///
+/// As [`run_scalar`], plus [`ExecError::Cancelled`] when the token
+/// fires mid-run.
+pub fn run_scalar_cancellable(
+    program: &Program,
+    mem: &mut AddressSpace,
+    bindings: Bindings,
+    sink: &mut dyn TraceSink,
+    cancel: Option<&crate::CancelToken>,
+) -> Result<RunResult, ExecError> {
     let mut m = ScalarMachine::new(program, bindings);
     let start = m.eval_invariant(&program.loop_.start);
     let end = m.eval_invariant(&program.loop_.end);
@@ -358,6 +379,9 @@ pub fn run_scalar(
     let mut iterations = 0u64;
     let mut broke = false;
     while i < end {
+        if iterations.is_multiple_of(crate::SCALAR_CANCEL_STRIDE) && crate::cancel::cancelled(cancel) {
+            return Err(ExecError::Cancelled);
+        }
         match m.step(i, mem, sink)? {
             StepOutcome::Continue => {}
             StepOutcome::Break => {

@@ -624,6 +624,27 @@ pub fn run_vector_with_engine(
     sink: &mut dyn TraceSink,
     engine: Engine,
 ) -> Result<(RunResult, VectorStats), ExecError> {
+    run_vector_with_engine_cancellable(program, vprog, mem, bindings, sink, engine, None)
+}
+
+/// [`run_vector_with_engine`] with a cooperative
+/// [`CancelToken`](crate::CancelToken), polled at every chunk (and RTM
+/// tile) boundary.
+///
+/// # Errors
+///
+/// As [`run_vector`], plus [`ExecError::Cancelled`] when the token
+/// fires mid-run. A cancelled run makes no guarantee about partial
+/// memory effects — callers must discard the address space.
+pub fn run_vector_with_engine_cancellable(
+    program: &Program,
+    vprog: &VProg,
+    mem: &mut AddressSpace,
+    bindings: Bindings,
+    sink: &mut dyn TraceSink,
+    engine: Engine,
+    cancel: Option<&crate::CancelToken>,
+) -> Result<(RunResult, VectorStats), ExecError> {
     match engine {
         Engine::TreeWalking => run_with_body(
             program,
@@ -632,10 +653,21 @@ pub fn run_vector_with_engine(
             bindings,
             sink,
             &mut EngineBody::Tree(vprog),
+            cancel,
         ),
         Engine::Compiled => {
             let compiled = CompiledVProg::compile(vprog);
-            run_vector_precompiled(program, vprog, &compiled, mem, bindings, sink)
+            let mut scratch = compiled.scratch();
+            run_vector_precompiled_cancellable(
+                program,
+                vprog,
+                &compiled,
+                &mut scratch,
+                mem,
+                bindings,
+                sink,
+                cancel,
+            )
         }
     }
 }
@@ -678,6 +710,29 @@ pub fn run_vector_precompiled_with_scratch(
     bindings: Bindings,
     sink: &mut dyn TraceSink,
 ) -> Result<(RunResult, VectorStats), ExecError> {
+    run_vector_precompiled_cancellable(program, vprog, compiled, scratch, mem, bindings, sink, None)
+}
+
+/// [`run_vector_precompiled_with_scratch`] with a cooperative
+/// [`CancelToken`](crate::CancelToken), polled at every chunk (and RTM
+/// tile) boundary — the serving layer's per-request deadline hook.
+///
+/// # Errors
+///
+/// As [`run_vector`], plus [`ExecError::Cancelled`] when the token
+/// fires mid-run. A cancelled run makes no guarantee about partial
+/// memory effects — callers must discard the address space.
+#[allow(clippy::too_many_arguments)]
+pub fn run_vector_precompiled_cancellable(
+    program: &Program,
+    vprog: &VProg,
+    compiled: &CompiledVProg,
+    scratch: &mut ExecScratch,
+    mem: &mut AddressSpace,
+    bindings: Bindings,
+    sink: &mut dyn TraceSink,
+    cancel: Option<&crate::CancelToken>,
+) -> Result<(RunResult, VectorStats), ExecError> {
     run_with_body(
         program,
         vprog,
@@ -685,6 +740,7 @@ pub fn run_vector_precompiled_with_scratch(
         bindings,
         sink,
         &mut EngineBody::Compiled(compiled, scratch),
+        cancel,
     )
 }
 
@@ -695,11 +751,12 @@ fn run_with_body(
     bindings: Bindings,
     sink: &mut dyn TraceSink,
     body: &mut EngineBody,
+    cancel: Option<&crate::CancelToken>,
 ) -> Result<(RunResult, VectorStats), ExecError> {
     match vprog.spec_mode {
-        SpecMode::Rtm { tile } => run_rtm(program, vprog, mem, bindings, tile, sink, body),
+        SpecMode::Rtm { tile } => run_rtm(program, vprog, mem, bindings, tile, sink, body, cancel),
         SpecMode::None | SpecMode::FirstFaulting => {
-            run_ff(program, vprog, mem, bindings, sink, false, body)
+            run_ff(program, vprog, mem, bindings, sink, false, body, cancel)
         }
     }
 }
@@ -772,6 +829,7 @@ pub fn run_all_or_nothing_with_engine(
             sink,
             true,
             &mut EngineBody::Tree(vprog),
+            None,
         ),
         Engine::Compiled => {
             let compiled = CompiledVProg::compile(vprog);
@@ -784,6 +842,7 @@ pub fn run_all_or_nothing_with_engine(
                 sink,
                 true,
                 &mut EngineBody::Compiled(&compiled, &mut scratch),
+                None,
             )
         }
     }
@@ -810,6 +869,7 @@ fn loop_bounds(program: &Program, exec: &VecExec) -> (i64, i64) {
 }
 
 /// First-faulting (or speculation-free) execution.
+#[allow(clippy::too_many_arguments)]
 fn run_ff(
     program: &Program,
     vprog: &VProg,
@@ -818,6 +878,7 @@ fn run_ff(
     sink: &mut dyn TraceSink,
     aon: bool,
     body: &mut EngineBody,
+    cancel: Option<&crate::CancelToken>,
 ) -> Result<(RunResult, VectorStats), ExecError> {
     let mut exec = VecExec::new(program, vprog, &bindings, mem);
     exec.aon = aon;
@@ -831,6 +892,9 @@ fn run_ff(
     let mut iterations = 0u64;
 
     'chunks: while base < end {
+        if crate::cancel::cancelled(cancel) {
+            return Err(ExecError::Cancelled);
+        }
         let lanes = usize::try_from((end - base).min(VLEN as i64)).expect("bounded by VLEN");
         exec.checkpoint_vars();
         exec.begin_chunk(base, lanes, sink);
@@ -899,6 +963,7 @@ fn run_ff(
 }
 
 /// RTM execution: strip-mined tiles inside rollback-only transactions.
+#[allow(clippy::too_many_arguments)]
 fn run_rtm(
     program: &Program,
     vprog: &VProg,
@@ -907,6 +972,7 @@ fn run_rtm(
     tile: u32,
     sink: &mut dyn TraceSink,
     body: &mut EngineBody,
+    cancel: Option<&crate::CancelToken>,
 ) -> Result<(RunResult, VectorStats), ExecError> {
     let tile = tile.max(VLEN as u32) as i64;
     let mut exec = VecExec::new(program, vprog, &bindings, mem);
@@ -918,6 +984,9 @@ fn run_rtm(
     let mut iterations = 0u64;
 
     'tiles: while base < end {
+        if crate::cancel::cancelled(cancel) {
+            return Err(ExecError::Cancelled);
+        }
         let tile_end = (base + tile).min(end);
         exec.checkpoint_vars();
         let stats_snapshot = exec.stats;
