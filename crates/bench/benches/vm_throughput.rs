@@ -1,20 +1,22 @@
-//! Execution-engine throughput (experiment for the compiled µop engine):
-//! chunks/s of the flat-bytecode compiled engine vs. the tree-walking
-//! reference executor on the Figure 8 loop shapes — the h264 guarded
-//! speculative-load kernel and the gzip early-exit kernel. Run with
-//! `--release`; the compiled engine is expected to be ≥2× the tree
-//! walker on both.
+//! Execution-engine throughput (experiment for the compiled µop engine
+//! and the native x86-64 JIT tier): chunks/s of each engine on the
+//! Figure 8 loop shapes — the h264 guarded speculative-load kernel and
+//! the gzip early-exit kernel — plus a synthetic straight-line-heavy
+//! kernel that is the native tier's best case. Run with `--release`;
+//! the compiled engine is expected to be ≥2× the tree walker, and the
+//! native tier ≥1.5× the compiled engine on the straight-line kernel.
 
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use flexvec::{vectorize, SpecRequest, Vectorized};
+use flexvec_ir::build::*;
 use flexvec_mem::AddressSpace;
 use flexvec_vm::{
-    run_vector_precompiled_with_scratch, run_vector_with_engine, Bindings, CompiledVProg,
-    CountingSink, Engine, ExecScratch,
+    native_supported, run_vector_precompiled_with_scratch, run_vector_with_engine, Bindings,
+    CompiledVProg, CountingSink, Engine, ExecScratch,
 };
-use flexvec_workloads::Workload;
+use flexvec_workloads::{Suite, Workload};
 
 struct Prepared {
     workload: Workload,
@@ -41,9 +43,45 @@ fn prepare(workload: Workload) -> Prepared {
     }
 }
 
+/// A loop whose body is a long unguarded arithmetic chain — the shape
+/// that compiles (almost) entirely to inline native code. Not a paper
+/// workload; it isolates straight-line dispatch overhead.
+fn straight_line() -> Workload {
+    let mut b = flexvec_ir::ProgramBuilder::new("straightline");
+    let i = b.var("i", 0);
+    let acc = b.var("acc", 0);
+    let t = b.var("t", 0);
+    let data = b.array("data");
+    let out = b.array("out");
+    b.live_out(acc);
+    let idx = || band(var(i), c(1023));
+    let body = vec![
+        assign(t, add(mul(ld(data, idx()), c(3)), sub(var(i), c(7)))),
+        assign(t, band(add(var(t), mul(var(t), c(5))), c(0xffff))),
+        assign(t, add(var(t), sub(mul(var(t), c(2)), var(i)))),
+        assign(t, band(var(t), c(0xffff))),
+        if_(gt(var(t), var(acc)), vec![assign(acc, var(t))]),
+        store(out, idx(), var(t)),
+    ];
+    let program = b.build_loop(i, c(0), c(4096), body).expect("builds");
+    let data: Vec<i64> = (0..1024).map(|x: i64| x * 37 % 4099).collect();
+    Workload {
+        name: "straightline",
+        suite: Suite::App,
+        coverage: 1.0,
+        table2_trip: "4K",
+        sim_trip: 4096,
+        invocations: 1,
+        expected_mix: "",
+        program,
+        arrays: vec![data, vec![0i64; 1024]],
+    }
+}
+
 /// Measured chunks/s of one engine over `iters` back-to-back runs. The
-/// one-time bytecode compilation happens outside the timed region, as it
-/// would in a real deployment (compile once, run every invocation).
+/// one-time bytecode (and native) compilation happens outside the timed
+/// region, as it would in a real deployment (compile once, run every
+/// invocation).
 fn chunks_per_sec(
     p: &mut Prepared,
     compiled: &mut Option<(CompiledVProg, ExecScratch)>,
@@ -85,6 +123,7 @@ fn bench_engines(c: &mut Criterion) {
     for workload in [
         flexvec_workloads::spec::h264ref(),
         flexvec_workloads::apps::gzip(),
+        straight_line(),
     ] {
         let name = workload.workload_short_name();
         let mut p = prepare(workload);
@@ -94,8 +133,14 @@ fn bench_engines(c: &mut Criterion) {
             let scratch = c.scratch();
             Some((c, scratch))
         };
+        let mut native_engine = native_supported().then(|| {
+            let mut c = CompiledVProg::compile(&p.vectorized.vprog);
+            assert!(c.enable_native(), "native build must succeed on x86-64");
+            let scratch = c.scratch();
+            (c, scratch)
+        });
 
-        // One-shot ratio report (the acceptance number), outside the
+        // One-shot ratio report (the acceptance numbers), outside the
         // criterion timing loops.
         let tree = chunks_per_sec(&mut p, &mut tree_engine, 40);
         let comp = chunks_per_sec(&mut p, &mut compiled_engine, 40);
@@ -104,6 +149,16 @@ fn bench_engines(c: &mut Criterion) {
              ({:.2}x)",
             comp / tree
         );
+        if let Some((plan, _)) = &native_engine {
+            let (segments, inline_ops, helper_ops, code_bytes) = plan.native_info();
+            let nat = chunks_per_sec(&mut p, &mut native_engine, 40);
+            println!(
+                "{name}: native {nat:.3e} chunks/s ({:.2}x over compiled; \
+                 {segments} segments, {inline_ops} inline / {helper_ops} helper ops, \
+                 {code_bytes} code bytes)",
+                nat / comp
+            );
+        }
 
         group.bench_function(&format!("{name}/tree-walking"), |b| {
             b.iter(|| chunks_per_sec(&mut p, &mut tree_engine, 1))
@@ -111,6 +166,11 @@ fn bench_engines(c: &mut Criterion) {
         group.bench_function(&format!("{name}/compiled"), |b| {
             b.iter(|| chunks_per_sec(&mut p, &mut compiled_engine, 1))
         });
+        if native_engine.is_some() {
+            group.bench_function(&format!("{name}/native"), |b| {
+                b.iter(|| chunks_per_sec(&mut p, &mut native_engine, 1))
+            });
+        }
     }
     group.finish();
 }

@@ -495,20 +495,25 @@ fn client_cmd(flags: &CommonFlags, args: &[String]) -> i32 {
                 flexvec::SpecRequest::Auto => "ff".to_owned(),
                 flexvec::SpecRequest::Rtm { tile } => format!("rtm:{tile}"),
             };
-            let engine = match flags.engine {
-                flexvec_vm::Engine::TreeWalking => "tree",
-                flexvec_vm::Engine::Compiled => "compiled",
-            };
             let mut request = vec![
                 ("op", Json::from(op)),
                 ("source", Json::from(source)),
                 ("spec", Json::from(spec)),
-                ("engine", Json::from(engine)),
                 (
                     "invocations",
                     Json::from(flags.u64_flag("invocations", 3).max(1)),
                 ),
             ];
+            // Without an explicit --engine the daemon's tier policy
+            // picks the engine per kernel hash (wire default `auto`).
+            if flags.engine_explicit {
+                let engine = match flags.engine {
+                    flexvec_vm::Engine::TreeWalking => "tree",
+                    flexvec_vm::Engine::Compiled => "compiled",
+                    flexvec_vm::Engine::Native => "native",
+                };
+                request.push(("engine", Json::from(engine)));
+            }
             if let n @ 1.. = flags.u64_flag("deadline-ms", 0) {
                 request.push(("deadline_ms", Json::from(n)));
             }

@@ -17,6 +17,16 @@
 //! shapes travel the same wire and queue, so the ratio isolates the
 //! cache.
 //!
+//! A fourth phase demonstrates tiered execution end to end: one
+//! straight-line-heavy kernel is submitted with the engine omitted
+//! (`auto`), so the daemon's tier policy walks it cold→tree,
+//! warm→bytecode, hot→native across successive requests. The final hot
+//! request's `chunks_per_sec` (measured by the daemon around its own
+//! exec loop, so the wire cancels out) is compared against a forced
+//! `"engine":"compiled"` bench of the same kernel, and on x86-64 hosts
+//! the run fails unless the promoted native tier beats the bytecode
+//! tier by a measurable margin.
+//!
 //! ```text
 //! serve_load [--clients N] [--requests N] [--kernels K] [--workers N] [--json]
 //! ```
@@ -28,6 +38,12 @@ use flexvec_serve::{start, Client, Json, ServerConfig};
 
 /// Minimum repeat/one-shot throughput ratio the run must demonstrate.
 const MIN_SPEEDUP: f64 = 5.0;
+
+/// Minimum native-over-bytecode throughput ratio the promoted hot
+/// kernel must demonstrate on hosts with the x86-64 back end. The
+/// in-process bar (vm_throughput) is 1.5×; over the daemon we only
+/// require a measurable margin, leaving headroom for scheduler noise.
+const MIN_TIER_SPEEDUP: f64 = 1.05;
 
 /// How many conditional-update patterns each generated kernel carries.
 /// Sized so the analyze→vectorize→bytecode-compile pipeline (what the
@@ -57,6 +73,121 @@ fn kernel_source(n: u64) -> String {
     }
     src.push_str("}\n");
     src
+}
+
+/// The hot kernel for the tier-promotion phase: a long unguarded
+/// arithmetic chain, the shape the native tier compiles (almost)
+/// entirely to inline machine code. Same family as the `straightline`
+/// kernel in the `vm_throughput` bench, expressed in `.fv`.
+const HOT_KERNEL: &str = "\
+kernel hotline;
+var i = 0;
+var acc = 0;
+var t = 0;
+array data[512] = seed 7;
+array out[512] = seed 1;
+live_out acc;
+for (i = 0; i < 2048; i++) {
+  t = data[i & 511] * 3 + i - 7;
+  t = (t + t * 5) & 65535;
+  t = t + t * 2 - i;
+  t = t & 65535;
+  if (t > acc) {
+    acc = t;
+  }
+  out[i & 511] = t;
+}
+";
+
+/// What the tier-promotion phase observed.
+struct TierReport {
+    /// Engine labels of the auto requests, in order (expected to walk
+    /// tree-walking → compiled → native on x86-64 hosts).
+    labels: Vec<String>,
+    /// Daemon-measured chunks/s of the final (hot) auto request.
+    hot_cps: f64,
+    /// Daemon-measured chunks/s of the forced-bytecode baseline.
+    bytecode_cps: f64,
+    /// `flexvec_tier_promotions_total` after the walk.
+    promotions: u64,
+    /// Whether the daemon's host has the native back end.
+    native_supported: bool,
+}
+
+impl TierReport {
+    fn ratio(&self) -> f64 {
+        self.hot_cps / self.bytecode_cps.max(1e-9)
+    }
+}
+
+/// Walks one kernel through the daemon's tier policy and measures the
+/// promoted hot tier against a forced-bytecode baseline.
+fn drive_tiers(addr: &str) -> TierReport {
+    let mut client = Client::connect(addr).expect("connect tier client");
+    let mut bench = |engine: Option<&str>, invocations: u64| -> Json {
+        let mut fields = vec![
+            ("op", Json::from("bench")),
+            ("source", Json::from(HOT_KERNEL)),
+            ("invocations", Json::from(invocations)),
+        ];
+        if let Some(engine) = engine {
+            fields.push(("engine", Json::from(engine)));
+        }
+        let response = client
+            .request(&Json::obj(fields))
+            .expect("tier bench request");
+        assert_eq!(
+            response.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "tier bench failed: {response}"
+        );
+        response
+    };
+
+    // The policy promotes on cumulative run count (warm at 2, hot at
+    // 16), and each request counts `invocations` runs. Three auto
+    // requests therefore land on three different tiers: 0 runs seen →
+    // tree, 2 → bytecode, 16 → native (on hosts that have it).
+    let label = |r: &Json| {
+        r.get("engine")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_owned()
+    };
+    let cold = bench(None, 2);
+    let warm = bench(None, 14);
+    let hot = bench(None, 48);
+    let hot_cps = hot
+        .get("chunks_per_sec")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    let labels = vec![label(&cold), label(&warm), label(&hot)];
+
+    // Forced-bytecode baseline for the same kernel, same wire, same
+    // daemon. Explicit engines bypass the tier policy, so this does
+    // not disturb the walk above.
+    let baseline = bench(Some("compiled"), 48);
+    let bytecode_cps = baseline
+        .get("chunks_per_sec")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+
+    let stats = client
+        .request(&Json::obj([("op", Json::from("stats"))]))
+        .expect("stats request");
+    TierReport {
+        labels,
+        hot_cps,
+        bytecode_cps,
+        promotions: stats
+            .get("tier_promotions_total")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        native_supported: stats
+            .get("native_supported")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
+    }
 }
 
 struct Phase {
@@ -233,6 +364,11 @@ fn main() {
         ])
     });
 
+    // Tier promotion: one hot kernel walks cold→tree, warm→bytecode,
+    // hot→native under the auto policy, then races the promoted tier
+    // against a forced-bytecode baseline.
+    let tiers = drive_tiers(&addr);
+
     let metrics_text = handle
         .metrics_addr
         .map(|a| flexvec_serve::fetch_metrics(&a.to_string()).expect("scrape /metrics"));
@@ -247,7 +383,10 @@ fn main() {
              \"repeat_rps\": {},\n  \"oneshot_rps\": {},\n  \"speedup\": {},\n  \
              \"repeat_p50_us\": {},\n  \"repeat_p95_us\": {},\n  \"repeat_p99_us\": {},\n  \
              \"run_p50_us\": {},\n  \"run_p95_us\": {},\n  \"run_p99_us\": {},\n  \
-             \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"failures\": {failures}\n}}",
+             \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
+             \"tier_walk\": [{}],\n  \"tier_bytecode_cps\": {},\n  \"tier_hot_cps\": {},\n  \
+             \"tier_ratio\": {},\n  \"tier_promotions\": {},\n  \
+             \"native_supported\": {},\n  \"failures\": {failures}\n}}",
             json_f64(repeat.req_per_sec()),
             json_f64(oneshot.req_per_sec()),
             json_f64(speedup),
@@ -259,6 +398,17 @@ fn main() {
             run.percentile(0.99).as_micros(),
             stats.hits,
             stats.misses,
+            tiers
+                .labels
+                .iter()
+                .map(|l| format!("\"{l}\""))
+                .collect::<Vec<_>>()
+                .join(", "),
+            json_f64(tiers.bytecode_cps),
+            json_f64(tiers.hot_cps),
+            json_f64(tiers.ratio()),
+            tiers.promotions,
+            tiers.native_supported,
         );
     } else {
         println!(
@@ -289,12 +439,25 @@ fn main() {
             "  cache: {} hits / {} misses; repeat-vs-one-shot speedup: {speedup:.1}x",
             stats.hits, stats.misses
         );
+        println!(
+            "  tiers (hot kernel):  {}   bytecode {:.3e} -> hot {:.3e} chunks/s \
+             ({:.2}x; {} promotion(s))",
+            tiers.labels.join(" -> "),
+            tiers.bytecode_cps,
+            tiers.hot_cps,
+            tiers.ratio(),
+            tiers.promotions,
+        );
         if let Some(text) = &metrics_text {
             let hits = text
                 .lines()
                 .find(|l| l.starts_with("flexvec_cache_hits_total"))
                 .unwrap_or("flexvec_cache_hits_total <missing>");
-            println!("  /metrics scrape ok ({hits})");
+            let promotions = text
+                .lines()
+                .find(|l| l.starts_with("flexvec_tier_promotions_total"))
+                .unwrap_or("flexvec_tier_promotions_total <missing>");
+            println!("  /metrics scrape ok ({hits}; {promotions})");
         }
     }
 
@@ -307,5 +470,27 @@ fn main() {
             "serve_load: repeat-kernel speedup {speedup:.1}x is below the required {MIN_SPEEDUP:.0}x"
         );
         std::process::exit(1);
+    }
+    if tiers.promotions == 0 {
+        eprintln!("serve_load: the tier policy never promoted the hot kernel");
+        std::process::exit(1);
+    }
+    if tiers.native_supported {
+        if tiers.labels.last().map(String::as_str) != Some("native") {
+            eprintln!(
+                "serve_load: hot kernel was not promoted to the native tier \
+                 (walk: {})",
+                tiers.labels.join(" -> ")
+            );
+            std::process::exit(1);
+        }
+        if tiers.ratio() < MIN_TIER_SPEEDUP {
+            eprintln!(
+                "serve_load: native tier {:.2}x over bytecode is below the required \
+                 {MIN_TIER_SPEEDUP:.2}x",
+                tiers.ratio()
+            );
+            std::process::exit(1);
+        }
     }
 }

@@ -5,12 +5,16 @@
 //! `--engine tree` and `--spec rtm:128` mean the same thing everywhere:
 //!
 //! ```text
-//! --engine tree|compiled    execution engine (default: compiled)
-//! --spec ff|rtm[:TILE]      speculation strategy (default: ff; rtm tile
-//!                           defaults to 256)
-//! --json                    machine-readable output where supported
-//! --help                    usage
+//! --engine tree|compiled|native   execution engine (default: compiled)
+//! --spec ff|rtm[:TILE]            speculation strategy (default: ff; rtm
+//!                                 tile defaults to 256)
+//! --json                          machine-readable output where supported
+//! --help                          usage
 //! ```
+//!
+//! `--engine native` asks for the x86-64 JIT tier; on hosts without the
+//! back end it degrades to `compiled` with a note on stderr rather than
+//! erroring, so scripts are portable.
 //!
 //! Values may be attached (`--engine=tree`) or separate (`--engine
 //! tree`). Binaries can register extra `--name VALUE` flags; anything
@@ -25,6 +29,10 @@ use flexvec_vm::Engine;
 pub struct CommonFlags {
     /// `--engine`: which execution engine runs vector code.
     pub engine: Engine,
+    /// Whether `--engine` was given explicitly. `flexvecc client` uses
+    /// this to decide between forcing the engine on the daemon and
+    /// deferring to its tier policy (the wire default, `auto`).
+    pub engine_explicit: bool,
     /// `--spec`: first-faulting (the paper's default) or RTM speculation.
     pub spec: SpecRequest,
     /// `--json`: emit machine-readable output where the binary supports it.
@@ -46,7 +54,8 @@ pub struct ExtraFlag {
 fn usage(bin: &str, about: &str, extras: &[ExtraFlag]) -> String {
     let mut out = format!(
         "{about}\n\nUsage: {bin} [OPTIONS] [ARGS...]\n\nOptions:\n  \
-         --engine tree|compiled   execution engine (default: compiled)\n  \
+         --engine tree|compiled|native  execution engine (default: compiled;\n                           \
+         native falls back to compiled off x86-64)\n  \
          --spec ff|rtm[:TILE]     speculation strategy (default: ff; rtm tile 256)\n  \
          --json                   machine-readable output where supported\n  \
          --help                   show this help\n"
@@ -66,8 +75,19 @@ pub fn parse_engine(value: &str) -> Result<Engine, String> {
     match value {
         "tree" | "tree-walking" => Ok(Engine::TreeWalking),
         "compiled" => Ok(Engine::Compiled),
+        "native" => {
+            if flexvec_vm::native_supported() {
+                Ok(Engine::Native)
+            } else {
+                eprintln!(
+                    "--engine native: this host has no x86-64 JIT back end; \
+                     falling back to compiled"
+                );
+                Ok(Engine::Compiled)
+            }
+        }
         other => Err(format!(
-            "invalid --engine `{other}` (expected `tree` or `compiled`)"
+            "invalid --engine `{other}` (expected `tree`, `compiled`, or `native`)"
         )),
     }
 }
@@ -118,6 +138,7 @@ impl CommonFlags {
     {
         let mut flags = CommonFlags {
             engine: Engine::default(),
+            engine_explicit: false,
             spec: SpecRequest::Auto,
             json: false,
             positional: Vec::new(),
@@ -147,7 +168,10 @@ impl CommonFlags {
                 }
             };
             match name.as_str() {
-                "engine" => flags.engine = parse_engine(&value)?,
+                "engine" => {
+                    flags.engine = parse_engine(&value)?;
+                    flags.engine_explicit = true;
+                }
                 "spec" => flags.spec = parse_spec(&value)?,
                 _ if extra.iter().any(|e| e.name == name) => {
                     flags.extras.push((name, value));
@@ -227,6 +251,7 @@ mod tests {
     fn defaults() {
         let f = parse(&[]).unwrap();
         assert_eq!(f.engine, Engine::Compiled);
+        assert!(!f.engine_explicit, "default engine is not explicit");
         assert_eq!(f.spec, SpecRequest::Auto);
         assert!(!f.json);
         assert!(f.positional.is_empty());
@@ -236,6 +261,7 @@ mod tests {
     fn engine_and_spec_both_forms() {
         let f = parse(&["--engine", "tree", "--spec=rtm:128", "--json"]).unwrap();
         assert_eq!(f.engine, Engine::TreeWalking);
+        assert!(f.engine_explicit);
         assert_eq!(f.spec, SpecRequest::Rtm { tile: 128 });
         assert!(f.json);
 
@@ -244,6 +270,16 @@ mod tests {
         assert_eq!(f.spec, SpecRequest::Rtm { tile: 256 });
 
         assert_eq!(parse(&["--spec", "ff"]).unwrap().spec, SpecRequest::Auto);
+    }
+
+    #[test]
+    fn native_engine_degrades_gracefully_off_x86() {
+        let f = parse(&["--engine", "native"]).unwrap();
+        if flexvec_vm::native_supported() {
+            assert_eq!(f.engine, Engine::Native);
+        } else {
+            assert_eq!(f.engine, Engine::Compiled, "fallback, not an error");
+        }
     }
 
     #[test]

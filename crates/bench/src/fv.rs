@@ -219,17 +219,27 @@ pub fn evaluate_fv_file(
         return report;
     };
 
-    // Vector execution on a fresh memory image.
+    // Vector execution on a fresh memory image. The native tier needs
+    // its own plan clone: the cached one is shared and immutable.
+    let native = (engine == Engine::Native).then(|| {
+        let mut c = plan.compiled.clone();
+        c.enable_native();
+        c
+    });
     let mut mem_v = AddressSpace::new();
     let bind_v = bind_arrays(&mut mem_v);
     let mut sim_v = OooSim::new(config);
-    let mut scratch = plan.compiled.scratch();
+    let mut scratch = match &native {
+        Some(c) => c.scratch(),
+        None => plan.compiled.scratch(),
+    };
     let mut vector_final = None;
     let mut stats = VectorStats::default();
     mem_v.reset_cache_stats();
     let label = match engine {
         Engine::TreeWalking => "tree-walking",
         Engine::Compiled => "compiled",
+        Engine::Native => "native",
     };
     let mut throughput = ThroughputReport::new(
         label,
@@ -241,10 +251,10 @@ pub fn evaluate_fv_file(
     let wall_start = Instant::now();
     for _ in 0..invocations {
         let step = match engine {
-            Engine::Compiled => run_vector_precompiled_with_scratch(
+            Engine::Compiled | Engine::Native => run_vector_precompiled_with_scratch(
                 program,
                 &plan.vectorized.vprog,
-                &plan.compiled,
+                native.as_ref().unwrap_or(&plan.compiled),
                 &mut scratch,
                 &mut mem_v,
                 bind_v.clone(),

@@ -1,10 +1,11 @@
 //! The differential check: one case, every execution path.
 //!
 //! The scalar interpreter is the oracle. Each speculation mode that the
-//! vectorizer accepts runs under both the tree-walking and the compiled
-//! engine, and every observable — live-out scalars, the induction exit
+//! vectorizer accepts runs under the tree-walking engine, the compiled
+//! engine, and — on hosts with the x86-64 back end — the native JIT
+//! tier, and every observable — live-out scalars, the induction exit
 //! value, the break flag, the iteration count, and final memory — must
-//! equal the oracle's. The two engines must additionally be
+//! equal the oracle's. The engines must additionally be
 //! bit-identical to each other (statistics and full µop traces). When a
 //! compile cache is supplied the case also round-trips through the
 //! `.fv` printer/parser and the cached-vs-fresh compile path.
@@ -15,8 +16,8 @@ use flexvec::{vectorize, SpecRequest, VProg};
 use flexvec_front::{parse_str, to_fv_kernel, CompileCache};
 use flexvec_mem::{AddressSpace, ArrayId};
 use flexvec_vm::{
-    run_scalar, run_vector_precompiled, run_vector_with_engine, Bindings, CountingSink, Engine,
-    RunResult, Uop, VecSink, VectorStats,
+    native_supported, run_scalar, run_vector_precompiled, run_vector_with_engine, Bindings,
+    CountingSink, Engine, RunResult, Uop, VecSink, VectorStats,
 };
 
 use crate::explicit_inputs;
@@ -187,33 +188,45 @@ fn compare_to_oracle(
     Ok(())
 }
 
-fn compare_engines(config: &str, tree: &VectorRun, compiled: &VectorRun) -> Result<(), Divergence> {
-    if tree.stats != compiled.stats {
+fn compare_engines(config: &str, tree: &VectorRun, other: &VectorRun) -> Result<(), Divergence> {
+    if tree.stats != other.stats {
         return diverged(
             config,
             format!(
-                "engine statistics differ: tree {:?}, compiled {:?}",
-                tree.stats, compiled.stats
+                "engine statistics differ: tree {:?}, other {:?}",
+                tree.stats, other.stats
             ),
         );
     }
-    if tree.uops != compiled.uops {
+    if tree.uops != other.uops {
         let idx = tree
             .uops
             .iter()
-            .zip(&compiled.uops)
+            .zip(&other.uops)
             .position(|(a, b)| a != b)
-            .unwrap_or_else(|| tree.uops.len().min(compiled.uops.len()));
+            .unwrap_or_else(|| tree.uops.len().min(other.uops.len()));
         return diverged(
             config,
             format!(
-                "µop traces differ at index {idx} (tree {} µops, compiled {} µops)",
+                "µop traces differ at index {idx} (tree {} µops, other {} µops)",
                 tree.uops.len(),
-                compiled.uops.len()
+                other.uops.len()
             ),
         );
     }
     Ok(())
+}
+
+/// The engine matrix: the native tier joins on hosts that have it.
+fn engine_matrix() -> Vec<(&'static str, Engine)> {
+    let mut engines = vec![
+        ("tree", Engine::TreeWalking),
+        ("compiled", Engine::Compiled),
+    ];
+    if native_supported() {
+        engines.push(("native", Engine::Native));
+    }
+    engines
 }
 
 fn check_front_end(
@@ -304,13 +317,11 @@ pub fn check_case(case: &FuzzCase, cfg: &CheckConfig<'_>) -> Result<CheckStats, 
             }
         }
 
-        let mut runs: Vec<VectorRun> = Vec::with_capacity(2);
-        for (engine_name, engine) in [
-            ("tree", Engine::TreeWalking),
-            ("compiled", Engine::Compiled),
-        ] {
+        let engines = engine_matrix();
+        let mut runs: Vec<VectorRun> = Vec::with_capacity(engines.len());
+        for (engine_name, engine) in &engines {
             let config = format!("{spec_name}/{engine_name}");
-            match run_engine(case, &vprog, engine) {
+            match run_engine(case, &vprog, *engine) {
                 Ok(run) => {
                     compare_to_oracle(case, &config, &oracle, &run.result, &run.memory)?;
                     stats.vector_runs += 1;
@@ -319,7 +330,13 @@ pub fn check_case(case: &FuzzCase, cfg: &CheckConfig<'_>) -> Result<CheckStats, 
                 Err(detail) => return diverged(&config, detail),
             }
         }
-        compare_engines(&format!("{spec_name}/tree-vs-compiled"), &runs[0], &runs[1])?;
+        for (i, run) in runs.iter().enumerate().skip(1) {
+            compare_engines(
+                &format!("{spec_name}/tree-vs-{}", engines[i].0),
+                &runs[0],
+                run,
+            )?;
+        }
     }
 
     if cfg.mutate.is_none() {

@@ -32,7 +32,11 @@ use crate::VLEN;
 /// assert_eq!(k.count(), 3);
 /// assert_eq!(k.first_set(), Some(0));
 /// ```
+// `repr(transparent)`: a `Mask` is exactly a `u16` in memory, so a
+// `&[Mask]` register file can be handed to generated machine code as a
+// flat `*mut u16`.
 #[derive(Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct Mask(u16);
 
 impl Mask {

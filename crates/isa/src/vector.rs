@@ -31,7 +31,11 @@ use crate::{Mask, VLEN};
 /// assert_eq!(merged[3], 13);
 /// assert_eq!(merged[4], -1);
 /// ```
+// `repr(transparent)`: a `Vector` is exactly `[i64; VLEN]` in memory, so
+// a `&[Vector]` register file can be handed to generated machine code as
+// a flat `*mut i64` (lane `l` of register `r` at element `r * VLEN + l`).
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(transparent)]
 pub struct Vector(pub(crate) [i64; VLEN]);
 
 // The arithmetic method names deliberately mirror the ISA mnemonics

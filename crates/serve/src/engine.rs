@@ -23,14 +23,15 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use flexvec::{program_hash, ShardedCache};
+use flexvec::{program_hash, ShardedCache, SpecRequest};
 use flexvec_front::{parse_str, CompileCache, CompiledKernel, ParsedKernel};
 use flexvec_mem::AddressSpace;
 use flexvec_profiler::{throughput_samples, vector_stat_samples, StatSample, ThroughputReport};
 use flexvec_sim::{OooSim, SimConfig};
 use flexvec_vm::{
-    run_scalar_cancellable, run_vector_precompiled_cancellable, run_vector_with_engine_cancellable,
-    Bindings, CancelToken, Engine, TraceSink, VectorStats,
+    native_supported, run_scalar_cancellable, run_vector_precompiled_cancellable,
+    run_vector_with_engine_cancellable, Bindings, CancelToken, CompiledVProg, Engine, TraceSink,
+    VectorStats,
 };
 
 use crate::json::Json;
@@ -84,6 +85,44 @@ pub struct ServeEngine {
     registry: ShardedCache<ParsedKernel>,
     started: Instant,
     totals: Mutex<BTreeMap<&'static str, u64>>,
+    tiers: Mutex<BTreeMap<u64, TierEntry>>,
+}
+
+/// A kernel becomes *warm* (bytecode tier) at this many runs.
+const TIER_WARM_RUNS: u64 = 2;
+/// A kernel becomes *hot* (native tier) at this many runs.
+const TIER_HOT_RUNS: u64 = 16;
+
+/// Per-kernel-hash tier state: how often the kernel has run, which
+/// tier it last ran on, and the native-enabled plan once it got hot.
+/// The map is unbounded but keyed by kernel hash, so it grows with
+/// distinct kernels, not with traffic.
+#[derive(Default)]
+struct TierEntry {
+    runs: u64,
+    /// 0 = never ran, else `tier_rank` of the last auto-policy tier.
+    last_rank: u8,
+    /// Cached native-enabled clone of the compiled plan, keyed by the
+    /// spec it was built for (a spec change invalidates it).
+    native: Option<(SpecRequest, CompiledVProg)>,
+}
+
+/// Promotion order of the tiers.
+fn tier_rank(engine: Engine) -> u8 {
+    match engine {
+        Engine::TreeWalking => 1,
+        Engine::Compiled => 2,
+        Engine::Native => 3,
+    }
+}
+
+/// The totals-map key counting executions on this tier.
+fn tier_counter(engine: Engine) -> &'static str {
+    match engine {
+        Engine::TreeWalking => "tier_tree",
+        Engine::Compiled => "tier_bytecode",
+        Engine::Native => "tier_native",
+    }
 }
 
 /// Maps an engine-counter sample name to its Prometheus metric name.
@@ -98,6 +137,10 @@ fn prom_name(name: &'static str) -> &'static str {
         "engine_wall_micros" => "flexvec_engine_wall_micros_total",
         "engine_page_cache_hits" => "flexvec_engine_page_cache_hits_total",
         "engine_page_cache_misses" => "flexvec_engine_page_cache_misses_total",
+        "tier_tree" => "flexvec_tier_tree_total",
+        "tier_bytecode" => "flexvec_tier_bytecode_total",
+        "tier_native" => "flexvec_tier_native_total",
+        "tier_promotions" => "flexvec_tier_promotions_total",
         other => other,
     }
 }
@@ -119,7 +162,58 @@ impl ServeEngine {
             cache,
             registry,
             started: Instant::now(),
-            totals: Mutex::new(BTreeMap::new()),
+            // Tier counters are pre-seeded so `/metrics` exports all
+            // four rows from the first scrape, even at zero — scrape
+            // consumers and the CI smoke test key off their presence.
+            totals: Mutex::new(BTreeMap::from([
+                ("tier_tree", 0),
+                ("tier_bytecode", 0),
+                ("tier_native", 0),
+                ("tier_promotions", 0),
+            ])),
+            tiers: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Picks the execution tier for one request and advances the
+    /// kernel's run count. An explicit request engine is honored
+    /// as-is; otherwise the per-hash policy promotes cold → tree,
+    /// warm → bytecode, hot → native (bytecode where the host has no
+    /// native back end). Returns the engine and whether this request
+    /// crossed a promotion boundary.
+    fn resolve_engine(&self, hash: u64, req: &Request) -> (Engine, bool) {
+        let mut tiers = self.tiers.lock().expect("tiers lock");
+        let entry = tiers.entry(hash).or_default();
+        let prior = entry.runs;
+        entry.runs += req.invocations.max(1);
+        let Some(explicit) = req.engine else {
+            let engine = if prior < TIER_WARM_RUNS {
+                Engine::TreeWalking
+            } else if prior < TIER_HOT_RUNS || !native_supported() {
+                Engine::Compiled
+            } else {
+                Engine::Native
+            };
+            let promoted = entry.last_rank != 0 && tier_rank(engine) > entry.last_rank;
+            entry.last_rank = tier_rank(engine);
+            return (engine, promoted);
+        };
+        (explicit, false)
+    }
+
+    /// The native-enabled plan for a hot kernel, built once per
+    /// (hash, spec) and cached in the tier entry.
+    fn native_plan(&self, hash: u64, spec: SpecRequest, base: &CompiledVProg) -> CompiledVProg {
+        let mut tiers = self.tiers.lock().expect("tiers lock");
+        let entry = tiers.entry(hash).or_default();
+        match &entry.native {
+            Some((s, c)) if *s == spec => c.clone(),
+            _ => {
+                let mut c = base.clone();
+                c.enable_native();
+                entry.native = Some((spec, c.clone()));
+                c
+            }
         }
     }
 
@@ -278,18 +372,27 @@ impl ServeEngine {
             });
         };
 
-        // Vector execution on a fresh memory image.
+        // Vector execution on a fresh memory image, on the tier the
+        // policy (or an explicit request engine) picked.
+        let (engine, promoted) = self.resolve_engine(compiled.program_hash, req);
+        let native = (engine == Engine::Native)
+            .then(|| self.native_plan(compiled.program_hash, req.spec, &plan.compiled));
+        self.record_tier(engine, promoted);
         let mut mem_v = AddressSpace::new();
         let bind_v = bind_arrays(&mut mem_v);
         let mut sim_v = OooSim::new(config);
-        let mut scratch = plan.compiled.scratch();
+        let mut scratch = match &native {
+            Some(c) => c.scratch(),
+            None => plan.compiled.scratch(),
+        };
         let mut vector_final = None;
         let mut last_stats = VectorStats::default();
         let mut agg_stats = VectorStats::default();
         mem_v.reset_cache_stats();
-        let label = match req.engine {
+        let label = match engine {
             Engine::TreeWalking => "tree-walking",
             Engine::Compiled => "compiled",
+            Engine::Native => "native",
         };
         let mut throughput = ThroughputReport::new(
             label,
@@ -300,11 +403,11 @@ impl ServeEngine {
         );
         let wall_start = Instant::now();
         for _ in 0..invocations {
-            let step = match req.engine {
-                Engine::Compiled => run_vector_precompiled_cancellable(
+            let step = match engine {
+                Engine::Compiled | Engine::Native => run_vector_precompiled_cancellable(
                     program,
                     &plan.vectorized.vprog,
-                    &plan.compiled,
+                    native.as_ref().unwrap_or(&plan.compiled),
                     &mut scratch,
                     &mut mem_v,
                     bind_v.clone(),
@@ -379,6 +482,16 @@ impl ServeEngine {
         })
     }
 
+    /// Counts one vector execution on its tier, and the promotion
+    /// event when the tier policy just moved the kernel up.
+    fn record_tier(&self, engine: Engine, promoted: bool) {
+        let mut totals = self.totals.lock().expect("totals lock");
+        *totals.entry(tier_counter(engine)).or_insert(0) += 1;
+        if promoted {
+            *totals.entry("tier_promotions").or_insert(0) += 1;
+        }
+    }
+
     /// Folds one run's engine counters into the process-lifetime
     /// totals `/metrics` exports.
     fn record_totals(&self, stats: &VectorStats, throughput: &ThroughputReport) {
@@ -440,7 +553,9 @@ impl ServeEngine {
     pub fn stats_fields(&self) -> Vec<(&'static str, Json)> {
         let info = build_info();
         let stats = self.cache.stats();
-        vec![
+        let totals = self.totals.lock().expect("totals lock");
+        let total = |name: &str| totals.get(name).copied().unwrap_or(0);
+        Vec::from([
             ("version", Json::from(info.version)),
             ("git_hash", Json::from(info.git_hash)),
             (
@@ -461,7 +576,15 @@ impl ServeEngine {
             ),
             ("compiles", Json::from(self.cache.compiles())),
             ("kernels_registered", Json::from(self.registry.len() as u64)),
-        ]
+            ("tier_tree_total", Json::from(total("tier_tree"))),
+            ("tier_bytecode_total", Json::from(total("tier_bytecode"))),
+            ("tier_native_total", Json::from(total("tier_native"))),
+            (
+                "tier_promotions_total",
+                Json::from(total("tier_promotions")),
+            ),
+            ("native_supported", Json::from(native_supported())),
+        ])
     }
 }
 
@@ -505,6 +628,7 @@ fn kernel_fields(
 fn run_fields(outcome: &ExecOutcome, req: &Request) -> Vec<(&'static str, Json)> {
     let mut fields = vec![
         ("kind", Json::from(outcome.kind)),
+        ("engine", Json::from(outcome.throughput.label.as_str())),
         ("scalar_cycles", Json::from(outcome.scalar_cycles)),
         ("vector_cycles", Json::from(outcome.vector_cycles)),
         (
@@ -569,7 +693,7 @@ for (i = 0; i < 64; i++) {
             source: source.map(str::to_owned),
             hash,
             spec: flexvec::SpecRequest::Auto,
-            engine: Engine::Compiled,
+            engine: Some(Engine::Compiled),
             invocations: 1,
             deadline_ms: None,
         }
@@ -657,6 +781,72 @@ for (i = 0; i < 64; i++) {
         assert!(samples
             .iter()
             .any(|s| s.name == "flexvec_cache_compiles_total" && s.value == 1));
+    }
+
+    #[test]
+    fn tier_policy_promotes_cold_to_warm_to_hot() {
+        let engine = ServeEngine::new(0);
+        let mut auto_req = req(Op::Run, Some(MINLOC), None);
+        auto_req.engine = None;
+
+        // One request = one run, so request k sees a prior count of
+        // k-1: tree below TIER_WARM_RUNS, bytecode below
+        // TIER_HOT_RUNS, native after (bytecode on hosts without the
+        // back end).
+        let labels: Vec<String> = (0..=TIER_HOT_RUNS)
+            .map(|_| {
+                let r = engine.handle(&auto_req, None).unwrap();
+                field(&r.fields, "engine").as_str().unwrap().to_owned()
+            })
+            .collect();
+        let warm = TIER_WARM_RUNS as usize;
+        let hot = TIER_HOT_RUNS as usize;
+        assert!(labels[..warm].iter().all(|l| l == "tree-walking"));
+        assert!(labels[warm..hot].iter().all(|l| l == "compiled"));
+        assert_eq!(
+            labels[hot],
+            if native_supported() {
+                "native"
+            } else {
+                "compiled"
+            }
+        );
+
+        let stats = engine.stats_fields();
+        let total = |name: &str| field(&stats, name).as_u64().unwrap();
+        assert_eq!(total("tier_tree_total"), TIER_WARM_RUNS);
+        if native_supported() {
+            assert_eq!(total("tier_bytecode_total"), TIER_HOT_RUNS - TIER_WARM_RUNS);
+            assert_eq!(total("tier_native_total"), 1);
+            assert_eq!(
+                total("tier_promotions_total"),
+                2,
+                "tree→bytecode and bytecode→native"
+            );
+        } else {
+            assert_eq!(
+                total("tier_bytecode_total"),
+                TIER_HOT_RUNS - TIER_WARM_RUNS + 1
+            );
+            assert_eq!(total("tier_native_total"), 0);
+            assert_eq!(total("tier_promotions_total"), 1, "tree→bytecode only");
+        }
+    }
+
+    #[test]
+    fn explicit_engine_bypasses_the_tier_policy() {
+        let engine = ServeEngine::new(0);
+        let r = engine
+            .handle(&req(Op::Run, Some(MINLOC), None), None)
+            .unwrap();
+        assert_eq!(field(&r.fields, "engine").as_str(), Some("compiled"));
+        let stats = engine.stats_fields();
+        assert_eq!(field(&stats, "tier_tree_total").as_u64(), Some(0));
+        assert_eq!(
+            field(&stats, "tier_promotions_total").as_u64(),
+            Some(0),
+            "explicit engines never count as promotions"
+        );
     }
 
     #[test]

@@ -126,8 +126,11 @@ pub struct Request {
     pub hash: Option<u64>,
     /// Speculation strategy (`ff`/`auto`, `rtm`, `rtm:TILE`).
     pub spec: SpecRequest,
-    /// Execution engine (`compiled` or `tree`).
-    pub engine: Engine,
+    /// Execution engine. `None` (the wire value `auto`, and the
+    /// default) lets the daemon's tier policy pick: kernels start on
+    /// the tree walker and are promoted to bytecode and then native
+    /// code as their per-hash run count grows.
+    pub engine: Option<Engine>,
     /// How many times `run`/`bench` invoke the kernel (min 1).
     pub invocations: u64,
     /// Per-request deadline in milliseconds, measured from admission.
@@ -162,17 +165,19 @@ pub fn parse_spec(value: &str) -> Result<SpecRequest, String> {
 }
 
 /// Parses `engine` wire values — same vocabulary as `flexvecc
-/// --engine`.
+/// --engine`, plus `auto` (`None`) for the daemon's tier policy.
 ///
 /// # Errors
 ///
 /// Describes the accepted values on anything else.
-pub fn parse_engine(value: &str) -> Result<Engine, String> {
+pub fn parse_engine(value: &str) -> Result<Option<Engine>, String> {
     match value {
-        "tree" | "tree-walking" => Ok(Engine::TreeWalking),
-        "compiled" => Ok(Engine::Compiled),
+        "auto" => Ok(None),
+        "tree" | "tree-walking" => Ok(Some(Engine::TreeWalking)),
+        "compiled" => Ok(Some(Engine::Compiled)),
+        "native" => Ok(Some(Engine::Native)),
         other => Err(format!(
-            "invalid engine `{other}` (expected `tree` or `compiled`)"
+            "invalid engine `{other}` (expected `auto`, `tree`, `compiled`, or `native`)"
         )),
     }
 }
@@ -240,7 +245,7 @@ impl Request {
             Some(_) => return Err(bad("`spec` must be a string".to_owned())),
         };
         let engine = match value.get("engine") {
-            None | Some(Json::Null) => Engine::default(),
+            None | Some(Json::Null) => None,
             Some(Json::Str(s)) => parse_engine(s).map_err(&bad)?,
             Some(_) => return Err(bad("`engine` must be a string".to_owned())),
         };
@@ -310,7 +315,7 @@ mod tests {
         assert_eq!(r.op, Op::Bench);
         assert_eq!(r.hash, Some(0xff));
         assert_eq!(r.spec, SpecRequest::Rtm { tile: 64 });
-        assert_eq!(r.engine, Engine::TreeWalking);
+        assert_eq!(r.engine, Some(Engine::TreeWalking));
         assert_eq!(r.invocations, 32);
         assert_eq!(r.deadline_ms, Some(250));
     }
@@ -320,9 +325,22 @@ mod tests {
         let r = Request::parse(r#"{"op":"run","source":"kernel k;"}"#).unwrap();
         assert_eq!(r.id, 0);
         assert_eq!(r.spec, SpecRequest::Auto);
-        assert_eq!(r.engine, Engine::Compiled);
+        assert_eq!(r.engine, None, "omitted engine means the tier policy");
         assert_eq!(r.invocations, 1);
         assert_eq!(r.deadline_ms, None);
+    }
+
+    #[test]
+    fn engine_vocabulary_covers_all_tiers() {
+        assert_eq!(parse_engine("auto").unwrap(), None);
+        assert_eq!(parse_engine("tree").unwrap(), Some(Engine::TreeWalking));
+        assert_eq!(
+            parse_engine("tree-walking").unwrap(),
+            Some(Engine::TreeWalking)
+        );
+        assert_eq!(parse_engine("compiled").unwrap(), Some(Engine::Compiled));
+        assert_eq!(parse_engine("native").unwrap(), Some(Engine::Native));
+        assert!(parse_engine("quantum").is_err());
     }
 
     #[test]

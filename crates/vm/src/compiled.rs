@@ -34,9 +34,10 @@ use crate::vector::{apply_bin, bin_class, cmp_op, reduce_identity, ChunkAbort, V
 
 /// One bytecode instruction. Register fields are pre-bound dense indices
 /// into the executor's register files; `t`/`t1`/`t2` index the immutable
-/// µop templates, `s` the mutable scratch µops.
+/// µop templates, `s` the mutable scratch µops. `pub(crate)` so the
+/// `jit` module can translate the straight-line subset to machine code.
 #[derive(Clone, Debug)]
-enum Instr {
+pub(crate) enum Instr {
     Iota {
         dst: usize,
         t: usize,
@@ -193,6 +194,29 @@ enum Instr {
     },
 }
 
+impl Instr {
+    /// Whether this instruction participates in control flow (VPL entry
+    /// and back-edge, fault checks, early exits). Control instructions
+    /// always run in the bytecode driver — the JIT's straight-line
+    /// segments break at each of them, which also guarantees every VPL
+    /// back-edge target is a segment boundary.
+    pub(crate) fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Instr::FaultCheck { .. }
+                | Instr::BreakIf { .. }
+                | Instr::EnterVpl { .. }
+                | Instr::Repeat { .. }
+        )
+    }
+}
+
+/// How a control instruction redirects the driver loop.
+enum Flow {
+    Next,
+    Jump(usize),
+}
+
 /// A [`VProg`] flattened to linear bytecode (see the module docs).
 ///
 /// Compile once with [`CompiledVProg::compile`], then run any number of
@@ -213,6 +237,10 @@ pub struct CompiledVProg {
     scratch_proto: Vec<Uop>,
     /// Number of per-VPL iteration counters a run needs.
     num_counters: usize,
+    /// The optional native x86-64 tier ([`CompiledVProg::enable_native`]).
+    /// Behind an `Arc` so clones (the serve compile cache hands out
+    /// clones) share the executable pages.
+    native: Option<std::sync::Arc<crate::jit::NativeCode>>,
 }
 
 /// The per-run mutable state of a compiled program: preallocated µops
@@ -247,7 +275,51 @@ impl CompiledVProg {
             templates: c.templates,
             scratch_proto: c.scratch,
             num_counters: c.counters,
+            native: None,
         }
+    }
+
+    /// Attaches the native x86-64 tier: compiles every straight-line
+    /// segment of the bytecode to machine code (see the `jit` module)
+    /// and routes subsequent chunks through it. Returns whether native
+    /// code is now attached; `false` (non-x86-64 target, nothing to
+    /// compile, or a static encoding bound exceeded) leaves the program
+    /// on the bytecode tier, which is always semantically equivalent —
+    /// callers can treat the two identically.
+    pub fn enable_native(&mut self) -> bool {
+        if self.native.is_some() {
+            return true;
+        }
+        match crate::jit::NativeCode::build(&self.code) {
+            Some(native) => {
+                self.native = Some(std::sync::Arc::new(native));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether the native tier is attached.
+    pub fn has_native(&self) -> bool {
+        self.native.is_some()
+    }
+
+    /// `(segments, inline ops, helper ops, code bytes)` of the attached
+    /// native tier; all zeros when running pure bytecode.
+    pub fn native_info(&self) -> (usize, usize, usize, usize) {
+        match &self.native {
+            Some(n) => {
+                let (inline, helper) = n.op_mix();
+                (n.num_segments(), inline, helper, n.code_bytes())
+            }
+            None => (0, 0, 0, 0),
+        }
+    }
+
+    /// The immutable µop templates (the JIT's batched-observe flush
+    /// reads ranges of these).
+    pub(crate) fn templates(&self) -> &[Uop] {
+        &self.templates
     }
 
     /// Number of bytecode instructions.
@@ -270,7 +342,10 @@ impl CompiledVProg {
         }
     }
 
-    /// Executes one chunk against `exec`'s register state.
+    /// Executes one chunk against `exec`'s register state — through the
+    /// native tier when one is attached, the bytecode interpreter
+    /// otherwise. The two paths are bit-identical (results, statistics,
+    /// µop stream); the crosscheck tests enforce it.
     pub(crate) fn run_chunk<M: LaneMemory>(
         &self,
         st: &mut ExecScratch,
@@ -278,18 +353,191 @@ impl CompiledVProg {
         mem: &mut M,
         sink: &mut dyn TraceSink,
     ) -> Result<(), ChunkAbort> {
-        let CompiledVProg {
-            code, templates, ..
-        } = self;
+        #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+        if let Some(native) = &self.native {
+            return self.run_chunk_native(native, st, exec, mem, sink);
+        }
+        self.run_chunk_bytecode(st, exec, mem, sink)
+    }
+
+    /// The bytecode dispatch loop.
+    fn run_chunk_bytecode<M: LaneMemory>(
+        &self,
+        st: &mut ExecScratch,
+        exec: &mut VecExec,
+        mem: &mut M,
+        sink: &mut dyn TraceSink,
+    ) -> Result<(), ChunkAbort> {
+        let mut pc = 0usize;
+        while pc < self.code.len() {
+            if self.code[pc].is_control() {
+                match self.exec_control(pc, st, exec, sink)? {
+                    Flow::Jump(target) => {
+                        pc = target;
+                        continue;
+                    }
+                    Flow::Next => {}
+                }
+            } else {
+                self.exec_instr(pc, st, exec, mem, sink)?;
+            }
+            pc += 1;
+        }
+        Ok(())
+    }
+
+    /// The native dispatch loop: straight-line segments run as machine
+    /// code, control instructions stay interpreted (they are never part
+    /// of a segment, and every jump target is a segment boundary or a
+    /// control instruction).
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    #[allow(unsafe_code)]
+    fn run_chunk_native<M: LaneMemory>(
+        &self,
+        native: &crate::jit::NativeCode,
+        st: &mut ExecScratch,
+        exec: &mut VecExec,
+        mem: &mut M,
+        sink: &mut dyn TraceSink,
+    ) -> Result<(), ChunkAbort> {
+        use crate::jit::{helper_instr, helper_observe, HelperRefs, NativeCtx};
+        let mut refs = HelperRefs::<M> {
+            prog: self,
+            st: st as *mut ExecScratch,
+            exec: exec as *mut VecExec,
+            mem: mem as *mut M,
+            sink: sink as *mut (dyn TraceSink + '_),
+            abort: None,
+        };
+        // The register files are fixed-size for the whole run, so these
+        // flat views stay valid across helper calls (which mutate the
+        // contents, never the allocations).
+        let mut ctx = NativeCtx {
+            vregs: exec.vregs.as_mut_ptr().cast::<i64>(),
+            kregs: exec.kregs.as_mut_ptr().cast::<u16>(),
+            vars: exec.vars.as_mut_ptr(),
+            helper_instr: helper_instr::<M>,
+            helper_observe: helper_observe::<M>,
+            payload: (&mut refs as *mut HelperRefs<'_, M>).cast(),
+        };
+        let mut pc = 0usize;
+        while pc < self.code.len() {
+            if let Some(seg) = native.segment_at(pc) {
+                // SAFETY: ctx's register-file pointers cover every
+                // index the program binds (the compiler bound them
+                // against this register file's sizes), the payload is
+                // the HelperRefs<M> matching the thunks' type
+                // parameter, and the segment came from this program's
+                // own build.
+                let status = unsafe { native.call(seg, &mut ctx) };
+                if status != 0 {
+                    return Err(refs.abort.take().expect("helper recorded the abort"));
+                }
+                pc = seg.end as usize;
+                continue;
+            }
+            match self.exec_control(pc, st, exec, sink)? {
+                Flow::Jump(target) => {
+                    pc = target;
+                    continue;
+                }
+                Flow::Next => {}
+            }
+            pc += 1;
+        }
+        Ok(())
+    }
+
+    /// Executes the control instruction at `pc` (the four variants that
+    /// never enter a JIT segment).
+    fn exec_control(
+        &self,
+        pc: usize,
+        st: &mut ExecScratch,
+        exec: &mut VecExec,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Flow, ChunkAbort> {
+        let templates = &self.templates;
+        match &self.code[pc] {
+            Instr::FaultCheck { got, want, t } => {
+                sink.observe(&templates[*t]);
+                if exec.kregs[*got] != exec.kregs[*want] {
+                    return Err(ChunkAbort::Clipped);
+                }
+            }
+            Instr::BreakIf { mask, s } => {
+                let k = exec.kregs[*mask];
+                if exec.aon && k.any() {
+                    return Err(ChunkAbort::Clipped);
+                }
+                let uop = &mut st.uops[*s];
+                if let UopClass::Branch { taken, .. } = &mut uop.class {
+                    *taken = k.any();
+                }
+                sink.observe(uop);
+                exec.exit_mask |= k;
+            }
+            Instr::EnterVpl { counter } => {
+                st.counters[*counter] = 0;
+                st.prev_masks[*counter] = Mask::EMPTY;
+            }
+            Instr::Repeat {
+                repeat_if,
+                body,
+                counter,
+                t,
+            } => {
+                st.counters[*counter] += 1;
+                exec.stats.vpl_iterations += 1;
+                let todo = exec.kregs[*repeat_if];
+                if todo.any() {
+                    if exec.aon {
+                        // All-or-nothing: a detected dependency rolls
+                        // the whole chunk back to scalar code.
+                        return Err(ChunkAbort::Clipped);
+                    }
+                    // Stall detection mirrors the tree walker: a
+                    // partition that retired no lanes (the
+                    // remaining-work mask did not change) would spin
+                    // forever; the iteration bound is the backstop.
+                    if todo == st.prev_masks[*counter] || st.counters[*counter] > VLEN as u64 {
+                        return Err(ChunkAbort::Divergence);
+                    }
+                    st.prev_masks[*counter] = todo;
+                    return Ok(Flow::Jump(*body));
+                }
+                let iters = st.counters[*counter];
+                exec.stats.max_partitions = exec.stats.max_partitions.max(iters);
+                // The VPL's trailing mask test is a branch per
+                // iteration.
+                for _ in 0..iters {
+                    sink.observe(&templates[*t]);
+                }
+            }
+            _ => unreachable!("exec_control only sees control instructions"),
+        }
+        Ok(Flow::Next)
+    }
+
+    /// Executes the straight-line (non-control) instruction at `pc` —
+    /// the single implementation both the bytecode loop and the JIT's
+    /// fallback helper dispatch into, so the two tiers cannot drift.
+    pub(crate) fn exec_instr<M: LaneMemory>(
+        &self,
+        pc: usize,
+        st: &mut ExecScratch,
+        exec: &mut VecExec,
+        mem: &mut M,
+        sink: &mut dyn TraceSink,
+    ) -> Result<(), ChunkAbort> {
+        let templates = &self.templates;
         let ExecScratch {
             uops: scratch,
-            counters,
-            prev_masks,
             span,
+            ..
         } = st;
-        let mut pc = 0usize;
-        while pc < code.len() {
-            match &code[pc] {
+        {
+            match &self.code[pc] {
                 Instr::Iota { dst, t } => {
                     exec.vregs[*dst] = Vector::iota();
                     sink.observe(&templates[*t]);
@@ -544,64 +792,8 @@ impl CompiledVProg {
                         }
                     }
                 }
-                Instr::FaultCheck { got, want, t } => {
-                    sink.observe(&templates[*t]);
-                    if exec.kregs[*got] != exec.kregs[*want] {
-                        return Err(ChunkAbort::Clipped);
-                    }
-                }
-                Instr::BreakIf { mask, s } => {
-                    let k = exec.kregs[*mask];
-                    if exec.aon && k.any() {
-                        return Err(ChunkAbort::Clipped);
-                    }
-                    let uop = &mut scratch[*s];
-                    if let UopClass::Branch { taken, .. } = &mut uop.class {
-                        *taken = k.any();
-                    }
-                    sink.observe(uop);
-                    exec.exit_mask |= k;
-                }
-                Instr::EnterVpl { counter } => {
-                    counters[*counter] = 0;
-                    prev_masks[*counter] = Mask::EMPTY;
-                }
-                Instr::Repeat {
-                    repeat_if,
-                    body,
-                    counter,
-                    t,
-                } => {
-                    counters[*counter] += 1;
-                    exec.stats.vpl_iterations += 1;
-                    let todo = exec.kregs[*repeat_if];
-                    if todo.any() {
-                        if exec.aon {
-                            // All-or-nothing: a detected dependency rolls
-                            // the whole chunk back to scalar code.
-                            return Err(ChunkAbort::Clipped);
-                        }
-                        // Stall detection mirrors the tree walker: a
-                        // partition that retired no lanes (the
-                        // remaining-work mask did not change) would spin
-                        // forever; the iteration bound is the backstop.
-                        if todo == prev_masks[*counter] || counters[*counter] > VLEN as u64 {
-                            return Err(ChunkAbort::Divergence);
-                        }
-                        prev_masks[*counter] = todo;
-                        pc = *body;
-                        continue;
-                    }
-                    let iters = counters[*counter];
-                    exec.stats.max_partitions = exec.stats.max_partitions.max(iters);
-                    // The VPL's trailing mask test is a branch per
-                    // iteration.
-                    for _ in 0..iters {
-                        sink.observe(&templates[*t]);
-                    }
-                }
+                _ => unreachable!("exec_instr only sees straight-line instructions"),
             }
-            pc += 1;
         }
         Ok(())
     }

@@ -1,0 +1,366 @@
+//! A minimal x86-64 instruction encoder — exactly the subset the JIT
+//! emits, nothing more.
+//!
+//! Memory operands are always the `[base + disp32]` form (mod = 0b10)
+//! with a base register whose low three bits are not `100` (RSP/R12
+//! would need a SIB byte); the JIT keeps its bases in RBX/R13/R14/R15,
+//! so the encoder never needs SIB encoding. Emission is append-only
+//! into a byte buffer; forward branches are patched by offset.
+
+/// A general-purpose register number (REX extension in bit 3).
+pub(crate) type Reg = u8;
+
+pub(crate) const RAX: Reg = 0;
+pub(crate) const RCX: Reg = 1;
+pub(crate) const RDX: Reg = 2;
+pub(crate) const RBX: Reg = 3;
+pub(crate) const RSI: Reg = 6;
+pub(crate) const RDI: Reg = 7;
+pub(crate) const R13: Reg = 13;
+pub(crate) const R14: Reg = 14;
+pub(crate) const R15: Reg = 15;
+
+/// Condition codes (the low nibble of `SETcc`/`CMOVcc`/`Jcc` opcodes).
+pub(crate) const CC_B: u8 = 0x2; // below (CF=1) — used after BT
+pub(crate) const CC_NE: u8 = 0x5;
+pub(crate) const CC_E: u8 = 0x4;
+pub(crate) const CC_L: u8 = 0xc;
+pub(crate) const CC_GE: u8 = 0xd;
+pub(crate) const CC_LE: u8 = 0xe;
+pub(crate) const CC_G: u8 = 0xf;
+
+/// 64-bit ALU ops in their `reg, r/m` opcode form.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Alu {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Cmp,
+    Imul,
+}
+
+impl Alu {
+    fn opcode(self) -> &'static [u8] {
+        match self {
+            Alu::Add => &[0x03],
+            Alu::Sub => &[0x2b],
+            Alu::And => &[0x23],
+            Alu::Or => &[0x0b],
+            Alu::Xor => &[0x33],
+            Alu::Cmp => &[0x3b],
+            Alu::Imul => &[0x0f, 0xaf],
+        }
+    }
+}
+
+/// The append-only code buffer.
+#[derive(Default)]
+pub(crate) struct Asm {
+    pub(crate) buf: Vec<u8>,
+}
+
+impl Asm {
+    /// Current offset (the address of the next instruction).
+    pub(crate) fn here(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn rex(&mut self, w: bool, reg: Reg, rm: Reg) {
+        let mut b = 0x40u8;
+        if w {
+            b |= 0x08;
+        }
+        if reg & 8 != 0 {
+            b |= 0x04;
+        }
+        if rm & 8 != 0 {
+            b |= 0x01;
+        }
+        if b != 0x40 {
+            self.buf.push(b);
+        }
+    }
+
+    /// ModRM for `[base + disp32]` (mod = 10).
+    fn modrm_mem(&mut self, reg: Reg, base: Reg, disp: i32) {
+        debug_assert!(base & 7 != 4, "RSP/R12 base would need a SIB byte");
+        self.buf.push(0b1000_0000 | ((reg & 7) << 3) | (base & 7));
+        self.buf.extend_from_slice(&disp.to_le_bytes());
+    }
+
+    /// ModRM register-direct form (mod = 11).
+    fn modrm_reg(&mut self, reg: Reg, rm: Reg) {
+        self.buf.push(0b1100_0000 | ((reg & 7) << 3) | (rm & 7));
+    }
+
+    /// `mov r64, imm64`
+    pub(crate) fn mov_ri64(&mut self, dst: Reg, imm: i64) {
+        self.rex(true, 0, dst);
+        self.buf.push(0xb8 + (dst & 7));
+        self.buf.extend_from_slice(&imm.to_le_bytes());
+    }
+
+    /// `mov r32, imm32` (zero-extends; `dst` must be a low register)
+    pub(crate) fn mov_ri32(&mut self, dst: Reg, imm: u32) {
+        debug_assert!(dst < 8);
+        self.buf.push(0xb8 + dst);
+        self.buf.extend_from_slice(&imm.to_le_bytes());
+    }
+
+    /// `mov dst, src` (64-bit, register to register)
+    pub(crate) fn mov_rr(&mut self, dst: Reg, src: Reg) {
+        self.rex(true, dst, src);
+        self.buf.push(0x8b);
+        self.modrm_reg(dst, src);
+    }
+
+    /// `mov r64, qword [base + disp]`
+    pub(crate) fn load(&mut self, dst: Reg, base: Reg, disp: i32) {
+        self.rex(true, dst, base);
+        self.buf.push(0x8b);
+        self.modrm_mem(dst, base, disp);
+    }
+
+    /// `mov qword [base + disp], r64`
+    pub(crate) fn store(&mut self, src: Reg, base: Reg, disp: i32) {
+        self.rex(true, src, base);
+        self.buf.push(0x89);
+        self.modrm_mem(src, base, disp);
+    }
+
+    /// `mov qword [base + disp], imm32` (sign-extended to 64 bits)
+    pub(crate) fn store_imm32(&mut self, base: Reg, disp: i32, imm: i32) {
+        self.rex(true, 0, base);
+        self.buf.push(0xc7);
+        self.modrm_mem(0, base, disp);
+        self.buf.extend_from_slice(&imm.to_le_bytes());
+    }
+
+    /// `movzx r32, word [base + disp]`
+    pub(crate) fn load_u16(&mut self, dst: Reg, base: Reg, disp: i32) {
+        self.rex(false, dst, base);
+        self.buf.extend_from_slice(&[0x0f, 0xb7]);
+        self.modrm_mem(dst, base, disp);
+    }
+
+    /// `mov word [base + disp], r16`
+    pub(crate) fn store_u16(&mut self, src: Reg, base: Reg, disp: i32) {
+        self.buf.push(0x66);
+        self.rex(false, src, base);
+        self.buf.push(0x89);
+        self.modrm_mem(src, base, disp);
+    }
+
+    /// `mov word [base + disp], imm16`
+    pub(crate) fn store_imm16(&mut self, base: Reg, disp: i32, imm: u16) {
+        self.buf.push(0x66);
+        self.rex(false, 0, base);
+        self.buf.push(0xc7);
+        self.modrm_mem(0, base, disp);
+        self.buf.extend_from_slice(&imm.to_le_bytes());
+    }
+
+    /// 64-bit `op dst, qword [base + disp]`
+    pub(crate) fn alu_rm(&mut self, op: Alu, dst: Reg, base: Reg, disp: i32) {
+        self.rex(true, dst, base);
+        self.buf.extend_from_slice(op.opcode());
+        self.modrm_mem(dst, base, disp);
+    }
+
+    /// 64-bit `op dst, src`
+    pub(crate) fn alu_rr(&mut self, op: Alu, dst: Reg, src: Reg) {
+        self.rex(true, dst, src);
+        self.buf.extend_from_slice(op.opcode());
+        self.modrm_reg(dst, src);
+    }
+
+    /// `xor r32, r32` (the canonical zeroing idiom)
+    pub(crate) fn xor_rr32(&mut self, dst: Reg, src: Reg) {
+        self.rex(false, dst, src);
+        self.buf.push(0x33);
+        self.modrm_reg(dst, src);
+    }
+
+    /// `and r32, r32`
+    pub(crate) fn and_rr32(&mut self, dst: Reg, src: Reg) {
+        self.rex(false, dst, src);
+        self.buf.push(0x23);
+        self.modrm_reg(dst, src);
+    }
+
+    /// `or r32, r32`
+    pub(crate) fn or_rr32(&mut self, dst: Reg, src: Reg) {
+        self.rex(false, dst, src);
+        self.buf.push(0x0b);
+        self.modrm_reg(dst, src);
+    }
+
+    /// `not r32`
+    pub(crate) fn not_r32(&mut self, reg: Reg) {
+        self.rex(false, 0, reg);
+        self.buf.push(0xf7);
+        self.modrm_reg(2, reg);
+    }
+
+    /// `shl r32, imm8`
+    pub(crate) fn shl_r32_imm8(&mut self, reg: Reg, imm: u8) {
+        self.rex(false, 0, reg);
+        self.buf.push(0xc1);
+        self.modrm_reg(4, reg);
+        self.buf.push(imm);
+    }
+
+    /// `setcc r8` (`dst` must be RAX..RBX so no REX is needed)
+    pub(crate) fn setcc(&mut self, cc: u8, dst: Reg) {
+        debug_assert!(dst < 4);
+        self.buf.extend_from_slice(&[0x0f, 0x90 + cc]);
+        self.modrm_reg(0, dst);
+    }
+
+    /// `movzx r32, r8` (low byte; both registers below R8)
+    pub(crate) fn movzx_r32_r8(&mut self, dst: Reg, src: Reg) {
+        debug_assert!(dst < 4 && src < 4);
+        self.buf.extend_from_slice(&[0x0f, 0xb6]);
+        self.modrm_reg(dst, src);
+    }
+
+    /// 64-bit `cmovcc dst, src`
+    pub(crate) fn cmovcc(&mut self, cc: u8, dst: Reg, src: Reg) {
+        self.rex(true, dst, src);
+        self.buf.extend_from_slice(&[0x0f, 0x40 + cc]);
+        self.modrm_reg(dst, src);
+    }
+
+    /// `bt r32, imm8` (sets CF to the selected bit)
+    pub(crate) fn bt_r32_imm8(&mut self, reg: Reg, bit: u8) {
+        self.rex(false, 0, reg);
+        self.buf.extend_from_slice(&[0x0f, 0xba]);
+        self.modrm_reg(4, reg);
+        self.buf.push(bit);
+    }
+
+    /// `test r32, r32`
+    pub(crate) fn test_rr32(&mut self, a: Reg, b: Reg) {
+        self.rex(false, b, a);
+        self.buf.push(0x85);
+        self.modrm_reg(b, a);
+    }
+
+    /// `push r64`
+    pub(crate) fn push_r64(&mut self, reg: Reg) {
+        if reg & 8 != 0 {
+            self.buf.push(0x41);
+        }
+        self.buf.push(0x50 + (reg & 7));
+    }
+
+    /// `pop r64`
+    pub(crate) fn pop_r64(&mut self, reg: Reg) {
+        if reg & 8 != 0 {
+            self.buf.push(0x41);
+        }
+        self.buf.push(0x58 + (reg & 7));
+    }
+
+    /// `sub rsp, imm8`
+    pub(crate) fn sub_rsp_imm8(&mut self, imm: u8) {
+        self.buf.extend_from_slice(&[0x48, 0x83, 0xec, imm]);
+    }
+
+    /// `add rsp, imm8`
+    pub(crate) fn add_rsp_imm8(&mut self, imm: u8) {
+        self.buf.extend_from_slice(&[0x48, 0x83, 0xc4, imm]);
+    }
+
+    /// `call qword [base + disp]` (indirect through the context's
+    /// helper-function table)
+    pub(crate) fn call_mem(&mut self, base: Reg, disp: i32) {
+        self.rex(false, 0, base);
+        self.buf.push(0xff);
+        self.modrm_mem(2, base, disp);
+    }
+
+    /// `jcc rel32` with a placeholder displacement; returns the patch
+    /// site for [`Asm::patch`].
+    pub(crate) fn jcc(&mut self, cc: u8) -> usize {
+        self.buf.extend_from_slice(&[0x0f, 0x80 + cc]);
+        let site = self.buf.len();
+        self.buf.extend_from_slice(&[0; 4]);
+        site
+    }
+
+    /// Resolves a branch recorded by [`Asm::jcc`] to jump to `target`.
+    pub(crate) fn patch(&mut self, site: usize, target: usize) {
+        let rel = (target as i64 - (site as i64 + 4)) as i32;
+        self.buf[site..site + 4].copy_from_slice(&rel.to_le_bytes());
+    }
+
+    /// `ret`
+    pub(crate) fn ret(&mut self) {
+        self.buf.push(0xc3);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodings_match_reference_bytes() {
+        let mut a = Asm::default();
+        a.mov_ri64(RAX, 0x1122334455667788);
+        assert_eq!(
+            a.buf,
+            [0x48, 0xb8, 0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11]
+        );
+
+        let mut a = Asm::default();
+        a.load(RAX, R13, 0x10); // mov rax, [r13+0x10]
+        assert_eq!(a.buf, [0x49, 0x8b, 0x85, 0x10, 0x00, 0x00, 0x00]);
+
+        let mut a = Asm::default();
+        a.store(RCX, R14, 0x20); // mov [r14+0x20], rcx
+        assert_eq!(a.buf, [0x49, 0x89, 0x8e, 0x20, 0x00, 0x00, 0x00]);
+
+        let mut a = Asm::default();
+        a.alu_rm(Alu::Add, RAX, RBX, 8); // add rax, [rbx+8]
+        assert_eq!(a.buf, [0x48, 0x03, 0x83, 0x08, 0x00, 0x00, 0x00]);
+
+        let mut a = Asm::default();
+        a.alu_rr(Alu::Imul, RAX, RCX); // imul rax, rcx
+        assert_eq!(a.buf, [0x48, 0x0f, 0xaf, 0xc1]);
+
+        let mut a = Asm::default();
+        a.cmovcc(CC_G, RAX, RCX); // cmovg rax, rcx
+        assert_eq!(a.buf, [0x48, 0x0f, 0x4f, 0xc1]);
+
+        let mut a = Asm::default();
+        a.xor_rr32(RAX, RAX); // xor eax, eax
+        assert_eq!(a.buf, [0x33, 0xc0]);
+
+        let mut a = Asm::default();
+        a.call_mem(RBX, 24); // call [rbx+24]
+        assert_eq!(a.buf, [0xff, 0x93, 0x18, 0x00, 0x00, 0x00]);
+
+        let mut a = Asm::default();
+        a.store_imm16(R14, 4, 0xbeef); // mov word [r14+4], 0xbeef
+        assert_eq!(
+            a.buf,
+            [0x66, 0x41, 0xc7, 0x86, 0x04, 0x00, 0x00, 0x00, 0xef, 0xbe]
+        );
+    }
+
+    #[test]
+    fn branch_patching_points_at_target() {
+        let mut a = Asm::default();
+        let site = a.jcc(CC_NE);
+        a.ret();
+        let target = a.here();
+        a.xor_rr32(RAX, RAX);
+        a.patch(site, target);
+        // rel32 = target - (site + 4) = 7 - 6 = 1
+        assert_eq!(&a.buf[site..site + 4], &1i32.to_le_bytes());
+    }
+}

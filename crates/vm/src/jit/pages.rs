@@ -1,0 +1,161 @@
+//! W^X executable code pages.
+//!
+//! The workspace links no libc, so the allocator issues the three Linux
+//! syscalls it needs (`mmap`, `mprotect`, `munmap`) directly via inline
+//! assembly. The lifecycle enforces W^X: pages are mapped
+//! read+write, the generated code is copied in, and the mapping is then
+//! flipped to read+execute before any entry point escapes — at no time
+//! is a page both writable and executable. `Drop` unmaps.
+
+use core::arch::asm;
+use core::fmt;
+
+const PROT_READ: usize = 1;
+const PROT_WRITE: usize = 2;
+const PROT_EXEC: usize = 4;
+const MAP_PRIVATE: usize = 0x02;
+const MAP_ANONYMOUS: usize = 0x20;
+
+const SYS_MMAP: usize = 9;
+const SYS_MPROTECT: usize = 10;
+const SYS_MUNMAP: usize = 11;
+
+const PAGE: usize = 4096;
+
+/// Raw Linux syscall. Errors come back as `-errno` in the result, per
+/// the kernel ABI.
+///
+/// # Safety
+///
+/// The arguments must be valid for the syscall being made.
+unsafe fn syscall(
+    num: usize,
+    a1: usize,
+    a2: usize,
+    a3: usize,
+    a4: usize,
+    a5: usize,
+    a6: usize,
+) -> isize {
+    let ret: isize;
+    asm!(
+        "syscall",
+        inlateout("rax") num => ret,
+        in("rdi") a1,
+        in("rsi") a2,
+        in("rdx") a3,
+        in("r10") a4,
+        in("r8") a5,
+        in("r9") a6,
+        lateout("rcx") _,
+        lateout("r11") _,
+        options(nostack),
+    );
+    ret
+}
+
+fn failed(ret: isize) -> bool {
+    // The kernel returns -errno; valid pointers/zero never land in the
+    // top 4095 values of the address space.
+    (ret as usize) >= (-4095isize) as usize
+}
+
+/// A read+execute mapping holding generated machine code.
+pub(crate) struct ExecPages {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// The mapping is immutable (RX) after construction and owned uniquely,
+// so sharing references across threads is safe.
+#[allow(unsafe_code)]
+unsafe impl Send for ExecPages {}
+#[allow(unsafe_code)]
+unsafe impl Sync for ExecPages {}
+
+impl ExecPages {
+    /// Maps fresh anonymous pages, copies `code` in while writable, then
+    /// remaps read+execute. Returns `None` on any syscall failure (the
+    /// caller falls back to bytecode).
+    pub(crate) fn new(code: &[u8]) -> Option<ExecPages> {
+        if code.is_empty() {
+            return None;
+        }
+        let len = code.len().checked_add(PAGE - 1)? & !(PAGE - 1);
+        unsafe {
+            let ret = syscall(
+                SYS_MMAP,
+                0,
+                len,
+                PROT_READ | PROT_WRITE,
+                MAP_PRIVATE | MAP_ANONYMOUS,
+                usize::MAX, // fd = -1
+                0,
+            );
+            if failed(ret) {
+                return None;
+            }
+            let ptr = ret as *mut u8;
+            core::ptr::copy_nonoverlapping(code.as_ptr(), ptr, code.len());
+            if syscall(
+                SYS_MPROTECT,
+                ptr as usize,
+                len,
+                PROT_READ | PROT_EXEC,
+                0,
+                0,
+                0,
+            ) != 0
+            {
+                syscall(SYS_MUNMAP, ptr as usize, len, 0, 0, 0, 0);
+                return None;
+            }
+            Some(ExecPages { ptr, len })
+        }
+    }
+
+    /// Pointer to the instruction at byte offset `off`.
+    pub(crate) fn entry(&self, off: usize) -> *const u8 {
+        debug_assert!(off < self.len);
+        self.ptr.wrapping_add(off)
+    }
+
+    /// Mapped size in bytes.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+}
+
+impl Drop for ExecPages {
+    fn drop(&mut self) {
+        unsafe {
+            syscall(SYS_MUNMAP, self.ptr as usize, self.len, 0, 0, 0, 0);
+        }
+    }
+}
+
+impl fmt::Debug for ExecPages {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecPages").field("len", &self.len).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_and_executes_a_trivial_function() {
+        // mov eax, 0x2a; ret
+        let code = [0xb8, 0x2a, 0x00, 0x00, 0x00, 0xc3];
+        let pages = ExecPages::new(&code).expect("mmap succeeds");
+        assert_eq!(pages.len() % PAGE, 0);
+        let f: extern "C" fn() -> u32 = unsafe { core::mem::transmute(pages.entry(0)) };
+        assert_eq!(f(), 0x2a);
+    }
+
+    #[test]
+    fn empty_code_is_rejected() {
+        assert!(ExecPages::new(&[]).is_none());
+    }
+}

@@ -379,7 +379,9 @@ pub fn run_scalar_cancellable(
     let mut iterations = 0u64;
     let mut broke = false;
     while i < end {
-        if iterations.is_multiple_of(crate::SCALAR_CANCEL_STRIDE) && crate::cancel::cancelled(cancel) {
+        if iterations.is_multiple_of(crate::SCALAR_CANCEL_STRIDE)
+            && crate::cancel::cancelled(cancel)
+        {
             return Err(ExecError::Cancelled);
         }
         match m.step(i, mem, sink)? {

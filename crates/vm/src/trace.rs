@@ -160,6 +160,17 @@ pub trait TraceSink {
         self.observe(&uop);
     }
 
+    /// Receives a run of µops at once, in order. Semantically identical
+    /// to observing each element; sinks that only aggregate (counting,
+    /// bulk-copying) override it so batch emitters — the native JIT
+    /// flushes a whole straight-line run of register-op templates with
+    /// one call — pay one virtual dispatch per run instead of per µop.
+    fn observe_slice(&mut self, uops: &[Uop]) {
+        for uop in uops {
+            self.observe(uop);
+        }
+    }
+
     /// Number of µops received so far (used for statistics and tests).
     fn len(&self) -> u64;
 
@@ -179,6 +190,9 @@ impl TraceSink for CountingSink {
     fn observe(&mut self, _uop: &Uop) {
         self.count += 1;
     }
+    fn observe_slice(&mut self, uops: &[Uop]) {
+        self.count += uops.len() as u64;
+    }
     fn len(&self) -> u64 {
         self.count
     }
@@ -197,6 +211,9 @@ impl TraceSink for VecSink {
     }
     fn emit(&mut self, uop: Uop) {
         self.uops.push(uop);
+    }
+    fn observe_slice(&mut self, uops: &[Uop]) {
+        self.uops.extend_from_slice(uops);
     }
     fn len(&self) -> u64 {
         self.uops.len() as u64

@@ -41,6 +41,13 @@ pub enum Engine {
     /// the linear bytecode (default).
     #[default]
     Compiled,
+    /// The bytecode tier plus JIT-compiled x86-64 machine code for the
+    /// straight-line segments ([`CompiledVProg::enable_native`]). On
+    /// targets without a JIT back end (see
+    /// [`native_supported`](crate::native_supported)) this runs
+    /// identically to [`Engine::Compiled`] — a graceful fallback, not
+    /// an error.
+    Native,
 }
 
 /// Dynamic statistics of a vector execution.
@@ -655,8 +662,12 @@ pub fn run_vector_with_engine_cancellable(
             &mut EngineBody::Tree(vprog),
             cancel,
         ),
-        Engine::Compiled => {
-            let compiled = CompiledVProg::compile(vprog);
+        Engine::Compiled | Engine::Native => {
+            let mut compiled = CompiledVProg::compile(vprog);
+            if engine == Engine::Native {
+                // Falls back to pure bytecode when unsupported.
+                compiled.enable_native();
+            }
             let mut scratch = compiled.scratch();
             run_vector_precompiled_cancellable(
                 program,
@@ -831,8 +842,11 @@ pub fn run_all_or_nothing_with_engine(
             &mut EngineBody::Tree(vprog),
             None,
         ),
-        Engine::Compiled => {
-            let compiled = CompiledVProg::compile(vprog);
+        Engine::Compiled | Engine::Native => {
+            let mut compiled = CompiledVProg::compile(vprog);
+            if engine == Engine::Native {
+                compiled.enable_native();
+            }
             let mut scratch = compiled.scratch();
             run_ff(
                 program,

@@ -201,50 +201,68 @@ fn check_engines_agree(case: &Case, spec_req: SpecRequest) -> Result<(), TestCas
 
     let (tree_res, tree_stats, tree_mem, tree_sink) =
         run_engine(case, &vectorized.vprog, Engine::TreeWalking);
-    let (comp_res, comp_stats, comp_mem, comp_sink) =
-        run_engine(case, &vectorized.vprog, Engine::Compiled);
 
-    for v in &case.program.live_out {
+    // On non-x86_64 hosts `Engine::Native` silently runs the bytecode
+    // tier, so including it is at worst a duplicate of `Compiled`.
+    for engine in [Engine::Compiled, Engine::Native] {
+        let (comp_res, comp_stats, comp_mem, comp_sink) =
+            run_engine(case, &vectorized.vprog, engine);
+
+        for v in &case.program.live_out {
+            prop_assert_eq!(
+                tree_res.var(*v),
+                comp_res.var(*v),
+                "live-out {} differs between tree and {:?}\n{}",
+                case.program.var_name(*v),
+                engine,
+                case.program
+            );
+        }
         prop_assert_eq!(
-            tree_res.var(*v),
-            comp_res.var(*v),
-            "live-out {} differs between engines\n{}",
-            case.program.var_name(*v),
+            tree_res.var(case.program.loop_.induction),
+            comp_res.var(case.program.loop_.induction),
+            "induction exit value differs between tree and {:?}\n{}",
+            engine,
             case.program
         );
-    }
-    prop_assert_eq!(
-        tree_res.var(case.program.loop_.induction),
-        comp_res.var(case.program.loop_.induction),
-        "induction exit value differs between engines\n{}",
-        case.program
-    );
-    prop_assert_eq!(
-        tree_res.broke,
-        comp_res.broke,
-        "break status differs between engines\n{}",
-        case.program
-    );
-    prop_assert_eq!(
-        tree_stats,
-        comp_stats,
-        "VectorStats differ between engines\n{}",
-        case.program
-    );
-    prop_assert_eq!(
-        &tree_mem,
-        &comp_mem,
-        "final memory differs between engines\n{}",
-        case.program
-    );
-    prop_assert_eq!(
-        tree_sink.uops.len(),
-        comp_sink.uops.len(),
-        "trace length differs between engines\n{}",
-        case.program
-    );
-    for (i, (a, b)) in tree_sink.uops.iter().zip(&comp_sink.uops).enumerate() {
-        prop_assert_eq!(a, b, "µop {} differs between engines\n{}", i, case.program);
+        prop_assert_eq!(
+            tree_res.broke,
+            comp_res.broke,
+            "break status differs between tree and {:?}\n{}",
+            engine,
+            case.program
+        );
+        prop_assert_eq!(
+            tree_stats,
+            comp_stats,
+            "VectorStats differ between tree and {:?}\n{}",
+            engine,
+            case.program
+        );
+        prop_assert_eq!(
+            &tree_mem,
+            &comp_mem,
+            "final memory differs between tree and {:?}\n{}",
+            engine,
+            case.program
+        );
+        prop_assert_eq!(
+            tree_sink.uops.len(),
+            comp_sink.uops.len(),
+            "trace length differs between tree and {:?}\n{}",
+            engine,
+            case.program
+        );
+        for (i, (a, b)) in tree_sink.uops.iter().zip(&comp_sink.uops).enumerate() {
+            prop_assert_eq!(
+                a,
+                b,
+                "µop {} differs between tree and {:?}\n{}",
+                i,
+                engine,
+                case.program
+            );
+        }
     }
     Ok(())
 }
@@ -339,7 +357,7 @@ fn stalled_vpl_without_stores_falls_back_to_scalar() {
 
     let (ref_res, _) = run_reference(&case);
     let (tree_res, tree_stats, _, tree_sink) = run_engine(&case, &stalled, Engine::TreeWalking);
-    let (comp_res, comp_stats, _, comp_sink) = run_engine(&case, &stalled, Engine::Compiled);
+    let (comp_res, comp_stats, _, comp_sink) = run_engine(&case, &stalled, Engine::Native);
 
     for res in [&tree_res, &comp_res] {
         assert_eq!(
@@ -374,7 +392,7 @@ fn stalled_vpl_with_committed_stores_is_a_hard_error_under_ff() {
     let mut stalled = vectorized.vprog.clone();
     assert!(stall_vpls(&mut stalled.body, false));
 
-    for engine in [Engine::TreeWalking, Engine::Compiled] {
+    for engine in [Engine::TreeWalking, Engine::Compiled, Engine::Native] {
         let mut mem = AddressSpace::new();
         let ids: Vec<_> = case
             .arrays
@@ -411,7 +429,7 @@ fn stalled_vpl_under_rtm_falls_back_to_scalar_tiles() {
     let (ref_res, ref_mem) = run_reference(&case);
     let (tree_res, tree_stats, tree_mem, tree_sink) =
         run_engine(&case, &stalled, Engine::TreeWalking);
-    let (comp_res, comp_stats, comp_mem, comp_sink) = run_engine(&case, &stalled, Engine::Compiled);
+    let (comp_res, comp_stats, comp_mem, comp_sink) = run_engine(&case, &stalled, Engine::Native);
 
     for (res, mem) in [(&tree_res, &tree_mem), (&comp_res, &comp_mem)] {
         assert_eq!(

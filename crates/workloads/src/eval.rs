@@ -137,6 +137,7 @@ fn engine_label(engine: Engine) -> &'static str {
     match engine {
         Engine::TreeWalking => "tree-walking",
         Engine::Compiled => "compiled",
+        Engine::Native => "native",
     }
 }
 
@@ -175,8 +176,11 @@ pub fn evaluate_with_engine(
     // every invocation through the flattened program.
     let (mut mem_v, bind_v) = build_memory(w);
     let mut compiled = match engine {
-        Engine::Compiled => {
-            let c = CompiledVProg::compile(&vectorized.vprog);
+        Engine::Compiled | Engine::Native => {
+            let mut c = CompiledVProg::compile(&vectorized.vprog);
+            if engine == Engine::Native {
+                c.enable_native();
+            }
             let scratch = c.scratch();
             Some((c, scratch))
         }
