@@ -15,8 +15,11 @@
 //! `--waves N`. `fuzz` takes `--seed N`, `--iters N`, `--budget-ms N`
 //! and `--repro-dir PATH` (where divergence/mutant repros are written).
 //! `serve` takes `--addr`, `--metrics-addr` (or `off`), `--workers`,
-//! `--queue`, `--cache` and `--deadline-ms`; `client` takes `--addr`
-//! plus the run flags. `--version` prints the build identity.
+//! `--queue`, `--cache`, `--deadline-ms`, `--cache-dir PATH` (persist
+//! compiled kernels across restarts), and `--cluster A,B,...` with
+//! `--advertise ADDR` (consistent-hash ring across daemons); `client`
+//! takes `--addr` plus the run flags, retrying refused connects with
+//! capped backoff. `--version` prints the build identity.
 //!
 //! SIGINT in the long-running modes (`serve`, `fuzz`, `bench`) drains
 //! gracefully: the in-flight unit of work finishes and a partial report
@@ -99,6 +102,18 @@ fn main() {
             ExtraFlag {
                 name: "deadline-ms",
                 help: "request deadline in ms for serve defaults / client requests",
+            },
+            ExtraFlag {
+                name: "cache-dir",
+                help: "serve persistent compile-cache directory (default off)",
+            },
+            ExtraFlag {
+                name: "cluster",
+                help: "comma-separated member list for serve cluster mode (default off)",
+            },
+            ExtraFlag {
+                name: "advertise",
+                help: "this node's address in the --cluster member list (default --addr)",
             },
         ],
     );
@@ -414,6 +429,21 @@ fn serve_cmd(flags: &CommonFlags) -> i32 {
             0 => None,
             n => Some(n),
         },
+        cache_dir: match flags.str_flag("cache-dir", "") {
+            s if s.is_empty() => None,
+            s => Some(s),
+        },
+        cluster: flags
+            .str_flag("cluster", "")
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_owned)
+            .collect(),
+        advertise: match flags.str_flag("advertise", "") {
+            s if s.is_empty() => None,
+            s => Some(s),
+        },
     };
     flexvec_serve::install_sigint_handler();
     let handle = match flexvec_serve::start(config.clone()) {
@@ -437,7 +467,13 @@ fn serve_cmd(flags: &CommonFlags) -> i32 {
 /// stdin pipeline of raw protocol lines. Returns the exit code.
 fn client_cmd(flags: &CommonFlags, args: &[String]) -> i32 {
     let addr = flags.str_flag("addr", DEFAULT_ADDR);
-    let mut client = match flexvec_serve::Client::connect(&addr) {
+    // Retried connect: a daemon that is restarting (or still binding
+    // its listener) refuses briefly; back off 100 ms → 200 ms rather
+    // than failing a scripted pipeline on the race.
+    let mut client = match flexvec_serve::Client::connect_with_retry(
+        &addr,
+        flexvec_serve::client::CONNECT_ATTEMPTS,
+    ) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("flexvecc client: cannot connect to {addr}: {e}");

@@ -27,8 +27,21 @@
 //! the run fails unless the promoted native tier beats the bytecode
 //! tier by a measurable margin.
 //!
+//! Two further regression-failing scenarios cover the scale-out layer:
+//!
+//! * `--scenario warm-restart` — compiles a kernel set against a
+//!   `--cache-dir`, restarts the daemon, and requires the *first*
+//!   repeat-kernel request after the restart to be a disk-warm cache
+//!   hit (no recompilation); reports restart-to-first-response time.
+//! * `--scenario cluster` — drives skewed hot-key traffic at a 3-node
+//!   consistent-hash ring and fails unless aggregate throughput beats
+//!   the single-node baseline by ≥ 2.5× with bounded p99, and the
+//!   reactor holds `--idle-conns` (default 5000) idle connections
+//!   without spawning per-connection threads.
+//!
 //! ```text
-//! serve_load [--clients N] [--requests N] [--kernels K] [--workers N] [--json]
+//! serve_load [--scenario warm-restart|cluster] [--clients N] [--requests N]
+//!            [--kernels K] [--workers N] [--idle-conns N] [--json]
 //! ```
 
 use std::time::{Duration, Instant};
@@ -220,12 +233,24 @@ impl Phase {
 /// Fires `total` requests at the daemon from `clients` threads; the
 /// request body for global index `i` comes from `make`.
 fn drive(addr: &str, clients: usize, total: u64, make: impl Fn(u64) -> Json + Sync) -> Phase {
+    drive_multi(std::slice::from_ref(&addr.to_owned()), clients, total, make)
+}
+
+/// [`drive`] against a set of daemons: client `c` connects to
+/// `addrs[c % addrs.len()]`, so traffic spreads evenly over a cluster.
+fn drive_multi(
+    addrs: &[String],
+    clients: usize,
+    total: u64,
+    make: impl Fn(u64) -> Json + Sync,
+) -> Phase {
     let per_client = total.div_ceil(clients as u64);
     let started = Instant::now();
     let results: Vec<(Vec<Duration>, u64)> = std::thread::scope(|scope| {
         let make = &make;
         let handles: Vec<_> = (0..clients as u64)
             .map(|c| {
+                let addr = &addrs[(c as usize) % addrs.len()];
                 scope.spawn(move || {
                     let mut client = Client::connect(addr).expect("connect load client");
                     let mut latencies = Vec::new();
@@ -296,8 +321,25 @@ fn main() {
                 name: "run-requests",
                 help: "execute requests for the run-latency phase (default 60)",
             },
+            ExtraFlag {
+                name: "scenario",
+                help: "alternate scenario: warm-restart | cluster (default: main load run)",
+            },
+            ExtraFlag {
+                name: "idle-conns",
+                help: "idle connections the cluster scenario parks on one node (default 5000)",
+            },
         ],
     );
+    match flags.str_flag("scenario", "").as_str() {
+        "" => {}
+        "warm-restart" => std::process::exit(scenario_warm_restart(&flags)),
+        "cluster" => std::process::exit(scenario_cluster(&flags)),
+        other => {
+            eprintln!("serve_load: unknown scenario `{other}` (expected warm-restart or cluster)");
+            std::process::exit(2);
+        }
+    }
     let clients = flags.u64_flag("clients", 4).max(1) as usize;
     let requests = flags.u64_flag("requests", 1000).max(1);
     let kernels = flags.u64_flag("kernels", 8).max(1);
@@ -305,12 +347,9 @@ fn main() {
     let run_requests = flags.u64_flag("run-requests", 60).max(1);
 
     let config = ServerConfig {
-        addr: "127.0.0.1:0".to_owned(),
-        metrics_addr: Some("127.0.0.1:0".to_owned()),
         workers,
-        queue_capacity: 256,
-        cache_capacity: 0,
-        default_deadline_ms: None,
+        metrics_addr: Some("127.0.0.1:0".to_owned()),
+        ..base_config()
     };
     let handle = start(config).expect("start daemon");
     let addr = handle.addr.to_string();
@@ -493,4 +532,340 @@ fn main() {
             std::process::exit(1);
         }
     }
+}
+
+/// The shared single-node daemon shape: ephemeral port, no metrics
+/// listener, unbounded in-memory cache, standalone.
+fn base_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        metrics_addr: None,
+        workers: 4,
+        queue_capacity: 256,
+        cache_capacity: 0,
+        default_deadline_ms: None,
+        cache_dir: None,
+        cluster: Vec::new(),
+        advertise: None,
+    }
+}
+
+/// A scratch directory under the system temp dir, unique per process.
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("serve-load-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Minimum cluster-over-single-node aggregate throughput the skewed
+/// hot-key scenario must demonstrate.
+const MIN_CLUSTER_SPEEDUP: f64 = 2.5;
+
+/// `--scenario warm-restart`: the first repeat-kernel request after a
+/// restart with `--cache-dir` must be a disk-warm cache hit, with no
+/// recompilation. Reports restart-to-first-response time. Exit 1 on
+/// regression.
+fn scenario_warm_restart(flags: &CommonFlags) -> i32 {
+    let kernels = flags.u64_flag("kernels", 8).max(1);
+    let dir = scratch_dir("warm");
+    let cache_dir = Some(dir.to_string_lossy().into_owned());
+
+    // First lifetime: compile the kernel set, snapshotting each.
+    let handle = start(ServerConfig {
+        cache_dir: cache_dir.clone(),
+        ..base_config()
+    })
+    .expect("start daemon");
+    let mut client = Client::connect(&handle.addr.to_string()).expect("connect");
+    let hashes: Vec<String> = (0..kernels)
+        .map(|n| {
+            let response = client
+                .request(&compile_request(kernel_source(n)))
+                .expect("seed compile");
+            assert_eq!(
+                response.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "seed compile failed: {response}"
+            );
+            response
+                .get("hash")
+                .and_then(Json::as_str)
+                .expect("hash")
+                .to_owned()
+        })
+        .collect();
+    drop(client);
+    handle.shutdown();
+
+    // Restart against the same cache dir and time the path from
+    // "process decides to start" to "first repeat request answered".
+    let t0 = Instant::now();
+    let handle = start(ServerConfig {
+        cache_dir,
+        ..base_config()
+    })
+    .expect("restart daemon");
+    let mut client = Client::connect(&handle.addr.to_string()).expect("reconnect");
+    let first = client
+        .request(&Json::obj([
+            ("op", Json::from("run")),
+            ("hash", Json::from(hashes[0].as_str())),
+        ]))
+        .expect("first request after restart");
+    let restart_to_first = t0.elapsed();
+
+    let mut failed = false;
+    if first.get("ok").and_then(Json::as_bool) != Some(true) {
+        eprintln!("serve_load warm-restart: first request failed: {first}");
+        failed = true;
+    }
+    if first.get("cache_hit").and_then(Json::as_bool) != Some(true) {
+        eprintln!(
+            "serve_load warm-restart: REGRESSION — first repeat-kernel request \
+             after restart was not a cache hit: {first}"
+        );
+        failed = true;
+    }
+    // The rest of the set must also come back disk-warm.
+    for hash in &hashes[1..] {
+        let response = client
+            .request(&Json::obj([
+                ("op", Json::from("run")),
+                ("hash", Json::from(hash.as_str())),
+            ]))
+            .expect("repeat request");
+        if response.get("cache_hit").and_then(Json::as_bool) != Some(true) {
+            eprintln!("serve_load warm-restart: kernel {hash} missed after restart: {response}");
+            failed = true;
+        }
+    }
+    let compiles = handle.engine().cache().compiles();
+    if compiles != 0 {
+        eprintln!(
+            "serve_load warm-restart: REGRESSION — {compiles} recompilation(s) \
+             for kernels that have valid snapshots"
+        );
+        failed = true;
+    }
+
+    if flags.json {
+        println!(
+            "{{\"scenario\": \"warm-restart\", \"kernels\": {kernels}, \
+             \"restart_to_first_response_us\": {}, \"recompiles\": {compiles}, \
+             \"ok\": {}}}",
+            restart_to_first.as_micros(),
+            !failed
+        );
+    } else {
+        println!(
+            "serve_load warm-restart: {kernels} kernels disk-warm after restart; \
+             restart-to-first-response {restart_to_first:.2?}, {compiles} recompiles"
+        );
+    }
+    drop(client);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    i32::from(failed)
+}
+
+/// The skewed request mix for the cluster scenario: 80% of requests
+/// hit one hot kernel, the rest spread over a small cold set — the
+/// worst case for naive ownership routing, where every non-owner
+/// would bottleneck on the hot key's one owner.
+fn skewed_request(i: u64) -> Json {
+    let n = if i % 10 < 8 { 0 } else { 1 + (i % 8) };
+    Json::obj([
+        ("op", Json::from("run")),
+        ("source", Json::from(kernel_source(n))),
+        ("invocations", Json::from(60u64)),
+    ])
+}
+
+/// Threads currently in this process, from `/proc/self/status`.
+#[cfg(target_os = "linux")]
+fn process_threads() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// `--scenario cluster`: 3-node ring vs single node under skewed
+/// hot-key traffic, plus the idle-connection capacity check. Exit 1 on
+/// regression.
+fn scenario_cluster(flags: &CommonFlags) -> i32 {
+    let clients = flags.u64_flag("clients", 12).max(3) as usize;
+    let requests = flags.u64_flag("requests", 1500).max(clients as u64);
+    let workers = flags.u64_flag("workers", 2).max(1) as usize;
+    let idle_conns = flags.u64_flag("idle-conns", 5000);
+
+    // Single-node baseline: same traffic, same total client count.
+    let single = start(ServerConfig {
+        workers,
+        ..base_config()
+    })
+    .expect("start single node");
+    let baseline = drive(&single.addr.to_string(), clients, requests, skewed_request);
+    single.shutdown();
+
+    // Three-node ring. Ports are reserved then released for the
+    // daemons to rebind (tiny reuse race — acceptable here).
+    let reserved: Vec<std::net::TcpListener> = (0..3)
+        .map(|_| std::net::TcpListener::bind("127.0.0.1:0").expect("reserve port"))
+        .collect();
+    let members: Vec<String> = reserved
+        .iter()
+        .map(|l| l.local_addr().expect("local addr").to_string())
+        .collect();
+    drop(reserved);
+    let handles: Vec<_> = members
+        .iter()
+        .map(|addr| {
+            start(ServerConfig {
+                addr: addr.clone(),
+                workers,
+                cluster: members.clone(),
+                advertise: Some(addr.clone()),
+                ..base_config()
+            })
+            .expect("start cluster node")
+        })
+        .collect();
+
+    let cluster = drive_multi(&members, clients, requests, skewed_request);
+
+    // Park idle connections on node 0: the reactor must hold them all
+    // without growing the process thread count. Only meaningful where
+    // the reactor exists; other hosts run thread-per-connection.
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    let (idle_held, idle_ok) = {
+        let mut idle_ok = true;
+        let threads_before = process_threads();
+        let idle: Vec<std::net::TcpStream> = (0..idle_conns)
+            .filter_map(|_| std::net::TcpStream::connect(&members[0]).ok())
+            .collect();
+        let idle_held = idle.len() as u64;
+        if idle_held < idle_conns {
+            eprintln!(
+                "serve_load cluster: REGRESSION — only {idle_held}/{idle_conns} \
+                 idle connections accepted"
+            );
+            idle_ok = false;
+        }
+        // The reactor accepts asynchronously; give it a moment, then
+        // prove a live request still flows past the parked herd.
+        let mut probe = Client::connect(&members[0]).expect("probe connect");
+        let response = probe
+            .request(&Json::obj([("op", Json::from("stats"))]))
+            .expect("stats with idle herd");
+        let open = response
+            .get("open_connections")
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        if open < idle_held {
+            eprintln!(
+                "serve_load cluster: node 0 reports {open} open connections, \
+                 expected at least the {idle_held} parked ones"
+            );
+            idle_ok = false;
+        }
+        if let (Some(before), Some(after)) = (threads_before, process_threads()) {
+            // Thread-per-connection would add ~one thread per parked
+            // socket; the reactor must add none.
+            if after > before + 8 {
+                eprintln!(
+                    "serve_load cluster: REGRESSION — thread count grew {before} -> {after} \
+                     while parking {idle_held} idle connections"
+                );
+                idle_ok = false;
+            }
+        }
+        drop(idle);
+        (idle_held, idle_ok)
+    };
+    #[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+    let (idle_held, idle_ok) = {
+        let _ = idle_conns;
+        eprintln!("serve_load cluster: no reactor on this target; idle-connection check skipped");
+        (0u64, true)
+    };
+
+    let forwards: u64 = handles
+        .iter()
+        .filter_map(|h| h.cluster())
+        .map(|c| c.counters.forwards.get())
+        .sum();
+    let adoptions: u64 = handles
+        .iter()
+        .filter_map(|h| h.cluster())
+        .map(|c| c.counters.adoptions.get())
+        .sum();
+    for handle in handles {
+        handle.shutdown();
+    }
+
+    let speedup = cluster.req_per_sec() / baseline.req_per_sec().max(1e-9);
+    let p99_bound = (baseline.percentile(0.99) * 10).max(Duration::from_millis(250));
+    let p99 = cluster.percentile(0.99);
+    let mut failed = !idle_ok;
+    if cluster.failures + baseline.failures > 0 {
+        eprintln!(
+            "serve_load cluster: {} request(s) failed",
+            cluster.failures + baseline.failures
+        );
+        failed = true;
+    }
+    // Aggregate scaling needs actual parallel hardware: three nodes on
+    // a starved container share one core and cannot beat one node.
+    // The assertion stays regression-failing wherever the cluster's
+    // worker pools can genuinely run side by side.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    if cores >= workers * 3 {
+        if speedup < MIN_CLUSTER_SPEEDUP {
+            eprintln!(
+                "serve_load cluster: REGRESSION — 3-node aggregate is only {speedup:.2}x \
+                 the single node (required {MIN_CLUSTER_SPEEDUP:.1}x)"
+            );
+            failed = true;
+        }
+        if p99 > p99_bound {
+            eprintln!(
+                "serve_load cluster: REGRESSION — p99 {p99:.2?} exceeds the bound {p99_bound:.2?}"
+            );
+            failed = true;
+        }
+    } else {
+        eprintln!(
+            "serve_load cluster: {cores} core(s) cannot host 3x{workers} workers; \
+             measured {speedup:.2}x / p99 {p99:.2?} are informational, scaling not asserted"
+        );
+    }
+
+    if flags.json {
+        println!(
+            "{{\"scenario\": \"cluster\", \"clients\": {clients}, \"requests\": {requests}, \
+             \"single_rps\": {}, \"cluster_rps\": {}, \"speedup\": {}, \
+             \"cluster_p99_us\": {}, \"forwards\": {forwards}, \"adoptions\": {adoptions}, \
+             \"idle_conns_held\": {idle_held}, \"ok\": {}}}",
+            json_f64(baseline.req_per_sec()),
+            json_f64(cluster.req_per_sec()),
+            json_f64(speedup),
+            p99.as_micros(),
+            !failed
+        );
+    } else {
+        println!(
+            "serve_load cluster: single {:.0} req/s -> 3-node {:.0} req/s ({speedup:.2}x); \
+             p99 {p99:.2?} (bound {p99_bound:.2?})",
+            baseline.req_per_sec(),
+            cluster.req_per_sec(),
+        );
+        println!(
+            "  ring: {forwards} forward(s), {adoptions} hot-key adoption(s); \
+             {idle_held} idle connection(s) parked on node 0"
+        );
+    }
+    i32::from(failed)
 }

@@ -16,8 +16,9 @@ use flexvec::{vectorize, SpecRequest, VProg};
 use flexvec_front::{parse_str, to_fv_kernel, CompileCache};
 use flexvec_mem::{AddressSpace, ArrayId};
 use flexvec_vm::{
-    native_supported, run_scalar, run_vector_precompiled, run_vector_with_engine, Bindings,
-    CountingSink, Engine, RunResult, Uop, VecSink, VectorStats,
+    deserialize_compiled, native_supported, run_scalar, run_vector_precompiled,
+    run_vector_with_engine, serialize_compiled, Bindings, CountingSink, Engine, RunResult,
+    SerialLimits, Uop, VecSink, VectorStats,
 };
 
 use crate::explicit_inputs;
@@ -276,7 +277,7 @@ fn check_front_end(
     let mut mem = AddressSpace::new();
     let ids = bind(case, &mut mem);
     let mut sink = VecSink::default();
-    match run_vector_precompiled(
+    let cached = match run_vector_precompiled(
         &case.program,
         &plan.vectorized.vprog,
         &plan.compiled,
@@ -284,14 +285,71 @@ fn check_front_end(
         Bindings::new(ids.clone()),
         &mut sink,
     ) {
-        Ok((result, _stats)) => {
+        Ok((result, stats)) => {
             let memory: Vec<Vec<i64>> = ids.iter().map(|id| mem.snapshot_array(*id)).collect();
             compare_to_oracle(case, "front/cache", oracle, &result, &memory)?;
-            Ok(1)
+            VectorRun {
+                result,
+                stats,
+                memory,
+                uops: sink.uops,
+            }
+        }
+        Err(e) => {
+            return diverged(
+                "front/cache",
+                format!("cached plan failed where the scalar reference succeeded: {e:?}"),
+            )
+        }
+    };
+
+    // Serialize → deserialize → execute: the persistent-cache wire
+    // format must reproduce a `CompiledVProg` whose execution is
+    // trace-identical to the in-memory original, not merely
+    // result-equal — the daemon swaps restored snapshots in for fresh
+    // compiles, so any drift here is silent behavior skew in prod.
+    let bytes = serialize_compiled(&plan.compiled);
+    let limits = SerialLimits {
+        vregs: plan.vectorized.vprog.num_vregs as usize,
+        kregs: plan.vectorized.vprog.num_kregs as usize,
+        vars: case.program.vars.len(),
+        arrays: case.program.arrays.len(),
+    };
+    let restored = match deserialize_compiled(&bytes, &limits) {
+        Ok(restored) => restored,
+        Err(e) => {
+            return diverged(
+                "front/serial",
+                format!("own serialization failed to deserialize: {e:?}"),
+            )
+        }
+    };
+    let mut mem = AddressSpace::new();
+    let ids = bind(case, &mut mem);
+    let mut sink = VecSink::default();
+    match run_vector_precompiled(
+        &case.program,
+        &plan.vectorized.vprog,
+        &restored,
+        &mut mem,
+        Bindings::new(ids.clone()),
+        &mut sink,
+    ) {
+        Ok((result, stats)) => {
+            let memory: Vec<Vec<i64>> = ids.iter().map(|id| mem.snapshot_array(*id)).collect();
+            compare_to_oracle(case, "front/serial", oracle, &result, &memory)?;
+            let run = VectorRun {
+                result,
+                stats,
+                memory,
+                uops: sink.uops,
+            };
+            compare_engines("front/cache-vs-serial", &cached, &run)?;
+            Ok(2)
         }
         Err(e) => diverged(
-            "front/cache",
-            format!("cached plan failed where the scalar reference succeeded: {e:?}"),
+            "front/serial",
+            format!("round-tripped plan failed where the scalar reference succeeded: {e:?}"),
         ),
     }
 }

@@ -24,7 +24,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use flexvec::{program_hash, ShardedCache, SpecRequest};
-use flexvec_front::{parse_str, CompileCache, CompiledKernel, ParsedKernel};
+use flexvec_front::{parse_str, to_fv, CacheOutcome, CompileCache, CompiledKernel, ParsedKernel};
 use flexvec_mem::AddressSpace;
 use flexvec_profiler::{throughput_samples, vector_stat_samples, StatSample, ThroughputReport};
 use flexvec_sim::{OooSim, SimConfig};
@@ -37,6 +37,7 @@ use flexvec_vm::{
 use crate::json::Json;
 use crate::metrics::ExternalSample;
 use crate::protocol::{hash_hex, ErrorKind, Op, ProtoError, Request};
+use crate::snapshot::SnapshotStore;
 
 /// Build identity, stamped by `build.rs` and reported by `--version`,
 /// the daemon startup line, and the `stats` op.
@@ -83,6 +84,7 @@ pub struct OpResult {
 pub struct ServeEngine {
     cache: CompileCache,
     registry: ShardedCache<ParsedKernel>,
+    snapshots: Option<SnapshotStore>,
     started: Instant,
     totals: Mutex<BTreeMap<&'static str, u64>>,
     tiers: Mutex<BTreeMap<u64, TierEntry>>,
@@ -150,6 +152,15 @@ impl ServeEngine {
     /// cache and the kernel registry (segmented-LRU eviction); `0`
     /// means unbounded, for short-lived in-process servers.
     pub fn new(cache_capacity: usize) -> Self {
+        Self::with_snapshots(cache_capacity, None)
+    }
+
+    /// [`ServeEngine::new`] with a persistent snapshot store: compiled
+    /// kernels are saved under `--cache-dir` and misses consult the
+    /// store (full validation, [`SnapshotStore::load`]) before running
+    /// the compile pipeline, so a restarted daemon's first
+    /// repeat-kernel request is a disk-warm cache hit.
+    pub fn with_snapshots(cache_capacity: usize, snapshots: Option<SnapshotStore>) -> Self {
         let (cache, registry) = if cache_capacity == 0 {
             (CompileCache::new(), ShardedCache::new())
         } else {
@@ -161,6 +172,7 @@ impl ServeEngine {
         ServeEngine {
             cache,
             registry,
+            snapshots,
             started: Instant::now(),
             // Tier counters are pre-seeded so `/metrics` exports all
             // four rows from the first scrape, even at zero — scrape
@@ -222,6 +234,67 @@ impl ServeEngine {
         &self.cache
     }
 
+    /// The persistent snapshot store, when `--cache-dir` is set.
+    pub fn snapshots(&self) -> Option<&SnapshotStore> {
+        self.snapshots.as_ref()
+    }
+
+    /// Whether `(program_hash, spec)` is already compiled in the
+    /// in-memory cache (a routing probe for cluster mode; does not
+    /// touch hit/miss counters or consult disk).
+    pub fn has_compiled(&self, program_hash: u64, spec: SpecRequest) -> bool {
+        self.cache.contains_hash(program_hash, spec)
+    }
+
+    /// Whether this node can resolve `program_hash` without a peer
+    /// (registered in memory, or restorable from a snapshot's embedded
+    /// source).
+    pub fn knows_kernel(&self, program_hash: u64) -> bool {
+        if self.registry.peek(program_hash).is_some() {
+            return true;
+        }
+        self.snapshots
+            .as_ref()
+            .is_some_and(|s| s.find_source(program_hash).is_some())
+    }
+
+    /// Resolves the request far enough to know its kernel hash (used
+    /// by cluster routing before deciding where the request runs).
+    /// Inline source gets parsed and registered as a side effect.
+    ///
+    /// # Errors
+    ///
+    /// Source diagnostics and unknown hashes, as in
+    /// [`ServeEngine::handle`].
+    pub fn request_hash(&self, req: &Request) -> Result<u64, ProtoError> {
+        if let Some(hash) = req.hash {
+            return Ok(hash);
+        }
+        self.resolve(req).map(|k| program_hash(&k.program))
+    }
+
+    /// The cache lookup every compile/run/bench op goes through: the
+    /// coalesced in-memory path, with validated disk snapshots
+    /// consulted on a miss (restores count as hits — no compile ran)
+    /// and fresh compiles persisted when a store is configured.
+    fn lookup_or_compile(
+        &self,
+        kernel: &ParsedKernel,
+        spec: SpecRequest,
+    ) -> (Arc<CompiledKernel>, bool) {
+        let Some(store) = &self.snapshots else {
+            return self.cache.get_or_compile_coalesced(&kernel.program, spec);
+        };
+        let hash = program_hash(&kernel.program);
+        let (compiled, outcome) = self
+            .cache
+            .get_or_compile_restored(&kernel.program, spec, || store.load(hash, spec));
+        if outcome == CacheOutcome::Compiled {
+            store.save(&to_fv(&kernel.program), spec, &compiled);
+        }
+        (compiled, outcome.is_hit())
+    }
+
     /// Resolves the request's kernel: inline source is parsed and
     /// registered under its AST hash; a `hash` must name a registered
     /// kernel.
@@ -234,16 +307,28 @@ impl ServeEngine {
             return Ok(kernel);
         }
         let hash = req.hash.expect("validated: source or hash present");
-        self.registry.peek(hash).ok_or_else(|| {
-            ProtoError::new(
-                ErrorKind::UnknownHash,
-                format!(
-                    "no kernel registered under hash {} (send `source` once first; \
-                     evicted kernels must be resubmitted)",
-                    hash_hex(hash)
-                ),
-            )
-        })
+        if let Some(kernel) = self.registry.peek(hash) {
+            return Ok(kernel);
+        }
+        // A restarted daemon's registry is empty, but a snapshot's
+        // embedded (checksummed) source can repopulate it — hash-only
+        // clients keep working across restarts with `--cache-dir`.
+        if let Some(source) = self.snapshots.as_ref().and_then(|s| s.find_source(hash)) {
+            if let Ok(kernel) = parse_str("<snapshot>", &source) {
+                if program_hash(&kernel.program) == hash {
+                    let (kernel, _) = self.registry.get_or_insert_with(hash, || kernel);
+                    return Ok(kernel);
+                }
+            }
+        }
+        Err(ProtoError::new(
+            ErrorKind::UnknownHash,
+            format!(
+                "no kernel registered under hash {} (send `source` once first; \
+                 evicted kernels must be resubmitted)",
+                hash_hex(hash)
+            ),
+        ))
     }
 
     /// Services one validated request. `cancel` carries the request
@@ -269,9 +354,7 @@ impl ServeEngine {
             Op::Compile => {
                 let kernel = self.resolve(req)?;
                 let t0 = Instant::now();
-                let (compiled, hit) = self
-                    .cache
-                    .get_or_compile_coalesced(&kernel.program, req.spec);
+                let (compiled, hit) = self.lookup_or_compile(&kernel, req.spec);
                 let compile_wall = t0.elapsed();
                 let mut fields = kernel_fields(&kernel, &compiled, hit);
                 fields.push((
@@ -288,9 +371,7 @@ impl ServeEngine {
             Op::Run | Op::Bench => {
                 let kernel = self.resolve(req)?;
                 let t0 = Instant::now();
-                let (compiled, hit) = self
-                    .cache
-                    .get_or_compile_coalesced(&kernel.program, req.spec);
+                let (compiled, hit) = self.lookup_or_compile(&kernel, req.spec);
                 let compile_wall = t0.elapsed();
                 let t1 = Instant::now();
                 let outcome = self.execute(&kernel, &compiled, req, cancel)?;
@@ -545,6 +626,35 @@ impl ServeEngine {
                 value: self.cache.compiles(),
             },
         ]);
+        // Snapshot counters are pre-seeded (zero without a store) so
+        // the rows exist from the first scrape.
+        let snap = |f: fn(&SnapshotStore) -> u64| self.snapshots.as_ref().map_or(0, f);
+        out.extend([
+            ExternalSample {
+                name: "flexvec_snapshot_restored_total",
+                value: snap(|s| {
+                    s.counters
+                        .restored
+                        .load(std::sync::atomic::Ordering::Relaxed)
+                }),
+            },
+            ExternalSample {
+                name: "flexvec_snapshot_rejected_total",
+                value: snap(|s| {
+                    s.counters
+                        .rejected
+                        .load(std::sync::atomic::Ordering::Relaxed)
+                }),
+            },
+            ExternalSample {
+                name: "flexvec_snapshot_written_total",
+                value: snap(|s| {
+                    s.counters
+                        .written
+                        .load(std::sync::atomic::Ordering::Relaxed)
+                }),
+            },
+        ]);
         out
     }
 
@@ -584,6 +694,29 @@ impl ServeEngine {
                 Json::from(total("tier_promotions")),
             ),
             ("native_supported", Json::from(native_supported())),
+            (
+                "snapshot_dir",
+                match &self.snapshots {
+                    Some(s) => Json::from(s.dir().display().to_string()),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "snapshots_restored",
+                Json::from(self.snapshots.as_ref().map_or(0, |s| {
+                    s.counters
+                        .restored
+                        .load(std::sync::atomic::Ordering::Relaxed)
+                })),
+            ),
+            (
+                "snapshots_written",
+                Json::from(self.snapshots.as_ref().map_or(0, |s| {
+                    s.counters
+                        .written
+                        .load(std::sync::atomic::Ordering::Relaxed)
+                })),
+            ),
         ])
     }
 }
@@ -696,6 +829,7 @@ for (i = 0; i < 64; i++) {
             engine: Some(Engine::Compiled),
             invocations: 1,
             deadline_ms: None,
+            forwarded: false,
         }
     }
 

@@ -28,6 +28,21 @@
 //!   requests finish (or hit their cancel token), queued work is
 //!   answered `shutting_down`, listeners close.
 //!
+//! Three scale-out subsystems extend the single resident daemon:
+//!
+//! * on x86-64 Linux the accept side is a **readiness-polled reactor**
+//!   ([`reactor`]) — one thread, raw `epoll`, slab-managed
+//!   connections — so thousands of idle clients cost descriptors, not
+//!   stacks (other targets keep thread-per-connection);
+//! * `--cache-dir` enables the **persistent compile cache**
+//!   ([`snapshot`]): content-addressed, checksummed snapshots of
+//!   compiled kernels that make the first repeat request after a
+//!   restart a disk-warm cache hit;
+//! * `--cluster` enables the **consistent-hash ring** ([`cluster`]):
+//!   misses forward to the owning member, per-peer circuit breakers
+//!   degrade a dead owner to local compilation, and hot keys are
+//!   adopted locally after repeated forwards.
+//!
 //! `flexvecc serve` / `flexvecc client` wrap [`server::start`] and
 //! [`client::Client`]; the `serve_load` bench binary drives a daemon
 //! end-to-end and reports p50/p95/p99 latency and sustained req/s.
@@ -36,15 +51,25 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod cluster;
 pub mod engine;
 pub mod json;
 pub mod metrics;
 pub mod protocol;
 pub mod queue;
+// The reactor issues raw `epoll`/`eventfd` syscalls (inline asm, same
+// idiom as the VM's JIT page allocator) — the one unsafe island in an
+// otherwise `deny(unsafe_code)` crate, and only on x86-64 Linux; other
+// targets use the thread-per-connection fallback in `server`.
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+#[allow(unsafe_code)]
+pub mod reactor;
 pub mod server;
 pub mod signal;
+pub mod snapshot;
 
 pub use client::{fetch_metrics, Client};
+pub use cluster::Cluster;
 pub use engine::{build_info, BuildInfo, ServeEngine};
 pub use json::Json;
 pub use metrics::ServeMetrics;
@@ -55,3 +80,4 @@ pub use protocol::{
 pub use queue::BoundedQueue;
 pub use server::{start, startup_line, ServerConfig, ServerHandle};
 pub use signal::{install_sigint_handler, interrupted, reset_interrupted};
+pub use snapshot::{SnapshotStore, SNAPSHOT_EPOCH};

@@ -142,6 +142,10 @@ pub struct ServeMetrics {
     pub run_latency: Histogram,
     /// Connections accepted on the request port.
     pub connections_total: Counter,
+    /// Connections currently open on the request port (the reactor
+    /// maintains this; with thousands of idle clients this is the
+    /// number to watch, not `connections_total`).
+    pub open_connections: Gauge,
 }
 
 /// A named counter sample contributed by a subsystem snapshot
@@ -200,6 +204,28 @@ impl ServeMetrics {
             };
             let _ = writeln!(out, "# HELP {name} {help}");
             let _ = writeln!(out, "# TYPE {name} {kind}");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        // First-class gauges, pre-seeded (rendered from the very first
+        // scrape, like the tier counters). `flexvec_queue_depth`
+        // intentionally shadows `flexvec_serve_queue_depth` under the
+        // shorter conventional name; the old row stays for dashboards
+        // already scraping it.
+        let gauges: [(&str, &str, u64); 2] = [
+            (
+                "flexvec_open_connections",
+                "Request connections currently open",
+                self.open_connections.get(),
+            ),
+            (
+                "flexvec_queue_depth",
+                "Current admission queue depth",
+                self.queue_depth.get(),
+            ),
+        ];
+        for (name, help, value) in gauges {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
             let _ = writeln!(out, "{name} {value}");
         }
         self.queue_wait.render_into(
@@ -263,6 +289,25 @@ mod tests {
         assert!(text.contains("flexvec_serve_queue_depth 2"));
         assert!(text.contains("flexvec_serve_run_micros_count 1"));
         assert!(text.contains("flexvec_cache_hits 9"));
+    }
+
+    #[test]
+    fn connection_and_queue_gauges_are_pre_seeded() {
+        // A freshly constructed registry must already render both
+        // first-class gauges (value 0), so they exist from the first
+        // scrape rather than appearing when the first client connects.
+        let m = ServeMetrics::default();
+        let text = m.render(&[]);
+        assert!(text.contains("# TYPE flexvec_open_connections gauge"));
+        assert!(text.contains("flexvec_open_connections 0"));
+        assert!(text.contains("# TYPE flexvec_queue_depth gauge"));
+        assert!(text.contains("flexvec_queue_depth 0"));
+
+        m.open_connections.set(5001);
+        m.queue_depth.set(7);
+        let text = m.render(&[]);
+        assert!(text.contains("flexvec_open_connections 5001"));
+        assert!(text.contains("flexvec_queue_depth 7"));
     }
 
     #[test]

@@ -135,6 +135,10 @@ pub struct Request {
     pub invocations: u64,
     /// Per-request deadline in milliseconds, measured from admission.
     pub deadline_ms: Option<u64>,
+    /// Set by a cluster peer relaying this request to the ring owner of
+    /// its kernel hash. A forwarded request is always served locally —
+    /// never forwarded again — so a stale ring cannot create loops.
+    pub forwarded: bool,
 }
 
 /// Parses `spec` wire values — same vocabulary as `flexvecc --spec`.
@@ -264,6 +268,12 @@ impl Request {
                     .ok_or_else(|| bad("`deadline_ms` must be a positive integer".to_owned()))?,
             ),
         };
+        let forwarded = match value.get("forwarded") {
+            None | Some(Json::Null) => false,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| bad("`forwarded` must be a boolean".to_owned()))?,
+        };
         Ok(Request {
             id,
             op,
@@ -273,7 +283,46 @@ impl Request {
             engine,
             invocations,
             deadline_ms,
+            forwarded,
         })
+    }
+
+    /// Serializes the request back to its wire form — the cluster
+    /// forwarding path relays requests to the ring owner with this
+    /// (plus `forwarded: true`). `Request::parse(r.to_json(...)
+    /// .to_string())` reproduces `r` field for field.
+    pub fn to_json(&self, forwarded: bool) -> Json {
+        let mut pairs = vec![
+            ("op", Json::from(self.op.name())),
+            ("id", Json::from(self.id)),
+        ];
+        if let Some(source) = &self.source {
+            pairs.push(("source", Json::from(source.as_str())));
+        }
+        if let Some(hash) = self.hash {
+            pairs.push(("hash", Json::from(hash_hex(hash))));
+        }
+        let spec = match self.spec {
+            SpecRequest::Auto => "ff".to_owned(),
+            SpecRequest::Rtm { tile } => format!("rtm:{tile}"),
+        };
+        pairs.push(("spec", Json::from(spec)));
+        if let Some(engine) = self.engine {
+            let engine = match engine {
+                Engine::TreeWalking => "tree",
+                Engine::Compiled => "compiled",
+                Engine::Native => "native",
+            };
+            pairs.push(("engine", Json::from(engine)));
+        }
+        pairs.push(("invocations", Json::from(self.invocations)));
+        if let Some(ms) = self.deadline_ms {
+            pairs.push(("deadline_ms", Json::from(ms)));
+        }
+        if forwarded {
+            pairs.push(("forwarded", Json::from(true)));
+        }
+        Json::obj(pairs)
     }
 }
 
@@ -414,6 +463,36 @@ mod tests {
                 .and_then(Json::as_str),
             Some("overloaded")
         );
+    }
+
+    #[test]
+    fn forwarded_flag_parses_and_defaults_off() {
+        let r = Request::parse(r#"{"op":"run","source":"k","forwarded":true}"#).unwrap();
+        assert!(r.forwarded);
+        let r = Request::parse(r#"{"op":"run","source":"k"}"#).unwrap();
+        assert!(!r.forwarded);
+        let (_, err) = Request::parse(r#"{"op":"run","source":"k","forwarded":7}"#).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+    }
+
+    #[test]
+    fn to_json_round_trips_through_parse() {
+        let line = r#"{"op":"bench","id":9,"hash":"00000000000000ff","spec":"rtm:64","engine":"tree","invocations":32,"deadline_ms":250}"#;
+        let r = Request::parse(line).unwrap();
+        let relayed = Request::parse(&r.to_json(true).to_string()).unwrap();
+        assert_eq!(relayed.id, r.id);
+        assert_eq!(relayed.op, r.op);
+        assert_eq!(relayed.hash, r.hash);
+        assert_eq!(relayed.spec, r.spec);
+        assert_eq!(relayed.engine, r.engine);
+        assert_eq!(relayed.invocations, r.invocations);
+        assert_eq!(relayed.deadline_ms, r.deadline_ms);
+        assert!(relayed.forwarded, "relay sets the loop-stopper");
+
+        let r = Request::parse(r#"{"op":"run","source":"kernel k;"}"#).unwrap();
+        let relayed = Request::parse(&r.to_json(false).to_string()).unwrap();
+        assert_eq!(relayed.source.as_deref(), Some("kernel k;"));
+        assert!(!relayed.forwarded);
     }
 
     #[test]

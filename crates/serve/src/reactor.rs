@@ -1,0 +1,632 @@
+//! Readiness-polled connection core: one thread, `epoll`, tens of
+//! thousands of idle clients.
+//!
+//! The thread-per-connection acceptor costs a stack (and a scheduler
+//! slot) per idle client, which caps a daemon at a few thousand mostly
+//! idle connections. This module replaces it on x86-64 Linux with a
+//! single **reactor** thread driving a raw `epoll` instance — in the
+//! same no-libc style as the JIT's page allocator
+//! (`crates/vm/src/jit/pages.rs`), the three syscalls it needs
+//! (`epoll_create1`, `epoll_ctl`, `epoll_wait`, plus an `eventfd` for
+//! worker wake-ups) are issued directly via inline assembly.
+//!
+//! Shape of the loop:
+//!
+//! * Connections live in a **slab** addressed by generation-tagged
+//!   tokens (`gen << 32 | index`), so a completion racing a
+//!   close-and-reuse of the slot can never touch the wrong client.
+//! * Reads and writes are **nonblocking** with per-connection buffers;
+//!   requests are newline-framed, responses are written back in
+//!   request order (one in-flight request per connection — further
+//!   pipelined lines wait buffered until the response lands).
+//! * Inline answers (`stats`, shed, parse errors, drain) are produced
+//!   by the dispatch callback on the reactor thread; execution ops are
+//!   handed to the existing admission queue + worker pool, and workers
+//!   post `(token, response)` pairs to [`Completions`], waking the
+//!   reactor through the eventfd.
+//! * `EPOLLOUT` interest is registered only while a connection has
+//!   unflushed output, so idle clients cost exactly one slab slot.
+//!
+//! Everything here is level-triggered and single-threaded; the only
+//! cross-thread edge is `Completions::push`, which is a mutex push plus
+//! an 8-byte `write(2)`.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use crate::json::Json;
+use crate::metrics::{Counter, Gauge};
+
+// ---------------------------------------------------------------------
+// Raw syscalls (x86-64 Linux ABI), mirroring crates/vm/src/jit/pages.rs.
+// ---------------------------------------------------------------------
+
+const SYS_READ: usize = 0;
+const SYS_WRITE: usize = 1;
+const SYS_CLOSE: usize = 3;
+const SYS_EPOLL_WAIT: usize = 232;
+const SYS_EPOLL_CTL: usize = 233;
+const SYS_EVENTFD2: usize = 290;
+const SYS_EPOLL_CREATE1: usize = 291;
+
+const EPOLL_CLOEXEC: usize = 0x8_0000;
+const EFD_CLOEXEC: usize = 0x8_0000;
+const EFD_NONBLOCK: usize = 0x800;
+
+const EPOLL_CTL_ADD: usize = 1;
+const EPOLL_CTL_DEL: usize = 2;
+const EPOLL_CTL_MOD: usize = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+/// The kernel's epoll event record (x86-64 packs it to 12 bytes).
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+/// Raw Linux syscall. Errors come back as `-errno` in the result, per
+/// the kernel ABI.
+///
+/// # Safety
+///
+/// The arguments must be valid for the syscall being made.
+unsafe fn syscall(
+    num: usize,
+    a1: usize,
+    a2: usize,
+    a3: usize,
+    a4: usize,
+    a5: usize,
+    a6: usize,
+) -> isize {
+    let ret: isize;
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") num => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            in("r9") a6,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+/// Whether a syscall return value is in the kernel's `-errno` range.
+fn failed(ret: isize) -> bool {
+    (ret as usize) >= (-4095isize) as usize
+}
+
+fn epoll_create() -> Option<RawFd> {
+    let ret = unsafe { syscall(SYS_EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0, 0, 0) };
+    if failed(ret) {
+        return None;
+    }
+    Some(ret as RawFd)
+}
+
+fn epoll_ctl(epfd: RawFd, op: usize, fd: RawFd, events: u32, data: u64) -> bool {
+    let ev = EpollEvent { events, data };
+    let ret = unsafe {
+        syscall(
+            SYS_EPOLL_CTL,
+            epfd as usize,
+            op,
+            fd as usize,
+            std::ptr::addr_of!(ev) as usize,
+            0,
+            0,
+        )
+    };
+    !failed(ret)
+}
+
+fn epoll_wait(epfd: RawFd, events: &mut [EpollEvent], timeout_ms: usize) -> usize {
+    let ret = unsafe {
+        syscall(
+            SYS_EPOLL_WAIT,
+            epfd as usize,
+            events.as_mut_ptr() as usize,
+            events.len(),
+            timeout_ms,
+            0,
+            0,
+        )
+    };
+    if failed(ret) {
+        0 // EINTR and friends: treat as a timeout, the loop re-polls
+    } else {
+        ret as usize
+    }
+}
+
+fn close_fd(fd: RawFd) {
+    unsafe { syscall(SYS_CLOSE, fd as usize, 0, 0, 0, 0, 0) };
+}
+
+// ---------------------------------------------------------------------
+// Worker → reactor completion channel.
+// ---------------------------------------------------------------------
+
+/// The response mailbox workers post to. `push` appends the `(token,
+/// response)` pair and writes the eventfd so a parked `epoll_wait`
+/// returns immediately. The eventfd is owned here (closed on drop),
+/// so a worker finishing after the reactor exits writes into a live —
+/// merely unread — fd rather than a recycled descriptor.
+#[derive(Debug)]
+pub struct Completions {
+    list: Mutex<Vec<(u64, Json)>>,
+    wake: RawFd,
+}
+
+impl Completions {
+    /// Creates the mailbox and its eventfd.
+    ///
+    /// # Errors
+    ///
+    /// The `eventfd2` failure, surfaced as an I/O error.
+    pub fn new() -> std::io::Result<Completions> {
+        let ret = unsafe { syscall(SYS_EVENTFD2, 0, EFD_CLOEXEC | EFD_NONBLOCK, 0, 0, 0, 0) };
+        if failed(ret) {
+            return Err(std::io::Error::other(format!(
+                "eventfd2 failed: errno {}",
+                -(ret as i64)
+            )));
+        }
+        Ok(Completions {
+            list: Mutex::new(Vec::new()),
+            wake: ret as RawFd,
+        })
+    }
+
+    /// Posts one worker response for connection `token` and wakes the
+    /// reactor.
+    pub fn push(&self, token: u64, response: Json) {
+        self.list
+            .lock()
+            .expect("completion list")
+            .push((token, response));
+        let one: u64 = 1;
+        unsafe {
+            syscall(
+                SYS_WRITE,
+                self.wake as usize,
+                std::ptr::addr_of!(one) as usize,
+                8,
+                0,
+                0,
+                0,
+            )
+        };
+    }
+
+    fn drain(&self) -> Vec<(u64, Json)> {
+        std::mem::take(&mut *self.list.lock().expect("completion list"))
+    }
+
+    /// Consumes the pending eventfd count (nonblocking).
+    fn ack_wake(&self) {
+        let mut buf = 0u64;
+        unsafe {
+            syscall(
+                SYS_READ,
+                self.wake as usize,
+                std::ptr::addr_of_mut!(buf) as usize,
+                8,
+                0,
+                0,
+                0,
+            )
+        };
+    }
+}
+
+impl Drop for Completions {
+    fn drop(&mut self) {
+        close_fd(self.wake);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The reactor proper.
+// ---------------------------------------------------------------------
+
+/// Reserved token for the accept listener.
+const TOKEN_LISTENER: u64 = u64::MAX;
+/// Reserved token for the completion eventfd.
+const TOKEN_WAKE: u64 = u64::MAX - 1;
+
+/// Upper bound on one buffered request line (matches the
+/// thread-per-connection path's refusal to buffer without bound).
+const MAX_LINE: usize = 16 * 1024 * 1024;
+
+/// How long `epoll_wait` parks before re-checking the drain flag.
+const WAIT_MS: usize = 100;
+
+struct Conn {
+    stream: TcpStream,
+    gen: u32,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    /// A request from this connection is queued; further lines wait.
+    inflight: bool,
+    /// Peer sent EOF; close once output drains and nothing is queued.
+    peer_closed: bool,
+    /// `EPOLLOUT` currently registered.
+    wants_out: bool,
+}
+
+/// Metric hooks the reactor maintains.
+pub struct ReactorMetrics<'a> {
+    /// Incremented per accepted connection.
+    pub connections_total: &'a Counter,
+    /// Set to the live connection count on every change.
+    pub open_connections: &'a Gauge,
+}
+
+/// Runs the event loop until `shutdown` is set (or epoll cannot be
+/// created, in which case it logs and returns — the daemon then has no
+/// request listener, matching a dead acceptor thread).
+///
+/// `dispatch(line, token)` must return `Some(response)` for inline
+/// answers or `None` after enqueueing a job that will later post to
+/// `completions` under `token`.
+pub fn run<F>(
+    listener: &TcpListener,
+    shutdown: &AtomicBool,
+    completions: &Completions,
+    metrics: ReactorMetrics<'_>,
+    mut dispatch: F,
+) where
+    F: FnMut(&str, u64) -> Option<Json>,
+{
+    let Some(epfd) = epoll_create() else {
+        eprintln!("flexvec-serve: epoll_create1 failed; reactor not started");
+        return;
+    };
+    if !epoll_ctl(
+        epfd,
+        EPOLL_CTL_ADD,
+        listener.as_raw_fd(),
+        EPOLLIN,
+        TOKEN_LISTENER,
+    ) || !epoll_ctl(epfd, EPOLL_CTL_ADD, completions.wake, EPOLLIN, TOKEN_WAKE)
+    {
+        eprintln!("flexvec-serve: epoll_ctl registration failed; reactor not started");
+        close_fd(epfd);
+        return;
+    }
+
+    let mut slots: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut next_gen: u32 = 1;
+    let mut open: u64 = 0;
+    let mut events = [EpollEvent { events: 0, data: 0 }; 128];
+
+    while !shutdown.load(Ordering::Relaxed) {
+        let n = epoll_wait(epfd, &mut events, WAIT_MS);
+        for ev in &events[..n] {
+            let (flags, token) = (ev.events, ev.data);
+            match token {
+                TOKEN_LISTENER => {
+                    accept_all(
+                        listener,
+                        epfd,
+                        &mut slots,
+                        &mut free,
+                        &mut next_gen,
+                        &mut open,
+                        &metrics,
+                    );
+                }
+                TOKEN_WAKE => {
+                    completions.ack_wake();
+                    for (token, response) in completions.drain() {
+                        let idx = (token & 0xffff_ffff) as usize;
+                        let gen = (token >> 32) as u32;
+                        let stale = slots
+                            .get(idx)
+                            .and_then(Option::as_ref)
+                            .is_none_or(|c| c.gen != gen);
+                        if stale {
+                            continue; // connection closed while the job ran
+                        }
+                        let conn = slots[idx].as_mut().expect("checked above");
+                        conn.inflight = false;
+                        push_response(conn, &response);
+                        let alive = pump(conn, epfd, token, &mut dispatch);
+                        if !alive {
+                            close_conn(epfd, &mut slots, &mut free, idx, &mut open, &metrics);
+                        }
+                    }
+                }
+                token => {
+                    let idx = (token & 0xffff_ffff) as usize;
+                    let gen = (token >> 32) as u32;
+                    let Some(conn) = slots.get_mut(idx).and_then(Option::as_mut) else {
+                        continue;
+                    };
+                    if conn.gen != gen {
+                        continue;
+                    }
+                    let mut alive = true;
+                    if flags & (EPOLLERR | EPOLLHUP) != 0 {
+                        alive = false;
+                    }
+                    if alive && flags & (EPOLLIN | EPOLLRDHUP) != 0 {
+                        alive = fill(conn);
+                    }
+                    if alive {
+                        alive = pump(conn, epfd, token, &mut dispatch);
+                    }
+                    if !alive {
+                        close_conn(epfd, &mut slots, &mut free, idx, &mut open, &metrics);
+                    }
+                }
+            }
+        }
+    }
+
+    // Drain: close everything. Queued jobs' completions go unread (the
+    // workers answer them into the mailbox, whose fd stays valid), and
+    // clients see the close — same contract the connection threads had.
+    for idx in 0..slots.len() {
+        if slots[idx].is_some() {
+            close_conn(epfd, &mut slots, &mut free, idx, &mut open, &metrics);
+        }
+    }
+    close_fd(epfd);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn accept_all(
+    listener: &TcpListener,
+    epfd: RawFd,
+    slots: &mut Vec<Option<Conn>>,
+    free: &mut Vec<usize>,
+    next_gen: &mut u32,
+    open: &mut u64,
+    metrics: &ReactorMetrics<'_>,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(_) => return,
+        };
+        if stream.set_nonblocking(true).is_err() {
+            continue;
+        }
+        let _ = stream.set_nodelay(true);
+        let idx = free.pop().unwrap_or_else(|| {
+            slots.push(None);
+            slots.len() - 1
+        });
+        let gen = *next_gen;
+        // Generation 0 is never issued, so a zero token can't alias.
+        *next_gen = next_gen.wrapping_add(1).max(1);
+        let token = (u64::from(gen) << 32) | idx as u64;
+        if !epoll_ctl(
+            epfd,
+            EPOLL_CTL_ADD,
+            stream.as_raw_fd(),
+            EPOLLIN | EPOLLRDHUP,
+            token,
+        ) {
+            free.push(idx);
+            continue; // dropping the stream closes it
+        }
+        slots[idx] = Some(Conn {
+            stream,
+            gen,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            inflight: false,
+            peer_closed: false,
+            wants_out: false,
+        });
+        metrics.connections_total.inc();
+        *open += 1;
+        metrics.open_connections.set(*open);
+    }
+}
+
+/// Reads everything currently available. Returns `false` when the
+/// connection must close (I/O error or oversized line).
+fn fill(conn: &mut Conn) -> bool {
+    let mut buf = [0u8; 16384];
+    loop {
+        match conn.stream.read(&mut buf) {
+            Ok(0) => {
+                conn.peer_closed = true;
+                return true;
+            }
+            Ok(n) => {
+                conn.rbuf.extend_from_slice(&buf[..n]);
+                if conn.rbuf.len() > MAX_LINE {
+                    return false;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+}
+
+fn push_response(conn: &mut Conn, response: &Json) {
+    conn.wbuf.extend_from_slice(response.to_string().as_bytes());
+    conn.wbuf.push(b'\n');
+}
+
+/// Parses buffered lines (while no request is in flight), flushes
+/// output, and reconciles `EPOLLOUT` interest. Returns `false` when
+/// the connection should close now.
+fn pump<F>(conn: &mut Conn, epfd: RawFd, token: u64, dispatch: &mut F) -> bool
+where
+    F: FnMut(&str, u64) -> Option<Json>,
+{
+    while !conn.inflight {
+        let Some(pos) = conn.rbuf.iter().position(|&b| b == b'\n') else {
+            break;
+        };
+        let line: Vec<u8> = conn.rbuf.drain(..=pos).collect();
+        let text = String::from_utf8_lossy(&line[..line.len() - 1]);
+        let trimmed = text.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        match dispatch(trimmed, token) {
+            Some(response) => push_response(conn, &response),
+            None => conn.inflight = true,
+        }
+    }
+
+    // Flush as much as the socket accepts.
+    while !conn.wbuf.is_empty() {
+        match conn.stream.write(&conn.wbuf) {
+            Ok(0) => return false,
+            Ok(n) => {
+                conn.wbuf.drain(..n);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+
+    if conn.peer_closed && conn.wbuf.is_empty() && !conn.inflight {
+        return false;
+    }
+    let wants_out = !conn.wbuf.is_empty();
+    if wants_out != conn.wants_out {
+        let interest = EPOLLIN | EPOLLRDHUP | if wants_out { EPOLLOUT } else { 0 };
+        if !epoll_ctl(
+            epfd,
+            EPOLL_CTL_MOD,
+            conn.stream.as_raw_fd(),
+            interest,
+            token,
+        ) {
+            return false;
+        }
+        conn.wants_out = wants_out;
+    }
+    true
+}
+
+fn close_conn(
+    epfd: RawFd,
+    slots: &mut [Option<Conn>],
+    free: &mut Vec<usize>,
+    idx: usize,
+    open: &mut u64,
+    metrics: &ReactorMetrics<'_>,
+) {
+    if let Some(conn) = slots[idx].take() {
+        epoll_ctl(epfd, EPOLL_CTL_DEL, conn.stream.as_raw_fd(), 0, 0);
+        free.push(idx);
+        *open = open.saturating_sub(1);
+        metrics.open_connections.set(*open);
+        // `conn.stream` drops here, closing the fd *after* the DEL.
+    }
+}
+
+/// Raises `RLIMIT_NOFILE`'s soft limit to its hard limit via
+/// `prlimit64`, so a reactor daemon can actually hold the tens of
+/// thousands of sockets it was built for. Returns the resulting soft
+/// limit (best-effort; on any failure the current/default limit
+/// applies and is returned as `None`).
+pub fn raise_nofile_limit() -> Option<u64> {
+    const SYS_PRLIMIT64: usize = 302;
+    const RLIMIT_NOFILE: usize = 7;
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct RLimit {
+        cur: u64,
+        max: u64,
+    }
+    let mut lim = RLimit { cur: 0, max: 0 };
+    let ret = unsafe {
+        syscall(
+            SYS_PRLIMIT64,
+            0,
+            RLIMIT_NOFILE,
+            0,
+            std::ptr::addr_of_mut!(lim) as usize,
+            0,
+            0,
+        )
+    };
+    if failed(ret) {
+        return None;
+    }
+    let want = RLimit {
+        cur: lim.max,
+        max: lim.max,
+    };
+    let ret = unsafe {
+        syscall(
+            SYS_PRLIMIT64,
+            0,
+            RLIMIT_NOFILE,
+            std::ptr::addr_of!(want) as usize,
+            0,
+            0,
+            0,
+        )
+    };
+    if failed(ret) {
+        Some(lim.cur)
+    } else {
+        Some(want.cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eventfd_wake_roundtrip() {
+        let c = Completions::new().unwrap();
+        c.push(42, Json::from(1u64));
+        c.push(43, Json::from(2u64));
+        c.ack_wake();
+        let drained = c.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].0, 42);
+        assert!(c.drain().is_empty());
+    }
+
+    #[test]
+    fn epoll_event_layout_is_packed() {
+        // The x86-64 kernel ABI packs epoll_event to 12 bytes; a padded
+        // 16-byte struct would corrupt every second event.
+        assert_eq!(std::mem::size_of::<EpollEvent>(), 12);
+    }
+
+    #[test]
+    fn nofile_limit_can_be_raised() {
+        // Best-effort everywhere, but it must not crash, and on Linux
+        // it reports a limit.
+        let lim = raise_nofile_limit();
+        assert!(lim.is_some());
+    }
+}

@@ -2,34 +2,51 @@
 //! `/metrics` endpoint, graceful drain.
 //!
 //! Request lifecycle: **accept → admit → coalesce → compile/cache →
-//! execute → metrics**. A connection thread reads one JSON line,
-//! validates it, and either answers inline (`stats`, malformed input,
-//! shed) or enqueues a job on the bounded admission queue. A fixed
-//! worker pool pops jobs, re-checks the deadline, and runs them
-//! through the shared [`ServeEngine`] with a [`CancelToken`] carrying
-//! the deadline plus the daemon's drain flag. The connection thread
-//! writes the response line, preserving request order per connection.
+//! execute → metrics**. On x86-64 Linux the accept side is a single
+//! readiness-polled [`crate::reactor`] thread (raw `epoll`), so tens of
+//! thousands of idle clients cost one thread and a slab slot each; on
+//! other targets a thread-per-connection fallback keeps the same wire
+//! behavior. Either way, a request line is validated and either
+//! answered inline (`stats`, malformed input, shed) or enqueued on the
+//! bounded admission queue. A fixed worker pool pops jobs, re-checks
+//! the deadline, routes cluster misses to their ring owner
+//! ([`crate::cluster`]), and runs local work through the shared
+//! [`ServeEngine`] with a [`CancelToken`] carrying the deadline plus
+//! the daemon's drain flag.
 //!
-//! Everything blocking polls: the acceptors run non-blocking with a
-//! short sleep, connection reads carry a timeout, and workers wake on
+//! With `--cache-dir`, compiled kernels persist as validated snapshots
+//! ([`crate::snapshot`]) and a restarted daemon's first repeat-kernel
+//! request is a disk-warm cache hit instead of a recompile.
+//!
+//! Everything blocking polls: the acceptors/reactor wake on a short
+//! timeout, connection reads carry a timeout, and workers wake on
 //! queue close — so a drain (SIGINT or [`ServerHandle::shutdown`])
 //! converges without relying on `EINTR` (glibc's `signal()` installs
 //! handlers with `SA_RESTART`).
 
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::{BufRead, BufReader, Write};
+#[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+use std::net::TcpStream;
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+#[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use flexvec_vm::CancelToken;
 
+use crate::cluster::Cluster;
 use crate::engine::{build_info, ServeEngine};
 use crate::json::Json;
 use crate::metrics::ServeMetrics;
 use crate::protocol::{err_response, ok_response, ErrorKind, Op, ProtoError, Request};
 use crate::queue::{BoundedQueue, PushError};
+use crate::snapshot::SnapshotStore;
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+use crate::reactor::{self, Completions, ReactorMetrics};
 
 /// How often blocked accept/read loops poll the shutdown flag.
 const POLL: Duration = Duration::from_millis(10);
@@ -52,6 +69,16 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Deadline applied to requests that don't carry their own.
     pub default_deadline_ms: Option<u64>,
+    /// Persistent snapshot directory; `None` keeps the cache
+    /// memory-only.
+    pub cache_dir: Option<String>,
+    /// Full cluster member list (including this node); empty disables
+    /// cluster mode.
+    pub cluster: Vec<String>,
+    /// This node's name in the cluster list. Defaults to the bound
+    /// request address, which only works when `addr` names a concrete
+    /// port the peers were also given.
+    pub advertise: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +90,32 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             cache_capacity: 1024,
             default_deadline_ms: None,
+            cache_dir: None,
+            cluster: Vec::new(),
+            advertise: None,
+        }
+    }
+}
+
+/// Where a worker posts its response: a per-request channel (thread
+/// fallback) or the reactor's completion mailbox keyed by connection
+/// token.
+enum Reply {
+    #[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+    Sync(mpsc::Sender<Json>),
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    Reactor(Arc<Completions>, u64),
+}
+
+impl Reply {
+    fn send(&self, response: Json) {
+        match self {
+            #[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+            Reply::Sync(tx) => {
+                let _ = tx.send(response);
+            }
+            #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+            Reply::Reactor(completions, token) => completions.push(*token, response),
         }
     }
 }
@@ -72,7 +125,7 @@ struct Job {
     request: Request,
     deadline: Option<Instant>,
     admitted: Instant,
-    reply: mpsc::Sender<Json>,
+    reply: Reply,
 }
 
 struct Shared {
@@ -81,6 +134,7 @@ struct Shared {
     queue: BoundedQueue<Job>,
     shutdown_flag: Arc<AtomicBool>,
     default_deadline_ms: Option<u64>,
+    cluster: Option<Cluster>,
 }
 
 /// A running daemon. Dropping the handle without calling
@@ -107,6 +161,11 @@ impl ServerHandle {
         &self.shared.engine
     }
 
+    /// The cluster state, when `--cluster` is configured.
+    pub fn cluster(&self) -> Option<&Cluster> {
+        self.shared.cluster.as_ref()
+    }
+
     /// Whether a drain has been requested.
     pub fn draining(&self) -> bool {
         self.shared.shutdown_flag.load(Ordering::Relaxed)
@@ -129,12 +188,14 @@ impl ServerHandle {
     }
 }
 
-/// Starts the daemon: binds the listeners, spawns the worker pool and
-/// acceptor threads, and returns immediately.
+/// Starts the daemon: binds the listeners, opens the snapshot store
+/// and cluster ring when configured, spawns the worker pool and the
+/// reactor (or acceptor) thread, and returns immediately.
 ///
 /// # Errors
 ///
-/// I/O errors binding either listener.
+/// I/O errors binding either listener or creating `--cache-dir`, and
+/// invalid cluster configuration.
 pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
@@ -153,12 +214,30 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         .map(TcpListener::local_addr)
         .transpose()?;
 
+    let snapshots = match &config.cache_dir {
+        Some(dir) => Some(SnapshotStore::open(dir)?),
+        None => None,
+    };
+    let cluster = if config.cluster.is_empty() {
+        None
+    } else {
+        let advertise = config.advertise.clone().unwrap_or_else(|| addr.to_string());
+        Some(
+            Cluster::new(config.cluster.clone(), advertise)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?,
+        )
+    };
+
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    let _ = reactor::raise_nofile_limit();
+
     let shared = Arc::new(Shared {
-        engine: ServeEngine::new(config.cache_capacity),
+        engine: ServeEngine::with_snapshots(config.cache_capacity, snapshots),
         metrics: ServeMetrics::default(),
         queue: BoundedQueue::new(config.queue_capacity),
         shutdown_flag: Arc::new(AtomicBool::new(false)),
         default_deadline_ms: config.default_deadline_ms,
+        cluster,
     });
     let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
     let mut threads = Vec::new();
@@ -172,16 +251,7 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
                 .expect("spawn worker"),
         );
     }
-    {
-        let shared = Arc::clone(&shared);
-        let conn_threads = Arc::clone(&conn_threads);
-        threads.push(
-            std::thread::Builder::new()
-                .name("serve-accept".to_owned())
-                .spawn(move || accept_loop(&listener, &shared, &conn_threads))
-                .expect("spawn acceptor"),
-        );
-    }
+    threads.push(spawn_accept_side(listener, &shared, &conn_threads)?);
     if let Some(listener) = metrics_listener {
         let shared = Arc::clone(&shared);
         threads.push(
@@ -201,6 +271,53 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     })
 }
 
+/// Spawns the request-side thread: the epoll reactor on x86-64 Linux,
+/// the thread-per-connection acceptor elsewhere.
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+fn spawn_accept_side(
+    listener: TcpListener,
+    shared: &Arc<Shared>,
+    _conn_threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) -> std::io::Result<JoinHandle<()>> {
+    let completions = Arc::new(Completions::new()?);
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name("serve-reactor".to_owned())
+        .spawn(move || {
+            let metrics = ReactorMetrics {
+                connections_total: &shared.metrics.connections_total,
+                open_connections: &shared.metrics.open_connections,
+            };
+            reactor::run(
+                &listener,
+                &shared.shutdown_flag,
+                &completions,
+                metrics,
+                |line, token| {
+                    dispatch(line, &shared, || {
+                        Reply::Reactor(Arc::clone(&completions), token)
+                    })
+                },
+            );
+        })
+        .map_err(std::io::Error::other)
+}
+
+#[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+fn spawn_accept_side(
+    listener: TcpListener,
+    shared: &Arc<Shared>,
+    conn_threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) -> std::io::Result<JoinHandle<()>> {
+    let shared = Arc::clone(shared);
+    let conn_threads = Arc::clone(conn_threads);
+    std::thread::Builder::new()
+        .name("serve-accept".to_owned())
+        .spawn(move || accept_loop(&listener, &shared, &conn_threads))
+        .map_err(std::io::Error::other)
+}
+
+#[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
 fn accept_loop(
     listener: &TcpListener,
     shared: &Arc<Shared>,
@@ -227,6 +344,7 @@ fn accept_loop(
 
 /// Reads request lines and writes response lines, in order. Returns
 /// (closing the connection) on EOF, I/O error, or drain.
+#[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
 fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
     let _ = stream.set_read_timeout(Some(POLL));
     let _ = stream.set_nodelay(true);
@@ -234,28 +352,47 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
         Ok(w) => w,
         Err(_) => return,
     };
+    let open = &shared.metrics.open_connections;
+    open.set(open.get().saturating_add(1));
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
         line.clear();
         match read_line_polling(&mut reader, &mut line, shared) {
             ReadOutcome::Line => {}
-            ReadOutcome::Eof | ReadOutcome::Draining | ReadOutcome::Error => return,
+            ReadOutcome::Eof | ReadOutcome::Draining | ReadOutcome::Error => break,
         }
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
         }
-        let response = dispatch(trimmed, shared);
+        let (tx, rx) = mpsc::channel();
+        let response = match dispatch(trimmed, shared, || Reply::Sync(tx.clone())) {
+            Some(inline) => inline,
+            None => rx.recv().unwrap_or_else(|_| dropped_response(shared)),
+        };
         if writer
             .write_all(format!("{response}\n").as_bytes())
             .is_err()
         {
-            return;
+            break;
         }
     }
+    open.set(open.get().saturating_sub(1));
 }
 
+/// The response for a job whose worker died or whose reply channel was
+/// dropped mid-drain.
+#[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+fn dropped_response(shared: &Shared) -> Json {
+    shared.metrics.requests_failed.inc();
+    err_response(
+        0,
+        &ProtoError::new(ErrorKind::Internal, "request was dropped by the daemon"),
+    )
+}
+
+#[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
 enum ReadOutcome {
     Line,
     Eof,
@@ -265,11 +402,13 @@ enum ReadOutcome {
 
 /// `read_line` with the drain flag polled on every read timeout, so
 /// an idle connection notices shutdown within one poll interval.
+#[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
 fn read_line_polling(
     reader: &mut BufReader<TcpStream>,
     line: &mut String,
     shared: &Shared,
 ) -> ReadOutcome {
+    use std::io::Read;
     let mut bytes = Vec::new();
     loop {
         let mut byte = [0u8; 1];
@@ -305,6 +444,7 @@ fn read_line_polling(
     }
 }
 
+#[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
 fn finish_line(bytes: Vec<u8>, line: &mut String) -> ReadOutcome {
     match String::from_utf8(bytes) {
         Ok(s) => {
@@ -321,15 +461,17 @@ fn finish_line(bytes: Vec<u8>, line: &mut String) -> ReadOutcome {
     }
 }
 
-/// Validates one request line and produces its response, enqueueing
-/// execution ops on the admission queue.
-fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
+/// Validates one request line. Returns `Some(response)` for inline
+/// answers (`stats`, parse errors, shed, drain); otherwise the request
+/// is queued with the reply produced by `make_reply`, and the response
+/// arrives through that reply later.
+fn dispatch(line: &str, shared: &Arc<Shared>, make_reply: impl FnOnce() -> Reply) -> Option<Json> {
     shared.metrics.requests_total.inc();
     let request = match Request::parse(line) {
         Ok(r) => r,
         Err((id, e)) => {
             shared.metrics.requests_failed.inc();
-            return err_response(id, &e);
+            return Some(err_response(id, &e));
         }
     };
     let id = request.id;
@@ -344,26 +486,41 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
             "draining",
             Json::from(shared.shutdown_flag.load(Ordering::Relaxed)),
         ));
-        return ok_response(id, fields);
+        fields.push((
+            "open_connections",
+            Json::from(shared.metrics.open_connections.get()),
+        ));
+        if let Some(cluster) = &shared.cluster {
+            fields.push((
+                "cluster_members",
+                Json::from(cluster.members().len() as u64),
+            ));
+            fields.push(("cluster_advertise", Json::from(cluster.advertise())));
+            fields.push((
+                "cluster_forwards",
+                Json::from(cluster.counters.forwards.get()),
+            ));
+        }
+        return Some(ok_response(id, fields));
     }
 
     let deadline_ms = request.deadline_ms.or(shared.default_deadline_ms);
     let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
-    let (reply_tx, reply_rx) = mpsc::channel();
     let job = Job {
         request,
         deadline,
         admitted: Instant::now(),
-        reply: reply_tx,
+        reply: make_reply(),
     };
     match shared.queue.try_push(job) {
         Ok(depth) => {
             shared.metrics.queue_depth.set(depth as u64);
+            None
         }
         Err((PushError::Full, _)) => {
             shared.metrics.requests_shed.inc();
             shared.metrics.requests_failed.inc();
-            return err_response(
+            Some(err_response(
                 id,
                 &ProtoError::new(
                     ErrorKind::Overloaded,
@@ -372,28 +529,45 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
                         shared.queue.capacity()
                     ),
                 ),
-            );
+            ))
         }
         Err((PushError::Closed, _)) => {
             shared.metrics.requests_failed.inc();
-            return err_response(
+            Some(err_response(
                 id,
                 &ProtoError::new(ErrorKind::ShuttingDown, "daemon is draining"),
-            );
+            ))
         }
     }
-    match reply_rx.recv() {
-        Ok(response) => response,
-        Err(_) => {
-            // The worker died (or the queue was closed mid-drain and
-            // the job's reply sender dropped).
-            shared.metrics.requests_failed.inc();
-            err_response(
-                id,
-                &ProtoError::new(ErrorKind::Internal, "request was dropped by the daemon"),
-            )
-        }
+}
+
+/// Cluster routing for one admitted job: `Some(response)` when the
+/// request was forwarded to its ring owner and answered there, `None`
+/// when it should be served locally (we own it, we already have it
+/// compiled, it's an adopted hot key, the peer is dead, or cluster
+/// mode is off).
+fn route_cluster(shared: &Shared, job: &Job) -> Option<Json> {
+    let cluster = shared.cluster.as_ref()?;
+    let req = &job.request;
+    if req.forwarded || req.op == Op::Stats {
+        return None;
     }
+    // Resolving registers inline source locally, so an adopted key can
+    // actually be compiled here later.
+    let hash = shared.engine.request_hash(req).ok()?;
+    if cluster.is_local(hash) {
+        return None;
+    }
+    if shared.engine.has_compiled(hash, req.spec) {
+        return None; // already warm locally; forwarding would be slower
+    }
+    if cluster.note_forward(hash) && shared.engine.knows_kernel(hash) {
+        return None; // hot key: compile locally from the known source
+    }
+    let owner = cluster.owner_of(hash).to_owned();
+    // A failed forward (breaker open, peer dead) degrades to local
+    // service rather than surfacing an error to the client.
+    cluster.forward(&owner, req).ok()
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
@@ -404,7 +578,7 @@ fn worker_loop(shared: &Arc<Shared>) {
 
         // A drain stops queued-but-unstarted work immediately.
         if shared.shutdown_flag.load(Ordering::Relaxed) {
-            let _ = job.reply.send(err_response(
+            job.reply.send(err_response(
                 id,
                 &ProtoError::new(ErrorKind::ShuttingDown, "daemon is draining"),
             ));
@@ -414,10 +588,15 @@ fn worker_loop(shared: &Arc<Shared>) {
         if job.deadline.is_some_and(|d| Instant::now() >= d) {
             shared.metrics.deadline_expired.inc();
             shared.metrics.requests_failed.inc();
-            let _ = job.reply.send(err_response(
+            job.reply.send(err_response(
                 id,
                 &ProtoError::new(ErrorKind::Deadline, "deadline expired while queued"),
             ));
+            continue;
+        }
+
+        if let Some(response) = route_cluster(shared, &job) {
+            job.reply.send(response);
             continue;
         }
 
@@ -443,7 +622,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                 err_response(id, &e)
             }
         };
-        let _ = job.reply.send(response);
+        job.reply.send(response);
     }
 }
 
@@ -465,7 +644,11 @@ fn metrics_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 }
                 let path = request_line.split_whitespace().nth(1).unwrap_or("");
                 let response = if path == "/metrics" || path.starts_with("/metrics?") {
-                    let body = shared.metrics.render(&shared.engine.metric_samples());
+                    let mut samples = shared.engine.metric_samples();
+                    if let Some(cluster) = &shared.cluster {
+                        samples.extend(cluster.metric_samples());
+                    }
+                    let body = shared.metrics.render(&samples);
                     format!(
                         "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
                          Content-Length: {}\r\nConnection: close\r\n\r\n{}",
@@ -497,9 +680,17 @@ pub fn startup_line(handle: &ServerHandle, config: &ServerConfig) -> String {
     let metrics = handle
         .metrics_addr
         .map_or_else(|| "disabled".to_owned(), |a| a.to_string());
+    let persist = config
+        .cache_dir
+        .as_deref()
+        .map_or_else(|| "memory-only".to_owned(), str::to_owned);
+    let cluster = handle.shared.cluster.as_ref().map_or_else(
+        || "off".to_owned(),
+        |c| format!("{} members as {}", c.members().len(), c.advertise()),
+    );
     format!(
         "flexvec-serve {info} listening on {} (metrics: {metrics}, workers: {}, \
-         queue: {}, cache: {})",
+         queue: {}, cache: {}, cache-dir: {persist}, cluster: {cluster})",
         handle.addr,
         config.workers.max(1),
         config.queue_capacity,

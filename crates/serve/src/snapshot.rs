@@ -1,0 +1,367 @@
+//! The persistent compile cache: content-addressed `CompiledVProg`
+//! snapshots under `--cache-dir`.
+//!
+//! A snapshot file holds everything needed to re-admit one kernel
+//! without running the compile pipeline: the canonical `.fv` source (so
+//! hash-only requests resolve after a restart), the speculation request,
+//! and the serialized bytecode. Files are named
+//! `{program_hash:016x}.{ff|rtmTILE}.fvc`, written atomically
+//! (temp-file + rename), and validated on load against four gates, in
+//! order:
+//!
+//! 1. **magic + format epoch** — a snapshot from a different layout is
+//!    rejected before anything is parsed;
+//! 2. **build git hash** — compiled bytecode is only trusted from the
+//!    exact build that wrote it (the vectorizer or encoder may have
+//!    changed in any other build);
+//! 3. **FNV-1a checksum** over the entire prefix — truncation and bit
+//!    rot are caught without trusting any length field;
+//! 4. **content re-derivation** — the embedded source is re-parsed and
+//!    re-vectorized, its hash must equal both the filename and the
+//!    header, and the payload is decoded with full bounds validation
+//!    ([`flexvec_vm::deserialize_compiled`]) against the register-file
+//!    sizes the executor will actually allocate.
+//!
+//! A snapshot failing *any* gate is treated as absent: the kernel
+//! recompiles from source and the stale file is overwritten. Corrupt
+//! snapshots are never trusted and never panic the daemon.
+
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use flexvec::{analyze, vectorize, SpecRequest};
+use flexvec_front::{parse_str, CompiledKernel, CompiledPlan};
+use flexvec_vm::{deserialize_compiled, serialize_compiled, SerialLimits, SERIAL_VERSION};
+
+/// Magic bytes opening every snapshot file.
+const MAGIC: &[u8; 8] = b"FVSNAP01";
+
+/// Snapshot layout epoch. Bumped when the header layout changes;
+/// the payload layout is versioned separately by
+/// [`SERIAL_VERSION`] (mixed into the epoch gate below so either bump
+/// invalidates old files).
+pub const SNAPSHOT_EPOCH: u32 = 1;
+
+/// The git hash this build stamps into (and demands from) snapshots.
+fn build_git_hash() -> &'static str {
+    env!("FLEXVEC_GIT_HASH")
+}
+
+fn epoch_word() -> u32 {
+    SNAPSHOT_EPOCH
+        .wrapping_mul(0x0100)
+        .wrapping_add(SERIAL_VERSION)
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Counters the daemon exports as `flexvec_snapshot_*_total`.
+#[derive(Debug, Default)]
+pub struct SnapshotCounters {
+    /// Snapshots loaded, validated, and admitted to the cache.
+    pub restored: AtomicU64,
+    /// Snapshot files that existed but failed a validation gate.
+    pub rejected: AtomicU64,
+    /// Snapshots written.
+    pub written: AtomicU64,
+}
+
+/// A directory of validated kernel snapshots.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+    /// Restore/reject/write counters (shared with `/metrics`).
+    pub counters: SnapshotCounters,
+}
+
+impl SnapshotStore {
+    /// Opens (creating if needed) the snapshot directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `create_dir_all` failure — an unusable cache
+    /// directory is a startup error, not something to limp past.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<SnapshotStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(SnapshotStore {
+            dir,
+            counters: SnapshotCounters::default(),
+        })
+    }
+
+    /// The directory this store reads and writes.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn spec_tag(spec: SpecRequest) -> String {
+        match spec {
+            SpecRequest::Auto => "ff".to_owned(),
+            SpecRequest::Rtm { tile } => format!("rtm{tile}"),
+        }
+    }
+
+    /// The snapshot path for one (kernel, spec) pair.
+    pub fn path_for(&self, program_hash: u64, spec: SpecRequest) -> PathBuf {
+        self.dir
+            .join(format!("{program_hash:016x}.{}.fvc", Self::spec_tag(spec)))
+    }
+
+    /// Serializes `kernel` (which must carry an `Ok` plan — rejected
+    /// kernels are cheap to re-derive and are not persisted) together
+    /// with its canonical source. Write failures are reported but not
+    /// fatal to the caller: the daemon keeps serving from memory.
+    pub fn save(&self, source: &str, spec: SpecRequest, kernel: &CompiledKernel) {
+        let Ok(plan) = &kernel.plan else {
+            return;
+        };
+        let payload = serialize_compiled(&plan.compiled);
+        let mut buf = Vec::with_capacity(128 + source.len() + payload.len());
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&epoch_word().to_le_bytes());
+        let git = build_git_hash().as_bytes();
+        buf.extend_from_slice(&(git.len() as u32).to_le_bytes());
+        buf.extend_from_slice(git);
+        buf.extend_from_slice(&kernel.program_hash.to_le_bytes());
+        match spec {
+            SpecRequest::Auto => buf.push(0x51),
+            SpecRequest::Rtm { tile } => {
+                buf.push(0x52);
+                buf.extend_from_slice(&tile.to_le_bytes());
+            }
+        }
+        buf.extend_from_slice(&(source.len() as u32).to_le_bytes());
+        buf.extend_from_slice(source.as_bytes());
+        buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        let checksum = fnv1a(&buf);
+        buf.extend_from_slice(&checksum.to_le_bytes());
+
+        let path = self.path_for(kernel.program_hash, spec);
+        if let Err(e) = self.write_atomic(&path, &buf) {
+            eprintln!(
+                "flexvec-serve: snapshot write {} failed: {e}",
+                path.display()
+            );
+            return;
+        }
+        self.counters.written.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        // Unique temp name per thread so concurrent workers saving
+        // different kernels never collide; rename is atomic within the
+        // directory, so readers see old-or-new, never a torn file.
+        let tmp = self.dir.join(format!(
+            ".tmp-{:?}-{}",
+            std::thread::current().id(),
+            path.file_name().and_then(|n| n.to_str()).unwrap_or("snap")
+        ));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads and fully validates the snapshot for `(program_hash,
+    /// spec)`. `None` means "no usable snapshot" — absent, truncated,
+    /// wrong epoch or build, checksum or hash mismatch, or a payload
+    /// that fails bounds validation; the caller recompiles from source
+    /// in every such case.
+    pub fn load(&self, program_hash: u64, spec: SpecRequest) -> Option<CompiledKernel> {
+        let path = self.path_for(program_hash, spec);
+        let mut bytes = Vec::new();
+        match std::fs::File::open(&path) {
+            Ok(mut f) => {
+                if f.read_to_end(&mut bytes).is_err() {
+                    return self.reject();
+                }
+            }
+            Err(_) => return None, // absent is not a rejection
+        }
+        match self.validate(&bytes, program_hash, spec) {
+            Some(kernel) => {
+                self.counters.restored.fetch_add(1, Ordering::Relaxed);
+                Some(kernel)
+            }
+            None => self.reject(),
+        }
+    }
+
+    fn reject(&self) -> Option<CompiledKernel> {
+        self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// All validation gates, in cheapest-first order. `None` = reject.
+    fn validate(
+        &self,
+        bytes: &[u8],
+        program_hash: u64,
+        spec: SpecRequest,
+    ) -> Option<CompiledKernel> {
+        // Gate 1+3: structure and integrity. Checksum first would scan
+        // the file twice for obviously-foreign files, so magic/epoch go
+        // first; the checksum still covers every byte before it.
+        let mut r = Cursor { bytes, pos: 0 };
+        if r.take(8)? != MAGIC {
+            return None;
+        }
+        if r.u32()? != epoch_word() {
+            return None;
+        }
+        let git_len = r.u32()? as usize;
+        let git = r.take(git_len)?;
+        if git != build_git_hash().as_bytes() {
+            return None;
+        }
+        if bytes.len() < 8 {
+            return None;
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().ok()?);
+        if fnv1a(body) != stored {
+            return None;
+        }
+
+        let header_hash = r.u64()?;
+        if header_hash != program_hash {
+            return None;
+        }
+        let file_spec = match r.u8()? {
+            0x51 => SpecRequest::Auto,
+            0x52 => SpecRequest::Rtm { tile: r.u32()? },
+            _ => return None,
+        };
+        if file_spec != spec {
+            return None;
+        }
+        let source_len = r.u32()? as usize;
+        let source = std::str::from_utf8(r.take(source_len)?).ok()?;
+        let payload_len = usize::try_from(r.u64()?).ok()?;
+        let payload = r.take(payload_len)?;
+        if r.pos != body.len() {
+            return None; // trailing bytes between payload and checksum
+        }
+
+        // Gate 4: re-derive everything the bytecode must be consistent
+        // with. The parse and vectorize run on the *embedded* source —
+        // a snapshot whose source no longer hashes to its name (or no
+        // longer vectorizes under this build) is stale, not trusted.
+        let parsed = parse_str("<snapshot>", source).ok()?;
+        if flexvec::program_hash(&parsed.program) != program_hash {
+            return None;
+        }
+        let vectorized = vectorize(&parsed.program, spec).ok()?;
+        let limits = SerialLimits {
+            vregs: vectorized.vprog.num_vregs as usize,
+            kregs: vectorized.vprog.num_kregs as usize,
+            vars: parsed.program.vars.len(),
+            arrays: parsed.program.arrays.len(),
+        };
+        let compiled = deserialize_compiled(payload, &limits).ok()?;
+        Some(CompiledKernel {
+            program_hash,
+            analysis: analyze(&parsed.program),
+            plan: Ok(CompiledPlan {
+                vectorized,
+                compiled,
+            }),
+        })
+    }
+
+    /// Finds the embedded source of any snapshot of `program_hash`
+    /// (any spec) whose header gates pass — how a restarted daemon
+    /// resolves a hash-only request before the kernel's source has been
+    /// resubmitted. The full payload is *not* decoded here; admission
+    /// revalidates through [`SnapshotStore::load`].
+    pub fn find_source(&self, program_hash: u64) -> Option<String> {
+        let prefix = format!("{program_hash:016x}.");
+        let entries = std::fs::read_dir(&self.dir).ok()?;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if !name.starts_with(&prefix) || !name.ends_with(".fvc") {
+                continue;
+            }
+            let Ok(bytes) = std::fs::read(entry.path()) else {
+                continue;
+            };
+            if let Some(source) = Self::header_source(&bytes, program_hash) {
+                return Some(source);
+            }
+        }
+        None
+    }
+
+    /// Extracts the source field when the header + checksum gates pass.
+    fn header_source(bytes: &[u8], program_hash: u64) -> Option<String> {
+        let mut r = Cursor { bytes, pos: 0 };
+        if r.take(8)? != MAGIC || r.u32()? != epoch_word() {
+            return None;
+        }
+        let git_len = r.u32()? as usize;
+        if r.take(git_len)? != build_git_hash().as_bytes() {
+            return None;
+        }
+        if bytes.len() < 8 {
+            return None;
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        if fnv1a(body) != u64::from_le_bytes(tail.try_into().ok()?) {
+            return None;
+        }
+        if r.u64()? != program_hash {
+            return None;
+        }
+        match r.u8()? {
+            0x51 => {}
+            0x52 => {
+                r.u32()?;
+            }
+            _ => return None,
+        }
+        let source_len = r.u32()? as usize;
+        std::str::from_utf8(r.take(source_len)?)
+            .ok()
+            .map(str::to_owned)
+    }
+}
+
+/// Minimal bounds-checked reader over a snapshot file.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+}

@@ -32,6 +32,9 @@ fn test_config() -> ServerConfig {
         queue_capacity: 64,
         cache_capacity: 0,
         default_deadline_ms: None,
+        cache_dir: None,
+        cluster: Vec::new(),
+        advertise: None,
     }
 }
 
@@ -110,6 +113,195 @@ fn malformed_input_gets_structured_errors_and_keeps_the_connection() {
     assert!(response.get("hash").and_then(Json::as_str).is_some());
     drop(client);
     handle.shutdown();
+}
+
+/// A unique per-test scratch directory under the system temp dir.
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("flexvec-serve-it-{}-{tag}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn warm_restart_serves_first_repeat_request_from_disk() {
+    let dir = scratch_dir("warm");
+    let cache_dir = Some(dir.to_string_lossy().into_owned());
+
+    // First daemon lifetime: compile one kernel, which writes a
+    // snapshot under --cache-dir, then shut down.
+    let handle = start(ServerConfig {
+        cache_dir: cache_dir.clone(),
+        ..test_config()
+    })
+    .expect("start daemon");
+    let mut client = Client::connect(&handle.addr.to_string()).expect("connect");
+    let response = client
+        .request(&compile_request(kernel_source(77)))
+        .expect("compile");
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+    let hash = response
+        .get("hash")
+        .and_then(Json::as_str)
+        .expect("hash in response")
+        .to_owned();
+    assert_eq!(handle.engine().cache().compiles(), 1);
+    drop(client);
+    handle.shutdown();
+
+    // Second lifetime, same cache dir, different port: the very first
+    // request — by hash alone, which the fresh registry has never
+    // seen — must be served from the disk snapshot without compiling.
+    let handle = start(ServerConfig {
+        cache_dir,
+        ..test_config()
+    })
+    .expect("restart daemon");
+    let mut client = Client::connect(&handle.addr.to_string()).expect("connect");
+    let response = client
+        .request(&Json::obj([
+            ("op", Json::from("run")),
+            ("hash", Json::from(hash)),
+        ]))
+        .expect("hash-only run after restart");
+    assert_eq!(
+        response.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "restart run failed: {response}"
+    );
+    assert_eq!(
+        response.get("cache_hit").and_then(Json::as_bool),
+        Some(true),
+        "first repeat request after restart must be a cache hit: {response}"
+    );
+    assert_eq!(
+        handle.engine().cache().compiles(),
+        0,
+        "warm restart must not recompile"
+    );
+    drop(client);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cluster_forwards_misses_and_degrades_when_owner_dies() {
+    // Reserve three distinct loopback ports, then release them for the
+    // daemons to bind (tiny reuse race — fine for a test).
+    let reserved: Vec<std::net::TcpListener> = (0..3)
+        .map(|_| std::net::TcpListener::bind("127.0.0.1:0").expect("reserve port"))
+        .collect();
+    let members: Vec<String> = reserved
+        .iter()
+        .map(|l| l.local_addr().expect("local addr").to_string())
+        .collect();
+    drop(reserved);
+
+    let mut handles: Vec<_> = members
+        .iter()
+        .map(|addr| {
+            start(ServerConfig {
+                addr: addr.clone(),
+                cluster: members.clone(),
+                advertise: Some(addr.clone()),
+                ..test_config()
+            })
+            .expect("start cluster node")
+        })
+        .collect();
+
+    // Compile a kernel via node 0 and learn which node owns its hash on
+    // the ring (node 0 either served it locally or forwarded it).
+    let mut client0 = Client::connect(&members[0]).expect("connect node 0");
+    let response = client0
+        .request(&compile_request(kernel_source(500)))
+        .expect("compile via node 0");
+    assert_eq!(
+        response.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "cluster compile failed: {response}"
+    );
+    let hash_hex = response
+        .get("hash")
+        .and_then(Json::as_str)
+        .expect("hash in response");
+    let hash = u64::from_str_radix(hash_hex, 16).expect("hex hash");
+    let owner = handles[0]
+        .cluster()
+        .expect("cluster mode")
+        .owner_of(hash)
+        .to_owned();
+    let owner_idx = members
+        .iter()
+        .position(|m| *m == owner)
+        .expect("owner in ring");
+    // Pick a non-owner that is also not node 0: node 0 already routed
+    // this kernel once, and a second forward would trip the hot-key
+    // adoption heuristic, which is not what this test is about.
+    let other_idx = (1..members.len())
+        .find(|&i| i != owner_idx)
+        .expect("non-owner");
+
+    // A non-owner node must forward the request to the owner and relay
+    // the owner's answer.
+    let mut client = Client::connect(&members[other_idx]).expect("connect non-owner");
+    let response = client
+        .request(&compile_request(kernel_source(500)))
+        .expect("compile via non-owner");
+    assert_eq!(
+        response.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "forwarded compile failed: {response}"
+    );
+    let forwards = handles[other_idx]
+        .cluster()
+        .expect("cluster mode")
+        .counters
+        .forwards
+        .get();
+    assert!(
+        forwards >= 1,
+        "non-owner never forwarded (forwards={forwards})"
+    );
+
+    // Kill the owner: the same request through the surviving node must
+    // degrade to a local compile instead of failing.
+    handles.remove(owner_idx).shutdown();
+    let response = client
+        .request(&Json::obj([
+            ("op", Json::from("run")),
+            ("source", Json::from(kernel_source(500))),
+        ]))
+        .expect("run with dead owner");
+    assert_eq!(
+        response.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "request must survive a dead owner: {response}"
+    );
+    let survivor_idx = if other_idx > owner_idx {
+        other_idx - 1
+    } else {
+        other_idx
+    };
+    assert!(
+        handles[survivor_idx]
+            .cluster()
+            .expect("cluster mode")
+            .counters
+            .forward_failures
+            .get()
+            >= 1,
+        "dead-owner forward was never recorded as a failure"
+    );
+
+    drop(client0);
+    drop(client);
+    for handle in handles {
+        handle.shutdown();
+    }
 }
 
 #[test]

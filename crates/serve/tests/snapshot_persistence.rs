@@ -1,0 +1,282 @@
+//! Persistence edge cases for the on-disk compile cache: truncated,
+//! stale-epoch, and hash-tampered snapshots must all be rejected and
+//! recompiled cleanly — never panic, never execute stale bytecode —
+//! and an evicted entry must come back from disk without recompiling.
+
+use flexvec_serve::{start, Client, Json, ServerConfig};
+
+/// Same conditional-update kernel family as the main integration suite.
+fn kernel_source(n: u64) -> String {
+    format!(
+        "kernel k{n};\n\
+         var i = 0;\n\
+         var best = 9223372036854775807;\n\
+         array a[64] = seed {seed};\n\
+         live_out best;\n\
+         for (i = 0; i < 64; i++) {{\n\
+           if (a[i] + {n} < best) {{\n\
+             best = a[i] + {n};\n\
+           }}\n\
+         }}\n",
+        seed = n + 1,
+    )
+}
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("flexvec-snap-it-{}-{tag}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn config_with(dir: &std::path::Path) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        metrics_addr: None,
+        workers: 4,
+        queue_capacity: 64,
+        cache_capacity: 0,
+        default_deadline_ms: None,
+        cache_dir: Some(dir.to_string_lossy().into_owned()),
+        cluster: Vec::new(),
+        advertise: None,
+    }
+}
+
+/// Compiles `kernel_source(n)` on a short-lived daemon so a snapshot
+/// lands in `dir`; returns the kernel's content hash (hex).
+fn seed_snapshot(dir: &std::path::Path, n: u64) -> String {
+    let handle = start(config_with(dir)).expect("start daemon");
+    let mut client = Client::connect(&handle.addr.to_string()).expect("connect");
+    let response = client
+        .request(&Json::obj([
+            ("op", Json::from("compile")),
+            ("source", Json::from(kernel_source(n))),
+        ]))
+        .expect("compile");
+    assert_eq!(
+        response.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "seed compile failed: {response}"
+    );
+    let hash = response
+        .get("hash")
+        .and_then(Json::as_str)
+        .expect("hash")
+        .to_owned();
+    drop(client);
+    handle.shutdown();
+    let path = dir.join(format!("{hash}.ff.fvc"));
+    assert!(
+        path.is_file(),
+        "snapshot {} was not written",
+        path.display()
+    );
+    hash
+}
+
+/// Mirrors the store's FNV-1a so tests can re-seal a tampered file:
+/// corruption the checksum *would* catch is a separate test; these
+/// helpers forge a valid checksum to reach the deeper gates.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Applies `mutate` to the snapshot body and rewrites the trailing
+/// checksum so only the targeted gate can reject the file.
+fn tamper_and_reseal(path: &std::path::Path, mutate: impl FnOnce(&mut Vec<u8>)) {
+    let mut bytes = std::fs::read(path).expect("read snapshot");
+    assert!(bytes.len() > 8);
+    bytes.truncate(bytes.len() - 8); // drop old checksum
+    mutate(&mut bytes);
+    let checksum = fnv1a(&bytes);
+    bytes.extend_from_slice(&checksum.to_le_bytes());
+    std::fs::write(path, bytes).expect("rewrite snapshot");
+}
+
+/// Restarts on `dir` and asserts the kernel is recompiled from source
+/// (not restored), the daemon stays healthy, and the store counted a
+/// rejection.
+fn assert_recompiles_cleanly(dir: &std::path::Path, n: u64, hash: &str) {
+    let handle = start(config_with(dir)).expect("restart daemon");
+    let mut client = Client::connect(&handle.addr.to_string()).expect("connect");
+
+    // Hash-only resolution must fail closed: a bad snapshot is not a
+    // source of truth for an unknown hash.
+    let response = client
+        .request(&Json::obj([
+            ("op", Json::from("run")),
+            ("hash", Json::from(hash.to_owned())),
+        ]))
+        .expect("hash-only request");
+    assert_eq!(
+        response.get("ok").and_then(Json::as_bool),
+        Some(false),
+        "tampered snapshot must not resolve a hash-only request: {response}"
+    );
+
+    // With source in hand the kernel recompiles and runs fine.
+    let response = client
+        .request(&Json::obj([
+            ("op", Json::from("run")),
+            ("source", Json::from(kernel_source(n))),
+        ]))
+        .expect("run with source");
+    assert_eq!(
+        response.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "recompile after rejection failed: {response}"
+    );
+    assert_eq!(
+        response.get("cache_hit").and_then(Json::as_bool),
+        Some(false),
+        "a rejected snapshot must not count as a cache hit: {response}"
+    );
+    assert_eq!(handle.engine().cache().compiles(), 1);
+    let store = handle.engine().snapshots().expect("snapshot store");
+    assert!(
+        store
+            .counters
+            .rejected
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1,
+        "rejection was not counted"
+    );
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn truncated_snapshot_is_rejected_and_recompiled() {
+    let dir = scratch_dir("trunc");
+    let hash = seed_snapshot(&dir, 301);
+    let path = dir.join(format!("{hash}.ff.fvc"));
+    let bytes = std::fs::read(&path).expect("read snapshot");
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate");
+    assert_recompiles_cleanly(&dir, 301, &hash);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wrong_format_epoch_is_rejected_even_with_valid_checksum() {
+    let dir = scratch_dir("epoch");
+    let hash = seed_snapshot(&dir, 302);
+    let path = dir.join(format!("{hash}.ff.fvc"));
+    // Epoch word sits right after the 8-byte magic; reseal so the
+    // checksum gate cannot be the one rejecting it.
+    tamper_and_reseal(&path, |bytes| {
+        bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+    });
+    assert_recompiles_cleanly(&dir, 302, &hash);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn header_hash_mismatch_is_rejected_even_with_valid_checksum() {
+    let dir = scratch_dir("hash");
+    let hash = seed_snapshot(&dir, 303);
+    let path = dir.join(format!("{hash}.ff.fvc"));
+    // The header program-hash lives after magic(8) + epoch(4) +
+    // git-len(4) + git bytes; flip it and reseal the checksum so only
+    // the hash gate can reject.
+    tamper_and_reseal(&path, |bytes| {
+        let git_len = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+        let at = 16 + git_len;
+        let stored = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+        bytes[at..at + 8].copy_from_slice(&(stored ^ 1).to_le_bytes());
+    });
+    assert_recompiles_cleanly(&dir, 303, &hash);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_payload_fails_checksum_and_recompiles() {
+    let dir = scratch_dir("bitrot");
+    let hash = seed_snapshot(&dir, 304);
+    let path = dir.join(format!("{hash}.ff.fvc"));
+    // Flip one payload byte *without* resealing: the checksum gate
+    // must catch plain bit rot before any parsing happens.
+    let mut bytes = std::fs::read(&path).expect("read snapshot");
+    let mid = bytes.len() - 16;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, bytes).expect("corrupt");
+    assert_recompiles_cleanly(&dir, 304, &hash);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn evicted_entry_reloads_from_disk_without_recompiling() {
+    // Capacity 16 over the 16-way segmented-LRU ShardedCache = one
+    // resident entry per shard; 64 distinct kernels force evictions.
+    let dir = scratch_dir("evict");
+    let config = ServerConfig {
+        cache_capacity: 16,
+        ..config_with(&dir)
+    };
+    let handle = start(config).expect("start daemon");
+    let mut client = Client::connect(&handle.addr.to_string()).expect("connect");
+
+    const KERNELS: u64 = 64;
+    for n in 0..KERNELS {
+        let response = client
+            .request(&Json::obj([
+                ("op", Json::from("compile")),
+                ("source", Json::from(kernel_source(n))),
+            ]))
+            .expect("compile");
+        assert_eq!(
+            response.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "compile {n} failed: {response}"
+        );
+    }
+    let stats = handle.engine().cache().stats();
+    assert!(stats.evictions > 0, "expected evictions: {stats:?}");
+    let compiles_before = handle.engine().cache().compiles();
+
+    // Re-request every kernel: the evicted ones must be restored from
+    // their snapshots, not recompiled, and every answer must be a hit.
+    for n in 0..KERNELS {
+        let response = client
+            .request(&Json::obj([
+                ("op", Json::from("run")),
+                ("source", Json::from(kernel_source(n))),
+            ]))
+            .expect("re-run");
+        assert_eq!(
+            response.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "re-run {n} failed: {response}"
+        );
+        assert_eq!(
+            response.get("cache_hit").and_then(Json::as_bool),
+            Some(true),
+            "evicted kernel {n} was not restored from disk: {response}"
+        );
+    }
+    assert_eq!(
+        handle.engine().cache().compiles(),
+        compiles_before,
+        "eviction-then-reload must be served from snapshots"
+    );
+    let store = handle.engine().snapshots().expect("snapshot store");
+    assert!(
+        store
+            .counters
+            .restored
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1,
+        "no snapshot restore was counted"
+    );
+    drop(client);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

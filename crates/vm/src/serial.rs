@@ -1,0 +1,1201 @@
+//! Versioned binary serialization of [`CompiledVProg`].
+//!
+//! A compiled program is position-independent data — dense register
+//! indices, pre-splatted immediates, µop templates — so it can be
+//! persisted and reloaded without recompiling, which is what the serving
+//! layer's `--cache-dir` snapshot store does. The encoding is a plain
+//! little-endian byte stream with one tag byte per enum variant; there
+//! is no self-description and no compression, because snapshots are
+//! already content-addressed and checksummed by the layer above.
+//!
+//! Decoding is defensive: every read is bounds-checked, every tag and
+//! count is validated, and [`deserialize_compiled`] additionally
+//! verifies internal consistency (template/scratch/counter/jump indices)
+//! plus the caller-supplied [`SerialLimits`] (register-file and
+//! array-table sizes), so a corrupt or truncated payload yields a
+//! [`SerialError`] — never a panic, and never a program that would
+//! index out of range at execution time. The native JIT tier is
+//! deliberately *not* serialized: machine code is rebuilt from the
+//! bytecode via [`CompiledVProg::enable_native`] after a load.
+
+use flexvec_ir::BinOp;
+use flexvec_isa::{CmpOp, Mask, Vector, VLEN};
+
+use crate::compiled::{CompiledVProg, Instr};
+use crate::trace::{Tok, Uop, UopClass};
+
+/// Bumped whenever the byte layout below changes; readers reject
+/// mismatches outright.
+pub const SERIAL_VERSION: u32 = 1;
+
+/// Sizes the decoded program's indices are validated against — the
+/// register files and tables the executor will allocate for the run.
+#[derive(Clone, Copy, Debug)]
+pub struct SerialLimits {
+    /// Vector register file size (`VProg::num_vregs`).
+    pub vregs: usize,
+    /// Mask register file size (`VProg::num_kregs`).
+    pub kregs: usize,
+    /// Scalar variable table size (`Program` variable count).
+    pub vars: usize,
+    /// Array table size (`Program` array count).
+    pub arrays: usize,
+}
+
+/// Why a payload failed to decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SerialError {
+    /// The payload ended before the structure did.
+    Truncated,
+    /// The payload declares a different [`SERIAL_VERSION`].
+    Version(u32),
+    /// An enum tag byte had no matching variant.
+    BadTag(&'static str, u8),
+    /// A count or index field exceeded its structural bound.
+    OutOfRange(&'static str),
+}
+
+impl std::fmt::Display for SerialError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SerialError::Truncated => write!(f, "payload truncated"),
+            SerialError::Version(v) => {
+                write!(f, "serial version {v} (this build reads {SERIAL_VERSION})")
+            }
+            SerialError::BadTag(what, tag) => write!(f, "invalid {what} tag {tag:#04x}"),
+            SerialError::OutOfRange(what) => write!(f, "{what} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for SerialError {}
+
+/// Structural ceiling on every decoded count (instructions, µops,
+/// sources, addresses). Far above anything the compiler emits; purely a
+/// guard against allocating gigabytes on a corrupt length field.
+const MAX_COUNT: u64 = 1 << 22;
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+struct W {
+    buf: Vec<u8>,
+}
+
+impl W {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn idx(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    fn vector(&mut self, v: Vector) {
+        for lane in v.to_lanes() {
+            self.i64(lane);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------
+
+struct R<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> R<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SerialError> {
+        let end = self.pos.checked_add(n).ok_or(SerialError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(SerialError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, SerialError> {
+        Ok(self.take(1)?[0])
+    }
+    fn bool(&mut self) -> Result<bool, SerialError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(SerialError::BadTag("bool", t)),
+        }
+    }
+    fn u16(&mut self) -> Result<u16, SerialError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, SerialError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, SerialError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64, SerialError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn idx(&mut self) -> Result<usize, SerialError> {
+        let v = self.u64()?;
+        if v > MAX_COUNT {
+            return Err(SerialError::OutOfRange("index"));
+        }
+        Ok(v as usize)
+    }
+    fn count(&mut self, what: &'static str) -> Result<usize, SerialError> {
+        let v = self.u64()?;
+        if v > MAX_COUNT {
+            return Err(SerialError::OutOfRange(what));
+        }
+        // A count can never exceed the bytes left (every element is at
+        // least one byte), which caps allocations at the payload size.
+        if v as usize > self.buf.len() - self.pos {
+            return Err(SerialError::Truncated);
+        }
+        Ok(v as usize)
+    }
+    fn vector(&mut self) -> Result<Vector, SerialError> {
+        let mut lanes = [0i64; VLEN];
+        for lane in &mut lanes {
+            *lane = self.i64()?;
+        }
+        Ok(Vector::from_lanes(lanes))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Enum tags
+// ---------------------------------------------------------------------
+
+fn bin_op_tag(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::Rem => 4,
+        BinOp::And => 5,
+        BinOp::Or => 6,
+        BinOp::Xor => 7,
+        BinOp::Shl => 8,
+        BinOp::Shr => 9,
+        BinOp::Min => 10,
+        BinOp::Max => 11,
+    }
+}
+
+fn bin_op_from(tag: u8) -> Result<BinOp, SerialError> {
+    Ok(match tag {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::Div,
+        4 => BinOp::Rem,
+        5 => BinOp::And,
+        6 => BinOp::Or,
+        7 => BinOp::Xor,
+        8 => BinOp::Shl,
+        9 => BinOp::Shr,
+        10 => BinOp::Min,
+        11 => BinOp::Max,
+        t => return Err(SerialError::BadTag("BinOp", t)),
+    })
+}
+
+fn cmp_op_tag(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => 0,
+        CmpOp::Ne => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Le => 3,
+        CmpOp::Gt => 4,
+        CmpOp::Ge => 5,
+    }
+}
+
+fn cmp_op_from(tag: u8) -> Result<CmpOp, SerialError> {
+    Ok(match tag {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Gt,
+        5 => CmpOp::Ge,
+        t => return Err(SerialError::BadTag("CmpOp", t)),
+    })
+}
+
+fn write_tok(w: &mut W, tok: Tok) {
+    match tok {
+        Tok::V(r) => {
+            w.u8(0);
+            w.u32(r);
+        }
+        Tok::K(r) => {
+            w.u8(1);
+            w.u32(r);
+        }
+        Tok::S(r) => {
+            w.u8(2);
+            w.u32(r);
+        }
+    }
+}
+
+fn read_tok(r: &mut R<'_>) -> Result<Tok, SerialError> {
+    let tag = r.u8()?;
+    let v = r.u32()?;
+    Ok(match tag {
+        0 => Tok::V(v),
+        1 => Tok::K(v),
+        2 => Tok::S(v),
+        t => return Err(SerialError::BadTag("Tok", t)),
+    })
+}
+
+fn write_uop_class(w: &mut W, class: &UopClass) {
+    let tag = match class {
+        UopClass::ScalarAlu => 0,
+        UopClass::ScalarMul => 1,
+        UopClass::ScalarDiv => 2,
+        UopClass::Branch { .. } => 3,
+        UopClass::Load => 4,
+        UopClass::Store => 5,
+        UopClass::VecAlu => 6,
+        UopClass::VecMul => 7,
+        UopClass::VecDiv => 8,
+        UopClass::VecShuffle => 9,
+        UopClass::Broadcast => 10,
+        UopClass::MaskOp => 11,
+        UopClass::Kftm => 12,
+        UopClass::SelectLast => 13,
+        UopClass::Conflict => 14,
+        UopClass::Reduce => 15,
+        UopClass::VecLoad => 16,
+        UopClass::VecStore => 17,
+        UopClass::Gather => 18,
+        UopClass::Scatter => 19,
+        UopClass::VecLoadFF => 20,
+        UopClass::GatherFF => 21,
+        UopClass::TxBegin => 22,
+        UopClass::TxEnd => 23,
+    };
+    w.u8(tag);
+    if let UopClass::Branch { id, taken } = class {
+        w.u64(*id);
+        w.bool(*taken);
+    }
+}
+
+fn read_uop_class(r: &mut R<'_>) -> Result<UopClass, SerialError> {
+    Ok(match r.u8()? {
+        0 => UopClass::ScalarAlu,
+        1 => UopClass::ScalarMul,
+        2 => UopClass::ScalarDiv,
+        3 => UopClass::Branch {
+            id: r.u64()?,
+            taken: r.bool()?,
+        },
+        4 => UopClass::Load,
+        5 => UopClass::Store,
+        6 => UopClass::VecAlu,
+        7 => UopClass::VecMul,
+        8 => UopClass::VecDiv,
+        9 => UopClass::VecShuffle,
+        10 => UopClass::Broadcast,
+        11 => UopClass::MaskOp,
+        12 => UopClass::Kftm,
+        13 => UopClass::SelectLast,
+        14 => UopClass::Conflict,
+        15 => UopClass::Reduce,
+        16 => UopClass::VecLoad,
+        17 => UopClass::VecStore,
+        18 => UopClass::Gather,
+        19 => UopClass::Scatter,
+        20 => UopClass::VecLoadFF,
+        21 => UopClass::GatherFF,
+        22 => UopClass::TxBegin,
+        23 => UopClass::TxEnd,
+        t => return Err(SerialError::BadTag("UopClass", t)),
+    })
+}
+
+fn write_uop(w: &mut W, uop: &Uop) {
+    write_uop_class(w, &uop.class);
+    w.idx(uop.srcs.len());
+    for src in &uop.srcs {
+        write_tok(w, *src);
+    }
+    match uop.dst {
+        None => w.u8(0),
+        Some(tok) => {
+            w.u8(1);
+            write_tok(w, tok);
+        }
+    }
+    w.idx(uop.addrs.len());
+    for addr in &uop.addrs {
+        w.u64(*addr);
+    }
+}
+
+fn read_uop(r: &mut R<'_>) -> Result<Uop, SerialError> {
+    let class = read_uop_class(r)?;
+    let n_srcs = r.count("µop sources")?;
+    let mut srcs = Vec::with_capacity(n_srcs);
+    for _ in 0..n_srcs {
+        srcs.push(read_tok(r)?);
+    }
+    let dst = match r.u8()? {
+        0 => None,
+        1 => Some(read_tok(r)?),
+        t => return Err(SerialError::BadTag("µop dst option", t)),
+    };
+    let n_addrs = r.count("µop addresses")?;
+    let mut addrs = Vec::with_capacity(n_addrs);
+    for _ in 0..n_addrs {
+        addrs.push(r.u64()?);
+    }
+    Ok(Uop {
+        class,
+        srcs,
+        dst,
+        addrs,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Instructions
+// ---------------------------------------------------------------------
+
+fn write_instr(w: &mut W, instr: &Instr) {
+    match instr {
+        Instr::Iota { dst, t } => {
+            w.u8(0);
+            w.idx(*dst);
+            w.idx(*t);
+        }
+        Instr::Splat { dst, value, t } => {
+            w.u8(1);
+            w.idx(*dst);
+            w.vector(*value);
+            w.idx(*t);
+        }
+        Instr::SplatVar { dst, var, t } => {
+            w.u8(2);
+            w.idx(*dst);
+            w.idx(*var);
+            w.idx(*t);
+        }
+        Instr::ExtractVar { var, src, lane, t } => {
+            w.u8(3);
+            w.u32(*var);
+            w.idx(*src);
+            w.idx(*lane);
+            w.idx(*t);
+        }
+        Instr::Bin { op, dst, a, b, t } => {
+            w.u8(4);
+            w.u8(bin_op_tag(*op));
+            w.idx(*dst);
+            w.idx(*a);
+            w.idx(*b);
+            w.idx(*t);
+        }
+        Instr::BinImm { op, dst, a, imm, t } => {
+            w.u8(5);
+            w.u8(bin_op_tag(*op));
+            w.idx(*dst);
+            w.idx(*a);
+            w.vector(*imm);
+            w.idx(*t);
+        }
+        Instr::Cmp {
+            op,
+            dst,
+            mask,
+            a,
+            b,
+            t,
+        } => {
+            w.u8(6);
+            w.u8(cmp_op_tag(*op));
+            w.idx(*dst);
+            w.idx(*mask);
+            w.idx(*a);
+            w.idx(*b);
+            w.idx(*t);
+        }
+        Instr::Blend {
+            dst,
+            mask,
+            on,
+            off,
+            t,
+        } => {
+            w.u8(7);
+            w.idx(*dst);
+            w.idx(*mask);
+            w.idx(*on);
+            w.idx(*off);
+            w.idx(*t);
+        }
+        Instr::SelectLast { dst, mask, src, t } => {
+            w.u8(8);
+            w.idx(*dst);
+            w.idx(*mask);
+            w.idx(*src);
+            w.idx(*t);
+        }
+        Instr::Conflict {
+            dst,
+            enabled,
+            a,
+            b,
+            t,
+        } => {
+            w.u8(9);
+            w.idx(*dst);
+            w.idx(*enabled);
+            w.idx(*a);
+            w.idx(*b);
+            w.idx(*t);
+        }
+        Instr::Kftm {
+            dst,
+            enabled,
+            stop,
+            inclusive,
+            t,
+        } => {
+            w.u8(10);
+            w.idx(*dst);
+            w.idx(*enabled);
+            w.idx(*stop);
+            w.bool(*inclusive);
+            w.idx(*t);
+        }
+        Instr::KMove { dst, src, t } => {
+            w.u8(11);
+            w.idx(*dst);
+            w.idx(*src);
+            w.idx(*t);
+        }
+        Instr::KConst { dst, bits, t } => {
+            w.u8(12);
+            w.idx(*dst);
+            w.u16(bits.bits());
+            w.idx(*t);
+        }
+        Instr::KAnd { dst, a, b, t } => {
+            w.u8(13);
+            w.idx(*dst);
+            w.idx(*a);
+            w.idx(*b);
+            w.idx(*t);
+        }
+        Instr::KAndNot { dst, a, b, t } => {
+            w.u8(14);
+            w.idx(*dst);
+            w.idx(*a);
+            w.idx(*b);
+            w.idx(*t);
+        }
+        Instr::KOr { dst, a, b, t } => {
+            w.u8(15);
+            w.idx(*dst);
+            w.idx(*a);
+            w.idx(*b);
+            w.idx(*t);
+        }
+        Instr::KClearFrom {
+            dst,
+            src,
+            stop,
+            t1,
+            t2,
+        } => {
+            w.u8(16);
+            w.idx(*dst);
+            w.idx(*src);
+            w.idx(*stop);
+            w.idx(*t1);
+            w.idx(*t2);
+        }
+        Instr::Reduce {
+            op,
+            identity,
+            dst,
+            mask,
+            src,
+            t,
+        } => {
+            w.u8(17);
+            w.u8(bin_op_tag(*op));
+            w.i64(*identity);
+            w.idx(*dst);
+            w.idx(*mask);
+            w.idx(*src);
+            w.idx(*t);
+        }
+        Instr::Read {
+            dst,
+            mask,
+            array,
+            idx,
+            ff,
+            out_mask,
+            s,
+        } => {
+            w.u8(18);
+            w.idx(*dst);
+            w.idx(*mask);
+            w.idx(*array);
+            w.idx(*idx);
+            w.bool(*ff);
+            w.idx(*out_mask);
+            w.idx(*s);
+        }
+        Instr::Write {
+            mask,
+            array,
+            idx,
+            src,
+            s,
+        } => {
+            w.u8(19);
+            w.idx(*mask);
+            w.idx(*array);
+            w.idx(*idx);
+            w.idx(*src);
+            w.idx(*s);
+        }
+        Instr::FaultCheck { got, want, t } => {
+            w.u8(20);
+            w.idx(*got);
+            w.idx(*want);
+            w.idx(*t);
+        }
+        Instr::BreakIf { mask, s } => {
+            w.u8(21);
+            w.idx(*mask);
+            w.idx(*s);
+        }
+        Instr::EnterVpl { counter } => {
+            w.u8(22);
+            w.idx(*counter);
+        }
+        Instr::Repeat {
+            repeat_if,
+            body,
+            counter,
+            t,
+        } => {
+            w.u8(23);
+            w.idx(*repeat_if);
+            w.idx(*body);
+            w.idx(*counter);
+            w.idx(*t);
+        }
+    }
+}
+
+fn read_instr(r: &mut R<'_>) -> Result<Instr, SerialError> {
+    Ok(match r.u8()? {
+        0 => Instr::Iota {
+            dst: r.idx()?,
+            t: r.idx()?,
+        },
+        1 => Instr::Splat {
+            dst: r.idx()?,
+            value: r.vector()?,
+            t: r.idx()?,
+        },
+        2 => Instr::SplatVar {
+            dst: r.idx()?,
+            var: r.idx()?,
+            t: r.idx()?,
+        },
+        3 => Instr::ExtractVar {
+            var: r.u32()?,
+            src: r.idx()?,
+            lane: r.idx()?,
+            t: r.idx()?,
+        },
+        4 => Instr::Bin {
+            op: bin_op_from(r.u8()?)?,
+            dst: r.idx()?,
+            a: r.idx()?,
+            b: r.idx()?,
+            t: r.idx()?,
+        },
+        5 => Instr::BinImm {
+            op: bin_op_from(r.u8()?)?,
+            dst: r.idx()?,
+            a: r.idx()?,
+            imm: r.vector()?,
+            t: r.idx()?,
+        },
+        6 => Instr::Cmp {
+            op: cmp_op_from(r.u8()?)?,
+            dst: r.idx()?,
+            mask: r.idx()?,
+            a: r.idx()?,
+            b: r.idx()?,
+            t: r.idx()?,
+        },
+        7 => Instr::Blend {
+            dst: r.idx()?,
+            mask: r.idx()?,
+            on: r.idx()?,
+            off: r.idx()?,
+            t: r.idx()?,
+        },
+        8 => Instr::SelectLast {
+            dst: r.idx()?,
+            mask: r.idx()?,
+            src: r.idx()?,
+            t: r.idx()?,
+        },
+        9 => Instr::Conflict {
+            dst: r.idx()?,
+            enabled: r.idx()?,
+            a: r.idx()?,
+            b: r.idx()?,
+            t: r.idx()?,
+        },
+        10 => Instr::Kftm {
+            dst: r.idx()?,
+            enabled: r.idx()?,
+            stop: r.idx()?,
+            inclusive: r.bool()?,
+            t: r.idx()?,
+        },
+        11 => Instr::KMove {
+            dst: r.idx()?,
+            src: r.idx()?,
+            t: r.idx()?,
+        },
+        12 => Instr::KConst {
+            dst: r.idx()?,
+            bits: Mask::from_bits(r.u16()?),
+            t: r.idx()?,
+        },
+        13 => Instr::KAnd {
+            dst: r.idx()?,
+            a: r.idx()?,
+            b: r.idx()?,
+            t: r.idx()?,
+        },
+        14 => Instr::KAndNot {
+            dst: r.idx()?,
+            a: r.idx()?,
+            b: r.idx()?,
+            t: r.idx()?,
+        },
+        15 => Instr::KOr {
+            dst: r.idx()?,
+            a: r.idx()?,
+            b: r.idx()?,
+            t: r.idx()?,
+        },
+        16 => Instr::KClearFrom {
+            dst: r.idx()?,
+            src: r.idx()?,
+            stop: r.idx()?,
+            t1: r.idx()?,
+            t2: r.idx()?,
+        },
+        17 => Instr::Reduce {
+            op: bin_op_from(r.u8()?)?,
+            identity: r.i64()?,
+            dst: r.idx()?,
+            mask: r.idx()?,
+            src: r.idx()?,
+            t: r.idx()?,
+        },
+        18 => Instr::Read {
+            dst: r.idx()?,
+            mask: r.idx()?,
+            array: r.idx()?,
+            idx: r.idx()?,
+            ff: r.bool()?,
+            out_mask: r.idx()?,
+            s: r.idx()?,
+        },
+        19 => Instr::Write {
+            mask: r.idx()?,
+            array: r.idx()?,
+            idx: r.idx()?,
+            src: r.idx()?,
+            s: r.idx()?,
+        },
+        20 => Instr::FaultCheck {
+            got: r.idx()?,
+            want: r.idx()?,
+            t: r.idx()?,
+        },
+        21 => Instr::BreakIf {
+            mask: r.idx()?,
+            s: r.idx()?,
+        },
+        22 => Instr::EnterVpl { counter: r.idx()? },
+        23 => Instr::Repeat {
+            repeat_if: r.idx()?,
+            body: r.idx()?,
+            counter: r.idx()?,
+            t: r.idx()?,
+        },
+        t => return Err(SerialError::BadTag("Instr", t)),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------
+
+struct Check<'a> {
+    limits: &'a SerialLimits,
+    templates: usize,
+    scratch: usize,
+    counters: usize,
+    code_len: usize,
+}
+
+impl Check<'_> {
+    fn v(&self, r: usize) -> Result<(), SerialError> {
+        bound(r, self.limits.vregs, "vector register")
+    }
+    fn k(&self, r: usize) -> Result<(), SerialError> {
+        bound(r, self.limits.kregs, "mask register")
+    }
+    fn t(&self, t: usize) -> Result<(), SerialError> {
+        bound(t, self.templates, "µop template")
+    }
+    fn s(&self, s: usize) -> Result<(), SerialError> {
+        bound(s, self.scratch, "scratch µop")
+    }
+
+    fn instr(&self, instr: &Instr) -> Result<(), SerialError> {
+        match instr {
+            Instr::Iota { dst, t } => {
+                self.v(*dst)?;
+                self.t(*t)
+            }
+            Instr::Splat { dst, t, .. } => {
+                self.v(*dst)?;
+                self.t(*t)
+            }
+            Instr::SplatVar { dst, var, t } => {
+                self.v(*dst)?;
+                bound(*var, self.limits.vars, "variable")?;
+                self.t(*t)
+            }
+            Instr::ExtractVar { var, src, lane, t } => {
+                bound(*var as usize, self.limits.vars, "variable")?;
+                self.v(*src)?;
+                bound(*lane, VLEN, "lane")?;
+                self.t(*t)
+            }
+            Instr::Bin { dst, a, b, t, .. } => {
+                self.v(*dst)?;
+                self.v(*a)?;
+                self.v(*b)?;
+                self.t(*t)
+            }
+            Instr::BinImm { dst, a, t, .. } => {
+                self.v(*dst)?;
+                self.v(*a)?;
+                self.t(*t)
+            }
+            Instr::Cmp {
+                dst, mask, a, b, t, ..
+            } => {
+                self.k(*dst)?;
+                self.k(*mask)?;
+                self.v(*a)?;
+                self.v(*b)?;
+                self.t(*t)
+            }
+            Instr::Blend {
+                dst,
+                mask,
+                on,
+                off,
+                t,
+            } => {
+                self.v(*dst)?;
+                self.k(*mask)?;
+                self.v(*on)?;
+                self.v(*off)?;
+                self.t(*t)
+            }
+            Instr::SelectLast { dst, mask, src, t } => {
+                self.v(*dst)?;
+                self.k(*mask)?;
+                self.v(*src)?;
+                self.t(*t)
+            }
+            Instr::Conflict {
+                dst,
+                enabled,
+                a,
+                b,
+                t,
+            } => {
+                self.k(*dst)?;
+                self.k(*enabled)?;
+                self.v(*a)?;
+                self.v(*b)?;
+                self.t(*t)
+            }
+            Instr::Kftm {
+                dst,
+                enabled,
+                stop,
+                t,
+                ..
+            } => {
+                self.k(*dst)?;
+                self.k(*enabled)?;
+                self.k(*stop)?;
+                self.t(*t)
+            }
+            Instr::KMove { dst, src, t } => {
+                self.k(*dst)?;
+                self.k(*src)?;
+                self.t(*t)
+            }
+            Instr::KConst { dst, t, .. } => {
+                self.k(*dst)?;
+                self.t(*t)
+            }
+            Instr::KAnd { dst, a, b, t }
+            | Instr::KAndNot { dst, a, b, t }
+            | Instr::KOr { dst, a, b, t } => {
+                self.k(*dst)?;
+                self.k(*a)?;
+                self.k(*b)?;
+                self.t(*t)
+            }
+            Instr::KClearFrom {
+                dst,
+                src,
+                stop,
+                t1,
+                t2,
+            } => {
+                self.k(*dst)?;
+                self.k(*src)?;
+                self.k(*stop)?;
+                self.t(*t1)?;
+                self.t(*t2)
+            }
+            Instr::Reduce {
+                dst, mask, src, t, ..
+            } => {
+                self.v(*dst)?;
+                self.k(*mask)?;
+                self.v(*src)?;
+                self.t(*t)
+            }
+            Instr::Read {
+                dst,
+                mask,
+                array,
+                idx,
+                out_mask,
+                s,
+                ..
+            } => {
+                self.v(*dst)?;
+                self.k(*mask)?;
+                bound(*array, self.limits.arrays, "array")?;
+                self.v(*idx)?;
+                self.k(*out_mask)?;
+                self.s(*s)
+            }
+            Instr::Write {
+                mask,
+                array,
+                idx,
+                src,
+                s,
+            } => {
+                self.k(*mask)?;
+                bound(*array, self.limits.arrays, "array")?;
+                self.v(*idx)?;
+                self.v(*src)?;
+                self.s(*s)
+            }
+            Instr::FaultCheck { got, want, t } => {
+                self.k(*got)?;
+                self.k(*want)?;
+                self.t(*t)
+            }
+            Instr::BreakIf { mask, s } => {
+                self.k(*mask)?;
+                self.s(*s)
+            }
+            Instr::EnterVpl { counter } => bound(*counter, self.counters, "VPL counter"),
+            Instr::Repeat {
+                repeat_if,
+                body,
+                counter,
+                t,
+            } => {
+                self.k(*repeat_if)?;
+                // The back-edge target must stay inside the program
+                // (jumping to `code_len` would be a silent no-op loop).
+                if *body >= self.code_len {
+                    return Err(SerialError::OutOfRange("VPL back-edge target"));
+                }
+                bound(*counter, self.counters, "VPL counter")?;
+                self.t(*t)
+            }
+        }
+    }
+}
+
+fn bound(value: usize, limit: usize, what: &'static str) -> Result<(), SerialError> {
+    if value >= limit {
+        return Err(SerialError::OutOfRange(what));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------
+
+/// Encodes a compiled program (minus any attached native tier) as a
+/// self-contained little-endian payload.
+pub fn serialize_compiled(compiled: &CompiledVProg) -> Vec<u8> {
+    let (code, templates, scratch, num_counters) = compiled.parts();
+    let mut w = W {
+        buf: Vec::with_capacity(64 + code.len() * 16),
+    };
+    w.u32(SERIAL_VERSION);
+    w.idx(code.len());
+    for instr in code {
+        write_instr(&mut w, instr);
+    }
+    w.idx(templates.len());
+    for uop in templates {
+        write_uop(&mut w, uop);
+    }
+    w.idx(scratch.len());
+    for uop in scratch {
+        write_uop(&mut w, uop);
+    }
+    w.idx(num_counters);
+    w.buf
+}
+
+/// Decodes a payload produced by [`serialize_compiled`] and validates
+/// every internal index plus the caller's [`SerialLimits`], so the
+/// returned program cannot index out of range when executed against
+/// register files of those sizes. The native tier starts detached;
+/// callers re-attach it with [`CompiledVProg::enable_native`].
+///
+/// # Errors
+///
+/// Any structural defect — truncation, an unknown version or tag, an
+/// index beyond its bound, or trailing garbage — is a [`SerialError`].
+pub fn deserialize_compiled(
+    bytes: &[u8],
+    limits: &SerialLimits,
+) -> Result<CompiledVProg, SerialError> {
+    let mut r = R { buf: bytes, pos: 0 };
+    let version = r.u32()?;
+    if version != SERIAL_VERSION {
+        return Err(SerialError::Version(version));
+    }
+    let n_code = r.count("instruction count")?;
+    let mut code = Vec::with_capacity(n_code);
+    for _ in 0..n_code {
+        code.push(read_instr(&mut r)?);
+    }
+    let n_templates = r.count("template count")?;
+    let mut templates = Vec::with_capacity(n_templates);
+    for _ in 0..n_templates {
+        templates.push(read_uop(&mut r)?);
+    }
+    let n_scratch = r.count("scratch count")?;
+    let mut scratch = Vec::with_capacity(n_scratch);
+    for _ in 0..n_scratch {
+        scratch.push(read_uop(&mut r)?);
+    }
+    let num_counters = r.idx()?;
+    if r.pos != bytes.len() {
+        return Err(SerialError::OutOfRange("trailing bytes"));
+    }
+
+    let check = Check {
+        limits,
+        templates: templates.len(),
+        scratch: scratch.len(),
+        counters: num_counters,
+        code_len: code.len(),
+    };
+    for instr in &code {
+        check.instr(instr)?;
+    }
+    Ok(CompiledVProg::from_parts(
+        code,
+        templates,
+        scratch,
+        num_counters,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexvec::{vectorize, SpecRequest, VProg};
+    use flexvec_ir::build::{add, assign, c, gt, if_, ld, var};
+    use flexvec_ir::{Program, ProgramBuilder};
+
+    /// A conditional-update kernel exercising splats, compares, blends,
+    /// guarded loads, a reduction-shaped accumulator, and VPL control.
+    fn sample_program() -> Program {
+        let mut b = ProgramBuilder::new("serial_sample");
+        let i = b.var("i", 0);
+        let acc = b.var("acc", 0);
+        let arr = b.array("a");
+        b.live_out(acc);
+        b.build_loop(
+            i,
+            c(0),
+            c(64),
+            vec![if_(
+                gt(ld(arr, var(i)), c(10)),
+                vec![assign(acc, add(var(acc), ld(arr, var(i))))],
+            )],
+        )
+        .unwrap()
+    }
+
+    fn limits_for(vprog: &VProg, program: &Program) -> SerialLimits {
+        SerialLimits {
+            vregs: vprog.num_vregs as usize,
+            kregs: vprog.num_kregs as usize,
+            vars: program.vars.len(),
+            arrays: program.arrays.len(),
+        }
+    }
+
+    fn compile_sample(spec: SpecRequest) -> (CompiledVProg, SerialLimits) {
+        let program = sample_program();
+        let vectorized = vectorize(&program, spec).expect("sample kernel vectorizes");
+        let limits = limits_for(&vectorized.vprog, &program);
+        (CompiledVProg::compile(&vectorized.vprog), limits)
+    }
+
+    #[test]
+    fn roundtrip_is_byte_identical() {
+        for spec in [SpecRequest::Auto, SpecRequest::Rtm { tile: 64 }] {
+            let program = sample_program();
+            let Ok(vectorized) = vectorize(&program, spec) else {
+                continue;
+            };
+            let compiled = CompiledVProg::compile(&vectorized.vprog);
+            let bytes = serialize_compiled(&compiled);
+            let restored = deserialize_compiled(&bytes, &limits_for(&vectorized.vprog, &program))
+                .expect("round-trip decodes");
+            // Re-serializing the restored program must be byte-identical
+            // — a stronger check than comparing fields one by one.
+            assert_eq!(bytes, serialize_compiled(&restored));
+            assert_eq!(compiled.len(), restored.len());
+            assert!(!restored.has_native(), "native tier never round-trips");
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_errors_cleanly() {
+        let (compiled, limits) = compile_sample(SpecRequest::Auto);
+        let bytes = serialize_compiled(&compiled);
+        for len in 0..bytes.len() {
+            assert!(
+                deserialize_compiled(&bytes[..len], &limits).is_err(),
+                "prefix of {len} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let (compiled, limits) = compile_sample(SpecRequest::Auto);
+        let mut bytes = serialize_compiled(&compiled);
+        bytes[0] ^= 0xff;
+        assert!(matches!(
+            deserialize_compiled(&bytes, &limits),
+            Err(SerialError::Version(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_registers_are_rejected() {
+        let (compiled, _) = compile_sample(SpecRequest::Auto);
+        let bytes = serialize_compiled(&compiled);
+        // Shrink the register files below what the program uses: the
+        // same payload must now fail validation instead of decoding into
+        // a program that would panic at run time.
+        let starved = SerialLimits {
+            vregs: 1,
+            kregs: 1,
+            vars: 0,
+            arrays: 0,
+        };
+        assert!(matches!(
+            deserialize_compiled(&bytes, &starved),
+            Err(SerialError::OutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let (compiled, limits) = compile_sample(SpecRequest::Auto);
+        let mut bytes = serialize_compiled(&compiled);
+        bytes.push(0);
+        assert!(deserialize_compiled(&bytes, &limits).is_err());
+    }
+
+    #[test]
+    fn random_corruption_never_panics() {
+        let (compiled, limits) = compile_sample(SpecRequest::Auto);
+        let bytes = serialize_compiled(&compiled);
+        // Deterministic xorshift over byte positions and values: flip
+        // one byte at a time; decoding must either fail or produce a
+        // fully validated program — never panic.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..500 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let pos = (state as usize) % bytes.len();
+            let val = (state >> 32) as u8;
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= val | 1;
+            let _ = deserialize_compiled(&corrupt, &limits);
+        }
+    }
+}
