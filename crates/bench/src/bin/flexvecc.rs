@@ -527,19 +527,24 @@ fn client_cmd(flags: &CommonFlags, args: &[String]) -> i32 {
                     return 2;
                 }
             };
-            let spec = match flags.spec {
-                flexvec::SpecRequest::Auto => "ff".to_owned(),
-                flexvec::SpecRequest::Rtm { tile } => format!("rtm:{tile}"),
-            };
             let mut request = vec![
                 ("op", Json::from(op)),
                 ("source", Json::from(source)),
-                ("spec", Json::from(spec)),
                 (
                     "invocations",
                     Json::from(flags.u64_flag("invocations", 3).max(1)),
                 ),
             ];
+            // A *present* spec field pins the variant on the daemon and
+            // bypasses its autotuner (even `--spec ff`); without
+            // --spec the kernel stays autotunable.
+            if flags.spec_explicit {
+                let spec = match flags.spec {
+                    flexvec::SpecRequest::Auto => "ff".to_owned(),
+                    flexvec::SpecRequest::Rtm { tile } => format!("rtm:{tile}"),
+                };
+                request.push(("spec", Json::from(spec)));
+            }
             // Without an explicit --engine the daemon's tier policy
             // picks the engine per kernel hash (wire default `auto`).
             if flags.engine_explicit {

@@ -27,7 +27,8 @@
 //! the run fails unless the promoted native tier beats the bytecode
 //! tier by a measurable margin.
 //!
-//! Two further regression-failing scenarios cover the scale-out layer:
+//! Three further regression-failing scenarios cover the scale-out and
+//! adaptive layers:
 //!
 //! * `--scenario warm-restart` — compiles a kernel set against a
 //!   `--cache-dir`, restarts the daemon, and requires the *first*
@@ -38,10 +39,17 @@
 //!   the single-node baseline by ≥ 2.5× with bounded p99, and the
 //!   reactor holds `--idle-conns` (default 5000) idle connections
 //!   without spawning per-connection threads.
+//! * `--scenario autotune` — a mixed trace over three kernel families
+//!   with conflicting best specs (RTM-only, fault-tail, store-heavy)
+//!   against every fixed `(spec, tile)` in a sweep grid and against an
+//!   autotuned daemon; fails unless the autotuner beats *every* fixed
+//!   configuration on aggregate req/s, and unless explicit `--spec` /
+//!   `--engine` pins demonstrably bypass it.
 //!
 //! ```text
-//! serve_load [--scenario warm-restart|cluster] [--clients N] [--requests N]
-//!            [--kernels K] [--workers N] [--idle-conns N] [--json]
+//! serve_load [--scenario warm-restart|cluster|autotune] [--clients N]
+//!            [--requests N] [--kernels K] [--workers N] [--idle-conns N]
+//!            [--warmup N] [--json]
 //! ```
 
 use std::time::{Duration, Instant};
@@ -323,11 +331,16 @@ fn main() {
             },
             ExtraFlag {
                 name: "scenario",
-                help: "alternate scenario: warm-restart | cluster (default: main load run)",
+                help: "alternate scenario: warm-restart | cluster | autotune \
+                       (default: main load run)",
             },
             ExtraFlag {
                 name: "idle-conns",
                 help: "idle connections the cluster scenario parks on one node (default 5000)",
+            },
+            ExtraFlag {
+                name: "warmup",
+                help: "autotune scenario: warmup requests per kernel family (default 20)",
             },
         ],
     );
@@ -335,8 +348,12 @@ fn main() {
         "" => {}
         "warm-restart" => std::process::exit(scenario_warm_restart(&flags)),
         "cluster" => std::process::exit(scenario_cluster(&flags)),
+        "autotune" => std::process::exit(scenario_autotune(&flags)),
         other => {
-            eprintln!("serve_load: unknown scenario `{other}` (expected warm-restart or cluster)");
+            eprintln!(
+                "serve_load: unknown scenario `{other}` \
+                 (expected warm-restart, cluster, or autotune)"
+            );
             std::process::exit(2);
         }
     }
@@ -865,6 +882,360 @@ fn scenario_cluster(flags: &CommonFlags) -> i32 {
         println!(
             "  ring: {forwards} forward(s), {adoptions} hot-key adoption(s); \
              {idle_held} idle connection(s) parked on node 0"
+        );
+    }
+    i32::from(failed)
+}
+
+/// Minimum autotuned-over-best-fixed aggregate throughput ratio the
+/// autotune scenario must demonstrate against *every* fixed
+/// `(spec, tile)` configuration in [`AUTOTUNE_GRID`].
+const MIN_AUTOTUNE_SPEEDUP: f64 = 1.1;
+
+/// The fixed configurations the autotuned daemon has to beat. `"ff"`
+/// pins first-faulting (the compiler's `Auto`); the rest pin RTM at a
+/// fixed tile. No single entry is best for all three kernel families
+/// below, which is the point: a per-kernel adaptive choice wins where
+/// any uniform static choice loses somewhere.
+const AUTOTUNE_GRID: [&str; 5] = ["ff", "rtm:16", "rtm:64", "rtm:256", "rtm:1024"];
+
+/// Family A — RTM-only: a store between a speculative load and its
+/// conditional update sits inside the VPL, so FF cannot vectorize this
+/// shape (fallback would replay committed stores) and a pinned `ff`
+/// daemon runs it scalar forever. RTM buffers the stores
+/// transactionally and commits clean at any tile.
+const FAMILY_RTM_WIN: &str = "\
+// Conditional-update scan with a store inside the speculative region.
+kernel rtm_win;
+
+var i = 0;
+var t = 0;
+var u = 0;
+var best = 1048576;
+array a[4096] = seed 7;
+array aux[4096] = seed 9;
+array out[4096];
+live_out best;
+
+for (i = 0; i < 4096; i++) {
+  t = a[i] * 3 + i;
+  if (t < best) {
+    u = aux[t & 4095];
+    out[i] = u;
+    if (u < best) {
+      best = u;
+    }
+  }
+}
+";
+
+/// Family B — fault tail: an early-exit scan whose exit chunk also
+/// runs past the array, so the speculative tail load faults on every
+/// invocation. FF masks the fault and falls back for one chunk; a
+/// fixed RTM tile aborts the whole enclosing transaction and reruns it
+/// scalar — the larger the tile, the larger the rerun.
+const FAMILY_FAULT_TAIL: &str = "\
+// Early-exit scan with a faulting speculative tail.
+kernel fault_tail;
+
+var i = 0;
+var t = 0;
+var s = 0;
+var found = -1;
+array a[2030] = seed 11;
+live_out s;
+
+for (i = 0; i < 2100; i++) {
+  t = a[i];
+  s = s + t;
+  if (i > 2020) {
+    found = i;
+    break;
+  }
+}
+";
+
+/// Family C — store-heavy: a non-speculative scatter over a bin range
+/// wide enough that intra-chunk conflicts are rare. `Auto` needs no
+/// speculation at all and vectorizes clean; a pinned RTM daemon routes
+/// every scatter through the transaction write-set journal (and every
+/// gather through its read hook) and pays for it on each element.
+const FAMILY_STORE_HEAVY: &str = "\
+// Low-conflict histogram: every iteration scatters into a wide bin range.
+kernel store_heavy;
+
+var i = 0;
+array idx[4096] = seed 7;
+array bins[1024];
+
+for (i = 0; i < 4096; i++) {
+  bins[idx[i] % 1024] = bins[idx[i] % 1024] + 1;
+}
+";
+
+/// The interleaving of the mixed trace, as indices into the family
+/// set `[rtm_win, fault_tail, store_heavy]`.
+const AUTOTUNE_TRACE: [usize; 4] = [0, 1, 2, 2];
+
+/// One measured pass of the mixed-family trace against a fresh daemon.
+struct AutotuneRun {
+    rps: f64,
+    failures: u64,
+    /// `stats` response after the measured phase.
+    stats: Json,
+    /// `spec` field echoed on the last warmup response per family.
+    specs: Vec<String>,
+}
+
+/// Starts a fresh daemon, registers the three families, warms each one
+/// round-robin from a single connection (so per-kernel run counts — and
+/// with them autotune decision points — advance deterministically),
+/// then measures the interleaved trace. `spec` pins every request to a
+/// fixed configuration; `None` leaves the daemon free to autotune.
+fn autotune_pass(spec: Option<&str>, requests: u64, warmup: u64, invocations: u64) -> AutotuneRun {
+    let families = [FAMILY_RTM_WIN, FAMILY_FAULT_TAIL, FAMILY_STORE_HEAVY];
+    let handle = start(base_config()).expect("start autotune daemon");
+    let addr = handle.addr.to_string();
+
+    let mut client = Client::connect(&addr).expect("connect autotune client");
+    let hashes: Vec<String> = families
+        .iter()
+        .map(|src| {
+            let response = client
+                .request(&compile_request((*src).to_owned()))
+                .expect("register family");
+            assert_eq!(
+                response.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "family registration failed: {response}"
+            );
+            response
+                .get("hash")
+                .and_then(Json::as_str)
+                .expect("hash in compile response")
+                .to_owned()
+        })
+        .collect();
+
+    // Store-heavy traffic is weighted double: scatter-into-bins is the
+    // common shape in real mixes, and it is exactly where a uniform RTM
+    // pin bleeds per-element write-set overhead on every request.
+    let family_at = |i: u64| AUTOTUNE_TRACE[(i % AUTOTUNE_TRACE.len() as u64) as usize];
+    let trace = |i: u64| {
+        let mut fields = vec![
+            ("op", Json::from("run")),
+            ("hash", Json::from(hashes[family_at(i)].as_str())),
+            ("invocations", Json::from(invocations)),
+        ];
+        if let Some(spec) = spec {
+            fields.push(("spec", Json::from(spec)));
+        }
+        Json::obj(fields)
+    };
+
+    let mut specs = vec![String::new(); families.len()];
+    for i in 0..warmup * AUTOTUNE_TRACE.len() as u64 {
+        let response = client.request(&trace(i)).expect("warmup run");
+        assert_eq!(
+            response.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "warmup run failed: {response}"
+        );
+        if let Some(s) = response.get("spec").and_then(Json::as_str) {
+            specs[family_at(i)] = s.to_owned();
+        }
+    }
+
+    // Measured phase: three single-connection passes over the
+    // interleaved trace, reduced to per-family median latencies and
+    // the best median across passes. On a shared (often single-core)
+    // host the noise is one-sided — a request can only be slowed down
+    // by unrelated load, never sped up — so min-of-medians is the
+    // faithful estimate of each daemon's sustained service time, and
+    // a single connection keeps request index `j` = trace slot `j`.
+    let mut best = [f64::INFINITY; 3];
+    let mut failures = 0;
+    for _ in 0..3 {
+        let phase = drive(&addr, 1, requests, trace);
+        failures += phase.failures;
+        let mut by_family: [Vec<Duration>; 3] = Default::default();
+        for (j, lat) in phase.latencies.iter().enumerate() {
+            by_family[family_at(j as u64)].push(*lat);
+        }
+        for (f, lats) in by_family.iter_mut().enumerate() {
+            if !lats.is_empty() {
+                lats.sort();
+                best[f] = best[f].min(lats[lats.len() / 2].as_secs_f64());
+            }
+        }
+    }
+    // Aggregate req/s over one weighted trace cycle.
+    let cycle: f64 = AUTOTUNE_TRACE.iter().map(|&f| best[f]).sum();
+    let rps = AUTOTUNE_TRACE.len() as f64 / cycle.max(1e-9);
+    let stats = client
+        .request(&Json::obj([("op", Json::from("stats"))]))
+        .expect("stats request");
+    drop(client);
+    handle.shutdown();
+    AutotuneRun {
+        rps,
+        failures,
+        stats,
+        specs,
+    }
+}
+
+/// `--scenario autotune`: the sweep grid of fixed `(spec, tile)`
+/// daemons vs one autotuned daemon on the same mixed trace. Exit 1
+/// unless the autotuner beats every fixed configuration by
+/// [`MIN_AUTOTUNE_SPEEDUP`] and explicit `--spec`/`--engine` pins
+/// demonstrably bypass it.
+fn scenario_autotune(flags: &CommonFlags) -> i32 {
+    let requests = flags.u64_flag("requests", 240).max(30);
+    let warmup = flags.u64_flag("warmup", 20).max(10);
+    let invocations = 3;
+    let mut failed = false;
+
+    // The sweep: one fresh daemon per fixed configuration, every
+    // request pinned. A pinned daemon must never respecialize — that
+    // is the `--spec` bypass contract, asserted here on live traffic.
+    let mut fixed: Vec<(&str, AutotuneRun)> = Vec::new();
+    for config in AUTOTUNE_GRID {
+        let run = autotune_pass(Some(config), requests, warmup, invocations);
+        let respec = run
+            .stats
+            .get("autotune_respecialize_total")
+            .and_then(Json::as_u64)
+            .unwrap_or(u64::MAX);
+        if respec != 0 {
+            eprintln!(
+                "serve_load autotune: REGRESSION — pinned `{config}` daemon \
+                 respecialized {respec} kernel(s); explicit --spec must bypass the autotuner"
+            );
+            failed = true;
+        }
+        let want = if config == "ff" { "auto" } else { config };
+        for (family, got) in run.specs.iter().enumerate() {
+            if got != want {
+                eprintln!(
+                    "serve_load autotune: REGRESSION — pinned `{config}` daemon answered \
+                     family {family} with spec `{got}` (expected `{want}`)"
+                );
+                failed = true;
+            }
+        }
+        if run.failures > 0 {
+            eprintln!(
+                "serve_load autotune: {} request(s) failed under pinned `{config}`",
+                run.failures
+            );
+            failed = true;
+        }
+        fixed.push((config, run));
+    }
+
+    // The autotuned daemon: same trace, no spec on the wire. The
+    // warmup must carry every family past the tuner's decision points.
+    let tuned = autotune_pass(None, requests, warmup, invocations);
+    if tuned.failures > 0 {
+        eprintln!(
+            "serve_load autotune: {} request(s) failed on the autotuned daemon",
+            tuned.failures
+        );
+        failed = true;
+    }
+    let respec = tuned
+        .stats
+        .get("autotune_respecialize_total")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    if respec == 0 {
+        eprintln!(
+            "serve_load autotune: REGRESSION — the autotuned daemon never respecialized \
+             (expected at least the RTM unlock for the rtm_win family)"
+        );
+        failed = true;
+    }
+    if !tuned.specs[0].starts_with("rtm") {
+        eprintln!(
+            "serve_load autotune: REGRESSION — rtm_win family still served as \
+             `{}` after {warmup} warmup runs (expected an rtm:TILE variant)",
+            tuned.specs[0]
+        );
+        failed = true;
+    }
+
+    // Ratios against every fixed configuration.
+    let mut min_ratio = f64::INFINITY;
+    for (config, run) in &fixed {
+        let ratio = tuned.rps / run.rps.max(1e-9);
+        min_ratio = min_ratio.min(ratio);
+        let verdict = if ratio >= MIN_AUTOTUNE_SPEEDUP {
+            "ok"
+        } else {
+            failed = true;
+            "REGRESSION"
+        };
+        println!(
+            "serve_load autotune: fixed {config:<8} {:>7.1} req/s -> autotuned {:>7.1} req/s \
+             ({ratio:.2}x, {verdict})",
+            run.rps, tuned.rps
+        );
+    }
+    if min_ratio < MIN_AUTOTUNE_SPEEDUP {
+        eprintln!(
+            "serve_load autotune: REGRESSION — worst ratio {min_ratio:.2}x is below the \
+             required {MIN_AUTOTUNE_SPEEDUP:.2}x over every fixed configuration"
+        );
+    }
+
+    // `--engine` bypass: a fresh daemon would tier this hot kernel to
+    // bytecode/native; an explicit engine pin must be honored verbatim.
+    let handle = start(base_config()).expect("start engine-pin daemon");
+    let mut client = Client::connect(&handle.addr.to_string()).expect("connect engine pin");
+    let response = client
+        .request(&Json::obj([
+            ("op", Json::from("run")),
+            ("source", Json::from(FAMILY_STORE_HEAVY)),
+            ("engine", Json::from("tree")),
+        ]))
+        .expect("engine-pinned run");
+    let engine = response
+        .get("engine")
+        .and_then(Json::as_str)
+        .unwrap_or("")
+        .to_owned();
+    if engine != "tree-walking" {
+        eprintln!(
+            "serve_load autotune: REGRESSION — explicit engine pin answered `{engine}` \
+             (expected `tree-walking`)"
+        );
+        failed = true;
+    }
+    drop(client);
+    handle.shutdown();
+
+    if flags.json {
+        let mut grid = String::new();
+        for (config, run) in &fixed {
+            if !grid.is_empty() {
+                grid.push_str(", ");
+            }
+            grid.push_str(&format!("\"{config}\": {}", json_f64(run.rps)));
+        }
+        println!(
+            "{{\"scenario\": \"autotune\", \"requests\": {requests}, \
+             \"warmup\": {warmup}, \"fixed_rps\": {{{grid}}}, \"autotuned_rps\": {}, \
+             \"min_ratio\": {}, \"respecializations\": {respec}, \"ok\": {}}}",
+            json_f64(tuned.rps),
+            json_f64(min_ratio),
+            !failed
+        );
+    } else {
+        println!(
+            "serve_load autotune: {respec} respecialization(s); worst margin {min_ratio:.2}x \
+             over the {} fixed config(s)",
+            fixed.len()
         );
     }
     i32::from(failed)

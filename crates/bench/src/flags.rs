@@ -35,6 +35,11 @@ pub struct CommonFlags {
     pub engine_explicit: bool,
     /// `--spec`: first-faulting (the paper's default) or RTM speculation.
     pub spec: SpecRequest,
+    /// Whether `--spec` was given explicitly. `flexvecc client` uses
+    /// this to decide between pinning the spec on the daemon (even
+    /// `--spec ff`) and leaving the kernel autotunable: the serve wire
+    /// protocol treats a *present* `spec` field as an explicit pin.
+    pub spec_explicit: bool,
     /// `--json`: emit machine-readable output where the binary supports it.
     pub json: bool,
     /// Non-flag arguments, in order.
@@ -140,6 +145,7 @@ impl CommonFlags {
             engine: Engine::default(),
             engine_explicit: false,
             spec: SpecRequest::Auto,
+            spec_explicit: false,
             json: false,
             positional: Vec::new(),
             extras: Vec::new(),
@@ -172,7 +178,10 @@ impl CommonFlags {
                     flags.engine = parse_engine(&value)?;
                     flags.engine_explicit = true;
                 }
-                "spec" => flags.spec = parse_spec(&value)?,
+                "spec" => {
+                    flags.spec = parse_spec(&value)?;
+                    flags.spec_explicit = true;
+                }
                 _ if extra.iter().any(|e| e.name == name) => {
                     flags.extras.push((name, value));
                 }

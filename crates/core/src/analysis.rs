@@ -104,6 +104,10 @@ pub struct FlexVecPlan {
     pub early_exits: Vec<(NodeId, NodeId)>,
     /// Number of PDG edges relaxed.
     pub relaxed_edges: usize,
+    /// Reduction idioms recognized alongside the FlexVec patterns (their
+    /// carried flow edges are not blocking, but the code generator still
+    /// needs the idiom to lower them as horizontal reductions).
+    pub reductions: Vec<Reduction>,
 }
 
 impl FlexVecPlan {
@@ -375,6 +379,7 @@ fn classify(program: &Program, nodes: &LoopNodes, pdg: &Pdg) -> Verdict {
     plan.relaxed_edges = relaxed.len();
     plan.ff_nodes = speculative_nodes(nodes, &plan);
     plan.vpl_range = vpl_range(nodes, &plan);
+    plan.reductions = reductions;
 
     if plan.patterns.is_empty() {
         return Verdict::NotVectorizable {

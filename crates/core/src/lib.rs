@@ -56,6 +56,8 @@ pub use analysis::{
 };
 pub use cache::{CacheStats, ShardedCache};
 pub use hash::{program_hash, vprog_hash, StableHasher};
-pub use lower::{vectorize, SpecRequest, VectorizeError, Vectorized, VectorizedKind};
+pub use lower::{
+    vectorize, vectorize_with, SpecRequest, VectorizeError, Vectorized, VectorizedKind,
+};
 pub use opt::{optimize, OptStats};
 pub use vprog::{InstMix, KReg, MaskPressure, SpecMode, VNode, VOp, VProg, VReg};

@@ -91,11 +91,31 @@ impl std::error::Error for VectorizeError {}
 /// lowering cannot express (see the error text).
 pub fn vectorize(program: &Program, spec: SpecRequest) -> Result<Vectorized, VectorizeError> {
     let analysis = analyze(program);
+    vectorize_with(program, &analysis, spec)
+}
+
+/// Re-lowers an already analyzed loop under a (possibly different)
+/// speculation request. This is the serving tier's respecialization entry
+/// point: the analysis (PDG construction + pattern detection) is reused
+/// and only code generation runs again, so switching a hot kernel between
+/// FF and RTM — or resizing its RTM tile — costs one lowering pass, not a
+/// full recompile.
+///
+/// # Errors
+///
+/// Same contract as [`vectorize`]; note that the supported shape set
+/// depends on `spec` (some store-carrying VPLs lower only under RTM), so
+/// a respecialization attempt can fail where the original spec succeeded.
+pub fn vectorize_with(
+    program: &Program,
+    analysis: &LoopAnalysis,
+    spec: SpecRequest,
+) -> Result<Vectorized, VectorizeError> {
     match &analysis.verdict {
         Verdict::NotVectorizable { reason } => Err(VectorizeError::NotVectorizable(reason.clone())),
         Verdict::Traditional { reductions } => {
             let mut vprog =
-                Lowerer::new(program, &analysis, None, reductions.clone(), spec).lower()?;
+                Lowerer::new(program, analysis, None, reductions.clone(), spec).lower()?;
             crate::opt::optimize(&mut vprog);
             Ok(Vectorized {
                 vprog,
@@ -105,9 +125,10 @@ pub fn vectorize(program: &Program, spec: SpecRequest) -> Result<Vectorized, Vec
         }
         Verdict::FlexVec(plan) => {
             let plan = plan.clone();
-            check_shape(&analysis, &plan)?;
+            check_shape(analysis, &plan, spec)?;
+            let reductions = plan.reductions.clone();
             let mut vprog =
-                Lowerer::new(program, &analysis, Some(plan), Vec::new(), spec).lower()?;
+                Lowerer::new(program, analysis, Some(plan), reductions, spec).lower()?;
             crate::opt::optimize(&mut vprog);
             Ok(Vectorized {
                 vprog,
@@ -120,7 +141,11 @@ pub fn vectorize(program: &Program, spec: SpecRequest) -> Result<Vectorized, Vec
 
 /// Shape restrictions of this lowering (documented deviations; each is an
 /// `Unsupported` error, not silent wrong code).
-fn check_shape(analysis: &LoopAnalysis, plan: &FlexVecPlan) -> Result<(), VectorizeError> {
+fn check_shape(
+    analysis: &LoopAnalysis,
+    plan: &FlexVecPlan,
+    spec: SpecRequest,
+) -> Result<(), VectorizeError> {
     if let Some((lo, hi)) = plan.vpl_range {
         for (guard, brk) in &plan.early_exits {
             if guard.0 >= lo.0 && guard.0 <= hi.0 {
@@ -136,14 +161,28 @@ fn check_shape(analysis: &LoopAnalysis, plan: &FlexVecPlan) -> Result<(), Vector
                 )));
             }
         }
+        // A reduction statement inside the VPL range would be lowered by
+        // the VPL's ordinary-assignment path, silently dropping the
+        // horizontal combine.
+        for red in &plan.reductions {
+            if red.node.0 >= lo.0 && red.node.0 <= hi.0 {
+                return Err(VectorizeError::Unsupported(format!(
+                    "reduction over {} lies inside the VPL range {lo}..{hi}",
+                    red.node
+                )));
+            }
+        }
         // FF fallback re-runs the chunk in scalar mode, so nothing may be
         // committed to memory before the last fault check. Fault checks
         // strictly before the VPL are fine (they run before any store);
         // only a speculative load *inside* the VPL conflicts with VPL
         // stores, because iteration 2's check would follow iteration 1's
-        // store.
+        // store. Under RTM the loads lower as plain loads and the
+        // transaction buffers the stores — a faulting tile rolls back and
+        // re-runs in scalar mode — so the combination is only rejected on
+        // the first-faulting path.
         let ff_in_or_after_vpl = plan.ff_nodes.iter().any(|n| n.0 >= lo.0);
-        if ff_in_or_after_vpl {
+        if ff_in_or_after_vpl && matches!(spec, SpecRequest::Auto) {
             let has_store_in_vpl = analysis.nodes.nodes[lo.0 as usize..=hi.0 as usize]
                 .iter()
                 .any(|n| !n.writes.is_empty());

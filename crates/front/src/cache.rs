@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use flexvec::{
-    analyze, program_hash, vectorize, CacheStats, LoopAnalysis, ShardedCache, SpecRequest,
+    analyze, program_hash, vectorize_with, CacheStats, LoopAnalysis, ShardedCache, SpecRequest,
     StableHasher, VectorizeError, Vectorized, Verdict,
 };
 use flexvec_ir::Program;
@@ -251,9 +251,21 @@ impl CompileCache {
     /// Runs the full analyze→vectorize→bytecode-compile pipeline (the
     /// cache-miss path).
     fn compile(&self, program: &Program, spec: SpecRequest) -> CompiledKernel {
-        self.compiles.fetch_add(1, Ordering::Relaxed);
         let analysis = analyze(program);
-        let plan = vectorize(program, spec).map(|vectorized| {
+        self.compile_with(program, &analysis, spec)
+    }
+
+    /// The lowering half of the pipeline against an already-computed
+    /// analysis (the dependence analysis is spec-independent, so a
+    /// respecialization reuses it).
+    fn compile_with(
+        &self,
+        program: &Program,
+        analysis: &LoopAnalysis,
+        spec: SpecRequest,
+    ) -> CompiledKernel {
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        let plan = vectorize_with(program, analysis, spec).map(|vectorized| {
             let compiled = CompiledVProg::compile(&vectorized.vprog);
             CompiledPlan {
                 vectorized,
@@ -262,9 +274,41 @@ impl CompileCache {
         });
         CompiledKernel {
             program_hash: program_hash(program),
-            analysis,
+            analysis: analysis.clone(),
             plan,
         }
+    }
+
+    /// Builds (or returns) the plan variant for `program` under a *new*
+    /// speculation request, reusing the dependence analysis of an
+    /// already-compiled sibling variant instead of re-analyzing — the
+    /// serving autotuner's re-lowering path. The boolean is `true` when
+    /// the variant was already cached.
+    pub fn get_or_respecialize(
+        &self,
+        program: &Program,
+        analysis: &LoopAnalysis,
+        spec: SpecRequest,
+    ) -> (Arc<CompiledKernel>, bool) {
+        let key = Self::key(program, spec);
+        self.entries
+            .get_or_insert_coalesced(key, || self.compile_with(program, analysis, spec))
+    }
+
+    /// Pins the `(program_hash, spec)` variant: exempt from LRU
+    /// eviction until unpinned (see [`ShardedCache::pin`]). The serving
+    /// layer pins each kernel's *active* variant so traffic bursts
+    /// cannot flush the plan the autotuner selected, while stale
+    /// variants age out normally. Returns whether the variant was
+    /// resident.
+    pub fn pin(&self, program_hash: u64, spec: SpecRequest) -> bool {
+        self.entries.pin(Self::key_for_hash(program_hash, spec))
+    }
+
+    /// Reverses [`CompileCache::pin`] for the `(program_hash, spec)`
+    /// variant, making it ordinarily evictable again.
+    pub fn unpin(&self, program_hash: u64, spec: SpecRequest) -> bool {
+        self.entries.unpin(Self::key_for_hash(program_hash, spec))
     }
 
     /// How many times the full analyze→vectorize→compile pipeline
@@ -439,6 +483,57 @@ mod tests {
         assert!(outcome.is_hit());
         assert_eq!(cache.compiles(), 1, "restore skipped the pipeline");
         assert_eq!(restored.program_hash, program_hash(&p));
+    }
+
+    #[test]
+    fn respecialize_reuses_analysis_and_pins_protect_variants() {
+        let cache = CompileCache::with_capacity(16); // 1 entry per shard
+        let p = cond_min();
+        let (auto, _) = cache.get_or_compile(&p, SpecRequest::Auto);
+        assert_eq!(cache.compiles(), 1);
+
+        // Respecialize to an RTM variant off the cached analysis: one
+        // more lowering, and the variant caches under its own key.
+        let spec = SpecRequest::Rtm { tile: 128 };
+        let (rtm, hit) = cache.get_or_respecialize(&p, &auto.analysis, spec);
+        assert!(!hit);
+        assert_eq!(cache.compiles(), 2);
+        assert!(rtm.plan.is_ok());
+        assert_eq!(rtm.program_hash, auto.program_hash);
+        let (rtm2, hit2) = cache.get_or_respecialize(&p, &auto.analysis, spec);
+        assert!(hit2, "variant is cached");
+        assert!(Arc::ptr_eq(&rtm, &rtm2));
+
+        // Pin the RTM variant, then churn its shard with distinct
+        // kernels: the pinned variant survives where an unpinned one
+        // would age out.
+        assert!(cache.pin(rtm.program_hash, spec));
+        assert!(
+            !cache.pin(rtm.program_hash, SpecRequest::Rtm { tile: 64 }),
+            "absent variants report non-resident"
+        );
+        for n in 0..64 {
+            let mut b = ProgramBuilder::new(&format!("churn{n}"));
+            let i = b.var("i", 0);
+            let s = b.var("s", 0);
+            let a = b.array("a");
+            b.live_out(s);
+            let churn = b
+                .build_loop(
+                    i,
+                    c(0),
+                    c(64),
+                    vec![assign(s, add(var(s), add(ld(a, var(i)), c(n))))],
+                )
+                .unwrap();
+            cache.get_or_compile(&churn, SpecRequest::Auto);
+        }
+        assert!(
+            cache.contains_hash(rtm.program_hash, spec),
+            "pinned active variant survives eviction pressure"
+        );
+        assert!(cache.unpin(rtm.program_hash, spec));
+        assert_eq!(cache.stats().pinned, 0);
     }
 
     #[test]

@@ -82,6 +82,17 @@ impl flexvec_isa::LaneMemory for Transaction<'_> {
             AbortReason::CapacityOverflow | AbortReason::Explicit => MemFault { addr },
         })
     }
+
+    fn load_span(&self, base: u64, dst: &mut [i64]) -> Result<(), MemFault> {
+        self.peek_span(base, dst)
+    }
+
+    fn store_span(&mut self, base: u64, src: &[i64]) -> Result<(), MemFault> {
+        self.write_span(base, src).map_err(|abort| match abort {
+            AbortReason::Fault(f) => f,
+            AbortReason::CapacityOverflow | AbortReason::Explicit => MemFault { addr: base },
+        })
+    }
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@
 
 use std::collections::HashMap;
 
-use crate::{AddressSpace, MemFault};
+use crate::{AddressSpace, MemFault, PAGE_BYTES, PAGE_ELEMS};
 
 /// Why a transaction aborted.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -75,6 +75,13 @@ impl std::error::Error for AbortReason {}
 pub struct Transaction<'a> {
     space: &'a mut AddressSpace,
     write_log: HashMap<u64, i64>,
+    // Inclusive byte-address bounds of the write set (min > max when the
+    // log is empty). Reads outside this range cannot hit the log, so they
+    // skip the hash probe and go straight to the underlying space —
+    // modeling how real RTM reads outside the speculative write set are
+    // plain cache reads.
+    write_min: u64,
+    write_max: u64,
     capacity: usize,
     reads: u64,
     writes: u64,
@@ -98,6 +105,8 @@ impl<'a> Transaction<'a> {
         Transaction {
             space,
             write_log: HashMap::new(),
+            write_min: u64::MAX,
+            write_max: 0,
             capacity,
             reads: 0,
             writes: 0,
@@ -118,10 +127,35 @@ impl<'a> Transaction<'a> {
     /// Reads without updating the traffic counters (used by the
     /// `LaneMemory` impl, which only has `&self`).
     pub fn peek(&self, addr: u64) -> Result<i64, MemFault> {
-        if let Some(&v) = self.write_log.get(&addr) {
-            return Ok(v);
+        if addr >= self.write_min && addr <= self.write_max {
+            if let Some(&v) = self.write_log.get(&addr) {
+                return Ok(v);
+            }
         }
         self.space.read(addr)
+    }
+
+    /// Reads `dst.len()` consecutive elements starting at `base` through
+    /// the transaction. Spans disjoint from the write set take the
+    /// underlying space's page-run fast path; overlapping spans fall back
+    /// to per-lane reads so buffered writes stay visible.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`AddressSpace::read_span`]: faults at the first
+    /// unreadable element in increasing address order.
+    pub fn peek_span(&self, base: u64, dst: &mut [i64]) -> Result<(), MemFault> {
+        if dst.is_empty() {
+            return Ok(());
+        }
+        let last = base.wrapping_add((dst.len() as u64 - 1) * 8);
+        if last < self.write_min || base > self.write_max {
+            return self.space.read_span(base, dst);
+        }
+        for (i, slot) in dst.iter_mut().enumerate() {
+            *slot = self.peek(base.wrapping_add(i as u64 * 8))?;
+        }
+        Ok(())
     }
 
     /// Buffers a write.
@@ -139,6 +173,54 @@ impl<'a> Transaction<'a> {
         }
         self.writes += 1;
         self.write_log.insert(addr, value);
+        self.write_min = self.write_min.min(addr);
+        self.write_max = self.write_max.max(addr);
+        Ok(())
+    }
+
+    /// Buffers `src.len()` consecutive writes starting at `base`,
+    /// validating whole target pages instead of probing the space once
+    /// per lane (the journal insert itself is inherent to the rollback
+    /// model and stays per element).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as per-lane [`Transaction::write`]: faults at the
+    /// first unwritable element in increasing address order (no elements
+    /// are buffered when the span faults), or
+    /// [`AbortReason::CapacityOverflow`] once the write set fills (earlier
+    /// elements of the span are already buffered — the caller aborts the
+    /// transaction anyway).
+    pub fn write_span(&mut self, base: u64, src: &[i64]) -> Result<(), AbortReason> {
+        if src.is_empty() {
+            return Ok(());
+        }
+        if !base.is_multiple_of(8) {
+            return Err(AbortReason::Fault(MemFault { addr: base }));
+        }
+        // Validate eagerly, one page run at a time: the base is aligned
+        // and the stride is 8, so only page mapping can fault.
+        let mut i = 0usize;
+        while i < src.len() {
+            let addr = base.wrapping_add(i as u64 * 8);
+            if !self.space.is_mapped(addr) {
+                return Err(AbortReason::Fault(MemFault { addr }));
+            }
+            let offset = ((addr % PAGE_BYTES) / 8) as usize;
+            i += (PAGE_ELEMS - offset).min(src.len() - i);
+        }
+        for (k, &value) in src.iter().enumerate() {
+            let addr = base.wrapping_add(k as u64 * 8);
+            if self.write_log.len() >= self.capacity && !self.write_log.contains_key(&addr) {
+                return Err(AbortReason::CapacityOverflow);
+            }
+            self.write_log.insert(addr, value);
+        }
+        self.writes += src.len() as u64;
+        self.write_min = self.write_min.min(base);
+        self.write_max = self
+            .write_max
+            .max(base.wrapping_add((src.len() as u64 - 1) * 8));
         Ok(())
     }
 
@@ -229,6 +311,65 @@ mod tests {
         // ...a third distinct address overflows.
         assert_eq!(
             txn.write(base + 16, 4).unwrap_err(),
+            AbortReason::CapacityOverflow
+        );
+    }
+
+    #[test]
+    fn peek_span_sees_buffered_writes_and_disjoint_reads() {
+        let (mut s, base) = space_with_array();
+        let mut txn = Transaction::begin(&mut s);
+        txn.write(base + 16, 7).unwrap();
+        // Overlapping span: merges the log with the underlying space.
+        let mut dst = [0i64; 4];
+        txn.peek_span(base, &mut dst).unwrap();
+        assert_eq!(dst, [0, 0, 7, 0]);
+        // Disjoint span: serviced entirely by the space fast path.
+        let mut tail = [99i64; 2];
+        txn.peek_span(base + 32, &mut tail).unwrap();
+        assert_eq!(tail, [0, 0]);
+    }
+
+    #[test]
+    fn write_span_buffers_and_rolls_back() {
+        let (mut s, base) = space_with_array();
+        {
+            let mut txn = Transaction::begin(&mut s);
+            txn.write_span(base, &[1, 2, 3]).unwrap();
+            assert_eq!(txn.peek(base + 8).unwrap(), 2);
+            // rollback on drop
+        }
+        assert_eq!(s.read(base).unwrap(), 0);
+        let mut txn = Transaction::begin(&mut s);
+        txn.write_span(base, &[4, 5]).unwrap();
+        assert_eq!(txn.op_counts(), (0, 2));
+        txn.commit();
+        assert_eq!(s.read(base + 8).unwrap(), 5);
+    }
+
+    #[test]
+    fn write_span_faults_without_buffering() {
+        let (mut s, base) = space_with_array();
+        let mut txn = Transaction::begin(&mut s);
+        // A span running off the end of the mapped pages faults eagerly
+        // and leaves the write set empty.
+        let far = base + crate::PAGE_BYTES * 64;
+        let err = txn.write_span(far, &[1, 2]).unwrap_err();
+        assert!(matches!(err, AbortReason::Fault(_)));
+        assert_eq!(txn.write_set_len(), 0);
+        // Misaligned base faults at the base address.
+        assert!(matches!(
+            txn.write_span(base + 4, &[1]),
+            Err(AbortReason::Fault(MemFault { addr })) if addr == base + 4
+        ));
+    }
+
+    #[test]
+    fn write_span_respects_capacity() {
+        let (mut s, base) = space_with_array();
+        let mut txn = Transaction::with_capacity(&mut s, 2);
+        assert_eq!(
+            txn.write_span(base, &[1, 2, 3]).unwrap_err(),
             AbortReason::CapacityOverflow
         );
     }

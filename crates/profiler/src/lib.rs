@@ -47,6 +47,17 @@ pub struct ThroughputReport {
     pub uops: u64,
     /// Inline page-cache translation counters for the run.
     pub page_cache: PageCacheStats,
+    /// VPL iterations (partitions) executed, over all invocations.
+    pub vpl_iterations: u64,
+    /// Largest partition count observed in one chunk.
+    pub max_partitions: u64,
+    /// Chunks that fell back to scalar after a clipped first-faulting
+    /// load (the FF speculation cost signal).
+    pub ff_fallbacks: u64,
+    /// RTM transactions committed.
+    pub rtm_commits: u64,
+    /// RTM transactions aborted (the RTM speculation cost signal).
+    pub rtm_aborts: u64,
 }
 
 impl ThroughputReport {
@@ -64,12 +75,54 @@ impl ThroughputReport {
             chunks,
             uops,
             page_cache,
+            vpl_iterations: 0,
+            max_partitions: 0,
+            ff_fallbacks: 0,
+            rtm_commits: 0,
+            rtm_aborts: 0,
         }
     }
 
-    /// Accumulates one invocation's [`VectorStats`] into the chunk count.
+    /// Accumulates one invocation's [`VectorStats`]: chunk count plus
+    /// the speculation-profile counters (partitions, FF fallbacks, RTM
+    /// commits/aborts) every execution tier reports identically —
+    /// they're what the serving layer's autotuner consumes.
     pub fn add_stats(&mut self, stats: &VectorStats) {
         self.chunks += stats.chunks;
+        self.vpl_iterations += stats.vpl_iterations;
+        self.max_partitions = self.max_partitions.max(stats.max_partitions);
+        self.ff_fallbacks += stats.ff_fallbacks;
+        self.rtm_commits += stats.rtm_commits;
+        self.rtm_aborts += stats.rtm_aborts;
+    }
+
+    /// FF scalar fallbacks per started chunk (0.0 with no chunks).
+    pub fn ff_fallback_rate(&self) -> f64 {
+        if self.chunks == 0 {
+            0.0
+        } else {
+            self.ff_fallbacks as f64 / self.chunks as f64
+        }
+    }
+
+    /// Fraction of RTM transactions that aborted (0.0 with none).
+    pub fn rtm_abort_rate(&self) -> f64 {
+        let attempts = self.rtm_commits + self.rtm_aborts;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.rtm_aborts as f64 / attempts as f64
+        }
+    }
+
+    /// Average VPL partitions per chunk (1.0 is conflict-free; VLEN
+    /// means the window fully serialized).
+    pub fn partitions_per_chunk(&self) -> f64 {
+        if self.chunks == 0 {
+            0.0
+        } else {
+            self.vpl_iterations as f64 / self.chunks as f64
+        }
     }
 
     /// Vector chunks executed per wall second (0.0 for a zero-length
@@ -654,9 +707,24 @@ mod tests {
         );
         r.add_stats(&VectorStats {
             chunks: 50,
+            vpl_iterations: 75,
+            max_partitions: 4,
+            ff_fallbacks: 5,
+            rtm_commits: 20,
+            rtm_aborts: 5,
+            ..VectorStats::default()
+        });
+        r.add_stats(&VectorStats {
+            chunks: 0,
+            max_partitions: 2,
             ..VectorStats::default()
         });
         assert_eq!(r.chunks, 50);
+        assert_eq!(r.vpl_iterations, 75);
+        assert_eq!(r.max_partitions, 4, "max, not sum");
+        assert!((r.ff_fallback_rate() - 0.1).abs() < 1e-9);
+        assert!((r.rtm_abort_rate() - 0.2).abs() < 1e-9);
+        assert!((r.partitions_per_chunk() - 1.5).abs() < 1e-9);
         assert!((r.chunks_per_sec() - 100.0).abs() < 1e-9);
         assert!((r.uops_per_sec() - 2000.0).abs() < 1e-9);
         let text = r.to_string();

@@ -384,6 +384,7 @@ mod tests {
             source: None,
             hash: Some(0xabcd),
             spec: SpecRequest::Auto,
+            spec_explicit: false,
             engine: None,
             invocations: 1,
             deadline_ms: None,

@@ -11,13 +11,27 @@
 //!   AST hash, so a client can send `.fv` source once and refer to it
 //!   by `hash` forever after (until eviction).
 //!
-//! Execution mirrors `flexvecc run`: scalar baseline on the Table 1
-//! out-of-order model, vector code when the vectorizer accepts the
-//! loop, the two verified against each other element-for-element — a
-//! serving layer that returned unverified speedups would be worthless
-//! as evidence. Every run goes through the *cancellable* executor
-//! entry points so a request deadline or a daemon drain stops the VPL
-//! loop at the next chunk boundary.
+//! Execution follows the **verified-once** discipline: the first run
+//! of each `(kernel, spec)` variant mirrors `flexvecc run` — scalar
+//! baseline on the Table 1 out-of-order model alongside the vector
+//! code, the two verified against each other element-for-element — and
+//! once a variant has proven itself, steady-state implicit-spec
+//! requests run vector-only (every request materializes the same
+//! seeded arrays, so the comparison is deterministic), with a periodic
+//! audit re-verification. Requests that pin `spec` explicitly follow
+//! the same verification discipline for their pinned variant — the pin
+//! bypasses *adaptation*, not verification — so a fixed-spec daemon
+//! and an autotuned one are comparable like-for-like. Every run goes
+//! through the
+//! *cancellable* executor entry points so a request deadline or a
+//! daemon drain stops the VPL loop at the next chunk boundary.
+//!
+//! Implicit-spec traffic also feeds the [`crate::autotune`] state
+//! machine: per kernel hash the engine keeps a decaying runtime
+//! profile and, when the profile demands it, re-specializes the cached
+//! plan (Auto ↔ RTM, tile resizing) through
+//! [`CompileCache::get_or_respecialize`], pinning the active variant
+//! against cache churn.
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
@@ -34,6 +48,7 @@ use flexvec_vm::{
     VectorStats,
 };
 
+use crate::autotune::{AutotuneConfig, KernelProfile, Observation, DECISION_REASONS};
 use crate::json::Json;
 use crate::metrics::ExternalSample;
 use crate::protocol::{hash_hex, ErrorKind, Op, ProtoError, Request};
@@ -88,6 +103,8 @@ pub struct ServeEngine {
     started: Instant,
     totals: Mutex<BTreeMap<&'static str, u64>>,
     tiers: Mutex<BTreeMap<u64, TierEntry>>,
+    profiles: Mutex<BTreeMap<u64, KernelProfile>>,
+    tune_cfg: AutotuneConfig,
 }
 
 /// A kernel becomes *warm* (bytecode tier) at this many runs.
@@ -143,7 +160,31 @@ fn prom_name(name: &'static str) -> &'static str {
         "tier_bytecode" => "flexvec_tier_bytecode_total",
         "tier_native" => "flexvec_tier_native_total",
         "tier_promotions" => "flexvec_tier_promotions_total",
+        "autotune_respecialize" => "flexvec_autotune_respecialize_total",
+        "autotune_reason_rtm_unlock" => "flexvec_autotune_reason_rtm_unlock_total",
+        "autotune_reason_ff_pressure" => "flexvec_autotune_reason_ff_pressure_total",
+        "autotune_reason_halve_tile" => "flexvec_autotune_reason_halve_tile_total",
+        "autotune_reason_grow_tile" => "flexvec_autotune_reason_grow_tile_total",
+        "autotune_reason_rtm_bailout" => "flexvec_autotune_reason_rtm_bailout_total",
+        "autotune_reason_latency_regress" => "flexvec_autotune_reason_latency_regress_total",
+        "autotune_reason_rtm_adopt" => "flexvec_autotune_reason_rtm_adopt_total",
+        "autotune_vector_only" => "flexvec_autotune_vector_only_total",
+        "autotune_verified" => "flexvec_autotune_verified_total",
         other => other,
+    }
+}
+
+/// The pre-seeded totals key counting decisions with this reason.
+fn autotune_reason_counter(reason: &str) -> &'static str {
+    match reason {
+        "rtm_unlock" => "autotune_reason_rtm_unlock",
+        "ff_pressure" => "autotune_reason_ff_pressure",
+        "halve_tile" => "autotune_reason_halve_tile",
+        "grow_tile" => "autotune_reason_grow_tile",
+        "rtm_bailout" => "autotune_reason_rtm_bailout",
+        "latency_regress" => "autotune_reason_latency_regress",
+        "rtm_adopt" => "autotune_reason_rtm_adopt",
+        other => unreachable!("unknown autotune decision reason {other:?}"),
     }
 }
 
@@ -174,16 +215,28 @@ impl ServeEngine {
             registry,
             snapshots,
             started: Instant::now(),
-            // Tier counters are pre-seeded so `/metrics` exports all
-            // four rows from the first scrape, even at zero — scrape
-            // consumers and the CI smoke test key off their presence.
-            totals: Mutex::new(BTreeMap::from([
-                ("tier_tree", 0),
-                ("tier_bytecode", 0),
-                ("tier_native", 0),
-                ("tier_promotions", 0),
-            ])),
+            // Tier and autotune counters are pre-seeded so `/metrics`
+            // exports every row from the first scrape, even at zero —
+            // scrape consumers and the CI smoke test key off their
+            // presence.
+            totals: Mutex::new({
+                let mut totals = BTreeMap::from([
+                    ("tier_tree", 0),
+                    ("tier_bytecode", 0),
+                    ("tier_native", 0),
+                    ("tier_promotions", 0),
+                    ("autotune_respecialize", 0),
+                    ("autotune_vector_only", 0),
+                    ("autotune_verified", 0),
+                ]);
+                for reason in DECISION_REASONS {
+                    totals.insert(autotune_reason_counter(reason), 0);
+                }
+                totals
+            }),
             tiers: Mutex::new(BTreeMap::new()),
+            profiles: Mutex::new(BTreeMap::new()),
+            tune_cfg: AutotuneConfig::default(),
         }
     }
 
@@ -246,6 +299,15 @@ impl ServeEngine {
         self.cache.contains_hash(program_hash, spec)
     }
 
+    /// Whether this node already holds a compiled plan for the variant
+    /// `req` would effectively run — the cluster-routing warmth probe.
+    /// For implicit-spec requests that is the locally autotuned
+    /// variant, not the wire default.
+    pub fn has_compiled_for(&self, program_hash: u64, req: &Request) -> bool {
+        self.cache
+            .contains_hash(program_hash, self.effective_spec(program_hash, req))
+    }
+
     /// Whether this node can resolve `program_hash` without a peer
     /// (registered in memory, or restorable from a snapshot's embedded
     /// source).
@@ -293,6 +355,79 @@ impl ServeEngine {
             store.save(&to_fv(&kernel.program), spec, &compiled);
         }
         (compiled, outcome.is_hit())
+    }
+
+    /// The speculation request one request effectively runs under: an
+    /// explicit `spec` (even `"auto"`) is honored verbatim and bypasses
+    /// the autotuner; implicit requests run whatever variant the
+    /// kernel's profile currently holds active.
+    fn effective_spec(&self, hash: u64, req: &Request) -> SpecRequest {
+        if req.spec_explicit {
+            return req.spec;
+        }
+        self.profiles
+            .lock()
+            .expect("profiles lock")
+            .get(&hash)
+            .map_or(SpecRequest::Auto, |p| p.active)
+    }
+
+    /// Feeds one implicit-spec run into the kernel's profile and
+    /// applies whatever the decision state machine asks for: counters
+    /// always, plus an eager re-lowering (reusing the sibling variant's
+    /// dependence analysis) and a pin swap when the active spec
+    /// changed.
+    fn observe_and_tune(
+        &self,
+        kernel: &ParsedKernel,
+        compiled: &CompiledKernel,
+        req: &Request,
+        spec: SpecRequest,
+        outcome: &ExecOutcome,
+    ) {
+        let hash = compiled.program_hash;
+        let rtm_hint = compiled
+            .plan
+            .as_ref()
+            .err()
+            .is_some_and(|e| e.to_string().contains("RTM code path"));
+        let obs = Observation {
+            spec,
+            vectorized: compiled.plan.is_ok(),
+            rtm_hint,
+            invocations: req.invocations.max(1),
+            wall_micros: outcome.throughput.wall.as_micros() as u64,
+            report: &outcome.throughput,
+        };
+        let decision = self
+            .profiles
+            .lock()
+            .expect("profiles lock")
+            .entry(hash)
+            .or_default()
+            .observe(&obs, &self.tune_cfg);
+        let Some(decision) = decision else { return };
+        {
+            let mut totals = self.totals.lock().expect("totals lock");
+            *totals
+                .entry(autotune_reason_counter(decision.reason))
+                .or_insert(0) += 1;
+            if decision.to.is_some() {
+                *totals.entry("autotune_respecialize").or_insert(0) += 1;
+            }
+        }
+        let Some(to) = decision.to else { return };
+        // Build the new variant now (off the request that triggered the
+        // decision, not the next one) and pin it so cache churn cannot
+        // flush the plan the autotuner selected; the abandoned variant
+        // becomes ordinarily evictable again.
+        let _ = self
+            .cache
+            .get_or_respecialize(&kernel.program, &compiled.analysis, to);
+        self.cache.pin(hash, to);
+        if to != spec {
+            self.cache.unpin(hash, spec);
+        }
     }
 
     /// Resolves the request's kernel: inline source is parsed and
@@ -353,8 +488,9 @@ impl ServeEngine {
             }),
             Op::Compile => {
                 let kernel = self.resolve(req)?;
+                let spec = self.effective_spec(program_hash(&kernel.program), req);
                 let t0 = Instant::now();
-                let (compiled, hit) = self.lookup_or_compile(&kernel, req.spec);
+                let (compiled, hit) = self.lookup_or_compile(&kernel, spec);
                 let compile_wall = t0.elapsed();
                 let mut fields = kernel_fields(&kernel, &compiled, hit);
                 fields.push((
@@ -370,13 +506,18 @@ impl ServeEngine {
             }
             Op::Run | Op::Bench => {
                 let kernel = self.resolve(req)?;
+                let spec = self.effective_spec(program_hash(&kernel.program), req);
                 let t0 = Instant::now();
-                let (compiled, hit) = self.lookup_or_compile(&kernel, req.spec);
+                let (compiled, hit) = self.lookup_or_compile(&kernel, spec);
                 let compile_wall = t0.elapsed();
                 let t1 = Instant::now();
-                let outcome = self.execute(&kernel, &compiled, req, cancel)?;
+                let outcome = self.execute(&kernel, &compiled, req, spec, cancel)?;
                 let exec_wall = t1.elapsed();
+                if !req.spec_explicit {
+                    self.observe_and_tune(&kernel, &compiled, req, spec, &outcome);
+                }
                 let mut fields = kernel_fields(&kernel, &compiled, hit);
+                fields.push(("spec", Json::from(spec_label(spec))));
                 fields.extend(run_fields(&outcome, req));
                 Ok(OpResult {
                     fields,
@@ -388,13 +529,15 @@ impl ServeEngine {
         }
     }
 
-    /// Executes the kernel `req.invocations` times: scalar baseline
-    /// always, vector code when the plan exists, both verified.
+    /// Executes the kernel `req.invocations` times under the effective
+    /// `spec`: scalar baseline + verification on the first run of each
+    /// variant (and on audits), vector-only on verified steady state.
     fn execute(
         &self,
         kernel: &ParsedKernel,
         compiled: &CompiledKernel,
         req: &Request,
+        spec: SpecRequest,
         cancel: Option<&CancelToken>,
     ) -> Result<ExecOutcome, ProtoError> {
         let program = &kernel.program;
@@ -418,35 +561,70 @@ impl ServeEngine {
             Bindings::new(ids)
         };
 
+        // Verified-once gate: the scalar baseline (and the element-
+        // for-element comparison below) runs on the first execution of
+        // each (kernel, spec) variant and on every audit after
+        // `AutotuneConfig::audit_every` vector-only runs. Steady-state
+        // traffic of a verified variant runs vector-only — every
+        // request materializes the same seeded arrays, so the baseline
+        // it was verified against is the baseline it would recompute.
+        // This applies to explicit-spec requests too: an explicit spec
+        // pins the *variant*; the verification discipline is the same.
+        let hash = compiled.program_hash;
+        let full_verify = compiled.plan.is_err()
+            || self
+                .profiles
+                .lock()
+                .expect("profiles lock")
+                .entry(hash)
+                .or_default()
+                .needs_verify(spec, &self.tune_cfg);
+
         // Scalar baseline on the OOO model.
-        let mut mem_s = AddressSpace::new();
-        let bind_s = bind_arrays(&mut mem_s);
-        let mut sim_s = OooSim::new(config.clone());
-        let mut scalar_final = None;
-        for _ in 0..invocations {
-            let r = run_scalar_cancellable(program, &mut mem_s, bind_s.clone(), &mut sim_s, cancel)
-                .map_err(|e| map_exec("scalar", e))?;
-            scalar_final = Some(r);
+        let mut scalar_state = None;
+        if full_verify {
+            let mut mem_s = AddressSpace::new();
+            let bind_s = bind_arrays(&mut mem_s);
+            let mut sim_s = OooSim::new(config.clone());
+            let mut scalar_final = None;
+            let scalar_start = Instant::now();
+            for _ in 0..invocations {
+                let r =
+                    run_scalar_cancellable(program, &mut mem_s, bind_s.clone(), &mut sim_s, cancel)
+                        .map_err(|e| map_exec("scalar", e))?;
+                scalar_final = Some(r);
+            }
+            scalar_state = Some(ScalarBaseline {
+                wall: scalar_start.elapsed(),
+                cycles: sim_s.result().cycles,
+                uops: sim_s.len(),
+                run: scalar_final.expect("at least one invocation"),
+                mem: mem_s,
+                bind: bind_s,
+            });
         }
-        let scalar_run = scalar_final.expect("at least one invocation");
-        let scalar_cycles = sim_s.result().cycles;
-        let live_outs: Vec<(String, i64)> = program
-            .live_out
-            .iter()
-            .map(|v| (program.var_name(*v).to_owned(), scalar_run.var(*v)))
-            .collect();
 
         let Ok(plan) = &compiled.plan else {
+            let base = scalar_state.expect("scalar-only plans always run the baseline");
+            let live_outs = program
+                .live_out
+                .iter()
+                .map(|v| (program.var_name(*v).to_owned(), base.run.var(*v)))
+                .collect();
             return Ok(ExecOutcome {
                 kind: "scalar-only",
-                scalar_cycles,
-                vector_cycles: scalar_cycles,
+                verified: true,
+                scalar_cycles: base.cycles,
+                vector_cycles: base.cycles,
                 stats: VectorStats::default(),
+                // The wall is the scalar loop's: it is the latency an
+                // implicit-spec request actually paid, which is what
+                // the autotuner's Auto-variant EWMA must see.
                 throughput: ThroughputReport::new(
                     "scalar",
-                    Duration::ZERO,
+                    base.wall,
                     0,
-                    sim_s.len(),
+                    base.uops,
                     flexvec_mem::PageCacheStats::default(),
                 ),
                 live_outs,
@@ -457,7 +635,7 @@ impl ServeEngine {
         // policy (or an explicit request engine) picked.
         let (engine, promoted) = self.resolve_engine(compiled.program_hash, req);
         let native = (engine == Engine::Native)
-            .then(|| self.native_plan(compiled.program_hash, req.spec, &plan.compiled));
+            .then(|| self.native_plan(compiled.program_hash, spec, &plan.compiled));
         self.record_tier(engine, promoted);
         let mut mem_v = AddressSpace::new();
         let bind_v = bind_arrays(&mut mem_v);
@@ -521,33 +699,80 @@ impl ServeEngine {
         let vector_run = vector_final.expect("at least one invocation");
         let vector_cycles = sim_v.result().cycles;
 
-        // Verification: live-outs and every array element must agree.
-        for v in &program.live_out {
-            if scalar_run.var(*v) != vector_run.var(*v) {
-                return Err(ProtoError::new(
-                    ErrorKind::ExecError,
-                    format!(
-                        "scalar/vector mismatch: live-out {} is {} scalar vs {} vector",
-                        program.var_name(*v),
-                        scalar_run.var(*v),
-                        vector_run.var(*v)
-                    ),
-                ));
+        let (scalar_cycles, live_outs) = match &scalar_state {
+            Some(base) => {
+                // Verification: live-outs and every array element must
+                // agree with the scalar baseline.
+                for v in &program.live_out {
+                    if base.run.var(*v) != vector_run.var(*v) {
+                        return Err(ProtoError::new(
+                            ErrorKind::ExecError,
+                            format!(
+                                "scalar/vector mismatch: live-out {} is {} scalar vs {} vector",
+                                program.var_name(*v),
+                                base.run.var(*v),
+                                vector_run.var(*v)
+                            ),
+                        ));
+                    }
+                }
+                for i in 0..arrays.len() {
+                    let a = base.bind.array(i as u32);
+                    let b = bind_v.array(i as u32);
+                    if base.mem.snapshot_array(a) != mem_v.snapshot_array(b) {
+                        return Err(ProtoError::new(
+                            ErrorKind::ExecError,
+                            format!(
+                                "scalar/vector mismatch: array {} differs",
+                                program.array_name(flexvec_ir::ArraySym(i as u32))
+                            ),
+                        ));
+                    }
+                }
+                self.profiles
+                    .lock()
+                    .expect("profiles lock")
+                    .entry(hash)
+                    .or_default()
+                    .note_verified(spec, base.cycles / invocations);
+                *self
+                    .totals
+                    .lock()
+                    .expect("totals lock")
+                    .entry("autotune_verified")
+                    .or_insert(0) += 1;
+                let live_outs = program
+                    .live_out
+                    .iter()
+                    .map(|v| (program.var_name(*v).to_owned(), base.run.var(*v)))
+                    .collect();
+                (base.cycles, live_outs)
             }
-        }
-        for i in 0..arrays.len() {
-            let a = bind_s.array(i as u32);
-            let b = bind_v.array(i as u32);
-            if mem_s.snapshot_array(a) != mem_v.snapshot_array(b) {
-                return Err(ProtoError::new(
-                    ErrorKind::ExecError,
-                    format!(
-                        "scalar/vector mismatch: array {} differs",
-                        program.array_name(flexvec_ir::ArraySym(i as u32))
-                    ),
-                ));
+            None => {
+                // Vector-only steady state: live-outs come from the
+                // vector run (the verified-identical computation) and
+                // the baseline cycles are the ones recorded at
+                // verification time, scaled to this invocation count.
+                let per_inv = {
+                    let mut profiles = self.profiles.lock().expect("profiles lock");
+                    let p = profiles.entry(hash).or_default();
+                    p.note_vector_only();
+                    p.scalar_cycles_per_inv
+                };
+                *self
+                    .totals
+                    .lock()
+                    .expect("totals lock")
+                    .entry("autotune_vector_only")
+                    .or_insert(0) += 1;
+                let live_outs = program
+                    .live_out
+                    .iter()
+                    .map(|v| (program.var_name(*v).to_owned(), vector_run.var(*v)))
+                    .collect();
+                (per_inv * invocations, live_outs)
             }
-        }
+        };
 
         self.record_totals(&agg_stats, &throughput);
         Ok(ExecOutcome {
@@ -555,6 +780,7 @@ impl ServeEngine {
                 flexvec::VectorizedKind::Traditional => "traditional",
                 flexvec::VectorizedKind::FlexVec => "flexvec",
             },
+            verified: scalar_state.is_some(),
             scalar_cycles,
             vector_cycles,
             stats: last_stats,
@@ -599,6 +825,25 @@ impl ServeEngine {
                 value: *value,
             })
             .collect();
+        // Active-spec breakdown across profiled kernels: one labeled
+        // gauge family, both rows always present.
+        let (mut autos, mut rtms) = (0u64, 0u64);
+        for p in self.profiles.lock().expect("profiles lock").values() {
+            match p.active {
+                SpecRequest::Auto => autos += 1,
+                SpecRequest::Rtm { .. } => rtms += 1,
+            }
+        }
+        out.extend([
+            ExternalSample {
+                name: "flexvec_autotune_active_spec{mode=\"auto\"}",
+                value: autos,
+            },
+            ExternalSample {
+                name: "flexvec_autotune_active_spec{mode=\"rtm\"}",
+                value: rtms,
+            },
+        ]);
         let stats = self.cache.stats();
         out.extend([
             ExternalSample {
@@ -665,7 +910,31 @@ impl ServeEngine {
         let stats = self.cache.stats();
         let totals = self.totals.lock().expect("totals lock");
         let total = |name: &str| totals.get(name).copied().unwrap_or(0);
-        Vec::from([
+        // Per-kernel autotune state, keyed by kernel hash: what the
+        // autotuner currently runs and why (`flexvecc client stats
+        // --json` surfaces this verbatim).
+        let autotune_kernels: BTreeMap<String, Json> = self
+            .profiles
+            .lock()
+            .expect("profiles lock")
+            .iter()
+            .map(|(hash, p)| {
+                (
+                    hash_hex(*hash),
+                    Json::Obj(BTreeMap::from([
+                        ("spec".to_owned(), Json::from(spec_label(p.active))),
+                        ("tile".to_owned(), Json::from(u64::from(p.active_tile()))),
+                        ("last_reason".to_owned(), Json::from(p.last_reason)),
+                        ("runs".to_owned(), Json::from(p.runs)),
+                        (
+                            "verified".to_owned(),
+                            Json::from(p.verified_spec() == Some(p.active)),
+                        ),
+                    ])),
+                )
+            })
+            .collect();
+        let mut fields = Vec::from([
             ("version", Json::from(info.version)),
             ("git_hash", Json::from(info.git_hash)),
             (
@@ -717,7 +986,23 @@ impl ServeEngine {
                         .load(std::sync::atomic::Ordering::Relaxed)
                 })),
             ),
-        ])
+        ]);
+        fields.extend([
+            (
+                "autotune_respecialize_total",
+                Json::from(total("autotune_respecialize")),
+            ),
+            (
+                "autotune_verified_total",
+                Json::from(total("autotune_verified")),
+            ),
+            (
+                "autotune_vector_only_total",
+                Json::from(total("autotune_vector_only")),
+            ),
+            ("autotune_kernels", Json::Obj(autotune_kernels)),
+        ]);
+        fields
     }
 }
 
@@ -734,9 +1019,31 @@ fn cancel_error(cancel: Option<&CancelToken>) -> ProtoError {
     }
 }
 
+/// The wire label of a speculation request (`"auto"` / `"rtm:TILE"`).
+fn spec_label(spec: SpecRequest) -> String {
+    match spec {
+        SpecRequest::Auto => "auto".to_owned(),
+        SpecRequest::Rtm { tile } => format!("rtm:{tile}"),
+    }
+}
+
+/// The scalar half of a fully verified run: final state and
+/// measurements of the baseline loop.
+struct ScalarBaseline {
+    wall: Duration,
+    cycles: u64,
+    uops: u64,
+    run: flexvec_vm::RunResult,
+    mem: AddressSpace,
+    bind: Bindings,
+}
+
 /// Measured outcome of one executed request.
 struct ExecOutcome {
     kind: &'static str,
+    /// Whether this run recomputed and compared the scalar baseline
+    /// (first run of a variant, or a periodic audit).
+    verified: bool,
     scalar_cycles: u64,
     vector_cycles: u64,
     stats: VectorStats,
@@ -762,6 +1069,7 @@ fn run_fields(outcome: &ExecOutcome, req: &Request) -> Vec<(&'static str, Json)>
     let mut fields = vec![
         ("kind", Json::from(outcome.kind)),
         ("engine", Json::from(outcome.throughput.label.as_str())),
+        ("verified", Json::from(outcome.verified)),
         ("scalar_cycles", Json::from(outcome.scalar_cycles)),
         ("vector_cycles", Json::from(outcome.vector_cycles)),
         (
@@ -826,6 +1134,7 @@ for (i = 0; i < 64; i++) {
             source: source.map(str::to_owned),
             hash,
             spec: flexvec::SpecRequest::Auto,
+            spec_explicit: false,
             engine: Some(Engine::Compiled),
             invocations: 1,
             deadline_ms: None,
@@ -980,6 +1289,210 @@ for (i = 0; i < 64; i++) {
             field(&stats, "tier_promotions_total").as_u64(),
             Some(0),
             "explicit engines never count as promotions"
+        );
+    }
+
+    /// Store between a speculative load and its conditional update:
+    /// rejected under Auto (store inside an FF VPL) with the RTM hint,
+    /// clean under RTM.
+    const RTM_WIN: &str = "\
+kernel rtm_win;
+var i = 0;
+var t = 0;
+var u = 0;
+var best = 1048576;
+array a[256] = seed 7;
+array aux[256] = seed 9;
+array out[256];
+live_out best;
+for (i = 0; i < 256; i++) {
+  t = a[i] * 3 + i;
+  if (t < best) {
+    u = aux[t & 255];
+    out[i] = u;
+    if (u < best) {
+      best = u;
+    }
+  }
+}
+";
+
+    /// Same shape, but five stored arrays and a floor keeping `best`
+    /// (and so the guard) high: every iteration stores, so a
+    /// 1024-iteration RTM tile buffers 5120 writes — past the
+    /// 4096-element transaction capacity. The explore tile aborts on
+    /// every tile and must halve (512 × 5 = 2560 fits).
+    const CONFLICTY: &str = "\
+kernel conflicty;
+var i = 0;
+var t = 0;
+var u = 0;
+var best = 1048576;
+array a[2048] = seed 5;
+array aux[2048] = seed 9;
+array o0[2048];
+array o1[2048];
+array o2[2048];
+array o3[2048];
+array o4[2048];
+live_out best;
+for (i = 0; i < 2048; i++) {
+  t = a[i] * 3 + i;
+  if (t < best) {
+    u = aux[t & 2047];
+    o0[i] = u;
+    o1[i] = u;
+    o2[i] = u;
+    o3[i] = u;
+    o4[i] = u;
+    if (u < best) {
+      best = u + 100000;
+    }
+  }
+}
+";
+
+    fn stat_u64(fields: &[(&'static str, Json)], name: &str) -> u64 {
+        field(fields, name).as_u64().unwrap()
+    }
+
+    fn kernel_state<'a>(fields: &'a [(&'static str, Json)], hash: &str) -> &'a Json {
+        field(fields, "autotune_kernels")
+            .get(hash)
+            .expect("kernel profiled")
+    }
+
+    #[test]
+    fn autotuner_unlocks_rtm_for_hinted_scalar_only_kernel() {
+        let engine = ServeEngine::new(0);
+        let r = req(Op::Run, Some(RTM_WIN), None);
+        let cooldown = engine.tune_cfg.cooldown_runs as usize;
+        // Under Auto the kernel is scalar-only, and stays so through
+        // the cooldown window.
+        let mut hash = String::new();
+        for _ in 0..cooldown {
+            let out = engine.handle(&r, None).unwrap();
+            assert_eq!(field(&out.fields, "kind").as_str(), Some("scalar-only"));
+            assert_eq!(field(&out.fields, "spec").as_str(), Some("auto"));
+            hash = field(&out.fields, "hash").as_str().unwrap().to_owned();
+        }
+        // The cooldown-closing run fired the rtm_unlock decision: the
+        // next implicit request runs the re-specialized RTM variant,
+        // fully verified (first run of the variant)...
+        let out = engine.handle(&r, None).unwrap();
+        assert_eq!(field(&out.fields, "kind").as_str(), Some("flexvec"));
+        assert_eq!(field(&out.fields, "spec").as_str(), Some("rtm:1024"));
+        assert_eq!(field(&out.fields, "verified").as_bool(), Some(true));
+        // ...and the run after that is vector-only steady state.
+        let out = engine.handle(&r, None).unwrap();
+        assert_eq!(field(&out.fields, "verified").as_bool(), Some(false));
+
+        let stats = engine.stats_fields();
+        assert_eq!(stat_u64(&stats, "autotune_respecialize_total"), 1);
+        assert!(stat_u64(&stats, "autotune_vector_only_total") >= 1);
+        let k = kernel_state(&stats, &hash);
+        assert_eq!(k.get("spec").and_then(Json::as_str), Some("rtm:1024"));
+        assert_eq!(
+            k.get("last_reason").and_then(Json::as_str),
+            Some("rtm_unlock")
+        );
+        let samples = engine.metric_samples();
+        let sample = |name: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == name)
+                .map(|s| s.value)
+                .unwrap_or_else(|| panic!("missing sample {name}"))
+        };
+        assert_eq!(sample("flexvec_autotune_respecialize_total"), 1);
+        assert_eq!(sample("flexvec_autotune_reason_rtm_unlock_total"), 1);
+        assert_eq!(sample("flexvec_autotune_active_spec{mode=\"rtm\"}"), 1);
+    }
+
+    #[test]
+    fn explicit_spec_bypasses_the_autotuner_and_always_verifies() {
+        let engine = ServeEngine::new(0);
+        let mut r = req(Op::Run, Some(RTM_WIN), None);
+        r.spec_explicit = true;
+        // Explicit "auto" stays scalar-only forever: no profile is fed,
+        // no decision ever fires, and every run is fully verified.
+        for _ in 0..3 * engine.tune_cfg.cooldown_runs {
+            let out = engine.handle(&r, None).unwrap();
+            assert_eq!(field(&out.fields, "kind").as_str(), Some("scalar-only"));
+            assert_eq!(field(&out.fields, "verified").as_bool(), Some(true));
+        }
+        let stats = engine.stats_fields();
+        assert_eq!(stat_u64(&stats, "autotune_respecialize_total"), 0);
+        assert!(
+            matches!(field(&stats, "autotune_kernels"), Json::Obj(m) if m.is_empty()),
+            "explicit scalar-only requests never feed the profile map"
+        );
+
+        // Pinning an RTM tile is honored verbatim, but only the
+        // verification bookkeeping is shared: after the first verified
+        // run the pinned variant goes vector-only, and the tuner still
+        // never fires a decision.
+        let mut rtm = req(Op::Run, Some(RTM_WIN), None);
+        rtm.spec = SpecRequest::Rtm { tile: 1024 };
+        rtm.spec_explicit = true;
+        let first = engine.handle(&rtm, None).unwrap();
+        assert_eq!(field(&first.fields, "spec").as_str(), Some("rtm:1024"));
+        assert_eq!(field(&first.fields, "verified").as_bool(), Some(true));
+        for _ in 0..2 * engine.tune_cfg.cooldown_runs {
+            let out = engine.handle(&rtm, None).unwrap();
+            assert_eq!(field(&out.fields, "spec").as_str(), Some("rtm:1024"));
+            assert_eq!(field(&out.fields, "verified").as_bool(), Some(false));
+        }
+        let stats = engine.stats_fields();
+        assert_eq!(stat_u64(&stats, "autotune_respecialize_total"), 0);
+    }
+
+    #[test]
+    fn autotuner_halves_aborting_rtm_tile_and_leaves_clean_kernel_alone() {
+        let engine = ServeEngine::new(0);
+        let cooldown = engine.tune_cfg.cooldown_runs as usize;
+
+        // Conflict-heavy kernel: unlock at 1024, abort storm (write-set
+        // capacity overflow), halved to 512 at the next decision point.
+        let conflicty = req(Op::Run, Some(CONFLICTY), None);
+        let mut hash_c = String::new();
+        for _ in 0..2 * cooldown {
+            let out = engine.handle(&conflicty, None).unwrap();
+            hash_c = field(&out.fields, "hash").as_str().unwrap().to_owned();
+        }
+        let stats = engine.stats_fields();
+        let k = kernel_state(&stats, &hash_c);
+        assert_eq!(k.get("spec").and_then(Json::as_str), Some("rtm:512"));
+        assert_eq!(
+            k.get("last_reason").and_then(Json::as_str),
+            Some("halve_tile")
+        );
+        // The halved tile fits the transaction: the next run commits.
+        let out = engine.handle(&conflicty, None).unwrap();
+        assert_eq!(field(&out.fields, "spec").as_str(), Some("rtm:512"));
+        assert_eq!(field(&out.fields, "kind").as_str(), Some("flexvec"));
+        let samples = engine.metric_samples();
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "flexvec_engine_rtm_aborts_total" && s.value > 0));
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "flexvec_autotune_reason_halve_tile_total" && s.value == 1));
+
+        // Clean single-store kernel: unlocked to rtm:1024 and NOT
+        // halved — its writes fit the transaction.
+        let clean = req(Op::Run, Some(RTM_WIN), None);
+        let mut hash_k = String::new();
+        for _ in 0..2 * cooldown - 1 {
+            let out = engine.handle(&clean, None).unwrap();
+            hash_k = field(&out.fields, "hash").as_str().unwrap().to_owned();
+        }
+        let stats = engine.stats_fields();
+        let k = kernel_state(&stats, &hash_k);
+        assert_eq!(k.get("spec").and_then(Json::as_str), Some("rtm:1024"));
+        assert_eq!(
+            k.get("last_reason").and_then(Json::as_str),
+            Some("rtm_unlock")
         );
     }
 

@@ -50,6 +50,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod autotune;
 pub mod client;
 pub mod cluster;
 pub mod engine;

@@ -243,8 +243,21 @@ impl ServeMetrics {
             "flexvec_serve_run_micros",
             "Execution latency in microseconds",
         );
+        // Labeled samples (`name{label="v"}`) share one metric family:
+        // the TYPE line is emitted once per base name, and families
+        // without the `_total` suffix are gauges (cache entry counts,
+        // active-spec breakdowns), not counters.
+        let mut typed = std::collections::BTreeSet::new();
         for sample in extra {
-            let _ = writeln!(out, "# TYPE {} counter", sample.name);
+            let base = sample.name.split('{').next().unwrap_or(sample.name);
+            if typed.insert(base) {
+                let kind = if base.ends_with("_total") {
+                    "counter"
+                } else {
+                    "gauge"
+                };
+                let _ = writeln!(out, "# TYPE {base} {kind}");
+            }
             let _ = writeln!(out, "{} {}", sample.name, sample.value);
         }
         out
@@ -280,15 +293,35 @@ mod tests {
         m.requests_total.add(3);
         m.queue_depth.set(2);
         m.run_latency.observe(Duration::from_micros(100));
-        let text = m.render(&[ExternalSample {
-            name: "flexvec_cache_hits",
-            value: 9,
-        }]);
+        let text = m.render(&[
+            ExternalSample {
+                name: "flexvec_cache_hits",
+                value: 9,
+            },
+            ExternalSample {
+                name: "flexvec_autotune_active_spec{mode=\"auto\"}",
+                value: 2,
+            },
+            ExternalSample {
+                name: "flexvec_autotune_active_spec{mode=\"rtm\"}",
+                value: 1,
+            },
+        ]);
         assert!(text.contains("flexvec_serve_requests_total 3"));
         assert!(text.contains("# TYPE flexvec_serve_queue_depth gauge"));
         assert!(text.contains("flexvec_serve_queue_depth 2"));
         assert!(text.contains("flexvec_serve_run_micros_count 1"));
         assert!(text.contains("flexvec_cache_hits 9"));
+        // Labeled samples share one TYPE line under the base name, and
+        // non-_total families are gauges.
+        assert!(text.contains("# TYPE flexvec_cache_hits gauge"));
+        assert!(text.contains("# TYPE flexvec_autotune_active_spec gauge"));
+        assert_eq!(
+            text.matches("# TYPE flexvec_autotune_active_spec").count(),
+            1
+        );
+        assert!(text.contains("flexvec_autotune_active_spec{mode=\"auto\"} 2"));
+        assert!(text.contains("flexvec_autotune_active_spec{mode=\"rtm\"} 1"));
     }
 
     #[test]

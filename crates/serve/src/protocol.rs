@@ -126,6 +126,11 @@ pub struct Request {
     pub hash: Option<u64>,
     /// Speculation strategy (`ff`/`auto`, `rtm`, `rtm:TILE`).
     pub spec: SpecRequest,
+    /// Whether the client actually sent a `spec` field. An explicit
+    /// spec — even `"auto"` — bypasses the daemon's autotuner; an
+    /// omitted one lets the per-kernel profile pick the speculation
+    /// strategy.
+    pub spec_explicit: bool,
     /// Execution engine. `None` (the wire value `auto`, and the
     /// default) lets the daemon's tier policy pick: kernels start on
     /// the tree walker and are promoted to bytecode and then native
@@ -243,9 +248,9 @@ impl Request {
         if source.is_some() && hash.is_some() {
             return Err(bad("give `source` or `hash`, not both".to_owned()));
         }
-        let spec = match value.get("spec") {
-            None | Some(Json::Null) => SpecRequest::Auto,
-            Some(Json::Str(s)) => parse_spec(s).map_err(&bad)?,
+        let (spec, spec_explicit) = match value.get("spec") {
+            None | Some(Json::Null) => (SpecRequest::Auto, false),
+            Some(Json::Str(s)) => (parse_spec(s).map_err(&bad)?, true),
             Some(_) => return Err(bad("`spec` must be a string".to_owned())),
         };
         let engine = match value.get("engine") {
@@ -280,6 +285,7 @@ impl Request {
             source,
             hash,
             spec,
+            spec_explicit,
             engine,
             invocations,
             deadline_ms,
@@ -302,11 +308,16 @@ impl Request {
         if let Some(hash) = self.hash {
             pairs.push(("hash", Json::from(hash_hex(hash))));
         }
-        let spec = match self.spec {
-            SpecRequest::Auto => "ff".to_owned(),
-            SpecRequest::Rtm { tile } => format!("rtm:{tile}"),
-        };
-        pairs.push(("spec", Json::from(spec)));
+        // `spec` goes on the wire only when the client sent one: a
+        // forwarded request must stay autotunable on the peer, and an
+        // emitted `spec` field would read back as explicit.
+        if self.spec_explicit {
+            let spec = match self.spec {
+                SpecRequest::Auto => "ff".to_owned(),
+                SpecRequest::Rtm { tile } => format!("rtm:{tile}"),
+            };
+            pairs.push(("spec", Json::from(spec)));
+        }
         if let Some(engine) = self.engine {
             let engine = match engine {
                 Engine::TreeWalking => "tree",
@@ -364,6 +375,7 @@ mod tests {
         assert_eq!(r.op, Op::Bench);
         assert_eq!(r.hash, Some(0xff));
         assert_eq!(r.spec, SpecRequest::Rtm { tile: 64 });
+        assert!(r.spec_explicit);
         assert_eq!(r.engine, Some(Engine::TreeWalking));
         assert_eq!(r.invocations, 32);
         assert_eq!(r.deadline_ms, Some(250));
@@ -374,6 +386,7 @@ mod tests {
         let r = Request::parse(r#"{"op":"run","source":"kernel k;"}"#).unwrap();
         assert_eq!(r.id, 0);
         assert_eq!(r.spec, SpecRequest::Auto);
+        assert!(!r.spec_explicit, "omitted spec means the autotuner");
         assert_eq!(r.engine, None, "omitted engine means the tier policy");
         assert_eq!(r.invocations, 1);
         assert_eq!(r.deadline_ms, None);
@@ -493,6 +506,16 @@ mod tests {
         let relayed = Request::parse(&r.to_json(false).to_string()).unwrap();
         assert_eq!(relayed.source.as_deref(), Some("kernel k;"));
         assert!(!relayed.forwarded);
+        assert!(
+            !relayed.spec_explicit,
+            "an implicit spec stays implicit across a relay"
+        );
+
+        let r = Request::parse(r#"{"op":"run","source":"k","spec":"auto"}"#).unwrap();
+        assert!(r.spec_explicit, "even `auto` counts when actually sent");
+        let relayed = Request::parse(&r.to_json(true).to_string()).unwrap();
+        assert!(relayed.spec_explicit);
+        assert_eq!(relayed.spec, SpecRequest::Auto);
     }
 
     #[test]

@@ -558,7 +558,7 @@ fn route_cluster(shared: &Shared, job: &Job) -> Option<Json> {
     if cluster.is_local(hash) {
         return None;
     }
-    if shared.engine.has_compiled(hash, req.spec) {
+    if shared.engine.has_compiled_for(hash, req) {
         return None; // already warm locally; forwarding would be slower
     }
     if cluster.note_forward(hash) && shared.engine.knows_kernel(hash) {
