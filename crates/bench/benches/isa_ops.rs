@@ -1,27 +1,39 @@
 //! Microbenchmarks of the FlexVec ISA functional model (experiment E7's
-//! implementation): throughput of the four new instructions.
+//! implementation): throughput of the four new instructions, swept over
+//! every supported vector length. The mask patterns are vl-relative —
+//! a dense top (all but the low four lanes) and a two-lane sparse
+//! survivor pattern — so each width exercises the same shape.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use flexvec_isa::{kftm_exc, kftm_inc, vpconflictm, vpslctlast, Mask, Vector};
+use flexvec_isa::{
+    kftm_exc, kftm_inc, vpconflictm, vpslctlast, with_vlen, Mask, Vector, SUPPORTED_VLENS,
+};
 
 fn bench_isa(c: &mut Criterion) {
-    let k2 = Mask::from_bits(0xfff0);
-    let k3 = Mask::from_bits(0x0880);
-    let v1 = Vector::from_fn(|i| (i as i64 * 7919) % 13);
-    let v2 = Vector::from_fn(|i| (i as i64 * 104729) % 13);
+    for vl in SUPPORTED_VLENS {
+        with_vlen(vl, || {
+            // At vl=16 these reproduce the historical 0xfff0 / 0x0880
+            // fixed patterns; at other widths they scale with the lane
+            // count instead of silently truncating.
+            let k2 = Mask::from_bits(!0u64 << 4);
+            let k3 = Mask::from_lanes(&[vl / 2 - 1, (3 * vl) / 4 - 1]);
+            let v1 = Vector::from_fn(|i| (i as i64 * 7919) % 13);
+            let v2 = Vector::from_fn(|i| (i as i64 * 104729) % 13);
 
-    c.bench_function("kftm_exc", |b| {
-        b.iter(|| kftm_exc(black_box(k2), black_box(k3)))
-    });
-    c.bench_function("kftm_inc", |b| {
-        b.iter(|| kftm_inc(black_box(k2), black_box(k3)))
-    });
-    c.bench_function("vpslctlast", |b| {
-        b.iter(|| vpslctlast(black_box(k2), black_box(v1)))
-    });
-    c.bench_function("vpconflictm", |b| {
-        b.iter(|| vpconflictm(black_box(k2), black_box(v1), black_box(v2)))
-    });
+            c.bench_function(&format!("kftm_exc/vl{vl}"), |b| {
+                b.iter(|| kftm_exc(black_box(k2), black_box(k3)))
+            });
+            c.bench_function(&format!("kftm_inc/vl{vl}"), |b| {
+                b.iter(|| kftm_inc(black_box(k2), black_box(k3)))
+            });
+            c.bench_function(&format!("vpslctlast/vl{vl}"), |b| {
+                b.iter(|| vpslctlast(black_box(k2), black_box(v1)))
+            });
+            c.bench_function(&format!("vpconflictm/vl{vl}"), |b| {
+                b.iter(|| vpconflictm(black_box(k2), black_box(v1), black_box(v2)))
+            });
+        });
+    }
 }
 
 criterion_group!(benches, bench_isa);

@@ -160,6 +160,44 @@ fn bench_engines(c: &mut Criterion) {
             );
         }
 
+        // Width sweep: the bytecode is width-independent, so one
+        // compile is re-executed at every supported vector length the
+        // kernel's analysis ceiling allows (wider vl → fewer, fatter
+        // chunks). One-shot report plus criterion entries per width.
+        for vl in flexvec_isa::SUPPORTED_VLENS {
+            if vl > p.vectorized.vprog.max_vl {
+                println!(
+                    "{name}: vl {vl} skipped (width ceiling {})",
+                    p.vectorized.vprog.max_vl
+                );
+                continue;
+            }
+            flexvec_isa::with_vlen(vl, || {
+                let mut engine = {
+                    let c = CompiledVProg::compile(&p.vectorized.vprog);
+                    let scratch = c.scratch();
+                    Some((c, scratch))
+                };
+                let cps = chunks_per_sec(&mut p, &mut engine, 20);
+                println!("{name}: compiled @ vl {vl:>2}: {cps:.3e} chunks/s");
+            });
+        }
+        if name == "straightline" {
+            for vl in flexvec_isa::SUPPORTED_VLENS {
+                if vl > p.vectorized.vprog.max_vl {
+                    continue;
+                }
+                let mut engine = flexvec_isa::with_vlen(vl, || {
+                    let c = CompiledVProg::compile(&p.vectorized.vprog);
+                    let scratch = c.scratch();
+                    Some((c, scratch))
+                });
+                group.bench_function(&format!("{name}/compiled/vl{vl}"), |b| {
+                    b.iter(|| flexvec_isa::with_vlen(vl, || chunks_per_sec(&mut p, &mut engine, 1)))
+                });
+            }
+        }
+
         group.bench_function(&format!("{name}/tree-walking"), |b| {
             b.iter(|| chunks_per_sec(&mut p, &mut tree_engine, 1))
         });

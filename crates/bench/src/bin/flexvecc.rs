@@ -11,12 +11,15 @@
 //! ```
 //!
 //! Common flags: `--engine tree|compiled`, `--spec ff|rtm[:TILE]`,
-//! `--json`; `run`/`bench` also take `--invocations N` and `bench` takes
-//! `--waves N`. `fuzz` takes `--seed N`, `--iters N`, `--budget-ms N`
+//! `--vl 8|16|32|64` (ambient vector length for the local drivers and
+//! fuzzer; forwarded per-request by `client`), `--json`; `run`/`bench`
+//! also take `--invocations N` and `bench` takes `--waves N`. `fuzz`
+//! takes `--seed N`, `--iters N`, `--budget-ms N`
 //! and `--repro-dir PATH` (where divergence/mutant repros are written).
 //! `serve` takes `--addr`, `--metrics-addr` (or `off`), `--workers`,
 //! `--queue`, `--cache`, `--deadline-ms`, `--cache-dir PATH` (persist
-//! compiled kernels across restarts), and `--cluster A,B,...` with
+//! compiled kernels across restarts), `--accept-mode auto|threads`,
+//! and `--cluster A,B,...` with
 //! `--advertise ADDR` (consistent-hash ring across daemons); `client`
 //! takes `--addr` plus the run flags, retrying refused connects with
 //! capped backoff. `--version` prints the build identity.
@@ -115,8 +118,27 @@ fn main() {
                 name: "advertise",
                 help: "this node's address in the --cluster member list (default --addr)",
             },
+            ExtraFlag {
+                name: "vl",
+                help: "vector length in lanes for run/bench/fuzz, or per-request for client (8, 16, 32 or 64; default 16)",
+            },
+            ExtraFlag {
+                name: "accept-mode",
+                help: "serve accept path: auto (reactor where available) or threads (default auto)",
+            },
         ],
     );
+    // `--vl` sets the ambient vector length for the local engines (the
+    // batch drivers and the fuzzer); `client` additionally forwards it
+    // on the wire so the daemon executes at that width.
+    let vl = flags.u64_flag("vl", 0) as usize;
+    if vl != 0 && flexvec_isa::set_vlen(vl).is_err() {
+        eprintln!(
+            "flexvecc: --vl must be one of {:?}",
+            flexvec_isa::SUPPORTED_VLENS
+        );
+        std::process::exit(2);
+    }
     let Some((cmd, paths)) = flags.positional.split_first() else {
         eprintln!(
             "{ABOUT}\nusage: flexvecc <check|vectorize|run|bench|fuzz|serve|client> <files|dirs...> (see --help)"
@@ -298,10 +320,11 @@ fn fuzz_campaign(
             ),
         };
         println!(
-            "{{\n  \"seed\": {seed},\n  \"cases\": {},\n  \"vector_runs\": {},\n  \"rejected_specs\": {},\n  \"elapsed_ms\": {},\n  \"interrupted\": {},\n  \"divergence\": {divergence}\n}}",
+            "{{\n  \"seed\": {seed},\n  \"cases\": {},\n  \"vector_runs\": {},\n  \"rejected_specs\": {},\n  \"rejected_widths\": {},\n  \"elapsed_ms\": {},\n  \"interrupted\": {},\n  \"divergence\": {divergence}\n}}",
             outcome.cases,
             outcome.vector_runs,
             outcome.rejected_specs,
+            outcome.rejected_widths,
             elapsed.as_millis(),
             outcome.interrupted
         );
@@ -310,10 +333,11 @@ fn fuzz_campaign(
         None => {
             if !flags.json {
                 println!(
-                    "fuzz: seed {seed}: {} cases, {} vector runs, {} rejected spec combos in {elapsed:.2?} — no divergence{}",
+                    "fuzz: seed {seed}: {} cases, {} vector runs, {} rejected spec combos, {} over-ceiling widths refused in {elapsed:.2?} — no divergence{}",
                     outcome.cases,
                     outcome.vector_runs,
                     outcome.rejected_specs,
+                    outcome.rejected_widths,
                     if outcome.interrupted { " (partial: interrupted)" } else { "" }
                 );
             }
@@ -419,6 +443,14 @@ fn serve_cmd(flags: &CommonFlags) -> i32 {
         s if s == "off" => None,
         s => Some(s),
     };
+    let accept_mode = match flags.str_flag("accept-mode", "auto").as_str() {
+        "auto" => flexvec_serve::AcceptMode::Auto,
+        "threads" => flexvec_serve::AcceptMode::Threads,
+        other => {
+            eprintln!("flexvecc serve: unknown --accept-mode `{other}` (expected auto or threads)");
+            return 2;
+        }
+    };
     let config = flexvec_serve::ServerConfig {
         addr: flags.str_flag("addr", DEFAULT_ADDR),
         metrics_addr,
@@ -444,6 +476,7 @@ fn serve_cmd(flags: &CommonFlags) -> i32 {
             s if s.is_empty() => None,
             s => Some(s),
         },
+        accept_mode,
     };
     flexvec_serve::install_sigint_handler();
     let handle = match flexvec_serve::start(config.clone()) {
@@ -557,6 +590,12 @@ fn client_cmd(flags: &CommonFlags, args: &[String]) -> i32 {
             }
             if let n @ 1.. = flags.u64_flag("deadline-ms", 0) {
                 request.push(("deadline_ms", Json::from(n)));
+            }
+            // An explicit --vl rides the request so the daemon runs the
+            // kernel at that width (its compile cache entry is shared
+            // across widths either way).
+            if let n @ 1.. = flags.u64_flag("vl", 0) {
+                request.push(("vl", Json::from(n)));
             }
             emit_client_response(&mut client, &Json::obj(request))
         }

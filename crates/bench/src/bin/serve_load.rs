@@ -9,7 +9,10 @@
 //! * **one-shot** — every request is a distinct kernel: every request
 //!   pays the full analyze→vectorize→bytecode-compile pipeline;
 //! * **run** — end-to-end execute requests (scalar baseline + vector
-//!   + verification) for execution-latency percentiles.
+//!   + verification) for execution-latency percentiles;
+//! * **width sweep** — the run traffic repeated at every supported
+//!   vector length (`"vl": 8/16/32/64` on the wire), reporting a
+//!   per-width throughput table off one shared compile-cache set.
 //!
 //! The headline number is the repeat/one-shot throughput ratio: the
 //! service exists so that repeat-kernel traffic skips compilation, and
@@ -420,6 +423,25 @@ fn main() {
         ])
     });
 
+    // Width sweep: the same repeat-set run traffic at every supported
+    // vector length, each request carrying an explicit `vl`. The
+    // compile cache is width-independent, so every width after the
+    // first rides the same cached plans; what changes is chunk count
+    // per invocation (narrower vl → more chunks → more dispatch).
+    let widths: Vec<(usize, Phase)> = flexvec_isa::SUPPORTED_VLENS
+        .iter()
+        .map(|&vl| {
+            let phase = drive(&addr, clients, run_requests, |i| {
+                Json::obj([
+                    ("op", Json::from("run")),
+                    ("source", Json::from(kernel_source(i % kernels))),
+                    ("vl", Json::from(vl as u64)),
+                ])
+            });
+            (vl, phase)
+        })
+        .collect();
+
     // Tier promotion: one hot kernel walks cold→tree, warm→bytecode,
     // hot→native under the auto policy, then races the promoted tier
     // against a forced-bytecode baseline.
@@ -430,15 +452,22 @@ fn main() {
         .map(|a| flexvec_serve::fetch_metrics(&a.to_string()).expect("scrape /metrics"));
     let stats = handle.engine().cache().stats();
     let speedup = repeat.req_per_sec() / oneshot.req_per_sec().max(1e-9);
-    let failures = repeat.failures + oneshot.failures + run.failures;
+    let width_failures: u64 = widths.iter().map(|(_, p)| p.failures).sum();
+    let failures = repeat.failures + oneshot.failures + run.failures + width_failures;
     handle.shutdown();
 
     if flags.json {
+        let width_rps = widths
+            .iter()
+            .map(|(vl, p)| format!("\"{vl}\": {}", json_f64(p.req_per_sec())))
+            .collect::<Vec<_>>()
+            .join(", ");
         println!(
             "{{\n  \"clients\": {clients},\n  \"requests\": {requests},\n  \"kernels\": {kernels},\n  \
              \"repeat_rps\": {},\n  \"oneshot_rps\": {},\n  \"speedup\": {},\n  \
              \"repeat_p50_us\": {},\n  \"repeat_p95_us\": {},\n  \"repeat_p99_us\": {},\n  \
              \"run_p50_us\": {},\n  \"run_p95_us\": {},\n  \"run_p99_us\": {},\n  \
+             \"width_rps\": {{{width_rps}}},\n  \
              \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
              \"tier_walk\": [{}],\n  \"tier_bytecode_cps\": {},\n  \"tier_hot_cps\": {},\n  \
              \"tier_ratio\": {},\n  \"tier_promotions\": {},\n  \
@@ -491,6 +520,15 @@ fn main() {
             run.percentile(0.95),
             run.percentile(0.99),
         );
+        for (vl, phase) in &widths {
+            println!(
+                "  run at vl {vl:>2}:        {:>9.0} req/s   p50 {:>6?} p95 {:>6?} p99 {:>6?}",
+                phase.req_per_sec(),
+                phase.percentile(0.50),
+                phase.percentile(0.95),
+                phase.percentile(0.99),
+            );
+        }
         println!(
             "  cache: {} hits / {} misses; repeat-vs-one-shot speedup: {speedup:.1}x",
             stats.hits, stats.misses
@@ -564,6 +602,7 @@ fn base_config() -> ServerConfig {
         cache_dir: None,
         cluster: Vec::new(),
         advertise: None,
+        accept_mode: flexvec_serve::AcceptMode::Auto,
     }
 }
 

@@ -328,7 +328,10 @@ pub fn evaluate_fv_file(
 
 /// Evaluates a batch of `.fv` files in parallel (one worker per file,
 /// like the workload harness), preserving input order. All workers
-/// share `cache`, so duplicate kernels compile once.
+/// share `cache`, so duplicate kernels compile once. The caller's
+/// ambient vector length is propagated into each worker thread (the
+/// ambient width is thread-local, so a bare spawn would silently reset
+/// workers to the default).
 pub fn evaluate_fv_all(
     files: &[PathBuf],
     cache: &CompileCache,
@@ -336,11 +339,16 @@ pub fn evaluate_fv_all(
     engine: Engine,
     invocations: u64,
 ) -> Vec<FvReport> {
+    let vl = flexvec_isa::vlen();
     std::thread::scope(|scope| {
         let handles: Vec<_> = files
             .iter()
             .map(|path| {
-                scope.spawn(move || evaluate_fv_file(path, cache, spec, engine, invocations))
+                scope.spawn(move || {
+                    flexvec_isa::with_vlen(vl, || {
+                        evaluate_fv_file(path, cache, spec, engine, invocations)
+                    })
+                })
             })
             .collect();
         handles

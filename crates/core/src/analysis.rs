@@ -27,8 +27,10 @@ use flexvec_ir::{
 };
 
 /// Carried memory dependences at a distance of at least one full vector
-/// cannot bite within a 16-lane chunk.
-const VLEN_DISTANCE_SAFE: u64 = flexvec_isa::VLEN as u64;
+/// cannot bite within a chunk. Classification is anchored at the default
+/// width (16 lanes) so verdicts are stable across runs; [`width_ceiling`]
+/// separately records the widest runtime `vl` those distances still cover.
+const VLEN_DISTANCE_SAFE: u64 = flexvec_isa::DEFAULT_VLEN as u64;
 
 /// A recognized unconditional reduction (`v = v op expr` at top level,
 /// with no other use of `v` in the loop): traditional vectorizers handle
@@ -153,6 +155,9 @@ pub struct LoopAnalysis {
     pub pdg: Pdg,
     /// The verdict.
     pub verdict: Verdict,
+    /// Widest supported runtime vector length the verdict is valid at
+    /// (see [`width_ceiling`]). Executing at a wider `vl` must be refused.
+    pub max_vl: usize,
 }
 
 /// Analyzes a loop program and classifies it.
@@ -160,10 +165,52 @@ pub fn analyze(program: &Program) -> LoopAnalysis {
     let nodes = LoopNodes::build(program);
     let pdg = Pdg::build(program, &nodes);
     let verdict = classify(program, &nodes, &pdg);
+    let max_vl = width_ceiling(&pdg);
     LoopAnalysis {
         nodes,
         pdg,
         verdict,
+        max_vl,
+    }
+}
+
+/// Computes the widest supported runtime vector length the analysis'
+/// distance reasoning covers.
+///
+/// The only width-*dependent* argument the classifier makes is "a carried
+/// static RAW at distance `d >= VLEN_DISTANCE_SAFE` never bites within one
+/// chunk". That claim holds for every chunk width `vl <= d`, so the
+/// ceiling is the largest supported width not exceeding the smallest such
+/// relied-upon distance. Every other verdict ingredient — anti/output
+/// renaming, in-order scatters, dynamic `VPCONFLICTM` partitioning,
+/// control and scalar reasoning — is width-agnostic, so loops with no
+/// relied-upon static distance run at any supported width
+/// ([`flexvec_isa::MAX_VLEN`]).
+fn width_ceiling(pdg: &Pdg) -> usize {
+    let mut min_relied: Option<u64> = None;
+    for edge in &pdg.edges {
+        if let DepKind::Memory {
+            kind: MemDepKind::Raw,
+            distance: Some(d),
+            carried: true,
+            dynamic: false,
+            ..
+        } = &edge.kind
+        {
+            let d = *d as u64;
+            if d >= VLEN_DISTANCE_SAFE {
+                min_relied = Some(min_relied.map_or(d, |m| m.min(d)));
+            }
+        }
+    }
+    match min_relied {
+        None => flexvec_isa::MAX_VLEN,
+        Some(d) => flexvec_isa::SUPPORTED_VLENS
+            .iter()
+            .copied()
+            .filter(|&vl| (vl as u64) <= d)
+            .max()
+            .unwrap_or(flexvec_isa::DEFAULT_VLEN),
     }
 }
 

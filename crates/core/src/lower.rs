@@ -617,6 +617,7 @@ impl<'a> Lowerer<'a> {
             num_vregs: self.next_v,
             num_kregs: self.next_k,
             spec_mode,
+            max_vl: self.analysis.max_vl,
         };
         vprog
             .validate_speculation_safety()
@@ -1086,7 +1087,7 @@ impl<'a> Lowerer<'a> {
                     // Per-lane merged view: the updated value where the
                     // commit fired, the partition-entry value elsewhere —
                     // so an empty commit mask re-broadcasts the old value
-                    // (the VPSLCTLAST lane-15 convention).
+                    // (the VPSLCTLAST last-lane convention).
                     let merged = self.vreg();
                     self.emit(VOp::Blend {
                         dst: merged,
@@ -1227,7 +1228,7 @@ impl<'a> Lowerer<'a> {
             // Lanes outside k may hold speculative values (assignments
             // evaluated past a later exit), so blend the chunk-entry value
             // back in before the select: an empty mask then extracts the
-            // old scalar via VPSLCTLAST's lane-15 convention.
+            // old scalar via VPSLCTLAST's last-lane convention.
             let entry = self.vreg();
             self.emit(VOp::SplatVar { dst: entry, var: v });
             let merged = self.vreg();

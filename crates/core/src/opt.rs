@@ -588,6 +588,7 @@ mod tests {
             num_vregs: 32,
             num_kregs: 32,
             spec_mode: SpecMode::None,
+            max_vl: flexvec_isa::MAX_VLEN,
         }
     }
 

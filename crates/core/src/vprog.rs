@@ -2,10 +2,10 @@
 //!
 //! A [`VProg`] is structured vector code over unbounded *virtual* vector
 //! and mask registers. The execution engine (`flexvec-vm`) runs one chunk
-//! of [`VLEN`](flexvec_isa::VLEN) scalar iterations per pass over
-//! [`VProg::body`]; the vectorized induction variable and the chunk's
-//! active-lane mask live in the reserved registers [`VProg::IV`] and
-//! [`VProg::K_LOOP`].
+//! of `vlen()` scalar iterations per pass over [`VProg::body`] (the
+//! ambient runtime vector length, up to [`VProg::max_vl`]); the
+//! vectorized induction variable and the chunk's active-lane mask live in
+//! the reserved registers [`VProg::IV`] and [`VProg::K_LOOP`].
 //!
 //! Structure nodes rather than branches express the non-straight-line
 //! parts: [`VNode::Vpl`] is the paper's Vector Partitioning Loop (a
@@ -41,7 +41,7 @@ impl fmt::Display for KReg {
 /// A straight-line vector operation.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum VOp {
-    /// `dst = [0, 1, ..., 15]`.
+    /// `dst = [0, 1, ..., vlen()-1]`.
     Iota {
         /// Destination.
         dst: VReg,
@@ -155,12 +155,13 @@ pub enum VOp {
         /// Source.
         src: KReg,
     },
-    /// Mask constant (usually empty — `KXOR k, k, k`).
+    /// Mask constant (usually empty — `KXOR k, k, k`). Bits beyond the
+    /// runtime vector length are clipped at execution time.
     KConst {
         /// Destination.
         dst: KReg,
         /// The constant bits.
-        bits: u16,
+        bits: u64,
     },
     /// `dst = a & b`.
     KAnd {
@@ -261,7 +262,7 @@ pub enum VNode {
     /// Vector Partitioning Loop: execute `body`, repeat while `repeat_if`
     /// is non-empty. The body must strictly shrink `repeat_if` (FlexVec's
     /// `k_todo` update guarantees this); the VM enforces an iteration
-    /// bound of [`VLEN`](flexvec_isa::VLEN) as a safety net.
+    /// bound of the runtime vector length as a safety net.
     Vpl {
         /// Loop body.
         body: Vec<VNode>,
@@ -361,6 +362,16 @@ pub struct VProg {
     pub num_kregs: u32,
     /// Speculation mode.
     pub spec_mode: SpecMode,
+    /// Widest runtime vector length this program is correct at.
+    ///
+    /// Dependence analysis may rely on a statically known loop-carried
+    /// memory-dependence distance `d` being at least the chunk width;
+    /// executing such a program at `vlen() > d` would be wrong code, so
+    /// the analysis records the widest supported width its reasoning
+    /// covers. Programs with no distance-based reasoning get
+    /// [`MAX_VLEN`](flexvec_isa::MAX_VLEN). Execution engines refuse
+    /// (cleanly) to run a chunk at `vlen() > max_vl`.
+    pub max_vl: usize,
 }
 
 impl VProg {
@@ -742,6 +753,7 @@ mod tests {
             num_vregs: 4,
             num_kregs: 5,
             spec_mode: SpecMode::FirstFaulting,
+            max_vl: flexvec_isa::MAX_VLEN,
         }
     }
 
@@ -793,6 +805,7 @@ mod tests {
             num_vregs: 2,
             num_kregs: 2,
             spec_mode: SpecMode::FirstFaulting,
+            max_vl: flexvec_isa::MAX_VLEN,
         };
         assert!(p.validate_speculation_safety().is_err());
     }

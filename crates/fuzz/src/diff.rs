@@ -3,22 +3,28 @@
 //! The scalar interpreter is the oracle. Each speculation mode that the
 //! vectorizer accepts runs under the tree-walking engine, the compiled
 //! engine, and — on hosts with the x86-64 back end — the native JIT
-//! tier, and every observable — live-out scalars, the induction exit
-//! value, the break flag, the iteration count, and final memory — must
-//! equal the oracle's. The engines must additionally be
-//! bit-identical to each other (statistics and full µop traces). When a
-//! compile cache is supplied the case also round-trips through the
-//! `.fv` printer/parser and the cached-vs-fresh compile path.
+//! tier, at **every supported vector length** (8, 16, 32, 64), and
+//! every observable — live-out scalars, the induction exit value, the
+//! break flag, the iteration count, and final memory — must equal the
+//! oracle's. At each width the engines must additionally be
+//! bit-identical to each other (statistics and full µop traces). A
+//! width above the program's analysis-proven ceiling (`VProg::max_vl`)
+//! must be a clean [`flexvec_vm::ExecError::UnsupportedWidth`] refusal
+//! from every engine — silently executing past the ceiling, or failing
+//! with any other error, is a divergence. When a compile cache is
+//! supplied the case also round-trips through the `.fv` printer/parser
+//! and the cached-vs-fresh compile path.
 
 use std::sync::Arc;
 
 use flexvec::{vectorize, SpecRequest, VProg};
 use flexvec_front::{parse_str, to_fv_kernel, CompileCache};
+use flexvec_isa::{with_vlen, SUPPORTED_VLENS};
 use flexvec_mem::{AddressSpace, ArrayId};
 use flexvec_vm::{
     deserialize_compiled, native_supported, run_scalar, run_vector_precompiled,
-    run_vector_with_engine, serialize_compiled, Bindings, CountingSink, Engine, RunResult,
-    SerialLimits, Uop, VecSink, VectorStats,
+    run_vector_with_engine, serialize_compiled, Bindings, CountingSink, Engine, ExecError,
+    RunResult, SerialLimits, Uop, VecSink, VectorStats,
 };
 
 use crate::explicit_inputs;
@@ -60,6 +66,9 @@ pub struct CheckStats {
     pub vector_runs: u64,
     /// Spec modes the vectorizer (legitimately) rejected for this case.
     pub rejected_specs: u64,
+    /// (spec, width) combinations above the program's width ceiling
+    /// that every engine cleanly refused with `UnsupportedWidth`.
+    pub rejected_widths: u64,
 }
 
 fn diverged<T>(config: &str, detail: String) -> Result<T, Divergence> {
@@ -107,7 +116,7 @@ fn run_oracle(case: &FuzzCase) -> Result<Oracle, Divergence> {
     }
 }
 
-fn run_engine(case: &FuzzCase, vprog: &VProg, engine: Engine) -> Result<VectorRun, String> {
+fn run_engine(case: &FuzzCase, vprog: &VProg, engine: Engine) -> Result<VectorRun, ExecError> {
     let mut mem = AddressSpace::new();
     let ids = bind(case, &mut mem);
     let mut sink = VecSink::default();
@@ -118,8 +127,7 @@ fn run_engine(case: &FuzzCase, vprog: &VProg, engine: Engine) -> Result<VectorRu
         Bindings::new(ids.clone()),
         &mut sink,
         engine,
-    )
-    .map_err(|e| format!("vector execution failed where the scalar reference succeeded: {e:?}"))?;
+    )?;
     Ok(VectorRun {
         result,
         stats,
@@ -274,6 +282,36 @@ fn check_front_end(
     let Ok(plan) = &second.plan else {
         return Ok(0);
     };
+    // The front-end paths run at the ambient width (e.g. `flexvecc
+    // fuzz --vl 32`). Past this kernel's proven ceiling the cached
+    // plan must refuse cleanly, exactly like the engine matrix.
+    if flexvec_isa::vlen() > plan.vectorized.vprog.max_vl {
+        let mut mem = AddressSpace::new();
+        let ids = bind(case, &mut mem);
+        let mut sink = VecSink::default();
+        return match run_vector_precompiled(
+            &case.program,
+            &plan.vectorized.vprog,
+            &plan.compiled,
+            &mut mem,
+            Bindings::new(ids),
+            &mut sink,
+        ) {
+            Err(ExecError::UnsupportedWidth { .. }) => Ok(0),
+            Ok(_) => diverged(
+                "front/cache",
+                format!(
+                    "cached plan executed at vl {} past the ceiling {} instead of refusing",
+                    flexvec_isa::vlen(),
+                    plan.vectorized.vprog.max_vl
+                ),
+            ),
+            Err(e) => diverged(
+                "front/cache",
+                format!("expected a clean UnsupportedWidth refusal past the ceiling, got {e:?}"),
+            ),
+        };
+    }
     let mut mem = AddressSpace::new();
     let ids = bind(case, &mut mem);
     let mut sink = VecSink::default();
@@ -354,6 +392,80 @@ fn check_front_end(
     }
 }
 
+/// Runs one vectorized program through the full engine matrix at one
+/// ambient vector length (the caller has already set it) and
+/// cross-checks every engine against the oracle and each other.
+///
+/// Above the program's width ceiling every engine must refuse with
+/// `UnsupportedWidth` — execution or any other error is a divergence.
+fn check_at_width(
+    case: &FuzzCase,
+    oracle: &Oracle,
+    spec_name: &str,
+    vl: usize,
+    vprog: &VProg,
+    stats: &mut CheckStats,
+) -> Result<(), Divergence> {
+    let engines = engine_matrix();
+
+    if vl > vprog.max_vl {
+        for (engine_name, engine) in &engines {
+            let config = format!("{spec_name}/vl{vl}/{engine_name}");
+            match run_engine(case, vprog, *engine) {
+                Ok(_) => {
+                    return diverged(
+                        &config,
+                        format!(
+                            "executed at vl {vl} past the kernel's width ceiling {} \
+                             instead of refusing",
+                            vprog.max_vl
+                        ),
+                    )
+                }
+                Err(ExecError::UnsupportedWidth { .. }) => {}
+                Err(e) => {
+                    return diverged(
+                        &config,
+                        format!(
+                            "expected a clean UnsupportedWidth refusal at vl {vl} \
+                             (ceiling {}), got {e:?}",
+                            vprog.max_vl
+                        ),
+                    )
+                }
+            }
+        }
+        stats.rejected_widths += 1;
+        return Ok(());
+    }
+
+    let mut runs: Vec<VectorRun> = Vec::with_capacity(engines.len());
+    for (engine_name, engine) in &engines {
+        let config = format!("{spec_name}/vl{vl}/{engine_name}");
+        match run_engine(case, vprog, *engine) {
+            Ok(run) => {
+                compare_to_oracle(case, &config, oracle, &run.result, &run.memory)?;
+                stats.vector_runs += 1;
+                runs.push(run);
+            }
+            Err(e) => {
+                return diverged(
+                    &config,
+                    format!("vector execution failed where the scalar reference succeeded: {e:?}"),
+                )
+            }
+        }
+    }
+    for (i, run) in runs.iter().enumerate().skip(1) {
+        compare_engines(
+            &format!("{spec_name}/vl{vl}/tree-vs-{}", engines[i].0),
+            &runs[0],
+            run,
+        )?;
+    }
+    Ok(())
+}
+
 /// Runs one case through every execution path and cross-checks them.
 ///
 /// # Errors
@@ -375,25 +487,12 @@ pub fn check_case(case: &FuzzCase, cfg: &CheckConfig<'_>) -> Result<CheckStats, 
             }
         }
 
-        let engines = engine_matrix();
-        let mut runs: Vec<VectorRun> = Vec::with_capacity(engines.len());
-        for (engine_name, engine) in &engines {
-            let config = format!("{spec_name}/{engine_name}");
-            match run_engine(case, &vprog, *engine) {
-                Ok(run) => {
-                    compare_to_oracle(case, &config, &oracle, &run.result, &run.memory)?;
-                    stats.vector_runs += 1;
-                    runs.push(run);
-                }
-                Err(detail) => return diverged(&config, detail),
-            }
-        }
-        for (i, run) in runs.iter().enumerate().skip(1) {
-            compare_engines(
-                &format!("{spec_name}/tree-vs-{}", engines[i].0),
-                &runs[0],
-                run,
-            )?;
+        // The compiled artifact is width-independent; only execution
+        // binds a lane count, so each width re-runs the same `vprog`.
+        for vl in SUPPORTED_VLENS {
+            with_vlen(vl, || {
+                check_at_width(case, &oracle, spec_name, vl, &vprog, &mut stats)
+            })?;
         }
     }
 
@@ -403,4 +502,68 @@ pub fn check_case(case: &FuzzCase, cfg: &CheckConfig<'_>) -> Result<CheckStats, 
         }
     }
     Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    const NO_FRONT_END: CheckConfig<'_> = CheckConfig {
+        front_end: None,
+        mutate: None,
+    };
+
+    /// Generated cases sweep all four widths; every clean case must
+    /// log at least one vector run per supported width for each spec
+    /// the vectorizer accepted at full width.
+    #[test]
+    fn clean_cases_sweep_every_supported_width() {
+        let mut widths_run = 0u64;
+        for index in 0..20 {
+            let case = generate(7, index);
+            let stats = check_case(&case, &NO_FRONT_END).unwrap_or_else(|d| {
+                panic!("case {index} diverged under {}: {}", d.config, d.detail)
+            });
+            widths_run += stats.vector_runs;
+        }
+        // 20 cases × ≥1 accepted spec × ≥2 engines × 4 widths.
+        assert!(
+            widths_run >= 160,
+            "width sweep did not run enough matrix cells: {widths_run}"
+        );
+    }
+
+    /// A carried RAW distance of exactly 16 proves widths 8 and 16 but
+    /// refuses 32 and 64: those must count as clean width rejections,
+    /// not divergences.
+    #[test]
+    fn over_ceiling_widths_are_clean_refusals() {
+        let parsed = parse_str(
+            "<dist16>",
+            "kernel dist16;\n\
+             var i = 0;\n\
+             var t = 0;\n\
+             array a[128] = seed 3;\n\
+             live_out t;\n\
+             for (i = 16; i < 128; i++) {\n\
+               t = a[i - 16] + 1;\n\
+               a[i] = t;\n\
+             }\n",
+        )
+        .expect("dist16 parses");
+        let case = FuzzCase {
+            arrays: parsed.materialize_arrays(),
+            program: parsed.program,
+        };
+        let stats = check_case(&case, &NO_FRONT_END)
+            .unwrap_or_else(|d| panic!("diverged under {}: {}", d.config, d.detail));
+        // Every spec the vectorizer accepts carries the same max_vl of
+        // 16, so vl ∈ {32, 64} must each be refused per accepted spec.
+        assert!(
+            stats.rejected_widths >= 2,
+            "expected over-ceiling refusals, got {stats:?}"
+        );
+        assert!(stats.vector_runs > 0, "widths 8 and 16 must still run");
+    }
 }

@@ -10,10 +10,13 @@
 //!    extreme literals, boundary trip counts, all-equal conflict data.
 //! 2. [`check_case`] runs it through every execution path — the scalar
 //!    oracle, the tree-walking and compiled engines under first-faulting
-//!    and RTM speculation at several tile sizes, the `.fv`
+//!    and RTM speculation at several tile sizes, each at **every
+//!    supported vector length** (8, 16, 32, 64 lanes), the `.fv`
 //!    print→reparse round-trip, and the compile cache's cached-vs-fresh
 //!    path — and cross-checks live-outs, induction exit, break flag,
 //!    iteration counts, final memory, engine statistics and µop traces.
+//!    Widths above a kernel's analysis-proven ceiling must be clean
+//!    `UnsupportedWidth` refusals from every engine, never wrong code.
 //! 3. On a divergence, [`shrink`] delta-debugs the witness down to a
 //!    minimal failing case and the driver emits it as a standalone
 //!    `.fv` repro (expected-vs-actual embedded as comments) that
@@ -119,6 +122,9 @@ pub struct FuzzOutcome {
     pub vector_runs: u64,
     /// (case, spec) combinations the vectorizer legitimately rejected.
     pub rejected_specs: u64,
+    /// (case, spec, width) combinations above a kernel's width ceiling
+    /// that every engine cleanly refused with `UnsupportedWidth`.
+    pub rejected_widths: u64,
     /// The first divergence found, if any (the campaign stops there).
     pub divergence: Option<FuzzDivergence>,
     /// Whether the campaign stopped early on the cooperative stop
@@ -155,6 +161,7 @@ pub fn run_fuzz(config: &FuzzConfig) -> FuzzOutcome {
                 outcome.cases += 1;
                 outcome.vector_runs += stats.vector_runs;
                 outcome.rejected_specs += stats.rejected_specs;
+                outcome.rejected_widths += stats.rejected_widths;
             }
             Err(first) => {
                 outcome.cases += 1;

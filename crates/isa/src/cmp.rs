@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use crate::{Mask, Vector, VLEN};
+use crate::{vlen, Mask, Vector};
 
 /// Comparison predicate for [`vcmp`], mirroring the AVX-512 `VPCMP`
 /// immediate encodings for signed integers.
@@ -95,14 +95,14 @@ impl fmt::Display for CmpOp {
 /// ```
 /// use flexvec_isa::{vcmp, CmpOp, Mask, Vector};
 ///
-/// let k = vcmp(Mask::FULL, CmpOp::Lt, Vector::iota(), Vector::splat(3));
+/// let k = vcmp(Mask::full(), CmpOp::Lt, Vector::iota(), Vector::splat(3));
 /// assert_eq!(k, Mask::from_lanes(&[0, 1, 2]));
 /// ```
 #[must_use]
 #[inline]
 pub fn vcmp(k: Mask, op: CmpOp, a: Vector, b: Vector) -> Mask {
     let mut out = Mask::EMPTY;
-    for i in 0..VLEN {
+    for i in 0..vlen() {
         if k.get(i) && op.eval(a.lane(i), b.lane(i)) {
             out.set(i, true);
         }

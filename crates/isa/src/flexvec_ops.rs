@@ -15,7 +15,7 @@
 //! Every worked example in the paper is reproduced verbatim as a unit test
 //! at the bottom of this module.
 
-use crate::{Mask, Vector, VLEN};
+use crate::{vlen, Mask, Vector};
 
 /// `KFTM.EXC k1 {k2}, k3` — *exclusive* partial mask generation.
 ///
@@ -105,9 +105,12 @@ pub fn kftm_inc(k2: Mask, k3: Mask) -> Mask {
 /// propagation, paper Section 3.5).
 ///
 /// Selects the **last enabled** element of `v1` and broadcasts it to every
-/// lane of the result. If no lane is enabled (`k1` empty) the last element
-/// (lane 15) is selected — that convention lets a vector loop carry the
-/// value of a scalar across vector iterations without a branch.
+/// lane of the result. If no lane is enabled (`k1` empty) the last active
+/// lane (lane `vlen() - 1`) is selected — that convention lets a vector
+/// loop carry the value of a scalar across vector iterations without a
+/// branch.
+///
+/// [`vlen()`]: crate::vlen
 ///
 /// # Examples
 ///
@@ -117,15 +120,17 @@ pub fn kftm_inc(k2: Mask, k3: Mask) -> Mask {
 /// use flexvec_isa::{vpslctlast, Mask, Vector};
 ///
 /// let v1 = Vector::from_fn(|i| 100 + i as i64);
-/// let k1: Mask = "0 0 0 1 1 1 1 1 0 0 0 0 0 0 0 0".parse()?;
+/// let k1 = Mask::first_n(8).and_not(Mask::first_n(3)); // lanes 3..=7
 /// assert_eq!(vpslctlast(k1, v1), Vector::splat(107));
-/// assert_eq!(vpslctlast(Mask::EMPTY, v1), Vector::splat(115));
+/// // Empty mask selects the last active lane, whatever the width.
+/// let last = 100 + flexvec_isa::vlen() as i64 - 1;
+/// assert_eq!(vpslctlast(Mask::EMPTY, v1), Vector::splat(last));
 /// # Ok::<(), flexvec_isa::ParseMaskError>(())
 /// ```
 #[must_use]
 #[inline]
 pub fn vpslctlast(k1: Mask, v1: Vector) -> Vector {
-    let lane = k1.last_set().unwrap_or(VLEN - 1);
+    let lane = k1.last_set().unwrap_or(vlen() - 1);
     Vector::splat(v1.lane(lane))
 }
 
@@ -151,9 +156,9 @@ pub fn vpslctlast(k1: Mask, v1: Vector) -> Vector {
 /// ```
 /// use flexvec_isa::{vpconflictm, Mask, Vector};
 ///
-/// let v1 = Vector::from_lanes([1, 2, 3, 4, 5, 6, 7, 8, 9, 1, 5, 7, 9, 9, 10, 10]);
-/// let v2 = Vector::from_lanes([0, 0, 0, 1, 5, 7, 9, 2, 0, 2, 3, 4, 0, 9, 10, 10]);
-/// let k1 = vpconflictm(Mask::FULL, v1, v2);
+/// let v1 = Vector::from_slice(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 1, 5, 7, 9, 9, 10, 10]);
+/// let v2 = Vector::from_slice(&[0, 0, 0, 1, 5, 7, 9, 2, 0, 2, 3, 4, 0, 9, 10, 10]);
+/// let k1 = vpconflictm(Mask::full(), v1, v2);
 /// assert_eq!(k1, Mask::from_lanes(&[6, 8, 15]));
 /// ```
 #[must_use]
@@ -161,7 +166,7 @@ pub fn vpslctlast(k1: Mask, v1: Vector) -> Vector {
 pub fn vpconflictm(k2: Mask, v1: Vector, v2: Vector) -> Mask {
     let mut out = Mask::EMPTY;
     let mut window_start = 0usize;
-    for j in 0..VLEN {
+    for j in 0..vlen() {
         let conflicts = (window_start..j).any(|i| k2.get(i) && v2.lane(i) == v1.lane(j));
         if conflicts {
             out.set(j, true);
@@ -231,16 +236,16 @@ mod tests {
 
     #[test]
     fn kftm_empty_write_mask() {
-        assert_eq!(kftm_exc(Mask::EMPTY, Mask::FULL), Mask::EMPTY);
-        assert_eq!(kftm_inc(Mask::EMPTY, Mask::FULL), Mask::EMPTY);
+        assert_eq!(kftm_exc(Mask::EMPTY, Mask::full()), Mask::EMPTY);
+        assert_eq!(kftm_inc(Mask::EMPTY, Mask::full()), Mask::EMPTY);
     }
 
     #[test]
     fn kftm_inc_is_exc_plus_stop_lane() {
         // When the first enabled stop bit is NOT on the first enabled lane,
         // the inclusive mask is exactly the exclusive mask plus that lane.
-        for stop_bits in [0b100100u16, 0b1000_0000_0000_0000, 0x0860] {
-            for enabled in [0xffffu16, 0x0ff0, 0xaaab] {
+        for stop_bits in [0b100100u64, 0b1000_0000_0000_0000, 0x0860] {
+            for enabled in [0xffffu64, 0x0ff0, 0xaaab] {
                 let k2 = Mask::from_bits(enabled);
                 let k3 = Mask::from_bits(stop_bits);
                 let first = k2.first_set().unwrap();
@@ -289,9 +294,9 @@ mod tests {
     /// 'a' is encoded as 10.
     #[test]
     fn vpconflictm_paper_example_unmasked() {
-        let v1 = Vector::from_lanes([1, 2, 3, 4, 5, 6, 7, 8, 9, 1, 5, 7, 9, 9, 10, 10]);
-        let v2 = Vector::from_lanes([0, 0, 0, 1, 5, 7, 9, 2, 0, 2, 3, 4, 0, 9, 10, 10]);
-        let k1 = vpconflictm(Mask::FULL, v1, v2);
+        let v1 = Vector::from_slice(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 1, 5, 7, 9, 9, 10, 10]);
+        let v2 = Vector::from_slice(&[0, 0, 0, 1, 5, 7, 9, 2, 0, 2, 3, 4, 0, 9, 10, 10]);
+        let k1 = vpconflictm(Mask::full(), v1, v2);
         assert_eq!(k1, m("0 0 0 0 0 0 1 0 1 0 0 0 0 0 0 1"));
     }
 
@@ -299,8 +304,8 @@ mod tests {
     /// conflicts through lanes 5 and 6 disappear and only lane 15 remains.
     #[test]
     fn vpconflictm_paper_example_masked() {
-        let v1 = Vector::from_lanes([1, 2, 3, 4, 5, 6, 7, 8, 9, 1, 5, 7, 9, 9, 10, 10]);
-        let v2 = Vector::from_lanes([0, 0, 0, 1, 5, 7, 9, 2, 0, 2, 3, 4, 0, 9, 10, 10]);
+        let v1 = Vector::from_slice(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 1, 5, 7, 9, 9, 10, 10]);
+        let v2 = Vector::from_slice(&[0, 0, 0, 1, 5, 7, 9, 2, 0, 2, 3, 4, 0, 9, 10, 10]);
         let k2 = m("0 0 0 0 0 0 0 0 1 1 1 1 1 1 1 1");
         let k1 = vpconflictm(k2, v1, v2);
         assert_eq!(k1, m("0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 1"));
@@ -310,7 +315,7 @@ mod tests {
     fn vpconflictm_no_conflicts() {
         let v1 = Vector::iota();
         let v2 = Vector::from_fn(|i| 100 + i as i64);
-        assert_eq!(vpconflictm(Mask::FULL, v1, v2), Mask::EMPTY);
+        assert_eq!(vpconflictm(Mask::full(), v1, v2), Mask::EMPTY);
     }
 
     #[test]
@@ -319,7 +324,7 @@ mod tests {
         // after the first conflicts with its immediate predecessor, giving a
         // serialization point per lane — the fully serialized case.
         let v = Vector::splat(42);
-        let k1 = vpconflictm(Mask::FULL, v, v);
+        let k1 = vpconflictm(Mask::full(), v, v);
         assert_eq!(k1, !Mask::from_lanes(&[0]));
     }
 
@@ -333,7 +338,7 @@ mod tests {
         v1[5] = 7;
         let mut v2 = Vector::from_fn(|i| -(i as i64) - 1);
         v2[0] = 7;
-        let k1 = vpconflictm(Mask::FULL, v1, v2);
+        let k1 = vpconflictm(Mask::full(), v1, v2);
         assert_eq!(k1, Mask::from_lanes(&[3]));
     }
 
@@ -341,7 +346,7 @@ mod tests {
     fn vpconflictm_lane0_never_conflicts() {
         // Lane 0 has no preceding elements, so its bit can never be set.
         let v = Vector::splat(1);
-        for bits in [0xffffu16, 0x00ff, 0xf00f] {
+        for bits in [0xffffu64, 0x00ff, 0xf00f] {
             assert!(!vpconflictm(Mask::from_bits(bits), v, v).get(0));
         }
     }

@@ -14,12 +14,20 @@
 //!
 //! ## Lane model
 //!
-//! One vector register holds [`VLEN`] = 16 lanes. The paper's `.D` forms
-//! operate on 16×32-bit elements of a 512-bit register; this model keeps 16
-//! lanes but widens each element to `i64` so address arithmetic is exact
-//! (the separate timing model in `flexvec-sim` charges per active lane, so
-//! the widening does not distort costs). Lane 0 is the **leftmost** lane in
-//! the paper's diagrams and maps the *oldest* scalar iteration.
+//! The ISA is **vector-length agnostic** in the style of ARM SVE: the
+//! number of active lanes is the ambient *runtime vector length* `vl`,
+//! read with [`vlen`] and scoped with [`with_vlen`]. Supported widths are
+//! [`SUPPORTED_VLENS`] (8, 16, 32 or 64 lanes); the default,
+//! [`DEFAULT_VLEN`] = 16, matches the paper's 512-bit `.D` configuration.
+//! Storage is always [`MAX_VLEN`] = 64 lanes wide so that `Mask` and
+//! `Vector` stay `Copy` with a fixed `repr(transparent)` layout; lanes at
+//! index `>= vlen()` are architecturally invisible and always hold zero.
+//!
+//! The paper's `.D` forms operate on 32-bit elements; this model widens
+//! each element to `i64` so address arithmetic is exact (the separate
+//! timing model in `flexvec-sim` charges per active lane, so the widening
+//! does not distort costs). Lane 0 is the **leftmost** lane in the paper's
+//! diagrams and maps the *oldest* scalar iteration.
 //!
 //! Every worked example printed in the paper (Sections 3.3.1, 3.4, 3.5,
 //! 3.6) is reproduced as a unit test in the corresponding module.
@@ -27,12 +35,16 @@
 //! ## Example: driving a Vector Partitioning Loop by hand
 //!
 //! ```
-//! use flexvec_isa::{kftm_exc, vpconflictm, Mask, Vector};
+//! use flexvec_isa::{kftm_exc, vpconflictm, vlen, Mask, Vector};
 //!
 //! // Indices written (and read) by a vector iteration; lanes 2 and 3
 //! // touch the same location, so lane 3 must wait for lane 2.
-//! let idx = Vector::from_slice(&[0, 1, 7, 7, 4, 5, 6, 8, 9, 10, 11, 12, 13, 14, 15, 3]);
-//! let mut k_todo = Mask::FULL;
+//! let idx = Vector::from_fn(|lane| match lane {
+//!     2 | 3 => 7,                 // the conflict
+//!     last if last == vlen() - 1 => 3,
+//!     other => 100 + other as i64,
+//! });
+//! let mut k_todo = Mask::full();
 //! let mut partitions = 0;
 //! while k_todo.any() {
 //!     let k_stop = vpconflictm(k_todo, idx, idx);
@@ -47,8 +59,95 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-/// Number of lanes in a vector register (512 bits of `.D` elements).
-pub const VLEN: usize = 16;
+use core::cell::Cell;
+use core::fmt;
+
+/// Maximum number of lanes a register can hold; the fixed storage width of
+/// [`Mask`] and [`Vector`]. Lanes at index `>= vlen()` always hold zero.
+pub const MAX_VLEN: usize = 64;
+
+/// The default runtime vector length (the paper's 512-bit `.D`
+/// configuration: 16 lanes).
+pub const DEFAULT_VLEN: usize = 16;
+
+/// The runtime vector lengths this model supports, in increasing order.
+pub const SUPPORTED_VLENS: [usize; 4] = [8, 16, 32, 64];
+
+thread_local! {
+    static AMBIENT_VLEN: Cell<usize> = const { Cell::new(DEFAULT_VLEN) };
+}
+
+/// The ambient runtime vector length for the current thread.
+///
+/// Every predicated operation in this crate reads its lane count from
+/// here, mirroring how an SVE binary reads the hardware vector length.
+/// Defaults to [`DEFAULT_VLEN`]; change it with [`set_vlen`] or scope it
+/// with [`with_vlen`].
+#[inline]
+pub fn vlen() -> usize {
+    AMBIENT_VLEN.get()
+}
+
+/// Returns `true` if `vl` is one of [`SUPPORTED_VLENS`].
+#[inline]
+pub fn is_supported_vlen(vl: usize) -> bool {
+    matches!(vl, 8 | 16 | 32 | 64)
+}
+
+/// Sets the ambient runtime vector length for the current thread.
+///
+/// Values produced under one `vl` must not be reinterpreted under a wider
+/// one (their hidden lanes are zero, which is usually what you want, but
+/// their *meaning* was fixed at creation); prefer [`with_vlen`] for
+/// scoped changes.
+pub fn set_vlen(vl: usize) -> Result<(), UnsupportedVlen> {
+    if !is_supported_vlen(vl) {
+        return Err(UnsupportedVlen { vl });
+    }
+    AMBIENT_VLEN.set(vl);
+    Ok(())
+}
+
+/// Runs `f` with the ambient vector length set to `vl`, restoring the
+/// previous length afterwards (also on panic).
+///
+/// # Panics
+///
+/// Panics if `vl` is not one of [`SUPPORTED_VLENS`]; use
+/// [`is_supported_vlen`] to validate untrusted input first.
+pub fn with_vlen<R>(vl: usize, f: impl FnOnce() -> R) -> R {
+    assert!(
+        is_supported_vlen(vl),
+        "unsupported vector length {vl} (supported: {SUPPORTED_VLENS:?})"
+    );
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            AMBIENT_VLEN.set(self.0);
+        }
+    }
+    let _restore = Restore(AMBIENT_VLEN.replace(vl));
+    f()
+}
+
+/// Error returned by [`set_vlen`] for a width outside [`SUPPORTED_VLENS`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnsupportedVlen {
+    /// The rejected width.
+    pub vl: usize,
+}
+
+impl fmt::Display for UnsupportedVlen {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unsupported vector length {} (supported: {SUPPORTED_VLENS:?})",
+            self.vl
+        )
+    }
+}
+
+impl std::error::Error for UnsupportedVlen {}
 
 mod cmp;
 mod flexvec_ops;
@@ -64,3 +163,42 @@ pub use memops::{
     LANE_BYTES,
 };
 pub use vector::Vector;
+
+#[cfg(test)]
+mod vl_tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sixteen() {
+        assert_eq!(vlen(), DEFAULT_VLEN);
+    }
+
+    #[test]
+    fn with_vlen_scopes_and_restores() {
+        assert_eq!(vlen(), 16);
+        let inner = with_vlen(8, vlen);
+        assert_eq!(inner, 8);
+        assert_eq!(vlen(), 16);
+    }
+
+    #[test]
+    fn with_vlen_restores_on_panic() {
+        let caught = std::panic::catch_unwind(|| with_vlen(32, || panic!("boom")));
+        assert!(caught.is_err());
+        assert_eq!(vlen(), 16);
+    }
+
+    #[test]
+    fn set_vlen_rejects_unsupported() {
+        assert!(set_vlen(12).is_err());
+        assert!(set_vlen(0).is_err());
+        assert!(set_vlen(128).is_err());
+        assert_eq!(vlen(), 16);
+        for vl in SUPPORTED_VLENS {
+            assert!(is_supported_vlen(vl));
+        }
+        set_vlen(64).unwrap();
+        assert_eq!(vlen(), 64);
+        set_vlen(DEFAULT_VLEN).unwrap();
+    }
+}

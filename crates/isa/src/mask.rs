@@ -3,61 +3,69 @@
 //! AVX-512 exposes eight architecturally visible mask registers
 //! (`k0`–`k7`). FlexVec's code generation gives them *roles* —
 //! `k_todo`, `k_safe`, `k_stop`, `k_rem`, `k_loop` — but they are ordinary
-//! masks. This module models a mask over [`VLEN`] lanes.
+//! masks. This module models a mask over the [`vlen()`] active lanes of
+//! the ambient runtime vector length.
 //!
 //! Lane 0 is the **leftmost** (oldest) lane, matching the layout of every
 //! worked example in the paper ("vector elements are laid out left to
 //! right").
+//!
+//! [`vlen()`]: crate::vlen
 
 use core::fmt;
 use core::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, BitXorAssign, Not};
 use core::str::FromStr;
 
-use crate::VLEN;
+use crate::{vlen, MAX_VLEN};
 
-/// A predicate mask over [`VLEN`] vector lanes.
+/// A predicate mask over the [`vlen()`] active vector lanes.
 ///
 /// Bit `i` corresponds to lane `i`; lane 0 is the leftmost lane in the
 /// paper's diagrams and the *oldest* scalar iteration mapped onto the
-/// vector.
+/// vector. Bits at lane index `>= vlen()` are architecturally invisible
+/// and always zero — every constructor and operator maintains that
+/// invariant, so `Eq`/`Hash` never observe hidden lanes.
 ///
 /// # Examples
 ///
 /// ```
 /// use flexvec_isa::Mask;
 ///
-/// let k = Mask::from_lanes(&[0, 3, 15]);
+/// let k = Mask::from_lanes(&[0, 3, 7]);
 /// assert!(k.get(3));
 /// assert!(!k.get(4));
 /// assert_eq!(k.count(), 3);
 /// assert_eq!(k.first_set(), Some(0));
 /// ```
-// `repr(transparent)`: a `Mask` is exactly a `u16` in memory, so a
+///
+/// [`vlen()`]: crate::vlen
+// `repr(transparent)`: a `Mask` is exactly a `u64` in memory, so a
 // `&[Mask]` register file can be handed to generated machine code as a
-// flat `*mut u16`.
+// flat `*mut u64`.
 #[derive(Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[repr(transparent)]
-pub struct Mask(u16);
+pub struct Mask(u64);
 
 impl Mask {
-    /// Number of lanes covered by a mask register.
-    pub const LANES: usize = VLEN;
-
     /// The empty mask (no lane enabled).
     pub const EMPTY: Mask = Mask(0);
 
-    /// The full mask (every lane enabled).
-    pub const FULL: Mask = Mask(u16::MAX);
-
-    /// Creates a mask from its raw bit representation (bit `i` = lane `i`).
+    /// The full mask: every lane of the ambient vector length enabled.
     #[inline]
-    pub const fn from_bits(bits: u16) -> Self {
-        Mask(bits)
+    pub fn full() -> Mask {
+        Mask(full_bits(vlen()))
+    }
+
+    /// Creates a mask from its raw bit representation (bit `i` = lane
+    /// `i`). Bits at lane index `>= vlen()` are discarded.
+    #[inline]
+    pub fn from_bits(bits: u64) -> Self {
+        Mask(bits & full_bits(vlen()))
     }
 
     /// Returns the raw bit representation (bit `i` = lane `i`).
     #[inline]
-    pub const fn bits(self) -> u16 {
+    pub const fn bits(self) -> u64 {
         self.0
     }
 
@@ -65,11 +73,14 @@ impl Mask {
     ///
     /// # Panics
     ///
-    /// Panics if any lane index is `>= Mask::LANES`.
+    /// Panics if any lane index is `>= vlen()`.
+    ///
+    /// [`vlen()`]: crate::vlen
     pub fn from_lanes(lanes: &[usize]) -> Self {
-        let mut bits = 0u16;
+        let vl = vlen();
+        let mut bits = 0u64;
         for &lane in lanes {
-            assert!(lane < Self::LANES, "lane {lane} out of range");
+            assert!(lane < vl, "lane {lane} out of range for vl={vl}");
             bits |= 1 << lane;
         }
         Mask(bits)
@@ -77,8 +88,8 @@ impl Mask {
 
     /// Creates a mask from a boolean per lane, lane 0 first.
     pub fn from_bools(bools: &[bool]) -> Self {
-        assert!(bools.len() <= Self::LANES, "too many lanes");
-        let mut bits = 0u16;
+        assert!(bools.len() <= vlen(), "too many lanes");
+        let mut bits = 0u64;
         for (i, &b) in bools.iter().enumerate() {
             if b {
                 bits |= 1 << i;
@@ -94,25 +105,27 @@ impl Mask {
     ///
     /// # Panics
     ///
-    /// Panics if `n > Mask::LANES`.
+    /// Panics if `n > vlen()`.
+    ///
+    /// [`vlen()`]: crate::vlen
     #[inline]
     pub fn first_n(n: usize) -> Self {
-        assert!(n <= Self::LANES, "prefix length {n} out of range");
-        if n == Self::LANES {
-            Mask::FULL
-        } else {
-            Mask(((1u32 << n) - 1) as u16)
-        }
+        let vl = vlen();
+        assert!(n <= vl, "prefix length {n} out of range for vl={vl}");
+        Mask(full_bits(n))
     }
 
     /// Returns whether lane `lane` is enabled.
     ///
     /// # Panics
     ///
-    /// Panics if `lane >= Mask::LANES`.
+    /// Panics if `lane >= vlen()`.
+    ///
+    /// [`vlen()`]: crate::vlen
     #[inline]
     pub fn get(self, lane: usize) -> bool {
-        assert!(lane < Self::LANES, "lane {lane} out of range");
+        let vl = vlen();
+        assert!(lane < vl, "lane {lane} out of range for vl={vl}");
         self.0 & (1 << lane) != 0
     }
 
@@ -120,11 +133,14 @@ impl Mask {
     ///
     /// # Panics
     ///
-    /// Panics if `lane >= Mask::LANES`.
+    /// Panics if `lane >= vlen()`.
+    ///
+    /// [`vlen()`]: crate::vlen
     #[inline]
     #[must_use]
     pub fn with(self, lane: usize, value: bool) -> Self {
-        assert!(lane < Self::LANES, "lane {lane} out of range");
+        let vl = vlen();
+        assert!(lane < vl, "lane {lane} out of range for vl={vl}");
         if value {
             Mask(self.0 | (1 << lane))
         } else {
@@ -174,28 +190,27 @@ impl Mask {
         if self.0 == 0 {
             None
         } else {
-            Some(15 - self.0.leading_zeros() as usize)
+            Some(63 - self.0.leading_zeros() as usize)
         }
     }
 
     /// Mask of all lanes strictly before `lane` (exclusive prefix).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `lane > Mask::LANES`.
     #[inline]
     pub fn prefix_before(lane: usize) -> Self {
-        Self::first_n(lane.min(Self::LANES))
+        Self::first_n(lane.min(vlen()))
     }
 
     /// Mask of all lanes up to and including `lane` (inclusive prefix).
     ///
     /// # Panics
     ///
-    /// Panics if `lane >= Mask::LANES`.
+    /// Panics if `lane >= vlen()`.
+    ///
+    /// [`vlen()`]: crate::vlen
     #[inline]
     pub fn prefix_through(lane: usize) -> Self {
-        assert!(lane < Self::LANES, "lane {lane} out of range");
+        let vl = vlen();
+        assert!(lane < vl, "lane {lane} out of range for vl={vl}");
         Self::first_n(lane + 1)
     }
 
@@ -233,23 +248,35 @@ impl Mask {
     /// ```
     /// use flexvec_isa::Mask;
     ///
-    /// let k = Mask::from_lanes(&[1, 4, 9]);
-    /// assert_eq!(k.iter_set().collect::<Vec<_>>(), vec![1, 4, 9]);
+    /// let k = Mask::from_lanes(&[1, 4, 7]);
+    /// assert_eq!(k.iter_set().collect::<Vec<_>>(), vec![1, 4, 7]);
     /// ```
     #[inline]
     pub fn iter_set(self) -> Lanes {
         Lanes(self.0)
     }
 
-    /// Returns the lanes as a boolean array, lane 0 first.
-    pub fn to_bools(self) -> [bool; VLEN] {
-        core::array::from_fn(|i| self.get(i))
+    /// Returns the active lanes as booleans, lane 0 first (one entry per
+    /// lane of the ambient vector length).
+    pub fn to_bools(self) -> Vec<bool> {
+        (0..vlen()).map(|i| self.get(i)).collect()
+    }
+}
+
+/// Bits of a prefix of `n` lanes (`n <= MAX_VLEN`).
+#[inline]
+fn full_bits(n: usize) -> u64 {
+    debug_assert!(n <= MAX_VLEN);
+    if n >= MAX_VLEN {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
     }
 }
 
 /// Iterator over the enabled lane indices of a [`Mask`].
 #[derive(Clone, Debug)]
-pub struct Lanes(u16);
+pub struct Lanes(u64);
 
 impl Iterator for Lanes {
     type Item = usize;
@@ -306,11 +333,13 @@ impl BitXor for Mask {
     }
 }
 
+/// Complement over the *active* lanes only: hidden lanes (index
+/// `>= vlen()`) stay zero, so `!Mask::EMPTY == Mask::full()`.
 impl Not for Mask {
     type Output = Mask;
     #[inline]
     fn not(self) -> Mask {
-        Mask(!self.0)
+        Mask(!self.0 & full_bits(vlen()))
     }
 }
 
@@ -342,10 +371,10 @@ impl fmt::Debug for Mask {
 }
 
 /// Formats the mask in the paper's layout: lane 0 leftmost, one digit per
-/// lane, space separated (`"0 0 1 1 ..."`).
+/// active lane, space separated (`"0 0 1 1 ..."`).
 impl fmt::Display for Mask {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for lane in 0..Self::LANES {
+        for lane in 0..vlen() {
             if lane > 0 {
                 f.write_str(" ")?;
             }
@@ -379,14 +408,15 @@ impl fmt::Octal for Mask {
     }
 }
 
-impl From<u16> for Mask {
-    fn from(bits: u16) -> Mask {
-        Mask(bits)
+/// Clips to the active lanes, like [`Mask::from_bits`].
+impl From<u64> for Mask {
+    fn from(bits: u64) -> Mask {
+        Mask::from_bits(bits)
     }
 }
 
-impl From<Mask> for u16 {
-    fn from(mask: Mask) -> u16 {
+impl From<Mask> for u64 {
+    fn from(mask: Mask) -> u64 {
         mask.bits()
     }
 }
@@ -394,6 +424,7 @@ impl From<Mask> for u16 {
 /// Error returned when parsing a [`Mask`] from the paper's textual layout.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseMaskError {
+    expected: usize,
     found: String,
 }
 
@@ -401,8 +432,8 @@ impl fmt::Display for ParseMaskError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "mask must be {VLEN} space-separated 0/1 digits, found {:?}",
-            self.found
+            "mask must be {} space-separated 0/1 digits (vl={}), found {:?}",
+            self.expected, self.expected, self.found
         )
     }
 }
@@ -410,31 +441,35 @@ impl fmt::Display for ParseMaskError {
 impl std::error::Error for ParseMaskError {}
 
 /// Parses the paper's textual mask layout: lane 0 first, whitespace
-/// separated, e.g. `"0 0 1 1 1 1 1 1 1 1 1 1 1 1 1 1"`.
+/// separated, one digit per active lane, e.g. `"0 0 1 1 1 1 1 1"` at
+/// `vl = 8`.
 impl FromStr for Mask {
     type Err = ParseMaskError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let mut bits = 0u16;
+        let vl = vlen();
+        let mut bits = 0u64;
         let mut n = 0usize;
         for tok in s.split_whitespace() {
             match tok {
                 "0" => {}
                 "1" => {
-                    if n < VLEN {
+                    if n < vl {
                         bits |= 1 << n;
                     }
                 }
                 _ => {
                     return Err(ParseMaskError {
+                        expected: vl,
                         found: s.to_owned(),
                     })
                 }
             }
             n += 1;
         }
-        if n != VLEN {
+        if n != vl {
             return Err(ParseMaskError {
+                expected: vl,
                 found: s.to_owned(),
             });
         }
@@ -445,14 +480,19 @@ impl FromStr for Mask {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::with_vlen;
 
     #[test]
     fn empty_and_full() {
         assert!(Mask::EMPTY.is_empty());
         assert!(!Mask::EMPTY.any());
-        assert_eq!(Mask::FULL.count(), VLEN);
-        assert_eq!(Mask::FULL.first_set(), Some(0));
-        assert_eq!(Mask::FULL.last_set(), Some(VLEN - 1));
+        for vl in crate::SUPPORTED_VLENS {
+            with_vlen(vl, || {
+                assert_eq!(Mask::full().count(), vl);
+                assert_eq!(Mask::full().first_set(), Some(0));
+                assert_eq!(Mask::full().last_set(), Some(vl - 1));
+            });
+        }
         assert_eq!(Mask::EMPTY.first_set(), None);
         assert_eq!(Mask::EMPTY.last_set(), None);
     }
@@ -460,7 +500,7 @@ mod tests {
     #[test]
     fn first_n_prefixes() {
         assert_eq!(Mask::first_n(0), Mask::EMPTY);
-        assert_eq!(Mask::first_n(16), Mask::FULL);
+        assert_eq!(Mask::first_n(16), Mask::full());
         assert_eq!(Mask::first_n(3).bits(), 0b111);
         assert_eq!(Mask::prefix_before(5).bits(), 0b1_1111);
         assert_eq!(Mask::prefix_through(5).bits(), 0b11_1111);
@@ -471,6 +511,17 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn first_n_rejects_oversize() {
         let _ = Mask::first_n(17);
+    }
+
+    #[test]
+    fn from_bits_clips_hidden_lanes() {
+        with_vlen(8, || {
+            assert_eq!(Mask::from_bits(u64::MAX).bits(), 0xff);
+            assert_eq!(Mask::from_bits(0x100), Mask::EMPTY);
+        });
+        with_vlen(64, || {
+            assert_eq!(Mask::from_bits(u64::MAX).bits(), u64::MAX);
+        });
     }
 
     #[test]
@@ -492,7 +543,18 @@ mod tests {
         assert_eq!(a | b, Mask::from_lanes(&[0, 1, 2, 3]));
         assert_eq!(a ^ b, Mask::from_lanes(&[0, 1, 3]));
         assert_eq!(a.and_not(b), Mask::from_lanes(&[0, 1]));
-        assert_eq!((!a).count(), VLEN - 3);
+        assert_eq!((!a).count(), vlen() - 3);
+    }
+
+    #[test]
+    fn not_clips_to_active_width() {
+        for vl in crate::SUPPORTED_VLENS {
+            with_vlen(vl, || {
+                assert_eq!(!Mask::EMPTY, Mask::full());
+                assert_eq!(!Mask::full(), Mask::EMPTY);
+                assert_eq!(Mask::suffix_from(0), Mask::full());
+            });
+        }
     }
 
     #[test]
@@ -509,12 +571,21 @@ mod tests {
         let text = k.to_string();
         assert_eq!(text, "0 0 1 1 1 1 0 0 0 0 0 0 0 0 0 0");
         assert_eq!(text.parse::<Mask>().unwrap(), k);
+        with_vlen(8, || {
+            let k = Mask::from_lanes(&[1, 2]);
+            assert_eq!(k.to_string(), "0 1 1 0 0 0 0 0");
+            assert_eq!("0 1 1 0 0 0 0 0".parse::<Mask>().unwrap(), k);
+        });
     }
 
     #[test]
     fn parse_rejects_malformed() {
         assert!("0 1".parse::<Mask>().is_err());
         assert!("0 0 2 1 1 1 1 1 1 1 1 1 1 1 1 1".parse::<Mask>().is_err());
+        with_vlen(8, || {
+            // Sixteen digits is wrong at vl = 8.
+            assert!("0 0 1 1 1 1 1 1 1 1 1 1 1 1 1 1".parse::<Mask>().is_err());
+        });
     }
 
     #[test]
@@ -522,5 +593,6 @@ mod tests {
         let k = Mask::from_bools(&[true, false, true]);
         assert_eq!(k, Mask::from_lanes(&[0, 2]));
         assert_eq!(k.to_bools()[..3], [true, false, true]);
+        assert_eq!(k.to_bools().len(), vlen());
     }
 }

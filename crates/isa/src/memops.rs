@@ -10,7 +10,7 @@
 
 use core::fmt;
 
-use crate::{Mask, Vector};
+use crate::{vlen, Mask, Vector};
 
 /// Number of bytes transferred per lane by the functional model.
 pub const LANE_BYTES: u64 = 8;
@@ -254,14 +254,15 @@ pub fn vstore<M: LaneMemory + ?Sized>(
 ///     }
 /// }
 ///
-/// let k1: Mask = "0 0 1 1 1 1 1 1 1 1 1 1 1 1 1 1".parse()?;
+/// let k1 = Mask::suffix_from(2); // lanes 2..vlen() enabled
 /// let addrs = Vector::from_fn(|i| 8 * i as i64);
 /// let out = vgather_ff(&Mem, k1, Vector::splat(7), addrs)?;
-/// assert_eq!(out.mask, "0 0 1 1 1 1 0 0 0 0 0 0 0 0 0 0".parse()?);
+/// // Clipped from the faulting speculative lane 6 rightward: only 2..=5.
+/// assert_eq!(out.mask, Mask::suffix_from(2) & Mask::prefix_before(6));
 /// assert_eq!(out.value.lane(2), 102);
 /// assert_eq!(out.value.lane(5), 105);
 /// assert_eq!(out.value.lane(6), 7); // old value kept
-/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// # Ok::<(), flexvec_isa::MemFault>(())
 /// ```
 pub fn vgather_ff<M: LaneMemory + ?Sized>(
     mem: &M,
@@ -311,7 +312,7 @@ fn first_faulting(
                 // the destination's old contents there (discard any lanes
                 // that were architecturally gathered out of order).
                 mask &= Mask::prefix_before(lane);
-                for undo in lane..Vector::LANES {
+                for undo in lane..vlen() {
                     value[undo] = dest.lane(undo);
                 }
                 return Ok(FirstFaultResult { value, mask });
@@ -453,7 +454,7 @@ mod tests {
     #[test]
     fn gather_ff_fault_on_last_lane() {
         let mem = TestMem::new(16, &[15]);
-        let out = vgather_ff(&mem, Mask::FULL, Vector::ZERO, byte_addrs_identity()).unwrap();
+        let out = vgather_ff(&mem, Mask::full(), Vector::ZERO, byte_addrs_identity()).unwrap();
         assert_eq!(out.mask, Mask::first_n(15));
         assert_eq!(out.value.lane(14), 114);
         assert_eq!(out.value.lane(15), 0);
@@ -472,7 +473,7 @@ mod tests {
     #[test]
     fn mov_ff_straddles_boundary() {
         let mem = TestMem::new(8, &[]);
-        let out = vmov_ff(&mem, Mask::FULL, Vector::splat(-1), 0).unwrap();
+        let out = vmov_ff(&mem, Mask::full(), Vector::splat(-1), 0).unwrap();
         assert_eq!(out.mask, Mask::first_n(8));
         assert_eq!(out.value.lane(7), 107);
         assert_eq!(out.value.lane(8), -1);

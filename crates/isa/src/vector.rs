@@ -7,23 +7,34 @@
 //! operations per instruction, so the widening does not distort costs.
 //! Lane 0 is the leftmost lane of the paper's diagrams and maps the oldest
 //! scalar iteration.
+//!
+//! The number of *active* lanes is the ambient runtime vector length
+//! ([`vlen()`]); storage is always [`MAX_VLEN`] lanes wide, and hidden
+//! lanes (index `>= vlen()`) always hold zero.
+//!
+//! [`vlen()`]: crate::vlen
 
 use core::fmt;
 use core::ops::{Index, IndexMut};
 
-use crate::{Mask, VLEN};
+use crate::{vlen, Mask, MAX_VLEN};
 
-/// A vector register value: [`VLEN`] lanes of `i64`.
+/// A vector register value: [`vlen()`] active lanes of `i64`.
+///
+/// Storage is a fixed [`MAX_VLEN`]-lane array so the type stays `Copy`
+/// with a stable layout; lanes at index `>= vlen()` are architecturally
+/// invisible and always zero (every constructor and operation maintains
+/// this, so `Eq`/`Hash` never observe hidden lanes).
 ///
 /// # Examples
 ///
 /// ```
-/// use flexvec_isa::{Mask, Vector};
+/// use flexvec_isa::{vlen, Mask, Vector};
 ///
-/// let v = Vector::iota();             // 0, 1, 2, ..., 15
-/// let w = v.add(Vector::splat(10));   // 10, 11, ..., 25
+/// let v = Vector::iota();             // 0, 1, 2, ..., vlen()-1
+/// let w = v.add(Vector::splat(10));   // 10, 11, ...
 /// assert_eq!(w[0], 10);
-/// assert_eq!(w[15], 25);
+/// assert_eq!(w[vlen() - 1], 10 + vlen() as i64 - 1);
 ///
 /// // Predicated merge: disabled lanes keep the destination's old value.
 /// let k = Mask::first_n(4);
@@ -31,88 +42,102 @@ use crate::{Mask, VLEN};
 /// assert_eq!(merged[3], 13);
 /// assert_eq!(merged[4], -1);
 /// ```
-// `repr(transparent)`: a `Vector` is exactly `[i64; VLEN]` in memory, so
-// a `&[Vector]` register file can be handed to generated machine code as
-// a flat `*mut i64` (lane `l` of register `r` at element `r * VLEN + l`).
+///
+/// [`vlen()`]: crate::vlen
+// `repr(transparent)`: a `Vector` is exactly `[i64; MAX_VLEN]` in memory,
+// so a `&[Vector]` register file can be handed to generated machine code
+// as a flat `*mut i64` (lane `l` of register `r` at element
+// `r * MAX_VLEN + l`).
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(transparent)]
-pub struct Vector(pub(crate) [i64; VLEN]);
+pub struct Vector(pub(crate) [i64; MAX_VLEN]);
 
 // The arithmetic method names deliberately mirror the ISA mnemonics
 // (`VPADD` → `add`); they are inherent methods, not operator overloads.
 #[allow(clippy::should_implement_trait)]
 impl Vector {
-    /// Number of lanes in a vector register.
-    pub const LANES: usize = VLEN;
-
     /// All-zero vector.
-    pub const ZERO: Vector = Vector([0; VLEN]);
+    pub const ZERO: Vector = Vector([0; MAX_VLEN]);
 
-    /// Creates a vector from a lane array (lane 0 first).
-    #[inline]
-    pub const fn from_lanes(lanes: [i64; VLEN]) -> Self {
-        Vector(lanes)
-    }
-
-    /// Creates a vector from a slice of at most [`VLEN`] values; missing
+    /// Creates a vector from a slice of at most [`vlen()`] values; missing
     /// lanes are zero.
     ///
     /// # Panics
     ///
-    /// Panics if `values.len() > Vector::LANES`.
+    /// Panics if `values.len() > vlen()`.
+    ///
+    /// [`vlen()`]: crate::vlen
     #[inline]
     pub fn from_slice(values: &[i64]) -> Self {
-        assert!(values.len() <= VLEN, "too many lanes: {}", values.len());
-        let mut lanes = [0i64; VLEN];
+        let vl = vlen();
+        assert!(
+            values.len() <= vl,
+            "too many lanes: {} (vl={vl})",
+            values.len()
+        );
+        let mut lanes = [0i64; MAX_VLEN];
         lanes[..values.len()].copy_from_slice(values);
         Vector(lanes)
     }
 
-    /// Creates a vector whose lane `i` is `f(i)`.
+    /// Creates a vector whose active lane `i` is `f(i)`; hidden lanes are
+    /// zero.
     #[inline]
-    pub fn from_fn(f: impl FnMut(usize) -> i64) -> Self {
-        Vector(core::array::from_fn(f))
+    pub fn from_fn(mut f: impl FnMut(usize) -> i64) -> Self {
+        let mut lanes = [0i64; MAX_VLEN];
+        for (i, lane) in lanes.iter_mut().enumerate().take(vlen()) {
+            *lane = f(i);
+        }
+        Vector(lanes)
     }
 
-    /// Broadcasts a scalar to all lanes (`VPBROADCAST`).
+    /// Broadcasts a scalar to all active lanes (`VPBROADCAST`).
     #[inline]
-    pub const fn splat(value: i64) -> Self {
-        Vector([value; VLEN])
+    pub fn splat(value: i64) -> Self {
+        let mut lanes = [0i64; MAX_VLEN];
+        for lane in lanes.iter_mut().take(vlen()) {
+            *lane = value;
+        }
+        Vector(lanes)
     }
 
-    /// The lane-index vector `0, 1, 2, ..., 15`, used to materialize the
-    /// vectorized induction variable.
+    /// The lane-index vector `0, 1, 2, ..., vlen()-1`, used to materialize
+    /// the vectorized induction variable.
     #[inline]
     pub fn iota() -> Self {
         Vector::from_fn(|i| i as i64)
     }
 
-    /// Returns the lanes as an array (lane 0 first).
+    /// Returns the active lanes as a slice (lane 0 first, `vlen()` long).
     #[inline]
-    pub const fn to_lanes(self) -> [i64; VLEN] {
-        self.0
-    }
-
-    /// Returns the lanes as a slice.
-    #[inline]
-    pub fn as_lanes(&self) -> &[i64; VLEN] {
-        &self.0
+    pub fn as_lanes(&self) -> &[i64] {
+        &self.0[..vlen()]
     }
 
     /// Returns the value of lane `lane`.
     ///
+    /// Hidden lanes (`vlen() <= lane < MAX_VLEN`) read as zero.
+    ///
     /// # Panics
     ///
-    /// Panics if `lane >= Vector::LANES`.
+    /// Panics if `lane >= MAX_VLEN`.
     #[inline]
     pub fn lane(self, lane: usize) -> i64 {
         self.0[lane]
     }
 
     /// Returns a copy with lane `lane` replaced by `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= vlen()` (hidden lanes must stay zero).
+    ///
+    /// [`vlen()`]: crate::vlen
     #[inline]
     #[must_use]
     pub fn with_lane(mut self, lane: usize, value: i64) -> Self {
+        let vl = vlen();
+        assert!(lane < vl, "lane {lane} out of range for vl={vl}");
         self.0[lane] = value;
         self
     }
@@ -123,16 +148,22 @@ impl Vector {
     #[inline]
     #[must_use]
     pub fn merge(self, k: Mask, src: Vector) -> Vector {
-        Vector::from_fn(|i| if k.get(i) { src.0[i] } else { self.0[i] })
+        Vector::from_fn(|i| {
+            if k.bits() & (1 << i) != 0 {
+                src.0[i]
+            } else {
+                self.0[i]
+            }
+        })
     }
 
-    /// Applies a binary operation lane-wise without predication.
+    /// Applies a binary operation lane-wise over the active lanes.
     #[inline]
     pub fn zip_with(self, rhs: Vector, mut f: impl FnMut(i64, i64) -> i64) -> Vector {
         Vector::from_fn(|i| f(self.0[i], rhs.0[i]))
     }
 
-    /// Applies a unary operation lane-wise without predication.
+    /// Applies a unary operation lane-wise over the active lanes.
     #[inline]
     pub fn map(self, mut f: impl FnMut(i64) -> i64) -> Vector {
         Vector::from_fn(|i| f(self.0[i]))
@@ -258,7 +289,7 @@ impl Vector {
     /// Horizontal reduction over the enabled lanes.
     ///
     /// Returns `init` if no lane is enabled. AVX-512 implements these as
-    /// `log2(VLEN)` shuffle/op pairs; the timing model charges that
+    /// `log2(vl)` shuffle/op pairs; the timing model charges that
     /// sequence.
     #[inline]
     pub fn reduce(self, k: Mask, init: i64, mut f: impl FnMut(i64, i64) -> i64) -> i64 {
@@ -311,12 +342,14 @@ impl Vector {
         out
     }
 
-    /// All-to-all permute (`VPERMD`): lane `i` of the result is
-    /// `self[idx[i] mod LANES]`.
+    /// All-to-all permute (`VPERMD`): active lane `i` of the result is
+    /// `self[idx[i].rem_euclid(vlen())]`, so out-of-range (including
+    /// negative) indices wrap around the *active* lane count.
     #[inline]
     #[must_use]
     pub fn permute(self, idx: Vector) -> Vector {
-        Vector::from_fn(|i| self.0[(idx.0[i].rem_euclid(VLEN as i64)) as usize])
+        let vl = vlen() as i64;
+        Vector::from_fn(|i| self.0[(idx.0[i].rem_euclid(vl)) as usize])
     }
 }
 
@@ -341,29 +374,17 @@ impl IndexMut<usize> for Vector {
     }
 }
 
-impl From<[i64; VLEN]> for Vector {
-    fn from(lanes: [i64; VLEN]) -> Self {
-        Vector(lanes)
-    }
-}
-
-impl From<Vector> for [i64; VLEN] {
-    fn from(v: Vector) -> Self {
-        v.0
-    }
-}
-
 impl fmt::Debug for Vector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Vector({self})")
     }
 }
 
-/// Formats lanes left to right (lane 0 first), space separated, matching the
-/// paper's examples.
+/// Formats the active lanes left to right (lane 0 first), space separated,
+/// matching the paper's examples.
 impl fmt::Display for Vector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (i, lane) in self.0.iter().enumerate() {
+        for (i, lane) in self.0[..vlen()].iter().enumerate() {
             if i > 0 {
                 f.write_str(" ")?;
             }
@@ -376,6 +397,7 @@ impl fmt::Display for Vector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{with_vlen, SUPPORTED_VLENS};
 
     #[test]
     fn construction() {
@@ -384,6 +406,20 @@ mod tests {
         let v = Vector::from_slice(&[1, 2, 3]);
         assert_eq!(v.lane(2), 3);
         assert_eq!(v.lane(3), 0);
+    }
+
+    #[test]
+    fn hidden_lanes_stay_zero() {
+        for vl in SUPPORTED_VLENS {
+            with_vlen(vl, || {
+                let v = Vector::splat(7).add(Vector::iota()).permute(Vector::iota());
+                for hidden in vl..MAX_VLEN {
+                    assert_eq!(v.lane(hidden), 0, "vl={vl} lane={hidden}");
+                }
+                // Equality must not depend on how a value was built.
+                assert_eq!(Vector::splat(3), Vector::from_fn(|_| 3));
+            });
+        }
     }
 
     #[test]
@@ -454,6 +490,12 @@ mod tests {
         assert_eq!(v.permute(idx), Vector::splat(1));
         let neg = Vector::splat(-1); // -1 rem_euclid 16 == 15
         assert_eq!(v.permute(neg), Vector::splat(15));
+        with_vlen(8, || {
+            let v = Vector::iota();
+            // Wraparound is vl-relative: 9 mod 8 == 1, -1 rem_euclid 8 == 7.
+            assert_eq!(v.permute(Vector::splat(9)), Vector::splat(1));
+            assert_eq!(v.permute(Vector::splat(-1)), Vector::splat(7));
+        });
     }
 
     #[test]
@@ -469,5 +511,8 @@ mod tests {
     fn display_layout() {
         let v = Vector::from_slice(&[1, 2]);
         assert!(v.to_string().starts_with("1 2 0"));
+        with_vlen(8, || {
+            assert_eq!(Vector::ZERO.to_string().split(' ').count(), 8);
+        });
     }
 }

@@ -25,9 +25,9 @@
 //! // Lane i reads table[40*i]; lanes past the array run into the guard
 //! // page and are clipped by the first-faulting gather instead of
 //! // trapping.
-//! let addrs = std::array::from_fn(|i| base + 8 * 40 * i as i64);
-//! let out = vgather_ff(&space, Mask::FULL, Vector::ZERO, Vector::from_lanes(addrs))?;
-//! assert!(out.mask.count() < 16);
+//! let addrs = Vector::from_fn(|i| base + 8 * 40 * i as i64);
+//! let out = vgather_ff(&space, Mask::full(), Vector::ZERO, addrs)?;
+//! assert!(out.mask.count() < flexvec_isa::vlen());
 //! assert_eq!(out.value.lane(0), 10);
 //! # Ok::<(), flexvec_isa::MemFault>(())
 //! ```

@@ -266,8 +266,8 @@ impl AddressSpace {
     ///
     /// This is the unit-stride fast path behind
     /// [`LaneMemory::load_span`](flexvec_isa::LaneMemory::load_span): a
-    /// 16-lane contiguous vector load does one or two translations instead
-    /// of sixteen.
+    /// contiguous vector load does one or two translations instead of
+    /// one per lane, whatever the ambient vector length.
     ///
     /// # Errors
     ///

@@ -24,7 +24,7 @@ use std::time::Duration;
 
 use flexvec::{analyze, InstMix, PatternInstance, Verdict};
 use flexvec_ir::{Expr, Program};
-use flexvec_isa::VLEN;
+use flexvec_isa::vlen;
 use flexvec_mem::{AddressSpace, PageCacheStats};
 use flexvec_vm::{
     Bindings, CountingSink, ExecError, ScalarMachine, StepOutcome, TraceSink, VectorStats,
@@ -115,8 +115,8 @@ impl ThroughputReport {
         }
     }
 
-    /// Average VPL partitions per chunk (1.0 is conflict-free; VLEN
-    /// means the window fully serialized).
+    /// Average VPL partitions per chunk (1.0 is conflict-free; the
+    /// vector length means the window fully serialized).
     pub fn partitions_per_chunk(&self) -> f64 {
         if self.chunks == 0 {
             0.0
@@ -260,13 +260,14 @@ impl LoopProfile {
 
     /// The paper's effective vector length: average trip count over
     /// average dependency events (both per invocation). With zero events
-    /// the loop runs at the full hardware vector length.
+    /// the loop runs at the full ambient vector length
+    /// ([`flexvec_isa::vlen`]).
     pub fn effective_vector_length(&self) -> f64 {
         let events = self.dependency_events();
         if events == 0 {
-            VLEN as f64
+            vlen() as f64
         } else {
-            (self.trips as f64 / events as f64).min(VLEN as f64)
+            (self.trips as f64 / events as f64).min(vlen() as f64)
         }
     }
 }
@@ -302,7 +303,7 @@ pub fn profile_loop(
         let end = machine.eval_invariant(&program.loop_.end);
         let mut sink = CountingSink::default();
         // Sliding window of store indices for conflict detection.
-        let mut window: Vec<Vec<i64>> = vec![Vec::new(); VLEN];
+        let mut window: Vec<Vec<i64>> = vec![Vec::new(); vlen()];
         let mut i = start;
         while i < end {
             let before: Vec<i64> = updated_vars
@@ -321,10 +322,10 @@ pub fn profile_loop(
                 profile.update_events += 1;
             }
 
-            // Conflict events: this iteration's load index matches a store
-            // index from one of the previous VLEN-1 iterations.
+            // Conflict events: this iteration's load index matches a
+            // store index from one of the previous vlen()-1 iterations.
             if !conflict_checks.is_empty() {
-                let slot = (i - start).rem_euclid(VLEN as i64) as usize;
+                let slot = (i - start).rem_euclid(vlen() as i64) as usize;
                 window[slot].clear();
                 let mut hit = false;
                 for check in &conflict_checks {

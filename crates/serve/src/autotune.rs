@@ -47,7 +47,6 @@
 //! so a pinned daemon and an autotuned one compare like-for-like.
 
 use flexvec::SpecRequest;
-use flexvec_isa::VLEN;
 use flexvec_profiler::ThroughputReport;
 
 /// Thresholds and pacing for the decision state machine. One set per
@@ -69,7 +68,7 @@ pub struct AutotuneConfig {
     /// Relative latency margin a trialed variant must win by (and the
     /// flap guard for reverts): 0.1 = 10%.
     pub hysteresis: f64,
-    /// Smallest RTM tile (the hardware vector length).
+    /// Smallest RTM tile (the ambient vector length at daemon start).
     pub tile_min: u32,
     /// Largest RTM tile worth trying (capacity-bound on real RTM).
     pub tile_max: u32,
@@ -89,7 +88,7 @@ impl Default for AutotuneConfig {
             abort_clean: 0.01,
             ff_pressure: 0.5,
             hysteresis: 0.10,
-            tile_min: VLEN as u32,
+            tile_min: flexvec_isa::vlen() as u32,
             tile_max: 1024,
             explore_tile: 1024,
             audit_every: 64,

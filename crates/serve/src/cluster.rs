@@ -386,6 +386,7 @@ mod tests {
             spec: SpecRequest::Auto,
             spec_explicit: false,
             engine: None,
+            vl: None,
             invocations: 1,
             deadline_ms: None,
             forwarded: false,

@@ -104,6 +104,10 @@ pub struct ServeEngine {
     totals: Mutex<BTreeMap<&'static str, u64>>,
     tiers: Mutex<BTreeMap<u64, TierEntry>>,
     profiles: Mutex<BTreeMap<u64, KernelProfile>>,
+    /// Upper bound on the `tiers` and `profiles` map sizes, so daemon
+    /// memory is bounded by configuration, not by the number of
+    /// distinct kernels ever seen.
+    tracked_capacity: usize,
     tune_cfg: AutotuneConfig,
 }
 
@@ -112,18 +116,26 @@ const TIER_WARM_RUNS: u64 = 2;
 /// A kernel becomes *hot* (native tier) at this many runs.
 const TIER_HOT_RUNS: u64 = 16;
 
+/// Tracking-map bound for unbounded-cache daemons (`cache_capacity`
+/// 0): still finite, so a hostile kernel stream cannot grow the tier
+/// and profile maps without limit.
+const TRACKED_UNBOUNDED_CAP: usize = 4096;
+
 /// Per-kernel-hash tier state: how often the kernel has run, which
 /// tier it last ran on, and the native-enabled plan once it got hot.
-/// The map is unbounded but keyed by kernel hash, so it grows with
-/// distinct kernels, not with traffic.
+/// The map is keyed by kernel hash and bounded by
+/// [`ServeEngine::tracked_capacity`], so it grows with resident
+/// kernels, not with traffic.
 #[derive(Default)]
 struct TierEntry {
     runs: u64,
     /// 0 = never ran, else `tier_rank` of the last auto-policy tier.
     last_rank: u8,
     /// Cached native-enabled clone of the compiled plan, keyed by the
-    /// spec it was built for (a spec change invalidates it).
-    native: Option<(SpecRequest, CompiledVProg)>,
+    /// `(spec, vl)` it was built for — native code is specialized per
+    /// vector length, so a width change rebuilds it just like a spec
+    /// change does.
+    native: Option<(SpecRequest, usize, CompiledVProg)>,
 }
 
 /// Promotion order of the tiers.
@@ -236,8 +248,55 @@ impl ServeEngine {
             }),
             tiers: Mutex::new(BTreeMap::new()),
             profiles: Mutex::new(BTreeMap::new()),
+            tracked_capacity: if cache_capacity == 0 {
+                TRACKED_UNBOUNDED_CAP
+            } else {
+                // Twice the cache: tier/profile state is tiny next to a
+                // compiled plan, and surviving a round of cache churn
+                // keeps the autotuner's memory of a kernel intact.
+                cache_capacity.saturating_mul(2)
+            },
             tune_cfg: AutotuneConfig::default(),
         }
+    }
+
+    /// Kernels currently tracked by the tier policy and the autotuner
+    /// — `(tiers, profiles)` map sizes, both bounded by the tracking
+    /// cap.
+    pub fn tracked_kernels(&self) -> (usize, usize) {
+        (
+            self.tiers.lock().expect("tiers lock").len(),
+            self.profiles.lock().expect("profiles lock").len(),
+        )
+    }
+
+    /// Enforces the tracking-map bound after a request may have added
+    /// entries. Eviction prefers kernels no longer resident in the
+    /// registry (the compile cache has moved on from them too); if
+    /// everything tracked is still resident, the smallest hashes go —
+    /// the next request for one simply re-warms its tier state.
+    fn prune_tracked(&self) {
+        fn prune<V>(map: &mut BTreeMap<u64, V>, cap: usize, resident: impl Fn(u64) -> bool) {
+            if map.len() <= cap {
+                return;
+            }
+            map.retain(|hash, _| resident(*hash));
+            while map.len() > cap {
+                let evict = *map.keys().next().expect("map is over a nonzero cap");
+                map.remove(&evict);
+            }
+        }
+        let resident = |hash: u64| self.registry.peek(hash).is_some();
+        prune(
+            &mut self.tiers.lock().expect("tiers lock"),
+            self.tracked_capacity,
+            resident,
+        );
+        prune(
+            &mut self.profiles.lock().expect("profiles lock"),
+            self.tracked_capacity,
+            resident,
+        );
     }
 
     /// Picks the execution tier for one request and advances the
@@ -267,16 +326,19 @@ impl ServeEngine {
     }
 
     /// The native-enabled plan for a hot kernel, built once per
-    /// (hash, spec) and cached in the tier entry.
+    /// (hash, spec, vl) and cached in the tier entry. Native code is
+    /// specialized to the ambient vector length, so a request at a new
+    /// width rebuilds the plan for that width.
     fn native_plan(&self, hash: u64, spec: SpecRequest, base: &CompiledVProg) -> CompiledVProg {
+        let vl = flexvec_isa::vlen();
         let mut tiers = self.tiers.lock().expect("tiers lock");
         let entry = tiers.entry(hash).or_default();
         match &entry.native {
-            Some((s, c)) if *s == spec => c.clone(),
+            Some((s, w, c)) if *s == spec && *w == vl => c.clone(),
             _ => {
                 let mut c = base.clone();
                 c.enable_native();
-                entry.native = Some((spec, c.clone()));
+                entry.native = Some((spec, vl, c.clone()));
                 c
             }
         }
@@ -470,11 +532,40 @@ impl ServeEngine {
     /// deadline and the daemon's drain flag; executions poll it at
     /// chunk boundaries.
     ///
+    /// The request's `vl` (daemon default when omitted) becomes the
+    /// ambient vector length for everything the request does —
+    /// compile-cache entries are width-independent, so any width hits
+    /// the same cached compile; only execution specializes.
+    ///
     /// # Errors
     ///
     /// Every failure is a structured [`ProtoError`]; this never panics
     /// on client input.
     pub fn handle(
+        &self,
+        req: &Request,
+        cancel: Option<&CancelToken>,
+    ) -> Result<OpResult, ProtoError> {
+        let vl = req.vl.unwrap_or(flexvec_isa::DEFAULT_VLEN);
+        if !flexvec_isa::is_supported_vlen(vl) {
+            return Err(ProtoError::new(
+                ErrorKind::BadRequest,
+                format!("`vl` must be one of {:?}", flexvec_isa::SUPPORTED_VLENS),
+            ));
+        }
+        let result = flexvec_isa::with_vlen(vl, || self.handle_at_width(req, cancel));
+        self.prune_tracked();
+        result.map(|mut out| {
+            if req.op != Op::Stats {
+                out.fields.push(("vl", Json::from(vl as u64)));
+            }
+            out
+        })
+    }
+
+    /// [`ServeEngine::handle`] body, running at the established
+    /// ambient vector length.
+    fn handle_at_width(
         &self,
         req: &Request,
         cancel: Option<&CancelToken>,
@@ -546,11 +637,29 @@ impl ServeEngine {
         let invocations = req.invocations.max(1);
         let map_exec = |stage: &str, e: flexvec_vm::ExecError| match e {
             flexvec_vm::ExecError::Cancelled => cancel_error(cancel),
+            flexvec_vm::ExecError::UnsupportedWidth { vl, max_vl } => {
+                ProtoError::new(ErrorKind::BadRequest, width_error(vl, max_vl))
+            }
             other => ProtoError::new(
                 ErrorKind::ExecError,
                 format!("{stage} execution failed: {other}"),
             ),
         };
+
+        // A width the kernel cannot legally run at is a request
+        // error, and a cheap one: refuse before burning the scalar
+        // baseline. (The VM enforces the same bound; this just fails
+        // fast.)
+        if let Ok(plan) = &compiled.plan {
+            let max_vl = plan.vectorized.vprog.max_vl;
+            let vl = flexvec_isa::vlen();
+            if vl > max_vl {
+                return Err(ProtoError::new(
+                    ErrorKind::BadRequest,
+                    width_error(vl, max_vl),
+                ));
+            }
+        }
 
         let bind_arrays = |mem: &mut AddressSpace| -> Bindings {
             let ids: Vec<_> = arrays
@@ -955,6 +1064,11 @@ impl ServeEngine {
             ),
             ("compiles", Json::from(self.cache.compiles())),
             ("kernels_registered", Json::from(self.registry.len() as u64)),
+            (
+                "kernels_tracked",
+                Json::from(self.tracked_kernels().0 as u64),
+            ),
+            ("tracked_capacity", Json::from(self.tracked_capacity as u64)),
             ("tier_tree_total", Json::from(total("tier_tree"))),
             ("tier_bytecode_total", Json::from(total("tier_bytecode"))),
             ("tier_native_total", Json::from(total("tier_native"))),
@@ -1017,6 +1131,15 @@ fn cancel_error(cancel: Option<&CancelToken>) -> ProtoError {
     } else {
         ProtoError::new(ErrorKind::ShuttingDown, "daemon is draining")
     }
+}
+
+/// The reply message when a request asks for a vector length wider
+/// than the kernel's dependence analysis allows.
+fn width_error(vl: usize, max_vl: usize) -> String {
+    format!(
+        "vl {vl} is wider than this kernel supports \
+         (widest safe width: {max_vl})"
+    )
 }
 
 /// The wire label of a speculation request (`"auto"` / `"rtm:TILE"`).
@@ -1136,6 +1259,7 @@ for (i = 0; i < 64; i++) {
             spec: flexvec::SpecRequest::Auto,
             spec_explicit: false,
             engine: Some(Engine::Compiled),
+            vl: None,
             invocations: 1,
             deadline_ms: None,
             forwarded: false,
@@ -1494,6 +1618,93 @@ for (i = 0; i < 2048; i++) {
             k.get("last_reason").and_then(Json::as_str),
             Some("rtm_unlock")
         );
+    }
+
+    #[test]
+    fn one_compile_serves_multiple_widths() {
+        let engine = ServeEngine::new(0);
+        let mut r = req(Op::Run, Some(MINLOC), None);
+        r.vl = Some(8);
+        let out8 = engine.handle(&r, None).unwrap();
+        assert_eq!(out8.cache_hit, Some(false));
+        assert_eq!(field(&out8.fields, "vl").as_u64(), Some(8));
+        let best8 = field(&out8.fields, "live_outs")
+            .get("best")
+            .and_then(Json::as_i64)
+            .unwrap();
+
+        // Same kernel at a different width: the width-independent
+        // compile cache entry is reused, no second compile runs, and
+        // the live-outs agree (same program, same inputs).
+        r.vl = Some(32);
+        let out32 = engine.handle(&r, None).unwrap();
+        assert_eq!(
+            out32.cache_hit,
+            Some(true),
+            "one cached compile serves every width"
+        );
+        assert_eq!(field(&out32.fields, "vl").as_u64(), Some(32));
+        let best32 = field(&out32.fields, "live_outs")
+            .get("best")
+            .and_then(Json::as_i64)
+            .unwrap();
+        assert_eq!(best8, best32);
+        assert_eq!(engine.cache().compiles(), 1);
+    }
+
+    /// Carried RAW dependence at distance 16: safe at vl ≤ 16, and the
+    /// analysis must cap `max_vl` there.
+    const DIST16: &str = "\
+kernel dist16;
+var i = 0;
+var t = 0;
+array a[128] = seed 3;
+live_out t;
+for (i = 16; i < 128; i++) {
+  t = a[i - 16] + 1;
+  a[i] = t;
+}
+";
+
+    #[test]
+    fn too_wide_vl_is_a_clean_bad_request() {
+        let engine = ServeEngine::new(0);
+        // Within the proven-safe ceiling the kernel runs fine...
+        let mut r = req(Op::Run, Some(DIST16), None);
+        r.vl = Some(16);
+        let out = engine.handle(&r, None).unwrap();
+        assert_eq!(field(&out.fields, "kind").as_str(), Some("traditional"));
+        // ...and past it the request is refused with a structured
+        // error naming the ceiling — never wrong code.
+        r.vl = Some(32);
+        let err = engine.handle(&r, None).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+        assert!(
+            err.message.contains("widest safe width: 16"),
+            "{}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn tracking_maps_stay_bounded_under_distinct_kernel_traffic() {
+        // Capacity 4 bounds the caches at 4 and the tracking maps at 8.
+        let engine = ServeEngine::new(4);
+        assert_eq!(engine.tracked_capacity, 8);
+        for i in 0..40 {
+            let source = format!(
+                "kernel k{i};\nvar i = 0;\nvar s = 0;\narray a[32] = seed {i};\nlive_out s;\n\
+                 for (i = 0; i < 32; i++) {{\n  s = s + a[i];\n}}\n"
+            );
+            engine
+                .handle(&req(Op::Run, Some(&source), None), None)
+                .unwrap();
+        }
+        let (tiers, profiles) = engine.tracked_kernels();
+        assert!(tiers <= 8, "tiers map grew to {tiers}");
+        assert!(profiles <= 8, "profiles map grew to {profiles}");
+        let stats = engine.stats_fields();
+        assert_eq!(field(&stats, "tracked_capacity").as_u64(), Some(8));
     }
 
     #[test]

@@ -79,6 +79,6 @@ pub use protocol::{
     Request,
 };
 pub use queue::BoundedQueue;
-pub use server::{start, startup_line, ServerConfig, ServerHandle};
+pub use server::{start, startup_line, AcceptMode, ServerConfig, ServerHandle};
 pub use signal::{install_sigint_handler, interrupted, reset_interrupted};
 pub use snapshot::{SnapshotStore, SNAPSHOT_EPOCH};

@@ -24,6 +24,26 @@ use flexvec_vm::Engine;
 
 use crate::json::{self, Json};
 
+/// Upper bound on one buffered request line, shared by the epoll
+/// reactor and the thread-per-connection fallback: neither will buffer
+/// an unbounded line, and both answer the overflow with a structured
+/// [`ErrorKind::LineTooLong`] reply before closing the connection.
+pub const MAX_LINE: usize = 16 * 1024 * 1024;
+
+/// The reply both accept paths send when a request line exceeds
+/// [`MAX_LINE`]. The line's request id is unrecoverable (the line was
+/// never parsed), so the id is 0; the connection closes after the
+/// reply because the line framing is lost.
+pub fn line_too_long_response() -> Json {
+    err_response(
+        0,
+        &ProtoError::new(
+            ErrorKind::LineTooLong,
+            format!("request line exceeds {MAX_LINE} bytes; closing connection"),
+        ),
+    )
+}
+
 /// What the client wants done.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Op {
@@ -70,6 +90,9 @@ pub enum ErrorKind {
     SourceError,
     /// Execution failed (fault, verification mismatch, ...).
     ExecError,
+    /// The request line exceeded the daemon's line-length limit. The
+    /// connection is closed after this reply — the framing is lost.
+    LineTooLong,
     /// The daemon broke an internal invariant (worker died, ...).
     Internal,
 }
@@ -86,6 +109,7 @@ impl ErrorKind {
             ErrorKind::UnknownHash => "unknown_hash",
             ErrorKind::SourceError => "source_error",
             ErrorKind::ExecError => "exec_error",
+            ErrorKind::LineTooLong => "line_too_long",
             ErrorKind::Internal => "internal",
         }
     }
@@ -136,6 +160,12 @@ pub struct Request {
     /// the tree walker and are promoted to bytecode and then native
     /// code as their per-hash run count grows.
     pub engine: Option<Engine>,
+    /// Vector length the kernel executes at. `None` (the default)
+    /// means the daemon's ambient width
+    /// ([`flexvec_isa::DEFAULT_VLEN`]); an explicit value must be one
+    /// of [`flexvec_isa::SUPPORTED_VLENS`]. The compile cache is
+    /// width-independent, so any `vl` hits the same cached entry.
+    pub vl: Option<usize>,
     /// How many times `run`/`bench` invoke the kernel (min 1).
     pub invocations: u64,
     /// Per-request deadline in milliseconds, measured from admission.
@@ -258,6 +288,22 @@ impl Request {
             Some(Json::Str(s)) => parse_engine(s).map_err(&bad)?,
             Some(_) => return Err(bad("`engine` must be a string".to_owned())),
         };
+        let vl = match value.get("vl") {
+            None | Some(Json::Null) => None,
+            Some(v) => {
+                let n = v
+                    .as_u64()
+                    .map(|n| n as usize)
+                    .filter(|n| flexvec_isa::is_supported_vlen(*n))
+                    .ok_or_else(|| {
+                        bad(format!(
+                            "`vl` must be one of {:?}",
+                            flexvec_isa::SUPPORTED_VLENS
+                        ))
+                    })?;
+                Some(n)
+            }
+        };
         let invocations = match value.get("invocations") {
             None | Some(Json::Null) => 1,
             Some(v) => v
@@ -287,6 +333,7 @@ impl Request {
             spec,
             spec_explicit,
             engine,
+            vl,
             invocations,
             deadline_ms,
             forwarded,
@@ -325,6 +372,9 @@ impl Request {
                 Engine::Native => "native",
             };
             pairs.push(("engine", Json::from(engine)));
+        }
+        if let Some(vl) = self.vl {
+            pairs.push(("vl", Json::from(vl as u64)));
         }
         pairs.push(("invocations", Json::from(self.invocations)));
         if let Some(ms) = self.deadline_ms {
@@ -445,6 +495,15 @@ mod tests {
                 ErrorKind::BadRequest,
             ),
             (r#"{"op":"run","source":42}"#, ErrorKind::BadRequest),
+            (
+                r#"{"op":"run","source":"k","vl":12}"#,
+                ErrorKind::BadRequest,
+            ),
+            (r#"{"op":"run","source":"k","vl":0}"#, ErrorKind::BadRequest),
+            (
+                r#"{"op":"run","source":"k","vl":"wide"}"#,
+                ErrorKind::BadRequest,
+            ),
         ];
         for (line, kind) in cases {
             let (_, err) = Request::parse(line).expect_err(line);
@@ -516,6 +575,18 @@ mod tests {
         let relayed = Request::parse(&r.to_json(true).to_string()).unwrap();
         assert!(relayed.spec_explicit);
         assert_eq!(relayed.spec, SpecRequest::Auto);
+    }
+
+    #[test]
+    fn vl_parses_validates_and_relays() {
+        let r = Request::parse(r#"{"op":"run","source":"k"}"#).unwrap();
+        assert_eq!(r.vl, None, "omitted vl means the daemon default");
+        for vl in flexvec_isa::SUPPORTED_VLENS {
+            let r = Request::parse(&format!(r#"{{"op":"run","source":"k","vl":{vl}}}"#)).unwrap();
+            assert_eq!(r.vl, Some(vl));
+            let relayed = Request::parse(&r.to_json(true).to_string()).unwrap();
+            assert_eq!(relayed.vl, Some(vl), "vl survives a cluster relay");
+        }
     }
 
     #[test]

@@ -39,6 +39,7 @@ use std::sync::Mutex;
 
 use crate::json::Json;
 use crate::metrics::{Counter, Gauge};
+use crate::protocol::{line_too_long_response, MAX_LINE};
 
 // ---------------------------------------------------------------------
 // Raw syscalls (x86-64 Linux ABI), mirroring crates/vm/src/jit/pages.rs.
@@ -252,10 +253,6 @@ const TOKEN_LISTENER: u64 = u64::MAX;
 /// Reserved token for the completion eventfd.
 const TOKEN_WAKE: u64 = u64::MAX - 1;
 
-/// Upper bound on one buffered request line (matches the
-/// thread-per-connection path's refusal to buffer without bound).
-const MAX_LINE: usize = 16 * 1024 * 1024;
-
 /// How long `epoll_wait` parks before re-checking the drain flag.
 const WAIT_MS: usize = 100;
 
@@ -268,6 +265,10 @@ struct Conn {
     inflight: bool,
     /// Peer sent EOF; close once output drains and nothing is queued.
     peer_closed: bool,
+    /// The connection is being shut down by the daemon (oversized
+    /// line): input is discarded, nothing new dispatches, and the
+    /// close happens once the final reply flushes.
+    closing: bool,
     /// `EPOLLOUT` currently registered.
     wants_out: bool,
 }
@@ -370,7 +371,19 @@ pub fn run<F>(
                         alive = false;
                     }
                     if alive && flags & (EPOLLIN | EPOLLRDHUP) != 0 {
-                        alive = fill(conn);
+                        alive = match fill(conn) {
+                            Fill::Ok => true,
+                            Fill::Dead => false,
+                            Fill::TooLong => {
+                                // The framing is lost: answer with a
+                                // structured error, stop reading, and
+                                // close once the reply flushes.
+                                conn.rbuf = Vec::new();
+                                conn.closing = true;
+                                push_response(conn, &line_too_long_response());
+                                true
+                            }
+                        };
                     }
                     if alive {
                         alive = pump(conn, epfd, token, &mut dispatch);
@@ -439,6 +452,7 @@ fn accept_all(
             wbuf: Vec::new(),
             inflight: false,
             peer_closed: false,
+            closing: false,
             wants_out: false,
         });
         metrics.connections_total.inc();
@@ -447,25 +461,40 @@ fn accept_all(
     }
 }
 
-/// Reads everything currently available. Returns `false` when the
-/// connection must close (I/O error or oversized line).
-fn fill(conn: &mut Conn) -> bool {
+/// What [`fill`] found on the socket.
+enum Fill {
+    /// Buffered whatever was available.
+    Ok,
+    /// I/O error or hangup: close now.
+    Dead,
+    /// The buffered line exceeds [`MAX_LINE`]: the caller owes the
+    /// peer a structured `line_too_long` reply before closing.
+    TooLong,
+}
+
+/// Reads everything currently available. A connection already marked
+/// `closing` has its input discarded — the daemon only owes it the
+/// final flush.
+fn fill(conn: &mut Conn) -> Fill {
     let mut buf = [0u8; 16384];
     loop {
         match conn.stream.read(&mut buf) {
             Ok(0) => {
                 conn.peer_closed = true;
-                return true;
+                return Fill::Ok;
             }
             Ok(n) => {
+                if conn.closing {
+                    continue;
+                }
                 conn.rbuf.extend_from_slice(&buf[..n]);
                 if conn.rbuf.len() > MAX_LINE {
-                    return false;
+                    return Fill::TooLong;
                 }
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Fill::Ok,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(_) => return false,
+            Err(_) => return Fill::Dead,
         }
     }
 }
@@ -482,7 +511,7 @@ fn pump<F>(conn: &mut Conn, epfd: RawFd, token: u64, dispatch: &mut F) -> bool
 where
     F: FnMut(&str, u64) -> Option<Json>,
 {
-    while !conn.inflight {
+    while !conn.inflight && !conn.closing {
         let Some(pos) = conn.rbuf.iter().position(|&b| b == b'\n') else {
             break;
         };
@@ -511,7 +540,7 @@ where
         }
     }
 
-    if conn.peer_closed && conn.wbuf.is_empty() && !conn.inflight {
+    if conn.wbuf.is_empty() && (conn.closing || (conn.peer_closed && !conn.inflight)) {
         return false;
     }
     let wants_out = !conn.wbuf.is_empty();

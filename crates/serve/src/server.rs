@@ -25,13 +25,9 @@
 //! handlers with `SA_RESTART`).
 
 use std::io::{BufRead, BufReader, Write};
-#[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
-use std::net::TcpStream;
-use std::net::{SocketAddr, TcpListener};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-#[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -41,7 +37,9 @@ use crate::cluster::Cluster;
 use crate::engine::{build_info, ServeEngine};
 use crate::json::Json;
 use crate::metrics::ServeMetrics;
-use crate::protocol::{err_response, ok_response, ErrorKind, Op, ProtoError, Request};
+use crate::protocol::{
+    err_response, line_too_long_response, ok_response, ErrorKind, Op, ProtoError, Request, MAX_LINE,
+};
 use crate::queue::{BoundedQueue, PushError};
 use crate::snapshot::SnapshotStore;
 
@@ -50,6 +48,18 @@ use crate::reactor::{self, Completions, ReactorMetrics};
 
 /// How often blocked accept/read loops poll the shutdown flag.
 const POLL: Duration = Duration::from_millis(10);
+
+/// How the daemon accepts request connections.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AcceptMode {
+    /// The epoll reactor where available (x86-64 Linux), the
+    /// thread-per-connection acceptor elsewhere.
+    #[default]
+    Auto,
+    /// Force the thread-per-connection acceptor (useful for testing
+    /// the fallback on reactor-capable hosts).
+    Threads,
+}
 
 /// Daemon tunables. The defaults suit an interactive local daemon;
 /// the load generator and tests shrink the queue and pool to force
@@ -79,6 +89,8 @@ pub struct ServerConfig {
     /// request address, which only works when `addr` names a concrete
     /// port the peers were also given.
     pub advertise: Option<String>,
+    /// How connections are accepted (reactor vs. connection threads).
+    pub accept_mode: AcceptMode,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +105,7 @@ impl Default for ServerConfig {
             cache_dir: None,
             cluster: Vec::new(),
             advertise: None,
+            accept_mode: AcceptMode::Auto,
         }
     }
 }
@@ -101,7 +114,6 @@ impl Default for ServerConfig {
 /// fallback) or the reactor's completion mailbox keyed by connection
 /// token.
 enum Reply {
-    #[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
     Sync(mpsc::Sender<Json>),
     #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
     Reactor(Arc<Completions>, u64),
@@ -110,7 +122,6 @@ enum Reply {
 impl Reply {
     fn send(&self, response: Json) {
         match self {
-            #[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
             Reply::Sync(tx) => {
                 let _ = tx.send(response);
             }
@@ -251,7 +262,12 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
                 .expect("spawn worker"),
         );
     }
-    threads.push(spawn_accept_side(listener, &shared, &conn_threads)?);
+    threads.push(spawn_accept_side(
+        listener,
+        &shared,
+        &conn_threads,
+        config.accept_mode,
+    )?);
     if let Some(listener) = metrics_listener {
         let shared = Arc::clone(&shared);
         threads.push(
@@ -271,14 +287,32 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     })
 }
 
-/// Spawns the request-side thread: the epoll reactor on x86-64 Linux,
-/// the thread-per-connection acceptor elsewhere.
-#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+/// Spawns the request-side thread per the configured [`AcceptMode`]:
+/// the epoll reactor on x86-64 Linux (unless `Threads` forces the
+/// fallback), the thread-per-connection acceptor everywhere else.
 fn spawn_accept_side(
     listener: TcpListener,
     shared: &Arc<Shared>,
-    _conn_threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    conn_threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    mode: AcceptMode,
 ) -> std::io::Result<JoinHandle<()>> {
+    #[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+    let _ = mode;
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    if mode != AcceptMode::Threads {
+        return spawn_reactor(listener, shared);
+    }
+    let shared = Arc::clone(shared);
+    let conn_threads = Arc::clone(conn_threads);
+    std::thread::Builder::new()
+        .name("serve-accept".to_owned())
+        .spawn(move || accept_loop(&listener, &shared, &conn_threads))
+        .map_err(std::io::Error::other)
+}
+
+/// The reactor accept side (x86-64 Linux only).
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+fn spawn_reactor(listener: TcpListener, shared: &Arc<Shared>) -> std::io::Result<JoinHandle<()>> {
     let completions = Arc::new(Completions::new()?);
     let shared = Arc::clone(shared);
     std::thread::Builder::new()
@@ -303,21 +337,6 @@ fn spawn_accept_side(
         .map_err(std::io::Error::other)
 }
 
-#[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
-fn spawn_accept_side(
-    listener: TcpListener,
-    shared: &Arc<Shared>,
-    conn_threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-) -> std::io::Result<JoinHandle<()>> {
-    let shared = Arc::clone(shared);
-    let conn_threads = Arc::clone(conn_threads);
-    std::thread::Builder::new()
-        .name("serve-accept".to_owned())
-        .spawn(move || accept_loop(&listener, &shared, &conn_threads))
-        .map_err(std::io::Error::other)
-}
-
-#[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
 fn accept_loop(
     listener: &TcpListener,
     shared: &Arc<Shared>,
@@ -343,8 +362,8 @@ fn accept_loop(
 }
 
 /// Reads request lines and writes response lines, in order. Returns
-/// (closing the connection) on EOF, I/O error, or drain.
-#[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+/// (closing the connection) on EOF, I/O error, drain, or an oversized
+/// line (answered with a structured `line_too_long` reply first).
 fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
     let _ = stream.set_read_timeout(Some(POLL));
     let _ = stream.set_nodelay(true);
@@ -360,6 +379,13 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
         line.clear();
         match read_line_polling(&mut reader, &mut line, shared) {
             ReadOutcome::Line => {}
+            ReadOutcome::TooLong => {
+                // The framing is lost: answer with a structured error,
+                // then close — same contract as the reactor path.
+                shared.metrics.requests_failed.inc();
+                let _ = writer.write_all(format!("{}\n", line_too_long_response()).as_bytes());
+                break;
+            }
             ReadOutcome::Eof | ReadOutcome::Draining | ReadOutcome::Error => break,
         }
         let trimmed = line.trim();
@@ -383,7 +409,6 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
 
 /// The response for a job whose worker died or whose reply channel was
 /// dropped mid-drain.
-#[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
 fn dropped_response(shared: &Shared) -> Json {
     shared.metrics.requests_failed.inc();
     err_response(
@@ -392,17 +417,18 @@ fn dropped_response(shared: &Shared) -> Json {
     )
 }
 
-#[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
 enum ReadOutcome {
     Line,
     Eof,
     Draining,
     Error,
+    /// The line exceeded [`MAX_LINE`]; the caller owes the peer a
+    /// structured reply before closing.
+    TooLong,
 }
 
 /// `read_line` with the drain flag polled on every read timeout, so
 /// an idle connection notices shutdown within one poll interval.
-#[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
 fn read_line_polling(
     reader: &mut BufReader<TcpStream>,
     line: &mut String,
@@ -427,8 +453,8 @@ fn read_line_polling(
                 bytes.push(byte[0]);
                 // A line that can't possibly be a sane request: refuse
                 // to buffer without bound.
-                if bytes.len() > 16 * 1024 * 1024 {
-                    return ReadOutcome::Error;
+                if bytes.len() > MAX_LINE {
+                    return ReadOutcome::TooLong;
                 }
             }
             Err(e)
@@ -444,7 +470,6 @@ fn read_line_polling(
     }
 }
 
-#[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
 fn finish_line(bytes: Vec<u8>, line: &mut String) -> ReadOutcome {
     match String::from_utf8(bytes) {
         Ok(s) => {

@@ -4,6 +4,7 @@
 
 use std::time::Duration;
 
+use flexvec_serve::server::AcceptMode;
 use flexvec_serve::{start, Client, Json, ServerConfig};
 
 /// A small conditional-update kernel; distinct `n` gives a distinct
@@ -35,6 +36,7 @@ fn test_config() -> ServerConfig {
         cache_dir: None,
         cluster: Vec::new(),
         advertise: None,
+        accept_mode: AcceptMode::Auto,
     }
 }
 
@@ -527,6 +529,123 @@ fn run_round_trip_reports_verified_results() {
         response.get("cache_hit").and_then(Json::as_bool),
         Some(true)
     );
+    drop(client);
+    handle.shutdown();
+}
+
+/// Drives one daemon through the oversized-line contract: the reply is
+/// a structured `line_too_long` error and the connection then closes.
+fn assert_line_too_long_contract(mode: AcceptMode) {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let mut config = test_config();
+    config.accept_mode = mode;
+    let handle = start(config).expect("start daemon");
+    let mut stream = std::net::TcpStream::connect(handle.addr).expect("connect");
+
+    // One byte past the limit, no newline in sight. Written in chunks
+    // and then the writer goes quiet, so the reply cannot be lost to a
+    // reset racing further writes.
+    let limit = 16 * 1024 * 1024;
+    let chunk = vec![b'x'; 64 * 1024];
+    let mut sent = 0usize;
+    while sent < limit + 1 {
+        let n = chunk.len().min(limit + 1 - sent);
+        stream.write_all(&chunk[..n]).expect("write oversized line");
+        sent += n;
+    }
+
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read reply");
+    let response = flexvec_serve::json::parse(&line).expect("structured reply");
+    assert_eq!(
+        response.get("ok").and_then(Json::as_bool),
+        Some(false),
+        "{mode:?}: {response}"
+    );
+    assert_eq!(
+        error_kind(&response),
+        Some("line_too_long"),
+        "{mode:?}: {response}"
+    );
+
+    // After the reply the daemon closes: the framing is lost, so the
+    // connection cannot be reused.
+    let mut rest = Vec::new();
+    let n = reader.read_to_end(&mut rest).expect("read to close");
+    assert_eq!(n, 0, "{mode:?}: expected EOF after line_too_long reply");
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_line_gets_structured_reply_then_close_reactor() {
+    assert_line_too_long_contract(AcceptMode::Auto);
+}
+
+#[test]
+fn oversized_line_gets_structured_reply_then_close_threads() {
+    assert_line_too_long_contract(AcceptMode::Threads);
+}
+
+#[test]
+fn per_request_vector_length_round_trips() {
+    let handle = start(test_config()).expect("start daemon");
+    let addr = handle.addr.to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // First run at the default width, then at vl=32: the second
+    // request reuses the same width-independent compile cache entry
+    // and reports the width it actually ran at.
+    let default_run = client
+        .request(&Json::obj([
+            ("op", Json::from("run")),
+            ("source", Json::from(kernel_source(21))),
+        ]))
+        .expect("default-width run");
+    assert_eq!(default_run.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(default_run.get("vl").and_then(Json::as_u64), Some(16));
+
+    let wide_run = client
+        .request(&Json::obj([
+            ("op", Json::from("run")),
+            ("source", Json::from(kernel_source(21))),
+            ("vl", Json::from(32u64)),
+        ]))
+        .expect("vl=32 run");
+    assert_eq!(
+        wide_run.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{wide_run}"
+    );
+    assert_eq!(wide_run.get("vl").and_then(Json::as_u64), Some(32));
+    assert_eq!(
+        wide_run.get("cache_hit").and_then(Json::as_bool),
+        Some(true),
+        "one compile serves both widths"
+    );
+    assert_eq!(
+        default_run
+            .get("live_outs")
+            .and_then(|l| l.get("best"))
+            .and_then(Json::as_i64),
+        wide_run
+            .get("live_outs")
+            .and_then(|l| l.get("best"))
+            .and_then(Json::as_i64),
+        "widths agree on the result"
+    );
+
+    // An unsupported width is refused cleanly with the request intact.
+    let bad = client
+        .request(&Json::obj([
+            ("op", Json::from("run")),
+            ("source", Json::from(kernel_source(21))),
+            ("vl", Json::from(24u64)),
+        ]))
+        .expect("bad-width reply");
+    assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(error_kind(&bad), Some("bad_request"));
     drop(client);
     handle.shutdown();
 }

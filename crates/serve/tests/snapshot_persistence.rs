@@ -43,6 +43,7 @@ fn config_with(dir: &std::path::Path) -> ServerConfig {
         cache_dir: Some(dir.to_string_lossy().into_owned()),
         cluster: Vec::new(),
         advertise: None,
+        accept_mode: flexvec_serve::AcceptMode::Auto,
     }
 }
 

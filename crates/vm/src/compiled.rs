@@ -25,8 +25,8 @@
 use flexvec::{VNode, VOp, VProg};
 use flexvec_ir::BinOp;
 use flexvec_isa::{
-    kftm_exc, kftm_inc, vcmp, vgather_ff, vpconflictm, vpslctlast, CmpOp, LaneMemory, Mask, Vector,
-    VLEN,
+    kftm_exc, kftm_inc, vcmp, vgather_ff, vlen, vpconflictm, vpslctlast, CmpOp, LaneMemory, Mask,
+    Vector, MAX_VLEN,
 };
 
 use crate::trace::{Tok, TraceSink, Uop, UopClass};
@@ -42,10 +42,12 @@ pub(crate) enum Instr {
         dst: usize,
         t: usize,
     },
-    /// Constant broadcast; the immediate is pre-splatted at compile time.
+    /// Constant broadcast. The immediate stays scalar so one compiled
+    /// program is correct at every runtime vector length (a pre-splatted
+    /// vector would bake in the compile-time width).
     Splat {
         dst: usize,
-        value: Vector,
+        value: i64,
         t: usize,
     },
     SplatVar {
@@ -66,12 +68,13 @@ pub(crate) enum Instr {
         b: usize,
         t: usize,
     },
-    /// Binary op with a pre-splatted immediate right operand.
+    /// Binary op with a scalar immediate right operand (splatted at
+    /// execution time, at the ambient vector length).
     BinImm {
         op: BinOp,
         dst: usize,
         a: usize,
-        imm: Vector,
+        imm: i64,
         t: usize,
     },
     Cmp {
@@ -114,9 +117,11 @@ pub(crate) enum Instr {
         src: usize,
         t: usize,
     },
+    /// Mask constant as raw bits; clipped to the ambient vector length
+    /// at execution time ([`Mask::from_bits`]).
     KConst {
         dst: usize,
-        bits: Mask,
+        bits: u64,
         t: usize,
     },
     KAnd {
@@ -255,7 +260,7 @@ pub struct ExecScratch {
     /// Per-VPL remaining-work mask of the previous partition, for stall
     /// detection (`Mask::EMPTY` = no previous partition).
     prev_masks: Vec<Mask>,
-    span: [i64; VLEN],
+    span: [i64; MAX_VLEN],
 }
 
 impl CompiledVProg {
@@ -281,16 +286,25 @@ impl CompiledVProg {
 
     /// Attaches the native x86-64 tier: compiles every straight-line
     /// segment of the bytecode to machine code (see the `jit` module)
-    /// and routes subsequent chunks through it. Returns whether native
+    /// and routes subsequent chunks through it. The machine code is
+    /// specialized to the *current* ambient vector length (lane loops
+    /// are unrolled `vl` times, mask constants are clipped at `vl`), so
+    /// it only runs when a chunk executes at that same width — at any
+    /// other width [`CompiledVProg::run_chunk`] silently uses the
+    /// bytecode tier, which is width-agnostic. Returns whether native
     /// code is now attached; `false` (non-x86-64 target, nothing to
     /// compile, or a static encoding bound exceeded) leaves the program
     /// on the bytecode tier, which is always semantically equivalent —
     /// callers can treat the two identically.
     pub fn enable_native(&mut self) -> bool {
-        if self.native.is_some() {
-            return true;
+        let vl = vlen();
+        if let Some(native) = &self.native {
+            if native.vl() == vl {
+                return true;
+            }
+            self.native = None;
         }
-        match crate::jit::NativeCode::build(&self.code) {
+        match crate::jit::NativeCode::build(&self.code, vl) {
             Some(native) => {
                 self.native = Some(std::sync::Arc::new(native));
                 true
@@ -369,7 +383,7 @@ impl CompiledVProg {
             uops: self.scratch_proto.clone(),
             counters: vec![0; self.num_counters],
             prev_masks: vec![Mask::EMPTY; self.num_counters],
-            span: [0; VLEN],
+            span: [0; MAX_VLEN],
         }
     }
 
@@ -386,7 +400,12 @@ impl CompiledVProg {
     ) -> Result<(), ChunkAbort> {
         #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
         if let Some(native) = &self.native {
-            return self.run_chunk_native(native, st, exec, mem, sink);
+            // The machine code bakes in its build-time vector length;
+            // any other ambient width runs the (width-agnostic)
+            // bytecode tier instead.
+            if native.vl() == vlen() {
+                return self.run_chunk_native(native, st, exec, mem, sink);
+            }
         }
         self.run_chunk_bytecode(st, exec, mem, sink)
     }
@@ -445,7 +464,7 @@ impl CompiledVProg {
         // contents, never the allocations).
         let mut ctx = NativeCtx {
             vregs: exec.vregs.as_mut_ptr().cast::<i64>(),
-            kregs: exec.kregs.as_mut_ptr().cast::<u16>(),
+            kregs: exec.kregs.as_mut_ptr().cast::<u64>(),
             vars: exec.vars.as_mut_ptr(),
             helper_instr: helper_instr::<M>,
             helper_observe: helper_observe::<M>,
@@ -531,7 +550,7 @@ impl CompiledVProg {
                     // partition that retired no lanes (the
                     // remaining-work mask did not change) would spin
                     // forever; the iteration bound is the backstop.
-                    if todo == st.prev_masks[*counter] || st.counters[*counter] > VLEN as u64 {
+                    if todo == st.prev_masks[*counter] || st.counters[*counter] > vlen() as u64 {
                         return Err(ChunkAbort::Divergence);
                     }
                     st.prev_masks[*counter] = todo;
@@ -574,7 +593,7 @@ impl CompiledVProg {
                     sink.observe(&templates[*t]);
                 }
                 Instr::Splat { dst, value, t } => {
-                    exec.vregs[*dst] = *value;
+                    exec.vregs[*dst] = Vector::splat(*value);
                     sink.observe(&templates[*t]);
                 }
                 Instr::SplatVar { dst, var, t } => {
@@ -590,7 +609,7 @@ impl CompiledVProg {
                     sink.observe(&templates[*t]);
                 }
                 Instr::BinImm { op, dst, a, imm, t } => {
-                    exec.vregs[*dst] = apply_bin(*op, exec.vregs[*a], *imm);
+                    exec.vregs[*dst] = apply_bin(*op, exec.vregs[*a], Vector::splat(*imm));
                     sink.observe(&templates[*t]);
                 }
                 Instr::Cmp {
@@ -646,7 +665,7 @@ impl CompiledVProg {
                     sink.observe(&templates[*t]);
                 }
                 Instr::KConst { dst, bits, t } => {
-                    exec.kregs[*dst] = *bits;
+                    exec.kregs[*dst] = Mask::from_bits(*bits);
                     sink.observe(&templates[*t]);
                 }
                 Instr::KAnd { dst, a, b, t } => {
@@ -925,7 +944,7 @@ impl Compiler {
                 let t = self.template(Uop::reg(UopClass::Broadcast, vec![], Some(Tok::V(dst.0))));
                 self.code.push(Instr::Splat {
                     dst: dst.0 as usize,
-                    value: Vector::splat(*value),
+                    value: *value,
                     t,
                 });
             }
@@ -978,7 +997,7 @@ impl Compiler {
                     op: *op,
                     dst: dst.0 as usize,
                     a: a.0 as usize,
-                    imm: Vector::splat(*imm),
+                    imm: *imm,
                     t,
                 });
             }
@@ -1079,7 +1098,7 @@ impl Compiler {
                 let t = self.template(Uop::reg(UopClass::MaskOp, vec![], Some(Tok::K(dst.0))));
                 self.code.push(Instr::KConst {
                     dst: dst.0 as usize,
-                    bits: Mask::from_bits(*bits),
+                    bits: *bits,
                     t,
                 });
             }

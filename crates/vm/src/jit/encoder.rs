@@ -138,30 +138,6 @@ impl Asm {
         self.buf.extend_from_slice(&imm.to_le_bytes());
     }
 
-    /// `movzx r32, word [base + disp]`
-    pub(crate) fn load_u16(&mut self, dst: Reg, base: Reg, disp: i32) {
-        self.rex(false, dst, base);
-        self.buf.extend_from_slice(&[0x0f, 0xb7]);
-        self.modrm_mem(dst, base, disp);
-    }
-
-    /// `mov word [base + disp], r16`
-    pub(crate) fn store_u16(&mut self, src: Reg, base: Reg, disp: i32) {
-        self.buf.push(0x66);
-        self.rex(false, src, base);
-        self.buf.push(0x89);
-        self.modrm_mem(src, base, disp);
-    }
-
-    /// `mov word [base + disp], imm16`
-    pub(crate) fn store_imm16(&mut self, base: Reg, disp: i32, imm: u16) {
-        self.buf.push(0x66);
-        self.rex(false, 0, base);
-        self.buf.push(0xc7);
-        self.modrm_mem(0, base, disp);
-        self.buf.extend_from_slice(&imm.to_le_bytes());
-    }
-
     /// 64-bit `op dst, qword [base + disp]`
     pub(crate) fn alu_rm(&mut self, op: Alu, dst: Reg, base: Reg, disp: i32) {
         self.rex(true, dst, base);
@@ -183,30 +159,16 @@ impl Asm {
         self.modrm_reg(dst, src);
     }
 
-    /// `and r32, r32`
-    pub(crate) fn and_rr32(&mut self, dst: Reg, src: Reg) {
-        self.rex(false, dst, src);
-        self.buf.push(0x23);
-        self.modrm_reg(dst, src);
-    }
-
-    /// `or r32, r32`
-    pub(crate) fn or_rr32(&mut self, dst: Reg, src: Reg) {
-        self.rex(false, dst, src);
-        self.buf.push(0x0b);
-        self.modrm_reg(dst, src);
-    }
-
-    /// `not r32`
-    pub(crate) fn not_r32(&mut self, reg: Reg) {
-        self.rex(false, 0, reg);
+    /// `not r64`
+    pub(crate) fn not_r64(&mut self, reg: Reg) {
+        self.rex(true, 0, reg);
         self.buf.push(0xf7);
         self.modrm_reg(2, reg);
     }
 
-    /// `shl r32, imm8`
-    pub(crate) fn shl_r32_imm8(&mut self, reg: Reg, imm: u8) {
-        self.rex(false, 0, reg);
+    /// `shl r64, imm8`
+    pub(crate) fn shl_r64_imm8(&mut self, reg: Reg, imm: u8) {
+        self.rex(true, 0, reg);
         self.buf.push(0xc1);
         self.modrm_reg(4, reg);
         self.buf.push(imm);
@@ -233,9 +195,9 @@ impl Asm {
         self.modrm_reg(dst, src);
     }
 
-    /// `bt r32, imm8` (sets CF to the selected bit)
-    pub(crate) fn bt_r32_imm8(&mut self, reg: Reg, bit: u8) {
-        self.rex(false, 0, reg);
+    /// `bt r64, imm8` (sets CF to the selected bit; bits 0..=63)
+    pub(crate) fn bt_r64_imm8(&mut self, reg: Reg, bit: u8) {
+        self.rex(true, 0, reg);
         self.buf.extend_from_slice(&[0x0f, 0xba]);
         self.modrm_reg(4, reg);
         self.buf.push(bit);
@@ -345,11 +307,16 @@ mod tests {
         assert_eq!(a.buf, [0xff, 0x93, 0x18, 0x00, 0x00, 0x00]);
 
         let mut a = Asm::default();
-        a.store_imm16(R14, 4, 0xbeef); // mov word [r14+4], 0xbeef
-        assert_eq!(
-            a.buf,
-            [0x66, 0x41, 0xc7, 0x86, 0x04, 0x00, 0x00, 0x00, 0xef, 0xbe]
-        );
+        a.not_r64(RCX); // not rcx
+        assert_eq!(a.buf, [0x48, 0xf7, 0xd1]);
+
+        let mut a = Asm::default();
+        a.shl_r64_imm8(RAX, 33); // shl rax, 33
+        assert_eq!(a.buf, [0x48, 0xc1, 0xe0, 0x21]);
+
+        let mut a = Asm::default();
+        a.bt_r64_imm8(RCX, 40); // bt rcx, 40
+        assert_eq!(a.buf, [0x48, 0x0f, 0xba, 0xe1, 0x28]);
     }
 
     #[test]

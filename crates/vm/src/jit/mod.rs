@@ -66,7 +66,7 @@ mod enabled {
     use core::fmt;
 
     use flexvec_ir::BinOp;
-    use flexvec_isa::{CmpOp, LaneMemory, VLEN};
+    use flexvec_isa::{CmpOp, LaneMemory, MAX_VLEN};
 
     use super::encoder::{
         Alu, Asm, CC_B, CC_E, CC_G, CC_GE, CC_L, CC_LE, CC_NE, R13, R14, R15, RAX, RBX, RCX, RDI,
@@ -95,7 +95,7 @@ mod enabled {
     #[repr(C)]
     pub(crate) struct NativeCtx {
         pub(crate) vregs: *mut i64,
-        pub(crate) kregs: *mut u16,
+        pub(crate) kregs: *mut u64,
         pub(crate) vars: *mut i64,
         pub(crate) helper_instr: extern "C" fn(*mut NativeCtx, u32) -> u32,
         pub(crate) helper_observe: extern "C" fn(*mut NativeCtx, u32, u32),
@@ -163,14 +163,21 @@ mod enabled {
         seg_at: Vec<u32>,
         inline_ops: usize,
         helper_ops: usize,
+        /// The runtime vector length the lane loops were unrolled for;
+        /// the code only runs when the ambient length matches.
+        vl: usize,
     }
 
     impl NativeCode {
-        /// Compiles every straight-line segment of `code`, or `None`
-        /// when there is nothing to gain (no segments) or a static
-        /// bound (register-file displacement, code size) would not fit.
-        pub(crate) fn build(code: &[Instr]) -> Option<NativeCode> {
+        /// Compiles every straight-line segment of `code` for runtime
+        /// vector length `vl`, or `None` when there is nothing to gain
+        /// (no segments) or a static bound (register-file displacement,
+        /// code size, an unsupported `vl`) would not fit.
+        pub(crate) fn build(code: &[Instr], vl: usize) -> Option<NativeCode> {
             if code.is_empty() || code.len() >= u32::MAX as usize {
+                return None;
+            }
+            if !flexvec_isa::is_supported_vlen(vl) {
                 return None;
             }
             if !code.iter().all(indices_encodable) {
@@ -192,7 +199,15 @@ mod enabled {
                     i += 1;
                 }
                 let entry = u32::try_from(asm.here()).ok()?;
-                compile_segment(&mut asm, code, start, i, &mut inline_ops, &mut helper_ops);
+                compile_segment(
+                    &mut asm,
+                    code,
+                    start,
+                    i,
+                    vl,
+                    &mut inline_ops,
+                    &mut helper_ops,
+                );
                 seg_at[start] = u32::try_from(segments.len()).ok()? + 1;
                 segments.push(Segment {
                     start: start as u32,
@@ -210,6 +225,7 @@ mod enabled {
                 seg_at,
                 inline_ops,
                 helper_ops,
+                vl,
             })
         }
 
@@ -254,11 +270,17 @@ mod enabled {
         pub(crate) fn op_mix(&self) -> (usize, usize) {
             (self.inline_ops, self.helper_ops)
         }
+
+        /// The vector length this code was compiled for.
+        pub(crate) fn vl(&self) -> usize {
+            self.vl
+        }
     }
 
     impl fmt::Debug for NativeCode {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             f.debug_struct("NativeCode")
+                .field("vl", &self.vl)
                 .field("segments", &self.segments.len())
                 .field("inline_ops", &self.inline_ops)
                 .field("helper_ops", &self.helper_ops)
@@ -267,10 +289,11 @@ mod enabled {
         }
     }
 
-    /// Largest register index whose lane-15 displacement still fits the
-    /// disp32 addressing the encoder uses.
-    const MAX_VREG: usize = (i32::MAX as usize / 8 - VLEN) / VLEN;
-    const MAX_KREG: usize = i32::MAX as usize / 2 - 1;
+    /// Largest register index whose last-lane displacement still fits
+    /// the disp32 addressing the encoder uses. Vector storage is always
+    /// [`MAX_VLEN`] lanes wide regardless of the runtime length.
+    const MAX_VREG: usize = (i32::MAX as usize / 8 - MAX_VLEN) / MAX_VLEN;
+    const MAX_KREG: usize = i32::MAX as usize / 8 - 1;
     const MAX_VAR: usize = i32::MAX as usize / 8 - 1;
 
     /// Whether every register index an *inline* arm would bake into a
@@ -298,14 +321,24 @@ mod enabled {
     }
 
     /// Byte displacement of lane `l` of vector register `r` in the flat
-    /// register file.
+    /// register file (storage stride [`MAX_VLEN`], independent of the
+    /// runtime length).
     fn voff(r: usize, l: usize) -> i32 {
-        ((r * VLEN + l) * 8) as i32
+        ((r * MAX_VLEN + l) * 8) as i32
     }
 
-    /// Byte displacement of mask register `k`.
+    /// Byte displacement of mask register `k` (masks are 64-bit words).
     fn koff(k: usize) -> i32 {
-        (k * 2) as i32
+        (k * 8) as i32
+    }
+
+    /// The set-bits value of a full mask at width `vl`.
+    fn full_bits(vl: usize) -> u64 {
+        if vl >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << vl) - 1
+        }
     }
 
     /// Byte displacement of scalar variable `v`.
@@ -336,10 +369,11 @@ mod enabled {
         }
     }
 
-    /// `mov [vregs + dst*128 + l*8], rax` for every lane — the common
-    /// broadcast tail.
-    fn store_all_lanes(asm: &mut Asm, dst: usize) {
-        for l in 0..VLEN {
+    /// `mov [vregs + dst*512 + l*8], rax` for every active lane — the
+    /// common broadcast tail. Hidden lanes (`>= vl`) are never written,
+    /// preserving the ISA's all-zero invariant for them.
+    fn store_all_lanes(asm: &mut Asm, dst: usize, vl: usize) {
+        for l in 0..vl {
             asm.store(RAX, R13, voff(dst, l));
         }
     }
@@ -348,31 +382,31 @@ mod enabled {
     /// subset, returning the `[lo, hi)` µop-template range the caller
     /// owes the trace. `None` routes the instruction through the
     /// interpreter helper instead (nothing has been emitted).
-    fn gen_inline(asm: &mut Asm, ins: &Instr) -> Option<(u32, u32)> {
+    fn gen_inline(asm: &mut Asm, ins: &Instr, vl: usize) -> Option<(u32, u32)> {
         match ins {
             Instr::Iota { dst, t } => {
                 let t = u32::try_from(*t).ok()?;
-                for l in 0..VLEN {
+                for l in 0..vl {
                     asm.store_imm32(R13, voff(*dst, l), l as i32);
                 }
                 Some((t, t + 1))
             }
             Instr::Splat { dst, value, t } => {
                 let t = u32::try_from(*t).ok()?;
-                asm.mov_ri64(RAX, value.lane(0));
-                store_all_lanes(asm, *dst);
+                asm.mov_ri64(RAX, *value);
+                store_all_lanes(asm, *dst, vl);
                 Some((t, t + 1))
             }
             Instr::SplatVar { dst, var, t } => {
                 let t = u32::try_from(*t).ok()?;
                 asm.load(RAX, R15, soff(*var));
-                store_all_lanes(asm, *dst);
+                store_all_lanes(asm, *dst, vl);
                 Some((t, t + 1))
             }
             Instr::Bin { op, dst, a, b, t } => {
                 let t = u32::try_from(*t).ok()?;
                 if let Some(alu) = bin_alu(*op) {
-                    for l in 0..VLEN {
+                    for l in 0..vl {
                         asm.load(RAX, R13, voff(*a, l));
                         asm.alu_rm(alu, RAX, R13, voff(*b, l));
                         asm.store(RAX, R13, voff(*dst, l));
@@ -380,7 +414,7 @@ mod enabled {
                 } else if matches!(op, BinOp::Min | BinOp::Max) {
                     // min: keep b when a > b; max: keep b when a < b.
                     let cc = if *op == BinOp::Min { CC_G } else { CC_L };
-                    for l in 0..VLEN {
+                    for l in 0..vl {
                         asm.load(RAX, R13, voff(*a, l));
                         asm.load(RCX, R13, voff(*b, l));
                         asm.alu_rr(Alu::Cmp, RAX, RCX);
@@ -400,16 +434,16 @@ mod enabled {
                 if bin_alu(*op).is_none() && !is_minmax {
                     return None;
                 }
-                asm.mov_ri64(RCX, imm.lane(0));
+                asm.mov_ri64(RCX, *imm);
                 if let Some(alu) = bin_alu(*op) {
-                    for l in 0..VLEN {
+                    for l in 0..vl {
                         asm.load(RAX, R13, voff(*a, l));
                         asm.alu_rr(alu, RAX, RCX);
                         asm.store(RAX, R13, voff(*dst, l));
                     }
                 } else {
                     let cc = if *op == BinOp::Min { CC_G } else { CC_L };
-                    for l in 0..VLEN {
+                    for l in 0..vl {
                         asm.load(RAX, R13, voff(*a, l));
                         asm.alu_rr(Alu::Cmp, RAX, RCX);
                         asm.cmovcc(cc, RAX, RCX);
@@ -428,22 +462,22 @@ mod enabled {
             } => {
                 let t = u32::try_from(*t).ok()?;
                 let cc = cmp_cc(*op);
-                // Accumulate the predicate bits in edx, then AND with
-                // the input mask: vcmp's disabled lanes read as 0.
+                // Accumulate the predicate bits in rdx (64-bit — lane
+                // indices reach 63), then AND with the input mask:
+                // vcmp's disabled lanes read as 0.
                 asm.xor_rr32(RDX, RDX);
-                for l in 0..VLEN {
+                for l in 0..vl {
                     asm.load(RAX, R13, voff(*a, l));
                     asm.alu_rm(Alu::Cmp, RAX, R13, voff(*b, l));
                     asm.setcc(cc, RAX);
                     asm.movzx_r32_r8(RAX, RAX);
                     if l > 0 {
-                        asm.shl_r32_imm8(RAX, l as u8);
+                        asm.shl_r64_imm8(RAX, l as u8);
                     }
-                    asm.or_rr32(RDX, RAX);
+                    asm.alu_rr(Alu::Or, RDX, RAX);
                 }
-                asm.load_u16(RAX, R14, koff(*mask));
-                asm.and_rr32(RDX, RAX);
-                asm.store_u16(RDX, R14, koff(*dst));
+                asm.alu_rm(Alu::And, RDX, R14, koff(*mask));
+                asm.store(RDX, R14, koff(*dst));
                 Some((t, t + 1))
             }
             Instr::Blend {
@@ -454,11 +488,11 @@ mod enabled {
                 t,
             } => {
                 let t = u32::try_from(*t).ok()?;
-                asm.load_u16(RCX, R14, koff(*mask));
-                for l in 0..VLEN {
+                asm.load(RCX, R14, koff(*mask));
+                for l in 0..vl {
                     asm.load(RAX, R13, voff(*off, l));
                     asm.load(RDX, R13, voff(*on, l));
-                    asm.bt_r32_imm8(RCX, l as u8);
+                    asm.bt_r64_imm8(RCX, l as u8);
                     asm.cmovcc(CC_B, RAX, RDX);
                     asm.store(RAX, R13, voff(*dst, l));
                 }
@@ -466,38 +500,41 @@ mod enabled {
             }
             Instr::KMove { dst, src, t } => {
                 let t = u32::try_from(*t).ok()?;
-                asm.load_u16(RAX, R14, koff(*src));
-                asm.store_u16(RAX, R14, koff(*dst));
+                asm.load(RAX, R14, koff(*src));
+                asm.store(RAX, R14, koff(*dst));
                 Some((t, t + 1))
             }
             Instr::KConst { dst, bits, t } => {
                 let t = u32::try_from(*t).ok()?;
-                asm.store_imm16(R14, koff(*dst), bits.bits());
+                // Clip to the build-time width, exactly like the
+                // interpreter's `Mask::from_bits` under the same vl.
+                asm.mov_ri64(RAX, (bits & full_bits(vl)) as i64);
+                asm.store(RAX, R14, koff(*dst));
                 Some((t, t + 1))
             }
             Instr::KAnd { dst, a, b, t } => {
                 let t = u32::try_from(*t).ok()?;
-                asm.load_u16(RAX, R14, koff(*a));
-                asm.load_u16(RCX, R14, koff(*b));
-                asm.and_rr32(RAX, RCX);
-                asm.store_u16(RAX, R14, koff(*dst));
+                asm.load(RAX, R14, koff(*a));
+                asm.alu_rm(Alu::And, RAX, R14, koff(*b));
+                asm.store(RAX, R14, koff(*dst));
                 Some((t, t + 1))
             }
             Instr::KAndNot { dst, a, b, t } => {
                 let t = u32::try_from(*t).ok()?;
-                asm.load_u16(RAX, R14, koff(*a));
-                asm.load_u16(RCX, R14, koff(*b));
-                asm.not_r32(RCX);
-                asm.and_rr32(RAX, RCX);
-                asm.store_u16(RAX, R14, koff(*dst));
+                // a & !b: the complement's bits beyond `vl` are cleared
+                // by the AND, because `a` never has them set.
+                asm.load(RCX, R14, koff(*b));
+                asm.not_r64(RCX);
+                asm.load(RAX, R14, koff(*a));
+                asm.alu_rr(Alu::And, RAX, RCX);
+                asm.store(RAX, R14, koff(*dst));
                 Some((t, t + 1))
             }
             Instr::KOr { dst, a, b, t } => {
                 let t = u32::try_from(*t).ok()?;
-                asm.load_u16(RAX, R14, koff(*a));
-                asm.load_u16(RCX, R14, koff(*b));
-                asm.or_rr32(RAX, RCX);
-                asm.store_u16(RAX, R14, koff(*dst));
+                asm.load(RAX, R14, koff(*a));
+                asm.alu_rm(Alu::Or, RAX, R14, koff(*b));
+                asm.store(RAX, R14, koff(*dst));
                 Some((t, t + 1))
             }
             // ExtractVar (journaled variable write), SelectLast,
@@ -508,11 +545,13 @@ mod enabled {
 
     /// Emits one segment function: prologue, body (inline ops +
     /// batched observes + helper calls), shared epilogue.
+    #[allow(clippy::too_many_arguments)]
     fn compile_segment(
         asm: &mut Asm,
         code: &[Instr],
         start: usize,
         end: usize,
+        vl: usize,
         inline_ops: &mut usize,
         helper_ops: &mut usize,
     ) {
@@ -541,7 +580,7 @@ mod enabled {
         let mut pend: Option<(u32, u32)> = None;
         let mut bail = Vec::new();
         for (idx, instr) in code.iter().enumerate().take(end).skip(start) {
-            match gen_inline(asm, instr) {
+            match gen_inline(asm, instr, vl) {
                 Some((lo, hi)) => {
                     *inline_ops += 1;
                     pend = match pend {
@@ -618,9 +657,9 @@ mod enabled {
             // The displacement math relies on repr(transparent).
             assert_eq!(
                 core::mem::size_of::<flexvec_isa::Vector>(),
-                VLEN * core::mem::size_of::<i64>()
+                MAX_VLEN * core::mem::size_of::<i64>()
             );
-            assert_eq!(core::mem::size_of::<flexvec_isa::Mask>(), 2);
+            assert_eq!(core::mem::size_of::<flexvec_isa::Mask>(), 8);
         }
     }
 }
@@ -638,8 +677,12 @@ mod stub {
     pub(crate) struct NativeCode {}
 
     impl NativeCode {
-        pub(crate) fn build(_code: &[Instr]) -> Option<NativeCode> {
+        pub(crate) fn build(_code: &[Instr], _vl: usize) -> Option<NativeCode> {
             None
+        }
+
+        pub(crate) fn vl(&self) -> usize {
+            0
         }
 
         pub(crate) fn num_segments(&self) -> usize {

@@ -58,6 +58,15 @@ pub enum ExecError {
     Cancelled,
     /// Internal inconsistency (reported, never silently ignored).
     Internal(String),
+    /// The program cannot execute at the ambient runtime vector length:
+    /// the analysis' dependence-distance reasoning only covers chunks up
+    /// to `max_vl` lanes. Always refused cleanly — never wrong code.
+    UnsupportedWidth {
+        /// The ambient vector length the caller asked to run at.
+        vl: usize,
+        /// The widest supported length the program is valid at.
+        max_vl: usize,
+    },
 }
 
 impl From<MemFault> for ExecError {
@@ -73,6 +82,10 @@ impl core::fmt::Display for ExecError {
             ExecError::VplDivergence => write!(f, "vector partitioning loop did not converge"),
             ExecError::Cancelled => write!(f, "execution cancelled (deadline or shutdown)"),
             ExecError::Internal(s) => write!(f, "internal executor error: {s}"),
+            ExecError::UnsupportedWidth { vl, max_vl } => write!(
+                f,
+                "unsupported vector length {vl} for this program (widest safe width: {max_vl})"
+            ),
         }
     }
 }

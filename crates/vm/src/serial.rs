@@ -19,14 +19,17 @@
 //! bytecode via [`CompiledVProg::enable_native`] after a load.
 
 use flexvec_ir::BinOp;
-use flexvec_isa::{CmpOp, Mask, Vector, VLEN};
+use flexvec_isa::{CmpOp, MAX_VLEN};
 
 use crate::compiled::{CompiledVProg, Instr};
 use crate::trace::{Tok, Uop, UopClass};
 
 /// Bumped whenever the byte layout below changes; readers reject
-/// mismatches outright.
-pub const SERIAL_VERSION: u32 = 1;
+/// mismatches outright. Version 2 made the payload width-independent:
+/// splat/immediate operands are stored as scalars (no longer
+/// pre-splatted 16-lane vectors) and mask constants as 64-bit raw bits,
+/// so one snapshot executes at any supported runtime vector length.
+pub const SERIAL_VERSION: u32 = 2;
 
 /// Sizes the decoded program's indices are validated against — the
 /// register files and tables the executor will allocate for the run.
@@ -90,9 +93,6 @@ impl W {
     fn bool(&mut self, v: bool) {
         self.buf.push(u8::from(v));
     }
-    fn u16(&mut self, v: u16) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
     fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
@@ -104,11 +104,6 @@ impl W {
     }
     fn idx(&mut self, v: usize) {
         self.u64(v as u64);
-    }
-    fn vector(&mut self, v: Vector) {
-        for lane in v.to_lanes() {
-            self.i64(lane);
-        }
     }
 }
 
@@ -141,9 +136,6 @@ impl<'a> R<'a> {
             t => Err(SerialError::BadTag("bool", t)),
         }
     }
-    fn u16(&mut self) -> Result<u16, SerialError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
-    }
     fn u32(&mut self) -> Result<u32, SerialError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
@@ -171,13 +163,6 @@ impl<'a> R<'a> {
             return Err(SerialError::Truncated);
         }
         Ok(v as usize)
-    }
-    fn vector(&mut self) -> Result<Vector, SerialError> {
-        let mut lanes = [0i64; VLEN];
-        for lane in &mut lanes {
-            *lane = self.i64()?;
-        }
-        Ok(Vector::from_lanes(lanes))
     }
 }
 
@@ -396,7 +381,7 @@ fn write_instr(w: &mut W, instr: &Instr) {
         Instr::Splat { dst, value, t } => {
             w.u8(1);
             w.idx(*dst);
-            w.vector(*value);
+            w.i64(*value);
             w.idx(*t);
         }
         Instr::SplatVar { dst, var, t } => {
@@ -425,7 +410,7 @@ fn write_instr(w: &mut W, instr: &Instr) {
             w.u8(bin_op_tag(*op));
             w.idx(*dst);
             w.idx(*a);
-            w.vector(*imm);
+            w.i64(*imm);
             w.idx(*t);
         }
         Instr::Cmp {
@@ -502,7 +487,7 @@ fn write_instr(w: &mut W, instr: &Instr) {
         Instr::KConst { dst, bits, t } => {
             w.u8(12);
             w.idx(*dst);
-            w.u16(bits.bits());
+            w.u64(*bits);
             w.idx(*t);
         }
         Instr::KAnd { dst, a, b, t } => {
@@ -626,7 +611,7 @@ fn read_instr(r: &mut R<'_>) -> Result<Instr, SerialError> {
         },
         1 => Instr::Splat {
             dst: r.idx()?,
-            value: r.vector()?,
+            value: r.i64()?,
             t: r.idx()?,
         },
         2 => Instr::SplatVar {
@@ -651,7 +636,7 @@ fn read_instr(r: &mut R<'_>) -> Result<Instr, SerialError> {
             op: bin_op_from(r.u8()?)?,
             dst: r.idx()?,
             a: r.idx()?,
-            imm: r.vector()?,
+            imm: r.i64()?,
             t: r.idx()?,
         },
         6 => Instr::Cmp {
@@ -696,7 +681,7 @@ fn read_instr(r: &mut R<'_>) -> Result<Instr, SerialError> {
         },
         12 => Instr::KConst {
             dst: r.idx()?,
-            bits: Mask::from_bits(r.u16()?),
+            bits: r.u64()?,
             t: r.idx()?,
         },
         13 => Instr::KAnd {
@@ -812,7 +797,7 @@ impl Check<'_> {
             Instr::ExtractVar { var, src, lane, t } => {
                 bound(*var as usize, self.limits.vars, "variable")?;
                 self.v(*src)?;
-                bound(*lane, VLEN, "lane")?;
+                bound(*lane, MAX_VLEN, "lane")?;
                 self.t(*t)
             }
             Instr::Bin { dst, a, b, t, .. } => {

@@ -1,7 +1,10 @@
 //! The vector-program executor.
 //!
 //! Runs a [`VProg`] against an [`AddressSpace`], one chunk of
-//! [`VLEN`] scalar iterations per pass over the program body:
+//! [`vlen()`](flexvec_isa::vlen) scalar iterations per pass over the
+//! program body (the ambient runtime vector length, default 16; the
+//! chunk width is sampled once at run entry and held for the whole
+//! run):
 //!
 //! * sets the reserved registers ([`VProg::IV`] = `base + iota`,
 //!   [`VProg::K_LOOP`] = the chunk's active lanes);
@@ -19,8 +22,8 @@
 use flexvec::{SpecMode, VNode, VOp, VProg};
 use flexvec_ir::{BinOp, Program};
 use flexvec_isa::{
-    kftm_exc, kftm_inc, vcmp, vgather_ff, vpconflictm, vpslctlast, CmpOp, LaneMemory, Mask,
-    MemFault, Vector, VLEN,
+    kftm_exc, kftm_inc, vcmp, vgather_ff, vlen, vpconflictm, vpslctlast, CmpOp, LaneMemory, Mask,
+    MemFault, Vector,
 };
 use flexvec_mem::{AddressSpace, Transaction};
 
@@ -224,7 +227,7 @@ impl VecExec {
                         // bit in lane 0 leaving `kftm` EXC with an empty
                         // safe prefix) would spin forever; the iteration
                         // bound stays as a backstop.
-                        if todo == prev_todo || iters > VLEN as u64 {
+                        if todo == prev_todo || iters > vlen() as u64 {
                             return Err(ChunkAbort::Divergence);
                         }
                         prev_todo = todo;
@@ -882,6 +885,20 @@ fn loop_bounds(program: &Program, exec: &VecExec) -> (i64, i64) {
     (eval(&program.loop_.start), eval(&program.loop_.end))
 }
 
+/// Refuses to run a program at an ambient vector length wider than its
+/// analysis-proven ceiling. A too-wide chunk could step over a carried
+/// dependence the classifier relied on, so this must stay a clean error.
+fn check_width(vprog: &VProg) -> Result<(), ExecError> {
+    let vl = vlen();
+    if vl > vprog.max_vl {
+        return Err(ExecError::UnsupportedWidth {
+            vl,
+            max_vl: vprog.max_vl,
+        });
+    }
+    Ok(())
+}
+
 /// First-faulting (or speculation-free) execution.
 #[allow(clippy::too_many_arguments)]
 fn run_ff(
@@ -894,6 +911,8 @@ fn run_ff(
     body: &mut EngineBody,
     cancel: Option<&crate::CancelToken>,
 ) -> Result<(RunResult, VectorStats), ExecError> {
+    check_width(vprog)?;
+    let vl = vlen();
     let mut exec = VecExec::new(program, vprog, &bindings, mem);
     exec.aon = aon;
     // One scalar machine for every fallback of this run; `reset_to`
@@ -909,7 +928,7 @@ fn run_ff(
         if crate::cancel::cancelled(cancel) {
             return Err(ExecError::Cancelled);
         }
-        let lanes = usize::try_from((end - base).min(VLEN as i64)).expect("bounded by VLEN");
+        let lanes = usize::try_from((end - base).min(vl as i64)).expect("bounded by vl");
         exec.checkpoint_vars();
         exec.begin_chunk(base, lanes, sink);
         let fall_back = match body.run_chunk(&mut exec, mem, sink) {
@@ -960,7 +979,7 @@ fn run_ff(
             }
             std::mem::swap(&mut exec.vars, &mut machine.vars);
         }
-        base += VLEN as i64;
+        base += vl as i64;
     }
 
     exec.vars[program.loop_.induction.0 as usize] = final_i;
@@ -988,7 +1007,9 @@ fn run_rtm(
     body: &mut EngineBody,
     cancel: Option<&crate::CancelToken>,
 ) -> Result<(RunResult, VectorStats), ExecError> {
-    let tile = tile.max(VLEN as u32) as i64;
+    check_width(vprog)?;
+    let vl = vlen();
+    let tile = tile.max(vl as u32) as i64;
     let mut exec = VecExec::new(program, vprog, &bindings, mem);
     let mut machine = ScalarMachine::new(program, bindings);
     let (start, end) = loop_bounds(program, &exec);
@@ -1012,7 +1033,7 @@ fn run_rtm(
             let mut chunk = base;
             let mut outcome = Ok(None);
             while chunk < tile_end {
-                let lanes = usize::try_from((tile_end - chunk).min(VLEN as i64)).expect("bounded");
+                let lanes = usize::try_from((tile_end - chunk).min(vl as i64)).expect("bounded");
                 exec.begin_chunk(chunk, lanes, sink);
                 match body.run_chunk(&mut exec, &mut txn, sink) {
                     Ok(()) => {
@@ -1031,7 +1052,7 @@ fn run_rtm(
                         break;
                     }
                 }
-                chunk += VLEN as i64;
+                chunk += vl as i64;
             }
             match outcome {
                 Ok(exit) => {

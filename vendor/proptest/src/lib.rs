@@ -308,11 +308,36 @@ pub mod array {
     }
 }
 
+/// Choosing from a fixed set of options (mirror of `proptest::sample`).
+pub mod sample {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy returned by [`select`].
+    #[derive(Clone, Debug)]
+    pub struct Select<T>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len() as u128) as usize].clone()
+        }
+    }
+
+    /// Uniformly selects one of the given options per generated case.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select(options)
+    }
+}
+
 /// Namespace mirror so `prop::collection::vec` / `prop::array::uniform16`
 /// resolve as they do with upstream proptest's prelude.
 pub mod prop {
     pub use super::array;
     pub use super::collection;
+    pub use super::sample;
 }
 
 /// The usual glob-import surface: `use proptest::prelude::*;`.
