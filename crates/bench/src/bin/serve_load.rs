@@ -30,7 +30,7 @@
 //! the run fails unless the promoted native tier beats the bytecode
 //! tier by a measurable margin.
 //!
-//! Three further regression-failing scenarios cover the scale-out and
+//! Four further regression-failing scenarios cover the scale-out and
 //! adaptive layers:
 //!
 //! * `--scenario warm-restart` — compiles a kernel set against a
@@ -48,11 +48,16 @@
 //!   autotuned daemon; fails unless the autotuner beats *every* fixed
 //!   configuration on aggregate req/s, and unless explicit `--spec` /
 //!   `--engine` pins demonstrably bypass it.
+//! * `--scenario replica-warmup` — warms a 3-node ring, joins a fourth
+//!   node, and fails unless the joiner serves its owned working set
+//!   with zero recompiles (snapshots arrive via anti-entropy sync and
+//!   lazy peer pulls) and reaches steady-state p50 ≥ 3× faster than a
+//!   cold join that compiles the same set on first touch.
 //!
 //! ```text
-//! serve_load [--scenario warm-restart|cluster|autotune] [--clients N]
-//!            [--requests N] [--kernels K] [--workers N] [--idle-conns N]
-//!            [--warmup N] [--json]
+//! serve_load [--scenario warm-restart|cluster|autotune|replica-warmup]
+//!            [--clients N] [--requests N] [--kernels K] [--workers N]
+//!            [--idle-conns N] [--warmup N] [--json]
 //! ```
 
 use std::time::{Duration, Instant};
@@ -76,21 +81,26 @@ const MIN_TIER_SPEEDUP: f64 = 1.05;
 const PATTERNS: u64 = 12;
 
 fn kernel_source(n: u64) -> String {
-    // Distinct constants give distinct ASTs (and so distinct cache
-    // keys); the shape is the paper's conditional-update minimum,
-    // repeated over independent arrays.
+    kernel_source_shaped(n, PATTERNS, 64)
+}
+
+/// Distinct constants give distinct ASTs (and so distinct cache keys);
+/// the shape is the paper's conditional-update minimum, repeated over
+/// `patterns` independent arrays with an `iters`-iteration loop —
+/// `patterns` scales the compile cost, `iters` the execution cost.
+fn kernel_source_shaped(n: u64, patterns: u64, iters: u64) -> String {
     let mut src = format!("kernel k{n};\nvar i = 0;\n");
-    for p in 0..PATTERNS {
+    for p in 0..patterns {
         src.push_str(&format!("var b{p} = 9223372036854775807;\n"));
     }
-    for p in 0..PATTERNS {
-        src.push_str(&format!("array a{p}[64] = seed {};\n", n + p + 1));
+    for p in 0..patterns {
+        src.push_str(&format!("array a{p}[{iters}] = seed {};\n", n + p + 1));
     }
-    for p in 0..PATTERNS {
+    for p in 0..patterns {
         src.push_str(&format!("live_out b{p};\n"));
     }
-    src.push_str("for (i = 0; i < 64; i++) {\n");
-    for p in 0..PATTERNS {
+    src.push_str(&format!("for (i = 0; i < {iters}; i++) {{\n"));
+    for p in 0..patterns {
         src.push_str(&format!(
             "  if (a{p}[i] + {n} < b{p}) {{\n    b{p} = a{p}[i] + {n};\n  }}\n"
         ));
@@ -334,8 +344,8 @@ fn main() {
             },
             ExtraFlag {
                 name: "scenario",
-                help: "alternate scenario: warm-restart | cluster | autotune \
-                       (default: main load run)",
+                help: "alternate scenario: warm-restart | cluster | autotune | \
+                       replica-warmup (default: main load run)",
             },
             ExtraFlag {
                 name: "idle-conns",
@@ -352,10 +362,11 @@ fn main() {
         "warm-restart" => std::process::exit(scenario_warm_restart(&flags)),
         "cluster" => std::process::exit(scenario_cluster(&flags)),
         "autotune" => std::process::exit(scenario_autotune(&flags)),
+        "replica-warmup" => std::process::exit(scenario_replica_warmup(&flags)),
         other => {
             eprintln!(
                 "serve_load: unknown scenario `{other}` \
-                 (expected warm-restart, cluster, or autotune)"
+                 (expected warm-restart, cluster, autotune, or replica-warmup)"
             );
             std::process::exit(2);
         }
@@ -600,8 +611,11 @@ fn base_config() -> ServerConfig {
         cache_capacity: 0,
         default_deadline_ms: None,
         cache_dir: None,
+        cache_dir_max_bytes: None,
         cluster: Vec::new(),
         advertise: None,
+        gossip_interval_ms: 1000,
+        gossip_gc_rounds: 10,
         accept_mode: flexvec_serve::AcceptMode::Auto,
     }
 }
@@ -922,6 +936,289 @@ fn scenario_cluster(flags: &CommonFlags) -> i32 {
             "  ring: {forwards} forward(s), {adoptions} hot-key adoption(s); \
              {idle_held} idle connection(s) parked on node 0"
         );
+    }
+    i32::from(failed)
+}
+
+/// Minimum cold-join-over-warm-join time-to-steady-state ratio the
+/// replica-warmup scenario must demonstrate: a node joining a warmed
+/// ring (owned slice pre-pulled by anti-entropy sync) must reach
+/// steady-state p50 at least this much faster than a cold node that
+/// compiles the same working set on first touch.
+const MIN_WARMUP_SPEEDUP: f64 = 3.0;
+
+/// Serves `sources` round-robin at `addr` until one full sweep comes
+/// back entirely warm (every response a cache hit — memory, disk
+/// restore, or peer pull), then runs one more sweep for the
+/// steady-state p50. Returns `(time from first request to the end of
+/// the first all-warm sweep, steady-state p50, sweeps to steady)`.
+/// The engine is pinned to `compiled` so the tier policy's slow
+/// first-run tree walk doesn't mask the compile-vs-pull difference
+/// the scenario exists to measure.
+fn time_to_steady(addr: &str, sources: &[String]) -> (Duration, Duration, u64) {
+    let mut client = Client::connect(addr).expect("connect joiner");
+    let t0 = Instant::now();
+    let mut sweeps = 0u64;
+    loop {
+        sweeps += 1;
+        assert!(sweeps <= 16, "node never reached a fully-warm sweep");
+        let mut all_warm = true;
+        for source in sources {
+            let response = client
+                .request(&Json::obj([
+                    ("op", Json::from("run")),
+                    ("source", Json::from(source.as_str())),
+                    ("engine", Json::from("compiled")),
+                ]))
+                .expect("sweep request");
+            assert_eq!(
+                response.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "sweep request failed: {response}"
+            );
+            all_warm &= response.get("cache_hit").and_then(Json::as_bool) == Some(true);
+        }
+        if all_warm {
+            break;
+        }
+    }
+    let steady = t0.elapsed();
+    let mut latencies: Vec<Duration> = sources
+        .iter()
+        .map(|source| {
+            let t = Instant::now();
+            client
+                .request(&Json::obj([
+                    ("op", Json::from("run")),
+                    ("source", Json::from(source.as_str())),
+                    ("engine", Json::from("compiled")),
+                ]))
+                .expect("steady sweep");
+            t.elapsed()
+        })
+        .collect();
+    latencies.sort();
+    let p50 = latencies[latencies.len() / 2];
+    (steady, p50, sweeps)
+}
+
+/// `--scenario replica-warmup`: a node joining a warmed 3-node ring
+/// must serve its owned working set with zero recompiles (anti-entropy
+/// sync plus lazy pulls) and reach steady-state p50 at least
+/// [`MIN_WARMUP_SPEEDUP`]× faster than the cold baseline — the same
+/// daemon shape with no ring and no snapshots to pull, i.e. exactly
+/// what a joining replica was before replication: every owned kernel
+/// compiles on first touch. Both joins are timed from serving start
+/// (a replica is not in the rotation until it reports ready; the warm
+/// node's anti-entropy sync runs before that and is reported
+/// separately). Exit 1 on regression.
+fn scenario_replica_warmup(flags: &CommonFlags) -> i32 {
+    let kernels = flags.u64_flag("kernels", 32).max(8);
+    let workers = flags.u64_flag("workers", 2).max(1) as usize;
+
+    // Reserve the full 4-member ring up front: three warm nodes plus
+    // the joiner, which stays down while the ring warms (forwards to
+    // it degrade to local compilation via the circuit breaker, so
+    // every kernel lands compiled and snapshotted on a live node).
+    let reserved: Vec<std::net::TcpListener> = (0..4)
+        .map(|_| std::net::TcpListener::bind("127.0.0.1:0").expect("reserve port"))
+        .collect();
+    let members: Vec<String> = reserved
+        .iter()
+        .map(|l| l.local_addr().expect("local addr").to_string())
+        .collect();
+    drop(reserved);
+    let joiner = members[3].clone();
+    let dirs: Vec<std::path::PathBuf> = (0..4)
+        .map(|i| scratch_dir(&format!("replica-{i}")))
+        .collect();
+    let node_config = |i: usize| ServerConfig {
+        addr: members[i].clone(),
+        workers,
+        cache_dir: Some(dirs[i].to_string_lossy().into_owned()),
+        cluster: members.clone(),
+        advertise: Some(members[i].clone()),
+        gossip_interval_ms: 50,
+        ..base_config()
+    };
+
+    // Cold baseline first (fully independent: standalone, no cache).
+    // Pick the joiner's owned slice off the ring the servers will
+    // build; generate extra kernels if the hash slice came up short.
+    let ring = flexvec_serve::Cluster::new(members.clone(), joiner.clone()).expect("build ring");
+    let mut owned_sources = Vec::new();
+    let mut warm_set = Vec::new();
+    let mut n = 0;
+    while n < kernels || owned_sources.len() < 8 {
+        assert!(n < kernels + 512, "ring never granted the joiner 8 keys");
+        // Compile-heavy, execution-light kernels (big AST, 8-iteration
+        // loops): the join cost is dominated by what replication
+        // actually removes — compilation — not by running the kernels.
+        let source = kernel_source_shaped(n, 48, 8);
+        let parsed = flexvec_front::parse_str("<warmup>", &source).expect("kernel parses");
+        if ring.owner_of(flexvec::program_hash(&parsed.program)) == joiner {
+            owned_sources.push(source.clone());
+        }
+        warm_set.push(source);
+        n += 1;
+    }
+    // Two independent cold trials, best taken: the numbers feed a
+    // ratio gate, and a single scheduler stall during one short sweep
+    // must not decide it. The same damping is applied to the warm
+    // side below.
+    let mut cold_steady = Duration::MAX;
+    let mut cold_p50 = Duration::MAX;
+    let mut cold_sweeps = 0;
+    let mut cold_compiles = 0;
+    for _ in 0..2 {
+        let cold = start(ServerConfig {
+            cache_dir: None,
+            ..base_config()
+        })
+        .expect("start cold baseline");
+        let (steady, p50, sweeps) = time_to_steady(&cold.addr.to_string(), &owned_sources);
+        if steady < cold_steady {
+            (cold_steady, cold_p50, cold_sweeps) = (steady, p50, sweeps);
+        }
+        cold_compiles = cold.engine().cache().compiles();
+        cold.shutdown();
+    }
+
+    // Warm the 3-node ring with the whole working set.
+    let warm_nodes: Vec<_> = (0..3)
+        .map(|i| start(node_config(i)).expect("start warm node"))
+        .collect();
+    let mut clients: Vec<Client> = members[..3]
+        .iter()
+        .map(|addr| Client::connect(addr).expect("connect warm node"))
+        .collect();
+    for (i, source) in warm_set.iter().enumerate() {
+        let response = clients[i % 3]
+            .request(&compile_request(source.clone()))
+            .expect("warm ring");
+        assert_eq!(
+            response.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "warming the ring failed: {response}"
+        );
+    }
+    let warm_node_compiles_before: u64 = warm_nodes
+        .iter()
+        .map(|h| h.engine().cache().compiles())
+        .sum();
+
+    // Join the fourth node and wait for anti-entropy sync: the node is
+    // not "in the rotation" until its owned slice is disk-and-memory
+    // warm, which is the protocol's whole point.
+    let join_started = Instant::now();
+    let warm = start(node_config(3)).expect("start joiner");
+    let repl = warm.replication().expect("replication on the joiner");
+    let sync_deadline = Instant::now() + Duration::from_secs(30);
+    while !repl.synced() {
+        assert!(
+            Instant::now() < sync_deadline,
+            "anti-entropy sync never finished"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let sync_time = join_started.elapsed();
+    // First measurement carries the semantic check (one sweep to
+    // steady); for a synced node every sweep is an all-hit sweep, so
+    // two re-measurements damp scheduler stalls the same way the cold
+    // trials do.
+    let (mut warm_steady, mut warm_p50, warm_sweeps) = time_to_steady(&joiner, &owned_sources);
+    for _ in 0..2 {
+        let (steady, p50, _) = time_to_steady(&joiner, &owned_sources);
+        if steady < warm_steady {
+            (warm_steady, warm_p50) = (steady, p50);
+        }
+    }
+
+    let warm_compiles = warm.engine().cache().compiles();
+    let store = warm.engine().snapshots().expect("joiner store");
+    let pulled = store
+        .counters
+        .pulled
+        .load(std::sync::atomic::Ordering::Relaxed);
+    let warm_node_compiles_after: u64 = warm_nodes
+        .iter()
+        .map(|h| h.engine().cache().compiles())
+        .sum();
+
+    let ratio = cold_steady.as_secs_f64() / warm_steady.as_secs_f64().max(1e-9);
+    let mut failed = false;
+    if warm_compiles != 0 {
+        eprintln!(
+            "serve_load replica-warmup: REGRESSION — the joining node compiled \
+             {warm_compiles} kernel(s) that warm peers hold snapshots for"
+        );
+        failed = true;
+    }
+    if pulled < owned_sources.len() as u64 {
+        eprintln!(
+            "serve_load replica-warmup: REGRESSION — only {pulled} snapshot pull(s) \
+             for {} owned kernels",
+            owned_sources.len()
+        );
+        failed = true;
+    }
+    if warm_node_compiles_after != warm_node_compiles_before {
+        eprintln!(
+            "serve_load replica-warmup: REGRESSION — warm nodes recompiled during the \
+             join ({warm_node_compiles_before} -> {warm_node_compiles_after}); \
+             pulls must be served from their snapshot stores"
+        );
+        failed = true;
+    }
+    if ratio < MIN_WARMUP_SPEEDUP {
+        eprintln!(
+            "serve_load replica-warmup: REGRESSION — warm join reached steady state only \
+             {ratio:.2}x faster than cold ({warm_steady:.2?} vs {cold_steady:.2?}, \
+             required {MIN_WARMUP_SPEEDUP:.1}x)"
+        );
+        failed = true;
+    }
+
+    if flags.json {
+        println!(
+            "{{\"scenario\": \"replica-warmup\", \"kernels\": {}, \"owned\": {}, \
+             \"cold_steady_us\": {}, \"warm_steady_us\": {}, \"warmup_speedup\": {}, \
+             \"sync_us\": {}, \"cold_p50_us\": {}, \"warm_p50_us\": {}, \
+             \"cold_sweeps\": {cold_sweeps}, \"warm_sweeps\": {warm_sweeps}, \
+             \"cold_compiles\": {cold_compiles}, \"joiner_compiles\": {warm_compiles}, \
+             \"snapshot_pulls\": {pulled}, \"ok\": {}}}",
+            warm_set.len(),
+            owned_sources.len(),
+            cold_steady.as_micros(),
+            warm_steady.as_micros(),
+            json_f64(ratio),
+            sync_time.as_micros(),
+            cold_p50.as_micros(),
+            warm_p50.as_micros(),
+            !failed
+        );
+    } else {
+        println!(
+            "serve_load replica-warmup: cold join steady in {cold_steady:.2?} \
+             ({cold_compiles} compiles), warm join steady in {warm_steady:.2?} \
+             ({ratio:.2}x faster; sync {sync_time:.2?}, {pulled} pulls, \
+             {warm_compiles} compiles) over {} owned kernels",
+            owned_sources.len()
+        );
+        println!(
+            "  steady p50: cold {cold_p50:.2?}, warm {warm_p50:.2?}; \
+             warm-node compiles unchanged: {}",
+            warm_node_compiles_after == warm_node_compiles_before
+        );
+    }
+
+    drop(clients);
+    warm.shutdown();
+    for handle in warm_nodes {
+        handle.shutdown();
+    }
+    for dir in dirs {
+        let _ = std::fs::remove_dir_all(&dir);
     }
     i32::from(failed)
 }

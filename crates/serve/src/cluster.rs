@@ -97,6 +97,9 @@ pub struct Cluster {
     points: Vec<(u64, usize)>,
     peers: HashMap<String, Peer>,
     forward_counts: Mutex<HashMap<u64, u64>>,
+    /// How long an open breaker short-circuits calls; the default
+    /// [`BREAKER_COOLDOWN`], shortened by tests.
+    breaker_cooldown: Duration,
     /// Forward/breaker counters (shared with `/metrics`).
     pub counters: ClusterCounters,
 }
@@ -157,8 +160,15 @@ impl Cluster {
             points,
             peers,
             forward_counts: Mutex::new(HashMap::new()),
+            breaker_cooldown: BREAKER_COOLDOWN,
             counters: ClusterCounters::default(),
         })
+    }
+
+    /// Overrides the breaker cooldown (tests exercise half-open
+    /// recovery without waiting out the production five seconds).
+    pub fn set_breaker_cooldown(&mut self, cooldown: Duration) {
+        self.breaker_cooldown = cooldown;
     }
 
     /// This node's own name in the ring.
@@ -174,6 +184,14 @@ impl Cluster {
     /// Number of remote peers (members minus self).
     pub fn peer_count(&self) -> usize {
         self.peers.len()
+    }
+
+    /// The remote peers' names, ring order not guaranteed. Gossip
+    /// rounds and anti-entropy sync iterate this.
+    pub fn peer_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.peers.keys().cloned().collect();
+        names.sort();
+        names
     }
 
     /// The member owning `kernel_hash`: the first ring point at or
@@ -211,34 +229,61 @@ impl Cluster {
     /// fail; the caller degrades to a local compile. Failures feed the
     /// breaker, success resets it.
     pub fn forward(&self, owner: &str, request: &Request) -> Result<Json, String> {
+        let line = request.to_json(true).to_string();
+        match self.call(owner, &line) {
+            Ok(response) => {
+                self.counters.forwards.inc();
+                Ok(response)
+            }
+            Err(e) => {
+                self.counters.forward_failures.inc();
+                Err(e)
+            }
+        }
+    }
+
+    /// One breaker-gated request/response exchange with `peer`: the
+    /// shared transport under request forwarding, gossip rounds, and
+    /// snapshot pulls, so every use of a peer feeds the *same* breaker
+    /// — a peer that stops answering forwards also stops being asked
+    /// for snapshots, and vice versa.
+    ///
+    /// # Errors
+    ///
+    /// A message when the breaker is open, transport fails, or the
+    /// response doesn't parse. Failures feed the breaker, success
+    /// resets it.
+    pub fn call(&self, peer_name: &str, line: &str) -> Result<Json, String> {
         let peer = self
             .peers
-            .get(owner)
-            .ok_or_else(|| format!("{owner} is not a cluster peer"))?;
+            .get(peer_name)
+            .ok_or_else(|| format!("{peer_name} is not a cluster peer"))?;
         if !Self::breaker_allows(peer) {
-            self.counters.forward_failures.inc();
-            return Err(format!("breaker open for {owner}"));
+            return Err(format!("breaker open for {peer_name}"));
         }
-        let line = request.to_json(true).to_string();
-        match Self::exchange(peer, owner, &line) {
+        match Self::exchange(peer, peer_name, line) {
             Ok(text) => match json::parse(&text) {
                 Ok(response) => {
                     self.on_success(peer);
-                    self.counters.forwards.inc();
                     Ok(response)
                 }
                 Err(e) => {
                     self.on_failure(peer);
-                    self.counters.forward_failures.inc();
-                    Err(format!("unparsable response from {owner}: {e}"))
+                    Err(format!("unparsable response from {peer_name}: {e}"))
                 }
             },
             Err(e) => {
                 self.on_failure(peer);
-                self.counters.forward_failures.inc();
-                Err(format!("forward to {owner} failed: {e}"))
+                Err(format!("call to {peer_name} failed: {e}"))
             }
         }
+    }
+
+    /// Whether `peer_name`'s breaker currently admits a call — lets
+    /// replication skip peers that are known-down without burning a
+    /// connect timeout.
+    pub fn peer_available(&self, peer_name: &str) -> bool {
+        self.peers.get(peer_name).is_some_and(Self::breaker_allows)
     }
 
     /// One request over the pooled connection, reconnecting once: a
@@ -284,7 +329,7 @@ impl Cluster {
             if breaker.open_until.is_none_or(|u| Instant::now() >= u) {
                 self.counters.breaker_trips.inc();
             }
-            breaker.open_until = Some(Instant::now() + BREAKER_COOLDOWN);
+            breaker.open_until = Some(Instant::now() + self.breaker_cooldown);
         }
     }
 
@@ -404,6 +449,56 @@ mod tests {
             c.counters.forward_failures.get(),
             u64::from(BREAKER_THRESHOLD) + 1
         );
+    }
+
+    #[test]
+    fn breaker_half_open_trial_success_closes_it() {
+        // Reserve a concrete localhost port, then release it so the
+        // first calls are refused and trip the breaker.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        drop(listener);
+        let mut c = Cluster::new(
+            vec![addr.clone(), "127.0.0.1:9001".to_owned()],
+            "127.0.0.1:9001".to_owned(),
+        )
+        .unwrap();
+        c.set_breaker_cooldown(Duration::from_millis(150));
+        for _ in 0..BREAKER_THRESHOLD {
+            assert!(c.call(&addr, "{\"op\":\"stats\"}").is_err());
+        }
+        assert_eq!(c.counters.breaker_trips.get(), 1);
+        assert!(!c.peer_available(&addr), "breaker must be open");
+        let err = c.call(&addr, "{}").unwrap_err();
+        assert!(err.contains("breaker open"), "{err}");
+
+        // Rebind the reserved port with a one-shot responder: after
+        // the cooldown the breaker is half-open and must admit exactly
+        // the trial, whose success closes it.
+        let listener = std::net::TcpListener::bind(&addr).expect("rebind reserved port");
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 4096];
+            let _ = std::io::Read::read(&mut s, &mut buf);
+            std::io::Write::write_all(&mut s, b"{\"ok\":true}\n").unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(200));
+        assert!(
+            c.peer_available(&addr),
+            "expired cooldown admits a half-open trial"
+        );
+        let response = c
+            .call(&addr, "{\"op\":\"stats\",\"id\":1}")
+            .expect("half-open trial should reach the revived peer");
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+        server.join().unwrap();
+
+        // The trial closed the breaker: the responder is gone again,
+        // so this call fails, but one failure is below the threshold —
+        // no new trip, and the peer stays available.
+        assert!(c.call(&addr, "{}").is_err());
+        assert_eq!(c.counters.breaker_trips.get(), 1, "breaker was closed");
+        assert!(c.peer_available(&addr));
     }
 
     #[test]

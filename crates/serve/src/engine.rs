@@ -33,8 +33,9 @@
 //! [`CompileCache::get_or_respecialize`], pinning the active variant
 //! against cache churn.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use flexvec::{program_hash, ShardedCache, SpecRequest};
@@ -52,7 +53,8 @@ use crate::autotune::{AutotuneConfig, KernelProfile, Observation, DECISION_REASO
 use crate::json::Json;
 use crate::metrics::ExternalSample;
 use crate::protocol::{hash_hex, ErrorKind, Op, ProtoError, Request};
-use crate::snapshot::SnapshotStore;
+use crate::replicate::Replicator;
+use crate::snapshot::{RejectReason, SnapshotStore};
 
 /// Build identity, stamped by `build.rs` and reported by `--version`,
 /// the daemon startup line, and the `stats` op.
@@ -94,12 +96,49 @@ pub struct OpResult {
     pub exec_wall: Option<Duration>,
 }
 
+/// Where a served kernel came from, for the `cache` response field
+/// and the hit/miss metrics split: in-memory hit, disk-warm restore,
+/// peer-warm pull, or a fresh compile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheSource {
+    /// Already resident in the in-memory compile cache.
+    Hit,
+    /// Restored from a validated local snapshot.
+    Restored,
+    /// Pulled from a cluster peer and validated.
+    Pulled,
+    /// Compiled from source this request.
+    Compiled,
+}
+
+impl CacheSource {
+    /// The `cache` response-field value.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheSource::Hit => "hit",
+            CacheSource::Restored => "restored",
+            CacheSource::Pulled => "pulled",
+            CacheSource::Compiled => "compiled",
+        }
+    }
+
+    /// Whether the compile pipeline was skipped (anything but a fresh
+    /// compile counts as a hit for latency accounting).
+    pub fn is_hit(self) -> bool {
+        self != CacheSource::Compiled
+    }
+}
+
 /// The shared compile-and-execute core. Cheap to share behind an
 /// `Arc`; every method takes `&self`.
 pub struct ServeEngine {
     cache: CompileCache,
     registry: ShardedCache<ParsedKernel>,
-    snapshots: Option<SnapshotStore>,
+    snapshots: Option<Arc<SnapshotStore>>,
+    /// The cluster replication subsystem, wired in after construction
+    /// (`enable_replication`) because the replicator needs the
+    /// engine's snapshot store to exist first.
+    replication: OnceLock<Arc<Replicator>>,
     started: Instant,
     totals: Mutex<BTreeMap<&'static str, u64>>,
     tiers: Mutex<BTreeMap<u64, TierEntry>>,
@@ -225,7 +264,8 @@ impl ServeEngine {
         ServeEngine {
             cache,
             registry,
-            snapshots,
+            snapshots: snapshots.map(Arc::new),
+            replication: OnceLock::new(),
             started: Instant::now(),
             // Tier and autotune counters are pre-seeded so `/metrics`
             // exports every row from the first scrape, even at zero —
@@ -351,7 +391,26 @@ impl ServeEngine {
 
     /// The persistent snapshot store, when `--cache-dir` is set.
     pub fn snapshots(&self) -> Option<&SnapshotStore> {
-        self.snapshots.as_ref()
+        self.snapshots.as_deref()
+    }
+
+    /// A shareable handle to the snapshot store (the replicator holds
+    /// one).
+    pub fn snapshots_arc(&self) -> Option<Arc<SnapshotStore>> {
+        self.snapshots.clone()
+    }
+
+    /// Wires in the replication subsystem. Once set, cache misses try
+    /// a lazy peer pull before compiling. A second call is ignored
+    /// (the first replicator wins).
+    pub fn enable_replication(&self, replicator: Arc<Replicator>) {
+        let _ = self.replication.set(replicator);
+    }
+
+    /// The replication subsystem, when cluster + `--cache-dir` are
+    /// both configured.
+    pub fn replication(&self) -> Option<&Arc<Replicator>> {
+        self.replication.get()
     }
 
     /// Whether `(program_hash, spec)` is already compiled in the
@@ -399,24 +458,76 @@ impl ServeEngine {
 
     /// The cache lookup every compile/run/bench op goes through: the
     /// coalesced in-memory path, with validated disk snapshots
-    /// consulted on a miss (restores count as hits — no compile ran)
-    /// and fresh compiles persisted when a store is configured.
+    /// consulted on a miss, then a lazy peer pull when replication is
+    /// on (restores and pulls count as hits — no compile ran), and
+    /// fresh compiles persisted when a store is configured.
+    ///
+    /// The restore hook runs *inside* the coalesced miss closure, so
+    /// N racers on one kernel cost one disk load / one peer pull / one
+    /// compile, and the pull path must never re-enter the cache (the
+    /// replicator only touches disk).
     fn lookup_or_compile(
         &self,
         kernel: &ParsedKernel,
         spec: SpecRequest,
-    ) -> (Arc<CompiledKernel>, bool) {
+    ) -> (Arc<CompiledKernel>, CacheSource) {
         let Some(store) = &self.snapshots else {
-            return self.cache.get_or_compile_coalesced(&kernel.program, spec);
+            let (compiled, hit) = self.cache.get_or_compile_coalesced(&kernel.program, spec);
+            let src = if hit {
+                CacheSource::Hit
+            } else {
+                CacheSource::Compiled
+            };
+            return (compiled, src);
         };
         let hash = program_hash(&kernel.program);
+        let pulled = Cell::new(false);
         let (compiled, outcome) = self
             .cache
-            .get_or_compile_restored(&kernel.program, spec, || store.load(hash, spec));
+            .get_or_compile_restored(&kernel.program, spec, || {
+                store.load(hash, spec).or_else(|| {
+                    let kernel = self.replication.get()?.pull_for(hash, spec)?;
+                    pulled.set(true);
+                    Some(kernel)
+                })
+            });
+        let src = match outcome {
+            CacheOutcome::Hit => CacheSource::Hit,
+            CacheOutcome::Restored if pulled.get() => CacheSource::Pulled,
+            CacheOutcome::Restored => CacheSource::Restored,
+            CacheOutcome::Compiled => CacheSource::Compiled,
+        };
         if outcome == CacheOutcome::Compiled {
             store.save(&to_fv(&kernel.program), spec, &compiled);
         }
-        (compiled, outcome.is_hit())
+        (compiled, src)
+    }
+
+    /// Admits peer-shipped snapshot bytes into *both* layers: the disk
+    /// store (full validation via [`SnapshotStore::admit_pulled`] — a
+    /// shipped snapshot is never trusted unvalidated) and the
+    /// in-memory registry + compile cache, so anti-entropy sync leaves
+    /// the kernel genuinely warm, not merely disk-warm.
+    ///
+    /// # Errors
+    ///
+    /// The validation gate that rejected the bytes; nothing is
+    /// admitted anywhere in that case.
+    pub fn admit_pulled_snapshot(
+        &self,
+        bytes: &[u8],
+        hash: u64,
+        spec: SpecRequest,
+    ) -> Result<(), RejectReason> {
+        let Some(store) = self.snapshots.as_deref() else {
+            return Err(RejectReason::Structure); // unreachable: replication requires a store
+        };
+        let (kernel, parsed) = store.admit_pulled(bytes, hash, spec)?;
+        let (parsed, _) = self.registry.get_or_insert_with(hash, || parsed);
+        let _ = self
+            .cache
+            .get_or_compile_restored(&parsed.program, spec, || Some(kernel));
+        Ok(())
     }
 
     /// The speculation request one request effectively runs under: an
@@ -518,6 +629,20 @@ impl ServeEngine {
                 }
             }
         }
+        // Last resort: a cluster peer may hold a snapshot of a kernel
+        // this node has never seen. A successful pull lands the
+        // snapshot (embedded checksummed source included) on local
+        // disk, where the find_source path above can now resolve it.
+        if self.replication.get().is_some_and(|r| r.pull_any(hash)) {
+            if let Some(source) = self.snapshots.as_ref().and_then(|s| s.find_source(hash)) {
+                if let Ok(kernel) = parse_str("<snapshot>", &source) {
+                    if program_hash(&kernel.program) == hash {
+                        let (kernel, _) = self.registry.get_or_insert_with(hash, || kernel);
+                        return Ok(kernel);
+                    }
+                }
+            }
+        }
         Err(ProtoError::new(
             ErrorKind::UnknownHash,
             format!(
@@ -581,17 +706,17 @@ impl ServeEngine {
                 let kernel = self.resolve(req)?;
                 let spec = self.effective_spec(program_hash(&kernel.program), req);
                 let t0 = Instant::now();
-                let (compiled, hit) = self.lookup_or_compile(&kernel, spec);
+                let (compiled, src) = self.lookup_or_compile(&kernel, spec);
                 let compile_wall = t0.elapsed();
-                let mut fields = kernel_fields(&kernel, &compiled, hit);
+                let mut fields = kernel_fields(&kernel, &compiled, src);
                 fields.push((
                     "compile_micros",
                     Json::from(compile_wall.as_micros() as u64),
                 ));
                 Ok(OpResult {
                     fields,
-                    cache_hit: Some(hit),
-                    compile_wall: (!hit).then_some(compile_wall),
+                    cache_hit: Some(src.is_hit()),
+                    compile_wall: (!src.is_hit()).then_some(compile_wall),
                     exec_wall: None,
                 })
             }
@@ -599,7 +724,7 @@ impl ServeEngine {
                 let kernel = self.resolve(req)?;
                 let spec = self.effective_spec(program_hash(&kernel.program), req);
                 let t0 = Instant::now();
-                let (compiled, hit) = self.lookup_or_compile(&kernel, spec);
+                let (compiled, src) = self.lookup_or_compile(&kernel, spec);
                 let compile_wall = t0.elapsed();
                 let t1 = Instant::now();
                 let outcome = self.execute(&kernel, &compiled, req, spec, cancel)?;
@@ -607,13 +732,13 @@ impl ServeEngine {
                 if !req.spec_explicit {
                     self.observe_and_tune(&kernel, &compiled, req, spec, &outcome);
                 }
-                let mut fields = kernel_fields(&kernel, &compiled, hit);
+                let mut fields = kernel_fields(&kernel, &compiled, src);
                 fields.push(("spec", Json::from(spec_label(spec))));
                 fields.extend(run_fields(&outcome, req));
                 Ok(OpResult {
                     fields,
-                    cache_hit: Some(hit),
-                    compile_wall: (!hit).then_some(compile_wall),
+                    cache_hit: Some(src.is_hit()),
+                    compile_wall: (!src.is_hit()).then_some(compile_wall),
                     exec_wall: Some(exec_wall),
                 })
             }
@@ -981,11 +1106,13 @@ impl ServeEngine {
             },
         ]);
         // Snapshot counters are pre-seeded (zero without a store) so
-        // the rows exist from the first scrape.
-        let snap = |f: fn(&SnapshotStore) -> u64| self.snapshots.as_ref().map_or(0, f);
+        // the rows exist from the first scrape. Restore (disk-warm),
+        // pull (peer-warm), and write paths are distinct series, and
+        // rejections are labeled per validation gate.
+        let snap = |f: fn(&SnapshotStore) -> u64| self.snapshots.as_deref().map_or(0, f);
         out.extend([
             ExternalSample {
-                name: "flexvec_snapshot_restored_total",
+                name: "flexvec_snapshot_restore_total",
                 value: snap(|s| {
                     s.counters
                         .restored
@@ -993,12 +1120,8 @@ impl ServeEngine {
                 }),
             },
             ExternalSample {
-                name: "flexvec_snapshot_rejected_total",
-                value: snap(|s| {
-                    s.counters
-                        .rejected
-                        .load(std::sync::atomic::Ordering::Relaxed)
-                }),
+                name: "flexvec_snapshot_pull_total",
+                value: snap(|s| s.counters.pulled.load(std::sync::atomic::Ordering::Relaxed)),
             },
             ExternalSample {
                 name: "flexvec_snapshot_written_total",
@@ -1008,7 +1131,24 @@ impl ServeEngine {
                         .load(std::sync::atomic::Ordering::Relaxed)
                 }),
             },
+            ExternalSample {
+                name: "flexvec_snapshot_evicted_total",
+                value: snap(|s| {
+                    s.counters
+                        .evicted
+                        .load(std::sync::atomic::Ordering::Relaxed)
+                }),
+            },
         ]);
+        for reason in RejectReason::ALL {
+            out.push(ExternalSample {
+                name: reason.metric_name(),
+                value: self
+                    .snapshots
+                    .as_deref()
+                    .map_or(0, |s| s.counters.reject_count(reason)),
+            });
+        }
         out
     }
 
@@ -1100,6 +1240,20 @@ impl ServeEngine {
                         .load(std::sync::atomic::Ordering::Relaxed)
                 })),
             ),
+            (
+                "snapshots_pulled",
+                Json::from(self.snapshots.as_ref().map_or(0, |s| {
+                    s.counters.pulled.load(std::sync::atomic::Ordering::Relaxed)
+                })),
+            ),
+            (
+                "snapshots_evicted",
+                Json::from(self.snapshots.as_ref().map_or(0, |s| {
+                    s.counters
+                        .evicted
+                        .load(std::sync::atomic::Ordering::Relaxed)
+                })),
+            ),
         ]);
         fields.extend([
             (
@@ -1177,14 +1331,15 @@ struct ExecOutcome {
 fn kernel_fields(
     kernel: &ParsedKernel,
     compiled: &CompiledKernel,
-    cache_hit: bool,
+    src: CacheSource,
 ) -> Vec<(&'static str, Json)> {
     vec![
         ("kernel", Json::from(kernel.program.name.as_str())),
         ("hash", Json::from(hash_hex(compiled.program_hash))),
         ("verdict", Json::from(compiled.verdict_summary())),
         ("vectorizable", Json::from(compiled.plan.is_ok())),
-        ("cache_hit", Json::from(cache_hit)),
+        ("cache_hit", Json::from(src.is_hit())),
+        ("cache", Json::from(src.label())),
     ]
 }
 

@@ -28,7 +28,7 @@
 //!   requests finish (or hit their cancel token), queued work is
 //!   answered `shutting_down`, listeners close.
 //!
-//! Three scale-out subsystems extend the single resident daemon:
+//! Four scale-out subsystems extend the single resident daemon:
 //!
 //! * on x86-64 Linux the accept side is a **readiness-polled reactor**
 //!   ([`reactor`]) — one thread, raw `epoll`, slab-managed
@@ -41,7 +41,13 @@
 //! * `--cluster` enables the **consistent-hash ring** ([`cluster`]):
 //!   misses forward to the owning member, per-peer circuit breakers
 //!   degrade a dead owner to local compilation, and hot keys are
-//!   adopted locally after repeated forwards.
+//!   adopted locally after repeated forwards;
+//! * cluster mode plus `--cache-dir` enables **snapshot replication**
+//!   ([`replicate`]): members gossip manifests of their snapshot
+//!   stores, cache misses lazily pull (and fully re-validate) peers'
+//!   compiled snapshots instead of recompiling, and a joining node
+//!   anti-entropy-syncs the ring slice it owns so it serves warm from
+//!   its first request.
 //!
 //! `flexvecc serve` / `flexvecc client` wrap [`server::start`] and
 //! [`client::Client`]; the `serve_load` bench binary drives a daemon
@@ -65,6 +71,7 @@ pub mod queue;
 #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
 #[allow(unsafe_code)]
 pub mod reactor;
+pub mod replicate;
 pub mod server;
 pub mod signal;
 pub mod snapshot;
@@ -79,6 +86,7 @@ pub use protocol::{
     Request,
 };
 pub use queue::BoundedQueue;
+pub use replicate::Replicator;
 pub use server::{start, startup_line, AcceptMode, ServerConfig, ServerHandle};
 pub use signal::{install_sigint_handler, interrupted, reset_interrupted};
-pub use snapshot::{SnapshotStore, SNAPSHOT_EPOCH};
+pub use snapshot::{epoch_word, ManifestEntry, RejectReason, SnapshotStore, SNAPSHOT_EPOCH};

@@ -18,6 +18,22 @@
 //! — bad JSON, unknown ops, missing fields — always produces a
 //! structured `bad_request`/`parse_error` response, never a dropped
 //! connection and never a panic.
+//!
+//! Cluster members exchange two additional replication ops on the same
+//! framing, intercepted before request validation (their payloads
+//! don't fit [`Request`]; see `crate::replicate` for the field-level
+//! format):
+//!
+//! ```text
+//! {"op":"gossip","id":1,"from":"127.0.0.1:9001","round":7,"manifest":[...]}
+//! {"op":"pull","id":2,"hash":"00c0ffee00c0ffee","spec":"ff"}
+//! ```
+//!
+//! Both are **terminal**: a gossip reply carries the receiver's own
+//! manifest (push-pull exchange) and a pull is answered from local
+//! disk only — `found:false` rather than relayed onward — the same
+//! loop-guard discipline the `forwarded` flag enforces for request
+//! forwarding, so a stale ring can never create message loops.
 
 use flexvec::SpecRequest;
 use flexvec_vm::Engine;
@@ -244,6 +260,19 @@ impl Request {
     pub fn parse(line: &str) -> Result<Request, (u64, ProtoError)> {
         let value = json::parse(line)
             .map_err(|e| (0, ProtoError::new(ErrorKind::ParseError, e.to_string())))?;
+        Self::from_json(&value)
+    }
+
+    /// Validates an already-parsed JSON value as a request. Split from
+    /// [`Request::parse`] so the dispatcher can parse each line once,
+    /// intercept replication ops (`gossip`/`pull`, whose manifest
+    /// payloads don't fit this struct) on the raw JSON, and only then
+    /// apply request validation.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Request::parse`].
+    pub fn from_json(value: &Json) -> Result<Request, (u64, ProtoError)> {
         let id = value.get("id").and_then(Json::as_u64).unwrap_or(0);
         let bad = |message: String| (id, ProtoError::new(ErrorKind::BadRequest, message));
 

@@ -35,12 +35,13 @@ use flexvec_vm::CancelToken;
 
 use crate::cluster::Cluster;
 use crate::engine::{build_info, ServeEngine};
-use crate::json::Json;
+use crate::json::{self, Json};
 use crate::metrics::ServeMetrics;
 use crate::protocol::{
     err_response, line_too_long_response, ok_response, ErrorKind, Op, ProtoError, Request, MAX_LINE,
 };
 use crate::queue::{BoundedQueue, PushError};
+use crate::replicate::Replicator;
 use crate::snapshot::SnapshotStore;
 
 #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
@@ -91,6 +92,16 @@ pub struct ServerConfig {
     pub advertise: Option<String>,
     /// How connections are accepted (reactor vs. connection threads).
     pub accept_mode: AcceptMode,
+    /// Byte bound on the snapshot directory (`--cache-dir-max-bytes`);
+    /// writes sweep oldest-generation snapshots past it. `None` leaves
+    /// the store unbounded.
+    pub cache_dir_max_bytes: Option<u64>,
+    /// Snapshot-manifest gossip period for cluster replication
+    /// (requires both `cluster` and `cache_dir`).
+    pub gossip_interval_ms: u64,
+    /// Gossip rounds a snapshot may be memory-resident on no member
+    /// before distributed GC deletes it from disk (0 disables GC).
+    pub gossip_gc_rounds: u64,
 }
 
 impl Default for ServerConfig {
@@ -106,6 +117,9 @@ impl Default for ServerConfig {
             cluster: Vec::new(),
             advertise: None,
             accept_mode: AcceptMode::Auto,
+            cache_dir_max_bytes: None,
+            gossip_interval_ms: 1000,
+            gossip_gc_rounds: 10,
         }
     }
 }
@@ -145,7 +159,8 @@ struct Shared {
     queue: BoundedQueue<Job>,
     shutdown_flag: Arc<AtomicBool>,
     default_deadline_ms: Option<u64>,
-    cluster: Option<Cluster>,
+    cluster: Option<Arc<Cluster>>,
+    replication: Option<Arc<Replicator>>,
 }
 
 /// A running daemon. Dropping the handle without calling
@@ -174,7 +189,13 @@ impl ServerHandle {
 
     /// The cluster state, when `--cluster` is configured.
     pub fn cluster(&self) -> Option<&Cluster> {
-        self.shared.cluster.as_ref()
+        self.shared.cluster.as_deref()
+    }
+
+    /// The replication subsystem, when cluster mode and `--cache-dir`
+    /// are both configured.
+    pub fn replication(&self) -> Option<&Arc<Replicator>> {
+        self.shared.replication.as_ref()
     }
 
     /// Whether a drain has been requested.
@@ -226,29 +247,50 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         .transpose()?;
 
     let snapshots = match &config.cache_dir {
-        Some(dir) => Some(SnapshotStore::open(dir)?),
+        Some(dir) => Some(SnapshotStore::open_bounded(
+            dir,
+            config.cache_dir_max_bytes,
+        )?),
         None => None,
     };
     let cluster = if config.cluster.is_empty() {
         None
     } else {
         let advertise = config.advertise.clone().unwrap_or_else(|| addr.to_string());
-        Some(
+        Some(Arc::new(
             Cluster::new(config.cluster.clone(), advertise)
                 .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?,
-        )
+        ))
     };
 
     #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
     let _ = reactor::raise_nofile_limit();
 
+    let engine = ServeEngine::with_snapshots(config.cache_capacity, snapshots);
+    // Replication needs both a ring (who to gossip with) and a
+    // snapshot store (what to gossip about); with either missing the
+    // daemon runs exactly as before.
+    let replication = match (&cluster, engine.snapshots_arc()) {
+        (Some(cluster), Some(store)) => {
+            let repl = Arc::new(Replicator::new(
+                Arc::clone(cluster),
+                store,
+                config.gossip_gc_rounds,
+            ));
+            engine.enable_replication(Arc::clone(&repl));
+            Some(repl)
+        }
+        _ => None,
+    };
+
     let shared = Arc::new(Shared {
-        engine: ServeEngine::with_snapshots(config.cache_capacity, snapshots),
+        engine,
         metrics: ServeMetrics::default(),
         queue: BoundedQueue::new(config.queue_capacity),
         shutdown_flag: Arc::new(AtomicBool::new(false)),
         default_deadline_ms: config.default_deadline_ms,
         cluster,
+        replication,
     });
     let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
     let mut threads = Vec::new();
@@ -275,6 +317,31 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
                 .name("serve-metrics".to_owned())
                 .spawn(move || metrics_loop(&listener, &shared))
                 .expect("spawn metrics listener"),
+        );
+    }
+    if let Some(repl) = shared.replication.clone() {
+        // Gossip thread: one anti-entropy sync at startup (the joining
+        // node pulls its owned ring slice warm), then periodic
+        // manifest rounds with distributed aging. The listener is
+        // already accepting, so peers can answer our pulls and we
+        // theirs during sync.
+        let shared = Arc::clone(&shared);
+        let interval = Duration::from_millis(config.gossip_interval_ms.max(10));
+        threads.push(
+            std::thread::Builder::new()
+                .name("serve-gossip".to_owned())
+                .spawn(move || {
+                    repl.anti_entropy_sync(&shared.engine);
+                    let mut last = Instant::now();
+                    while !shared.shutdown_flag.load(Ordering::Relaxed) {
+                        std::thread::sleep(POLL);
+                        if last.elapsed() >= interval {
+                            repl.gossip_round(&shared.engine);
+                            last = Instant::now();
+                        }
+                    }
+                })
+                .expect("spawn gossip thread"),
         );
     }
 
@@ -492,7 +559,43 @@ fn finish_line(bytes: Vec<u8>, line: &mut String) -> ReadOutcome {
 /// arrives through that reply later.
 fn dispatch(line: &str, shared: &Arc<Shared>, make_reply: impl FnOnce() -> Reply) -> Option<Json> {
     shared.metrics.requests_total.inc();
-    let request = match Request::parse(line) {
+    let value = match json::parse(line) {
+        Ok(v) => v,
+        Err(e) => {
+            shared.metrics.requests_failed.inc();
+            return Some(err_response(
+                0,
+                &ProtoError::new(ErrorKind::ParseError, e.to_string()),
+            ));
+        }
+    };
+    // Replication ops are intercepted on the raw JSON (their manifest
+    // payloads don't fit the request struct) and answered inline:
+    // gossip/pull replies read only local state and local disk, so
+    // they must not compete with compile jobs for the worker pool — a
+    // pool saturated with pulls waiting on each other's pools would
+    // deadlock a small cluster.
+    if let Some(op) = value.get("op").and_then(Json::as_str) {
+        if op == "gossip" || op == "pull" {
+            let id = value.get("id").and_then(Json::as_u64).unwrap_or(0);
+            let Some(repl) = &shared.replication else {
+                shared.metrics.requests_failed.inc();
+                return Some(err_response(
+                    id,
+                    &ProtoError::new(
+                        ErrorKind::BadRequest,
+                        "replication is not enabled here (needs --cluster and --cache-dir)",
+                    ),
+                ));
+            };
+            return Some(if op == "gossip" {
+                repl.handle_gossip(&value, &shared.engine)
+            } else {
+                repl.handle_pull(&value)
+            });
+        }
+    }
+    let request = match Request::from_json(&value) {
         Ok(r) => r,
         Err((id, e)) => {
             shared.metrics.requests_failed.inc();
@@ -525,6 +628,9 @@ fn dispatch(line: &str, shared: &Arc<Shared>, make_reply: impl FnOnce() -> Reply
                 "cluster_forwards",
                 Json::from(cluster.counters.forwards.get()),
             ));
+        }
+        if let Some(repl) = &shared.replication {
+            fields.extend(repl.stats_fields());
         }
         return Some(ok_response(id, fields));
     }
@@ -588,6 +694,18 @@ fn route_cluster(shared: &Shared, job: &Job) -> Option<Json> {
     }
     if cluster.note_forward(hash) && shared.engine.knows_kernel(hash) {
         return None; // hot key: compile locally from the known source
+    }
+    // When a peer's gossiped manifest claims a snapshot of this
+    // kernel, serving locally is better than forwarding: the miss
+    // path lazily pulls the compiled artifact (one transfer, then
+    // this node is warm forever) instead of paying a network hop per
+    // request.
+    if shared
+        .replication
+        .as_ref()
+        .is_some_and(|r| r.peer_claims(hash))
+    {
+        return None;
     }
     let owner = cluster.owner_of(hash).to_owned();
     // A failed forward (breaker open, peer dead) degrades to local
@@ -673,6 +791,9 @@ fn metrics_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                     if let Some(cluster) = &shared.cluster {
                         samples.extend(cluster.metric_samples());
                     }
+                    if let Some(repl) = &shared.replication {
+                        samples.extend(repl.metric_samples());
+                    }
                     let body = shared.metrics.render(&samples);
                     format!(
                         "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
@@ -713,9 +834,17 @@ pub fn startup_line(handle: &ServerHandle, config: &ServerConfig) -> String {
         || "off".to_owned(),
         |c| format!("{} members as {}", c.members().len(), c.advertise()),
     );
+    let replication = if handle.shared.replication.is_some() {
+        format!(
+            ", replication: gossip every {}ms",
+            config.gossip_interval_ms
+        )
+    } else {
+        String::new()
+    };
     format!(
         "flexvec-serve {info} listening on {} (metrics: {metrics}, workers: {}, \
-         queue: {}, cache: {}, cache-dir: {persist}, cluster: {cluster})",
+         queue: {}, cache: {}, cache-dir: {persist}, cluster: {cluster}{replication})",
         handle.addr,
         config.workers.max(1),
         config.queue_capacity,

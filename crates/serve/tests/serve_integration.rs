@@ -37,6 +37,7 @@ fn test_config() -> ServerConfig {
         cluster: Vec::new(),
         advertise: None,
         accept_mode: AcceptMode::Auto,
+        ..ServerConfig::default()
     }
 }
 

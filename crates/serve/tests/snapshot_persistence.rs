@@ -44,6 +44,7 @@ fn config_with(dir: &std::path::Path) -> ServerConfig {
         cluster: Vec::new(),
         advertise: None,
         accept_mode: flexvec_serve::AcceptMode::Auto,
+        ..ServerConfig::default()
     }
 }
 
